@@ -1,0 +1,75 @@
+//! Engine throughput: simulated-MPI operations per second of the
+//! discrete-event runtime, and the overhead of tracing interposition. These
+//! bound the cost of every experiment in the suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::network;
+use mpisim::time::SimDuration;
+use mpisim::types::{Src, TagSel};
+use mpisim::world::World;
+use scalatrace::Tracer;
+
+fn ring_body(iters: usize) -> impl Fn(&mut mpisim::ctx::Ctx) + Send + Sync + Clone {
+    move |ctx: &mut mpisim::ctx::Ctx| {
+        let w = ctx.world();
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        for _ in 0..iters {
+            let r = ctx.irecv(Src::Rank(left), TagSel::Is(0), 1024, &w);
+            let s = ctx.isend(right, 0, 1024, &w);
+            ctx.compute(SimDuration::from_usecs(10));
+            ctx.waitall(&[r, s]);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_ring");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for ranks in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &n| {
+            let body = ring_body(100);
+            b.iter(|| {
+                World::new(n)
+                    .network(network::ethernet_cluster())
+                    .run(body.clone())
+                    .unwrap()
+                    .stats
+                    .operations
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing_overhead");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let n = 16;
+    g.bench_function("untraced", |b| {
+        let body = ring_body(200);
+        b.iter(|| {
+            World::new(n)
+                .network(network::ideal())
+                .run(body.clone())
+                .unwrap()
+        })
+    });
+    g.bench_function("traced", |b| {
+        let body = ring_body(200);
+        b.iter(|| {
+            World::new(n)
+                .network(network::ideal())
+                .run_hooked(|r| Tracer::new(r, n), body.clone())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_tracing_overhead);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end pipeline cost: tracing overhead, generation (pre-checks +
+//! Algorithms 1/2 + codegen), and benchmark execution, per application.
+//! These are the "tooling costs" a user of the framework pays.
+
+use benchgen::{generate, GenOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use miniapps::{registry, AppParams, Class};
+use mpisim::network;
+use scalatrace::trace_app;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate_from_trace");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["ring", "bt", "cg", "lu", "sweep3d"] {
+        let app = registry::lookup(name).unwrap();
+        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let params = AppParams {
+            class: Class::W,
+            iterations: Some(5),
+            compute_scale: 1.0,
+        };
+        let trace = trace_app(ranks, network::ideal(), move |ctx| (app.run)(ctx, &params))
+            .unwrap()
+            .trace;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| generate(t, &GenOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_collection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_collection");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for name in ["ring", "bt", "lu"] {
+        let app = registry::lookup(name).unwrap();
+        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &ranks, |b, &n| {
+            b.iter(|| {
+                let params = AppParams::quick();
+                trace_app(n, network::ideal(), move |ctx| (app.run)(ctx, &params))
+                    .unwrap()
+                    .trace
+                    .node_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_trace_collection);
+criterion_main!(benches);

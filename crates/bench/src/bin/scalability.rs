@@ -1,0 +1,85 @@
+//! **E6** — the size-scalability claim of §1/§2: the generated benchmark
+//! grows *sublinearly* in both the number of processes and the number of
+//! communication events, unlike flat trace formats.
+//!
+//! Sweeps (a) rank count at fixed iterations and (b) iteration count at
+//! fixed ranks, reporting: concrete MPI events (what a flat trace would
+//! store), compressed trace nodes, serialised trace bytes, and generated
+//! program statements.
+
+use bench_suite::{print_table, size_summary, trace_of};
+use benchgen::{generate, GenOptions};
+use miniapps::{registry, AppParams, Class};
+use mpisim::network;
+
+fn row(app_name: &str, ranks: usize, iterations: usize) -> Vec<String> {
+    let app = registry::lookup(app_name).expect("registered");
+    let params = AppParams {
+        class: Class::W,
+        iterations: Some(iterations),
+        compute_scale: 1.0,
+    };
+    let traced = trace_of(app, ranks, params, network::ideal()).expect("runs");
+    let (nodes, events, bytes) = size_summary(&traced.trace);
+    let flat = scalatrace::text::flat_size(&traced.trace);
+    let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
+    vec![
+        app_name.to_string(),
+        ranks.to_string(),
+        iterations.to_string(),
+        events.to_string(),
+        flat.to_string(),
+        nodes.to_string(),
+        bytes.to_string(),
+        generated.program.stmt_count().to_string(),
+    ]
+}
+
+fn main() {
+    println!("E6: trace/benchmark size scalability (sublinear growth claim)\n");
+
+    println!("(a) rank sweep at fixed 200 iterations (ring):");
+    let mut rows = Vec::new();
+    for ranks in [8, 16, 32, 64, 128, 256] {
+        rows.push(row("ring", ranks, 200));
+    }
+    print_table(
+        &["app", "ranks", "iters", "MPI events", "flat bytes", "trace nodes", "trace bytes", "stmts"],
+        &rows,
+    );
+
+    println!("\n(b) iteration sweep at fixed 32 ranks (ring):");
+    let mut rows = Vec::new();
+    for iters in [10, 100, 1_000, 10_000] {
+        rows.push(row("ring", 32, iters));
+    }
+    print_table(
+        &["app", "ranks", "iters", "MPI events", "flat bytes", "trace nodes", "trace bytes", "stmts"],
+        &rows,
+    );
+
+    println!("\n(c) the paper suite at 16 ranks, class W defaults:");
+    let mut rows = Vec::new();
+    for app in registry::paper_suite() {
+        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let params = AppParams::class(Class::W);
+        let traced = trace_of(app, ranks, params, network::ideal()).expect("runs");
+        let (nodes, events, bytes) = size_summary(&traced.trace);
+        let flat = scalatrace::text::flat_size(&traced.trace);
+        let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
+        rows.push(vec![
+            app.name.to_string(),
+            ranks.to_string(),
+            "-".to_string(),
+            events.to_string(),
+            flat.to_string(),
+            nodes.to_string(),
+            bytes.to_string(),
+            generated.program.stmt_count().to_string(),
+        ]);
+    }
+    print_table(
+        &["app", "ranks", "iters", "MPI events", "flat bytes", "trace nodes", "trace bytes", "stmts"],
+        &rows,
+    );
+}

@@ -1,0 +1,171 @@
+//! # bench-suite — experiment harness
+//!
+//! Shared machinery for the binaries that regenerate the paper's tables and
+//! figures (see DESIGN.md §4 for the experiment index):
+//!
+//! | binary               | paper artifact |
+//! |----------------------|----------------|
+//! | `sec52_correctness`  | §5.2 event-count/volume and semantic equivalence (E1/E2) |
+//! | `fig6`               | Figure 6 — time accuracy per app × rank count (E3) |
+//! | `fig7`               | Figure 7 — BT what-if compute scaling (E4) |
+//! | `table1`             | Table 1 — collective mapping check (E5) |
+//! | `scalability`        | §2 — trace/benchmark size vs ranks & events (E6) |
+//!
+//! Criterion benches (`cargo bench`) cover E7: O(p·e) scaling of
+//! Algorithms 1 and 2, compression-window cost, and engine throughput.
+
+use benchgen::{generate, GenOptions, GeneratedBenchmark};
+use conceptual::interp::run_program;
+use miniapps::{App, AppParams};
+use mpisim::error::SimError;
+use mpisim::network::NetworkModel;
+use mpisim::time::SimTime;
+use scalatrace::{trace_app, Trace};
+use std::sync::Arc;
+
+/// One end-to-end measurement: original application vs generated benchmark
+/// on the same simulated machine.
+#[derive(Clone, Debug)]
+pub struct AccuracyRow {
+    pub app: &'static str,
+    pub ranks: usize,
+    /// Original application total time.
+    pub t_app: SimTime,
+    /// Generated benchmark total time.
+    pub t_gen: SimTime,
+}
+
+impl AccuracyRow {
+    /// The paper's error metric: `100% * |T_gen - T_app| / T_app`.
+    pub fn err_pct(&self) -> f64 {
+        let a = self.t_app.as_secs_f64();
+        let g = self.t_gen.as_secs_f64();
+        if a == 0.0 {
+            0.0
+        } else {
+            100.0 * (g - a).abs() / a
+        }
+    }
+}
+
+/// Trace, generate, and re-run one application configuration.
+pub fn measure_accuracy(
+    app: &'static App,
+    ranks: usize,
+    params: AppParams,
+    network: Arc<dyn NetworkModel>,
+) -> Result<(AccuracyRow, GeneratedBenchmark), String> {
+    let traced = trace_app(ranks, Arc::clone(&network), move |ctx| {
+        (app.run)(ctx, &params)
+    })
+    .map_err(|e| format!("{}@{ranks}: trace failed: {e}", app.name))?;
+    let generated = generate(&traced.trace, &GenOptions::default())
+        .map_err(|e| format!("{}@{ranks}: generation failed: {e}", app.name))?;
+    let outcome = run_program(&generated.program, ranks, network)
+        .map_err(|e| format!("{}@{ranks}: generated benchmark failed: {e}", app.name))?;
+    Ok((
+        AccuracyRow {
+            app: app.name,
+            ranks,
+            t_app: traced.report.total_time,
+            t_gen: outcome.total_time,
+        },
+        generated,
+    ))
+}
+
+/// Trace an application only.
+pub fn trace_of(
+    app: &'static App,
+    ranks: usize,
+    params: AppParams,
+    network: Arc<dyn NetworkModel>,
+) -> Result<scalatrace::TracedRun, SimError> {
+    trace_app(ranks, network, move |ctx| (app.run)(ctx, &params))
+}
+
+/// Mean absolute percentage error over a set of rows (the paper's summary
+/// statistic: 2.9% across all of Figure 6).
+pub fn mape(rows: &[AccuracyRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(AccuracyRow::err_pct).sum::<f64>() / rows.len() as f64
+}
+
+/// Compressed/uncompressed size summary of a trace:
+/// `(trace nodes, concrete events, serialised bytes)`.
+pub fn size_summary(trace: &Trace) -> (usize, u64, usize) {
+    (
+        trace.node_count(),
+        trace.concrete_event_count(),
+        scalatrace::text::serialized_size(trace),
+    )
+}
+
+/// Print a fixed-width table: header then rows of equal arity.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        println!("  {}", parts.join("  "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("  {}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniapps::registry;
+    use mpisim::network;
+
+    #[test]
+    fn accuracy_row_math() {
+        let row = AccuracyRow {
+            app: "x",
+            ranks: 4,
+            t_app: SimTime::from_nanos(1_000),
+            t_gen: SimTime::from_nanos(1_100),
+        };
+        assert!((row.err_pct() - 10.0).abs() < 1e-9);
+        let rows = vec![
+            row.clone(),
+            AccuracyRow {
+                t_gen: SimTime::from_nanos(900),
+                ..row
+            },
+        ];
+        assert!((mape(&rows) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_accuracy_runs_end_to_end() {
+        let app = registry::lookup("ring").unwrap();
+        let (row, generated) = measure_accuracy(
+            app,
+            4,
+            AppParams::quick(),
+            network::ethernet_cluster(),
+        )
+        .unwrap();
+        assert!(row.t_app.as_nanos() > 0);
+        assert!(row.t_gen.as_nanos() > 0);
+        assert!(generated.program.stmt_count() > 0);
+        // generated ring should track the original closely
+        assert!(row.err_pct() < 15.0, "ring error {:.1}%", row.err_pct());
+    }
+}

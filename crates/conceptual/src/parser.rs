@@ -1,0 +1,956 @@
+//! Parser for the printed form of [`crate::ast::Program`].
+//!
+//! The grammar is exactly what [`crate::printer::print`] emits (an
+//! English-like coNCePTuaL subset), so `parse(print(p)) == p` for programs
+//! the generator produces. Having a real parser keeps the generated
+//! artifact *editable*: the what-if workflow of the paper's §5.4 edits the
+//! text and re-runs it.
+
+use crate::ast::*;
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Word(String),
+    Num(i64),
+    Str(String),
+    Comment(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Ellipsis,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+const KEYWORDS: &[&str] = &[
+    "ALL", "TASKS", "TASK", "GROUP", "IS", "IN", "SUCH", "THAT", "FOR", "EACH", "REPETITIONS",
+    "IF", "THEN", "OTHERWISE", "COMPUTE", "COMPUTES", "SEND", "SENDS", "RECEIVE", "RECEIVES",
+    "AWAIT", "AWAITS", "COMPLETION", "SYNCHRONIZE", "SYNCHRONIZES", "REDUCE", "REDUCES",
+    "MULTICAST", "MULTICASTS", "RESET", "THEIR", "COUNTERS", "LOG", "ASYNCHRONOUSLY", "A",
+    "BYTE", "MESSAGE", "WITH", "TAG", "TO", "FROM", "ANY", "OTHER", "MOD", "DIVIDES", "AND",
+    "OR", "NOT", "XOR", "NUM_TASKS", "NANOSECONDS", "MICROSECONDS", "MILLISECONDS", "SECONDS",
+    "PARTITION", "INTO",
+];
+
+fn is_keyword(w: &str) -> bool {
+    KEYWORDS.contains(&w)
+}
+
+fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                let start = i + 1;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok::Comment(src[start..i].trim().to_string()));
+            }
+            '"' => {
+                let start = i + 1;
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err("unterminated string".into());
+                }
+                toks.push(Tok::Str(src[start..i].to_string()));
+                i += 1;
+            }
+            '{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            '.' => {
+                if src[i..].starts_with("...") {
+                    toks.push(Tok::Ellipsis);
+                    i += 3;
+                } else {
+                    return Err(format!("stray '.' at byte {i}"));
+                }
+            }
+            '<' => {
+                if src[i..].starts_with("<=") {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else if src[i..].starts_with("<>") {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if src[i..].starts_with(">=") {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                toks.push(Tok::Num(
+                    src[start..i].parse().map_err(|e| format!("bad number: {e}"))?,
+                ));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok::Word(src[start..i].to_string()));
+            }
+            other => return Err(format!("unexpected character {other:?} at byte {i}")),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), String> {
+        match self.next() {
+            Some(ref got) if got == t => Ok(()),
+            got => Err(format!("expected {t:?}, got {got:?}")),
+        }
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<(), String> {
+        match self.next() {
+            Some(Tok::Word(ref got)) if got == w => Ok(()),
+            got => Err(format!("expected {w}, got {got:?}")),
+        }
+    }
+
+    fn peek_word(&self, w: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Word(x)) if x == w)
+    }
+
+    fn peek_word_at(&self, off: usize, w: &str) -> bool {
+        matches!(self.peek_at(off), Some(Tok::Word(x)) if x == w)
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.peek_word(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // -- program -------------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, String> {
+        let mut header = Vec::new();
+        // leading comments become the header block
+        while let Some(Tok::Comment(_)) = self.peek() {
+            if let Some(Tok::Comment(c)) = self.next() {
+                header.push(c);
+            }
+        }
+        let mut stmts = Vec::new();
+        while self.peek().is_some() {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Program { header, stmts })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, String> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Some(Tok::RBrace)) {
+            if self.peek().is_none() {
+                return Err("unterminated block".into());
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, String> {
+        if let Some(Tok::Comment(_)) = self.peek() {
+            if let Some(Tok::Comment(c)) = self.next() {
+                return Ok(Stmt::Comment(c));
+            }
+        }
+        if self.peek_word("FOR") {
+            return self.for_stmt();
+        }
+        if self.peek_word("IF") {
+            return self.if_stmt();
+        }
+        // GROUP <name> IS … is a declaration; GROUP <name> <verb> is a subject.
+        if self.peek_word("GROUP") && self.peek_word_at(2, "IS") {
+            self.next();
+            let name = self.ident()?;
+            self.expect_word("IS")?;
+            let tasks = self.task_set()?;
+            return Ok(Stmt::DeclareGroup { name, tasks });
+        }
+        if self.peek_word("PARTITION") {
+            return self.partition_stmt();
+        }
+        let subject = self.task_set()?;
+        // ALL TASKS RESET THEIR COUNTERS / LOG "…"
+        if self.eat_word("RESET") {
+            self.expect_word("THEIR")?;
+            self.expect_word("COUNTERS")?;
+            return Ok(Stmt::ResetCounters);
+        }
+        if self.eat_word("LOG") || self.eat_word("LOGS") {
+            match self.next() {
+                Some(Tok::Str(label)) => return Ok(Stmt::Log { label }),
+                got => return Err(format!("expected string after LOG, got {got:?}")),
+            }
+        }
+        let is_async = self.eat_word("ASYNCHRONOUSLY");
+        let verb = match self.next() {
+            Some(Tok::Word(w)) => w,
+            got => return Err(format!("expected a verb, got {got:?}")),
+        };
+        match verb.as_str() {
+            "COMPUTE" | "COMPUTES" => {
+                self.expect_word("FOR")?;
+                let amount = self.expr()?;
+                let unit = self.time_unit()?;
+                Ok(Stmt::Compute {
+                    tasks: subject,
+                    amount,
+                    unit,
+                })
+            }
+            "SEND" | "SENDS" => {
+                let (bytes, tag) = self.message()?;
+                self.expect_word("TO")?;
+                self.expect_word("TASK")?;
+                let dst = self.expr()?;
+                Ok(Stmt::Send {
+                    src: subject,
+                    dst,
+                    bytes,
+                    tag,
+                    is_async,
+                })
+            }
+            "RECEIVE" | "RECEIVES" => {
+                let (bytes, tag) = self.message()?;
+                self.expect_word("FROM")?;
+                let src = if self.eat_word("ANY") {
+                    self.expect_word("TASK")?;
+                    None
+                } else {
+                    self.expect_word("TASK")?;
+                    Some(self.expr()?)
+                };
+                Ok(Stmt::Receive {
+                    dst: subject,
+                    src,
+                    bytes,
+                    tag,
+                    is_async,
+                })
+            }
+            "AWAIT" | "AWAITS" => {
+                self.expect_word("COMPLETION")?;
+                Ok(Stmt::Await { tasks: subject })
+            }
+            "SYNCHRONIZE" | "SYNCHRONIZES" => Ok(Stmt::Sync { tasks: subject }),
+            "REDUCE" | "REDUCES" => {
+                let (bytes, _tag) = self.message()?;
+                self.expect_word("TO")?;
+                let to = if self.eat_word("ALL") {
+                    self.expect_word("TASKS")?;
+                    ReduceTo::All
+                } else {
+                    self.expect_word("TASK")?;
+                    ReduceTo::Task(self.expr()?)
+                };
+                Ok(Stmt::Reduce {
+                    tasks: subject,
+                    to,
+                    bytes,
+                })
+            }
+            "MULTICAST" | "MULTICASTS" => {
+                let (bytes, _tag) = self.message()?;
+                self.expect_word("TO")?;
+                if self.eat_word("EACH") {
+                    self.expect_word("OTHER")?;
+                    Ok(Stmt::Multicast {
+                        root: None,
+                        tasks: subject,
+                        bytes,
+                    })
+                } else {
+                    // "TASK <e> MULTICASTS … TO <taskset>"
+                    let root = match subject.sel {
+                        TaskSel::Single(e) => e,
+                        other => {
+                            return Err(format!(
+                                "MULTICAST TO <task set> requires a single-task subject, got {other:?}"
+                            ))
+                        }
+                    };
+                    let tasks = self.task_set()?;
+                    Ok(Stmt::Multicast {
+                        root: Some(root),
+                        tasks,
+                        bytes,
+                    })
+                }
+            }
+            other => Err(format!("unknown verb {other}")),
+        }
+    }
+
+    /// `PARTITION (ALL TASKS | GROUP <g>) INTO GROUP a = {…}, GROUP b = {…}`
+    fn partition_stmt(&mut self) -> Result<Stmt, String> {
+        self.expect_word("PARTITION")?;
+        let parent = if self.eat_word("ALL") {
+            self.expect_word("TASKS")?;
+            None
+        } else {
+            self.expect_word("GROUP")?;
+            Some(self.ident()?)
+        };
+        self.expect_word("INTO")?;
+        let mut groups = Vec::new();
+        loop {
+            self.expect_word("GROUP")?;
+            let name = self.ident()?;
+            self.expect(&Tok::Eq)?;
+            let runs = self.runs()?;
+            groups.push((name, runs));
+            if !matches!(self.peek(), Some(Tok::Comma)) {
+                break;
+            }
+            self.next();
+        }
+        Ok(Stmt::Partition { parent, groups })
+    }
+
+    /// `A <expr> BYTE MESSAGE [WITH TAG <n>]`
+    fn message(&mut self) -> Result<(Expr, i32), String> {
+        self.expect_word("A")?;
+        let bytes = self.expr()?;
+        self.expect_word("BYTE")?;
+        self.expect_word("MESSAGE")?;
+        let mut tag = 0;
+        if self.eat_word("WITH") {
+            self.expect_word("TAG")?;
+            match self.next() {
+                Some(Tok::Num(n)) => tag = n as i32,
+                got => return Err(format!("expected tag number, got {got:?}")),
+            }
+        }
+        Ok((bytes, tag))
+    }
+
+    fn time_unit(&mut self) -> Result<TimeUnit, String> {
+        match self.next() {
+            Some(Tok::Word(w)) => match w.as_str() {
+                "NANOSECONDS" => Ok(TimeUnit::Nanoseconds),
+                "MICROSECONDS" => Ok(TimeUnit::Microseconds),
+                "MILLISECONDS" => Ok(TimeUnit::Milliseconds),
+                "SECONDS" => Ok(TimeUnit::Seconds),
+                other => Err(format!("unknown time unit {other}")),
+            },
+            got => Err(format!("expected time unit, got {got:?}")),
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, String> {
+        self.expect_word("FOR")?;
+        if self.eat_word("EACH") {
+            let var = self.ident()?;
+            self.expect_word("IN")?;
+            self.expect(&Tok::LBrace)?;
+            let from = self.expr()?;
+            self.expect(&Tok::Comma)?;
+            self.expect(&Tok::Ellipsis)?;
+            self.expect(&Tok::Comma)?;
+            let to = self.expr()?;
+            self.expect(&Tok::RBrace)?;
+            let body = self.block()?;
+            return Ok(Stmt::ForEach {
+                var,
+                from,
+                to,
+                body,
+            });
+        }
+        let count = self.expr()?;
+        self.expect_word("REPETITIONS")?;
+        let body = self.block()?;
+        Ok(Stmt::For { count, body })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, String> {
+        self.expect_word("IF")?;
+        let cond = self.cond()?;
+        self.expect_word("THEN")?;
+        let then_ = self.block()?;
+        let else_ = if self.eat_word("OTHERWISE") {
+            self.block()?
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If { cond, then_, else_ })
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Word(w)) if !is_keyword(&w) => Ok(w),
+            got => Err(format!("expected identifier, got {got:?}")),
+        }
+    }
+
+    // -- task sets -----------------------------------------------------------
+
+    fn task_set(&mut self) -> Result<TaskSet, String> {
+        if self.eat_word("ALL") {
+            self.expect_word("TASKS")?;
+            let var = match self.peek() {
+                Some(Tok::Word(w)) if !is_keyword(w) => {
+                    let v = w.clone();
+                    self.pos += 1;
+                    Some(v)
+                }
+                _ => None,
+            };
+            return Ok(TaskSet {
+                var,
+                sel: TaskSel::All,
+            });
+        }
+        if self.eat_word("GROUP") {
+            let name = self.ident()?;
+            return Ok(TaskSet {
+                var: None,
+                sel: TaskSel::Group(name),
+            });
+        }
+        if self.eat_word("TASKS") {
+            let var = self.ident()?;
+            self.expect_word("SUCH")?;
+            self.expect_word("THAT")?;
+            self.expect_word(&var.clone())?;
+            self.expect_word("IS")?;
+            self.expect_word("IN")?;
+            let runs = self.runs()?;
+            return Ok(TaskSet {
+                var: Some(var),
+                sel: TaskSel::Runs(runs),
+            });
+        }
+        if self.eat_word("TASK") {
+            let e = self.expr()?;
+            return Ok(TaskSet {
+                var: None,
+                sel: TaskSel::Single(e),
+            });
+        }
+        Err(format!("expected a task set, got {:?}", self.peek()))
+    }
+
+    fn runs(&mut self) -> Result<Vec<TaskRun>, String> {
+        self.expect(&Tok::LBrace)?;
+        let mut runs = Vec::new();
+        loop {
+            let start = match self.next() {
+                Some(Tok::Num(n)) if n >= 0 => n as usize,
+                got => return Err(format!("expected run start, got {got:?}")),
+            };
+            let mut run = TaskRun {
+                start,
+                stride: 1,
+                count: 1,
+            };
+            if matches!(self.peek(), Some(Tok::Minus)) {
+                self.next();
+                let end = match self.next() {
+                    Some(Tok::Num(n)) if n >= 0 => n as usize,
+                    got => return Err(format!("expected run end, got {got:?}")),
+                };
+                let stride = if matches!(self.peek(), Some(Tok::Colon)) {
+                    self.next();
+                    match self.next() {
+                        Some(Tok::Num(n)) if n > 0 => n as usize,
+                        got => return Err(format!("expected stride, got {got:?}")),
+                    }
+                } else {
+                    1
+                };
+                if end < start {
+                    return Err(format!("run end {end} before start {start}"));
+                }
+                run.stride = stride;
+                run.count = (end - start) / stride + 1;
+            }
+            runs.push(run);
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RBrace) => break,
+                got => return Err(format!("expected , or }} in run set, got {got:?}")),
+            }
+        }
+        Ok(runs)
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, String> {
+        self.additive()
+    }
+
+    fn additive(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.next();
+                    lhs = Expr::add(lhs, self.multiplicative()?);
+                }
+                Some(Tok::Minus) => {
+                    self.next();
+                    lhs = Expr::sub(lhs, self.multiplicative()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.next();
+                    lhs = Expr::mul(lhs, self.primary()?);
+                }
+                Some(Tok::Slash) => {
+                    self.next();
+                    lhs = Expr::div(lhs, self.primary()?);
+                }
+                Some(Tok::Word(w)) if w == "MOD" => {
+                    self.next();
+                    lhs = Expr::modulo(lhs, self.primary()?);
+                }
+                Some(Tok::Word(w)) if w == "XOR" => {
+                    self.next();
+                    lhs = Expr::xor(lhs, self.primary()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, String> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Minus) => Ok(Expr::sub(Expr::num(0), self.primary()?)),
+            Some(Tok::Word(w)) if w == "NUM_TASKS" => Ok(Expr::NumTasks),
+            Some(Tok::Word(w)) if !is_keyword(&w) => Ok(Expr::Var(w)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            got => Err(format!("expected expression, got {got:?}")),
+        }
+    }
+
+    // -- conditions -----------------------------------------------------------
+
+    fn cond(&mut self) -> Result<Cond, String> {
+        let mut lhs = self.cond_and()?;
+        while self.eat_word("OR") {
+            lhs = Cond::Or(Box::new(lhs), Box::new(self.cond_and()?));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_and(&mut self) -> Result<Cond, String> {
+        let mut lhs = self.cond_not()?;
+        while self.eat_word("AND") {
+            lhs = Cond::And(Box::new(lhs), Box::new(self.cond_not()?));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_not(&mut self) -> Result<Cond, String> {
+        if self.eat_word("NOT") {
+            return Ok(Cond::Not(Box::new(self.cond_not()?)));
+        }
+        self.cond_primary()
+    }
+
+    fn cond_primary(&mut self) -> Result<Cond, String> {
+        // Try a parenthesised condition with backtracking.
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            let save = self.pos;
+            self.next();
+            if let Ok(c) = self.cond() {
+                if matches!(self.peek(), Some(Tok::RParen)) {
+                    self.next();
+                    return Ok(c);
+                }
+            }
+            self.pos = save; // fall back to expression comparison
+        }
+        let lhs = self.expr()?;
+        if self.eat_word("DIVIDES") {
+            let rhs = self.expr()?;
+            return Ok(Cond::Divides(lhs, rhs));
+        }
+        let op = match self.next() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            got => return Err(format!("expected comparison operator, got {got:?}")),
+        };
+        let rhs = self.expr()?;
+        Ok(Cond::Cmp(lhs, op, rhs))
+    }
+}
+
+/// Parse a program from text.
+pub fn parse(src: &str) -> Result<Program, String> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print;
+
+    fn round_trip(p: &Program) {
+        let text = print(p);
+        let back = parse(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(&back, p, "round trip mismatch for:\n{text}");
+    }
+
+    #[test]
+    fn round_trip_paper_example() {
+        let p = Program::new(vec![Stmt::For {
+            count: Expr::num(1000),
+            body: vec![
+                Stmt::ResetCounters,
+                Stmt::Send {
+                    src: TaskSet::all_bound("t"),
+                    dst: Expr::add(Expr::var("t"), Expr::num(1)),
+                    bytes: Expr::num(1024),
+                    tag: 0,
+                    is_async: true,
+                },
+                Stmt::Await {
+                    tasks: TaskSet::all(),
+                },
+                Stmt::Log {
+                    label: "Time (us)".into(),
+                },
+            ],
+        }]);
+        round_trip(&p);
+    }
+
+    #[test]
+    fn round_trip_all_statement_kinds() {
+        let p = Program {
+            header: vec!["generated".into(), "two lines".into()],
+            stmts: vec![
+                Stmt::DeclareGroup {
+                    name: "row0".into(),
+                    tasks: TaskSet::runs(
+                        vec![TaskRun {
+                            start: 0,
+                            stride: 1,
+                            count: 4,
+                        }],
+                        Some("t"),
+                    ),
+                },
+                Stmt::Compute {
+                    tasks: TaskSet::all(),
+                    amount: Expr::num(12345),
+                    unit: TimeUnit::Nanoseconds,
+                },
+                Stmt::Send {
+                    src: TaskSet::all_bound("t"),
+                    dst: Expr::modulo(Expr::add(Expr::var("t"), Expr::num(1)), Expr::NumTasks),
+                    bytes: Expr::num(2048),
+                    tag: 7,
+                    is_async: true,
+                },
+                Stmt::Receive {
+                    dst: TaskSet::all_bound("t"),
+                    src: Some(Expr::sub(Expr::var("t"), Expr::num(1))),
+                    bytes: Expr::num(2048),
+                    tag: 7,
+                    is_async: true,
+                },
+                Stmt::Receive {
+                    dst: TaskSet::single(Expr::num(0)),
+                    src: None,
+                    bytes: Expr::num(64),
+                    tag: 0,
+                    is_async: false,
+                },
+                Stmt::Await {
+                    tasks: TaskSet::all(),
+                },
+                Stmt::Sync {
+                    tasks: TaskSet::group("row0"),
+                },
+                Stmt::Multicast {
+                    root: Some(Expr::num(2)),
+                    tasks: TaskSet::all(),
+                    bytes: Expr::num(4096),
+                },
+                Stmt::Multicast {
+                    root: None,
+                    tasks: TaskSet::group("row0"),
+                    bytes: Expr::num(512),
+                },
+                Stmt::Reduce {
+                    tasks: TaskSet::all(),
+                    to: ReduceTo::All,
+                    bytes: Expr::num(8),
+                },
+                Stmt::Reduce {
+                    tasks: TaskSet::group("row0"),
+                    to: ReduceTo::Task(Expr::num(0)),
+                    bytes: Expr::num(8),
+                },
+                Stmt::If {
+                    cond: Cond::And(
+                        Box::new(Cond::Cmp(Expr::var("t"), CmpOp::Lt, Expr::num(4))),
+                        Box::new(Cond::Not(Box::new(Cond::Divides(
+                            Expr::num(3),
+                            Expr::var("t"),
+                        )))),
+                    ),
+                    then_: vec![Stmt::Sync {
+                        tasks: TaskSet::all(),
+                    }],
+                    else_: vec![Stmt::ResetCounters],
+                },
+                Stmt::ForEach {
+                    var: "i".into(),
+                    from: Expr::num(0),
+                    to: Expr::num(9),
+                    body: vec![Stmt::Compute {
+                        tasks: TaskSet::single(Expr::var("i")),
+                        amount: Expr::num(5),
+                        unit: TimeUnit::Microseconds,
+                    }],
+                },
+                Stmt::Comment("trailing note".into()),
+            ],
+        };
+        round_trip(&p);
+    }
+
+    #[test]
+    fn round_trip_nested_loops() {
+        let p = Program::new(vec![Stmt::For {
+            count: Expr::num(5),
+            body: vec![Stmt::For {
+                count: Expr::num(10),
+                body: vec![Stmt::Sync {
+                    tasks: TaskSet::all(),
+                }],
+            }],
+        }]);
+        round_trip(&p);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("FOR 10 REPETITIONS {").is_err());
+        assert!(parse("ALL TASKS FROB").is_err());
+        assert!(parse("TASK 0 SENDS A BYTE MESSAGE TO TASK 1").is_err());
+        assert!(parse("GROUP g IS").is_err());
+        assert!(parse("\"dangling").is_err());
+    }
+
+    #[test]
+    fn strided_set_round_trip() {
+        let p = Program::new(vec![Stmt::Reduce {
+            tasks: TaskSet::runs(
+                vec![
+                    TaskRun {
+                        start: 0,
+                        stride: 3,
+                        count: 4,
+                    },
+                    TaskRun {
+                        start: 20,
+                        stride: 1,
+                        count: 1,
+                    },
+                ],
+                Some("xyz"),
+            ),
+            to: ReduceTo::Task(Expr::num(0)),
+            bytes: Expr::num(8),
+        }]);
+        round_trip(&p);
+    }
+
+    #[test]
+    fn round_trip_partition() {
+        let p = Program::new(vec![
+            Stmt::Partition {
+                parent: None,
+                groups: vec![
+                    (
+                        "row0".into(),
+                        vec![TaskRun {
+                            start: 0,
+                            stride: 1,
+                            count: 4,
+                        }],
+                    ),
+                    (
+                        "row1".into(),
+                        vec![TaskRun {
+                            start: 4,
+                            stride: 1,
+                            count: 4,
+                        }],
+                    ),
+                ],
+            },
+            Stmt::Partition {
+                parent: Some("row0".into()),
+                groups: vec![
+                    (
+                        "evens".into(),
+                        vec![TaskRun {
+                            start: 0,
+                            stride: 2,
+                            count: 2,
+                        }],
+                    ),
+                    (
+                        "odds".into(),
+                        vec![TaskRun {
+                            start: 1,
+                            stride: 2,
+                            count: 2,
+                        }],
+                    ),
+                ],
+            },
+        ]);
+        round_trip(&p);
+    }
+
+    #[test]
+    fn group_subject_vs_declaration() {
+        let src = "GROUP g IS ALL TASKS\nGROUP g SYNCHRONIZE\n";
+        let p = parse(src).unwrap();
+        assert!(matches!(p.stmts[0], Stmt::DeclareGroup { .. }));
+        assert!(matches!(p.stmts[1], Stmt::Sync { .. }));
+    }
+
+    #[test]
+    fn negative_literal_via_unary_minus() {
+        let p = parse("ALL TASKS COMPUTE FOR -5 NANOSECONDS").unwrap();
+        let Stmt::Compute { amount, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(*amount, Expr::sub(Expr::num(0), Expr::num(5)));
+    }
+}

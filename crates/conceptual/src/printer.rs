@@ -1,0 +1,441 @@
+//! Pretty-printer: renders a [`Program`] as readable, English-like
+//! coNCePTuaL text. The output is the artifact the paper cares about —
+//! "highly readable … almost exclusively communication specifications" —
+//! and is exactly re-parseable by [`crate::parser`].
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Render a program to text.
+pub fn print(p: &Program) -> String {
+    let mut out = String::new();
+    for line in &p.header {
+        writeln!(out, "# {line}").unwrap();
+    }
+    if !p.header.is_empty() {
+        out.push('\n');
+    }
+    for s in &p.stmts {
+        print_stmt(&mut out, s, 0);
+    }
+    out
+}
+
+fn pad(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_block(out: &mut String, body: &[Stmt], depth: usize) {
+    for s in body {
+        print_stmt(out, s, depth);
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    pad(out, depth);
+    match s {
+        Stmt::Comment(text) => {
+            writeln!(out, "# {text}").unwrap();
+        }
+        Stmt::DeclareGroup { name, tasks } => {
+            writeln!(out, "GROUP {name} IS {}", task_set(tasks)).unwrap();
+        }
+        Stmt::Partition { parent, groups } => {
+            let subject = match parent {
+                Some(g) => format!("GROUP {g}"),
+                None => "ALL TASKS".to_string(),
+            };
+            let parts: Vec<String> = groups
+                .iter()
+                .map(|(name, runs)| format!("GROUP {name} = {}", runs_str(runs)))
+                .collect();
+            writeln!(out, "PARTITION {subject} INTO {}", parts.join(", ")).unwrap();
+        }
+        Stmt::For { count, body } => {
+            writeln!(out, "FOR {} REPETITIONS {{", expr(count)).unwrap();
+            print_block(out, body, depth + 1);
+            pad(out, depth);
+            writeln!(out, "}}").unwrap();
+        }
+        Stmt::ForEach {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            writeln!(
+                out,
+                "FOR EACH {var} IN {{{}, ..., {}}} {{",
+                expr(from),
+                expr(to)
+            )
+            .unwrap();
+            print_block(out, body, depth + 1);
+            pad(out, depth);
+            writeln!(out, "}}").unwrap();
+        }
+        Stmt::If { cond, then_, else_ } => {
+            writeln!(out, "IF {} THEN {{", cond_str(cond)).unwrap();
+            print_block(out, then_, depth + 1);
+            pad(out, depth);
+            if else_.is_empty() {
+                writeln!(out, "}}").unwrap();
+            } else {
+                writeln!(out, "}} OTHERWISE {{").unwrap();
+                print_block(out, else_, depth + 1);
+                pad(out, depth);
+                writeln!(out, "}}").unwrap();
+            }
+        }
+        Stmt::Compute {
+            tasks,
+            amount,
+            unit,
+        } => {
+            writeln!(
+                out,
+                "{} {} FOR {} {}",
+                task_set(tasks),
+                verb(tasks, "COMPUTE"),
+                expr(amount),
+                unit.keyword()
+            )
+            .unwrap();
+        }
+        Stmt::Send {
+            src,
+            dst,
+            bytes,
+            tag,
+            is_async,
+        } => {
+            writeln!(
+                out,
+                "{}{} {} A {} BYTE MESSAGE{} TO TASK {}",
+                task_set(src),
+                if *is_async { " ASYNCHRONOUSLY" } else { "" },
+                verb(src, "SEND"),
+                expr(bytes),
+                tag_str(*tag),
+                expr(dst)
+            )
+            .unwrap();
+        }
+        Stmt::Receive {
+            dst,
+            src,
+            bytes,
+            tag,
+            is_async,
+        } => {
+            let from = match src {
+                Some(e) => format!("TASK {}", expr(e)),
+                None => "ANY TASK".to_string(),
+            };
+            writeln!(
+                out,
+                "{}{} {} A {} BYTE MESSAGE{} FROM {}",
+                task_set(dst),
+                if *is_async { " ASYNCHRONOUSLY" } else { "" },
+                verb(dst, "RECEIVE"),
+                expr(bytes),
+                tag_str(*tag),
+                from
+            )
+            .unwrap();
+        }
+        Stmt::Await { tasks } => {
+            writeln!(out, "{} {} COMPLETION", task_set(tasks), verb(tasks, "AWAIT")).unwrap();
+        }
+        Stmt::Sync { tasks } => {
+            writeln!(out, "{} {}", task_set(tasks), verb(tasks, "SYNCHRONIZE")).unwrap();
+        }
+        Stmt::Multicast { root, tasks, bytes } => match root {
+            Some(r) => {
+                writeln!(
+                    out,
+                    "TASK {} MULTICASTS A {} BYTE MESSAGE TO {}",
+                    expr(r),
+                    expr(bytes),
+                    task_set(tasks)
+                )
+                .unwrap();
+            }
+            None => {
+                writeln!(
+                    out,
+                    "{} MULTICAST A {} BYTE MESSAGE TO EACH OTHER",
+                    task_set(tasks),
+                    expr(bytes)
+                )
+                .unwrap();
+            }
+        },
+        Stmt::Reduce { tasks, to, bytes } => {
+            let target = match to {
+                ReduceTo::Task(e) => format!("TASK {}", expr(e)),
+                ReduceTo::All => "ALL TASKS".to_string(),
+            };
+            writeln!(
+                out,
+                "{} {} A {} BYTE MESSAGE TO {}",
+                task_set(tasks),
+                verb(tasks, "REDUCE"),
+                expr(bytes),
+                target
+            )
+            .unwrap();
+        }
+        Stmt::ResetCounters => {
+            writeln!(out, "ALL TASKS RESET THEIR COUNTERS").unwrap();
+        }
+        Stmt::Log { label } => {
+            writeln!(out, "ALL TASKS LOG \"{label}\"").unwrap();
+        }
+    }
+}
+
+/// Singular subjects conjugate the verb ("TASK 0 COMPUTES …").
+fn verb(tasks: &TaskSet, base: &str) -> String {
+    match &tasks.sel {
+        TaskSel::Single(_) => {
+            if base == "SYNCHRONIZE" {
+                "SYNCHRONIZES".to_string()
+            } else {
+                format!("{base}S")
+            }
+        }
+        _ => base.to_string(),
+    }
+}
+
+fn tag_str(tag: i32) -> String {
+    if tag == 0 {
+        String::new()
+    } else {
+        format!(" WITH TAG {tag}")
+    }
+}
+
+/// Render a task set.
+pub fn task_set(ts: &TaskSet) -> String {
+    let var = ts.var.as_deref();
+    match &ts.sel {
+        TaskSel::All => match var {
+            Some(v) => format!("ALL TASKS {v}"),
+            None => "ALL TASKS".to_string(),
+        },
+        TaskSel::Single(e) => format!("TASK {}", expr(e)),
+        TaskSel::Runs(runs) => {
+            let v = var.unwrap_or("t");
+            format!("TASKS {v} SUCH THAT {v} IS IN {}", runs_str(runs))
+        }
+        TaskSel::Group(name) => format!("GROUP {name}"),
+    }
+}
+
+fn runs_str(runs: &[TaskRun]) -> String {
+    let mut s = String::from("{");
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        if r.count == 1 {
+            write!(s, "{}", r.start).unwrap();
+        } else if r.stride == 1 {
+            write!(s, "{}-{}", r.start, r.last()).unwrap();
+        } else {
+            write!(s, "{}-{}:{}", r.start, r.last(), r.stride).unwrap();
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Render an expression with minimal parentheses.
+pub fn expr(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+fn expr_prec(e: &Expr, min_prec: u8) -> String {
+    let (s, prec) = match e {
+        Expr::Num(v) => (v.to_string(), 3),
+        Expr::Var(v) => (v.clone(), 3),
+        Expr::NumTasks => ("NUM_TASKS".to_string(), 3),
+        Expr::Add(a, b) => (
+            format!("{} + {}", expr_prec(a, 1), expr_prec(b, 2)),
+            1,
+        ),
+        Expr::Sub(a, b) => (
+            format!("{} - {}", expr_prec(a, 1), expr_prec(b, 2)),
+            1,
+        ),
+        Expr::Mul(a, b) => (
+            format!("{} * {}", expr_prec(a, 2), expr_prec(b, 3)),
+            2,
+        ),
+        Expr::Div(a, b) => (
+            format!("{} / {}", expr_prec(a, 2), expr_prec(b, 3)),
+            2,
+        ),
+        Expr::Mod(a, b) => (
+            format!("{} MOD {}", expr_prec(a, 2), expr_prec(b, 3)),
+            2,
+        ),
+        Expr::Xor(a, b) => (
+            format!("{} XOR {}", expr_prec(a, 2), expr_prec(b, 3)),
+            2,
+        ),
+    };
+    if prec < min_prec {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn cond_str(c: &Cond) -> String {
+    cond_prec(c, 0)
+}
+
+fn cond_prec(c: &Cond, min_prec: u8) -> String {
+    let (s, prec) = match c {
+        Cond::Cmp(a, op, b) => (format!("{} {op} {}", expr(a), expr(b)), 3),
+        Cond::Divides(a, b) => (format!("{} DIVIDES {}", expr(a), expr(b)), 3),
+        Cond::Not(x) => (format!("NOT {}", cond_prec(x, 3)), 2),
+        Cond::And(a, b) => (
+            format!("{} AND {}", cond_prec(a, 2), cond_prec(b, 3)),
+            1,
+        ),
+        Cond::Or(a, b) => (
+            format!("{} OR {}", cond_prec(a, 1), cond_prec(b, 2)),
+            0,
+        ),
+    };
+    if prec < min_prec {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_style_program_prints() {
+        // the paper's §3.2 example, modulo our explicit units
+        let p = Program::new(vec![Stmt::For {
+            count: Expr::num(1000),
+            body: vec![
+                Stmt::ResetCounters,
+                Stmt::Send {
+                    src: TaskSet::all_bound("t"),
+                    dst: Expr::add(Expr::var("t"), Expr::num(1)),
+                    bytes: Expr::num(1024),
+                    tag: 0,
+                    is_async: true,
+                },
+                Stmt::Await {
+                    tasks: TaskSet::all(),
+                },
+                Stmt::Log {
+                    label: "Time (us)".into(),
+                },
+            ],
+        }]);
+        let text = print(&p);
+        assert!(text.contains("FOR 1000 REPETITIONS {"));
+        assert!(text.contains("ALL TASKS RESET THEIR COUNTERS"));
+        assert!(text.contains("ALL TASKS t ASYNCHRONOUSLY SEND A 1024 BYTE MESSAGE TO TASK t + 1"));
+        assert!(text.contains("ALL TASKS AWAIT COMPLETION"));
+        assert!(text.contains("ALL TASKS LOG \"Time (us)\""));
+    }
+
+    #[test]
+    fn such_that_example() {
+        // the paper's §4.1 example: "TASKS xyz SUCH THAT 3 DIVIDES xyz
+        // REDUCE A DOUBLEWORD TO TASK 0" — expressed with our run syntax
+        let s = Stmt::Reduce {
+            tasks: TaskSet::runs(
+                vec![TaskRun {
+                    start: 0,
+                    stride: 3,
+                    count: 4,
+                }],
+                Some("xyz"),
+            ),
+            to: ReduceTo::Task(Expr::num(0)),
+            bytes: Expr::num(8),
+        };
+        let text = print(&Program::new(vec![s]));
+        assert_eq!(
+            text.trim(),
+            "TASKS xyz SUCH THAT xyz IS IN {0-9:3} REDUCE A 8 BYTE MESSAGE TO TASK 0"
+        );
+    }
+
+    #[test]
+    fn singular_verbs() {
+        let s = Stmt::Compute {
+            tasks: TaskSet::single(Expr::num(0)),
+            amount: Expr::num(100),
+            unit: TimeUnit::Microseconds,
+        };
+        let text = print(&Program::new(vec![s]));
+        assert_eq!(text.trim(), "TASK 0 COMPUTES FOR 100 MICROSECONDS");
+    }
+
+    #[test]
+    fn expr_parenthesisation() {
+        let e = Expr::mul(Expr::add(Expr::var("t"), Expr::num(1)), Expr::num(2));
+        assert_eq!(expr(&e), "(t + 1) * 2");
+        let e2 = Expr::add(Expr::mul(Expr::var("t"), Expr::num(2)), Expr::num(1));
+        assert_eq!(expr(&e2), "t * 2 + 1");
+        let e3 = Expr::modulo(Expr::add(Expr::var("t"), Expr::num(1)), Expr::NumTasks);
+        assert_eq!(expr(&e3), "(t + 1) MOD NUM_TASKS");
+        let e4 = Expr::sub(Expr::num(10), Expr::sub(Expr::num(3), Expr::num(2)));
+        assert_eq!(expr(&e4), "10 - (3 - 2)");
+    }
+
+    #[test]
+    fn header_comments() {
+        let mut p = Program::new(vec![Stmt::ResetCounters]);
+        p.header.push("generated by benchgen".into());
+        let text = print(&p);
+        assert!(text.starts_with("# generated by benchgen\n"));
+    }
+
+    #[test]
+    fn wildcard_receive_prints_any_task() {
+        let s = Stmt::Receive {
+            dst: TaskSet::single(Expr::num(0)),
+            src: None,
+            bytes: Expr::num(64),
+            tag: 0,
+            is_async: false,
+        };
+        let text = print(&Program::new(vec![s]));
+        assert_eq!(text.trim(), "TASK 0 RECEIVES A 64 BYTE MESSAGE FROM ANY TASK");
+    }
+
+    #[test]
+    fn multicast_forms() {
+        let one = Stmt::Multicast {
+            root: Some(Expr::num(2)),
+            tasks: TaskSet::all(),
+            bytes: Expr::num(4096),
+        };
+        let many = Stmt::Multicast {
+            root: None,
+            tasks: TaskSet::all(),
+            bytes: Expr::num(512),
+        };
+        let text = print(&Program::new(vec![one, many]));
+        assert!(text.contains("TASK 2 MULTICASTS A 4096 BYTE MESSAGE TO ALL TASKS"));
+        assert!(text.contains("ALL TASKS MULTICAST A 512 BYTE MESSAGE TO EACH OTHER"));
+    }
+}

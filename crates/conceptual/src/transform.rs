@@ -1,0 +1,230 @@
+//! Programmatic program edits — the API face of the paper's "easy to
+//! modify" claim (§5.4: "we then modified the coNCePTuaL code to vary the
+//! time spent in all computation phases").
+//!
+//! These transforms operate on literal amounts (which is all the benchmark
+//! generator emits); symbolic expressions are left untouched.
+
+use crate::ast::{Expr, Program, Stmt};
+
+fn walk_stmts(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::For { body, .. } | Stmt::ForEach { body, .. } => walk_stmts(body, f),
+            Stmt::If { then_, else_, .. } => {
+                walk_stmts(then_, f);
+                walk_stmts(else_, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn scale_literal(e: &mut Expr, factor: f64) {
+    if let Expr::Num(v) = e {
+        *e = Expr::Num(((*v as f64) * factor).round().max(0.0) as i64);
+    }
+}
+
+/// Scale every `COMPUTE FOR` amount by `factor` (the paper's Figure 7
+/// experiment; 0.0 models infinitely fast processors).
+pub fn scale_compute(program: &Program, factor: f64) -> Program {
+    let mut p = program.clone();
+    walk_stmts(&mut p.stmts, &mut |s| {
+        if let Stmt::Compute { amount, .. } = s {
+            scale_literal(amount, factor);
+        }
+    });
+    p
+}
+
+/// Scale only the `COMPUTE FOR` statements whose literal duration lies in
+/// `[min_ns, max_ns]` — the paper's §5.4 refinement: "our BT experiment can
+/// easily be refined to utilize different speedup factors for different
+/// computational phases". Phases are distinguishable by magnitude (solver
+/// blocks vs. bookkeeping).
+pub fn scale_compute_in_band(
+    program: &Program,
+    min_ns: i64,
+    max_ns: i64,
+    factor: f64,
+) -> Program {
+    let mut p = program.clone();
+    walk_stmts(&mut p.stmts, &mut |s| {
+        if let Stmt::Compute { amount, .. } = s {
+            if let Expr::Num(v) = amount {
+                if (min_ns..=max_ns).contains(v) {
+                    scale_literal(amount, factor);
+                }
+            }
+        }
+    });
+    p
+}
+
+/// Scale every message/collective size by `factor` — what-if analysis for
+/// precision changes (e.g. double → single: 0.5) or decomposition changes.
+pub fn scale_message_sizes(program: &Program, factor: f64) -> Program {
+    let mut p = program.clone();
+    walk_stmts(&mut p.stmts, &mut |s| match s {
+        Stmt::Send { bytes, .. }
+        | Stmt::Receive { bytes, .. }
+        | Stmt::Multicast { bytes, .. }
+        | Stmt::Reduce { bytes, .. } => scale_literal(bytes, factor),
+        _ => {}
+    });
+    p
+}
+
+/// Scale every literal `FOR n REPETITIONS` count (shorten or lengthen the
+/// run without touching per-iteration structure).
+pub fn scale_repetitions(program: &Program, factor: f64) -> Program {
+    let mut p = program.clone();
+    walk_stmts(&mut p.stmts, &mut |s| {
+        if let Stmt::For { count, .. } = s {
+            scale_literal(count, factor);
+        }
+    });
+    p
+}
+
+/// Statement-count census used by what-if tooling and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Census {
+    /// COMPUTE statements.
+    pub computes: u64,
+    /// SEND statements.
+    pub sends: u64,
+    /// RECEIVE statements.
+    pub receives: u64,
+    /// SYNCHRONIZE/MULTICAST/REDUCE statements.
+    pub collectives: u64,
+    /// FOR / FOR EACH loops.
+    pub loops: u64,
+}
+
+/// Count the communication-relevant statements of a program.
+pub fn census(program: &Program) -> Census {
+    let mut c = Census::default();
+    let mut p = program.clone();
+    walk_stmts(&mut p.stmts, &mut |s| match s {
+        Stmt::Compute { .. } => c.computes += 1,
+        Stmt::Send { .. } => c.sends += 1,
+        Stmt::Receive { .. } => c.receives += 1,
+        Stmt::Sync { .. } | Stmt::Multicast { .. } | Stmt::Reduce { .. } => c.collectives += 1,
+        Stmt::For { .. } | Stmt::ForEach { .. } => c.loops += 1,
+        _ => {}
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{TaskSet, TimeUnit};
+
+    fn sample() -> Program {
+        Program::new(vec![Stmt::For {
+            count: Expr::num(100),
+            body: vec![
+                Stmt::Compute {
+                    tasks: TaskSet::all(),
+                    amount: Expr::num(1000),
+                    unit: TimeUnit::Nanoseconds,
+                },
+                Stmt::Send {
+                    src: TaskSet::all_bound("t"),
+                    dst: Expr::add(Expr::var("t"), Expr::num(1)),
+                    bytes: Expr::num(4096),
+                    tag: 0,
+                    is_async: true,
+                },
+                Stmt::Await {
+                    tasks: TaskSet::all(),
+                },
+            ],
+        }])
+    }
+
+    #[test]
+    fn compute_scaling_scales_only_compute() {
+        let p = scale_compute(&sample(), 0.25);
+        let Stmt::For { body, count } = &p.stmts[0] else { panic!() };
+        assert_eq!(*count, Expr::num(100), "loop counts untouched");
+        let Stmt::Compute { amount, .. } = &body[0] else { panic!() };
+        assert_eq!(*amount, Expr::num(250));
+        let Stmt::Send { bytes, .. } = &body[1] else { panic!() };
+        assert_eq!(*bytes, Expr::num(4096), "message sizes untouched");
+    }
+
+    #[test]
+    fn band_scaling_hits_only_the_band() {
+        let mut prog = sample();
+        prog.stmts.push(Stmt::Compute {
+            tasks: TaskSet::all(),
+            amount: Expr::num(50),
+            unit: TimeUnit::Nanoseconds,
+        });
+        // scale only the big phase (1000ns), leave the 50ns bookkeeping
+        let p = scale_compute_in_band(&prog, 500, 2000, 0.1);
+        let Stmt::For { body, .. } = &p.stmts[0] else { panic!() };
+        let Stmt::Compute { amount, .. } = &body[0] else { panic!() };
+        assert_eq!(*amount, Expr::num(100));
+        let Stmt::Compute { amount, .. } = &p.stmts[1] else { panic!() };
+        assert_eq!(*amount, Expr::num(50));
+    }
+
+    #[test]
+    fn zero_scaling_floors_at_zero() {
+        let p = scale_compute(&sample(), 0.0);
+        let Stmt::For { body, .. } = &p.stmts[0] else { panic!() };
+        let Stmt::Compute { amount, .. } = &body[0] else { panic!() };
+        assert_eq!(*amount, Expr::num(0));
+    }
+
+    #[test]
+    fn message_scaling_scales_only_bytes() {
+        let p = scale_message_sizes(&sample(), 2.0);
+        let Stmt::For { body, .. } = &p.stmts[0] else { panic!() };
+        let Stmt::Send { bytes, .. } = &body[1] else { panic!() };
+        assert_eq!(*bytes, Expr::num(8192));
+        let Stmt::Compute { amount, .. } = &body[0] else { panic!() };
+        assert_eq!(*amount, Expr::num(1000));
+    }
+
+    #[test]
+    fn repetition_scaling() {
+        let p = scale_repetitions(&sample(), 0.1);
+        let Stmt::For { count, .. } = &p.stmts[0] else { panic!() };
+        assert_eq!(*count, Expr::num(10));
+    }
+
+    #[test]
+    fn symbolic_expressions_are_preserved() {
+        let mut prog = sample();
+        prog.stmts.push(Stmt::Compute {
+            tasks: TaskSet::all(),
+            amount: Expr::mul(Expr::var("t"), Expr::num(5)),
+            unit: TimeUnit::Nanoseconds,
+        });
+        let p = scale_compute(&prog, 0.5);
+        let Stmt::Compute { amount, .. } = &p.stmts[1] else { panic!() };
+        assert_eq!(*amount, Expr::mul(Expr::var("t"), Expr::num(5)));
+    }
+
+    #[test]
+    fn census_counts() {
+        let c = census(&sample());
+        assert_eq!(
+            c,
+            Census {
+                computes: 1,
+                sends: 1,
+                receives: 0,
+                collectives: 0,
+                loops: 1
+            }
+        );
+    }
+}

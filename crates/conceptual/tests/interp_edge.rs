@@ -1,0 +1,151 @@
+//! Interpreter edge cases: multicast roots outside the subject set,
+//! group aliases, degenerate loops, counter semantics, and the auto-receive
+//! inversion for rank-dependent destinations.
+
+use conceptual::ast::*;
+use conceptual::interp::run_program;
+use conceptual::parser::parse;
+use mpisim::network;
+use mpisim::profile::MpiP;
+use mpisim::world::World;
+use std::sync::Arc;
+
+fn profile(src: &str, n: usize) -> MpiP {
+    let p = Arc::new(parse(src).unwrap());
+    let (_, hooks) = World::new(n)
+        .network(network::ideal())
+        .run_hooked(|_| MpiP::new(), move |ctx| {
+            conceptual::interp::run_rank(ctx, &p)
+        })
+        .unwrap();
+    MpiP::merge_all(hooks.iter())
+}
+
+#[test]
+fn multicast_root_outside_subject_set() {
+    // TASK 0 multicasts to {4-7}: participants are {0,4,5,6,7}
+    let src = r#"
+TASK 0 MULTICASTS A 512 BYTE MESSAGE TO TASKS t SUCH THAT t IS IN {4-7}
+"#;
+    let prof = profile(src, 8);
+    assert_eq!(prof.get("MPI_Bcast").calls, 5);
+    // the ad-hoc participant comm needs one world split in the prepass
+    assert_eq!(prof.get("MPI_Comm_split").calls, 8);
+}
+
+#[test]
+fn declare_group_alias_backs_collectives() {
+    let src = r#"
+GROUP workers IS TASKS t SUCH THAT t IS IN {1-7}
+GROUP workers SYNCHRONIZE
+GROUP workers REDUCE A 64 BYTE MESSAGE TO TASK 1
+"#;
+    let prof = profile(src, 8);
+    assert_eq!(prof.get("MPI_Barrier").calls, 7);
+    assert_eq!(prof.get("MPI_Reduce").calls, 7);
+    // alias groups get an ad-hoc comm via the prepass (one split)
+    assert_eq!(prof.get("MPI_Comm_split").calls, 8);
+}
+
+#[test]
+fn zero_and_negative_loops_run_zero_times() {
+    let src = r#"
+FOR 0 REPETITIONS {
+  ALL TASKS SYNCHRONIZE
+}
+FOR EACH i IN {5, ..., 2} {
+  ALL TASKS SYNCHRONIZE
+}
+"#;
+    let prof = profile(src, 4);
+    assert_eq!(prof.get("MPI_Barrier").calls, 0);
+}
+
+#[test]
+fn counters_reset_per_task() {
+    let src = r#"
+ALL TASKS COMPUTE FOR 100 MICROSECONDS
+ALL TASKS RESET THEIR COUNTERS
+ALL TASKS COMPUTE FOR 25 MICROSECONDS
+ALL TASKS LOG "window"
+"#;
+    let p = parse(src).unwrap();
+    let out = run_program(&p, 2, network::ideal()).unwrap();
+    assert_eq!(out.logs.len(), 2);
+    for log in &out.logs {
+        assert_eq!(log.elapsed.as_nanos(), 25_000, "elapsed is since reset");
+    }
+}
+
+#[test]
+fn implicit_receives_invert_rank_dependent_destinations() {
+    // senders {0,1} send to t+2: tasks 2 and 3 must auto-post receives
+    let src = r#"
+TASKS t SUCH THAT t IS IN {0-1} SEND A 99 BYTE MESSAGE TO TASK t + 2
+"#;
+    let prof = profile(src, 4);
+    assert_eq!(prof.get("MPI_Send").calls, 2);
+    assert_eq!(prof.get("MPI_Recv").calls, 2);
+    assert_eq!(prof.get("MPI_Recv").bytes, 198);
+}
+
+#[test]
+fn await_without_outstanding_ops_is_harmless() {
+    let src = r#"
+ALL TASKS AWAIT COMPLETION
+ALL TASKS SYNCHRONIZE
+"#;
+    let prof = profile(src, 4);
+    assert_eq!(prof.get("MPI_Waitall").calls, 0, "nothing to wait for");
+    assert_eq!(prof.get("MPI_Barrier").calls, 4);
+}
+
+#[test]
+fn if_inside_loop_uses_loop_variable() {
+    let src = r#"
+FOR EACH i IN {0, ..., 9} {
+  IF 2 DIVIDES i THEN {
+    ALL TASKS COMPUTE FOR 10 MICROSECONDS
+  } OTHERWISE {
+    ALL TASKS COMPUTE FOR 1 MICROSECONDS
+  }
+}
+"#;
+    let p = parse(src).unwrap();
+    let out = run_program(&p, 1, network::ideal()).unwrap();
+    // 5 even iterations x 10us + 5 odd x 1us = 55us
+    assert_eq!(out.total_time.as_nanos(), 55_000);
+}
+
+#[test]
+fn num_tasks_is_bound() {
+    let src = "ALL TASKS COMPUTE FOR NUM_TASKS MICROSECONDS\n";
+    let p = parse(src).unwrap();
+    let out = run_program(&p, 6, network::ideal()).unwrap();
+    assert_eq!(out.total_time.as_nanos(), 6_000);
+}
+
+#[test]
+fn xor_destinations_execute() {
+    let src = r#"
+ALL TASKS t ASYNCHRONOUSLY SEND A 64 BYTE MESSAGE TO TASK t XOR 1
+ALL TASKS AWAIT COMPLETION
+"#;
+    let prof = profile(src, 8);
+    assert_eq!(prof.get("MPI_Isend").calls, 8);
+    assert_eq!(prof.get("MPI_Irecv").calls, 8);
+}
+
+#[test]
+fn partition_groups_are_usable_immediately() {
+    let src = r#"
+PARTITION ALL TASKS INTO GROUP a = {0-1}, GROUP b = {2-3}
+GROUP a REDUCE A 8 BYTE MESSAGE TO ALL TASKS
+GROUP b SYNCHRONIZE
+GROUP a SYNCHRONIZE
+"#;
+    let prof = profile(src, 4);
+    assert_eq!(prof.get("MPI_Comm_split").calls, 4);
+    assert_eq!(prof.get("MPI_Allreduce").calls, 2);
+    assert_eq!(prof.get("MPI_Barrier").calls, 4);
+}

@@ -1,0 +1,221 @@
+//! Interpreter semantics: the MPI mapping of each statement kind, implicit
+//! vs explicit receives, partitions/groups, logging, and determinism.
+
+use conceptual::ast::*;
+use conceptual::interp::{run_program, run_program_on, RunError};
+use conceptual::parser::parse;
+use mpisim::network;
+use mpisim::profile::MpiP;
+use mpisim::world::World;
+use std::sync::Arc;
+
+/// Run a program and gather the merged mpiP profile of its execution.
+fn profile_of(program: &Program, n: usize) -> MpiP {
+    let program = Arc::new(program.clone());
+    let p2 = Arc::clone(&program);
+    let (_, hooks) = World::new(n)
+        .network(network::ideal())
+        .run_hooked(
+            |_| MpiP::new(),
+            move |ctx| {
+                let prog = Arc::clone(&p2);
+                // run through the public interpreter path: build an Exec by
+                // executing the program body in this rank context
+                conceptual::interp::run_rank(ctx, &prog);
+            },
+        )
+        .unwrap();
+    MpiP::merge_all(hooks.iter())
+}
+
+#[test]
+fn async_ring_maps_to_isend_irecv_waitall() {
+    let src = r#"
+FOR 5 REPETITIONS {
+  ALL TASKS t ASYNCHRONOUSLY SEND A 1024 BYTE MESSAGE TO TASK (t + 1) MOD NUM_TASKS
+  ALL TASKS AWAIT COMPLETION
+}
+"#;
+    let p = parse(src).unwrap();
+    let prof = profile_of(&p, 4);
+    assert_eq!(prof.get("MPI_Isend").calls, 4 * 5);
+    assert_eq!(prof.get("MPI_Isend").bytes, 4 * 5 * 1024);
+    // implicit receives: one irecv per send
+    assert_eq!(prof.get("MPI_Irecv").calls, 4 * 5);
+    assert_eq!(prof.get("MPI_Waitall").calls, 4 * 5);
+}
+
+#[test]
+fn explicit_receives_suppress_implicit_ones() {
+    let src = r#"
+ALL TASKS t ASYNCHRONOUSLY SEND A 64 BYTE MESSAGE TO TASK (t + 1) MOD NUM_TASKS
+ALL TASKS t ASYNCHRONOUSLY RECEIVE A 64 BYTE MESSAGE FROM TASK (t - 1) MOD NUM_TASKS
+ALL TASKS AWAIT COMPLETION
+"#;
+    let p = parse(src).unwrap();
+    assert!(p.has_explicit_receives());
+    let prof = profile_of(&p, 4);
+    assert_eq!(prof.get("MPI_Isend").calls, 4);
+    assert_eq!(prof.get("MPI_Irecv").calls, 4, "exactly the explicit receives");
+}
+
+#[test]
+fn wildcard_receive_from_any_task() {
+    let src = r#"
+IF t > 0 THEN {
+  TASK t SENDS A 32 BYTE MESSAGE TO TASK 0
+}
+TASKS r SUCH THAT r IS IN {0} RECEIVE A 32 BYTE MESSAGE FROM ANY TASK
+TASKS r SUCH THAT r IS IN {0} RECEIVE A 32 BYTE MESSAGE FROM ANY TASK
+TASKS r SUCH THAT r IS IN {0} RECEIVE A 32 BYTE MESSAGE FROM ANY TASK
+"#;
+    let p = parse(src).unwrap();
+    let prof = profile_of(&p, 4);
+    assert_eq!(prof.get("MPI_Send").calls, 3);
+    assert_eq!(prof.get("MPI_Recv").calls, 3);
+}
+
+#[test]
+fn collectives_map_to_mpi_equivalents() {
+    let src = r#"
+ALL TASKS SYNCHRONIZE
+TASK 2 MULTICASTS A 4096 BYTE MESSAGE TO ALL TASKS
+ALL TASKS REDUCE A 8 BYTE MESSAGE TO ALL TASKS
+ALL TASKS REDUCE A 8 BYTE MESSAGE TO TASK 0
+ALL TASKS MULTICAST A 512 BYTE MESSAGE TO EACH OTHER
+"#;
+    let p = parse(src).unwrap();
+    let prof = profile_of(&p, 4);
+    assert_eq!(prof.get("MPI_Barrier").calls, 4);
+    assert_eq!(prof.get("MPI_Bcast").calls, 4);
+    assert_eq!(prof.get("MPI_Allreduce").calls, 4);
+    assert_eq!(prof.get("MPI_Reduce").calls, 4);
+    assert_eq!(prof.get("MPI_Alltoall").calls, 4);
+    assert_eq!(prof.get("MPI_Alltoall").bytes, 4 * 512);
+}
+
+#[test]
+fn partition_creates_subcommunicators() {
+    let src = r#"
+PARTITION ALL TASKS INTO GROUP left = {0-3}, GROUP right = {4-7}
+GROUP left SYNCHRONIZE
+GROUP right REDUCE A 16 BYTE MESSAGE TO ALL TASKS
+"#;
+    let p = parse(src).unwrap();
+    let prof = profile_of(&p, 8);
+    assert_eq!(prof.get("MPI_Comm_split").calls, 8, "one split, all ranks");
+    assert_eq!(prof.get("MPI_Barrier").calls, 4, "only the left half");
+    assert_eq!(prof.get("MPI_Allreduce").calls, 4, "only the right half");
+}
+
+#[test]
+fn adhoc_collective_subset_works_via_prepass() {
+    let src = r#"
+TASKS t SUCH THAT t IS IN {0-6:2} SYNCHRONIZE
+"#;
+    let p = parse(src).unwrap();
+    let prof = profile_of(&p, 8);
+    // prepass: one world-wide split; then 4 tasks barrier
+    assert_eq!(prof.get("MPI_Comm_split").calls, 8);
+    assert_eq!(prof.get("MPI_Barrier").calls, 4);
+}
+
+#[test]
+fn logs_capture_elapsed_time() {
+    let src = r#"
+ALL TASKS RESET THEIR COUNTERS
+ALL TASKS COMPUTE FOR 250 MICROSECONDS
+ALL TASKS LOG "after compute"
+"#;
+    let p = parse(src).unwrap();
+    let out = run_program(&p, 3, network::ideal()).unwrap();
+    assert_eq!(out.logs.len(), 3);
+    for log in &out.logs {
+        assert_eq!(log.label, "after compute");
+        assert_eq!(log.elapsed.as_nanos(), 250_000);
+    }
+}
+
+#[test]
+fn for_each_binds_loop_variable() {
+    let src = r#"
+FOR EACH i IN {1, ..., 4} {
+  ALL TASKS COMPUTE FOR i MICROSECONDS
+}
+"#;
+    let p = parse(src).unwrap();
+    let out = run_program(&p, 2, network::ideal()).unwrap();
+    // 1+2+3+4 = 10 microseconds
+    assert_eq!(out.total_time.as_nanos(), 10_000);
+}
+
+#[test]
+fn if_condition_on_task_id() {
+    let src = r#"
+IF 2 DIVIDES t THEN {
+  ALL TASKS COMPUTE FOR 100 MICROSECONDS
+} OTHERWISE {
+  ALL TASKS COMPUTE FOR 50 MICROSECONDS
+}
+"#;
+    let p = parse(src).unwrap();
+    let out = run_program(&p, 4, network::ideal()).unwrap();
+    assert_eq!(out.report.per_rank_time[0].as_nanos(), 100_000);
+    assert_eq!(out.report.per_rank_time[1].as_nanos(), 50_000);
+    assert_eq!(out.report.per_rank_time[2].as_nanos(), 100_000);
+}
+
+#[test]
+fn validation_errors_are_surfaced() {
+    let src = "GROUP nope SYNCHRONIZE\n";
+    let p = parse(src).unwrap();
+    match run_program(&p, 4, network::ideal()) {
+        Err(RunError::Validation(errs)) => {
+            assert!(errs.iter().any(|e| e.contains("undeclared group")))
+        }
+        other => panic!("expected validation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let src = r#"
+FOR 20 REPETITIONS {
+  ALL TASKS t ASYNCHRONOUSLY SEND A 2048 BYTE MESSAGE TO TASK (t + 1) MOD NUM_TASKS
+  ALL TASKS t ASYNCHRONOUSLY SEND A 2048 BYTE MESSAGE TO TASK (t - 1) MOD NUM_TASKS
+  ALL TASKS COMPUTE FOR 77 MICROSECONDS
+  ALL TASKS AWAIT COMPLETION
+}
+ALL TASKS REDUCE A 8 BYTE MESSAGE TO ALL TASKS
+"#;
+    let p = parse(src).unwrap();
+    let a = run_program(&p, 8, network::ethernet_cluster()).unwrap();
+    let b = run_program(&p, 8, network::ethernet_cluster()).unwrap();
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.report.per_rank_time, b.report.per_rank_time);
+}
+
+#[test]
+fn run_on_custom_world() {
+    let src = "ALL TASKS SYNCHRONIZE\n";
+    let p = parse(src).unwrap();
+    let out = run_program_on(
+        &p,
+        World::new(4).network(network::blue_gene_l()),
+        4,
+    )
+    .unwrap();
+    assert_eq!(out.report.ranks, 4);
+}
+
+#[test]
+fn blocking_send_pairs_with_implicit_blocking_recv() {
+    // 0 sends to 1 with blocking semantics and no explicit receive
+    let src = r#"
+TASKS s SUCH THAT s IS IN {0} SEND A 128 BYTE MESSAGE TO TASK 1
+"#;
+    let p = parse(src).unwrap();
+    let prof = profile_of(&p, 2);
+    assert_eq!(prof.get("MPI_Send").calls, 1);
+    assert_eq!(prof.get("MPI_Recv").calls, 1);
+}

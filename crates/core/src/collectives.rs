@@ -1,0 +1,407 @@
+//! Table 1: mapping MPI collectives onto coNCePTuaL statements.
+//!
+//! coNCePTuaL is "not designed to exactly represent MPI features"
+//! (paper §4.2); each unsupported MPI collective is replaced with one or
+//! more statements representing a similar communication pattern (fan-in /
+//! fan-out) and data volume:
+//!
+//! | MPI collective   | coNCePTuaL implementation                              |
+//! |------------------|--------------------------------------------------------|
+//! | Allgather        | REDUCE + MULTICAST                                     |
+//! | Allgatherv       | REDUCE with averaged message size + MULTICAST          |
+//! | Alltoallv        | MULTICAST (many-to-many) with averaged message size    |
+//! | Gather           | REDUCE                                                 |
+//! | Gatherv          | REDUCE with averaged message size                      |
+//! | Reduce_scatter   | n many-to-one REDUCEs with different sizes and roots   |
+//! | Scatter          | MULTICAST                                              |
+//! | Scatterv         | MULTICAST with averaged message size                   |
+//!
+//! Barrier, Bcast, Reduce, Allreduce, and Alltoall have direct equivalents
+//! (SYNCHRONIZE, single-root MULTICAST, REDUCE TO TASK / TO ALL TASKS,
+//! many-to-many MULTICAST).
+
+use crate::taskset::{collective_bytes, taskset_of};
+use conceptual::ast::{Expr, ReduceTo, Stmt, TaskSet};
+use mpisim::types::CollKind;
+use scalatrace::params::{RankParam, ValParam};
+use scalatrace::rankset::RankSet;
+
+/// Outcome of mapping one collective RSD.
+pub struct MappedCollective {
+    /// The replacement statements, in order.
+    pub stmts: Vec<Stmt>,
+    /// Human-readable note when the mapping is approximate (size averaging,
+    /// shape substitution) — recorded in the generated header.
+    pub note: Option<String>,
+}
+
+/// Map one collective to statements. `ranks` must cover the communicator
+/// (guaranteed after Algorithm 1). `group` names the communicator's task
+/// group when it is a proper subset of the world.
+pub fn map_collective(
+    kind: CollKind,
+    ranks: &RankSet,
+    root: Option<&RankParam>,
+    bytes: &ValParam,
+    nranks: usize,
+    group: Option<&str>,
+) -> MappedCollective {
+    let participants = || -> TaskSet {
+        match group {
+            Some(g) => TaskSet::group(g),
+            None => taskset_of(ranks, nranks, false),
+        }
+    };
+    let root_expr = || -> Expr {
+        match root {
+            Some(RankParam::Const(c)) => Expr::num(*c as i64),
+            Some(other) => {
+                // collective roots are rank-independent by MPI semantics;
+                // a non-constant form can only arise from exotic traces.
+                Expr::num(other.eval(ranks.first().unwrap_or(0)) as i64)
+            }
+            None => Expr::num(ranks.first().unwrap_or(0) as i64),
+        }
+    };
+    let (vol, averaged) = collective_bytes(bytes, ranks);
+    let avg_note = |what: &str| {
+        averaged.then(|| format!("{what}: per-rank sizes averaged to {vol} bytes (Table 1)"))
+    };
+
+    match kind {
+        CollKind::Barrier => MappedCollective {
+            stmts: vec![Stmt::Sync {
+                tasks: participants(),
+            }],
+            note: None,
+        },
+        CollKind::Bcast => MappedCollective {
+            stmts: vec![Stmt::Multicast {
+                root: Some(root_expr()),
+                tasks: participants(),
+                bytes: Expr::num(vol as i64),
+            }],
+            note: avg_note("MPI_Bcast"),
+        },
+        CollKind::Reduce => MappedCollective {
+            stmts: vec![Stmt::Reduce {
+                tasks: participants(),
+                to: ReduceTo::Task(root_expr()),
+                bytes: Expr::num(vol as i64),
+            }],
+            note: avg_note("MPI_Reduce"),
+        },
+        CollKind::Allreduce => MappedCollective {
+            stmts: vec![Stmt::Reduce {
+                tasks: participants(),
+                to: ReduceTo::All,
+                bytes: Expr::num(vol as i64),
+            }],
+            note: avg_note("MPI_Allreduce"),
+        },
+        CollKind::Gather | CollKind::Gatherv => MappedCollective {
+            stmts: vec![Stmt::Reduce {
+                tasks: participants(),
+                to: ReduceTo::Task(root_expr()),
+                bytes: Expr::num(vol as i64),
+            }],
+            note: if kind == CollKind::Gatherv {
+                Some(format!(
+                    "MPI_Gatherv -> REDUCE with averaged message size ({vol} bytes)"
+                ))
+            } else {
+                Some("MPI_Gather -> REDUCE (Table 1)".to_string())
+            },
+        },
+        CollKind::Scatter | CollKind::Scatterv => MappedCollective {
+            stmts: vec![Stmt::Multicast {
+                root: Some(root_expr()),
+                tasks: participants(),
+                bytes: Expr::num(vol as i64),
+            }],
+            note: if kind == CollKind::Scatterv {
+                Some(format!(
+                    "MPI_Scatterv -> MULTICAST with averaged message size ({vol} bytes)"
+                ))
+            } else {
+                Some("MPI_Scatter -> MULTICAST (Table 1)".to_string())
+            },
+        },
+        CollKind::Allgather | CollKind::Allgatherv => {
+            let first = ranks.first().unwrap_or(0) as i64;
+            MappedCollective {
+                stmts: vec![
+                    Stmt::Reduce {
+                        tasks: participants(),
+                        to: ReduceTo::Task(Expr::num(first)),
+                        bytes: Expr::num(vol as i64),
+                    },
+                    Stmt::Multicast {
+                        root: Some(Expr::num(first)),
+                        tasks: participants(),
+                        bytes: Expr::num(vol as i64),
+                    },
+                ],
+                note: Some(if kind == CollKind::Allgatherv {
+                    format!(
+                        "MPI_Allgatherv -> REDUCE (averaged, {vol} bytes) + MULTICAST (Table 1)"
+                    )
+                } else {
+                    "MPI_Allgather -> REDUCE + MULTICAST (Table 1)".to_string()
+                }),
+            }
+        }
+        CollKind::Alltoall => MappedCollective {
+            stmts: vec![Stmt::Multicast {
+                root: None,
+                tasks: participants(),
+                bytes: Expr::num(vol as i64),
+            }],
+            note: avg_note("MPI_Alltoall"),
+        },
+        CollKind::Alltoallv => MappedCollective {
+            stmts: vec![Stmt::Multicast {
+                root: None,
+                tasks: participants(),
+                bytes: Expr::num(vol as i64),
+            }],
+            note: Some(format!(
+                "MPI_Alltoallv -> many-to-many MULTICAST with averaged message size ({vol} bytes, Table 1)"
+            )),
+        },
+        CollKind::ReduceScatter => {
+            // n many-to-one REDUCEs with different roots. With contiguous
+            // participants the n statements compress into one FOR EACH loop.
+            let n = ranks.len();
+            let contiguous = ranks.run_count() == 1 && ranks.runs()[0].stride == 1;
+            let per_root = vol / n.max(1) as u64;
+            let stmts = if contiguous {
+                let start = ranks.first().unwrap_or(0) as i64;
+                vec![Stmt::ForEach {
+                    var: "root".to_string(),
+                    from: Expr::num(start),
+                    to: Expr::num(start + n as i64 - 1),
+                    body: vec![Stmt::Reduce {
+                        tasks: participants(),
+                        to: ReduceTo::Task(Expr::var("root")),
+                        bytes: Expr::num(per_root as i64),
+                    }],
+                }]
+            } else {
+                ranks
+                    .iter()
+                    .map(|r| Stmt::Reduce {
+                        tasks: participants(),
+                        to: ReduceTo::Task(Expr::num(r as i64)),
+                        bytes: Expr::num(per_root as i64),
+                    })
+                    .collect()
+            };
+            MappedCollective {
+                stmts,
+                note: Some(format!(
+                    "MPI_Reduce_scatter -> {n} many-to-one REDUCEs ({per_root} bytes each, Table 1)"
+                )),
+            }
+        }
+        CollKind::Finalize => MappedCollective {
+            stmts: vec![
+                Stmt::Comment("MPI_Finalize".to_string()),
+                Stmt::Sync {
+                    tasks: participants(),
+                },
+            ],
+            note: None,
+        },
+        CollKind::CommSplit => unreachable!("CommSplit handled by the generator directly"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conceptual::printer::print;
+    use conceptual::Program;
+    use std::collections::BTreeMap;
+
+    fn render(m: MappedCollective) -> String {
+        print(&Program::new(m.stmts))
+    }
+
+    #[test]
+    fn barrier_is_synchronize() {
+        let m = map_collective(
+            CollKind::Barrier,
+            &RankSet::all(8),
+            None,
+            &ValParam::Const(0),
+            8,
+            None,
+        );
+        assert_eq!(render(m).trim(), "ALL TASKS SYNCHRONIZE");
+    }
+
+    #[test]
+    fn bcast_is_single_root_multicast() {
+        let m = map_collective(
+            CollKind::Bcast,
+            &RankSet::all(4),
+            Some(&RankParam::Const(2)),
+            &ValParam::Const(4096),
+            4,
+            None,
+        );
+        assert_eq!(
+            render(m).trim(),
+            "TASK 2 MULTICASTS A 4096 BYTE MESSAGE TO ALL TASKS"
+        );
+    }
+
+    #[test]
+    fn allgather_is_reduce_plus_multicast() {
+        let m = map_collective(
+            CollKind::Allgather,
+            &RankSet::all(4),
+            None,
+            &ValParam::Const(256),
+            4,
+            None,
+        );
+        let text = render(m);
+        assert!(text.contains("REDUCE A 256 BYTE MESSAGE TO TASK 0"));
+        assert!(text.contains("TASK 0 MULTICASTS A 256 BYTE MESSAGE TO ALL TASKS"));
+    }
+
+    #[test]
+    fn gatherv_averages_sizes() {
+        let table: BTreeMap<usize, u64> = [(0, 100), (1, 200), (2, 300), (3, 400)].into();
+        let m = map_collective(
+            CollKind::Gatherv,
+            &RankSet::all(4),
+            Some(&RankParam::Const(0)),
+            &ValParam::PerRank(table),
+            4,
+            None,
+        );
+        assert!(m.note.as_deref().unwrap().contains("averaged"));
+        assert!(render(m).contains("REDUCE A 250 BYTE MESSAGE TO TASK 0"));
+    }
+
+    #[test]
+    fn alltoallv_is_many_to_many_multicast() {
+        let m = map_collective(
+            CollKind::Alltoallv,
+            &RankSet::all(4),
+            None,
+            &ValParam::Const(1024),
+            4,
+            None,
+        );
+        assert_eq!(
+            render(m).trim(),
+            "ALL TASKS MULTICAST A 1024 BYTE MESSAGE TO EACH OTHER"
+        );
+    }
+
+    #[test]
+    fn reduce_scatter_unrolls_to_n_reduces() {
+        let m = map_collective(
+            CollKind::ReduceScatter,
+            &RankSet::all(4),
+            None,
+            &ValParam::Const(4096),
+            4,
+            None,
+        );
+        let text = render(m);
+        // contiguous participants compress into FOR EACH over roots
+        assert!(text.contains("FOR EACH root IN {0, ..., 3}"));
+        assert!(text.contains("REDUCE A 1024 BYTE MESSAGE TO TASK root"));
+    }
+
+    #[test]
+    fn reduce_scatter_non_contiguous_unrolls() {
+        // participants {0,2,4,6}: not a dense range, so no FOR EACH loop —
+        // one REDUCE per root, each with 1/n of the volume
+        let m = map_collective(
+            CollKind::ReduceScatter,
+            &RankSet::from_ranks([0, 2, 4, 6]),
+            None,
+            &ValParam::Const(4000),
+            8,
+            Some("g"),
+        );
+        assert_eq!(m.stmts.len(), 4);
+        let text = render(m);
+        for root in [0, 2, 4, 6] {
+            assert!(
+                text.contains(&format!("REDUCE A 1000 BYTE MESSAGE TO TASK {root}")),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn finalize_maps_to_barrier_with_provenance_comment() {
+        let m = map_collective(
+            CollKind::Finalize,
+            &RankSet::all(4),
+            None,
+            &ValParam::Const(0),
+            4,
+            None,
+        );
+        let text = render(m);
+        assert!(text.contains("# MPI_Finalize"));
+        assert!(text.contains("ALL TASKS SYNCHRONIZE"));
+    }
+
+    #[test]
+    fn scatterv_averages_and_notes() {
+        let table: BTreeMap<usize, u64> = [(0, 10), (1, 20), (2, 30), (3, 40)].into();
+        let m = map_collective(
+            CollKind::Scatterv,
+            &RankSet::all(4),
+            Some(&RankParam::Const(1)),
+            &ValParam::PerRank(table),
+            4,
+            None,
+        );
+        assert!(m.note.as_deref().unwrap().contains("averaged"));
+        assert!(render(m).contains("TASK 1 MULTICASTS A 25 BYTE MESSAGE TO ALL TASKS"));
+    }
+
+    #[test]
+    fn subset_collective_uses_group() {
+        let m = map_collective(
+            CollKind::Allreduce,
+            &RankSet::from_ranks([0, 1, 2, 3]),
+            None,
+            &ValParam::Const(8),
+            8,
+            Some("g1"),
+        );
+        assert_eq!(
+            render(m).trim(),
+            "GROUP g1 REDUCE A 8 BYTE MESSAGE TO ALL TASKS"
+        );
+    }
+
+    #[test]
+    fn every_mapped_kind_produces_statements() {
+        for &kind in CollKind::ALL {
+            if matches!(kind, CollKind::CommSplit) {
+                continue;
+            }
+            let m = map_collective(
+                kind,
+                &RankSet::all(4),
+                kind.rooted().then_some(&RankParam::Const(0)),
+                &ValParam::Const(64),
+                4,
+                None,
+            );
+            assert!(!m.stmts.is_empty(), "{kind} produced no statements");
+        }
+    }
+}

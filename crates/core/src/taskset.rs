@@ -1,0 +1,230 @@
+//! Conversions from trace-side representations (rank sets, rank-relative
+//! parameters) to DSL-side task sets and expressions.
+
+use conceptual::ast::{Expr, TaskRun, TaskSet};
+use scalatrace::params::{RankParam, ValParam};
+use scalatrace::rankset::RankSet;
+use std::collections::BTreeMap;
+
+/// The canonical task-variable binder used in generated code.
+pub const TASK_VAR: &str = "t";
+
+/// Convert a rank set to the most readable task-set form.
+pub fn taskset_of(ranks: &RankSet, nranks: usize, bind: bool) -> TaskSet {
+    if ranks.len() == nranks {
+        return TaskSet {
+            var: bind.then(|| TASK_VAR.to_string()),
+            sel: conceptual::ast::TaskSel::All,
+        };
+    }
+    if ranks.len() == 1 && !bind {
+        let r = ranks.first().expect("nonempty");
+        return TaskSet::single(Expr::num(r as i64));
+    }
+    // The SUCH THAT form always names its variable in printed text, so the
+    // binder is set regardless of `bind` (round-trip exactness).
+    TaskSet::runs(runs_of(ranks), Some(TASK_VAR))
+}
+
+/// Convert a `RankSet` into DSL task runs.
+pub fn runs_of(ranks: &RankSet) -> Vec<TaskRun> {
+    ranks
+        .runs()
+        .iter()
+        .map(|r| TaskRun {
+            start: r.start,
+            stride: r.stride,
+            count: r.count,
+        })
+        .collect()
+}
+
+/// Express a rank-relative peer parameter as an expression over the task
+/// binder. Callers must have grouped `PerRank` tables away beforehand
+/// (see [`p2p_groups`]).
+pub fn expr_of_rank_param(p: &RankParam) -> Expr {
+    match p {
+        RankParam::Const(c) => Expr::num(*c as i64),
+        RankParam::Offset(d) => offset_expr(*d),
+        RankParam::OffsetMod { offset, modulus } => Expr::modulo(
+            Expr::add(Expr::var(TASK_VAR), Expr::num(*offset)),
+            Expr::num(*modulus as i64),
+        ),
+        RankParam::Xor(mask) => Expr::xor(Expr::var(TASK_VAR), Expr::num(*mask as i64)),
+        RankParam::PerRank(_) => unreachable!("PerRank peers are grouped before emission"),
+    }
+}
+
+fn offset_expr(d: i64) -> Expr {
+    match d.cmp(&0) {
+        std::cmp::Ordering::Equal => Expr::var(TASK_VAR),
+        std::cmp::Ordering::Greater => Expr::add(Expr::var(TASK_VAR), Expr::num(d)),
+        std::cmp::Ordering::Less => Expr::sub(Expr::var(TASK_VAR), Expr::num(-d)),
+    }
+}
+
+/// A group of ranks that share concrete point-to-point parameters.
+pub struct P2pGroup {
+    /// The ranks in the group.
+    pub ranks: RankSet,
+    /// Peer expression for the group (rank-relative or constant).
+    pub peer: Option<Expr>,
+    /// Uniform message size for the group.
+    pub bytes: u64,
+}
+
+/// Split a point-to-point RSD's rank set into groups with uniform emitted
+/// parameters. If both the peer and the byte count are compressed
+/// (rank-relative or constant), a single group covering all ranks results;
+/// per-rank tables degrade into one group per distinct value combination —
+/// the paper's size/readability trade-off for irregular patterns.
+pub fn p2p_groups(
+    ranks: &RankSet,
+    peer: Option<&RankParam>,
+    bytes: &ValParam,
+) -> Vec<P2pGroup> {
+    let peer_compressed = peer.is_none_or(RankParam::is_compressed);
+    if peer_compressed && bytes.is_compressed() {
+        return vec![P2pGroup {
+            ranks: ranks.clone(),
+            peer: peer.map(expr_of_rank_param),
+            bytes: match bytes {
+                ValParam::Const(c) => *c,
+                ValParam::PerRank(_) => unreachable!("checked compressed"),
+            },
+        }];
+    }
+    // Group ranks by (peer value if tabulated, bytes value).
+    let mut groups: BTreeMap<(Option<usize>, u64), Vec<usize>> = BTreeMap::new();
+    for r in ranks.iter() {
+        let peer_key = match peer {
+            Some(RankParam::PerRank(_)) => Some(peer.unwrap().eval(r)),
+            _ => None,
+        };
+        groups
+            .entry((peer_key, bytes.eval(r)))
+            .or_default()
+            .push(r);
+    }
+    groups
+        .into_iter()
+        .map(|((peer_key, b), members)| P2pGroup {
+            ranks: RankSet::from_ranks(members),
+            peer: match (peer_key, peer) {
+                (Some(p), _) => Some(Expr::num(p as i64)),
+                (None, Some(p)) => Some(expr_of_rank_param(p)),
+                (None, None) => None,
+            },
+            bytes: b,
+        })
+        .collect()
+}
+
+/// Representative byte count for a collective RSD: exact when uniform,
+/// averaged otherwise (Table 1's "averaged message size" rule).
+pub fn collective_bytes(bytes: &ValParam, ranks: &RankSet) -> (u64, bool) {
+    match bytes {
+        ValParam::Const(c) => (*c, false),
+        ValParam::PerRank(_) => (bytes.mean_over(ranks), true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conceptual::printer;
+
+    #[test]
+    fn full_set_is_all_tasks() {
+        let ts = taskset_of(&RankSet::all(8), 8, true);
+        assert_eq!(printer::task_set(&ts), "ALL TASKS t");
+        let ts = taskset_of(&RankSet::all(8), 8, false);
+        assert_eq!(printer::task_set(&ts), "ALL TASKS");
+    }
+
+    #[test]
+    fn single_rank_unbound_is_task_n() {
+        let ts = taskset_of(&RankSet::single(3), 8, false);
+        assert_eq!(printer::task_set(&ts), "TASK 3");
+    }
+
+    #[test]
+    fn strided_subset_prints_such_that() {
+        let ts = taskset_of(&RankSet::from_ranks([0, 3, 6, 9]), 16, true);
+        assert_eq!(
+            printer::task_set(&ts),
+            "TASKS t SUCH THAT t IS IN {0-9:3}"
+        );
+    }
+
+    #[test]
+    fn rank_param_expressions() {
+        assert_eq!(printer::expr(&expr_of_rank_param(&RankParam::Const(5))), "5");
+        assert_eq!(printer::expr(&expr_of_rank_param(&RankParam::Offset(1))), "t + 1");
+        assert_eq!(printer::expr(&expr_of_rank_param(&RankParam::Offset(-2))), "t - 2");
+        assert_eq!(printer::expr(&expr_of_rank_param(&RankParam::Offset(0))), "t");
+        assert_eq!(
+            printer::expr(&expr_of_rank_param(&RankParam::OffsetMod {
+                offset: 1,
+                modulus: 8
+            })),
+            "(t + 1) MOD 8"
+        );
+    }
+
+    #[test]
+    fn xor_param_expression() {
+        assert_eq!(
+            printer::expr(&expr_of_rank_param(&RankParam::Xor(4))),
+            "t XOR 4"
+        );
+    }
+
+    #[test]
+    fn compressed_params_yield_one_group() {
+        let groups = p2p_groups(
+            &RankSet::all(8),
+            Some(&RankParam::Offset(1)),
+            &ValParam::Const(1024),
+        );
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].bytes, 1024);
+        assert_eq!(groups[0].ranks.len(), 8);
+    }
+
+    #[test]
+    fn per_rank_bytes_split_into_groups() {
+        let table: BTreeMap<usize, u64> = [(0, 100), (1, 200), (2, 100)].into();
+        let groups = p2p_groups(
+            &RankSet::from_ranks([0, 1, 2]),
+            Some(&RankParam::Const(3)),
+            &ValParam::PerRank(table),
+        );
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].bytes, 100);
+        assert_eq!(groups[0].ranks.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(groups[1].bytes, 200);
+    }
+
+    #[test]
+    fn per_rank_peers_split_into_groups() {
+        let table: BTreeMap<usize, usize> = [(0, 5), (1, 5), (2, 6)].into();
+        let groups = p2p_groups(
+            &RankSet::from_ranks([0, 1, 2]),
+            Some(&RankParam::PerRank(table)),
+            &ValParam::Const(64),
+        );
+        assert_eq!(groups.len(), 2);
+        assert_eq!(printer::expr(groups[0].peer.as_ref().unwrap()), "5");
+        assert_eq!(printer::expr(groups[1].peer.as_ref().unwrap()), "6");
+    }
+
+    #[test]
+    fn collective_bytes_averaging() {
+        let (b, avg) = collective_bytes(&ValParam::Const(512), &RankSet::all(4));
+        assert_eq!((b, avg), (512, false));
+        let table: BTreeMap<usize, u64> = [(0, 100), (1, 200), (2, 300), (3, 400)].into();
+        let (b, avg) = collective_bytes(&ValParam::PerRank(table), &RankSet::all(4));
+        assert_eq!((b, avg), (250, true));
+    }
+}

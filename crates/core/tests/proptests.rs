@@ -1,0 +1,171 @@
+//! Property-based end-to-end tests: random SPMD workloads go through the
+//! full trace → align → resolve → generate pipeline, and the generated
+//! benchmark must (a) validate and re-parse, (b) carry no wildcards, and
+//! (c) reproduce the original mpiP profile through the Table-1 mapping.
+
+use benchgen::verify::{compare_profiles, expected_profile};
+use benchgen::{generate, GenOptions};
+use mpisim::ctx::Ctx;
+use mpisim::network;
+use mpisim::profile::MpiP;
+use mpisim::time::SimDuration;
+use mpisim::types::{Src, TagSel};
+use mpisim::world::World;
+use proptest::prelude::*;
+use scalatrace::trace_app;
+use std::sync::Arc;
+
+/// One communication phase of a synthetic SPMD application.
+#[derive(Clone, Debug)]
+enum Phase {
+    /// Shifted ring exchange: irecv left, isend right, waitall.
+    Ring { bytes: u64, tag: i32 },
+    /// XOR-partner exchange.
+    Butterfly { dim: u8, bytes: u64 },
+    /// A collective from rank-parity-dependent call sites (Algorithm 1 bait).
+    SplitBarrier,
+    /// Fan-in to rank 0 with ANY_SOURCE receives (Algorithm 2 bait).
+    WildcardFanIn { bytes: u64 },
+    /// Pure computation.
+    Compute { usecs: u64 },
+    /// Allreduce.
+    Allreduce { bytes: u64 },
+}
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    prop_oneof![
+        ((1u64..8192), (0i32..4)).prop_map(|(bytes, tag)| Phase::Ring { bytes, tag }),
+        ((0u8..3), (1u64..4096)).prop_map(|(dim, bytes)| Phase::Butterfly { dim, bytes }),
+        Just(Phase::SplitBarrier),
+        (1u64..1024).prop_map(|bytes| Phase::WildcardFanIn { bytes }),
+        (1u64..500).prop_map(|usecs| Phase::Compute { usecs }),
+        (1u64..512).prop_map(|bytes| Phase::Allreduce { bytes }),
+    ]
+}
+
+fn run_phases(ctx: &mut Ctx, phases: &[Phase], reps: usize) {
+    let w = ctx.world();
+    let n = ctx.size();
+    let me = ctx.rank();
+    for _ in 0..reps {
+        for p in phases {
+            match p {
+                Phase::Ring { bytes, tag } => {
+                    let right = (me + 1) % n;
+                    let left = (me + n - 1) % n;
+                    let r = ctx.irecv(Src::Rank(left), TagSel::Is(*tag), *bytes, &w);
+                    let s = ctx.isend(right, *tag, *bytes, &w);
+                    ctx.waitall(&[r, s]);
+                }
+                Phase::Butterfly { dim, bytes } => {
+                    let partner = me ^ (1usize << (*dim as usize % n.trailing_zeros().max(1) as usize));
+                    if partner < n {
+                        let r = ctx.irecv(Src::Rank(partner), TagSel::Is(9), *bytes, &w);
+                        let s = ctx.isend(partner, 9, *bytes, &w);
+                        ctx.waitall(&[r, s]);
+                    }
+                }
+                Phase::SplitBarrier => {
+                    if me.is_multiple_of(2) {
+                        ctx.barrier(&w); // call site A
+                    } else {
+                        ctx.barrier(&w); // call site B
+                    }
+                }
+                Phase::WildcardFanIn { bytes } => {
+                    if me == 0 {
+                        for _ in 1..n {
+                            let _ = ctx.recv(Src::Any, TagSel::Is(5), *bytes, &w);
+                        }
+                    } else {
+                        ctx.send(0, 5, *bytes, &w);
+                    }
+                }
+                Phase::Compute { usecs } => {
+                    ctx.compute(SimDuration::from_usecs(*usecs));
+                }
+                Phase::Allreduce { bytes } => {
+                    ctx.allreduce(*bytes, &w);
+                }
+            }
+        }
+    }
+    ctx.finalize();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_invariants_hold_for_random_workloads(
+        phases in proptest::collection::vec(arb_phase(), 1..6),
+        reps in 1usize..4,
+    ) {
+        let n = 8;
+        let phases = Arc::new(phases);
+
+        // trace the synthetic application
+        let p1 = Arc::clone(&phases);
+        let traced = trace_app(n, network::ideal(), move |ctx| run_phases(ctx, &p1, reps))
+            .expect("workload runs");
+
+        // the full pipeline
+        let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
+
+        // (a) readable: re-parses exactly, validates
+        let text = conceptual::printer::print(&generated.program);
+        let parsed = conceptual::parser::parse(&text).expect("parses");
+        prop_assert_eq!(&parsed, &generated.program);
+        prop_assert!(conceptual::analyze::validate(&generated.program, n).is_empty());
+
+        // (b) no wildcard survives generation
+        prop_assert!(!text.contains("FROM ANY TASK"), "{}", text);
+
+        // (c) mpiP profiles match through the Table-1 mapping
+        let p2 = Arc::clone(&phases);
+        let (_, orig_hooks) = World::new(n)
+            .network(network::ideal())
+            .run_hooked(|_| MpiP::new(), move |ctx| run_phases(ctx, &p2, reps))
+            .expect("profiling run");
+        let orig = MpiP::merge_all(orig_hooks.iter());
+        let program = Arc::new(generated.program.clone());
+        let (_, gen_hooks) = World::new(n)
+            .network(network::ideal())
+            .run_hooked(
+                |_| MpiP::new(),
+                move |ctx| conceptual::interp::run_rank(ctx, &program),
+            )
+            .expect("generated benchmark runs");
+        let genp = MpiP::merge_all(gen_hooks.iter());
+        let errors = compare_profiles(&expected_profile(&orig, n), &genp, 0.02);
+        prop_assert!(errors.is_empty(), "profile mismatch: {:?}\n{}", errors, text);
+    }
+
+    /// Generated benchmarks are deterministic even when the source
+    /// application was not: the paper's reproducibility goal (§4.4). The
+    /// wildcard fan-in makes the application schedule-sensitive; the
+    /// generated benchmark must give bit-identical run reports across
+    /// repeated executions.
+    #[test]
+    fn generated_benchmarks_are_deterministic(bytes in 1u64..2048, reps in 1usize..4) {
+        let n = 8;
+        let traced = trace_app(n, network::ethernet_cluster(), move |ctx| {
+            run_phases(
+                ctx,
+                &[Phase::WildcardFanIn { bytes }, Phase::Ring { bytes, tag: 1 }],
+                reps,
+            )
+        })
+        .expect("runs");
+        let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
+        let run = || {
+            conceptual::interp::run_program(&generated.program, n, network::ethernet_cluster())
+                .expect("runs")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.report.per_rank_time, b.report.per_rank_time);
+        prop_assert_eq!(a.report.stats, b.report.stats);
+    }
+}

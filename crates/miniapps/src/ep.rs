@@ -1,0 +1,69 @@
+//! NPB EP (Embarrassingly Parallel) communication skeleton.
+//!
+//! EP generates Gaussian deviates independently on every rank; the only
+//! communication is a handful of `MPI_Allreduce` calls collecting the sums
+//! and annulus counts at the end. It anchors the compute-dominated end of
+//! Figure 6.
+
+use crate::util::{compute_phase, flops_time, is_pow2};
+use crate::{App, AppParams, Class};
+use mpisim::ctx::Ctx;
+
+fn pairs_log2(class: Class) -> u32 {
+    // published M parameter: S=24, W=25, A=28, B=30, C=32 — scaled down by
+    // 2^6 so a simulated run takes seconds, not hours
+    match class {
+        Class::S => 18,
+        Class::W => 19,
+        Class::A => 22,
+        Class::B => 24,
+        Class::C => 26,
+    }
+}
+
+/// Run the skeleton on one rank (called by the registry).
+pub fn run(ctx: &mut Ctx, params: &AppParams) {
+    let w = ctx.world();
+    let m = pairs_log2(params.class);
+    let pairs_per_rank = (1u64 << m) / ctx.size() as u64;
+    // ~30 flops per random pair (generation + rejection test)
+    let work = flops_time(pairs_per_rank as f64 * 30.0);
+    // EP batches in 2^10-pair chunks; model as a handful of phases so the
+    // trace carries loop structure rather than one opaque delay
+    let chunks = params.iters(16);
+    for c in 0..chunks {
+        compute_phase(ctx, params, work / chunks as u64, 0xe900, c as u64);
+    }
+    // global sums: sx, sy, and the 10 annulus counts
+    ctx.allreduce(8, &w);
+    ctx.allreduce(8, &w);
+    ctx.allreduce(10 * 8, &w);
+    ctx.finalize();
+}
+
+/// Registry entry for this application.
+pub const APP: App = App {
+    name: "ep",
+    description: "NPB EP: embarrassingly parallel, three final allreduces",
+    run,
+    valid_ranks: is_pow2,
+    fig6_ranks: &[16, 32, 64, 128],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::network;
+    use mpisim::world::World;
+
+    #[test]
+    fn communication_is_only_collectives() {
+        let params = AppParams::quick();
+        let report = World::new(8)
+            .network(network::blue_gene_l())
+            .run(move |ctx| run(ctx, &params))
+            .unwrap();
+        assert_eq!(report.stats.messages, 0);
+        assert_eq!(report.stats.collectives, 4); // 3 allreduce + finalize
+    }
+}

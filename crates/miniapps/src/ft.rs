@@ -1,0 +1,89 @@
+//! NPB FT (3-D FFT) communication skeleton.
+//!
+//! FT solves a PDE with forward/inverse 3-D FFTs; the distributed
+//! transpose between FFT stages is a global `MPI_Alltoall` moving the
+//! entire complex grid every iteration — the heaviest collective user in
+//! the suite. Each iteration also computes a checksum via `MPI_Allreduce`.
+//! Memory-bound in the original (§5.1).
+
+use crate::util::{compute_phase, is_pow2, mem_time};
+use crate::{App, AppParams, Class};
+use mpisim::ctx::Ctx;
+
+struct Config {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    iters: usize,
+}
+
+fn config(class: Class) -> Config {
+    // published grids: S=64^3, W=128x128x32, A=256x256x128, B=512x256x256,
+    // C=512^3; grid scaled /2 per dimension for B and C, iterations as
+    // published (6..20)
+    match class {
+        Class::S => Config { nx: 64, ny: 64, nz: 64, iters: 6 },
+        Class::W => Config { nx: 128, ny: 128, nz: 32, iters: 6 },
+        Class::A => Config { nx: 256, ny: 256, nz: 128, iters: 6 },
+        Class::B => Config { nx: 256, ny: 128, nz: 128, iters: 20 },
+        Class::C => Config { nx: 256, ny: 256, nz: 256, iters: 20 },
+    }
+}
+
+/// Run the skeleton on one rank (called by the registry).
+pub fn run(ctx: &mut Ctx, params: &AppParams) {
+    let cfg = config(params.class);
+    let iters = params.iters(cfg.iters);
+    let w = ctx.world();
+    let p = ctx.size() as u64;
+    let points = (cfg.nx * cfg.ny * cfg.nz) as u64;
+    // complex doubles: 16 bytes per point; each rank holds points/p
+    let local_bytes = points * 16 / p;
+    // FFT work: ~5 N log2 N flops over the local slab, memory-bound model
+    let fft_work = mem_time((local_bytes * 6) as f64);
+
+    // parameter broadcast
+    ctx.bcast(0, 6 * 8, &w);
+    // initial forward transform
+    compute_phase(ctx, params, fft_work, 0xf700, 0);
+    ctx.alltoall(local_bytes, &w);
+
+    for iter in 0..iters {
+        // evolve + inverse FFT stage 1 (local)
+        compute_phase(ctx, params, fft_work, 0xf710, iter as u64);
+        // distributed transpose
+        ctx.alltoall(local_bytes, &w);
+        // FFT stage 2 (local)
+        compute_phase(ctx, params, fft_work, 0xf720, iter as u64);
+        // checksum
+        ctx.allreduce(16, &w);
+    }
+    ctx.finalize();
+}
+
+/// Registry entry for this application.
+pub const APP: App = App {
+    name: "ft",
+    description: "NPB FT: 3-D FFT with global alltoall transposes",
+    run,
+    valid_ranks: is_pow2,
+    fig6_ranks: &[16, 32, 64, 128],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::network;
+    use mpisim::world::World;
+
+    #[test]
+    fn alltoall_dominates() {
+        let params = AppParams::quick();
+        let report = World::new(8)
+            .network(network::blue_gene_l())
+            .run(move |ctx| run(ctx, &params))
+            .unwrap();
+        // bcast + initial alltoall + 3x(alltoall+allreduce) + finalize
+        assert_eq!(report.stats.collectives, 1 + 1 + 3 * 2 + 1);
+    }
+}

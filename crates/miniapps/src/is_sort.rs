@@ -1,0 +1,95 @@
+//! NPB IS (Integer Sort) communication skeleton.
+//!
+//! IS bucket-sorts integer keys: every iteration computes local key
+//! histograms, `MPI_Allreduce`s the bucket sizes, then redistributes keys
+//! with `MPI_Alltoallv` — with *rank-dependent* volumes, since bucket
+//! occupancy varies across processes. That exercises the generator's
+//! Table 1 rule "Alltoallv → MULTICAST with averaged message size" and the
+//! per-rank parameter tables of the trace layer.
+
+use crate::util::{compute_phase, is_pow2, jittered, mem_time};
+use crate::{App, AppParams, Class};
+use mpisim::ctx::Ctx;
+
+struct Config {
+    /// log2 of total keys (published: S=16, W=20, A=23, B=25, C=27)
+    total_keys_log2: u32,
+    iters: usize,
+}
+
+fn config(class: Class) -> Config {
+    match class {
+        Class::S => Config { total_keys_log2: 16, iters: 10 },
+        Class::W => Config { total_keys_log2: 20, iters: 10 },
+        Class::A => Config { total_keys_log2: 23, iters: 10 },
+        Class::B => Config { total_keys_log2: 25, iters: 10 },
+        Class::C => Config { total_keys_log2: 27, iters: 10 },
+    }
+}
+
+/// Run the skeleton on one rank (called by the registry).
+pub fn run(ctx: &mut Ctx, params: &AppParams) {
+    let cfg = config(params.class);
+    let iters = params.iters(cfg.iters);
+    let w = ctx.world();
+    let p = ctx.size() as u64;
+    let keys_per_rank = (1u64 << cfg.total_keys_log2) / p;
+    let key_bytes = keys_per_rank * 4;
+    let rank = ctx.rank();
+
+    let count_work = mem_time((key_bytes * 3) as f64);
+    let sort_work = mem_time((key_bytes * 5) as f64);
+
+    for iter in 0..iters {
+        // local histogram
+        compute_phase(ctx, params, count_work, 0x1500, iter as u64);
+        // global bucket sizes (1024 buckets x 4 bytes)
+        ctx.allreduce(1024 * 4, &w);
+        // key redistribution: volume varies per rank with bucket skew
+        let skew = jittered(
+            mpisim::time::SimDuration::from_nanos(key_bytes),
+            0x1510,
+            rank,
+            iter as u64,
+            0.25,
+        )
+        .as_nanos();
+        ctx.alltoallv(skew, &w);
+        // local ranking of received keys
+        compute_phase(ctx, params, sort_work, 0x1520, iter as u64);
+    }
+    // full verification
+    ctx.allreduce(8, &w);
+    ctx.finalize();
+}
+
+/// Registry entry for this application.
+pub const APP: App = App {
+    name: "is",
+    description: "NPB IS: bucket sort with alltoallv of rank-dependent volumes",
+    run,
+    valid_ranks: is_pow2,
+    fig6_ranks: &[16, 32, 64, 128],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::network;
+    use mpisim::profile::MpiP;
+    use mpisim::world::World;
+
+    #[test]
+    fn alltoallv_volumes_differ_across_ranks() {
+        let params = AppParams::quick();
+        let (_, hooks) = World::new(4)
+            .network(network::blue_gene_l())
+            .run_hooked(|_| MpiP::new(), move |ctx| run(ctx, &params))
+            .unwrap();
+        let volumes: Vec<u64> = hooks.iter().map(|h| h.get("MPI_Alltoallv").bytes).collect();
+        assert!(
+            volumes.windows(2).any(|v| v[0] != v[1]),
+            "per-rank alltoallv volumes should differ: {volumes:?}"
+        );
+    }
+}

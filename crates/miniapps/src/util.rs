@@ -1,0 +1,181 @@
+//! Shared helpers: process grids, deterministic compute-time models.
+
+use crate::AppParams;
+use mpisim::ctx::Ctx;
+use mpisim::time::SimDuration;
+use mpisim::types::Fnv1a;
+
+/// Is `n` a perfect square?
+pub fn is_square(n: usize) -> bool {
+    let r = (n as f64).sqrt().round() as usize;
+    r * r == n
+}
+
+/// Is `n` a power of two?
+pub fn is_pow2(n: usize) -> bool {
+    n > 0 && n & (n - 1) == 0
+}
+
+/// Integer square root of a perfect square.
+pub fn isqrt(n: usize) -> usize {
+    let r = (n as f64).sqrt().round() as usize;
+    debug_assert_eq!(r * r, n);
+    r
+}
+
+/// Factor `n` into the most square `(rows, cols)` grid with `rows <= cols`.
+pub fn near_square_grid(n: usize) -> (usize, usize) {
+    let mut rows = (n as f64).sqrt().floor() as usize;
+    while rows > 1 && !n.is_multiple_of(rows) {
+        rows -= 1;
+    }
+    (rows.max(1), n / rows.max(1))
+}
+
+/// A 2-D process grid with row-major rank placement.
+#[derive(Clone, Copy, Debug)]
+pub struct Grid2d {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Grid2d {
+    /// A `rows x cols` grid.
+    pub fn new(rows: usize, cols: usize) -> Grid2d {
+        Grid2d { rows, cols }
+    }
+
+    /// The square grid for a perfect-square rank count.
+    pub fn square(n: usize) -> Grid2d {
+        let c = isqrt(n);
+        Grid2d { rows: c, cols: c }
+    }
+
+    /// `(row, col)` of `rank` (row-major).
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Rank at `(row, col)`.
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// Neighbour above, if any.
+    pub fn north(&self, rank: usize) -> Option<usize> {
+        let (r, c) = self.coords(rank);
+        (r > 0).then(|| self.rank_of(r - 1, c))
+    }
+
+    /// Neighbour below, if any.
+    pub fn south(&self, rank: usize) -> Option<usize> {
+        let (r, c) = self.coords(rank);
+        (r + 1 < self.rows).then(|| self.rank_of(r + 1, c))
+    }
+
+    /// Neighbour to the left, if any.
+    pub fn west(&self, rank: usize) -> Option<usize> {
+        let (r, c) = self.coords(rank);
+        (c > 0).then(|| self.rank_of(r, c - 1))
+    }
+
+    /// Neighbour to the right, if any.
+    pub fn east(&self, rank: usize) -> Option<usize> {
+        let (r, c) = self.coords(rank);
+        (c + 1 < self.cols).then(|| self.rank_of(r, c + 1))
+    }
+
+    /// Wrapping (torus) neighbour at offset `(dr, dc)`.
+    pub fn torus(&self, rank: usize, dr: isize, dc: isize) -> usize {
+        let (r, c) = self.coords(rank);
+        let r = (r as isize + dr).rem_euclid(self.rows as isize) as usize;
+        let c = (c as isize + dc).rem_euclid(self.cols as isize) as usize;
+        self.rank_of(r, c)
+    }
+}
+
+/// Deterministic per-rank jitter: scales `base` by `1 ± pct` using a hash of
+/// `(salt, rank, step)`. Gives the computation-time *variance* that
+/// ScalaTrace's histograms exist to absorb, without host-dependent noise.
+pub fn jittered(base: SimDuration, salt: u64, rank: usize, step: u64, pct: f64) -> SimDuration {
+    let mut h = Fnv1a::new();
+    h.write_u64(salt);
+    h.write_u64(rank as u64);
+    h.write_u64(step);
+    let unit = (h.finish() % 10_000) as f64 / 10_000.0; // [0,1)
+    let factor = 1.0 + pct * (2.0 * unit - 1.0);
+    base.scale(factor)
+}
+
+/// Perform one computation phase: `base` jittered per (rank, step), then
+/// scaled by the what-if knob.
+pub fn compute_phase(ctx: &mut Ctx, params: &AppParams, base: SimDuration, salt: u64, step: u64) {
+    let rank = ctx.rank();
+    let d = jittered(base, salt, rank, step, 0.10).scale(params.compute_scale);
+    ctx.compute(d);
+}
+
+/// Nanoseconds for `flops` floating-point operations at a fixed simulated
+/// core speed (1 GFLOP/s — a deliberately slow early-2010s core, matching
+/// the paper's Blue Gene/L era).
+pub fn flops_time(flops: f64) -> SimDuration {
+    SimDuration::from_secs_f64(flops / 1.0e9)
+}
+
+/// Nanoseconds for touching `bytes` of memory at a fixed simulated
+/// bandwidth (2 GB/s) — the model for the memory-bound kernels.
+pub fn mem_time(bytes: f64) -> SimDuration {
+    SimDuration::from_secs_f64(bytes / 2.0e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squares_and_powers() {
+        assert!(is_square(1) && is_square(64) && !is_square(48));
+        assert!(is_pow2(1) && is_pow2(64) && !is_pow2(48));
+        assert_eq!(isqrt(64), 8);
+    }
+
+    #[test]
+    fn near_square_factors() {
+        assert_eq!(near_square_grid(12), (3, 4));
+        assert_eq!(near_square_grid(16), (4, 4));
+        assert_eq!(near_square_grid(7), (1, 7));
+        assert_eq!(near_square_grid(24), (4, 6));
+    }
+
+    #[test]
+    fn grid_neighbors() {
+        let g = Grid2d::new(3, 4);
+        assert_eq!(g.coords(5), (1, 1));
+        assert_eq!(g.north(5), Some(1));
+        assert_eq!(g.south(5), Some(9));
+        assert_eq!(g.west(5), Some(4));
+        assert_eq!(g.east(5), Some(6));
+        assert_eq!(g.north(2), None);
+        assert_eq!(g.west(4), None);
+        assert_eq!(g.torus(0, -1, -1), g.rank_of(2, 3));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let base = SimDuration::from_usecs(100);
+        let a = jittered(base, 1, 3, 7, 0.1);
+        let b = jittered(base, 1, 3, 7, 0.1);
+        assert_eq!(a, b);
+        assert!(a.as_nanos() >= 90_000 && a.as_nanos() <= 110_000);
+        let c = jittered(base, 1, 4, 7, 0.1);
+        assert_ne!(a, c, "different ranks get different jitter (almost surely)");
+    }
+
+    #[test]
+    fn time_models() {
+        assert_eq!(flops_time(1e9).as_nanos(), 1_000_000_000);
+        assert_eq!(mem_time(2e9).as_nanos(), 1_000_000_000);
+    }
+}

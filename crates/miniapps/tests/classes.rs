@@ -1,0 +1,102 @@
+//! Every application must run at every problem class (with bounded
+//! iterations) and respect its rank-count constraints and the compute-scale
+//! knob.
+
+use miniapps::{registry, AppParams, Class};
+use mpisim::network;
+use mpisim::world::World;
+
+const CLASSES: [Class; 5] = [Class::S, Class::W, Class::A, Class::B, Class::C];
+
+#[test]
+fn every_app_runs_at_every_class() {
+    for app in registry::all() {
+        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        for class in CLASSES {
+            let params = AppParams {
+                class,
+                iterations: Some(2), // bound the work; sizes still vary by class
+                compute_scale: 1.0,
+            };
+            let report = World::new(ranks)
+                .network(network::blue_gene_l())
+                .run(move |ctx| (app.run)(ctx, &params))
+                .unwrap_or_else(|e| panic!("{} class {} failed: {e}", app.name, class.name()));
+            assert!(
+                report.total_time.as_nanos() > 0,
+                "{} class {}",
+                app.name,
+                class.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn larger_classes_move_more_bytes() {
+    // message volume must grow with the problem class (sanity of the class
+    // tables); checked on a communication-heavy app
+    let app = registry::lookup("ft").unwrap();
+    let volume = |class: Class| {
+        let params = AppParams {
+            class,
+            iterations: Some(2),
+            compute_scale: 1.0,
+        };
+        let (_, hooks) = World::new(8)
+            .network(network::ideal())
+            .run_hooked(
+                |_| mpisim::profile::MpiP::new(),
+                move |ctx| (app.run)(ctx, &params),
+            )
+            .unwrap();
+        mpisim::profile::MpiP::merge_all(hooks.iter()).total_bytes()
+    };
+    assert!(volume(Class::A) > volume(Class::S));
+    assert!(volume(Class::C) > volume(Class::A));
+}
+
+#[test]
+fn compute_scale_zero_still_completes() {
+    // the Figure 7 workflow drives compute to 0; every app must tolerate it
+    for app in registry::all() {
+        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let params = AppParams {
+            class: Class::S,
+            iterations: Some(2),
+            compute_scale: 0.0,
+        };
+        World::new(ranks)
+            .network(network::ethernet_cluster())
+            .run(move |ctx| (app.run)(ctx, &params))
+            .unwrap_or_else(|e| panic!("{} at compute_scale=0 failed: {e}", app.name));
+    }
+}
+
+#[test]
+fn invalid_rank_counts_are_rejected_by_metadata() {
+    let bt = registry::lookup("bt").unwrap();
+    assert!(!(bt.valid_ranks)(7), "bt needs square counts");
+    assert!((bt.valid_ranks)(49));
+    let cg = registry::lookup("cg").unwrap();
+    assert!(!(cg.valid_ranks)(12), "cg needs powers of two");
+    assert!((cg.valid_ranks)(64));
+}
+
+#[test]
+fn deterministic_across_identical_runs_all_apps() {
+    for app in registry::all() {
+        let ranks = [8, 9].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let go = || {
+            let params = AppParams::quick();
+            World::new(ranks)
+                .network(network::blue_gene_l())
+                .run(move |ctx| (app.run)(ctx, &params))
+                .unwrap()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.total_time, b.total_time, "{}", app.name);
+        assert_eq!(a.stats, b.stats, "{}", app.name);
+    }
+}

@@ -1,0 +1,495 @@
+//! `Ctx` — the MPI-like API surface a rank program uses.
+//!
+//! Peers and roots are passed *communicator-relative* (as in MPI) and
+//! translated to absolute world ranks at this boundary; everything behind it
+//! (engine, hooks, [`crate::types::MsgInfo`]) speaks absolute ranks.
+//!
+//! Every operation is `#[track_caller]`, so the recorded call site is the
+//! application source line — the analogue of the ScalaTrace stack signature
+//! that the benchmark generator uses to distinguish call sites.
+
+use crate::comm::{Comm, CommId};
+use crate::engine::{Op, Reply, Request};
+use crate::error::SimError;
+use crate::hooks::{Event, EventKind, Hook};
+use crate::time::{SimDuration, SimTime};
+use crate::types::{CallSite, CollKind, Fnv1a, MsgInfo, Rank, ReqHandle, Src, Tag, TagSel};
+use crossbeam::channel::{Receiver, Sender};
+use std::panic::Location;
+
+/// Panic payload used for quiet teardown when the engine aborts a run; the
+/// panic hook installed by [`crate::world::World`] suppresses its output.
+pub struct SimAbort;
+
+/// Per-rank execution context.
+pub struct Ctx {
+    rank: Rank,
+    n: usize,
+    world: Comm,
+    req_tx: Sender<Request>,
+    reply_rx: Receiver<Reply>,
+    clock: SimTime,
+    hook: Option<Box<dyn Hook>>,
+    regions: Vec<&'static str>,
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        rank: Rank,
+        n: usize,
+        req_tx: Sender<Request>,
+        reply_rx: Receiver<Reply>,
+        hook: Option<Box<dyn Hook>>,
+    ) -> Ctx {
+        Ctx {
+            rank,
+            n,
+            world: Comm::world(rank, n),
+            req_tx,
+            reply_rx,
+            clock: SimTime::ZERO,
+            hook,
+            regions: Vec::new(),
+        }
+    }
+
+    /// This rank's absolute (world) rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Comm {
+        self.world.clone()
+    }
+
+    /// Current virtual time on this rank.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Advance virtual time by `d` — the stand-in for application
+    /// computation between MPI calls.
+    pub fn compute(&mut self, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        match self.call(Op::Compute(d)) {
+            Reply::Time(t) => self.clock = t,
+            other => self.protocol_error("compute", &other),
+        }
+    }
+
+    // -- point-to-point -----------------------------------------------------
+
+    /// Nonblocking send of `bytes` to communicator rank `to`.
+    #[track_caller]
+    pub fn isend(&mut self, to: usize, tag: Tag, bytes: u64, comm: &Comm) -> ReqHandle {
+        let site = caller();
+        let t_enter = self.clock;
+        let abs = comm.translate(to);
+        let h = self.raw_isend(abs, tag, bytes, comm.id);
+        self.emit(
+            EventKind::Send {
+                to: abs,
+                tag,
+                bytes,
+                comm: comm.id,
+                blocking: false,
+            },
+            site,
+            t_enter,
+        );
+        h
+    }
+
+    /// Nonblocking receive of `bytes` from communicator rank `from` (or
+    /// [`Src::Any`] for `MPI_ANY_SOURCE`).
+    #[track_caller]
+    pub fn irecv(&mut self, from: Src, tag: TagSel, bytes: u64, comm: &Comm) -> ReqHandle {
+        let site = caller();
+        let t_enter = self.clock;
+        let abs_from = self.translate_src(from, comm);
+        let h = self.raw_irecv(abs_from, tag, bytes, comm.id);
+        self.emit(
+            EventKind::Recv {
+                from: abs_from,
+                tag,
+                bytes,
+                comm: comm.id,
+                blocking: false,
+            },
+            site,
+            t_enter,
+        );
+        h
+    }
+
+    /// Blocking send (internally isend + wait, reported as one `MPI_Send`).
+    #[track_caller]
+    pub fn send(&mut self, to: usize, tag: Tag, bytes: u64, comm: &Comm) {
+        let site = caller();
+        let t_enter = self.clock;
+        let abs = comm.translate(to);
+        let h = self.raw_isend(abs, tag, bytes, comm.id);
+        self.raw_wait(vec![h.0]);
+        self.emit(
+            EventKind::Send {
+                to: abs,
+                tag,
+                bytes,
+                comm: comm.id,
+                blocking: true,
+            },
+            site,
+            t_enter,
+        );
+    }
+
+    /// Blocking receive; returns the resolved status (absolute source rank).
+    #[track_caller]
+    pub fn recv(&mut self, from: Src, tag: TagSel, bytes: u64, comm: &Comm) -> MsgInfo {
+        let site = caller();
+        let t_enter = self.clock;
+        let abs_from = self.translate_src(from, comm);
+        let h = self.raw_irecv(abs_from, tag, bytes, comm.id);
+        let infos = self.raw_wait(vec![h.0]);
+        self.emit(
+            EventKind::Recv {
+                from: abs_from,
+                tag,
+                bytes,
+                comm: comm.id,
+                blocking: true,
+            },
+            site,
+            t_enter,
+        );
+        infos[0].expect("receive completes with a status")
+    }
+
+    /// Wait for one request; `Some(status)` if it was a receive.
+    #[track_caller]
+    pub fn wait(&mut self, h: ReqHandle) -> Option<MsgInfo> {
+        let site = caller();
+        let t_enter = self.clock;
+        let infos = self.raw_wait(vec![h.0]);
+        self.emit(EventKind::Wait { count: 1 }, site, t_enter);
+        infos[0]
+    }
+
+    /// Wait for all listed requests; statuses are returned in request order
+    /// (`Some` for receives).
+    #[track_caller]
+    pub fn waitall(&mut self, hs: &[ReqHandle]) -> Vec<Option<MsgInfo>> {
+        let site = caller();
+        let t_enter = self.clock;
+        let infos = self.raw_wait(hs.iter().map(|h| h.0).collect());
+        self.emit(EventKind::Wait { count: hs.len() }, site, t_enter);
+        infos
+    }
+
+    // -- collectives ----------------------------------------------------------
+    //
+    // For every collective, `bytes` is this rank's local contribution (the
+    // quantity an mpiP-style profiler attributes to the rank); the engine
+    // sums contributions for the aggregate cost model.
+
+    /// `MPI_Barrier` over `comm`.
+    #[track_caller]
+    pub fn barrier(&mut self, comm: &Comm) {
+        self.collective(CollKind::Barrier, comm, None, 0, caller());
+    }
+
+    /// `MPI_Bcast`: `root` (communicator-relative) sends `bytes` to every member.
+    #[track_caller]
+    pub fn bcast(&mut self, root: usize, bytes: u64, comm: &Comm) {
+        let root = comm.translate(root);
+        self.collective(CollKind::Bcast, comm, Some(root), bytes, caller());
+    }
+
+    /// `MPI_Reduce` of `bytes` per member to communicator-relative `root`.
+    #[track_caller]
+    pub fn reduce(&mut self, root: usize, bytes: u64, comm: &Comm) {
+        let root = comm.translate(root);
+        self.collective(CollKind::Reduce, comm, Some(root), bytes, caller());
+    }
+
+    /// `MPI_Allreduce` of `bytes` per member.
+    #[track_caller]
+    pub fn allreduce(&mut self, bytes: u64, comm: &Comm) {
+        self.collective(CollKind::Allreduce, comm, None, bytes, caller());
+    }
+
+    /// `MPI_Gather`: every member contributes `bytes` to `root`.
+    #[track_caller]
+    pub fn gather(&mut self, root: usize, bytes: u64, comm: &Comm) {
+        let root = comm.translate(root);
+        self.collective(CollKind::Gather, comm, Some(root), bytes, caller());
+    }
+
+    /// `MPI_Gatherv`: this member contributes its own `bytes` to `root`.
+    #[track_caller]
+    pub fn gatherv(&mut self, root: usize, bytes: u64, comm: &Comm) {
+        let root = comm.translate(root);
+        self.collective(CollKind::Gatherv, comm, Some(root), bytes, caller());
+    }
+
+    /// `MPI_Scatter`: `root` distributes `bytes` to each member.
+    #[track_caller]
+    pub fn scatter(&mut self, root: usize, bytes: u64, comm: &Comm) {
+        let root = comm.translate(root);
+        self.collective(CollKind::Scatter, comm, Some(root), bytes, caller());
+    }
+
+    /// `MPI_Scatterv`: this member receives its own `bytes` from `root`.
+    #[track_caller]
+    pub fn scatterv(&mut self, root: usize, bytes: u64, comm: &Comm) {
+        let root = comm.translate(root);
+        self.collective(CollKind::Scatterv, comm, Some(root), bytes, caller());
+    }
+
+    /// `MPI_Allgather` with per-member contribution `bytes`.
+    #[track_caller]
+    pub fn allgather(&mut self, bytes: u64, comm: &Comm) {
+        self.collective(CollKind::Allgather, comm, None, bytes, caller());
+    }
+
+    /// `MPI_Allgatherv` with this member's contribution `bytes`.
+    #[track_caller]
+    pub fn allgatherv(&mut self, bytes: u64, comm: &Comm) {
+        self.collective(CollKind::Allgatherv, comm, None, bytes, caller());
+    }
+
+    /// `MPI_Alltoall`; `bytes` is this member's total outgoing volume.
+    #[track_caller]
+    pub fn alltoall(&mut self, bytes: u64, comm: &Comm) {
+        self.collective(CollKind::Alltoall, comm, None, bytes, caller());
+    }
+
+    /// `MPI_Alltoallv`; `bytes` is this member's total outgoing volume.
+    #[track_caller]
+    pub fn alltoallv(&mut self, bytes: u64, comm: &Comm) {
+        self.collective(CollKind::Alltoallv, comm, None, bytes, caller());
+    }
+
+    /// `MPI_Reduce_scatter` with this member's contribution `bytes`.
+    #[track_caller]
+    pub fn reduce_scatter(&mut self, bytes: u64, comm: &Comm) {
+        self.collective(CollKind::ReduceScatter, comm, None, bytes, caller());
+    }
+
+    /// `MPI_Finalize`, synchronising the world communicator (and, as in the
+    /// paper's algorithms, treated as a collective).
+    #[track_caller]
+    pub fn finalize(&mut self) {
+        let world = self.world();
+        self.collective(CollKind::Finalize, &world, None, 0, caller());
+    }
+
+    /// `MPI_Comm_dup`: a new communicator with identical membership and
+    /// numbering (realised as a colour-0 split keyed by the current rank).
+    #[track_caller]
+    pub fn comm_dup(&mut self, comm: &Comm) -> Comm {
+        self.comm_split(comm, 0, comm.rank as i64)
+    }
+
+    /// `MPI_Comm_split` over `comm` with this rank's `(color, key)`.
+    #[track_caller]
+    pub fn comm_split(&mut self, comm: &Comm, color: i64, key: i64) -> Comm {
+        let site = caller();
+        let t_enter = self.clock;
+        let reply = self.call(Op::Coll {
+            kind: CollKind::CommSplit,
+            comm: comm.id,
+            root: None,
+            bytes: 0,
+            split: Some((color, key)),
+        });
+        match reply {
+            Reply::CommCreated { clock, comm: new } => {
+                self.clock = clock;
+                self.emit(
+                    EventKind::CommSplit {
+                        parent: comm.id,
+                        result: new.id,
+                        members: new.members.clone(),
+                    },
+                    site,
+                    t_enter,
+                );
+                new
+            }
+            other => self.protocol_error("comm_split", &other),
+        }
+    }
+
+    // -- regions (stack-signature structure) ------------------------------------
+
+    /// Run `f` inside a named region. Region names participate in the stack
+    /// signature attached to every event, modelling deeper call paths than
+    /// the immediate call site.
+    pub fn region<R>(&mut self, name: &'static str, f: impl FnOnce(&mut Ctx) -> R) -> R {
+        self.regions.push(name);
+        let r = f(self);
+        self.regions.pop();
+        r
+    }
+
+    // -- internals ----------------------------------------------------------------
+
+    fn translate_src(&self, from: Src, comm: &Comm) -> Src {
+        match from {
+            Src::Rank(rel) => Src::Rank(comm.translate(rel)),
+            Src::Any => Src::Any,
+        }
+    }
+
+    fn collective(
+        &mut self,
+        kind: CollKind,
+        comm: &Comm,
+        root: Option<Rank>,
+        bytes: u64,
+        site: CallSite,
+    ) {
+        let t_enter = self.clock;
+        let reply = self.call(Op::Coll {
+            kind,
+            comm: comm.id,
+            root,
+            bytes,
+            split: None,
+        });
+        match reply {
+            Reply::Time(t) => self.clock = t,
+            other => self.protocol_error("collective", &other),
+        }
+        self.emit(
+            EventKind::Coll {
+                kind,
+                root,
+                bytes,
+                comm: comm.id,
+            },
+            site,
+            t_enter,
+        );
+    }
+
+    fn raw_isend(&mut self, to: Rank, tag: Tag, bytes: u64, comm: CommId) -> ReqHandle {
+        match self.call(Op::ISend {
+            to,
+            tag,
+            bytes,
+            comm,
+        }) {
+            Reply::Handle { clock, handle } => {
+                self.clock = clock;
+                ReqHandle(handle)
+            }
+            other => self.protocol_error("isend", &other),
+        }
+    }
+
+    fn raw_irecv(&mut self, from: Src, tag: TagSel, bytes: u64, comm: CommId) -> ReqHandle {
+        match self.call(Op::IRecv {
+            from,
+            tag,
+            bytes,
+            comm,
+        }) {
+            Reply::Handle { clock, handle } => {
+                self.clock = clock;
+                ReqHandle(handle)
+            }
+            other => self.protocol_error("irecv", &other),
+        }
+    }
+
+    fn raw_wait(&mut self, reqs: Vec<u64>) -> Vec<Option<MsgInfo>> {
+        match self.call(Op::Wait { reqs }) {
+            Reply::Infos { clock, infos } => {
+                self.clock = clock;
+                infos
+            }
+            other => self.protocol_error("wait", &other),
+        }
+    }
+
+    fn call(&mut self, op: Op) -> Reply {
+        if self
+            .req_tx
+            .send(Request {
+                rank: self.rank,
+                op,
+            })
+            .is_err()
+        {
+            std::panic::panic_any(SimAbort);
+        }
+        match self.reply_rx.recv() {
+            Ok(Reply::Fatal(_)) | Err(_) => std::panic::panic_any(SimAbort),
+            Ok(reply) => reply,
+        }
+    }
+
+    fn protocol_error(&self, what: &str, got: &Reply) -> ! {
+        panic!("engine protocol violation in {what}: unexpected reply {got:?}")
+    }
+
+    fn emit(&mut self, kind: EventKind, callsite: CallSite, t_enter: SimTime) {
+        let Some(hook) = self.hook.as_mut() else {
+            return;
+        };
+        let mut h = Fnv1a::new();
+        for r in &self.regions {
+            h.write(r.as_bytes());
+            h.write(&[0]);
+        }
+        h.write(callsite.file.as_bytes());
+        h.write_u64(callsite.line as u64);
+        h.write_u64(callsite.column as u64);
+        let event = Event {
+            rank: self.rank,
+            kind,
+            callsite,
+            stack_sig: h.finish(),
+            t_enter,
+            t_exit: self.clock,
+        };
+        hook.on_event(&event);
+    }
+
+    pub(crate) fn send_exited(&mut self) {
+        let _ = self.req_tx.send(Request {
+            rank: self.rank,
+            op: Op::Exited,
+        });
+    }
+
+    pub(crate) fn send_panicked(&mut self, message: String) {
+        let _ = self.req_tx.send(Request {
+            rank: self.rank,
+            op: Op::Panicked(message),
+        });
+    }
+
+    pub(crate) fn take_hook(&mut self) -> Option<Box<dyn Hook>> {
+        self.hook.take()
+    }
+}
+
+#[track_caller]
+fn caller() -> CallSite {
+    CallSite::from_location(Location::caller())
+}
+
+/// Convenience: an error type alias for rank bodies that want to bubble up
+/// simulation errors explicitly rather than panicking.
+pub type SimResult<T> = Result<T, SimError>;

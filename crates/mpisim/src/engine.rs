@@ -1,0 +1,914 @@
+//! The discrete-event engine: a sequential virtual-time scheduler that
+//! processes MPI-level operations submitted by rank threads.
+//!
+//! ## Execution model
+//!
+//! Every rank runs as an OS thread, but the *simulation* is sequential: a
+//! rank submits each MPI-level operation as a request over a shared
+//! channel and blocks until the engine replies. The engine waits until every
+//! live rank has either submitted its next request or finished
+//! ("quiescence"), then issues the newly arrived operations in ascending
+//! `(virtual clock, rank)` order. Issuing an operation applies its side
+//! effects (posting a receive, injecting a message, joining a collective);
+//! operations that cannot complete yet (waits, collectives, flow-controlled
+//! sends) stay pending until a later issue satisfies them. If quiescence is
+//! reached and nothing can complete, the *application* is deadlocked and the
+//! run aborts with a per-rank diagnostic.
+//!
+//! Because scheduling decisions depend only on virtual clocks and rank ids,
+//! a run is bit-deterministic for a fixed [`MatchPolicy`].
+//!
+//! ## Timing model
+//!
+//! Message timing follows the eager/rendezvous protocol of real MPI
+//! implementations, parameterised by the [`crate::network::NetworkModel`]:
+//! eager messages are injected immediately and, if no receive is posted,
+//! buffered in the receiver's *unexpected queue* (paying a copy cost when
+//! finally matched); when that buffer is exhausted senders *stall* until the
+//! receiver drains it (credit-based flow control). Rendezvous messages park
+//! a header at the receiver and transfer only once a matching receive is
+//! posted. These mechanisms are what produce the paper's Figure 7 upturn.
+
+use crate::comm::{split_groups, Comm, CommId};
+use crate::error::{BlockedOn, SimError};
+use crate::network::NetworkModel;
+use crate::time::{SimDuration, SimTime};
+use crate::types::{CollKind, Fnv1a, MsgInfo, Rank, Src, Tag, TagSel};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// How the engine chooses among multiple messages that could match a
+/// wildcard (`MPI_ANY_SOURCE`) receive. The choice is always deterministic;
+/// different policies model different "runs" of a nondeterministic
+/// application — exactly the run-to-run variance the paper's Algorithm 2
+/// eliminates from generated benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum MatchPolicy {
+    /// Earliest queued message first (ties broken by sender rank). The
+    /// most physically plausible policy; the default.
+    #[default]
+    ByArrival,
+    /// Lowest sender rank first.
+    BySenderRank,
+    /// Pseudo-random but reproducible choice keyed by the seed. Two seeds
+    /// model two different executions of the same nondeterministic program.
+    Seeded(u64),
+}
+
+
+/// Aggregate counters reported in [`crate::world::RunReport`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// MPI-level operations processed (requests issued by ranks).
+    pub operations: u64,
+    /// Point-to-point messages created.
+    pub messages: u64,
+    /// Messages that arrived before a matching receive was posted.
+    pub unexpected_messages: u64,
+    /// Eager injections blocked by a full unexpected buffer.
+    pub flow_control_stalls: u64,
+    /// Completed collective operations.
+    pub collectives: u64,
+    /// High-water mark of any rank's unexpected-buffer occupancy.
+    pub max_unexpected_bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Requests and replies
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub rank: Rank,
+    pub op: Op,
+}
+
+#[derive(Debug)]
+pub(crate) enum Op {
+    Compute(SimDuration),
+    ISend {
+        to: Rank,
+        tag: Tag,
+        bytes: u64,
+        comm: CommId,
+    },
+    IRecv {
+        from: Src,
+        tag: TagSel,
+        bytes: u64,
+        comm: CommId,
+    },
+    Wait {
+        reqs: Vec<u64>,
+    },
+    Coll {
+        kind: CollKind,
+        comm: CommId,
+        /// Root in *absolute* rank (rooted collectives only).
+        root: Option<Rank>,
+        /// This rank's contribution in bytes.
+        bytes: u64,
+        /// `MPI_Comm_split` arguments `(color, key)`.
+        split: Option<(i64, i64)>,
+    },
+    /// Rank body finished normally.
+    Exited,
+    /// Rank body panicked; the engine aborts the run.
+    Panicked(String),
+}
+
+#[derive(Debug)]
+pub(crate) enum Reply {
+    Time(SimTime),
+    Handle {
+        clock: SimTime,
+        handle: u64,
+    },
+    /// Wait completion: one entry per waited request, `Some` for receives.
+    Infos {
+        clock: SimTime,
+        infos: Vec<Option<MsgInfo>>,
+    },
+    CommCreated {
+        clock: SimTime,
+        comm: Comm,
+    },
+    // The payload is for diagnostics (Debug); rank threads abort regardless.
+    Fatal(#[allow(dead_code)] SimError),
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ReqState {
+    /// Completion time, once known.
+    complete: Option<SimTime>,
+    /// Receive status, once matched.
+    info: Option<MsgInfo>,
+    is_recv: bool,
+}
+
+#[derive(Debug)]
+struct Message {
+    id: u64,
+    src: Rank,
+    dst: Rank,
+    tag: Tag,
+    comm: CommId,
+    bytes: u64,
+    eager: bool,
+    /// Sender-side virtual time at which injection was first attempted.
+    ready: SimTime,
+    /// Arrival time at the receiver, once injected (eager) or transferred
+    /// (rendezvous).
+    arrive: Option<SimTime>,
+    /// Request id on the sender to complete when the message is done.
+    sender_req: u64,
+    /// Monotone per-receiver sequence number (queue order).
+    dst_seq: u64,
+}
+
+#[derive(Debug)]
+struct PostedRecv {
+    req: u64,
+    rank: Rank,
+    from: Src,
+    tag: TagSel,
+    comm: CommId,
+    post_time: SimTime,
+}
+
+/// Per-rank collective arrival record: `(clock at arrival, contributed
+/// bytes, MPI_Comm_split (color, key) args)`.
+type Arrival = (SimTime, u64, Option<(i64, i64)>);
+
+#[derive(Debug)]
+struct CollSlot {
+    kind: CollKind,
+    root: Option<Rank>,
+    seq: u64,
+    arrivals: HashMap<Rank, Arrival>,
+}
+
+struct CommData {
+    members: Arc<Vec<Rank>>,
+}
+
+struct Pending {
+    op: Op,
+    issued: bool,
+}
+
+pub(crate) struct Engine {
+    model: Arc<dyn NetworkModel>,
+    policy: MatchPolicy,
+    n: usize,
+
+    req_rx: Receiver<Request>,
+    reply_tx: Vec<Sender<Reply>>,
+
+    clocks: Vec<SimTime>,
+    pending: Vec<Option<Pending>>,
+    finished: Vec<bool>,
+    finalized: Vec<bool>,
+    live: usize,
+    /// Ranks currently executing user code (reply sent, next request not yet
+    /// received).
+    running: usize,
+
+    reqs: Vec<HashMap<u64, ReqState>>,
+    next_req: Vec<u64>,
+
+    msgs: HashMap<u64, Message>,
+    next_msg: u64,
+    next_dst_seq: Vec<u64>,
+
+    /// Per receiver: posted receives in post order.
+    posted: Vec<Vec<PostedRecv>>,
+    /// Per receiver: unmatched eager messages, injected (queue order by
+    /// `dst_seq`).
+    unexpected: Vec<Vec<u64>>,
+    /// Per receiver: unmatched rendezvous headers.
+    rndv: Vec<Vec<u64>>,
+    /// Per receiver: eager messages stalled by flow control (FIFO).
+    stalled: Vec<VecDeque<u64>>,
+    /// Per receiver: bytes currently occupying the unexpected buffer.
+    unexp_bytes: Vec<u64>,
+
+
+    comms: Vec<CommData>,
+    coll_slots: HashMap<CommId, VecDeque<CollSlot>>,
+    coll_seq: Vec<HashMap<CommId, u64>>,
+
+    pub(crate) stats: EngineStats,
+    /// Set when a reply was sent in the current scheduling round (progress).
+    progressed: bool,
+}
+
+impl Engine {
+    pub(crate) fn new(
+        n: usize,
+        model: Arc<dyn NetworkModel>,
+        policy: MatchPolicy,
+        req_rx: Receiver<Request>,
+        reply_tx: Vec<Sender<Reply>>,
+    ) -> Engine {
+        Engine {
+            model,
+            policy,
+            n,
+            req_rx,
+            reply_tx,
+            clocks: vec![SimTime::ZERO; n],
+            pending: (0..n).map(|_| None).collect(),
+            finished: vec![false; n],
+            finalized: vec![false; n],
+            live: n,
+            running: n,
+            reqs: (0..n).map(|_| HashMap::new()).collect(),
+            next_req: vec![1; n],
+            msgs: HashMap::new(),
+            next_msg: 1,
+            next_dst_seq: vec![0; n],
+            posted: (0..n).map(|_| Vec::new()).collect(),
+            unexpected: (0..n).map(|_| Vec::new()).collect(),
+            rndv: (0..n).map(|_| Vec::new()).collect(),
+            stalled: (0..n).map(|_| VecDeque::new()).collect(),
+            unexp_bytes: vec![0; n],
+            comms: vec![CommData {
+                members: Arc::new((0..n).collect()),
+            }],
+            coll_slots: HashMap::new(),
+            coll_seq: (0..n).map(|_| HashMap::new()).collect(),
+            stats: EngineStats::default(),
+            progressed: false,
+        }
+    }
+
+    /// Run the scheduler to completion.
+    pub(crate) fn run(&mut self) -> Result<(), SimError> {
+        loop {
+            // Phase 1: quiescence — wait for every running rank's next request.
+            while self.running > 0 {
+                let req = self
+                    .req_rx
+                    .recv()
+                    .map_err(|_| SimError::InvalidHandle("request channel closed".into()))?;
+                self.running -= 1;
+                if let Op::Panicked(msg) = req.op {
+                    let err = SimError::RankPanicked {
+                        rank: req.rank,
+                        message: msg,
+                    };
+                    self.broadcast_fatal(&err);
+                    return Err(err);
+                }
+                self.pending[req.rank] = Some(Pending {
+                    op: req.op,
+                    issued: false,
+                });
+            }
+            if self.live == 0 {
+                return Ok(());
+            }
+
+            // Phase 2: issue new operations, lowest virtual clock first.
+            self.progressed = false;
+            let mut order: Vec<Rank> = (0..self.n)
+                .filter(|&r| matches!(self.pending[r], Some(Pending { issued: false, .. })))
+                .collect();
+            order.sort_by_key(|&r| (self.clocks[r], r));
+            for r in order {
+                if let Err(err) = self.issue(r) {
+                    self.broadcast_fatal(&err);
+                    return Err(err);
+                }
+            }
+
+            // Phase 3: complete any waits unblocked by the new issues.
+            self.complete_ready_waits();
+
+            if !self.progressed && self.running == 0 && self.live > 0 {
+                let err = SimError::Deadlock(self.describe_blocked());
+                self.broadcast_fatal(&err);
+                return Err(err);
+            }
+        }
+    }
+
+    pub(crate) fn max_clock(&self) -> SimTime {
+        self.clocks.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    pub(crate) fn clocks(&self) -> &[SimTime] {
+        &self.clocks
+    }
+
+    // -- issue ---------------------------------------------------------------
+
+    fn issue(&mut self, rank: Rank) -> Result<(), SimError> {
+        let pending = self.pending[rank].as_mut().expect("pending op");
+        pending.issued = true;
+        self.stats.operations += 1;
+        // Take the op out to appease the borrow checker; blocked ops are put
+        // back by the handlers below.
+        let op = std::mem::replace(&mut self.pending[rank].as_mut().unwrap().op, Op::Exited);
+        match op {
+            Op::Compute(d) => {
+                self.clocks[rank] += d;
+                self.reply(rank, Reply::Time(self.clocks[rank]));
+            }
+            Op::ISend {
+                to,
+                tag,
+                bytes,
+                comm,
+            } => {
+                self.check_member(to, comm)?;
+                let handle = self.issue_isend(rank, to, tag, bytes, comm);
+                self.reply(
+                    rank,
+                    Reply::Handle {
+                        clock: self.clocks[rank],
+                        handle,
+                    },
+                );
+            }
+            Op::IRecv {
+                from,
+                tag,
+                bytes,
+                comm,
+            } => {
+                if let Src::Rank(s) = from {
+                    self.check_member(s, comm)?;
+                }
+                let handle = self.issue_irecv(rank, from, tag, bytes, comm);
+                self.reply(
+                    rank,
+                    Reply::Handle {
+                        clock: self.clocks[rank],
+                        handle,
+                    },
+                );
+            }
+            Op::Wait { reqs } => {
+                // Validate handles eagerly so bugs surface at the wait site.
+                for &h in &reqs {
+                    if !self.reqs[rank].contains_key(&h) {
+                        return Err(SimError::InvalidHandle(format!(
+                            "rank {rank} waited on unknown or already-completed request {h}"
+                        )));
+                    }
+                }
+                self.pending[rank].as_mut().unwrap().op = Op::Wait { reqs };
+                // Completion handled by `complete_ready_waits`.
+            }
+            Op::Coll {
+                kind,
+                comm,
+                root,
+                bytes,
+                split,
+            } => {
+                self.issue_collective(rank, kind, comm, root, bytes, split)?;
+            }
+            Op::Exited => {
+                let dangling = self.reqs[rank].values().filter(|r| r.complete.is_none()).count();
+                if dangling > 0 {
+                    return Err(SimError::DanglingRequests {
+                        rank,
+                        count: dangling,
+                    });
+                }
+                self.finished[rank] = true;
+                self.live -= 1;
+                self.pending[rank] = None;
+                self.progressed = true;
+            }
+            Op::Panicked(_) => unreachable!("handled at receive"),
+        }
+        Ok(())
+    }
+
+    fn check_member(&self, abs: Rank, comm: CommId) -> Result<(), SimError> {
+        let data = &self.comms[comm as usize];
+        if data.members.contains(&abs) {
+            Ok(())
+        } else {
+            Err(SimError::InvalidRank {
+                rank: abs,
+                comm,
+                size: data.members.len(),
+            })
+        }
+    }
+
+    // -- point-to-point -------------------------------------------------------
+
+    fn issue_isend(&mut self, src: Rank, dst: Rank, tag: Tag, bytes: u64, comm: CommId) -> u64 {
+        self.clocks[src] += self.model.send_overhead(bytes);
+        let handle = self.alloc_req(src, false);
+        let id = self.next_msg;
+        self.next_msg += 1;
+        let dst_seq = self.next_dst_seq[dst];
+        self.next_dst_seq[dst] += 1;
+        let eager = bytes <= self.model.eager_limit();
+        let msg = Message {
+            id,
+            src,
+            dst,
+            tag,
+            comm,
+            bytes,
+            eager,
+            ready: self.clocks[src],
+            arrive: None,
+            sender_req: handle,
+            dst_seq,
+        };
+        self.stats.messages += 1;
+        self.msgs.insert(id, msg);
+
+        // 1. Direct delivery if a matching receive is already posted.
+        if let Some(pos) = self.find_posted(dst, src, tag, comm) {
+            let recv = self.posted[dst].remove(pos);
+            self.match_direct(id, &recv);
+            return handle;
+        }
+
+        if eager {
+            // 2. Eager: inject if the unexpected buffer has room *and* no
+            // earlier message to this receiver is stalled (FIFO per link).
+            let m = &self.msgs[&id];
+            if self.stalled[dst].is_empty()
+                && self.unexp_bytes[dst] + m.bytes <= self.model.unexpected_capacity()
+            {
+                self.inject_unexpected(id, self.msgs[&id].ready);
+            } else {
+                self.stats.flow_control_stalls += 1;
+                self.stalled[dst].push_back(id);
+                // sender_req completes when injection eventually happens
+            }
+        } else {
+            // 3. Rendezvous: park a header; data moves when a receive posts.
+            self.rndv[dst].push(id);
+        }
+        handle
+    }
+
+    fn issue_irecv(&mut self, dst: Rank, from: Src, tag: TagSel, _bytes: u64, comm: CommId) -> u64 {
+        let handle = self.alloc_req(dst, true);
+        let recv = PostedRecv {
+            req: handle,
+            rank: dst,
+            from,
+            tag,
+            comm,
+            post_time: self.clocks[dst],
+        };
+        if let Some(msg_id) = self.select_match(&recv) {
+            self.match_with_queued(msg_id, &recv);
+        } else {
+            self.posted[dst].push(recv);
+        }
+        handle
+    }
+
+    /// First posted receive at `dst` matching an incoming message (FIFO).
+    fn find_posted(&self, dst: Rank, src: Rank, tag: Tag, comm: CommId) -> Option<usize> {
+        self.posted[dst]
+            .iter()
+            .position(|p| p.comm == comm && p.from.matches(src) && p.tag.matches(tag))
+    }
+
+    /// Choose a queued message (unexpected, rendezvous-header, or stalled)
+    /// matching a newly posted receive. Per sender, the earliest-queued
+    /// message is the only candidate (MPI non-overtaking); among senders the
+    /// [`MatchPolicy`] decides.
+    fn select_match(&self, recv: &PostedRecv) -> Option<u64> {
+        let dst = recv.rank;
+        let mut best_per_src: HashMap<Rank, (u64, u64)> = HashMap::new(); // src -> (dst_seq, id)
+        let consider = |map: &mut HashMap<Rank, (u64, u64)>, m: &Message| {
+            if m.comm == recv.comm && recv.from.matches(m.src) && recv.tag.matches(m.tag) {
+                let entry = map.entry(m.src).or_insert((m.dst_seq, m.id));
+                if m.dst_seq < entry.0 {
+                    *entry = (m.dst_seq, m.id);
+                }
+            }
+        };
+        for &id in self.unexpected[dst].iter().chain(&self.rndv[dst]) {
+            consider(&mut best_per_src, &self.msgs[&id]);
+        }
+        for &id in &self.stalled[dst] {
+            consider(&mut best_per_src, &self.msgs[&id]);
+        }
+        if best_per_src.is_empty() {
+            return None;
+        }
+        let pick = best_per_src.iter().min_by_key(|(&src, &(seq, id))| {
+            match self.policy {
+                MatchPolicy::ByArrival => (seq, src as u64, 0),
+                MatchPolicy::BySenderRank => (src as u64, seq, 0),
+                MatchPolicy::Seeded(seed) => {
+                    let mut h = Fnv1a::new();
+                    h.write_u64(seed);
+                    h.write_u64(id);
+                    (h.finish(), src as u64, seq)
+                }
+            }
+        });
+        pick.map(|(_, &(_, id))| id)
+    }
+
+    /// Sender found a posted receive at issue time: the message flows
+    /// straight into the application buffer.
+    fn match_direct(&mut self, msg_id: u64, recv: &PostedRecv) {
+        let (src, dst, bytes, eager, ready) = {
+            let m = &self.msgs[&msg_id];
+            (m.src, m.dst, m.bytes, m.eager, m.ready)
+        };
+        let arrive = if eager {
+            ready + self.model.transit(src, dst, bytes)
+        } else {
+            // Rendezvous with the receive already posted: handshake then
+            // transfer, gated by how far the receiver has progressed.
+            let start = ready.max(recv.post_time);
+            start + self.model.transit(src, dst, bytes)
+        };
+        self.finish_match(msg_id, recv, arrive);
+    }
+
+    /// A newly posted receive matched a queued message.
+    fn match_with_queued(&mut self, msg_id: u64, recv: &PostedRecv) {
+        let (src, dst, bytes, eager, ready, arrived) = {
+            let m = &self.msgs[&msg_id];
+            (m.src, m.dst, m.bytes, m.eager, m.ready, m.arrive)
+        };
+        if let Some(arrive) = arrived {
+            // Was sitting in the unexpected buffer: pay the extra copy.
+            self.unexpected[dst].retain(|&i| i != msg_id);
+            let done = arrive.max(recv.post_time) + self.model.unexpected_copy(bytes);
+            self.unexp_bytes[dst] -= bytes;
+            self.finish_match(msg_id, recv, done);
+            self.drain_stalled(dst, done);
+        } else if eager {
+            // Stalled at the sender by flow control; a posted receive lets
+            // it bypass the unexpected buffer after the resume penalty,
+            // scaled by the remaining backlog (as in `drain_stalled`).
+            self.stalled[dst].retain(|&i| i != msg_id);
+            let backlog = (1 + self.stalled[dst].len() as u64).min(16);
+            let inject = ready.max(recv.post_time)
+                + self.model.stall_resume_penalty() * backlog;
+            let arrive = inject + self.model.transit(src, dst, bytes);
+            self.finish_match(msg_id, recv, arrive);
+        } else {
+            // Rendezvous header: start the transfer.
+            self.rndv[dst].retain(|&i| i != msg_id);
+            let hdr_arrive = ready + self.model.transit(src, dst, 0);
+            let start = hdr_arrive.max(recv.post_time);
+            let arrive = start + self.model.transit(src, dst, bytes);
+            self.finish_match(msg_id, recv, arrive);
+        }
+    }
+
+    /// Record completion times on both requests.
+    fn finish_match(&mut self, msg_id: u64, recv: &PostedRecv, data_done: SimTime) {
+        let m = self.msgs.remove(&msg_id).expect("matched message exists");
+        let recv_done = data_done + self.model.recv_overhead(m.bytes);
+        // Eager sends complete locally at injection; rendezvous senders are
+        // tied up until the transfer finishes.
+        let send_done = if m.eager { m.ready } else { data_done };
+        if let Some(rs) = self.reqs[m.src].get_mut(&m.sender_req) {
+            rs.complete = Some(send_done);
+        }
+        if let Some(rs) = self.reqs[recv.rank].get_mut(&recv.req) {
+            rs.complete = Some(recv_done);
+            rs.info = Some(MsgInfo {
+                source: m.src,
+                tag: m.tag,
+                bytes: m.bytes,
+            });
+        }
+    }
+
+    /// Put an eager message into the receiver's unexpected buffer.
+    fn inject_unexpected(&mut self, msg_id: u64, inject: SimTime) {
+        let (src, dst, bytes, sender_req) = {
+            let m = &self.msgs[&msg_id];
+            (m.src, m.dst, m.bytes, m.sender_req)
+        };
+        let arrive = inject + self.model.transit(src, dst, bytes);
+        self.msgs.get_mut(&msg_id).unwrap().arrive = Some(arrive);
+        self.unexpected[dst].push(msg_id);
+        self.unexp_bytes[dst] += bytes;
+        self.stats.unexpected_messages += 1;
+        self.stats.max_unexpected_bytes = self.stats.max_unexpected_bytes.max(self.unexp_bytes[dst]);
+        // Eager send completes locally once injected.
+        if let Some(rs) = self.reqs[src].get_mut(&sender_req) {
+            rs.complete = Some(inject);
+        }
+    }
+
+    /// Buffer space was freed at `free_time`: admit stalled messages in FIFO
+    /// order while capacity lasts. Resumption pays the flow-control penalty
+    /// scaled by the remaining backlog: the deeper the stalled queue, the
+    /// longer the window takes to recover — the superlinear collapse of
+    /// credit/window flow control under flooding that produces the paper's
+    /// Figure 7 upturn.
+    fn drain_stalled(&mut self, dst: Rank, free_time: SimTime) {
+        while let Some(&id) = self.stalled[dst].front() {
+            let bytes = self.msgs[&id].bytes;
+            if self.unexp_bytes[dst] + bytes > self.model.unexpected_capacity() {
+                break;
+            }
+            self.stalled[dst].pop_front();
+            let backlog = (1 + self.stalled[dst].len() as u64).min(16);
+            let ready = self.msgs[&id].ready;
+            let inject =
+                ready.max(free_time) + self.model.stall_resume_penalty() * backlog;
+            self.inject_unexpected(id, inject);
+        }
+    }
+
+    // -- waits ----------------------------------------------------------------
+
+    fn complete_ready_waits(&mut self) {
+        loop {
+            let mut completed_any = false;
+            for rank in 0..self.n {
+                let ready = match &self.pending[rank] {
+                    Some(Pending {
+                        op: Op::Wait { reqs },
+                        issued: true,
+                    }) => reqs
+                        .iter()
+                        .all(|h| self.reqs[rank].get(h).and_then(|r| r.complete).is_some()),
+                    _ => false,
+                };
+                if !ready {
+                    continue;
+                }
+                let Some(Pending {
+                    op: Op::Wait { reqs },
+                    ..
+                }) = self.pending[rank].take()
+                else {
+                    unreachable!()
+                };
+                let mut t = self.clocks[rank];
+                let mut infos = Vec::with_capacity(reqs.len());
+                for h in reqs {
+                    let rs = self.reqs[rank].remove(&h).expect("validated at issue");
+                    t = t.max(rs.complete.expect("checked complete"));
+                    infos.push(rs.info);
+                }
+                self.clocks[rank] = t;
+                self.reply(rank, Reply::Infos { clock: t, infos });
+                completed_any = true;
+            }
+            if !completed_any {
+                break;
+            }
+        }
+    }
+
+    // -- collectives ----------------------------------------------------------
+
+    fn issue_collective(
+        &mut self,
+        rank: Rank,
+        kind: CollKind,
+        comm: CommId,
+        root: Option<Rank>,
+        bytes: u64,
+        split: Option<(i64, i64)>,
+    ) -> Result<(), SimError> {
+        let comm_size = self.comms[comm as usize].members.len();
+        let seq = {
+            let c = self.coll_seq[rank].entry(comm).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let slots = self.coll_slots.entry(comm).or_default();
+        let slot = match slots.iter_mut().find(|s| s.seq == seq) {
+            Some(s) => s,
+            None => {
+                slots.push_back(CollSlot {
+                    kind,
+                    root,
+                    seq,
+                    arrivals: HashMap::new(),
+                });
+                slots.back_mut().unwrap()
+            }
+        };
+        if slot.kind != kind || slot.root != root {
+            return Err(SimError::CollectiveMismatch {
+                comm,
+                expected: format!("{} (root {:?})", slot.kind, slot.root),
+                found: format!("{} (root {:?})", kind, root),
+                rank,
+            });
+        }
+        slot.arrivals.insert(rank, (self.clocks[rank], bytes, split));
+        // keep the pending op so deadlock diagnostics can describe it
+        self.pending[rank].as_mut().unwrap().op = Op::Coll {
+            kind,
+            comm,
+            root,
+            bytes,
+            split,
+        };
+
+        if slot.arrivals.len() < comm_size {
+            return Ok(());
+        }
+
+        // Everyone arrived: the collective completes.
+        let idx = self
+            .coll_slots
+            .get(&comm)
+            .unwrap()
+            .iter()
+            .position(|s| s.seq == seq)
+            .expect("slot exists");
+        let slot = self.coll_slots.get_mut(&comm).unwrap().remove(idx).unwrap();
+        self.stats.collectives += 1;
+        let members: Vec<Rank> = self.comms[comm as usize].members.as_ref().clone();
+        let latest = slot
+            .arrivals
+            .values()
+            .map(|&(t, _, _)| t)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let total_bytes: u64 = slot.arrivals.values().map(|&(_, b, _)| b).sum();
+        let finish = latest + self.model.collective(kind, comm_size, total_bytes);
+
+        if kind == CollKind::CommSplit {
+            let entries: Vec<(Rank, i64, i64)> = members
+                .iter()
+                .map(|&r| {
+                    let (_, _, s) = slot.arrivals[&r];
+                    let (color, key) = s.expect("split args present");
+                    (r, color, key)
+                })
+                .collect();
+            let groups = split_groups(entries);
+            let mut new_comm_of: HashMap<Rank, Comm> = HashMap::new();
+            for (_color, group) in groups {
+                let id = self.comms.len() as CommId;
+                let members = Arc::new(group.clone());
+                self.comms.push(CommData {
+                    members: Arc::clone(&members),
+                });
+                for (idx, &r) in group.iter().enumerate() {
+                    new_comm_of.insert(
+                        r,
+                        Comm {
+                            id,
+                            rank: idx,
+                            size: group.len(),
+                            members: Arc::clone(&members),
+                        },
+                    );
+                }
+            }
+            for &r in &members {
+                self.clocks[r] = finish;
+                self.pending[r] = None;
+                let comm = new_comm_of.remove(&r).expect("every rank got a group");
+                self.reply(r, Reply::CommCreated { clock: finish, comm });
+            }
+        } else {
+            if kind == CollKind::Finalize {
+                for &r in &members {
+                    self.finalized[r] = true;
+                }
+            }
+            for &r in &members {
+                self.clocks[r] = finish;
+                self.pending[r] = None;
+                self.reply(r, Reply::Time(finish));
+            }
+        }
+        Ok(())
+    }
+
+    // -- plumbing ---------------------------------------------------------------
+
+    fn alloc_req(&mut self, rank: Rank, is_recv: bool) -> u64 {
+        let h = self.next_req[rank];
+        self.next_req[rank] += 1;
+        self.reqs[rank].insert(
+            h,
+            ReqState {
+                complete: None,
+                info: None,
+                is_recv,
+            },
+        );
+        h
+    }
+
+    fn reply(&mut self, rank: Rank, reply: Reply) {
+        self.progressed = true;
+        self.running += 1;
+        // A send failure means the rank thread died; the subsequent request
+        // drain will surface the problem.
+        let _ = self.reply_tx[rank].send(reply);
+    }
+
+    fn broadcast_fatal(&mut self, err: &SimError) {
+        for r in 0..self.n {
+            if !self.finished[r] {
+                let _ = self.reply_tx[r].send(Reply::Fatal(err.clone()));
+            }
+        }
+    }
+
+    fn describe_blocked(&self) -> Vec<BlockedOn> {
+        let mut out = Vec::new();
+        for r in 0..self.n {
+            let Some(p) = &self.pending[r] else { continue };
+            let what = match &p.op {
+                Op::Wait { reqs } => {
+                    let parts: Vec<String> = reqs
+                        .iter()
+                        .map(|h| match self.reqs[r].get(h) {
+                            Some(rs) if rs.complete.is_some() => format!("req{h}(done)"),
+                            Some(rs) if rs.is_recv => format!("req{h}(recv pending)"),
+                            Some(_) => format!("req{h}(send pending)"),
+                            None => format!("req{h}(?)"),
+                        })
+                        .collect();
+                    format!("MPI_Wait[{}]", parts.join(", "))
+                }
+                Op::Coll { kind, comm, .. } => {
+                    let arrived = self
+                        .coll_slots
+                        .get(comm)
+                        .and_then(|slots| {
+                            let seq = self.coll_seq[r].get(comm).copied().unwrap_or(1).saturating_sub(1);
+                            slots.iter().find(|s| s.seq == seq).map(|s| s.arrivals.len())
+                        })
+                        .unwrap_or(0);
+                    let size = self.comms[*comm as usize].members.len();
+                    format!("{kind}(comm {comm}, {arrived}/{size} arrived)")
+                }
+                other => format!("{other:?}"),
+            };
+            out.push(BlockedOn {
+                rank: r,
+                clock: self.clocks[r],
+                what,
+            });
+        }
+        out
+    }
+}

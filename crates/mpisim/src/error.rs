@@ -1,0 +1,140 @@
+//! Simulation errors, most importantly runtime deadlock diagnostics.
+
+use crate::time::SimTime;
+use crate::types::Rank;
+use std::fmt;
+
+/// Description of what a rank was blocked on when a deadlock was declared.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockedOn {
+    /// The blocked rank.
+    pub rank: Rank,
+    /// Its virtual clock when the deadlock was declared.
+    pub clock: SimTime,
+    /// Human-readable description of the blocking operation, e.g.
+    /// `"MPI_Recv(src=0, tag=1)"` or `"MPI_Barrier(comm 0, 3/4 arrived)"`.
+    pub what: String,
+}
+
+impl fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} @ {}: blocked on {}", self.rank, self.clock, self.what)
+    }
+}
+
+/// Errors surfaced by [`crate::world::World::run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// No rank can make progress: the application (not the simulator)
+    /// deadlocked. Carries a per-rank diagnostic.
+    Deadlock(Vec<BlockedOn>),
+    /// Two ranks entered different collectives on the same communicator at
+    /// the same sequence point — invalid MPI usage.
+    CollectiveMismatch {
+        /// Communicator on which the mismatch occurred.
+        comm: u32,
+        /// Collective the earlier arrivals entered.
+        expected: String,
+        /// Collective the offending rank entered.
+        found: String,
+        /// The offending rank.
+        rank: Rank,
+    },
+    /// An operation referenced a rank outside the communicator.
+    InvalidRank {
+        /// The out-of-range absolute rank.
+        rank: Rank,
+        /// Communicator id.
+        comm: u32,
+        /// Communicator size.
+        size: usize,
+    },
+    /// An operation referenced an unknown communicator or request handle.
+    InvalidHandle(String),
+    /// A rank's body panicked (with the panic message if it was a string).
+    RankPanicked {
+        /// The panicking rank.
+        rank: Rank,
+        /// Its panic message.
+        message: String,
+    },
+    /// A rank exited while still holding incomplete nonblocking requests.
+    DanglingRequests {
+        /// The offending rank.
+        rank: Rank,
+        /// How many requests were incomplete.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(blocked) => {
+                writeln!(f, "deadlock: no rank can make progress")?;
+                for b in blocked {
+                    writeln!(f, "  {b}")?;
+                }
+                Ok(())
+            }
+            SimError::CollectiveMismatch {
+                comm,
+                expected,
+                found,
+                rank,
+            } => write!(
+                f,
+                "collective mismatch on comm {comm}: rank {rank} entered {found} \
+                 while peers entered {expected}"
+            ),
+            SimError::InvalidRank { rank, comm, size } => {
+                write!(f, "rank {rank} out of range for comm {comm} (size {size})")
+            }
+            SimError::InvalidHandle(what) => write!(f, "invalid handle: {what}"),
+            SimError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::DanglingRequests { rank, count } => {
+                write!(f, "rank {rank} exited with {count} incomplete request(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_lists_ranks() {
+        let err = SimError::Deadlock(vec![
+            BlockedOn {
+                rank: 0,
+                clock: SimTime::from_nanos(100),
+                what: "MPI_Recv(src=1)".into(),
+            },
+            BlockedOn {
+                rank: 1,
+                clock: SimTime::from_nanos(200),
+                what: "MPI_Recv(src=0)".into(),
+            },
+        ]);
+        let s = err.to_string();
+        assert!(s.contains("rank 0"));
+        assert!(s.contains("rank 1"));
+        assert!(s.contains("MPI_Recv(src=0)"));
+    }
+
+    #[test]
+    fn mismatch_display() {
+        let err = SimError::CollectiveMismatch {
+            comm: 0,
+            expected: "MPI_Barrier".into(),
+            found: "MPI_Bcast".into(),
+            rank: 3,
+        };
+        assert!(err.to_string().contains("MPI_Bcast"));
+    }
+}

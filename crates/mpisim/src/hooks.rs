@@ -1,0 +1,134 @@
+//! PMPI-style interposition: every MPI-level operation a rank performs is
+//! reported to an optional per-rank [`Hook`] with call-site, stack-signature,
+//! and virtual-timestamp information. The ScalaTrace-style tracer and the
+//! mpiP-style profiler are both hooks.
+
+use crate::comm::CommId;
+use crate::time::SimTime;
+use crate::types::{CallSite, CollKind, Rank, Src, Tag, TagSel};
+use std::any::Any;
+use std::sync::Arc;
+
+/// What happened, at the granularity of an MPI call. Peers and roots are
+/// *absolute* ranks (paper §4.2); wildcard receives are reported unresolved,
+/// exactly as ScalaTrace records them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// `MPI_Send`/`MPI_Isend`.
+    Send {
+        /// Destination (absolute rank).
+        to: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size.
+        bytes: u64,
+        /// Communicator the call used.
+        comm: CommId,
+        /// Blocking (`MPI_Send`) vs nonblocking (`MPI_Isend`).
+        blocking: bool,
+    },
+    /// `MPI_Recv`/`MPI_Irecv`.
+    Recv {
+        /// Source selector (absolute rank, or the unresolved wildcard).
+        from: Src,
+        /// Tag selector.
+        tag: TagSel,
+        /// Expected payload size.
+        bytes: u64,
+        /// Communicator the call used.
+        comm: CommId,
+        /// Blocking (`MPI_Recv`) vs nonblocking (`MPI_Irecv`).
+        blocking: bool,
+    },
+    /// `MPI_Wait`/`MPI_Waitall` over `count` requests.
+    Wait {
+        /// Number of requests waited on.
+        count: usize,
+    },
+    /// A collective operation.
+    Coll {
+        /// Which collective.
+        kind: CollKind,
+        /// Absolute root rank for rooted collectives.
+        root: Option<Rank>,
+        /// This rank's local contribution in bytes.
+        bytes: u64,
+        /// Communicator the collective ran on.
+        comm: CommId,
+    },
+    /// `MPI_Comm_split`: the synchronisation plus the resulting communicator.
+    CommSplit {
+        /// The communicator that was split.
+        parent: CommId,
+        /// The communicator this rank ended up in.
+        result: CommId,
+        /// Absolute ranks of the new communicator, in communicator order.
+        members: Arc<Vec<Rank>>,
+    },
+}
+
+impl EventKind {
+    /// The MPI routine name this event corresponds to (for profiles/traces).
+    pub fn mpi_name(&self) -> &'static str {
+        match self {
+            EventKind::Send { blocking: true, .. } => "MPI_Send",
+            EventKind::Send { blocking: false, .. } => "MPI_Isend",
+            EventKind::Recv { blocking: true, .. } => "MPI_Recv",
+            EventKind::Recv { blocking: false, .. } => "MPI_Irecv",
+            EventKind::Wait { count: 1 } => "MPI_Wait",
+            EventKind::Wait { .. } => "MPI_Waitall",
+            EventKind::Coll { kind, .. } => kind.mpi_name(),
+            EventKind::CommSplit { .. } => CollKind::CommSplit.mpi_name(),
+        }
+    }
+
+    /// Bytes moved by this rank in this call (mpiP-style accounting; waits
+    /// and barriers move none).
+    pub fn local_bytes(&self) -> u64 {
+        match self {
+            EventKind::Send { bytes, .. } | EventKind::Recv { bytes, .. } => *bytes,
+            EventKind::Coll { bytes, .. } => *bytes,
+            EventKind::Wait { .. } | EventKind::CommSplit { .. } => 0,
+        }
+    }
+}
+
+/// One interposed MPI call.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// The rank that performed the call.
+    pub rank: Rank,
+    /// What the call was.
+    pub kind: EventKind,
+    /// Source location of the call.
+    pub callsite: CallSite,
+    /// Hash of the enclosing region stack plus the call site — ScalaTrace's
+    /// "stack signature", used to distinguish call sites.
+    pub stack_sig: u64,
+    /// Virtual time the call began (after any preceding computation).
+    pub t_enter: SimTime,
+    /// Virtual time the call completed.
+    pub t_exit: SimTime,
+}
+
+/// A per-rank observer of MPI events, analogous to a PMPI wrapper library.
+///
+/// `Any` is a supertrait so concrete hook types can be recovered after the
+/// run (see [`crate::world::World::run_hooked`]).
+pub trait Hook: Any + Send {
+    /// Called after every MPI-level operation this rank performs.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// A hook that records every event verbatim; handy in tests.
+#[derive(Default)]
+pub struct RecordingHook {
+    /// Every observed event, in call order.
+    pub events: Vec<Event>,
+}
+
+impl Hook for RecordingHook {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}

@@ -1,0 +1,253 @@
+//! Virtual time: nanosecond-resolution simulated timestamps and durations.
+//!
+//! All timing inside the simulator is *virtual*: it is advanced by the
+//! network model and by explicit [`crate::ctx::Ctx::compute`] calls, never by
+//! the host's wall clock, which is what makes runs reproducible.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in virtual time, in nanoseconds since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Timestamp `ns` nanoseconds after the start of the run.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since the start of the run.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the start of the run.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Microseconds since the start of the run.
+    pub fn as_usecs_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Duration since an earlier point; saturates at zero if `earlier` is
+    /// actually later (clock skew across ranks never produces negatives).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A span of `ns` nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// A span of `us` microseconds.
+    pub const fn from_usecs(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// A span of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// A span of `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Build from a (possibly fractional) number of seconds, rounding to the
+    /// nearest nanosecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Build from a (possibly fractional) number of microseconds.
+    pub fn from_usecs_f64(us: f64) -> Self {
+        SimDuration((us.max(0.0) * 1e3).round() as u64)
+    }
+
+    /// Length in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in microseconds.
+    pub fn as_usecs_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Length in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scale by a non-negative factor (used by what-if compute scaling).
+    pub fn scale(self, factor: f64) -> Self {
+        SimDuration((self.0 as f64 * factor.max(0.0)).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(500);
+        let d = SimDuration::from_usecs(2);
+        assert_eq!((t + d).as_nanos(), 2_500);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d * 3, SimDuration::from_nanos(6_000));
+        assert_eq!(d / 2, SimDuration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(b.since(a), SimDuration::from_nanos(10));
+    }
+
+    #[test]
+    fn fractional_constructors_round() {
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimDuration::from_usecs_f64(0.0015).as_nanos(), 2);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = SimDuration::from_usecs(100);
+        assert_eq!(d.scale(0.5), SimDuration::from_usecs(50));
+        assert_eq!(d.scale(0.0), SimDuration::ZERO);
+        assert_eq!(d.scale(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimDuration::from_nanos(7).to_string(), "7ns");
+        assert_eq!(SimDuration::from_usecs(7).to_string(), "7.000us");
+        assert_eq!(SimDuration::from_millis(7).to_string(), "7.000ms");
+        assert_eq!(SimDuration::from_secs(7).to_string(), "7.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_usecs).sum();
+        assert_eq!(total, SimDuration::from_usecs(10));
+    }
+}

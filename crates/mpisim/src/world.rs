@@ -1,0 +1,189 @@
+//! `World`: configures and launches a simulated run.
+
+use crate::ctx::{Ctx, SimAbort};
+use crate::engine::{Engine, EngineStats, MatchPolicy, Reply, Request};
+use crate::error::SimError;
+use crate::hooks::Hook;
+use crate::network::{self, NetworkModel};
+use crate::time::SimTime;
+use crate::types::Rank;
+use crossbeam::channel;
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+/// Outcome of a successful run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// World size of the run.
+    pub ranks: usize,
+    /// Virtual time at which the last rank finished — the simulated
+    /// application wall-clock time.
+    pub total_time: SimTime,
+    /// Final virtual clock of each rank.
+    pub per_rank_time: Vec<SimTime>,
+    /// Engine counters (messages, stalls, collectives, …).
+    pub stats: EngineStats,
+    /// Name of the network model the run used.
+    pub network: String,
+}
+
+/// Builder for a simulated MPI job.
+///
+/// ```
+/// use mpisim::{network, world::World};
+/// let report = World::new(2)
+///     .network(network::ideal())
+///     .run(|ctx| { ctx.barrier(&ctx.world()); })
+///     .unwrap();
+/// assert_eq!(report.ranks, 2);
+/// ```
+pub struct World {
+    n: usize,
+    model: Arc<dyn NetworkModel>,
+    policy: MatchPolicy,
+}
+
+impl World {
+    /// A world of `n` ranks on the ideal (zero-cost) network.
+    pub fn new(n: usize) -> World {
+        assert!(n > 0, "world needs at least one rank");
+        World {
+            n,
+            model: network::ideal(),
+            policy: MatchPolicy::default(),
+        }
+    }
+
+    /// Select the network timing model.
+    pub fn network(mut self, model: Arc<dyn NetworkModel>) -> World {
+        self.model = model;
+        self
+    }
+
+    /// Select the wildcard-receive matching policy (see
+    /// [`MatchPolicy`]).
+    pub fn match_policy(mut self, policy: MatchPolicy) -> World {
+        self.policy = policy;
+        self
+    }
+
+    /// Run `body` on every rank without interposition hooks.
+    pub fn run<F>(self, body: F) -> Result<RunReport, SimError>
+    where
+        F: Fn(&mut Ctx) + Send + Sync + 'static,
+    {
+        let (report, _hooks) = self.launch(|_| None::<Box<dyn Hook>>, body)?;
+        Ok(report)
+    }
+
+    /// Run `body` with a per-rank interposition [`Hook`] created by `mk`,
+    /// returning the hooks afterwards (e.g. per-rank trace collectors).
+    pub fn run_hooked<H, MK, F>(self, mk: MK, body: F) -> Result<(RunReport, Vec<H>), SimError>
+    where
+        H: Hook + 'static,
+        MK: FnMut(Rank) -> H,
+        F: Fn(&mut Ctx) + Send + Sync + 'static,
+    {
+        let mut mk = mk;
+        let (report, hooks) = self.launch(|r| Some(Box::new(mk(r)) as Box<dyn Hook>), body)?;
+        let mut out = Vec::with_capacity(hooks.len());
+        for h in hooks {
+            let any: Box<dyn Any> = h;
+            out.push(*any.downcast::<H>().expect("hook type is the one we created"));
+        }
+        Ok((report, out))
+    }
+
+    fn launch<F>(
+        self,
+        mut mk: impl FnMut(Rank) -> Option<Box<dyn Hook>>,
+        body: F,
+    ) -> Result<(RunReport, Vec<Box<dyn Hook>>), SimError>
+    where
+        F: Fn(&mut Ctx) + Send + Sync + 'static,
+    {
+        install_quiet_abort_hook();
+        let n = self.n;
+        let body = Arc::new(body);
+        let (req_tx, req_rx) = channel::unbounded::<Request>();
+        let mut reply_txs = Vec::with_capacity(n);
+        let mut threads = Vec::with_capacity(n);
+        for rank in 0..n {
+            let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
+            reply_txs.push(reply_tx);
+            let hook = mk(rank);
+            let body = Arc::clone(&body);
+            let req_tx = req_tx.clone();
+            let builder = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(512 * 1024);
+            let handle = builder
+                .spawn(move || {
+                    let mut ctx = Ctx::new(rank, n, req_tx, reply_rx, hook);
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                    match result {
+                        Ok(()) => ctx.send_exited(),
+                        Err(payload) => {
+                            if !payload.is::<SimAbort>() {
+                                ctx.send_panicked(panic_message(&payload));
+                            }
+                        }
+                    }
+                    ctx.take_hook()
+                })
+                .expect("spawn rank thread");
+            threads.push(handle);
+        }
+        drop(req_tx);
+
+        let mut engine = Engine::new(n, self.model.clone(), self.policy, req_rx, reply_txs);
+        let engine_result = engine.run();
+
+        let mut hooks = Vec::new();
+        for t in threads {
+            match t.join() {
+                Ok(Some(h)) => hooks.push(h),
+                Ok(None) => {}
+                Err(_) => { /* rank aborted; engine_result carries the cause */ }
+            }
+        }
+
+        engine_result.map(|()| {
+            (
+                RunReport {
+                    ranks: n,
+                    total_time: engine.max_clock(),
+                    per_rank_time: engine.clocks().to_vec(),
+                    stats: engine.stats.clone(),
+                    network: self.model.name().to_string(),
+                },
+                hooks,
+            )
+        })
+    }
+}
+
+fn panic_message(payload: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Suppress the default "thread panicked" stderr noise for the controlled
+/// [`SimAbort`] teardown panics; real panics still print.
+fn install_quiet_abort_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimAbort>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the simulated runtime: determinism, matching
+//! order, and conservation laws.
+
+use mpisim::network::{self, FlatNetwork};
+use mpisim::time::SimDuration;
+use mpisim::types::{Src, TagSel};
+use mpisim::world::World;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+struct Exchange {
+    bytes: u64,
+    tag: i32,
+    compute_us: u64,
+}
+
+fn arb_exchanges() -> impl Strategy<Value = Vec<Exchange>> {
+    proptest::collection::vec(
+        ((1u64..100_000), (0i32..3), (0u64..200)).prop_map(|(bytes, tag, compute_us)| Exchange {
+            bytes,
+            tag,
+            compute_us,
+        }),
+        1..12,
+    )
+}
+
+fn run_workload(n: usize, plan: &[Exchange]) -> mpisim::world::RunReport {
+    let plan = plan.to_vec();
+    World::new(n)
+        .network(network::ethernet_cluster())
+        .run(move |ctx| {
+            let w = ctx.world();
+            let me = ctx.rank();
+            let right = (me + 1) % ctx.size();
+            let left = (me + ctx.size() - 1) % ctx.size();
+            for e in &plan {
+                let r = ctx.irecv(Src::Rank(left), TagSel::Is(e.tag), e.bytes, &w);
+                let s = ctx.isend(right, e.tag, e.bytes, &w);
+                ctx.compute(SimDuration::from_usecs(e.compute_us));
+                ctx.waitall(&[r, s]);
+            }
+            ctx.allreduce(8, &w);
+        })
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bit-determinism: two executions of the same workload produce
+    /// identical reports (clocks, stats, everything).
+    #[test]
+    fn runs_are_bit_deterministic(plan in arb_exchanges(), n in 2usize..9) {
+        let a = run_workload(n, &plan);
+        let b = run_workload(n, &plan);
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.per_rank_time, b.per_rank_time);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    /// Message conservation: every send is matched, message count is exact,
+    /// and all clocks are monotone non-negative.
+    #[test]
+    fn message_conservation(plan in arb_exchanges(), n in 2usize..9) {
+        let report = run_workload(n, &plan);
+        prop_assert_eq!(report.stats.messages, (n * plan.len()) as u64);
+        prop_assert!(report.per_rank_time.iter().all(|t| *t <= report.total_time));
+    }
+
+    /// Virtual time dominates the compute lower bound: a rank that computes
+    /// X µs can never finish earlier than X µs.
+    #[test]
+    fn compute_is_a_lower_bound(plan in arb_exchanges(), n in 2usize..9) {
+        let total_compute: u64 = plan.iter().map(|e| e.compute_us).sum();
+        let report = run_workload(n, &plan);
+        prop_assert!(
+            report.total_time.as_nanos() >= total_compute * 1_000,
+            "total {} < compute {}us",
+            report.total_time,
+            total_compute
+        );
+    }
+
+    /// FIFO per (source, tag): a receiver draining same-tag messages sees
+    /// them in send order regardless of sizes (MPI non-overtaking), for any
+    /// eager limit.
+    #[test]
+    fn non_overtaking_for_any_eager_limit(
+        sizes in proptest::collection::vec(1u64..200_000, 1..16),
+        eager_limit in 1u64..300_000,
+        delay_us in 0u64..500,
+    ) {
+        let net = Arc::new(FlatNetwork {
+            name: "prop".into(),
+            latency: SimDuration::from_usecs(10),
+            bandwidth_bps: 1e9,
+            cpu_overhead: SimDuration::from_usecs(1),
+            copy_secs_per_byte: 1e-9,
+            eager_limit,
+            unexpected_capacity: 1 << 20,
+            stall_resume_penalty: SimDuration::from_usecs(50),
+        });
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let rec2 = Arc::clone(&received);
+        let sizes2 = sizes.clone();
+        World::new(2)
+            .network(net)
+            .run(move |ctx| {
+                let w = ctx.world();
+                if ctx.rank() == 0 {
+                    for &b in &sizes2 {
+                        ctx.send(1, 7, b, &w);
+                    }
+                } else {
+                    ctx.compute(SimDuration::from_usecs(delay_us));
+                    for _ in 0..sizes2.len() {
+                        let info = ctx.recv(Src::Rank(0), TagSel::Is(7), 0, &w);
+                        rec2.lock().push(info.bytes);
+                    }
+                }
+            })
+            .unwrap();
+        let got = received.lock().clone();
+        prop_assert_eq!(got, sizes);
+    }
+
+    /// Wildcard receives drain exactly the set of messages sent, whatever
+    /// the interleaving.
+    #[test]
+    fn wildcards_drain_everything(
+        senders in proptest::collection::vec((1usize..8, 1u64..10_000), 1..12),
+        n in Just(8usize),
+    ) {
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let rec2 = Arc::clone(&received);
+        let senders2 = senders.clone();
+        World::new(n)
+            .network(network::ideal())
+            .run(move |ctx| {
+                let w = ctx.world();
+                let me = ctx.rank();
+                if me == 0 {
+                    for _ in 0..senders2.len() {
+                        let info = ctx.recv(Src::Any, TagSel::Any, 0, &w);
+                        rec2.lock().push((info.source, info.bytes));
+                    }
+                } else {
+                    for (i, &(src, bytes)) in senders2.iter().enumerate() {
+                        if src == me {
+                            ctx.send(0, i as i32, bytes, &w);
+                        }
+                    }
+                }
+            })
+            .unwrap();
+        let mut got = received.lock().clone();
+        got.sort_unstable();
+        let mut expect: Vec<(usize, u64)> = senders;
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,187 @@
+//! Trace collection: the per-rank [`Tracer`] hook (the PMPI interposition
+//! layer of ScalaTrace) and the [`trace_app`]/[`trace_world`] entry points.
+
+use crate::compress::{append_compressed, DEFAULT_MAX_WINDOW};
+use crate::merge::merge_tracers;
+use crate::params::{CommParam, RankParam, SrcParam, ValParam};
+use crate::rankset::RankSet;
+use crate::timestats::TimeStats;
+use crate::trace::{CommTable, OpTemplate, Rsd, Trace, TraceNode};
+use mpisim::ctx::Ctx;
+use mpisim::error::SimError;
+use mpisim::hooks::{Event, EventKind, Hook};
+use mpisim::network::NetworkModel;
+use mpisim::time::SimTime;
+use mpisim::types::Src;
+use mpisim::world::{RunReport, World};
+use std::sync::Arc;
+
+/// Per-rank ScalaTrace collector. Translates each interposed MPI event into
+/// a single-rank RSD and appends it to the rank-local sequence with
+/// on-the-fly loop compression.
+pub struct Tracer {
+    rank: usize,
+    nranks: usize,
+    seq: Vec<TraceNode>,
+    comms: CommTable,
+    last_exit: SimTime,
+    max_window: usize,
+    /// Number of MPI events this rank recorded.
+    pub events_seen: u64,
+}
+
+impl Tracer {
+    /// A tracer for `rank` of `nranks` with the default compression window.
+    pub fn new(rank: usize, nranks: usize) -> Tracer {
+        Tracer::with_window(rank, nranks, DEFAULT_MAX_WINDOW)
+    }
+
+    /// A tracer with an explicit tail-compression window (see
+    /// [`crate::compress`]).
+    pub fn with_window(rank: usize, nranks: usize, max_window: usize) -> Tracer {
+        Tracer {
+            rank,
+            nranks,
+            seq: Vec::new(),
+            comms: CommTable::world(nranks),
+            last_exit: SimTime::ZERO,
+            max_window,
+            events_seen: 0,
+        }
+    }
+
+    /// The rank this tracer observes.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size of the traced run.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The rank-local compressed sequence (consumed by the inter-rank
+    /// merge).
+    pub fn into_parts(self) -> (Vec<TraceNode>, CommTable) {
+        (self.seq, self.comms)
+    }
+
+    /// The rank-local compressed sequence collected so far.
+    pub fn nodes(&self) -> &[TraceNode] {
+        &self.seq
+    }
+
+    fn template_of(&mut self, kind: &EventKind) -> OpTemplate {
+        match kind {
+            EventKind::Send {
+                to,
+                tag,
+                bytes,
+                comm,
+                blocking,
+            } => OpTemplate::Send {
+                to: RankParam::Const(*to),
+                tag: *tag,
+                bytes: ValParam::Const(*bytes),
+                comm: CommParam::Const(*comm),
+                blocking: *blocking,
+            },
+            EventKind::Recv {
+                from,
+                tag,
+                bytes,
+                comm,
+                blocking,
+            } => OpTemplate::Recv {
+                from: match from {
+                    // The wildcard is recorded unresolved — ScalaTrace "does
+                    // not replace the wildcard source value with the rank of
+                    // the actual sender" (paper §4.4).
+                    Src::Any => SrcParam::Any,
+                    Src::Rank(r) => SrcParam::Rank(RankParam::Const(*r)),
+                },
+                tag: *tag,
+                bytes: ValParam::Const(*bytes),
+                comm: CommParam::Const(*comm),
+                blocking: *blocking,
+            },
+            EventKind::Wait { count } => OpTemplate::Wait {
+                count: ValParam::Const(*count as u64),
+            },
+            EventKind::Coll {
+                kind,
+                root,
+                bytes,
+                comm,
+            } => OpTemplate::Coll {
+                kind: *kind,
+                root: root.map(RankParam::Const),
+                bytes: ValParam::Const(*bytes),
+                comm: CommParam::Const(*comm),
+            },
+            EventKind::CommSplit {
+                parent,
+                result,
+                members,
+            } => {
+                self.comms.insert(*result, members.as_ref().clone());
+                OpTemplate::CommSplit {
+                    parent: *parent,
+                    result: *result,
+                }
+            }
+        }
+    }
+}
+
+impl Hook for Tracer {
+    fn on_event(&mut self, event: &Event) {
+        let compute = event.t_enter.since(self.last_exit);
+        self.last_exit = event.t_exit;
+        let op = self.template_of(&event.kind);
+        let rsd = Rsd {
+            ranks: RankSet::single(self.rank),
+            sig: event.stack_sig,
+            op,
+            compute: TimeStats::of(compute),
+        };
+        append_compressed(&mut self.seq, TraceNode::Event(rsd), self.max_window);
+        self.events_seen += 1;
+    }
+}
+
+/// A completed traced run: the merged global trace plus the run report of
+/// the traced execution (its `total_time` is the original application's
+/// simulated wall-clock time).
+#[derive(Clone, Debug)]
+pub struct TracedRun {
+    /// The merged global trace.
+    pub trace: Trace,
+    /// Run report of the traced execution.
+    pub report: RunReport,
+}
+
+/// Trace `body` running on `n` ranks over `model`. The local traces are
+/// merged into a single global trace "upon application completion", as the
+/// ScalaTrace PMPI wrapper for `MPI_Finalize` does.
+pub fn trace_app<F>(
+    n: usize,
+    model: Arc<dyn NetworkModel>,
+    body: F,
+) -> Result<TracedRun, SimError>
+where
+    F: Fn(&mut Ctx) + Send + Sync + 'static,
+{
+    trace_world(World::new(n).network(model), n, body)
+}
+
+/// As [`trace_app`], but with a fully configured [`World`] (e.g. a custom
+/// wildcard [`mpisim::engine::MatchPolicy`]).
+pub fn trace_world<F>(world: World, n: usize, body: F) -> Result<TracedRun, SimError>
+where
+    F: Fn(&mut Ctx) + Send + Sync + 'static,
+{
+    let (report, tracers) = world.run_hooked(|r| Tracer::new(r, n), body)?;
+    let trace = merge_tracers(tracers);
+    Ok(TracedRun { trace, report })
+}

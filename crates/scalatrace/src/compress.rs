@@ -1,0 +1,212 @@
+//! On-the-fly intra-rank loop compression.
+//!
+//! ScalaTrace performs loop compression *during* tracing "to reduce memory
+//! overhead and compression time" (paper §3.1). The algorithm here is the
+//! classic tail-folding scheme: after each append, look for a repeated
+//! window at the tail of the sequence and fold it — either by extending an
+//! existing loop ([`Prsd`]) whose body matches the tail, or by collapsing
+//! two adjacent identical windows into a new 2-iteration loop. Applied
+//! incrementally, arbitrary nests of loops emerge (`{1000, RSD1, RSD2,
+//! RSD3}` in the paper's Figure 2 example).
+//!
+//! Folding equivalence ignores timing histograms (they are merged), so
+//! iterations with different computation times still fold — the histogram
+//! absorbs the variation.
+
+use crate::trace::{Prsd, TraceNode};
+
+/// Default window: the longest loop body (in trace nodes) that folding will
+/// discover. Exposed for the compression ablation bench.
+pub const DEFAULT_MAX_WINDOW: usize = 32;
+
+/// Append `node` and re-establish maximal tail compression.
+pub fn append_compressed(seq: &mut Vec<TraceNode>, node: TraceNode, max_window: usize) {
+    seq.push(node);
+    compress_tail(seq, max_window);
+}
+
+/// Fold repeated windows at the tail of `seq` until no fold applies.
+pub fn compress_tail(seq: &mut Vec<TraceNode>, max_window: usize) {
+    while try_fold_tail(seq, max_window) {}
+}
+
+fn try_fold_tail(seq: &mut Vec<TraceNode>, max_window: usize) -> bool {
+    let len = seq.len();
+    for w in 1..=max_window {
+        // Case A: the `w` tail nodes repeat the body of the loop that
+        // immediately precedes them → bump the loop's iteration count.
+        if len > w {
+            if let TraceNode::Loop(p) = &seq[len - w - 1] {
+                if p.body.len() == w
+                    && p.body
+                        .iter()
+                        .zip(&seq[len - w..])
+                        .all(|(a, b)| a.foldable_with(b))
+                {
+                    let tail: Vec<TraceNode> = seq.drain(len - w..).collect();
+                    let TraceNode::Loop(p) = seq.last_mut().unwrap() else {
+                        unreachable!()
+                    };
+                    for (body, t) in p.body.iter_mut().zip(&tail) {
+                        body.absorb_times(t);
+                    }
+                    p.count += 1;
+                    return true;
+                }
+            }
+        }
+        // Case B: two adjacent identical windows of length `w` → new loop.
+        if len >= 2 * w {
+            let first = len - 2 * w;
+            let second = len - w;
+            if (0..w).all(|i| seq[first + i].foldable_with(&seq[second + i])) {
+                let tail: Vec<TraceNode> = seq.drain(second..).collect();
+                let mut body: Vec<TraceNode> = seq.drain(first..).collect();
+                for (b, t) in body.iter_mut().zip(&tail) {
+                    b.absorb_times(t);
+                }
+                seq.push(TraceNode::Loop(Prsd { count: 2, body }));
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{RankParam, ValParam};
+    use crate::rankset::RankSet;
+    use crate::timestats::TimeStats;
+    use crate::trace::{OpTemplate, Rsd};
+    use mpisim::time::SimDuration;
+
+    fn ev(sig: u64, bytes: u64, us: u64) -> TraceNode {
+        TraceNode::Event(Rsd {
+            ranks: RankSet::single(0),
+            sig,
+            op: OpTemplate::Send {
+                to: RankParam::Const(1),
+                tag: 0,
+                bytes: ValParam::Const(bytes),
+                comm: crate::params::CommParam::Const(0),
+                blocking: true,
+            },
+            compute: TimeStats::of(SimDuration::from_usecs(us)),
+        })
+    }
+
+    fn push(seq: &mut Vec<TraceNode>, n: TraceNode) {
+        append_compressed(seq, n, DEFAULT_MAX_WINDOW);
+    }
+
+    #[test]
+    fn identical_events_fold_to_one_loop() {
+        let mut seq = Vec::new();
+        for i in 0..1000 {
+            push(&mut seq, ev(1, 64, 10 + (i % 3)));
+        }
+        assert_eq!(seq.len(), 1);
+        let TraceNode::Loop(p) = &seq[0] else {
+            panic!("expected loop")
+        };
+        assert_eq!(p.count, 1000);
+        assert_eq!(p.body.len(), 1);
+        let TraceNode::Event(r) = &p.body[0] else {
+            panic!()
+        };
+        // all 1000 compute samples live in the histogram
+        assert_eq!(r.compute.count(), 1000);
+    }
+
+    #[test]
+    fn multi_event_loop_body() {
+        // the paper's Figure 2: (irecv, isend, waitall) x 1000 → one PRSD
+        let mut seq = Vec::new();
+        for _ in 0..1000 {
+            push(&mut seq, ev(1, 1024, 5));
+            push(&mut seq, ev(2, 1024, 5));
+            push(&mut seq, ev(3, 0, 5));
+        }
+        assert_eq!(seq.len(), 1);
+        let TraceNode::Loop(p) = &seq[0] else { panic!() };
+        assert_eq!(p.count, 1000);
+        assert_eq!(p.body.len(), 3);
+    }
+
+    #[test]
+    fn nested_loops_emerge() {
+        // outer 5 { inner 10 { A } ; B } — A has sig 1, B sig 2
+        let mut seq = Vec::new();
+        for _ in 0..5 {
+            for _ in 0..10 {
+                push(&mut seq, ev(1, 64, 1));
+            }
+            push(&mut seq, ev(2, 8, 1));
+        }
+        // expect: Loop x5 { Loop x10 {A}, B }
+        assert_eq!(seq.len(), 1, "trace: {seq:#?}");
+        let TraceNode::Loop(outer) = &seq[0] else {
+            panic!()
+        };
+        assert_eq!(outer.count, 5);
+        assert_eq!(outer.body.len(), 2);
+        let TraceNode::Loop(inner) = &outer.body[0] else {
+            panic!("inner loop expected, got {:?}", outer.body[0])
+        };
+        assert_eq!(inner.count, 10);
+    }
+
+    #[test]
+    fn different_events_do_not_fold() {
+        let mut seq = Vec::new();
+        for i in 0..10 {
+            push(&mut seq, ev(i, 64, 1)); // distinct signatures
+        }
+        assert_eq!(seq.len(), 10);
+    }
+
+    #[test]
+    fn different_sizes_do_not_fold() {
+        let mut seq = Vec::new();
+        push(&mut seq, ev(1, 64, 1));
+        push(&mut seq, ev(1, 128, 1));
+        push(&mut seq, ev(1, 64, 1));
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn window_limits_fold_length() {
+        // period-3 pattern with window 2: cannot fold
+        let mut seq = Vec::new();
+        for _ in 0..4 {
+            for s in [1u64, 2, 3] {
+                append_compressed(&mut seq, ev(s, 64, 1), 2);
+            }
+        }
+        assert_eq!(seq.len(), 12);
+        // window 3 folds it
+        let mut seq = Vec::new();
+        for _ in 0..4 {
+            for s in [1u64, 2, 3] {
+                append_compressed(&mut seq, ev(s, 64, 1), 3);
+            }
+        }
+        assert_eq!(seq.len(), 1);
+    }
+
+    #[test]
+    fn concrete_event_count_is_preserved() {
+        let mut seq = Vec::new();
+        let mut pushed = 0u64;
+        for i in 0..500u64 {
+            // quasi-periodic pattern with a break in the middle
+            let sig = if i == 250 { 99 } else { 1 + (i % 4) };
+            push(&mut seq, ev(sig, 64, 1));
+            pushed += 1;
+        }
+        let total: u64 = seq.iter().map(TraceNode::concrete_event_count).sum();
+        assert_eq!(total, pushed, "compression must be lossless in event count");
+    }
+}

@@ -1,0 +1,444 @@
+//! Per-rank traversal of a compressed trace.
+//!
+//! A [`Cursor`] expands loops and resolves rank-relative parameters to
+//! yield the concrete event stream of one rank, in program order, without
+//! materialising the uncompressed trace. It is the "traversal context"
+//! (current RSD + loop stack + iteration counts) of the paper's
+//! Algorithms 1 and 2, and the driver for replay.
+
+use crate::trace::{OpTemplate, Trace, TraceNode};
+use mpisim::comm::CommId;
+use mpisim::time::SimDuration;
+use mpisim::types::{CollKind, Rank, Src, Tag, TagSel};
+
+/// A fully concrete MPI operation for one rank.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConcreteOp {
+    /// A send with resolved destination.
+    Send {
+        /// Destination (absolute rank).
+        to: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size.
+        bytes: u64,
+        /// Communicator id.
+        comm: CommId,
+        /// Blocking vs nonblocking form.
+        blocking: bool,
+    },
+    /// A receive (source may still be the wildcard).
+    Recv {
+        /// Source selector.
+        from: Src,
+        /// Tag selector.
+        tag: TagSel,
+        /// Expected payload size.
+        bytes: u64,
+        /// Communicator id.
+        comm: CommId,
+        /// Blocking vs nonblocking form.
+        blocking: bool,
+    },
+    /// A wait over `count` outstanding requests.
+    Wait {
+        /// Number of requests waited on.
+        count: u64,
+    },
+    /// A collective operation.
+    Coll {
+        /// Which collective.
+        kind: CollKind,
+        /// Root (absolute) for rooted collectives.
+        root: Option<Rank>,
+        /// This rank's local contribution in bytes.
+        bytes: u64,
+        /// Communicator id.
+        comm: CommId,
+    },
+    /// An `MPI_Comm_split` that put this rank into `result`.
+    CommSplit {
+        /// The communicator that was split.
+        parent: CommId,
+        /// The resulting communicator for this rank.
+        result: CommId,
+    },
+}
+
+/// One concrete event: the operation, its call-site signature, and the mean
+/// computation time preceding it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConcreteEvent {
+    /// The operation.
+    pub op: ConcreteOp,
+    /// Call-site stack signature.
+    pub sig: u64,
+    /// Mean computation time preceding the call.
+    pub compute: SimDuration,
+}
+
+struct Frame<'t> {
+    nodes: &'t [TraceNode],
+    idx: usize,
+    iter: u64,
+    count: u64,
+}
+
+/// How a cursor resolves the computation time preceding each event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingMode {
+    /// The histogram mean — deterministic and exact in total (the paper's
+    /// replay behaviour).
+    Mean,
+    /// Deterministic pseudo-samples drawn from the histogram (seeded):
+    /// restores per-event variance at the cost of exactness of the total.
+    Sampled(u64),
+}
+
+/// Lazy per-rank iterator over a trace.
+pub struct Cursor<'t> {
+    rank: Rank,
+    frames: Vec<Frame<'t>>,
+    timing: TimingMode,
+    event_counter: u64,
+}
+
+impl<'t> Cursor<'t> {
+    /// A cursor over `trace` for `rank`.
+    pub fn new(trace: &'t Trace, rank: Rank) -> Cursor<'t> {
+        Cursor::over(&trace.nodes, rank)
+    }
+
+    /// A cursor with an explicit compute-[`TimingMode`].
+    pub fn with_timing(trace: &'t Trace, rank: Rank, timing: TimingMode) -> Cursor<'t> {
+        let mut c = Cursor::over(&trace.nodes, rank);
+        c.timing = timing;
+        c
+    }
+
+    /// Cursor over a raw node sequence.
+    pub fn over(nodes: &'t [TraceNode], rank: Rank) -> Cursor<'t> {
+        Cursor {
+            rank,
+            frames: vec![Frame {
+                nodes,
+                idx: 0,
+                iter: 0,
+                count: 1,
+            }],
+            timing: TimingMode::Mean,
+            event_counter: 0,
+        }
+    }
+
+    /// The rank this cursor resolves for.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Resolve the next event for this rank, if any.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<ConcreteEvent> {
+        loop {
+            let frame = self.frames.last_mut()?;
+            if frame.idx >= frame.nodes.len() {
+                frame.iter += 1;
+                if frame.iter < frame.count {
+                    frame.idx = 0;
+                    continue;
+                }
+                self.frames.pop();
+                if self.frames.is_empty() {
+                    return None;
+                }
+                continue;
+            }
+            match &frame.nodes[frame.idx] {
+                TraceNode::Loop(p) => {
+                    frame.idx += 1;
+                    if p.count > 0 {
+                        let body = &p.body;
+                        self.frames.push(Frame {
+                            nodes: body,
+                            idx: 0,
+                            iter: 0,
+                            count: p.count,
+                        });
+                    }
+                }
+                TraceNode::Event(rsd) => {
+                    frame.idx += 1;
+                    if rsd.ranks.contains(self.rank) {
+                        self.event_counter += 1;
+                        return Some(concretise(
+                            rsd,
+                            self.rank,
+                            self.timing,
+                            self.event_counter,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain all remaining events.
+    pub fn collect_all(mut self) -> Vec<ConcreteEvent> {
+        let mut out = Vec::new();
+        while let Some(e) = self.next() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+fn concretise(
+    rsd: &crate::trace::Rsd,
+    rank: Rank,
+    timing: TimingMode,
+    counter: u64,
+) -> ConcreteEvent {
+    let op = match &rsd.op {
+        OpTemplate::Send {
+            to,
+            tag,
+            bytes,
+            comm,
+            blocking,
+        } => ConcreteOp::Send {
+            to: to.eval(rank),
+            tag: *tag,
+            bytes: bytes.eval(rank),
+            comm: comm.eval(rank),
+            blocking: *blocking,
+        },
+        OpTemplate::Recv {
+            from,
+            tag,
+            bytes,
+            comm,
+            blocking,
+        } => ConcreteOp::Recv {
+            from: match from {
+                crate::params::SrcParam::Any => Src::Any,
+                crate::params::SrcParam::Rank(r) => Src::Rank(r.eval(rank)),
+            },
+            tag: *tag,
+            bytes: bytes.eval(rank),
+            comm: comm.eval(rank),
+            blocking: *blocking,
+        },
+        OpTemplate::Wait { count } => ConcreteOp::Wait {
+            count: count.eval(rank),
+        },
+        OpTemplate::Coll {
+            kind,
+            root,
+            bytes,
+            comm,
+        } => ConcreteOp::Coll {
+            kind: *kind,
+            root: root.as_ref().map(|r| r.eval(rank)),
+            bytes: bytes.eval(rank),
+            comm: comm.eval(rank),
+        },
+        OpTemplate::CommSplit { parent, result } => ConcreteOp::CommSplit {
+            parent: *parent,
+            result: *result,
+        },
+    };
+    let compute = match timing {
+        TimingMode::Mean => rsd.compute.mean(),
+        TimingMode::Sampled(seed) => {
+            let mut h = mpisim::types::Fnv1a::new();
+            h.write_u64(seed);
+            h.write_u64(rank as u64);
+            h.write_u64(counter);
+            rsd.compute.sample_at(h.finish())
+        }
+    };
+    ConcreteEvent {
+        op,
+        sig: rsd.sig,
+        compute,
+    }
+}
+
+/// The concrete event stream of one rank (convenience wrapper).
+pub fn events_for_rank(trace: &Trace, rank: Rank) -> Vec<ConcreteEvent> {
+    Cursor::new(trace, rank).collect_all()
+}
+
+/// Semantic equality of two traces: every rank's concrete operation stream
+/// matches, ignoring call-site signatures and timing. This is the
+/// normalised comparison of the paper's §5.2 (where ScalaReplay is used to
+/// "eliminate spurious structural differences" caused by differing stack
+/// signatures).
+pub fn semantically_equal(a: &Trace, b: &Trace) -> Result<(), String> {
+    if a.nranks != b.nranks {
+        return Err(format!("rank counts differ: {} vs {}", a.nranks, b.nranks));
+    }
+    for r in 0..a.nranks {
+        let mut ca = Cursor::new(a, r);
+        let mut cb = Cursor::new(b, r);
+        let mut i = 0usize;
+        loop {
+            match (ca.next(), cb.next()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    if x.op != y.op {
+                        return Err(format!(
+                            "rank {r}, event {i}: {:?} vs {:?}",
+                            x.op, y.op
+                        ));
+                    }
+                }
+                (Some(x), None) => {
+                    return Err(format!("rank {r}: left has extra event {i}: {:?}", x.op))
+                }
+                (None, Some(y)) => {
+                    return Err(format!("rank {r}: right has extra event {i}: {:?}", y.op))
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{RankParam, ValParam};
+    use crate::rankset::RankSet;
+    use crate::timestats::TimeStats;
+    use crate::trace::{Prsd, Rsd};
+    use mpisim::time::SimDuration;
+
+    fn trace_ring(n: usize, iters: u64) -> Trace {
+        let mut t = Trace::new(n);
+        t.nodes.push(TraceNode::Loop(Prsd {
+            count: iters,
+            body: vec![TraceNode::Event(Rsd {
+                ranks: RankSet::all(n),
+                sig: 1,
+                op: OpTemplate::Send {
+                    to: RankParam::OffsetMod {
+                        offset: 1,
+                        modulus: n,
+                    },
+                    tag: 0,
+                    bytes: ValParam::Const(1024),
+                    comm: crate::params::CommParam::Const(0),
+                    blocking: true,
+                },
+                compute: TimeStats::of(SimDuration::from_usecs(10)),
+            })],
+        }));
+        t
+    }
+
+    #[test]
+    fn cursor_expands_loops_and_resolves_params() {
+        let t = trace_ring(4, 3);
+        let evs = events_for_rank(&t, 3);
+        assert_eq!(evs.len(), 3);
+        for e in &evs {
+            assert_eq!(
+                e.op,
+                ConcreteOp::Send {
+                    to: 0, // (3+1)%4
+                    tag: 0,
+                    bytes: 1024,
+                    comm: 0,
+                    blocking: true
+                }
+            );
+            assert_eq!(e.compute, SimDuration::from_usecs(10));
+        }
+    }
+
+    #[test]
+    fn cursor_skips_foreign_ranks() {
+        let mut t = trace_ring(4, 1);
+        // add an event only for rank 0
+        t.nodes.push(TraceNode::Event(Rsd {
+            ranks: RankSet::single(0),
+            sig: 2,
+            op: OpTemplate::Wait {
+                count: ValParam::Const(1),
+            },
+            compute: TimeStats::new(),
+        }));
+        assert_eq!(events_for_rank(&t, 0).len(), 2);
+        assert_eq!(events_for_rank(&t, 1).len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_expand_in_order() {
+        let mut t = Trace::new(1);
+        let leaf = |sig: u64| {
+            TraceNode::Event(Rsd {
+                ranks: RankSet::single(0),
+                sig,
+                op: OpTemplate::Wait {
+                    count: ValParam::Const(sig),
+                },
+                compute: TimeStats::new(),
+            })
+        };
+        t.nodes.push(TraceNode::Loop(Prsd {
+            count: 2,
+            body: vec![
+                TraceNode::Loop(Prsd {
+                    count: 3,
+                    body: vec![leaf(1)],
+                }),
+                leaf(2),
+            ],
+        }));
+        let sigs: Vec<u64> = events_for_rank(&t, 0).iter().map(|e| e.sig).collect();
+        assert_eq!(sigs, vec![1, 1, 1, 2, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn zero_iteration_loops_yield_nothing() {
+        let mut t = Trace::new(1);
+        t.nodes.push(TraceNode::Loop(Prsd {
+            count: 0,
+            body: vec![TraceNode::Event(Rsd {
+                ranks: RankSet::single(0),
+                sig: 1,
+                op: OpTemplate::Wait {
+                    count: ValParam::Const(1),
+                },
+                compute: TimeStats::new(),
+            })],
+        }));
+        assert!(events_for_rank(&t, 0).is_empty());
+    }
+
+    #[test]
+    fn semantic_equality_detects_differences() {
+        let a = trace_ring(4, 3);
+        let b = trace_ring(4, 3);
+        assert!(semantically_equal(&a, &b).is_ok());
+        let c = trace_ring(4, 4);
+        assert!(semantically_equal(&a, &c).is_err());
+        let d = trace_ring(2, 3);
+        assert!(semantically_equal(&a, &d).is_err());
+    }
+
+    #[test]
+    fn semantic_equality_ignores_signatures_and_times() {
+        let a = trace_ring(4, 2);
+        let mut b = trace_ring(4, 2);
+        if let TraceNode::Loop(p) = &mut b.nodes[0] {
+            if let TraceNode::Event(r) = &mut p.body[0] {
+                r.sig = 999;
+                r.compute = TimeStats::of(SimDuration::from_secs(1));
+            }
+        }
+        assert!(semantically_equal(&a, &b).is_ok());
+    }
+}

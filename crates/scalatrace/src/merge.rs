@@ -1,0 +1,398 @@
+//! Inter-rank trace merging.
+//!
+//! "The local traces are combined into a single global trace upon
+//! application completion. This inter-node compression detects similarities
+//! among the per-node traces and merges the RSDs by combining their lists
+//! of participating nodes." (paper §3.1)
+//!
+//! The merge is a binary reduction over the per-rank sequences (O(log p)
+//! depth, as in ScalaTrace's radix merge). One pairwise step aligns two
+//! sequences with an LCS over the *mergeable* relation — same call-site
+//! signature and op shape, parameters unifiable — and merges matched nodes
+//! by taking the union of their rank sets and unifying parameters
+//! ([`crate::params`]). Unmatched nodes are interleaved, which preserves
+//! the per-rank projection order (each rank only appears on one side).
+
+use crate::collect::Tracer;
+use crate::params::{CommParam, RankParam, SrcParam, ValParam};
+use crate::trace::{same_op_shape, CommTable, OpTemplate, Prsd, Rsd, Trace, TraceNode};
+
+/// Merge all per-rank tracers into a global trace (binary tree reduction).
+pub fn merge_tracers(tracers: Vec<Tracer>) -> Trace {
+    assert!(!tracers.is_empty());
+    let nranks = tracers[0].nranks();
+    let mut comms = CommTable::world(nranks);
+    let mut seqs: Vec<Vec<TraceNode>> = Vec::with_capacity(tracers.len());
+    for t in tracers {
+        let (seq, c) = t.into_parts();
+        comms.merge(&c);
+        seqs.push(seq);
+    }
+    let nodes = merge_sequences(seqs, nranks);
+    Trace {
+        nranks,
+        nodes,
+        comms,
+    }
+}
+
+/// Binary-tree reduction of many per-rank sequences.
+pub fn merge_sequences(mut seqs: Vec<Vec<TraceNode>>, world: usize) -> Vec<TraceNode> {
+    while seqs.len() > 1 {
+        let mut next = Vec::with_capacity(seqs.len().div_ceil(2));
+        let mut it = seqs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_pair(a, b, world)),
+                None => next.push(a),
+            }
+        }
+        seqs = next;
+    }
+    seqs.pop().unwrap_or_default()
+}
+
+/// Can two nodes be merged into one RSD/PRSD spanning both rank sets?
+pub fn mergeable(a: &TraceNode, b: &TraceNode) -> bool {
+    match (a, b) {
+        (TraceNode::Event(x), TraceNode::Event(y)) => {
+            x.sig == y.sig && same_op_shape(&x.op, &y.op) && !x.ranks.intersects(&y.ranks)
+        }
+        (TraceNode::Loop(x), TraceNode::Loop(y)) => {
+            x.count == y.count
+                && x.body.len() == y.body.len()
+                && x.body.iter().zip(&y.body).all(|(p, q)| mergeable(p, q))
+        }
+        _ => false,
+    }
+}
+
+/// Merge two mergeable nodes.
+fn merge_nodes(a: TraceNode, b: TraceNode, world: usize) -> TraceNode {
+    match (a, b) {
+        (TraceNode::Event(x), TraceNode::Event(y)) => TraceNode::Event(merge_rsds(x, y, world)),
+        (TraceNode::Loop(x), TraceNode::Loop(y)) => {
+            let body = x
+                .body
+                .into_iter()
+                .zip(y.body)
+                .map(|(p, q)| merge_nodes(p, q, world))
+                .collect();
+            TraceNode::Loop(Prsd {
+                count: x.count,
+                body,
+            })
+        }
+        _ => unreachable!("merge_nodes on non-mergeable pair"),
+    }
+}
+
+/// Merge two same-shape RSDs: union ranks, unify parameters, pool times.
+pub fn merge_rsds(a: Rsd, b: Rsd, world: usize) -> Rsd {
+    let op = match (&a.op, &b.op) {
+        (
+            OpTemplate::Send {
+                to: t1,
+                tag,
+                bytes: b1,
+                comm: c1,
+                blocking,
+            },
+            OpTemplate::Send {
+                to: t2,
+                bytes: b2,
+                comm: c2,
+                ..
+            },
+        ) => OpTemplate::Send {
+            to: RankParam::unify(t1, &a.ranks, t2, &b.ranks, world),
+            tag: *tag,
+            bytes: ValParam::unify(b1, &a.ranks, b2, &b.ranks),
+            comm: CommParam::unify(c1, &a.ranks, c2, &b.ranks),
+            blocking: *blocking,
+        },
+        (
+            OpTemplate::Recv {
+                from: f1,
+                tag,
+                bytes: b1,
+                comm: c1,
+                blocking,
+            },
+            OpTemplate::Recv {
+                from: f2,
+                bytes: b2,
+                comm: c2,
+                ..
+            },
+        ) => OpTemplate::Recv {
+            from: SrcParam::unify(f1, &a.ranks, f2, &b.ranks, world)
+                .expect("same_op_shape guarantees matching wildcard-ness"),
+            tag: *tag,
+            bytes: ValParam::unify(b1, &a.ranks, b2, &b.ranks),
+            comm: CommParam::unify(c1, &a.ranks, c2, &b.ranks),
+            blocking: *blocking,
+        },
+        (OpTemplate::Wait { count: c1 }, OpTemplate::Wait { count: c2 }) => OpTemplate::Wait {
+            count: ValParam::unify(c1, &a.ranks, c2, &b.ranks),
+        },
+        (
+            OpTemplate::Coll {
+                kind,
+                root: r1,
+                bytes: b1,
+                comm: c1,
+            },
+            OpTemplate::Coll {
+                root: r2,
+                bytes: b2,
+                comm: c2,
+                ..
+            },
+        ) => OpTemplate::Coll {
+            kind: *kind,
+            root: match (r1, r2) {
+                (Some(x), Some(y)) => Some(RankParam::unify(x, &a.ranks, y, &b.ranks, world)),
+                (None, None) => None,
+                _ => unreachable!("same kind implies same rootedness"),
+            },
+            bytes: ValParam::unify(b1, &a.ranks, b2, &b.ranks),
+            comm: CommParam::unify(c1, &a.ranks, c2, &b.ranks),
+        },
+        (OpTemplate::CommSplit { parent, result }, OpTemplate::CommSplit { .. }) => {
+            OpTemplate::CommSplit {
+                parent: *parent,
+                result: *result,
+            }
+        }
+        _ => unreachable!("same_op_shape checked"),
+    };
+    let mut compute = a.compute.clone();
+    compute.merge(&b.compute);
+    Rsd {
+        ranks: a.ranks.union(&b.ranks),
+        sig: a.sig,
+        op,
+        compute,
+    }
+}
+
+/// Align and merge two sequences with an LCS over [`mergeable`].
+pub fn merge_pair(a: Vec<TraceNode>, b: Vec<TraceNode>, world: usize) -> Vec<TraceNode> {
+    let n = a.len();
+    let m = b.len();
+    // LCS DP table of match lengths.
+    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    let at = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[at(i, j)] = if mergeable(&a[i], &b[j]) {
+                dp[at(i + 1, j + 1)] + 1
+            } else {
+                dp[at(i + 1, j)].max(dp[at(i, j + 1)])
+            };
+        }
+    }
+    // Reconstruct: matched pairs merge; unmatched nodes pass through.
+    let mut out = Vec::with_capacity(n.max(m));
+    let mut ai = a.into_iter();
+    let mut bi = b.into_iter();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        // Peek without consuming: decide from dp.
+        let take_both = {
+            let x = ai.as_slice().first().unwrap();
+            let y = bi.as_slice().first().unwrap();
+            mergeable(x, y) && dp[at(i, j)] == dp[at(i + 1, j + 1)] + 1
+        };
+        if take_both {
+            let x = ai.next().unwrap();
+            let y = bi.next().unwrap();
+            out.push(merge_nodes(x, y, world));
+            i += 1;
+            j += 1;
+        } else if dp[at(i + 1, j)] >= dp[at(i, j + 1)] {
+            out.push(ai.next().unwrap());
+            i += 1;
+        } else {
+            out.push(bi.next().unwrap());
+            j += 1;
+        }
+    }
+    out.extend(ai);
+    out.extend(bi);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rankset::RankSet;
+    use crate::timestats::TimeStats;
+    use mpisim::time::SimDuration;
+    use mpisim::types::CollKind;
+
+    fn send(rank: usize, to: usize, bytes: u64, sig: u64) -> TraceNode {
+        TraceNode::Event(Rsd {
+            ranks: RankSet::single(rank),
+            sig,
+            op: OpTemplate::Send {
+                to: RankParam::Const(to),
+                tag: 0,
+                bytes: ValParam::Const(bytes),
+                comm: CommParam::Const(0),
+                blocking: true,
+            },
+            compute: TimeStats::of(SimDuration::from_usecs(10)),
+        })
+    }
+
+    fn barrier(rank: usize, sig: u64) -> TraceNode {
+        TraceNode::Event(Rsd {
+            ranks: RankSet::single(rank),
+            sig,
+            op: OpTemplate::Coll {
+                kind: CollKind::Barrier,
+                root: None,
+                bytes: ValParam::Const(0),
+                comm: CommParam::Const(0),
+            },
+            compute: TimeStats::new(),
+        })
+    }
+
+    #[test]
+    fn identical_sequences_merge_to_one() {
+        // 4 ranks, each: send to rank+1 then barrier.
+        let seqs: Vec<Vec<TraceNode>> = (0..4)
+            .map(|r| vec![send(r, r + 1, 64, 1), barrier(r, 2)])
+            .collect();
+        let merged = merge_sequences(seqs, 8);
+        assert_eq!(merged.len(), 2);
+        let TraceNode::Event(s) = &merged[0] else { panic!() };
+        assert_eq!(s.ranks, RankSet::all(4));
+        let OpTemplate::Send { to, .. } = &s.op else { panic!() };
+        assert_eq!(*to, RankParam::Offset(1));
+        let TraceNode::Event(b) = &merged[1] else { panic!() };
+        assert_eq!(b.ranks.len(), 4);
+        // compute histograms pooled across ranks
+        assert_eq!(s.compute.count(), 4);
+    }
+
+    #[test]
+    fn ring_merges_to_offset_mod() {
+        let n = 8;
+        let seqs: Vec<Vec<TraceNode>> = (0..n).map(|r| vec![send(r, (r + 1) % n, 64, 1)]).collect();
+        let merged = merge_sequences(seqs, n);
+        assert_eq!(merged.len(), 1);
+        let TraceNode::Event(s) = &merged[0] else { panic!() };
+        let OpTemplate::Send { to, .. } = &s.op else { panic!() };
+        assert_eq!(
+            *to,
+            RankParam::OffsetMod {
+                offset: 1,
+                modulus: n
+            }
+        );
+    }
+
+    #[test]
+    fn different_callsites_do_not_merge() {
+        let seqs = vec![vec![barrier(0, 1)], vec![barrier(1, 2)]]; // sigs differ
+        let merged = merge_sequences(seqs, 2);
+        assert_eq!(merged.len(), 2, "distinct call sites stay separate RSDs");
+    }
+
+    #[test]
+    fn loops_merge_when_structure_matches() {
+        let mk = |r: usize| {
+            vec![TraceNode::Loop(Prsd {
+                count: 100,
+                body: vec![send(r, (r + 1) % 4, 1024, 1)],
+            })]
+        };
+        let merged = merge_sequences((0..4).map(mk).collect(), 4);
+        assert_eq!(merged.len(), 1);
+        let TraceNode::Loop(p) = &merged[0] else { panic!() };
+        assert_eq!(p.count, 100);
+        let TraceNode::Event(e) = &p.body[0] else { panic!() };
+        assert_eq!(e.ranks.len(), 4);
+    }
+
+    #[test]
+    fn loops_with_different_counts_stay_separate() {
+        let a = vec![TraceNode::Loop(Prsd {
+            count: 10,
+            body: vec![send(0, 1, 64, 1)],
+        })];
+        let b = vec![TraceNode::Loop(Prsd {
+            count: 20,
+            body: vec![send(1, 2, 64, 1)],
+        })];
+        let merged = merge_pair(a, b, 4);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn partially_shared_sequences_interleave() {
+        // rank 0: extra send before the common barrier
+        let a = vec![send(0, 1, 64, 10), barrier(0, 2)];
+        let b = vec![barrier(1, 2)];
+        let merged = merge_pair(a, b, 2);
+        assert_eq!(merged.len(), 2);
+        let TraceNode::Event(last) = &merged[1] else { panic!() };
+        assert_eq!(last.ranks.len(), 2, "barrier merged across ranks");
+    }
+
+    #[test]
+    fn merge_preserves_total_event_count() {
+        let n = 16;
+        let seqs: Vec<Vec<TraceNode>> = (0..n)
+            .map(|r| {
+                vec![
+                    send(r, (r + 1) % n, 64, 1),
+                    send(r, (r + n - 1) % n, 64, 2),
+                    barrier(r, 3),
+                ]
+            })
+            .collect();
+        let total_before: u64 = seqs
+            .iter()
+            .flatten()
+            .map(TraceNode::concrete_event_count)
+            .sum();
+        let merged = merge_sequences(seqs, n);
+        let total_after: u64 = merged.iter().map(TraceNode::concrete_event_count).sum();
+        assert_eq!(total_before, total_after, "merging is lossless");
+        assert_eq!(merged.len(), 3, "fully merged across ranks");
+    }
+
+    #[test]
+    fn wildcard_and_concrete_recv_stay_separate() {
+        let wild = TraceNode::Event(Rsd {
+            ranks: RankSet::single(0),
+            sig: 5,
+            op: OpTemplate::Recv {
+                from: SrcParam::Any,
+                tag: mpisim::types::TagSel::Any,
+                bytes: ValParam::Const(8),
+                comm: CommParam::Const(0),
+                blocking: true,
+            },
+            compute: TimeStats::new(),
+        });
+        let concrete = TraceNode::Event(Rsd {
+            ranks: RankSet::single(1),
+            sig: 5,
+            op: OpTemplate::Recv {
+                from: SrcParam::Rank(RankParam::Const(0)),
+                tag: mpisim::types::TagSel::Any,
+                bytes: ValParam::Const(8),
+                comm: CommParam::Const(0),
+                blocking: true,
+            },
+            compute: TimeStats::new(),
+        });
+        assert!(!mergeable(&wild, &concrete));
+    }
+}

@@ -1,0 +1,448 @@
+//! Mergeable RSD parameters.
+//!
+//! When ScalaTrace merges per-node RSDs it must unify the parameter values
+//! of the constituent calls. A parameter that is identical everywhere stays
+//! a constant; one that is expressible *relative to the rank* (`rank+1`,
+//! `(rank+1) mod N` …) becomes a rank expression; anything else degrades to
+//! an explicit per-rank table. This is the "structural compression extends
+//! to any event parameters" property the paper contrasts with call-graph
+//! compression (§2).
+
+use crate::rankset::RankSet;
+use mpisim::types::Rank;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A peer-rank parameter as a function of the owning rank.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RankParam {
+    /// Same absolute rank for every participant.
+    Const(Rank),
+    /// `peer = rank + offset` (no wraparound).
+    Offset(i64),
+    /// `peer = (rank + offset) mod modulus` — ring patterns.
+    OffsetMod {
+        /// Additive offset before the modulo.
+        offset: i64,
+        /// The modulus (the world size in collected traces).
+        modulus: usize,
+    },
+    /// `peer = rank XOR mask` — hypercube/butterfly patterns.
+    Xor(usize),
+    /// Explicit per-rank table (the uncompressed fallback).
+    PerRank(BTreeMap<Rank, Rank>),
+}
+
+impl RankParam {
+    /// The peer value for `rank`.
+    pub fn eval(&self, rank: Rank) -> Rank {
+        match self {
+            RankParam::Const(c) => *c,
+            RankParam::Offset(d) => (rank as i64 + d) as Rank,
+            RankParam::OffsetMod { offset, modulus } => {
+                (((rank as i64 + offset) % *modulus as i64 + *modulus as i64)
+                    % *modulus as i64) as Rank
+            }
+            RankParam::Xor(mask) => rank ^ mask,
+            RankParam::PerRank(m) => *m.get(&rank).expect("rank present in table"),
+        }
+    }
+
+    /// Expand to an explicit map over `ranks`.
+    fn table(&self, ranks: &RankSet) -> BTreeMap<Rank, Rank> {
+        ranks.iter().map(|r| (r, self.eval(r))).collect()
+    }
+
+    /// Unify two parameters over disjoint rank sets, producing the most
+    /// compact representation that is exact for the union.
+    pub fn unify(
+        a: &RankParam,
+        a_ranks: &RankSet,
+        b: &RankParam,
+        b_ranks: &RankSet,
+        world: usize,
+    ) -> RankParam {
+        let mut table = a.table(a_ranks);
+        table.extend(b.table(b_ranks));
+        compress_rank_table(table, world)
+    }
+
+    /// Is this a compressed (non-table) form?
+    pub fn is_compressed(&self) -> bool {
+        !matches!(self, RankParam::PerRank(_))
+    }
+}
+
+/// Find the most compact exact representation of a rank→peer table.
+pub fn compress_rank_table(table: BTreeMap<Rank, Rank>, world: usize) -> RankParam {
+    debug_assert!(!table.is_empty());
+    let mut values = table.values();
+    let first = *values.next().unwrap();
+    if table.values().all(|&v| v == first) {
+        return RankParam::Const(first);
+    }
+    let (&r0, &v0) = table.iter().next().unwrap();
+    let d = v0 as i64 - r0 as i64;
+    if table.iter().all(|(&r, &v)| v as i64 - r as i64 == d) {
+        return RankParam::Offset(d);
+    }
+    let mask = r0 ^ v0;
+    if mask != 0 && table.iter().all(|(&r, &v)| r ^ v == mask) {
+        return RankParam::Xor(mask);
+    }
+    if world > 0 {
+        let m = world as i64;
+        let dm = ((v0 as i64 - r0 as i64) % m + m) % m;
+        if table
+            .iter()
+            .all(|(&r, &v)| ((v as i64 - r as i64) % m + m) % m == dm && v < world)
+        {
+            return RankParam::OffsetMod {
+                offset: dm,
+                modulus: world,
+            };
+        }
+    }
+    RankParam::PerRank(table)
+}
+
+impl fmt::Display for RankParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankParam::Const(c) => write!(f, "{c}"),
+            RankParam::Offset(d) if *d >= 0 => write!(f, "rank+{d}"),
+            RankParam::Offset(d) => write!(f, "rank{d}"),
+            RankParam::OffsetMod { offset, modulus } => {
+                write!(f, "(rank+{offset})%{modulus}")
+            }
+            RankParam::Xor(mask) => write!(f, "rank^{mask}"),
+            RankParam::PerRank(m) => {
+                write!(f, "[")?;
+                for (i, (r, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}->{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Source parameter of a receive: wildcard or a rank expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SrcParam {
+    /// `MPI_ANY_SOURCE`, recorded unresolved.
+    Any,
+    /// A concrete (rank-relative) source.
+    Rank(RankParam),
+}
+
+impl SrcParam {
+    /// Is this `MPI_ANY_SOURCE`?
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, SrcParam::Any)
+    }
+
+    /// Unify two source parameters over disjoint rank sets; `None` when one
+    /// side is a wildcard and the other is not (they must stay separate
+    /// RSDs for Algorithm 2).
+    pub fn unify(
+        a: &SrcParam,
+        a_ranks: &RankSet,
+        b: &SrcParam,
+        b_ranks: &RankSet,
+        world: usize,
+    ) -> Option<SrcParam> {
+        match (a, b) {
+            (SrcParam::Any, SrcParam::Any) => Some(SrcParam::Any),
+            (SrcParam::Rank(x), SrcParam::Rank(y)) => Some(SrcParam::Rank(RankParam::unify(
+                x, a_ranks, y, b_ranks, world,
+            ))),
+            // A wildcard and a concrete source are *different* operations;
+            // merging them would lose the nondeterminism Algorithm 2 must see.
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SrcParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrcParam::Any => write!(f, "ANY_SOURCE"),
+            SrcParam::Rank(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A communicator parameter: like other RSD parameters, the communicator an
+/// operation uses may differ across the merged ranks (e.g. CG's per-column
+/// allreduce — same call site, different subcommunicator per column).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CommParam {
+    /// Same communicator on every rank.
+    Const(u32),
+    /// Explicit per-rank communicator table.
+    PerRank(BTreeMap<Rank, u32>),
+}
+
+impl CommParam {
+    /// The communicator used by `rank`.
+    pub fn eval(&self, rank: Rank) -> u32 {
+        match self {
+            CommParam::Const(c) => *c,
+            CommParam::PerRank(m) => *m.get(&rank).expect("rank present in table"),
+        }
+    }
+
+    fn table(&self, ranks: &RankSet) -> BTreeMap<Rank, u32> {
+        ranks.iter().map(|r| (r, self.eval(r))).collect()
+    }
+
+    /// Unify two communicator parameters over disjoint rank sets.
+    pub fn unify(a: &CommParam, a_ranks: &RankSet, b: &CommParam, b_ranks: &RankSet) -> CommParam {
+        let mut table = a.table(a_ranks);
+        table.extend(b.table(b_ranks));
+        let first = *table.values().next().unwrap();
+        if table.values().all(|&v| v == first) {
+            CommParam::Const(first)
+        } else {
+            CommParam::PerRank(table)
+        }
+    }
+
+    /// Distinct communicator ids with the sub-rank-set using each, in
+    /// ascending comm-id order.
+    pub fn groups(&self, ranks: &RankSet) -> Vec<(u32, RankSet)> {
+        match self {
+            CommParam::Const(c) => vec![(*c, ranks.clone())],
+            CommParam::PerRank(_) => {
+                let mut map: BTreeMap<u32, Vec<Rank>> = BTreeMap::new();
+                for r in ranks.iter() {
+                    map.entry(self.eval(r)).or_default().push(r);
+                }
+                map.into_iter()
+                    .map(|(c, v)| (c, RankSet::from_ranks(v)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Is this a compressed (non-table) form?
+    pub fn is_compressed(&self) -> bool {
+        !matches!(self, CommParam::PerRank(_))
+    }
+}
+
+impl fmt::Display for CommParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommParam::Const(c) => write!(f, "{c}"),
+            CommParam::PerRank(m) => {
+                write!(f, "[")?;
+                for (i, (r, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}:{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// A scalar value parameter (byte counts, wait counts).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValParam {
+    /// Same value on every rank.
+    Const(u64),
+    /// Explicit per-rank table.
+    PerRank(BTreeMap<Rank, u64>),
+}
+
+impl ValParam {
+    /// The value for `rank`.
+    pub fn eval(&self, rank: Rank) -> u64 {
+        match self {
+            ValParam::Const(c) => *c,
+            ValParam::PerRank(m) => *m.get(&rank).expect("rank present in table"),
+        }
+    }
+
+    fn table(&self, ranks: &RankSet) -> BTreeMap<Rank, u64> {
+        ranks.iter().map(|r| (r, self.eval(r))).collect()
+    }
+
+    /// Unify two value parameters over disjoint rank sets.
+    pub fn unify(a: &ValParam, a_ranks: &RankSet, b: &ValParam, b_ranks: &RankSet) -> ValParam {
+        let mut table = a.table(a_ranks);
+        table.extend(b.table(b_ranks));
+        let first = *table.values().next().unwrap();
+        if table.values().all(|&v| v == first) {
+            ValParam::Const(first)
+        } else {
+            ValParam::PerRank(table)
+        }
+    }
+
+    /// Mean across a rank set (used by Table 1 "averaged message size"
+    /// substitutions for the v-variant collectives).
+    pub fn mean_over(&self, ranks: &RankSet) -> u64 {
+        match self {
+            ValParam::Const(c) => *c,
+            ValParam::PerRank(_) => {
+                let n = ranks.len().max(1) as u64;
+                let sum: u64 = ranks.iter().map(|r| self.eval(r)).sum();
+                sum / n
+            }
+        }
+    }
+
+    /// Is this a compressed (non-table) form?
+    pub fn is_compressed(&self) -> bool {
+        !matches!(self, ValParam::PerRank(_))
+    }
+}
+
+impl fmt::Display for ValParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValParam::Const(c) => write!(f, "{c}"),
+            ValParam::PerRank(m) => {
+                write!(f, "[")?;
+                for (i, (r, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}:{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(v: &[usize]) -> RankSet {
+        RankSet::from_ranks(v.iter().copied())
+    }
+
+    #[test]
+    fn unify_equal_constants() {
+        let p = RankParam::unify(
+            &RankParam::Const(0),
+            &rs(&[1, 2]),
+            &RankParam::Const(0),
+            &rs(&[3]),
+            8,
+        );
+        assert_eq!(p, RankParam::Const(0));
+    }
+
+    #[test]
+    fn unify_to_offset() {
+        // rank 0 sends to 1, rank 1 sends to 2, rank 2 sends to 3
+        let mut acc = RankParam::Const(1);
+        let mut acc_ranks = rs(&[0]);
+        for r in 1..=2 {
+            acc = RankParam::unify(
+                &acc,
+                &acc_ranks,
+                &RankParam::Const(r + 1),
+                &rs(&[r]),
+                8,
+            );
+            acc_ranks = acc_ranks.union(&rs(&[r]));
+        }
+        assert_eq!(acc, RankParam::Offset(1));
+        assert_eq!(acc.eval(5), 6);
+    }
+
+    #[test]
+    fn unify_ring_to_offset_mod() {
+        // full ring on 4 ranks: peer = (rank+1) % 4
+        let table: BTreeMap<Rank, Rank> = (0..4).map(|r| (r, (r + 1) % 4)).collect();
+        let p = compress_rank_table(table, 4);
+        assert_eq!(
+            p,
+            RankParam::OffsetMod {
+                offset: 1,
+                modulus: 4
+            }
+        );
+        assert_eq!(p.eval(3), 0);
+        assert_eq!(p.eval(0), 1);
+    }
+
+    #[test]
+    fn negative_offset_ring() {
+        let table: BTreeMap<Rank, Rank> = (0..4).map(|r| (r, (r + 3) % 4)).collect();
+        let p = compress_rank_table(table, 4);
+        assert_eq!(
+            p,
+            RankParam::OffsetMod {
+                offset: 3,
+                modulus: 4
+            }
+        );
+        assert_eq!(p.eval(0), 3);
+    }
+
+    #[test]
+    fn irregular_degrades_to_table() {
+        let table: BTreeMap<Rank, Rank> = [(0, 3), (1, 3), (2, 0)].into();
+        let p = compress_rank_table(table.clone(), 4);
+        assert_eq!(p, RankParam::PerRank(table));
+        assert!(!p.is_compressed());
+    }
+
+    #[test]
+    fn wildcard_never_unifies_with_concrete() {
+        let a = SrcParam::Any;
+        let b = SrcParam::Rank(RankParam::Const(0));
+        assert_eq!(SrcParam::unify(&a, &rs(&[0]), &b, &rs(&[1]), 4), None);
+        assert_eq!(
+            SrcParam::unify(&a, &rs(&[0]), &SrcParam::Any, &rs(&[1]), 4),
+            Some(SrcParam::Any)
+        );
+    }
+
+    #[test]
+    fn val_unify_and_mean() {
+        let v = ValParam::unify(
+            &ValParam::Const(100),
+            &rs(&[0]),
+            &ValParam::Const(200),
+            &rs(&[1]),
+        );
+        assert!(matches!(v, ValParam::PerRank(_)));
+        assert_eq!(v.mean_over(&rs(&[0, 1])), 150);
+        let c = ValParam::unify(
+            &ValParam::Const(7),
+            &rs(&[0]),
+            &ValParam::Const(7),
+            &rs(&[1]),
+        );
+        assert_eq!(c, ValParam::Const(7));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RankParam::Offset(1).to_string(), "rank+1");
+        assert_eq!(RankParam::Offset(-2).to_string(), "rank-2");
+        assert_eq!(
+            RankParam::OffsetMod {
+                offset: 1,
+                modulus: 8
+            }
+            .to_string(),
+            "(rank+1)%8"
+        );
+        assert_eq!(SrcParam::Any.to_string(), "ANY_SOURCE");
+    }
+}

@@ -1,0 +1,267 @@
+//! Compressed rank sets — the "participating nodes" component of an
+//! extended regular section descriptor (RSD).
+//!
+//! A [`RankSet`] stores a sorted set of ranks as `(start, stride, count)`
+//! runs, so common SPMD patterns ("all ranks", "every third rank", "ranks
+//! 0–31") stay O(1) in size regardless of the job size — the property that
+//! makes ScalaTrace traces near constant-size.
+
+use std::fmt;
+
+/// One arithmetic run of ranks: `start, start+stride, …` (`count` terms).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Run {
+    /// First rank of the run.
+    pub start: usize,
+    /// Distance between consecutive ranks.
+    pub stride: usize,
+    /// Number of ranks in the run.
+    pub count: usize,
+}
+
+impl Run {
+    fn last(&self) -> usize {
+        self.start + self.stride * (self.count - 1)
+    }
+
+    fn contains(&self, r: usize) -> bool {
+        r >= self.start
+            && r <= self.last()
+            && (self.stride == 0 || (r - self.start).is_multiple_of(self.stride))
+    }
+}
+
+/// A sorted set of ranks, compressed into arithmetic runs.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct RankSet {
+    runs: Vec<Run>,
+}
+
+impl RankSet {
+    /// The empty set.
+    pub fn empty() -> RankSet {
+        RankSet::default()
+    }
+
+    /// The singleton set `{rank}`.
+    pub fn single(rank: usize) -> RankSet {
+        RankSet {
+            runs: vec![Run {
+                start: rank,
+                stride: 1,
+                count: 1,
+            }],
+        }
+    }
+
+    /// The dense range `0..n`.
+    pub fn all(n: usize) -> RankSet {
+        if n == 0 {
+            return RankSet::empty();
+        }
+        RankSet {
+            runs: vec![Run {
+                start: 0,
+                stride: 1,
+                count: n,
+            }],
+        }
+    }
+
+    /// Build from an arbitrary iterator of ranks (deduplicated, sorted,
+    /// greedily run-compressed).
+    pub fn from_ranks(ranks: impl IntoIterator<Item = usize>) -> RankSet {
+        let mut v: Vec<usize> = ranks.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Self::from_sorted(&v)
+    }
+
+    fn from_sorted(v: &[usize]) -> RankSet {
+        let mut runs: Vec<Run> = Vec::new();
+        let mut i = 0;
+        while i < v.len() {
+            if i + 1 == v.len() {
+                runs.push(Run {
+                    start: v[i],
+                    stride: 1,
+                    count: 1,
+                });
+                break;
+            }
+            let stride = v[i + 1] - v[i];
+            let mut count = 2;
+            while i + count < v.len() && v[i + count] - v[i + count - 1] == stride {
+                count += 1;
+            }
+            if stride == 0 {
+                unreachable!("deduplicated input");
+            }
+            runs.push(Run {
+                start: v[i],
+                stride,
+                count,
+            });
+            i += count;
+        }
+        RankSet { runs }
+    }
+
+    /// Number of ranks in the set.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|r| r.count).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Is `rank` a member?
+    pub fn contains(&self, rank: usize) -> bool {
+        self.runs.iter().any(|r| r.contains(rank))
+    }
+
+    /// All members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.runs
+            .iter()
+            .flat_map(|r| (0..r.count).map(move |i| r.start + i * r.stride))
+    }
+
+    /// Smallest member, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().min()
+    }
+
+    /// Set union, re-compressed.
+    pub fn union(&self, other: &RankSet) -> RankSet {
+        RankSet::from_ranks(self.iter().chain(other.iter()))
+    }
+
+    /// Do the two sets share any rank?
+    pub fn intersects(&self, other: &RankSet) -> bool {
+        // Iterate the smaller set.
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().any(|r| big.contains(r))
+    }
+
+    /// Number of stored runs (the compressed size).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The compressed run representation.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+}
+
+impl FromIterator<usize> for RankSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        RankSet::from_ranks(iter)
+    }
+}
+
+impl fmt::Display for RankSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.runs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if r.count == 1 {
+                write!(f, "{}", r.start)?;
+            } else if r.stride == 1 {
+                write!(f, "{}-{}", r.start, r.last())?;
+            } else {
+                write!(f, "{}-{}:{}", r.start, r.last(), r.stride)?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for RankSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_one_run() {
+        let s = RankSet::all(1024);
+        assert_eq!(s.len(), 1024);
+        assert_eq!(s.run_count(), 1);
+        assert!(s.contains(0) && s.contains(1023) && !s.contains(1024));
+    }
+
+    #[test]
+    fn strided_sets_compress() {
+        let s = RankSet::from_ranks((0..300).map(|i| i * 3));
+        assert_eq!(s.run_count(), 1);
+        assert!(s.contains(297));
+        assert!(!s.contains(298));
+        assert_eq!(s.len(), 300);
+    }
+
+    #[test]
+    fn union_recompresses() {
+        let evens = RankSet::from_ranks((0..8).map(|i| i * 2));
+        let odds = RankSet::from_ranks((0..8).map(|i| i * 2 + 1));
+        let all = evens.union(&odds);
+        assert_eq!(all, RankSet::all(16));
+        assert_eq!(all.run_count(), 1);
+    }
+
+    #[test]
+    fn iter_round_trips() {
+        let v = vec![0, 1, 2, 5, 9, 13, 40];
+        let s = RankSet::from_ranks(v.clone());
+        let back: Vec<usize> = s.iter().collect();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let s = RankSet::from_ranks([3, 3, 3, 1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn intersects() {
+        let a = RankSet::from_ranks([0, 2, 4]);
+        let b = RankSet::from_ranks([1, 3, 5]);
+        let c = RankSet::from_ranks([4, 5]);
+        assert!(!a.intersects(&b));
+        assert!(a.intersects(&c));
+        assert!(b.intersects(&c));
+        assert!(!a.intersects(&RankSet::empty()));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RankSet::all(4).to_string(), "{0-3}");
+        assert_eq!(RankSet::single(7).to_string(), "{7}");
+        assert_eq!(
+            RankSet::from_ranks([0, 3, 6, 9]).to_string(),
+            "{0-9:3}"
+        );
+        assert_eq!(RankSet::from_ranks([1, 2, 3, 7]).to_string(), "{1-3,7}");
+    }
+
+    #[test]
+    fn first() {
+        assert_eq!(RankSet::from_ranks([5, 2, 9]).first(), Some(2));
+        assert_eq!(RankSet::empty().first(), None);
+    }
+}

@@ -1,0 +1,302 @@
+//! Property-based tests for the trace layer's core invariants:
+//! compression losslessness, rank-set algebra, parameter-table
+//! reconstruction, serialisation round trips, and merge projection order.
+
+use proptest::prelude::*;
+use scalatrace::compress::{append_compressed, compress_tail};
+use scalatrace::cursor::Cursor;
+use scalatrace::merge::merge_sequences;
+use scalatrace::params::{compress_rank_table, CommParam, RankParam, ValParam};
+use scalatrace::rankset::RankSet;
+use scalatrace::timestats::TimeStats;
+use scalatrace::trace::{CommTable, OpTemplate, Rsd, Trace, TraceNode};
+use mpisim::time::SimDuration;
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------------
+// RankSet
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn rankset_roundtrip(mut ranks in proptest::collection::vec(0usize..512, 0..64)) {
+        let set = RankSet::from_ranks(ranks.iter().copied());
+        ranks.sort_unstable();
+        ranks.dedup();
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), ranks.clone());
+        prop_assert_eq!(set.len(), ranks.len());
+        for &r in &ranks {
+            prop_assert!(set.contains(r));
+        }
+    }
+
+    #[test]
+    fn rankset_union_is_set_union(
+        a in proptest::collection::btree_set(0usize..256, 0..40),
+        b in proptest::collection::btree_set(0usize..256, 0..40),
+    ) {
+        let sa = RankSet::from_ranks(a.iter().copied());
+        let sb = RankSet::from_ranks(b.iter().copied());
+        let expected: BTreeSet<usize> = a.union(&b).copied().collect();
+        let got: BTreeSet<usize> = sa.union(&sb).iter().collect();
+        prop_assert_eq!(got, expected.clone());
+        prop_assert_eq!(sa.intersects(&sb), a.intersection(&b).next().is_some());
+    }
+
+    #[test]
+    fn rankset_compression_never_loses_strides(stride in 1usize..16, count in 1usize..64, start in 0usize..32) {
+        let ranks: Vec<usize> = (0..count).map(|i| start + i * stride).collect();
+        let set = RankSet::from_ranks(ranks.clone());
+        prop_assert_eq!(set.run_count(), 1, "an arithmetic progression is one run");
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), ranks);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter table compression
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum RankFn {
+    Const(usize),
+    Offset(i64),
+    OffsetMod(i64),
+    Xor(usize),
+}
+
+impl RankFn {
+    fn eval(&self, r: usize, n: usize) -> usize {
+        match *self {
+            RankFn::Const(c) => c,
+            RankFn::Offset(d) => (r as i64 + d).max(0) as usize,
+            RankFn::OffsetMod(d) => ((r as i64 + d).rem_euclid(n as i64)) as usize,
+            RankFn::Xor(m) => r ^ m,
+        }
+    }
+}
+
+fn arb_rank_fn() -> impl Strategy<Value = RankFn> {
+    prop_oneof![
+        (0usize..64).prop_map(RankFn::Const),
+        (-8i64..8).prop_map(RankFn::Offset),
+        (1i64..8).prop_map(RankFn::OffsetMod),
+        (1usize..16).prop_map(RankFn::Xor),
+    ]
+}
+
+proptest! {
+    /// Whatever compressed form `compress_rank_table` chooses, evaluating it
+    /// must reproduce the original table exactly.
+    #[test]
+    fn rank_param_compression_is_exact(
+        f in arb_rank_fn(),
+        n in 2usize..64,
+    ) {
+        let table: BTreeMap<usize, usize> = (0..n).map(|r| (r, f.eval(r, n))).collect();
+        let param = compress_rank_table(table.clone(), n);
+        for (&r, &v) in &table {
+            prop_assert_eq!(param.eval(r), v, "form {:?} at rank {}", param, r);
+        }
+    }
+
+    /// Unify over two disjoint partitions must agree with compressing the
+    /// whole table at once, value-wise.
+    #[test]
+    fn rank_param_unify_agrees_with_whole_table(
+        f in arb_rank_fn(),
+        n in 4usize..64,
+        split in 1usize..63,
+    ) {
+        let split = split.min(n - 1);
+        let lo = RankSet::from_ranks(0..split);
+        let hi = RankSet::from_ranks(split..n);
+        let plo = compress_rank_table((0..split).map(|r| (r, f.eval(r, n))).collect(), n);
+        let phi = compress_rank_table((split..n).map(|r| (r, f.eval(r, n))).collect(), n);
+        let unified = RankParam::unify(&plo, &lo, &phi, &hi, n);
+        for r in 0..n {
+            prop_assert_eq!(unified.eval(r), f.eval(r, n));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compression losslessness
+// ---------------------------------------------------------------------------
+
+/// A small synthetic event: signature selects identity; everything else
+/// fixed so folding depends only on the signature sequence.
+fn ev(sig: u64) -> TraceNode {
+    TraceNode::Event(Rsd {
+        ranks: RankSet::single(0),
+        sig,
+        op: OpTemplate::Wait {
+            count: ValParam::Const(sig + 1),
+        },
+        compute: TimeStats::of(SimDuration::from_usecs(sig + 1)),
+    })
+}
+
+proptest! {
+    /// Tail compression must be lossless: the per-rank expansion of the
+    /// compressed sequence equals the input event sequence.
+    #[test]
+    fn compression_is_lossless(
+        sigs in proptest::collection::vec(0u64..4, 0..300),
+        window in 1usize..16,
+    ) {
+        let mut seq = Vec::new();
+        for &s in &sigs {
+            append_compressed(&mut seq, ev(s), window);
+        }
+        let total: u64 = seq.iter().map(TraceNode::concrete_event_count).sum();
+        prop_assert_eq!(total, sigs.len() as u64);
+        // expand back via a cursor and compare the signature stream
+        let expanded: Vec<u64> = Cursor::over(&seq, 0)
+            .collect_all()
+            .into_iter()
+            .map(|e| e.sig)
+            .collect();
+        prop_assert_eq!(expanded, sigs);
+    }
+
+    /// compress_tail is idempotent.
+    #[test]
+    fn compression_is_idempotent(sigs in proptest::collection::vec(0u64..4, 0..200)) {
+        let mut seq = Vec::new();
+        for &s in &sigs {
+            append_compressed(&mut seq, ev(s), 32);
+        }
+        let before = seq.clone();
+        compress_tail(&mut seq, 32);
+        prop_assert_eq!(seq, before);
+    }
+
+    /// Periodic inputs compress to O(period) nodes regardless of length.
+    #[test]
+    fn periodic_inputs_compress(period in 1usize..6, reps in 2usize..60) {
+        let mut seq = Vec::new();
+        for i in 0..period * reps {
+            append_compressed(&mut seq, ev((i % period) as u64), 16);
+        }
+        let nodes: usize = seq.iter().map(TraceNode::node_count).sum();
+        prop_assert!(
+            nodes <= 2 * period + 2,
+            "period {period} x {reps} gave {nodes} nodes"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Inter-rank merge: per-rank projections are preserved
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn merge_preserves_per_rank_projections(
+        // per-rank signature streams; same alphabet so merging happens
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u64..3, 0..40),
+            1..6
+        ),
+    ) {
+        let nranks = streams.len();
+        let seqs: Vec<Vec<TraceNode>> = streams
+            .iter()
+            .enumerate()
+            .map(|(rank, sigs)| {
+                let mut seq = Vec::new();
+                for &s in sigs {
+                    let node = TraceNode::Event(Rsd {
+                        ranks: RankSet::single(rank),
+                        sig: s,
+                        op: OpTemplate::Wait { count: ValParam::Const(s + 1) },
+                        compute: TimeStats::new(),
+                    });
+                    append_compressed(&mut seq, node, 16);
+                }
+                seq
+            })
+            .collect();
+        let merged = merge_sequences(seqs, nranks);
+        let trace = Trace { nranks, nodes: merged, comms: CommTable::world(nranks) };
+        for (rank, sigs) in streams.iter().enumerate() {
+            let got: Vec<u64> = Cursor::new(&trace, rank)
+                .collect_all()
+                .into_iter()
+                .map(|e| e.sig)
+                .collect();
+            prop_assert_eq!(&got, sigs, "rank {} projection changed", rank);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text serialisation round trip
+// ---------------------------------------------------------------------------
+
+fn arb_op() -> impl Strategy<Value = OpTemplate> {
+    prop_oneof![
+        ((0usize..8), (0i32..4), (1u64..10_000)).prop_map(|(to, tag, bytes)| OpTemplate::Send {
+            to: RankParam::Const(to),
+            tag,
+            bytes: ValParam::Const(bytes),
+            comm: CommParam::Const(0),
+            blocking: to % 2 == 0,
+        }),
+        (1u64..5).prop_map(|c| OpTemplate::Wait {
+            count: ValParam::Const(c)
+        }),
+        (-4i64..4).prop_map(|d| OpTemplate::Send {
+            to: RankParam::Offset(d),
+            tag: 0,
+            bytes: ValParam::Const(64),
+            comm: CommParam::Const(0),
+            blocking: false,
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn text_round_trip(ops in proptest::collection::vec((arb_op(), 0u64..1000), 1..30)) {
+        let mut trace = Trace::new(8);
+        for (op, sig) in ops {
+            trace.nodes.push(TraceNode::Event(Rsd {
+                ranks: RankSet::all(8),
+                sig,
+                op,
+                compute: TimeStats::of(SimDuration::from_nanos(sig)),
+            }));
+        }
+        let text = scalatrace::text::to_text(&trace);
+        let back = scalatrace::text::from_text(&text).expect("parses");
+        prop_assert_eq!(back.nranks, trace.nranks);
+        prop_assert_eq!(back.concrete_event_count(), trace.concrete_event_count());
+        scalatrace::semantically_equal(&trace, &back).expect("semantic equality");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TimeStats
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn timestats_merge_matches_pooled(
+        a in proptest::collection::vec(0u64..1_000_000, 1..50),
+        b in proptest::collection::vec(0u64..1_000_000, 1..50),
+    ) {
+        let mut sa = TimeStats::new();
+        for &x in &a { sa.record(SimDuration::from_nanos(x)); }
+        let mut sb = TimeStats::new();
+        for &x in &b { sb.record(SimDuration::from_nanos(x)); }
+        let mut pooled = TimeStats::new();
+        for &x in a.iter().chain(&b) { pooled.record(SimDuration::from_nanos(x)); }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), pooled.count());
+        prop_assert_eq!(sa.mean(), pooled.mean());
+        prop_assert_eq!(sa.min(), pooled.min());
+        prop_assert_eq!(sa.max(), pooled.max());
+        prop_assert_eq!(sa.bins(), pooled.bins());
+    }
+}

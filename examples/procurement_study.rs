@@ -1,0 +1,85 @@
+//! Procurement study: evaluate a workload on machines you do not have —
+//! one of the paper's motivating use cases ("people tasked with procuring
+//! HPC systems benefit by being able to instruct vendors to deliver
+//! specified performance on a given application without having to provide
+//! those vendors with the application itself").
+//!
+//! Traces three proprietary-stand-in applications once, generates their
+//! benchmarks, and runs the *benchmarks* (never the applications) on three
+//! candidate machines. The vendor only ever sees the generated
+//! coNCePTuaL text.
+//!
+//! Run with: `cargo run --release --example procurement_study`
+
+use benchgen::{generate, GenOptions};
+use conceptual::interp::run_program;
+use miniapps::{registry, AppParams, Class};
+use mpisim::network::{self, FlatNetwork, NetworkModel};
+use mpisim::time::SimDuration;
+use scalatrace::trace_app;
+use std::sync::Arc;
+
+fn candidate_machines() -> Vec<(&'static str, Arc<dyn NetworkModel>)> {
+    vec![
+        ("BlueGene/L-like torus", network::blue_gene_l()),
+        ("1GbE cluster", network::ethernet_cluster()),
+        (
+            "low-latency fabric",
+            Arc::new(FlatNetwork {
+                name: "low-latency fabric (simulated)".into(),
+                latency: SimDuration::from_usecs(2),
+                bandwidth_bps: 1.25e9, // 10 Gb/s
+                cpu_overhead: SimDuration::from_nanos(500),
+                copy_secs_per_byte: 1.0 / 4.0e9,
+                eager_limit: 16 << 10,
+                unexpected_capacity: 4 << 20,
+                stall_resume_penalty: SimDuration::from_usecs(20),
+            }),
+        ),
+    ]
+}
+
+fn main() {
+    let ranks = 16;
+    println!("Procurement study: generated benchmarks across candidate machines");
+    println!("(the original applications never leave the trace host)\n");
+
+    // Trace once, on the machine we own.
+    let mut benchmarks = Vec::new();
+    for name in ["cg", "ft", "sweep3d"] {
+        let app = registry::lookup(name).expect("registered");
+        let params = AppParams::class(Class::A);
+        let traced = trace_app(ranks, network::blue_gene_l(), move |ctx| {
+            (app.run)(ctx, &params)
+        })
+        .expect("app runs");
+        let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
+        benchmarks.push((name, generated.program));
+    }
+
+    // Hand the benchmarks (just text!) to the vendors.
+    println!(
+        "{:>8}  {:>24}  {:>12}  {:>10}",
+        "app", "machine", "time [s]", "vs torus"
+    );
+    for (name, program) in &benchmarks {
+        let mut base = None;
+        for (machine, model) in candidate_machines() {
+            let t = run_program(program, ranks, model)
+                .expect("benchmark runs")
+                .total_time
+                .as_secs_f64();
+            let baseline = *base.get_or_insert(t);
+            println!(
+                "{name:>8}  {machine:>24}  {t:>12.4}  {:>9.2}x",
+                baseline / t
+            );
+        }
+        println!();
+    }
+    println!(
+        "Communication-bound codes separate the machines sharply; compute-bound\n\
+         phases carry over unchanged (computation is replayed as timed delays,\n\
+         the paper's §6 cross-platform caveat)."
+    );
+}

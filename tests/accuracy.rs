@@ -1,0 +1,58 @@
+//! E3 regression guard: the generated benchmark's total time must track the
+//! original application's (the paper's Figure 6 criterion) for every app in
+//! the suite, on both simulated machines.
+//!
+//! Thresholds are loose compared to the measured ~2% MAPE (EXPERIMENTS.md)
+//! so the test guards against structural regressions, not calibration
+//! drift.
+
+use benchgen::{generate, GenOptions};
+use conceptual::interp::run_program;
+use miniapps::{registry, AppParams, Class};
+use mpisim::network;
+use mpisim::network::NetworkModel;
+use scalatrace::trace_app;
+use std::sync::Arc;
+
+fn err_pct(app: &'static miniapps::App, ranks: usize, net: Arc<dyn NetworkModel>) -> f64 {
+    let params = AppParams {
+        class: Class::S,
+        iterations: None,
+        compute_scale: 1.0,
+    };
+    let traced = trace_app(ranks, Arc::clone(&net), move |ctx| (app.run)(ctx, &params))
+        .unwrap_or_else(|e| panic!("{} failed to run: {e}", app.name));
+    let generated = generate(&traced.trace, &GenOptions::default())
+        .unwrap_or_else(|e| panic!("{} failed to generate: {e}", app.name));
+    let outcome = run_program(&generated.program, ranks, net)
+        .unwrap_or_else(|e| panic!("{} generated benchmark failed: {e}", app.name));
+    let a = traced.report.total_time.as_secs_f64();
+    let g = outcome.total_time.as_secs_f64();
+    100.0 * (g - a).abs() / a.max(1e-12)
+}
+
+#[test]
+fn generated_benchmarks_track_originals_on_bluegene() {
+    for app in registry::all() {
+        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let err = err_pct(app, ranks, network::blue_gene_l());
+        assert!(
+            err < 12.0,
+            "{} @ {ranks} ranks: {err:.2}% error on BG/L (Figure 6 regression)",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn generated_benchmarks_track_originals_on_ethernet() {
+    for app in registry::all() {
+        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let err = err_pct(app, ranks, network::ethernet_cluster());
+        assert!(
+            err < 15.0,
+            "{} @ {ranks} ranks: {err:.2}% error on Ethernet (Figure 6 regression)",
+            app.name
+        );
+    }
+}

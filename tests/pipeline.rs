@@ -1,0 +1,233 @@
+//! End-to-end pipeline tests (the §5.2 correctness experiments, E1/E2):
+//! trace each application, generate its coNCePTuaL benchmark, run the
+//! benchmark, and verify that (a) per-routine MPI event counts and volumes
+//! match the Table-1 image of the original's profile, and (b) the
+//! benchmark's own trace is semantically equivalent to the original's.
+
+use benchgen::verify::{compare_profiles, expected_profile};
+use benchgen::{generate, GenOptions};
+use conceptual::ast::Program;
+use miniapps::{registry, AppParams, Class};
+use mpisim::network;
+use mpisim::profile::MpiP;
+use mpisim::world::World;
+use scalatrace::{trace_app, Tracer};
+use std::sync::Arc;
+
+/// Trace + profile an application in one run.
+fn trace_and_profile(
+    app: &'static miniapps::App,
+    n: usize,
+    params: AppParams,
+) -> (scalatrace::Trace, MpiP) {
+    let traced = trace_app(n, network::ideal(), move |ctx| (app.run)(ctx, &params))
+        .expect("application runs");
+    // separate profiling run (identical by determinism)
+    let (_, profs) = World::new(n)
+        .network(network::ideal())
+        .run_hooked(|_| MpiP::new(), move |ctx| (app.run)(ctx, &params))
+        .expect("profiling run");
+    (traced.trace, MpiP::merge_all(profs.iter()))
+}
+
+/// Run a generated program under mpiP interposition.
+fn profile_program(program: &Program, n: usize) -> MpiP {
+    let program = Arc::new(program.clone());
+    let (_, profs) = World::new(n)
+        .network(network::ideal())
+        .run_hooked(
+            |_| MpiP::new(),
+            move |ctx| conceptual::interp::run_rank(ctx, &program),
+        )
+        .expect("generated benchmark runs");
+    MpiP::merge_all(profs.iter())
+}
+
+/// Trace a generated program.
+fn trace_program(program: &Program, n: usize) -> scalatrace::Trace {
+    let program = Arc::new(program.clone());
+    let (_, tracers) = World::new(n)
+        .network(network::ideal())
+        .run_hooked(
+            move |r| Tracer::new(r, n),
+            move |ctx| conceptual::interp::run_rank(ctx, &program),
+        )
+        .expect("generated benchmark runs under tracing");
+    scalatrace::merge::merge_tracers(tracers)
+}
+
+fn rank_count_for(app: &miniapps::App) -> usize {
+    [8, 9, 16].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap()
+}
+
+/// E1: per-routine event counts and volumes match (§5.2, first experiment).
+#[test]
+fn e1_mpip_counts_and_volumes_match_for_all_apps() {
+    for app in registry::all() {
+        let n = rank_count_for(app);
+        let params = AppParams {
+            class: Class::S,
+            iterations: Some(4),
+            compute_scale: 1.0,
+        };
+        let (trace, orig_prof) = trace_and_profile(app, n, params);
+        let generated =
+            generate(&trace, &GenOptions::default()).unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        let gen_prof = profile_program(&generated.program, n);
+        let expected = expected_profile(&orig_prof, n);
+        let errors = compare_profiles(&expected, &gen_prof, 0.02);
+        assert!(
+            errors.is_empty(),
+            "{}: profile mismatch:\n  {}\noriginal:\n{}\ngenerated:\n{}",
+            app.name,
+            errors.join("\n  "),
+            orig_prof,
+            gen_prof
+        );
+    }
+}
+
+/// E2: per-event semantic equivalence via trace comparison (§5.2, second
+/// experiment — the ScalaReplay-normalised comparison). The generated
+/// benchmark's trace must expand to the same per-rank operation streams as
+/// the original's, after applying the same Table-1 normalisation the
+/// comparison in E1 uses. For apps without substituted collectives or
+/// wildcards the equivalence is exact.
+#[test]
+fn e2_semantic_trace_equivalence_for_direct_apps() {
+    // apps whose MPI usage maps 1:1 (no *v collectives, no gathers, no
+    // wildcards): the generated trace must match the original exactly
+    // modulo wildcard resolution and the Finalize→Barrier substitution.
+    for name in ["ring", "bt", "sp", "mg"] {
+        let app = registry::lookup(name).unwrap();
+        let n = rank_count_for(app);
+        let params = AppParams {
+            class: Class::S,
+            iterations: Some(3),
+            compute_scale: 1.0,
+        };
+        let traced = trace_app(n, network::ideal(), move |ctx| (app.run)(ctx, &params)).unwrap();
+        let generated = generate(&traced.trace, &GenOptions::default()).unwrap();
+        let regen_trace = trace_program(&generated.program, n);
+
+        // normalise: Finalize appears as Barrier in the generated run
+        let orig_events = normalised_events(&traced.trace);
+        let gen_events = normalised_events(&regen_trace);
+        assert_eq!(
+            orig_events.len(),
+            gen_events.len(),
+            "{name}: rank count changed?"
+        );
+        for (r, (o, g)) in orig_events.iter().zip(&gen_events).enumerate() {
+            assert_eq!(o, g, "{name}: rank {r} event stream differs");
+        }
+    }
+}
+
+/// Flatten per-rank op streams with Finalize→Barrier normalisation and
+/// tag normalisation (the generator folds communicators into tags).
+fn normalised_events(trace: &scalatrace::Trace) -> Vec<Vec<String>> {
+    use scalatrace::ConcreteOp;
+    (0..trace.nranks)
+        .map(|r| {
+            scalatrace::events_for_rank(trace, r)
+                .into_iter()
+                .map(|e| match e.op {
+                    ConcreteOp::Coll {
+                        kind: mpisim::types::CollKind::Finalize,
+                        ..
+                    } => "barrier".to_string(),
+                    ConcreteOp::Coll {
+                        kind: mpisim::types::CollKind::Barrier,
+                        ..
+                    } => "barrier".to_string(),
+                    ConcreteOp::Send {
+                        to,
+                        bytes,
+                        blocking,
+                        ..
+                    } => format!("send:{to}:{bytes}:{blocking}"),
+                    ConcreteOp::Recv {
+                        from,
+                        bytes,
+                        blocking,
+                        ..
+                    } => format!("recv:{from:?}:{bytes}:{blocking}"),
+                    other => format!("{other:?}"),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The generated program for every app parses back from its printed text
+/// (readability/editability) and validates.
+#[test]
+fn generated_programs_are_readable_and_parse_back() {
+    for app in registry::all() {
+        let n = rank_count_for(app);
+        let params = AppParams {
+            class: Class::S,
+            iterations: Some(2),
+            compute_scale: 1.0,
+        };
+        let traced = trace_app(n, network::ideal(), move |ctx| (app.run)(ctx, &params)).unwrap();
+        let generated = generate(&traced.trace, &GenOptions::default()).unwrap();
+        let text = conceptual::printer::print(&generated.program);
+        let parsed = conceptual::parser::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: generated text does not parse: {e}\n{text}", app.name));
+        assert_eq!(parsed, generated.program, "{}", app.name);
+        let validation = conceptual::analyze::validate(&generated.program, n);
+        assert!(
+            validation.is_empty(),
+            "{}: generated program fails validation: {validation:?}\n{text}",
+            app.name
+        );
+    }
+}
+
+/// Sweep3D's split-call-site collectives trigger Algorithm 1; LU's
+/// wildcards trigger Algorithm 2 — exactly the paper's §5.1 claims.
+#[test]
+fn paper_claims_about_algorithm_usage_hold() {
+    let sweep = registry::lookup("sweep3d").unwrap();
+    let params = AppParams {
+        class: Class::S,
+        iterations: Some(2),
+        compute_scale: 1.0,
+    };
+    let traced = trace_app(8, network::ideal(), move |ctx| (sweep.run)(ctx, &params)).unwrap();
+    assert!(traced.trace.has_unaligned_collectives());
+    let generated = generate(&traced.trace, &GenOptions::default()).unwrap();
+    assert!(generated.aligned, "sweep3d requires collective alignment");
+
+    let lu = registry::lookup("lu").unwrap();
+    let traced = trace_app(8, network::ideal(), move |ctx| (lu.run)(ctx, &params)).unwrap();
+    assert!(traced.trace.has_wildcard_recv());
+    let generated = generate(&traced.trace, &GenOptions::default()).unwrap();
+    assert!(
+        generated.wildcards_resolved > 0,
+        "lu requires wildcard resolution"
+    );
+    // and the generated program carries no FROM ANY TASK
+    let text = conceptual::printer::print(&generated.program);
+    assert!(!text.contains("FROM ANY TASK"), "{text}");
+}
+
+/// Generated benchmark size is independent of iteration count (compression
+/// property carried through generation).
+#[test]
+fn generated_size_is_iteration_independent() {
+    let app = registry::lookup("ring").unwrap();
+    let size_of = |iters: usize| {
+        let params = AppParams {
+            class: Class::S,
+            iterations: Some(iters),
+            compute_scale: 1.0,
+        };
+        let traced = trace_app(8, network::ideal(), move |ctx| (app.run)(ctx, &params)).unwrap();
+        let generated = generate(&traced.trace, &GenOptions::default()).unwrap();
+        generated.program.stmt_count()
+    };
+    assert_eq!(size_of(10), size_of(1000));
+}

@@ -1,0 +1,81 @@
+//! Scale smoke tests: the full pipeline at rank counts near the paper's
+//! largest configurations (the paper's Figure 6 tops out at 256 nodes).
+
+use benchgen::{generate, GenOptions};
+use conceptual::interp::run_program;
+use miniapps::{registry, AppParams, Class};
+use mpisim::network;
+use scalatrace::trace_app;
+
+#[test]
+fn ring_pipeline_at_256_ranks() {
+    let app = registry::lookup("ring").unwrap();
+    let params = AppParams {
+        class: Class::S,
+        iterations: Some(20),
+        compute_scale: 1.0,
+    };
+    let traced = trace_app(256, network::blue_gene_l(), move |ctx| (app.run)(ctx, &params))
+        .expect("256-rank ring runs");
+    assert!(traced.trace.node_count() < 10, "compression holds at scale");
+
+    let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
+    assert!(generated.program.stmt_count() < 12);
+
+    let outcome = run_program(&generated.program, 256, network::blue_gene_l())
+        .expect("generated benchmark runs at 256 ranks");
+    let a = traced.report.total_time.as_secs_f64();
+    let g = outcome.total_time.as_secs_f64();
+    let err = 100.0 * (g - a).abs() / a;
+    assert!(err < 10.0, "{err:.2}% error at 256 ranks");
+}
+
+#[test]
+fn lu_pipeline_at_128_ranks_resolves_all_wildcards() {
+    let app = registry::lookup("lu").unwrap();
+    let params = AppParams {
+        class: Class::S,
+        iterations: Some(4),
+        compute_scale: 1.0,
+    };
+    let traced = trace_app(128, network::ideal(), move |ctx| (app.run)(ctx, &params))
+        .expect("128-rank LU runs");
+    assert!(traced.trace.has_wildcard_recv());
+    let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
+    assert!(generated.wildcards_resolved > 0);
+    let text = conceptual::printer::print(&generated.program);
+    assert!(!text.contains("FROM ANY TASK"));
+    run_program(&generated.program, 128, network::ideal()).expect("runs at 128 ranks");
+}
+
+#[test]
+fn sweep3d_alignment_at_64_ranks() {
+    let app = registry::lookup("sweep3d").unwrap();
+    let params = AppParams {
+        class: Class::S,
+        iterations: Some(2),
+        compute_scale: 1.0,
+    };
+    let traced = trace_app(64, network::ideal(), move |ctx| (app.run)(ctx, &params))
+        .expect("64-rank sweep3d runs");
+    assert!(traced.trace.has_unaligned_collectives());
+    let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
+    assert!(generated.aligned);
+    run_program(&generated.program, 64, network::ideal()).expect("runs at 64 ranks");
+}
+
+#[test]
+fn extrapolated_ring_runs_at_1024_ranks() {
+    let app = registry::lookup("ring").unwrap();
+    let params = AppParams {
+        class: Class::S,
+        iterations: Some(10),
+        compute_scale: 1.0,
+    };
+    let traced = trace_app(8, network::ideal(), move |ctx| (app.run)(ctx, &params)).unwrap();
+    let big = scalatrace::extrap::extrapolate(&traced.trace, 1024).expect("extrapolates");
+    let generated = generate(&big, &GenOptions::default()).expect("generates");
+    let outcome =
+        run_program(&generated.program, 1024, network::ideal()).expect("runs at 1024 ranks");
+    assert_eq!(outcome.report.stats.messages, 1024 * 10);
+}
