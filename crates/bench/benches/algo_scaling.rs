@@ -7,11 +7,11 @@
 
 use benchgen::{align_collectives, resolve_wildcards};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::types::{CollKind, TagSel};
 use scalatrace::params::{CommParam, RankParam, SrcParam, ValParam};
 use scalatrace::rankset::RankSet;
 use scalatrace::timestats::TimeStats;
 use scalatrace::trace::{OpTemplate, Prsd, Rsd, Trace, TraceNode};
-use mpisim::types::{CollKind, TagSel};
 
 /// A trace with `iters` iterations of (wildcard recv + ring send + barrier
 /// from per-parity call sites) on `p` ranks: exercises both algorithms.
@@ -124,7 +124,9 @@ fn bench_prechecks(c: &mut Criterion) {
     c.bench_function("precheck_unaligned_collectives", |b| {
         b.iter(|| trace.has_unaligned_collectives())
     });
-    c.bench_function("precheck_wildcards", |b| b.iter(|| trace.has_wildcard_recv()));
+    c.bench_function("precheck_wildcards", |b| {
+        b.iter(|| trace.has_wildcard_recv())
+    });
 }
 
 criterion_group!(benches, bench_alignment, bench_wildcards, bench_prechecks);

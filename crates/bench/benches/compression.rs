@@ -4,13 +4,13 @@
 //! binary-tree inter-rank merge cost (decision 5).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::time::SimDuration;
 use scalatrace::compress::append_compressed;
 use scalatrace::merge::merge_sequences;
 use scalatrace::params::{CommParam, RankParam, ValParam};
 use scalatrace::rankset::RankSet;
 use scalatrace::timestats::TimeStats;
 use scalatrace::trace::{OpTemplate, Rsd, TraceNode};
-use mpisim::time::SimDuration;
 
 fn event(sig: u64, rank: usize) -> TraceNode {
     TraceNode::Event(Rsd {

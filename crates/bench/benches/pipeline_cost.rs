@@ -15,7 +15,10 @@ fn bench_generate(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     for name in ["ring", "bt", "cg", "lu", "sweep3d"] {
         let app = registry::lookup(name).unwrap();
-        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let ranks = [16, 9, 8]
+            .into_iter()
+            .find(|&n| (app.valid_ranks)(n))
+            .unwrap();
         let params = AppParams {
             class: Class::W,
             iterations: Some(5),
@@ -38,7 +41,10 @@ fn bench_trace_collection(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     for name in ["ring", "bt", "lu"] {
         let app = registry::lookup(name).unwrap();
-        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let ranks = [16, 9, 8]
+            .into_iter()
+            .find(|&n| (app.valid_ranks)(n))
+            .unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(name), &ranks, |b, &n| {
             b.iter(|| {
                 let params = AppParams::quick();

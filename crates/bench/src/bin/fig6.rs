@@ -62,12 +62,10 @@ fn main() {
                         generated.program.stmt_count().to_string(),
                     ];
                     if with_replay {
-                        let traced =
-                            bench_suite::trace_of(app, ranks, params, network.clone())
-                                .expect("traced above already");
-                        let replayed =
-                            scalatrace::replay::replay(&traced.trace, network.clone())
-                                .expect("replays");
+                        let traced = bench_suite::trace_of(app, ranks, params, network.clone())
+                            .expect("traced above already");
+                        let replayed = scalatrace::replay::replay(&traced.trace, network.clone())
+                            .expect("replays");
                         cells.insert(4, format!("{:.4}", replayed.total_time.as_secs_f64()));
                     }
                     printable.push(cells);
@@ -81,7 +79,15 @@ fn main() {
     }
     if with_replay {
         print_table(
-            &["app", "ranks", "T_app [s]", "T_gen [s]", "T_replay [s]", "err %", "stmts"],
+            &[
+                "app",
+                "ranks",
+                "T_app [s]",
+                "T_gen [s]",
+                "T_replay [s]",
+                "err %",
+                "stmts",
+            ],
             &printable,
         );
     } else {

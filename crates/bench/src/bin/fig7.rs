@@ -40,11 +40,19 @@ fn main() {
     };
 
     println!("Figure 7 reproduction: BT what-if compute scaling on {ranks} ranks");
-    println!("network: Ethernet cluster (simulated); class {}\n", class.name());
+    println!(
+        "network: Ethernet cluster (simulated); class {}\n",
+        class.name()
+    );
 
     let app = registry::lookup("bt").expect("bt registered");
-    let traced = trace_of(app, ranks, AppParams::class(class), network::ethernet_cluster())
-        .expect("BT runs");
+    let traced = trace_of(
+        app,
+        ranks,
+        AppParams::class(class),
+        network::ethernet_cluster(),
+    )
+    .expect("BT runs");
     let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
 
     let mut rows = Vec::new();
@@ -77,11 +85,7 @@ fn main() {
         "\n100% -> 30% compute gives {drop_to_30:.0}% total-time reduction \
          (paper: ~21% for a 3.3x compute speedup)"
     );
-    let min_pct = series
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap()
-        .0;
+    let min_pct = series.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
     println!(
         "minimum at {min_pct}% compute; time at 0% is {:.2}x the minimum \
          (paper: rises again below ~30%, no speedup at 0%)",

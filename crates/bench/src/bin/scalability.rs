@@ -44,7 +44,16 @@ fn main() {
         rows.push(row("ring", ranks, 200));
     }
     print_table(
-        &["app", "ranks", "iters", "MPI events", "flat bytes", "trace nodes", "trace bytes", "stmts"],
+        &[
+            "app",
+            "ranks",
+            "iters",
+            "MPI events",
+            "flat bytes",
+            "trace nodes",
+            "trace bytes",
+            "stmts",
+        ],
         &rows,
     );
 
@@ -54,14 +63,26 @@ fn main() {
         rows.push(row("ring", 32, iters));
     }
     print_table(
-        &["app", "ranks", "iters", "MPI events", "flat bytes", "trace nodes", "trace bytes", "stmts"],
+        &[
+            "app",
+            "ranks",
+            "iters",
+            "MPI events",
+            "flat bytes",
+            "trace nodes",
+            "trace bytes",
+            "stmts",
+        ],
         &rows,
     );
 
     println!("\n(c) the paper suite at 16 ranks, class W defaults:");
     let mut rows = Vec::new();
     for app in registry::paper_suite() {
-        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let ranks = [16, 9, 8]
+            .into_iter()
+            .find(|&n| (app.valid_ranks)(n))
+            .unwrap();
         let params = AppParams::class(Class::W);
         let traced = trace_of(app, ranks, params, network::ideal()).expect("runs");
         let (nodes, events, bytes) = size_summary(&traced.trace);
@@ -79,7 +100,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["app", "ranks", "iters", "MPI events", "flat bytes", "trace nodes", "trace bytes", "stmts"],
+        &[
+            "app",
+            "ranks",
+            "iters",
+            "MPI events",
+            "flat bytes",
+            "trace nodes",
+            "trace bytes",
+            "stmts",
+        ],
         &rows,
     );
 }

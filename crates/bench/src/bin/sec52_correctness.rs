@@ -109,7 +109,14 @@ fn main() {
         }
     }
     print_table(
-        &["app", "ranks", "orig calls", "gen calls", "E1 counts+volumes", "E2 semantics"],
+        &[
+            "app",
+            "ranks",
+            "orig calls",
+            "gen calls",
+            "E1 counts+volumes",
+            "E2 semantics",
+        ],
         &rows,
     );
 }
@@ -121,8 +128,10 @@ fn events_match(orig: &str, generated: &str) -> bool {
     if orig == generated {
         return true;
     }
-    if let (Some(o), Some(g)) = (orig.strip_prefix("recv:Any:"), generated.strip_prefix("recv:"))
-    {
+    if let (Some(o), Some(g)) = (
+        orig.strip_prefix("recv:Any:"),
+        generated.strip_prefix("recv:"),
+    ) {
         // generated must be a concrete receive with the same size/blocking
         if let Some((_, rest)) = g.split_once(':') {
             return rest == o && g.starts_with("Rank(");
@@ -138,7 +147,10 @@ fn normalised(trace: &scalatrace::Trace, rank: usize) -> Vec<String> {
         .into_iter()
         .map(|e| match e.op {
             ConcreteOp::Send {
-                to, bytes, blocking, ..
+                to,
+                bytes,
+                blocking,
+                ..
             } => format!("send:{to}:{bytes}:{blocking}"),
             ConcreteOp::Recv {
                 from,

@@ -98,12 +98,15 @@ fn main() {
         // profile original and generated
         let (_, orig_hooks) = World::new(n)
             .network(network::ideal())
-            .run_hooked(|_| MpiP::new(), move |ctx| {
-                for _ in 0..3 {
-                    issue(ctx, kind);
-                }
-                ctx.finalize();
-            })
+            .run_hooked(
+                |_| MpiP::new(),
+                move |ctx| {
+                    for _ in 0..3 {
+                        issue(ctx, kind);
+                    }
+                    ctx.finalize();
+                },
+            )
             .unwrap();
         let orig = MpiP::merge_all(orig_hooks.iter());
         let program = Arc::new(generated.program.clone());
@@ -132,5 +135,13 @@ fn main() {
             },
         ]);
     }
-    print_table(&["MPI collective", "coNCePTuaL statements", "check", "fidelity"], &rows);
+    print_table(
+        &[
+            "MPI collective",
+            "coNCePTuaL statements",
+            "check",
+            "fidelity",
+        ],
+        &rows,
+    );
 }

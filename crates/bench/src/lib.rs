@@ -155,13 +155,8 @@ mod tests {
     #[test]
     fn measure_accuracy_runs_end_to_end() {
         let app = registry::lookup("ring").unwrap();
-        let (row, generated) = measure_accuracy(
-            app,
-            4,
-            AppParams::quick(),
-            network::ethernet_cluster(),
-        )
-        .unwrap();
+        let (row, generated) =
+            measure_accuracy(app, 4, AppParams::quick(), network::ethernet_cluster()).unwrap();
         assert!(row.t_app.as_nanos() > 0);
         assert!(row.t_gen.as_nanos() > 0);
         assert!(generated.program.stmt_count() > 0);

@@ -1,0 +1,181 @@
+//! Disk cache of application traces, keyed by trace-config hash.
+//!
+//! Layout (one pair of files per entry, names are the 16-hex-digit key):
+//!
+//! ```text
+//! <dir>/<key>.st     ScalaTrace-style text trace (scalatrace::text)
+//! <dir>/<key>.meta   key=value sidecar: t_app_ns plus the config pairs
+//! ```
+//!
+//! The sidecar records the traced application's simulated wall-clock time
+//! (`t_app_ns`), so a cache hit can verify timing accuracy without
+//! re-running the application. Corrupt or partially written entries are
+//! treated as misses — the campaign re-traces and overwrites them.
+
+use crate::hash;
+use mpisim::time::SimTime;
+use scalatrace::trace::Trace;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A trace cache rooted at one directory.
+#[derive(Clone, Debug)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+/// A successfully loaded cache entry.
+#[derive(Clone, Debug)]
+pub struct CachedTrace {
+    /// The cached trace.
+    pub trace: Trace,
+    /// Simulated wall-clock time of the original traced run.
+    pub t_app: SimTime,
+}
+
+impl TraceCache {
+    /// Open (and create if needed) a cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<TraceCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(TraceCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn trace_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{}.st", hash::hex(key)))
+    }
+
+    fn meta_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{}.meta", hash::hex(key)))
+    }
+
+    /// Look up a trace by key. Any read or parse failure — missing files,
+    /// truncated trace, malformed sidecar — is a miss.
+    pub fn load(&self, key: u64) -> Option<CachedTrace> {
+        let text = std::fs::read_to_string(self.trace_path(key)).ok()?;
+        let trace = scalatrace::text::from_text(&text).ok()?;
+        let meta = std::fs::read_to_string(self.meta_path(key)).ok()?;
+        let t_app_ns: u64 = meta
+            .lines()
+            .find_map(|l| l.strip_prefix("t_app_ns="))
+            .and_then(|v| v.trim().parse().ok())?;
+        Some(CachedTrace {
+            trace,
+            t_app: SimTime::from_nanos(t_app_ns),
+        })
+    }
+
+    /// Store a trace under `key`. `pairs` (the job's trace config) is
+    /// recorded in the sidecar for human inspection. The sidecar is written
+    /// last so a crash mid-store leaves a miss, not a lie.
+    pub fn store(
+        &self,
+        key: u64,
+        trace: &Trace,
+        t_app: SimTime,
+        pairs: &[(String, String)],
+    ) -> io::Result<()> {
+        std::fs::write(self.trace_path(key), scalatrace::text::to_text(trace))?;
+        let mut meta = format!("t_app_ns={}\n", t_app.as_nanos());
+        for (k, v) in pairs {
+            meta.push_str(&format!("{k}={v}\n"));
+        }
+        std::fs::write(self.meta_path(key), meta)
+    }
+
+    /// Number of complete entries currently in the cache.
+    pub fn len(&self) -> usize {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "st"))
+            .count()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniapps::{registry, AppParams};
+    use mpisim::network;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-cache-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_trace() -> (Trace, SimTime) {
+        let app = registry::lookup("ring").unwrap();
+        let params = AppParams::quick();
+        let traced =
+            scalatrace::trace_app(4, network::ideal(), move |ctx| (app.run)(ctx, &params)).unwrap();
+        (traced.trace, traced.report.total_time)
+    }
+
+    #[test]
+    fn roundtrips_trace_and_timing() {
+        let cache = TraceCache::open(temp_dir("roundtrip")).unwrap();
+        let (trace, t_app) = sample_trace();
+        assert!(cache.load(42).is_none());
+        cache
+            .store(42, &trace, t_app, &[("app".into(), "ring".into())])
+            .unwrap();
+        let hit = cache.load(42).expect("entry just stored");
+        assert_eq!(hit.t_app, t_app);
+        scalatrace::semantically_equal(&trace, &hit.trace).unwrap();
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let cache = TraceCache::open(temp_dir("corrupt")).unwrap();
+        let (trace, t_app) = sample_trace();
+        cache.store(7, &trace, t_app, &[]).unwrap();
+
+        // Truncated trace body.
+        std::fs::write(cache.trace_path(7), "nranks 4\ngarbage").unwrap();
+        assert!(cache.load(7).is_none());
+
+        // Valid trace, mangled sidecar.
+        cache.store(7, &trace, t_app, &[]).unwrap();
+        std::fs::write(cache.meta_path(7), "t_app_ns=notanumber\n").unwrap();
+        assert!(cache.load(7).is_none());
+
+        // Valid trace, missing sidecar.
+        cache.store(7, &trace, t_app, &[]).unwrap();
+        std::fs::remove_file(cache.meta_path(7)).unwrap();
+        assert!(cache.load(7).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = TraceCache::open(temp_dir("keys")).unwrap();
+        let (trace, t_app) = sample_trace();
+        cache.store(1, &trace, t_app, &[]).unwrap();
+        assert!(cache.load(2).is_none());
+        assert!(cache.load(1).is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -1,0 +1,425 @@
+//! Fault-isolated parallel fleet executor.
+//!
+//! `run_fleet` drains a job list on a fixed pool of worker threads
+//! (std-only: `std::thread` plus channels). Three failure domains are
+//! isolated per job:
+//!
+//! * **Panics** — each attempt runs under `catch_unwind`; a panicking job
+//!   becomes a `Failed` outcome and the fleet carries on.
+//! * **Hangs** — each attempt runs on its own thread while the worker waits
+//!   with `recv_timeout`. Rust cannot kill a thread, so an over-budget
+//!   attempt is *abandoned* (the thread is detached and its eventual result
+//!   discarded) and the job reported `TimedOut`. The leak is bounded: one
+//!   thread per timed-out attempt, reclaimed at process exit.
+//! * **Transient errors** — a job may ask for a retry (`JobError::transient`);
+//!   retries are capped and spaced with exponential backoff.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Fleet-level execution knobs.
+#[derive(Clone, Debug)]
+pub struct FleetOptions {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Wall-clock budget per attempt.
+    pub timeout: Duration,
+    /// Retry budget for transient failures (0 = no retries).
+    pub retries: u32,
+    /// Base backoff delay; attempt `k` waits `backoff * 2^(k-1)`, capped.
+    pub backoff: Duration,
+    /// Upper bound on the backoff delay.
+    pub backoff_cap: Duration,
+}
+
+impl Default for FleetOptions {
+    fn default() -> FleetOptions {
+        FleetOptions {
+            workers: 4,
+            timeout: Duration::from_secs(60),
+            retries: 1,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A job-level error. `transient: true` requests a retry (within budget);
+/// `transient: false` fails the job immediately.
+#[derive(Clone, Debug)]
+pub struct JobError {
+    /// Human-readable description.
+    pub message: String,
+    /// May a retry succeed?
+    pub transient: bool,
+}
+
+impl JobError {
+    /// A retryable error.
+    pub fn transient(message: impl Into<String>) -> JobError {
+        JobError {
+            message: message.into(),
+            transient: true,
+        }
+    }
+
+    /// A permanent error.
+    pub fn fatal(message: impl Into<String>) -> JobError {
+        JobError {
+            message: message.into(),
+            transient: false,
+        }
+    }
+}
+
+/// Final disposition of one job.
+#[derive(Clone, Debug)]
+pub enum Outcome<R> {
+    /// The job succeeded.
+    Done(R),
+    /// The job failed (panic or returned error) after `attempts` attempts.
+    Failed {
+        /// Last error message.
+        error: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// An attempt exceeded the wall-clock budget and was abandoned.
+    TimedOut {
+        /// The per-attempt budget that was exceeded.
+        budget: Duration,
+        /// Attempts consumed (including the one that hung).
+        attempts: u32,
+    },
+}
+
+/// Progress notifications, delivered from worker threads as they happen.
+#[derive(Debug)]
+pub enum ExecEvent<'a, R> {
+    /// An attempt is starting.
+    Started {
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// A transient failure; the job will be retried after `delay`.
+    Retried {
+        /// The attempt that failed.
+        attempt: u32,
+        /// The transient error.
+        error: &'a str,
+        /// Backoff before the next attempt.
+        delay: Duration,
+    },
+    /// The job reached a final outcome.
+    Finished {
+        /// The outcome (also returned from `run_fleet`).
+        outcome: &'a Outcome<R>,
+        /// Wall-clock time the job occupied a worker, including retries.
+        wall: Duration,
+    },
+}
+
+enum Attempt<R> {
+    Success(R),
+    Error(JobError),
+    Hung,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Run one attempt on a dedicated thread so a hang cannot block the worker.
+fn run_attempt<J, R, W>(
+    jobs: &Arc<Vec<J>>,
+    work: &Arc<W>,
+    index: usize,
+    attempt: u32,
+    budget: Duration,
+) -> Attempt<R>
+where
+    J: Send + Sync + 'static,
+    R: Send + 'static,
+    W: Fn(&J, u32) -> Result<R, JobError> + Send + Sync + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let jobs = Arc::clone(jobs);
+    let work = Arc::clone(work);
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| work(&jobs[index], attempt)));
+        // The receiver is gone iff the watchdog already gave up on us.
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(budget) {
+        Ok(Ok(Ok(r))) => Attempt::Success(r),
+        Ok(Ok(Err(e))) => Attempt::Error(e),
+        Ok(Err(payload)) => Attempt::Error(JobError::fatal(panic_message(payload))),
+        Err(_) => Attempt::Hung,
+    }
+}
+
+/// Execute `jobs` with `work` on a worker pool, reporting progress through
+/// `observe` (called from worker threads; index identifies the job). The
+/// returned outcomes are index-aligned with `jobs`.
+pub fn run_fleet<J, R, W, O>(
+    jobs: Vec<J>,
+    opts: &FleetOptions,
+    work: W,
+    observe: O,
+) -> Vec<Outcome<R>>
+where
+    J: Send + Sync + 'static,
+    R: Send + 'static,
+    W: Fn(&J, u32) -> Result<R, JobError> + Send + Sync + 'static,
+    O: Fn(usize, ExecEvent<'_, R>) + Send + Sync,
+{
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let jobs = Arc::new(jobs);
+    let work = Arc::new(work);
+    let observe = &observe;
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Outcome<R>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    let workers = opts.workers.clamp(1, total);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    return;
+                }
+                let job_start = Instant::now();
+                let mut attempt = 1u32;
+                let outcome = loop {
+                    observe(index, ExecEvent::Started { attempt });
+                    match run_attempt(&jobs, &work, index, attempt, opts.timeout) {
+                        Attempt::Success(r) => break Outcome::Done(r),
+                        Attempt::Hung => {
+                            break Outcome::TimedOut {
+                                budget: opts.timeout,
+                                attempts: attempt,
+                            }
+                        }
+                        Attempt::Error(e) if e.transient && attempt <= opts.retries => {
+                            let exp = opts.backoff.saturating_mul(1u32 << (attempt - 1).min(16));
+                            let delay = exp.min(opts.backoff_cap);
+                            observe(
+                                index,
+                                ExecEvent::Retried {
+                                    attempt,
+                                    error: &e.message,
+                                    delay,
+                                },
+                            );
+                            std::thread::sleep(delay);
+                            attempt += 1;
+                        }
+                        Attempt::Error(e) => {
+                            break Outcome::Failed {
+                                error: e.message,
+                                attempts: attempt,
+                            }
+                        }
+                    }
+                };
+                observe(
+                    index,
+                    ExecEvent::Finished {
+                        outcome: &outcome,
+                        wall: job_start.elapsed(),
+                    },
+                );
+                *results[index].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without recording an outcome")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn opts() -> FleetOptions {
+        FleetOptions {
+            workers: 3,
+            timeout: Duration::from_secs(5),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+        }
+    }
+
+    #[test]
+    fn runs_all_jobs_and_aligns_results() {
+        let jobs: Vec<u32> = (0..20).collect();
+        let out = run_fleet(jobs, &opts(), |&j, _| Ok::<_, JobError>(j * 2), |_, _| {});
+        assert_eq!(out.len(), 20);
+        for (i, o) in out.iter().enumerate() {
+            match o {
+                Outcome::Done(v) => assert_eq!(*v as usize, i * 2),
+                other => panic!("job {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_sink_the_fleet() {
+        let jobs = vec!["ok", "boom", "ok"];
+        let out = run_fleet(
+            jobs,
+            &opts(),
+            |&j, _| {
+                if j == "boom" {
+                    panic!("injected failure");
+                }
+                Ok::<_, JobError>(j.len())
+            },
+            |_, _| {},
+        );
+        assert!(matches!(out[0], Outcome::Done(2)));
+        match &out[1] {
+            Outcome::Failed { error, attempts } => {
+                assert!(error.contains("injected failure"), "{error}");
+                assert_eq!(*attempts, 1, "panics are not retried");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(out[2], Outcome::Done(2)));
+    }
+
+    #[test]
+    fn transient_errors_retry_with_backoff_then_succeed() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        let events = Mutex::new(Vec::new());
+        let out = run_fleet(
+            vec![()],
+            &opts(),
+            |_, attempt| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                if attempt < 3 {
+                    Err(JobError::transient(format!("flaky on attempt {attempt}")))
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |_, ev| {
+                if let ExecEvent::Retried { attempt, delay, .. } = ev {
+                    events.lock().unwrap().push((attempt, delay));
+                }
+            },
+        );
+        assert!(matches!(out[0], Outcome::Done(3)));
+        assert_eq!(CALLS.load(Ordering::Relaxed), 3);
+        let retries = events.into_inner().unwrap();
+        assert_eq!(retries.len(), 2);
+        assert!(retries[1].1 >= retries[0].1, "backoff grows");
+    }
+
+    #[test]
+    fn transient_errors_exhaust_the_retry_budget() {
+        let out = run_fleet(
+            vec![()],
+            &opts(),
+            |_, _| Err::<(), _>(JobError::transient("always flaky")),
+            |_, _| {},
+        );
+        match &out[0] {
+            Outcome::Failed { error, attempts } => {
+                assert!(error.contains("always flaky"));
+                assert_eq!(*attempts, 3, "initial attempt + 2 retries");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fatal_errors_do_not_retry() {
+        let out = run_fleet(
+            vec![()],
+            &opts(),
+            |_, _| Err::<(), _>(JobError::fatal("no point")),
+            |_, _| {},
+        );
+        match &out[0] {
+            Outcome::Failed { attempts, .. } => assert_eq!(*attempts, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hung_jobs_time_out_and_the_fleet_finishes() {
+        let o = FleetOptions {
+            timeout: Duration::from_millis(50),
+            ..opts()
+        };
+        let out = run_fleet(
+            vec![0u32, 1, 2],
+            &o,
+            |&j, _| {
+                if j == 1 {
+                    // Sleep far beyond the budget; the watchdog abandons us.
+                    std::thread::sleep(Duration::from_secs(30));
+                }
+                Ok::<_, JobError>(j)
+            },
+            |_, _| {},
+        );
+        assert!(matches!(out[0], Outcome::Done(0)));
+        assert!(matches!(out[1], Outcome::TimedOut { .. }));
+        assert!(matches!(out[2], Outcome::Done(2)));
+    }
+
+    #[test]
+    fn finished_events_fire_for_every_job() {
+        let finished = AtomicU32::new(0);
+        let out = run_fleet(
+            (0..10u32).collect(),
+            &opts(),
+            |&j, _| {
+                if j % 3 == 0 {
+                    panic!("boom {j}");
+                }
+                Ok(j)
+            },
+            |_, ev| {
+                if matches!(ev, ExecEvent::Finished { .. }) {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+        assert_eq!(out.len(), 10);
+        assert_eq!(finished.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn empty_fleet_is_a_noop() {
+        let out = run_fleet(
+            Vec::<()>::new(),
+            &opts(),
+            |_, _| Ok::<_, JobError>(()),
+            |_, _| {},
+        );
+        assert!(out.is_empty());
+    }
+}

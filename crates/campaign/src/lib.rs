@@ -1,0 +1,34 @@
+//! # campaign — parallel, fault-isolated experiment fleets
+//!
+//! The paper's evaluation is a *grid* of experiments: applications × rank
+//! counts × problem classes × network models, each run through the full
+//! trace → generate → execute → verify pipeline. This crate turns that grid
+//! into a declarative **job matrix** and executes it as a fleet:
+//!
+//! * [`matrix`] — the matrix format, its expansion into concrete
+//!   [`matrix::JobSpec`]s, and stable hashed job identities.
+//! * [`hash`] — deterministic, order-independent FNV-1a config hashing.
+//! * [`cache`] — a disk trace cache keyed by trace-config hash, so reruns
+//!   skip the (expensive) traced application entirely.
+//! * [`telemetry`] — structured JSONL events (`queued`/`started`/`cached`/
+//!   `retried`/`finished`) for machine consumption.
+//! * [`executor`] — the std-only worker pool with per-job fault isolation:
+//!   panics are caught, hangs are timed out and abandoned, transient
+//!   failures retry with capped exponential backoff.
+//! * [`runner`] — the per-job pipeline and the aggregate
+//!   [`runner::CampaignReport`].
+//!
+//! The `commbench` binary is the command-line front end.
+
+pub mod cache;
+pub mod executor;
+pub mod hash;
+pub mod matrix;
+pub mod runner;
+pub mod telemetry;
+
+pub use cache::{CachedTrace, TraceCache};
+pub use executor::{FleetOptions, JobError, Outcome};
+pub use matrix::{CampaignSpec, JobSpec};
+pub use runner::{run_campaign, CampaignReport, JobOutput, JobRow};
+pub use telemetry::Telemetry;

@@ -1,0 +1,434 @@
+//! Campaign matrix: a declarative job grid and its expansion.
+//!
+//! A matrix file is a small line-based `key = value` document (no external
+//! parser dependencies are available offline):
+//!
+//! ```text
+//! # sweep the paper suite's small corner on two networks
+//! apps     = lu, cg, ep
+//! ranks    = 8, 16
+//! classes  = S, W
+//! networks = ideal, bgl
+//! align    = true
+//! resolve  = true
+//! comments = false
+//! compute_scale = 1.0
+//! workers  = 4
+//! timeout_secs = 60
+//! retries  = 1
+//! ```
+//!
+//! `expand` forms the cartesian product `apps x ranks x classes x networks`,
+//! dropping combinations the application's domain decomposition cannot run
+//! (e.g. BT on a non-square rank count) and reporting them as skips.
+
+use crate::hash;
+use miniapps::{registry, Class};
+
+/// Fault-injection pseudo-apps resolved by the campaign runner itself
+/// rather than the miniapp registry.
+pub const INJECTED_APPS: &[&str] = &["__panic__", "__hang__", "__flaky__"];
+
+/// Is `name` one of the fault-injection pseudo-apps?
+pub fn is_injected(name: &str) -> bool {
+    INJECTED_APPS.contains(&name)
+}
+
+/// Networks a job may select.
+pub const NETWORKS: &[&str] = &["ideal", "bgl", "ethernet"];
+
+/// One fully concrete experiment: everything needed to trace an
+/// application and generate + verify its benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Application registry name (or an `INJECTED_APPS` entry).
+    pub app: String,
+    /// World size.
+    pub ranks: usize,
+    /// NPB problem class.
+    pub class: Class,
+    /// Network model name (see `NETWORKS`).
+    pub network: String,
+    /// Run Algorithm 1 (collective alignment) during generation.
+    pub align: bool,
+    /// Run Algorithm 2 (wildcard resolution) during generation.
+    pub resolve: bool,
+    /// Emit provenance comments in the generated program.
+    pub comments: bool,
+    /// Compute-time scale factor (the §5.4 what-if knob).
+    pub compute_scale: f64,
+    /// Iteration-count override.
+    pub iterations: Option<usize>,
+}
+
+impl JobSpec {
+    /// `key=value` pairs that determine the *trace* — the fields the traced
+    /// application run depends on. Generation flags are deliberately
+    /// excluded so jobs differing only in `GenOptions` share a cache entry.
+    pub fn trace_pairs(&self) -> Vec<(String, String)> {
+        vec![
+            ("app".into(), self.app.clone()),
+            ("ranks".into(), self.ranks.to_string()),
+            ("class".into(), self.class.name().into()),
+            ("network".into(), self.network.clone()),
+            ("compute_scale".into(), format!("{:?}", self.compute_scale)),
+            (
+                "iterations".into(),
+                match self.iterations {
+                    Some(i) => i.to_string(),
+                    None => "default".into(),
+                },
+            ),
+        ]
+    }
+
+    /// The trace-cache key: order-independent hash of [`Self::trace_pairs`].
+    pub fn trace_key(&self) -> u64 {
+        hash::hash_pairs(&self.trace_pairs())
+    }
+
+    /// All `key=value` pairs, including generation flags — the job identity.
+    pub fn config_pairs(&self) -> Vec<(String, String)> {
+        let mut pairs = self.trace_pairs();
+        pairs.push(("align".into(), self.align.to_string()));
+        pairs.push(("resolve".into(), self.resolve.to_string()));
+        pairs.push(("comments".into(), self.comments.to_string()));
+        pairs
+    }
+
+    /// Stable job identifier: human-readable prefix plus a hash
+    /// discriminator, e.g. `lu.n8.S.ideal.1a2b3c4d`.
+    pub fn id(&self) -> String {
+        let h = hash::hash_pairs(&self.config_pairs());
+        format!(
+            "{}.n{}.{}.{}.{}",
+            self.app,
+            self.ranks,
+            self.class.name(),
+            self.network,
+            &hash::hex(h)[..8]
+        )
+    }
+}
+
+/// A parsed campaign matrix plus fleet-level settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Applications to sweep.
+    pub apps: Vec<String>,
+    /// Rank counts to sweep.
+    pub ranks: Vec<usize>,
+    /// Problem classes to sweep.
+    pub classes: Vec<Class>,
+    /// Network models to sweep.
+    pub networks: Vec<String>,
+    /// Algorithm 1 on/off for every job.
+    pub align: bool,
+    /// Algorithm 2 on/off for every job.
+    pub resolve: bool,
+    /// Provenance comments on/off for every job.
+    pub comments: bool,
+    /// Compute-time scale factor for every job.
+    pub compute_scale: f64,
+    /// Iteration override for every job.
+    pub iterations: Option<usize>,
+    /// Worker threads in the fleet.
+    pub workers: usize,
+    /// Per-attempt wall-clock budget in seconds.
+    pub timeout_secs: u64,
+    /// Retry budget for transient failures.
+    pub retries: u32,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> CampaignSpec {
+        CampaignSpec {
+            apps: Vec::new(),
+            ranks: Vec::new(),
+            classes: vec![Class::S],
+            networks: vec!["ideal".to_string()],
+            align: true,
+            resolve: true,
+            comments: false,
+            compute_scale: 1.0,
+            iterations: None,
+            workers: 4,
+            timeout_secs: 60,
+            retries: 1,
+        }
+    }
+}
+
+/// Parse a one-letter NPB class name.
+pub fn parse_class(s: &str) -> Result<Class, String> {
+    match s {
+        "S" => Ok(Class::S),
+        "W" => Ok(Class::W),
+        "A" => Ok(Class::A),
+        "B" => Ok(Class::B),
+        "C" => Ok(Class::C),
+        other => Err(format!("unknown class {other} (expected S|W|A|B|C)")),
+    }
+}
+
+fn parse_bool(key: &str, s: &str) -> Result<bool, String> {
+    match s {
+        "true" | "yes" | "on" => Ok(true),
+        "false" | "no" | "off" => Ok(false),
+        other => Err(format!("bad {key}: {other} (expected true|false)")),
+    }
+}
+
+fn split_list(v: &str) -> Vec<&str> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+impl CampaignSpec {
+    /// Parse a matrix document. Blank lines and `#` comments are ignored;
+    /// unknown keys are errors (they are invariably typos).
+    pub fn parse(text: &str) -> Result<CampaignSpec, String> {
+        let mut spec = CampaignSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let at = |e: String| format!("line {}: {e}", lineno + 1);
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| at(format!("expected `key = value`, got `{line}`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "apps" => spec.apps = split_list(value).iter().map(|s| s.to_string()).collect(),
+                "ranks" => {
+                    spec.ranks = split_list(value)
+                        .iter()
+                        .map(|s| {
+                            s.parse::<usize>()
+                                .map_err(|e| at(format!("bad rank {s}: {e}")))
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+                "classes" => {
+                    spec.classes = split_list(value)
+                        .iter()
+                        .map(|s| parse_class(s).map_err(&at))
+                        .collect::<Result<_, _>>()?
+                }
+                "networks" => {
+                    let nets = split_list(value);
+                    for n in &nets {
+                        if !NETWORKS.contains(n) {
+                            return Err(at(format!(
+                                "unknown network {n} (expected one of {})",
+                                NETWORKS.join("|")
+                            )));
+                        }
+                    }
+                    spec.networks = nets.iter().map(|s| s.to_string()).collect();
+                }
+                "align" => spec.align = parse_bool(key, value).map_err(&at)?,
+                "resolve" => spec.resolve = parse_bool(key, value).map_err(&at)?,
+                "comments" => spec.comments = parse_bool(key, value).map_err(&at)?,
+                "compute_scale" => {
+                    spec.compute_scale = value
+                        .parse::<f64>()
+                        .map_err(|e| at(format!("bad compute_scale: {e}")))?
+                }
+                "iterations" => {
+                    spec.iterations = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|e| at(format!("bad iterations: {e}")))?,
+                    )
+                }
+                "workers" => {
+                    spec.workers = value
+                        .parse::<usize>()
+                        .map_err(|e| at(format!("bad workers: {e}")))?
+                }
+                "timeout_secs" => {
+                    spec.timeout_secs = value
+                        .parse::<u64>()
+                        .map_err(|e| at(format!("bad timeout_secs: {e}")))?
+                }
+                "retries" => {
+                    spec.retries = value
+                        .parse::<u32>()
+                        .map_err(|e| at(format!("bad retries: {e}")))?
+                }
+                other => return Err(at(format!("unknown key {other}"))),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.apps.is_empty() {
+            return Err("matrix lists no apps".to_string());
+        }
+        if self.ranks.is_empty() {
+            return Err("matrix lists no rank counts".to_string());
+        }
+        if self.ranks.contains(&0) {
+            return Err("rank count 0 is invalid".to_string());
+        }
+        if self.workers == 0 {
+            return Err("workers must be at least 1".to_string());
+        }
+        for app in &self.apps {
+            if !is_injected(app) && registry::lookup(app).is_none() {
+                let names: Vec<&str> = registry::all().iter().map(|a| a.name).collect();
+                return Err(format!(
+                    "unknown app {app}; available: {}",
+                    names.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand the matrix into the concrete job list, in matrix order.
+    /// Combinations invalid for an app's decomposition are returned as
+    /// human-readable skips rather than jobs.
+    pub fn expand(&self) -> (Vec<JobSpec>, Vec<String>) {
+        let mut jobs = Vec::new();
+        let mut skipped = Vec::new();
+        for app in &self.apps {
+            for &ranks in &self.ranks {
+                let valid = match registry::lookup(app) {
+                    Some(a) => (a.valid_ranks)(ranks),
+                    None => is_injected(app),
+                };
+                if !valid {
+                    skipped.push(format!("{app} cannot run on {ranks} ranks"));
+                    continue;
+                }
+                for &class in &self.classes {
+                    for network in &self.networks {
+                        jobs.push(JobSpec {
+                            app: app.clone(),
+                            ranks,
+                            class,
+                            network: network.clone(),
+                            align: self.align,
+                            resolve: self.resolve,
+                            comments: self.comments,
+                            compute_scale: self.compute_scale,
+                            iterations: self.iterations,
+                        });
+                    }
+                }
+            }
+        }
+        (jobs, skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MATRIX: &str = "
+        # demo matrix
+        apps     = ring, lu   # trailing comment
+        ranks    = 4, 8
+        classes  = S
+        networks = ideal, bgl
+        workers  = 2
+        timeout_secs = 30
+        retries  = 2
+    ";
+
+    #[test]
+    fn parses_and_expands() {
+        let spec = CampaignSpec::parse(MATRIX).unwrap();
+        assert_eq!(spec.apps, vec!["ring", "lu"]);
+        assert_eq!(spec.ranks, vec![4, 8]);
+        assert_eq!(spec.workers, 2);
+        assert_eq!(spec.retries, 2);
+        let (jobs, skipped) = spec.expand();
+        // ring and lu both accept 4 and 8 ranks: 2 apps x 2 ranks x 1 class
+        // x 2 networks.
+        assert_eq!(jobs.len(), 8);
+        assert!(skipped.is_empty());
+        assert!(jobs.iter().all(|j| j.align && j.resolve && !j.comments));
+    }
+
+    #[test]
+    fn invalid_rank_combinations_are_skipped() {
+        let spec = CampaignSpec::parse("apps = bt\nranks = 4, 7").unwrap();
+        let (jobs, skipped) = spec.expand();
+        // bt needs a square rank count: 4 runs, 7 is skipped.
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].contains("bt"));
+        assert!(skipped[0].contains('7'));
+    }
+
+    #[test]
+    fn rejects_malformed_matrices() {
+        assert!(CampaignSpec::parse("").is_err(), "no apps");
+        assert!(CampaignSpec::parse("apps = ring").is_err(), "no ranks");
+        assert!(CampaignSpec::parse("apps = nosuch\nranks = 4").is_err());
+        assert!(CampaignSpec::parse("apps = ring\nranks = 0").is_err());
+        assert!(CampaignSpec::parse("apps = ring\nranks = 4\nnetworks = myrinet").is_err());
+        assert!(CampaignSpec::parse("apps = ring\nranks = 4\nfrobnicate = 1").is_err());
+        assert!(CampaignSpec::parse("apps = ring\nranks = 4\nalign = maybe").is_err());
+        assert!(CampaignSpec::parse("just some text").is_err());
+        let err = CampaignSpec::parse("apps = ring\nranks = x").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn injected_apps_expand_without_registry_entries() {
+        let spec = CampaignSpec::parse("apps = __panic__, __hang__\nranks = 4").unwrap();
+        let (jobs, skipped) = spec.expand();
+        assert_eq!(jobs.len(), 2);
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn job_ids_are_stable_and_distinct() {
+        let spec = CampaignSpec::parse(MATRIX).unwrap();
+        let (jobs, _) = spec.expand();
+        let ids: std::collections::BTreeSet<String> = jobs.iter().map(|j| j.id()).collect();
+        assert_eq!(ids.len(), jobs.len(), "job ids collide");
+        // Same job -> same id, independently of how it was constructed.
+        assert_eq!(jobs[0].id(), jobs[0].clone().id());
+    }
+
+    #[test]
+    fn trace_key_ignores_generation_flags() {
+        let (jobs, _) = CampaignSpec::parse("apps = ring\nranks = 4")
+            .unwrap()
+            .expand();
+        let mut other = jobs[0].clone();
+        other.align = false;
+        other.comments = true;
+        assert_eq!(jobs[0].trace_key(), other.trace_key());
+        assert_ne!(jobs[0].id(), other.id());
+    }
+
+    #[test]
+    fn config_hash_is_independent_of_pair_order_and_matches_golden() {
+        let (jobs, _) = CampaignSpec::parse("apps = ring\nranks = 4")
+            .unwrap()
+            .expand();
+        let job = &jobs[0];
+        let mut pairs = job.config_pairs();
+        pairs.reverse();
+        assert_eq!(
+            crate::hash::hash_pairs(&job.config_pairs()),
+            crate::hash::hash_pairs(&pairs)
+        );
+        // Golden value: guards the canonical rendering (field names, bool
+        // and float formatting) against accidental change, which would
+        // silently invalidate every existing cache entry.
+        assert_eq!(crate::hash::hex(job.trace_key()), "c5732d7ab4231e91");
+    }
+}

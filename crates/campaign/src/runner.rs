@@ -1,0 +1,519 @@
+//! The campaign runner: drives every job through the full paper pipeline
+//! (trace → generate → execute → verify) on the fault-isolated fleet,
+//! with trace caching and JSONL telemetry.
+
+use crate::cache::TraceCache;
+use crate::executor::{self, ExecEvent, FleetOptions, JobError, Outcome};
+use crate::hash;
+use crate::matrix::{CampaignSpec, JobSpec};
+use crate::telemetry::{Telemetry, Value};
+use benchgen::verify::{compare_profiles, expected_profile, profile_of_trace};
+use benchgen::{generate, GenOptions};
+use conceptual::interp::run_rank;
+use miniapps::{registry, App, AppParams};
+use mpisim::network::NetworkModel;
+use mpisim::profile::MpiP;
+use mpisim::time::SimTime;
+use mpisim::world::World;
+use mpisim::{network, SimError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Relative byte-volume tolerance for size-averaged routines in the E1
+/// profile comparison (matches the §5.2 experiment binary).
+const VERIFY_TOL: f64 = 0.02;
+
+/// Measurements from one successful job.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// Was the trace served from the cache?
+    pub cached: bool,
+    /// Trace-cache key (shared by jobs differing only in generation flags).
+    pub trace_key: u64,
+    /// Simulated wall-clock time of the original application.
+    pub t_app: SimTime,
+    /// Simulated wall-clock time of the generated benchmark.
+    pub t_gen: SimTime,
+    /// Timing accuracy: `|t_gen - t_app| / t_app` in percent (the paper's
+    /// §5.3 metric).
+    pub err_pct: f64,
+    /// Trace compression ratio (concrete events per trace node).
+    pub compression: f64,
+    /// E1 verification mismatches (empty = verified).
+    pub verify_errors: Vec<String>,
+}
+
+/// One row of the final report: the job plus its outcome.
+#[derive(Clone, Debug)]
+pub struct JobRow {
+    /// The job.
+    pub job: JobSpec,
+    /// Its outcome.
+    pub outcome: Outcome<JobOutput>,
+}
+
+/// Aggregate result of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Per-job rows, in matrix order.
+    pub rows: Vec<JobRow>,
+    /// Matrix combinations that were skipped (invalid rank counts).
+    pub skipped: Vec<String>,
+}
+
+impl CampaignReport {
+    /// Successful jobs.
+    pub fn ok(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Done(_)))
+            .count()
+    }
+
+    /// Failed jobs (panics and errors).
+    pub fn failed(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::Failed { .. }))
+            .count()
+    }
+
+    /// Timed-out jobs.
+    pub fn timed_out(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.outcome, Outcome::TimedOut { .. }))
+            .count()
+    }
+
+    /// Successful jobs whose trace came from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(&r.outcome, Outcome::Done(o) if o.cached))
+            .count()
+    }
+
+    /// Successful jobs that passed E1 verification.
+    pub fn verified(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(&r.outcome, Outcome::Done(o) if o.verify_errors.is_empty()))
+            .count()
+    }
+
+    /// Mean absolute timing error over successful jobs (percent).
+    pub fn mape(&self) -> f64 {
+        let errs: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                Outcome::Done(o) => Some(o.err_pct),
+                _ => None,
+            })
+            .collect();
+        if errs.is_empty() {
+            return 0.0;
+        }
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    /// Did every job succeed (and nothing time out or fail)?
+    pub fn all_ok(&self) -> bool {
+        self.ok() == self.rows.len()
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<30} {:>7} {:>12} {:>12} {:>8} {:>8} {:>8}",
+            "job", "cached", "T_app(us)", "T_gen(us)", "err%", "comp", "verify"
+        )?;
+        for row in &self.rows {
+            match &row.outcome {
+                Outcome::Done(o) => writeln!(
+                    f,
+                    "{:<30} {:>7} {:>12.1} {:>12.1} {:>8.2} {:>8.1} {:>8}",
+                    row.job.id(),
+                    if o.cached { "hit" } else { "miss" },
+                    o.t_app.as_usecs_f64(),
+                    o.t_gen.as_usecs_f64(),
+                    o.err_pct,
+                    o.compression,
+                    if o.verify_errors.is_empty() {
+                        "pass".to_string()
+                    } else {
+                        format!("FAIL({})", o.verify_errors.len())
+                    },
+                )?,
+                Outcome::Failed { error, attempts } => writeln!(
+                    f,
+                    "{:<30} FAILED after {} attempt(s): {}",
+                    row.job.id(),
+                    attempts,
+                    error.lines().next().unwrap_or(""),
+                )?,
+                Outcome::TimedOut { budget, .. } => {
+                    writeln!(f, "{:<30} TIMED OUT (budget {:.0?})", row.job.id(), budget,)?
+                }
+            }
+        }
+        for s in &self.skipped {
+            writeln!(f, "skipped: {s}")?;
+        }
+        writeln!(
+            f,
+            "{} ok ({} cached, {} verified), {} failed, {} timed out; MAPE {:.2}%",
+            self.ok(),
+            self.cache_hits(),
+            self.verified(),
+            self.failed(),
+            self.timed_out(),
+            self.mape(),
+        )
+    }
+}
+
+fn model_of(name: &str) -> Arc<dyn NetworkModel> {
+    match name {
+        "bgl" => network::blue_gene_l(),
+        "ethernet" => network::ethernet_cluster(),
+        _ => network::ideal(),
+    }
+}
+
+fn params_of(job: &JobSpec) -> AppParams {
+    AppParams {
+        class: job.class,
+        iterations: job.iterations,
+        compute_scale: job.compute_scale,
+    }
+}
+
+fn sim_err(e: SimError) -> JobError {
+    JobError::fatal(format!("simulation failed: {e}"))
+}
+
+/// Resolve the application body for a job, honouring the fault-injection
+/// pseudo-apps: `__panic__` panics, `__hang__` sleeps past any reasonable
+/// budget, and `__flaky__` fails transiently on its first attempt before
+/// behaving like `ring`.
+fn resolve_app(job: &JobSpec, attempt: u32) -> Result<&'static App, JobError> {
+    match job.app.as_str() {
+        "__panic__" => panic!("injected panic (fault-injection app __panic__)"),
+        "__hang__" => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+        "__flaky__" => {
+            if attempt == 1 {
+                return Err(JobError::transient(
+                    "injected transient failure (fault-injection app __flaky__, attempt 1)",
+                ));
+            }
+            Ok(registry::lookup("ring").expect("ring is always registered"))
+        }
+        name => {
+            registry::lookup(name).ok_or_else(|| JobError::fatal(format!("unknown app {name}")))
+        }
+    }
+}
+
+/// Run one job end to end. This is the unit of fault isolation: anything
+/// that panics or errors in here fails only this job.
+fn run_one(
+    job: &JobSpec,
+    attempt: u32,
+    cache: &TraceCache,
+    telemetry: &Telemetry,
+) -> Result<JobOutput, JobError> {
+    let app = resolve_app(job, attempt)?;
+    let model = model_of(&job.network);
+    let trace_key = job.trace_key();
+
+    // 1. Trace: cache hit, or run the application and fill the cache.
+    let (trace, t_app, cached) = match cache.load(trace_key) {
+        Some(hit) => {
+            telemetry.emit(
+                "cached",
+                &[
+                    ("job", job.id().into()),
+                    ("trace_key", hash::hex(trace_key).into()),
+                ],
+            );
+            (hit.trace, hit.t_app, true)
+        }
+        None => {
+            if !(app.valid_ranks)(job.ranks) {
+                return Err(JobError::fatal(format!(
+                    "{} cannot run on {} ranks",
+                    app.name, job.ranks
+                )));
+            }
+            let params = params_of(job);
+            let run = app.run;
+            let traced =
+                scalatrace::trace_app(job.ranks, model.clone(), move |ctx| run(ctx, &params))
+                    .map_err(sim_err)?;
+            // Caching is best-effort; a read-only cache dir must not fail
+            // the job.
+            let _ = cache.store(
+                trace_key,
+                &traced.trace,
+                traced.report.total_time,
+                &job.trace_pairs(),
+            );
+            (traced.trace, traced.report.total_time, false)
+        }
+    };
+
+    // 2. Generate the executable specification.
+    let opts = GenOptions {
+        align_collectives: job.align,
+        resolve_wildcards: job.resolve,
+        emit_comments: job.comments,
+        ..GenOptions::default()
+    };
+    let generated =
+        generate(&trace, &opts).map_err(|e| JobError::fatal(format!("generation failed: {e}")))?;
+
+    // 3. Execute the generated benchmark under an mpiP hook: one run yields
+    //    both T_gen and the profile for E1.
+    let program = Arc::new(generated.program);
+    let prog = Arc::clone(&program);
+    let (report, hooks) = World::new(job.ranks)
+        .network(model)
+        .run_hooked(|_| MpiP::new(), move |ctx| run_rank(ctx, &prog))
+        .map_err(sim_err)?;
+    let t_gen = report.total_time;
+
+    // 4. Verify (E1): the generated benchmark's profile must match the
+    //    Table-1 image of the original's — reconstructed from the trace, so
+    //    cache hits verify without re-running the application.
+    let gen_prof = MpiP::merge_all(hooks.iter());
+    let orig_prof = profile_of_trace(&trace);
+    let verify_errors = compare_profiles(
+        &expected_profile(&orig_prof, job.ranks),
+        &gen_prof,
+        VERIFY_TOL,
+    );
+
+    // 5. Metrics.
+    let err_pct = if t_app.as_nanos() == 0 {
+        0.0
+    } else {
+        (t_gen.as_secs_f64() - t_app.as_secs_f64()).abs() / t_app.as_secs_f64() * 100.0
+    };
+    let compression = scalatrace::stats::stats(&trace).compression_ratio();
+
+    Ok(JobOutput {
+        cached,
+        trace_key,
+        t_app,
+        t_gen,
+        err_pct,
+        compression,
+        verify_errors,
+    })
+}
+
+fn job_fields(job: &JobSpec) -> Vec<(&'static str, Value)> {
+    vec![
+        ("job", job.id().into()),
+        ("app", job.app.clone().into()),
+        ("ranks", Value::U(job.ranks as u64)),
+        ("class", job.class.name().into()),
+        ("network", job.network.clone().into()),
+    ]
+}
+
+/// Run a whole campaign: expand the matrix, execute the fleet, emit
+/// telemetry, and aggregate the report.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    cache: TraceCache,
+    telemetry: Telemetry,
+) -> CampaignReport {
+    let (jobs, skipped) = spec.expand();
+    let telemetry = Arc::new(telemetry);
+    for s in &skipped {
+        telemetry.emit("skipped", &[("reason", s.as_str().into())]);
+    }
+    for job in &jobs {
+        telemetry.emit("queued", &job_fields(job));
+    }
+
+    let fleet = FleetOptions {
+        workers: spec.workers,
+        timeout: Duration::from_secs(spec.timeout_secs),
+        retries: spec.retries,
+        ..FleetOptions::default()
+    };
+    let jobs_for_observer = jobs.clone();
+    let cache = Arc::new(cache);
+    let tele_work = Arc::clone(&telemetry);
+    let cache_work = Arc::clone(&cache);
+    let outcomes = executor::run_fleet(
+        jobs.clone(),
+        &fleet,
+        move |job: &JobSpec, attempt| run_one(job, attempt, &cache_work, &tele_work),
+        |index, event| {
+            let job = &jobs_for_observer[index];
+            match event {
+                ExecEvent::Started { attempt } => telemetry.emit(
+                    "started",
+                    &[
+                        ("job", job.id().into()),
+                        ("attempt", Value::U(attempt as u64)),
+                    ],
+                ),
+                ExecEvent::Retried {
+                    attempt,
+                    error,
+                    delay,
+                } => telemetry.emit(
+                    "retried",
+                    &[
+                        ("job", job.id().into()),
+                        ("attempt", Value::U(attempt as u64)),
+                        ("error", error.into()),
+                        ("delay_ms", Value::U(delay.as_millis() as u64)),
+                    ],
+                ),
+                ExecEvent::Finished { outcome, wall } => {
+                    let mut fields = vec![("job", Value::from(job.id()))];
+                    match outcome {
+                        Outcome::Done(o) => {
+                            fields.push(("status", "ok".into()));
+                            fields.push(("cached", Value::B(o.cached)));
+                            fields.push(("trace_key", hash::hex(o.trace_key).into()));
+                            fields.push(("t_app_us", Value::F(o.t_app.as_usecs_f64())));
+                            fields.push(("t_gen_us", Value::F(o.t_gen.as_usecs_f64())));
+                            fields.push(("err_pct", Value::F(o.err_pct)));
+                            fields.push(("compression", Value::F(o.compression)));
+                            fields.push(("verify_errors", Value::U(o.verify_errors.len() as u64)));
+                        }
+                        Outcome::Failed { error, attempts } => {
+                            fields.push(("status", "failed".into()));
+                            fields.push(("error", error.as_str().into()));
+                            fields.push(("attempts", Value::U(*attempts as u64)));
+                        }
+                        Outcome::TimedOut { budget, attempts } => {
+                            fields.push(("status", "timeout".into()));
+                            fields.push(("budget_ms", Value::U(budget.as_millis() as u64)));
+                            fields.push(("attempts", Value::U(*attempts as u64)));
+                        }
+                    }
+                    fields.push(("wall_ms", Value::U(wall.as_millis() as u64)));
+                    telemetry.emit("finished", &fields);
+                }
+            }
+        },
+    );
+
+    CampaignReport {
+        rows: jobs
+            .into_iter()
+            .zip(outcomes)
+            .map(|(job, outcome)| JobRow { job, outcome })
+            .collect(),
+        skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-runner-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(matrix: &str) -> CampaignSpec {
+        CampaignSpec::parse(matrix).unwrap()
+    }
+
+    #[test]
+    fn campaign_survives_injected_faults_and_caches_on_rerun() {
+        let dir = temp_dir("e2e");
+        let matrix = "
+            apps = ring, __panic__, __flaky__
+            ranks = 2, 4
+            workers = 3
+            timeout_secs = 60
+            retries = 1
+        ";
+        let cache = TraceCache::open(&dir).unwrap();
+        let report = run_campaign(&spec(matrix), cache, Telemetry::sink());
+        assert_eq!(report.rows.len(), 6);
+        // ring x2 ok; __flaky__ x2 ok after one retry; __panic__ x2 failed.
+        assert_eq!(report.ok(), 4);
+        assert_eq!(report.failed(), 2);
+        assert_eq!(report.timed_out(), 0);
+        assert_eq!(report.cache_hits(), 0);
+        assert_eq!(report.verified(), 4, "all successful jobs pass E1");
+        for row in &report.rows {
+            if row.job.app == "__panic__" {
+                match &row.outcome {
+                    Outcome::Failed { error, .. } => {
+                        assert!(error.contains("injected panic"), "{error}")
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+        let display = report.to_string();
+        assert!(display.contains("FAILED"));
+        assert!(display.contains("2 failed"));
+
+        // Second run: every previously successful trace comes from cache.
+        let cache = TraceCache::open(&dir).unwrap();
+        let report2 = run_campaign(&spec(matrix), cache, Telemetry::sink());
+        assert_eq!(report2.ok(), 4);
+        assert_eq!(report2.cache_hits(), 4);
+        assert_eq!(report2.verified(), 4, "verification works from cache");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hung_jobs_are_abandoned() {
+        let dir = temp_dir("hang");
+        let matrix = "
+            apps = __hang__, ring
+            ranks = 2
+            workers = 2
+            timeout_secs = 1
+            retries = 0
+        ";
+        let cache = TraceCache::open(&dir).unwrap();
+        let report = run_campaign(&spec(matrix), cache, Telemetry::sink());
+        assert_eq!(report.timed_out(), 1);
+        assert_eq!(report.ok(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gen_option_variants_share_one_cache_entry() {
+        let dir = temp_dir("share");
+        let cache = TraceCache::open(&dir).unwrap();
+        let mut s = spec("apps = ring\nranks = 4\nworkers = 1");
+        let r1 = run_campaign(&s, TraceCache::open(&dir).unwrap(), Telemetry::sink());
+        assert_eq!(r1.cache_hits(), 0);
+        // Same trace config, different generation flags: cache still hits.
+        s.comments = true;
+        let r2 = run_campaign(&s, cache, Telemetry::sink());
+        assert_eq!(r2.cache_hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

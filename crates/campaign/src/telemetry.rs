@@ -1,0 +1,211 @@
+//! Structured JSONL telemetry.
+//!
+//! One JSON object per line, written as each event happens (the writer
+//! flushes per line, so a killed campaign still leaves a usable log). The
+//! schema is flat — every value is a string, number, or bool:
+//!
+//! ```text
+//! {"t_ms":0,"event":"queued","job":"lu.n8.S.ideal.1a2b3c4d","app":"lu","ranks":8,...}
+//! {"t_ms":3,"event":"started","job":"...","attempt":1}
+//! {"t_ms":5,"event":"cached","job":"...","trace_key":"44a2..."}
+//! {"t_ms":9,"event":"retried","job":"...","attempt":1,"error":"...","delay_ms":100}
+//! {"t_ms":42,"event":"finished","job":"...","status":"ok","cached":true,
+//!  "t_app_us":123.4,"t_gen_us":125.0,"err_pct":1.3,"compression":41.0,
+//!  "verify_errors":0,"wall_ms":17}
+//! {"t_ms":50,"event":"finished","job":"...","status":"failed","error":"...","wall_ms":3}
+//! {"t_ms":99,"event":"finished","job":"...","status":"timeout","budget_ms":30000,"wall_ms":30001}
+//! ```
+//!
+//! JSON is emitted by hand; no serialization dependency exists offline.
+
+use std::io::{self, BufWriter, Write};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A telemetry field value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A string (will be escaped).
+    S(String),
+    /// A signed integer.
+    I(i64),
+    /// An unsigned integer.
+    U(u64),
+    /// A float (non-finite values are emitted as `null`).
+    F(f64),
+    /// A bool.
+    B(bool),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::S(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::S(s)
+    }
+}
+
+/// Escape a string for inclusion in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render(v: &Value) -> String {
+    match v {
+        Value::S(s) => format!("\"{}\"", escape(s)),
+        Value::I(i) => i.to_string(),
+        Value::U(u) => u.to_string(),
+        Value::F(f) if f.is_finite() => format!("{f}"),
+        Value::F(_) => "null".to_string(),
+        Value::B(b) => b.to_string(),
+    }
+}
+
+/// A JSONL event sink shared by the fleet's worker threads.
+pub struct Telemetry {
+    start: Instant,
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Telemetry {
+    /// Write events to `path` (truncating any previous log).
+    pub fn to_file(path: &std::path::Path) -> io::Result<Telemetry> {
+        let file = std::fs::File::create(path)?;
+        Ok(Telemetry::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Write events to an arbitrary sink.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Telemetry {
+        Telemetry {
+            start: Instant::now(),
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Discard events (for tests and library callers without a log).
+    pub fn sink() -> Telemetry {
+        Telemetry::to_writer(Box::new(io::sink()))
+    }
+
+    /// Emit one event. `fields` follow the standard `t_ms`/`event` pair.
+    pub fn emit(&self, event: &str, fields: &[(&str, Value)]) {
+        let mut line = format!(
+            "{{\"t_ms\":{},\"event\":\"{}\"",
+            self.start.elapsed().as_millis(),
+            escape(event)
+        );
+        for (k, v) in fields {
+            line.push_str(&format!(",\"{}\":{}", escape(k), render(v)));
+        }
+        line.push('}');
+        let mut out = self.out.lock().expect("telemetry writer poisoned");
+        // Telemetry must never take the fleet down; drop the line on error.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Shared in-memory sink for asserting on emitted lines.
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn capture() -> (Telemetry, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let t = Telemetry::to_writer(Box::new(Shared(Arc::clone(&buf))));
+        (t, buf)
+    }
+
+    #[test]
+    fn emits_one_json_object_per_line() {
+        let (t, buf) = capture();
+        t.emit("queued", &[("job", "x.n4".into()), ("ranks", Value::U(4))]);
+        t.emit(
+            "finished",
+            &[("ok", Value::B(true)), ("err_pct", Value::F(1.5))],
+        );
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t_ms\":"));
+        assert!(lines[0].contains("\"event\":\"queued\""));
+        assert!(lines[0].contains("\"job\":\"x.n4\""));
+        assert!(lines[0].contains("\"ranks\":4"));
+        assert!(lines[1].contains("\"ok\":true"));
+        assert!(lines[1].contains("\"err_pct\":1.5"));
+        assert!(lines.iter().all(|l| l.ends_with('}')));
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_nonfinite_floats() {
+        let (t, buf) = capture();
+        t.emit(
+            "finished",
+            &[
+                ("error", "panic: \"boom\"\nline2\ttab\\".into()),
+                ("err_pct", Value::F(f64::NAN)),
+            ],
+        );
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("panic: \\\"boom\\\"\\nline2\\ttab\\\\"));
+        assert!(text.contains("\"err_pct\":null"));
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn concurrent_emitters_never_interleave_lines() {
+        let (t, buf) = capture();
+        let t = Arc::new(t);
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        t.emit("tick", &[("worker", Value::U(i)), ("n", Value::U(j))]);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 400);
+        for l in lines {
+            assert!(
+                l.starts_with("{\"t_ms\":") && l.ends_with('}'),
+                "mangled: {l}"
+            );
+            assert_eq!(l.matches("\"event\"").count(), 1);
+        }
+    }
+}

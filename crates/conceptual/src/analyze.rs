@@ -58,9 +58,8 @@ impl Validator {
                     let members = expand_runs(runs);
                     for &m in &members {
                         if !parent_members.contains(&m) {
-                            self.errors.push(format!(
-                                "group {name}: task {m} is not in the parent set"
-                            ));
+                            self.errors
+                                .push(format!("group {name}: task {m} is not in the parent set"));
                         }
                         if !seen.insert(m) {
                             self.errors

@@ -32,9 +32,9 @@ use mpisim::network::NetworkModel;
 use mpisim::time::{SimDuration, SimTime};
 use mpisim::types::{ReqHandle, Src, TagSel};
 use mpisim::world::{RunReport, World};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Execution failure: static validation errors or a simulation error.
 #[derive(Clone, Debug)]
@@ -94,11 +94,7 @@ pub fn run_program(
 }
 
 /// Execute on a fully configured [`World`] (custom match policy etc.).
-pub fn run_program_on(
-    program: &Program,
-    world: World,
-    n: usize,
-) -> Result<RunOutcome, RunError> {
+pub fn run_program_on(program: &Program, world: World, n: usize) -> Result<RunOutcome, RunError> {
     let errors = validate(program, n);
     if !errors.is_empty() {
         return Err(RunError::Validation(errors));
@@ -113,8 +109,8 @@ pub fn run_program_on(
         })
         .map_err(RunError::Sim)?;
     let mut logs = Arc::try_unwrap(logs)
-        .map(Mutex::into_inner)
-        .unwrap_or_else(|arc| arc.lock().clone());
+        .map(|m| m.into_inner().expect("log mutex poisoned"))
+        .unwrap_or_else(|arc| arc.lock().expect("log mutex poisoned").clone());
     logs.sort_by(|a, b| (a.task, &a.label).cmp(&(b.task, &b.label)));
     Ok(RunOutcome {
         total_time: report.total_time,
@@ -299,12 +295,11 @@ impl<'c, 'p> Exec<'c, 'p> {
         if members.len() == self.n {
             return self.ctx.world();
         }
-        self.adhoc_comms
-            .get(members)
-            .cloned()
-            .unwrap_or_else(|| {
-                panic!("no communicator for task set {members:?} (collective over an undeclared subset?)")
-            })
+        self.adhoc_comms.get(members).cloned().unwrap_or_else(|| {
+            panic!(
+                "no communicator for task set {members:?} (collective over an undeclared subset?)"
+            )
+        })
     }
 
     fn stmt(&mut self, s: &'p Stmt, env: &Env) {
@@ -422,16 +417,14 @@ impl<'c, 'p> Exec<'c, 'p> {
                         if to == me {
                             let nbytes = eval(bytes, &env).max(0) as u64;
                             if *is_async {
-                                let h = self.ctx.irecv(
-                                    Src::Rank(s),
-                                    TagSel::Is(*tag),
-                                    nbytes,
-                                    &world,
-                                );
+                                let h =
+                                    self.ctx
+                                        .irecv(Src::Rank(s), TagSel::Is(*tag), nbytes, &world);
                                 self.outstanding.push(h);
                             } else {
                                 let _ =
-                                    self.ctx.recv(Src::Rank(s), TagSel::Is(*tag), nbytes, &world);
+                                    self.ctx
+                                        .recv(Src::Rank(s), TagSel::Is(*tag), nbytes, &world);
                             }
                         }
                     }
@@ -515,8 +508,7 @@ impl<'c, 'p> Exec<'c, 'p> {
                     match to {
                         ReduceTo::All => self.ctx.allreduce(nbytes, &comm),
                         ReduceTo::Task(root_expr) => {
-                            let root =
-                                eval(root_expr, &env).rem_euclid(self.n as i64) as usize;
+                            let root = eval(root_expr, &env).rem_euclid(self.n as i64) as usize;
                             let root_rel = comm
                                 .relative_of(root)
                                 .expect("REDUCE target inside participant set");
@@ -530,11 +522,14 @@ impl<'c, 'p> Exec<'c, 'p> {
             }
             Stmt::Log { label } => {
                 let elapsed = self.ctx.now().since(self.t0);
-                self.logs.lock().push(LogEntry {
-                    task: me,
-                    label: label.clone(),
-                    elapsed,
-                });
+                self.logs
+                    .lock()
+                    .expect("log mutex poisoned")
+                    .push(LogEntry {
+                        task: me,
+                        label: label.clone(),
+                        elapsed,
+                    });
             }
         }
     }
@@ -595,9 +590,11 @@ fn collect_adhoc_sets(program: &Program, n: usize) -> Vec<Vec<usize>> {
                     let members = match &tasks.sel {
                         TaskSel::All => (0..self.n).collect(),
                         TaskSel::Runs(runs) => expand_runs(runs),
-                        TaskSel::Group(g) => {
-                            self.groups.get(g).map(|(m, _)| m.clone()).unwrap_or_default()
-                        }
+                        TaskSel::Group(g) => self
+                            .groups
+                            .get(g)
+                            .map(|(m, _)| m.clone())
+                            .unwrap_or_default(),
                         TaskSel::Single(e) if e.is_const() => {
                             vec![eval_const(e).max(0) as usize]
                         }

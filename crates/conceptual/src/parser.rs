@@ -34,13 +34,62 @@ enum Tok {
 }
 
 const KEYWORDS: &[&str] = &[
-    "ALL", "TASKS", "TASK", "GROUP", "IS", "IN", "SUCH", "THAT", "FOR", "EACH", "REPETITIONS",
-    "IF", "THEN", "OTHERWISE", "COMPUTE", "COMPUTES", "SEND", "SENDS", "RECEIVE", "RECEIVES",
-    "AWAIT", "AWAITS", "COMPLETION", "SYNCHRONIZE", "SYNCHRONIZES", "REDUCE", "REDUCES",
-    "MULTICAST", "MULTICASTS", "RESET", "THEIR", "COUNTERS", "LOG", "ASYNCHRONOUSLY", "A",
-    "BYTE", "MESSAGE", "WITH", "TAG", "TO", "FROM", "ANY", "OTHER", "MOD", "DIVIDES", "AND",
-    "OR", "NOT", "XOR", "NUM_TASKS", "NANOSECONDS", "MICROSECONDS", "MILLISECONDS", "SECONDS",
-    "PARTITION", "INTO",
+    "ALL",
+    "TASKS",
+    "TASK",
+    "GROUP",
+    "IS",
+    "IN",
+    "SUCH",
+    "THAT",
+    "FOR",
+    "EACH",
+    "REPETITIONS",
+    "IF",
+    "THEN",
+    "OTHERWISE",
+    "COMPUTE",
+    "COMPUTES",
+    "SEND",
+    "SENDS",
+    "RECEIVE",
+    "RECEIVES",
+    "AWAIT",
+    "AWAITS",
+    "COMPLETION",
+    "SYNCHRONIZE",
+    "SYNCHRONIZES",
+    "REDUCE",
+    "REDUCES",
+    "MULTICAST",
+    "MULTICASTS",
+    "RESET",
+    "THEIR",
+    "COUNTERS",
+    "LOG",
+    "ASYNCHRONOUSLY",
+    "A",
+    "BYTE",
+    "MESSAGE",
+    "WITH",
+    "TAG",
+    "TO",
+    "FROM",
+    "ANY",
+    "OTHER",
+    "MOD",
+    "DIVIDES",
+    "AND",
+    "OR",
+    "NOT",
+    "XOR",
+    "NUM_TASKS",
+    "NANOSECONDS",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "SECONDS",
+    "PARTITION",
+    "INTO",
 ];
 
 fn is_keyword(w: &str) -> bool {
@@ -153,7 +202,9 @@ fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
                     i += 1;
                 }
                 toks.push(Tok::Num(
-                    src[start..i].parse().map_err(|e| format!("bad number: {e}"))?,
+                    src[start..i]
+                        .parse()
+                        .map_err(|e| format!("bad number: {e}"))?,
                 ));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -372,8 +423,8 @@ impl Parser {
                         TaskSel::Single(e) => e,
                         other => {
                             return Err(format!(
-                                "MULTICAST TO <task set> requires a single-task subject, got {other:?}"
-                            ))
+                            "MULTICAST TO <task set> requires a single-task subject, got {other:?}"
+                        ))
                         }
                     };
                     let tasks = self.task_set()?;

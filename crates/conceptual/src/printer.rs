@@ -147,7 +147,13 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
             .unwrap();
         }
         Stmt::Await { tasks } => {
-            writeln!(out, "{} {} COMPLETION", task_set(tasks), verb(tasks, "AWAIT")).unwrap();
+            writeln!(
+                out,
+                "{} {} COMPLETION",
+                task_set(tasks),
+                verb(tasks, "AWAIT")
+            )
+            .unwrap();
         }
         Stmt::Sync { tasks } => {
             writeln!(out, "{} {}", task_set(tasks), verb(tasks, "SYNCHRONIZE")).unwrap();
@@ -264,30 +270,12 @@ fn expr_prec(e: &Expr, min_prec: u8) -> String {
         Expr::Num(v) => (v.to_string(), 3),
         Expr::Var(v) => (v.clone(), 3),
         Expr::NumTasks => ("NUM_TASKS".to_string(), 3),
-        Expr::Add(a, b) => (
-            format!("{} + {}", expr_prec(a, 1), expr_prec(b, 2)),
-            1,
-        ),
-        Expr::Sub(a, b) => (
-            format!("{} - {}", expr_prec(a, 1), expr_prec(b, 2)),
-            1,
-        ),
-        Expr::Mul(a, b) => (
-            format!("{} * {}", expr_prec(a, 2), expr_prec(b, 3)),
-            2,
-        ),
-        Expr::Div(a, b) => (
-            format!("{} / {}", expr_prec(a, 2), expr_prec(b, 3)),
-            2,
-        ),
-        Expr::Mod(a, b) => (
-            format!("{} MOD {}", expr_prec(a, 2), expr_prec(b, 3)),
-            2,
-        ),
-        Expr::Xor(a, b) => (
-            format!("{} XOR {}", expr_prec(a, 2), expr_prec(b, 3)),
-            2,
-        ),
+        Expr::Add(a, b) => (format!("{} + {}", expr_prec(a, 1), expr_prec(b, 2)), 1),
+        Expr::Sub(a, b) => (format!("{} - {}", expr_prec(a, 1), expr_prec(b, 2)), 1),
+        Expr::Mul(a, b) => (format!("{} * {}", expr_prec(a, 2), expr_prec(b, 3)), 2),
+        Expr::Div(a, b) => (format!("{} / {}", expr_prec(a, 2), expr_prec(b, 3)), 2),
+        Expr::Mod(a, b) => (format!("{} MOD {}", expr_prec(a, 2), expr_prec(b, 3)), 2),
+        Expr::Xor(a, b) => (format!("{} XOR {}", expr_prec(a, 2), expr_prec(b, 3)), 2),
     };
     if prec < min_prec {
         format!("({s})")
@@ -305,14 +293,8 @@ fn cond_prec(c: &Cond, min_prec: u8) -> String {
         Cond::Cmp(a, op, b) => (format!("{} {op} {}", expr(a), expr(b)), 3),
         Cond::Divides(a, b) => (format!("{} DIVIDES {}", expr(a), expr(b)), 3),
         Cond::Not(x) => (format!("NOT {}", cond_prec(x, 3)), 2),
-        Cond::And(a, b) => (
-            format!("{} AND {}", cond_prec(a, 2), cond_prec(b, 3)),
-            1,
-        ),
-        Cond::Or(a, b) => (
-            format!("{} OR {}", cond_prec(a, 1), cond_prec(b, 2)),
-            0,
-        ),
+        Cond::And(a, b) => (format!("{} AND {}", cond_prec(a, 2), cond_prec(b, 3)), 1),
+        Cond::Or(a, b) => (format!("{} OR {}", cond_prec(a, 1), cond_prec(b, 2)), 0),
     };
     if prec < min_prec {
         format!("({s})")
@@ -419,7 +401,10 @@ mod tests {
             is_async: false,
         };
         let text = print(&Program::new(vec![s]));
-        assert_eq!(text.trim(), "TASK 0 RECEIVES A 64 BYTE MESSAGE FROM ANY TASK");
+        assert_eq!(
+            text.trim(),
+            "TASK 0 RECEIVES A 64 BYTE MESSAGE FROM ANY TASK"
+        );
     }
 
     #[test]

@@ -44,12 +44,7 @@ pub fn scale_compute(program: &Program, factor: f64) -> Program {
 /// easily be refined to utilize different speedup factors for different
 /// computational phases". Phases are distinguishable by magnitude (solver
 /// blocks vs. bookkeeping).
-pub fn scale_compute_in_band(
-    program: &Program,
-    min_ns: i64,
-    max_ns: i64,
-    factor: f64,
-) -> Program {
+pub fn scale_compute_in_band(program: &Program, min_ns: i64, max_ns: i64, factor: f64) -> Program {
     let mut p = program.clone();
     walk_stmts(&mut p.stmts, &mut |s| {
         if let Stmt::Compute { amount, .. } = s {
@@ -150,11 +145,17 @@ mod tests {
     #[test]
     fn compute_scaling_scales_only_compute() {
         let p = scale_compute(&sample(), 0.25);
-        let Stmt::For { body, count } = &p.stmts[0] else { panic!() };
+        let Stmt::For { body, count } = &p.stmts[0] else {
+            panic!()
+        };
         assert_eq!(*count, Expr::num(100), "loop counts untouched");
-        let Stmt::Compute { amount, .. } = &body[0] else { panic!() };
+        let Stmt::Compute { amount, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(*amount, Expr::num(250));
-        let Stmt::Send { bytes, .. } = &body[1] else { panic!() };
+        let Stmt::Send { bytes, .. } = &body[1] else {
+            panic!()
+        };
         assert_eq!(*bytes, Expr::num(4096), "message sizes untouched");
     }
 
@@ -168,35 +169,53 @@ mod tests {
         });
         // scale only the big phase (1000ns), leave the 50ns bookkeeping
         let p = scale_compute_in_band(&prog, 500, 2000, 0.1);
-        let Stmt::For { body, .. } = &p.stmts[0] else { panic!() };
-        let Stmt::Compute { amount, .. } = &body[0] else { panic!() };
+        let Stmt::For { body, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        let Stmt::Compute { amount, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(*amount, Expr::num(100));
-        let Stmt::Compute { amount, .. } = &p.stmts[1] else { panic!() };
+        let Stmt::Compute { amount, .. } = &p.stmts[1] else {
+            panic!()
+        };
         assert_eq!(*amount, Expr::num(50));
     }
 
     #[test]
     fn zero_scaling_floors_at_zero() {
         let p = scale_compute(&sample(), 0.0);
-        let Stmt::For { body, .. } = &p.stmts[0] else { panic!() };
-        let Stmt::Compute { amount, .. } = &body[0] else { panic!() };
+        let Stmt::For { body, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        let Stmt::Compute { amount, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(*amount, Expr::num(0));
     }
 
     #[test]
     fn message_scaling_scales_only_bytes() {
         let p = scale_message_sizes(&sample(), 2.0);
-        let Stmt::For { body, .. } = &p.stmts[0] else { panic!() };
-        let Stmt::Send { bytes, .. } = &body[1] else { panic!() };
+        let Stmt::For { body, .. } = &p.stmts[0] else {
+            panic!()
+        };
+        let Stmt::Send { bytes, .. } = &body[1] else {
+            panic!()
+        };
         assert_eq!(*bytes, Expr::num(8192));
-        let Stmt::Compute { amount, .. } = &body[0] else { panic!() };
+        let Stmt::Compute { amount, .. } = &body[0] else {
+            panic!()
+        };
         assert_eq!(*amount, Expr::num(1000));
     }
 
     #[test]
     fn repetition_scaling() {
         let p = scale_repetitions(&sample(), 0.1);
-        let Stmt::For { count, .. } = &p.stmts[0] else { panic!() };
+        let Stmt::For { count, .. } = &p.stmts[0] else {
+            panic!()
+        };
         assert_eq!(*count, Expr::num(10));
     }
 
@@ -209,7 +228,9 @@ mod tests {
             unit: TimeUnit::Nanoseconds,
         });
         let p = scale_compute(&prog, 0.5);
-        let Stmt::Compute { amount, .. } = &p.stmts[1] else { panic!() };
+        let Stmt::Compute { amount, .. } = &p.stmts[1] else {
+            panic!()
+        };
         assert_eq!(*amount, Expr::mul(Expr::var("t"), Expr::num(5)));
     }
 

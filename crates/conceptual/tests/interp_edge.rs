@@ -2,7 +2,6 @@
 //! group aliases, degenerate loops, counter semantics, and the auto-receive
 //! inversion for rank-dependent destinations.
 
-use conceptual::ast::*;
 use conceptual::interp::run_program;
 use conceptual::parser::parse;
 use mpisim::network;
@@ -14,9 +13,10 @@ fn profile(src: &str, n: usize) -> MpiP {
     let p = Arc::new(parse(src).unwrap());
     let (_, hooks) = World::new(n)
         .network(network::ideal())
-        .run_hooked(|_| MpiP::new(), move |ctx| {
-            conceptual::interp::run_rank(ctx, &p)
-        })
+        .run_hooked(
+            |_| MpiP::new(),
+            move |ctx| conceptual::interp::run_rank(ctx, &p),
+        )
         .unwrap();
     MpiP::merge_all(hooks.iter())
 }

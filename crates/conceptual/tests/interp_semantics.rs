@@ -56,7 +56,11 @@ ALL TASKS AWAIT COMPLETION
     assert!(p.has_explicit_receives());
     let prof = profile_of(&p, 4);
     assert_eq!(prof.get("MPI_Isend").calls, 4);
-    assert_eq!(prof.get("MPI_Irecv").calls, 4, "exactly the explicit receives");
+    assert_eq!(
+        prof.get("MPI_Irecv").calls,
+        4,
+        "exactly the explicit receives"
+    );
 }
 
 #[test]
@@ -199,12 +203,7 @@ ALL TASKS REDUCE A 8 BYTE MESSAGE TO ALL TASKS
 fn run_on_custom_world() {
     let src = "ALL TASKS SYNCHRONIZE\n";
     let p = parse(src).unwrap();
-    let out = run_program_on(
-        &p,
-        World::new(4).network(network::blue_gene_l()),
-        4,
-    )
-    .unwrap();
+    let out = run_program_on(&p, World::new(4).network(network::blue_gene_l()), 4).unwrap();
     assert_eq!(out.report.ranks, 4);
 }
 

@@ -7,7 +7,11 @@ use conceptual::{parse, print};
 use proptest::prelude::*;
 
 fn arb_var() -> impl Strategy<Value = String> {
-    prop_oneof![Just("t".to_string()), Just("i".to_string()), Just("xyz".to_string())]
+    prop_oneof![
+        Just("t".to_string()),
+        Just("i".to_string()),
+        Just("xyz".to_string())
+    ]
 }
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
@@ -48,10 +52,8 @@ fn arb_cond() -> impl Strategy<Value = Cond> {
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Cond::Not(Box::new(a))),
         ]
     })
@@ -96,15 +98,20 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             amount,
             unit
         }),
-        (arb_taskset(), arb_expr(), arb_expr(), 0i32..8, any::<bool>()).prop_map(
-            |(src, dst, bytes, tag, is_async)| Stmt::Send {
+        (
+            arb_taskset(),
+            arb_expr(),
+            arb_expr(),
+            0i32..8,
+            any::<bool>()
+        )
+            .prop_map(|(src, dst, bytes, tag, is_async)| Stmt::Send {
                 src,
                 dst,
                 bytes,
                 tag,
                 is_async,
-            }
-        ),
+            }),
         (
             arb_taskset(),
             proptest::option::of(arb_expr()),
@@ -121,15 +128,11 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
             }),
         arb_taskset().prop_map(|tasks| Stmt::Await { tasks }),
         arb_taskset().prop_map(|tasks| Stmt::Sync { tasks }),
-        (proptest::option::of(arb_expr()), arb_taskset(), arb_expr()).prop_map(
-            |(root, tasks, bytes)| Stmt::Multicast { root, tasks, bytes }
-        ),
+        (proptest::option::of(arb_expr()), arb_taskset(), arb_expr())
+            .prop_map(|(root, tasks, bytes)| Stmt::Multicast { root, tasks, bytes }),
         (
             arb_taskset(),
-            prop_oneof![
-                Just(ReduceTo::All),
-                arb_expr().prop_map(ReduceTo::Task)
-            ],
+            prop_oneof![Just(ReduceTo::All), arb_expr().prop_map(ReduceTo::Task)],
             arb_expr()
         )
             .prop_map(|(tasks, to, bytes)| Stmt::Reduce { tasks, to, bytes }),

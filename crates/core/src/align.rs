@@ -89,11 +89,9 @@ pub fn align_collectives(trace: &Trace) -> Result<Trace, GenError> {
             if members.is_empty() {
                 continue;
             }
-            let all_here = members.iter().all(|&m| {
-                blocked[m]
-                    .as_ref()
-                    .is_some_and(|b| b.comm == comm)
-            });
+            let all_here = members
+                .iter()
+                .all(|&m| blocked[m].as_ref().is_some_and(|b| b.comm == comm));
             if !all_here {
                 continue;
             }

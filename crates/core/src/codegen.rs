@@ -246,8 +246,7 @@ impl CodeGenerator for ConceptualGenerator {
                         // matching by source/order is preserved.
                         TagSel::Any => {
                             self.note(
-                                "MPI_ANY_TAG receives generated with a concrete tag"
-                                    .to_string(),
+                                "MPI_ANY_TAG receives generated with a concrete tag".to_string(),
                             );
                             synth_tag(comm_id, 0)
                         }
@@ -448,9 +447,9 @@ impl CodeGenerator for CTextGenerator {
             self.line(&format!("{guard}compute_ns({});", mean.as_nanos()));
         }
         let call = match &rsd.op {
-            OpTemplate::Send {
-                to, tag, bytes, ..
-            } => format!("MPI_Isend(to={to}, tag={tag}, bytes={bytes});"),
+            OpTemplate::Send { to, tag, bytes, .. } => {
+                format!("MPI_Isend(to={to}, tag={tag}, bytes={bytes});")
+            }
             OpTemplate::Recv {
                 from, tag, bytes, ..
             } => format!("MPI_Irecv(from={from}, tag={tag}, bytes={bytes});"),
@@ -497,16 +496,22 @@ mod tests {
         let text = conceptual::printer::print(&program);
         assert!(text.contains("FOR 500 REPETITIONS {"), "{text}");
         assert!(
-            text.contains("ALL TASKS t ASYNCHRONOUSLY RECEIVE A 1024 BYTE MESSAGE FROM TASK (t - 1) MOD 8")
-                || text.contains("FROM TASK (t + 7) MOD 8"),
+            text.contains(
+                "ALL TASKS t ASYNCHRONOUSLY RECEIVE A 1024 BYTE MESSAGE FROM TASK (t - 1) MOD 8"
+            ) || text.contains("FROM TASK (t + 7) MOD 8"),
             "{text}"
         );
         assert!(
-            text.contains("ALL TASKS t ASYNCHRONOUSLY SEND A 1024 BYTE MESSAGE TO TASK (t + 1) MOD 8"),
+            text.contains(
+                "ALL TASKS t ASYNCHRONOUSLY SEND A 1024 BYTE MESSAGE TO TASK (t + 1) MOD 8"
+            ),
             "{text}"
         );
         assert!(text.contains("ALL TASKS AWAIT COMPLETION"), "{text}");
-        assert!(text.contains("ALL TASKS COMPUTE FOR 100000 NANOSECONDS"), "{text}");
+        assert!(
+            text.contains("ALL TASKS COMPUTE FOR 100000 NANOSECONDS"),
+            "{text}"
+        );
         // program size independent of iteration count: a handful of stmts
         assert!(program.stmt_count() < 12, "{text}");
     }
@@ -545,10 +550,12 @@ mod tests {
         // the original split surfaces as (possibly sibling) PARTITIONs
         assert!(text.contains("GROUP comm1 = {0-3}"), "{text}");
         assert!(text.contains("GROUP comm2 = {4-7}"), "{text}");
-        assert!(text.contains("GROUP comm1 REDUCE A 64 BYTE MESSAGE TO ALL TASKS"), "{text}");
+        assert!(
+            text.contains("GROUP comm1 REDUCE A 64 BYTE MESSAGE TO ALL TASKS"),
+            "{text}"
+        );
         // generated program must validate and run
-        let outcome =
-            conceptual::interp::run_program(&program, 8, network::ideal()).expect("runs");
+        let outcome = conceptual::interp::run_program(&program, 8, network::ideal()).expect("runs");
         assert!(outcome.report.stats.collectives > 0);
     }
 

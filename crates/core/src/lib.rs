@@ -168,7 +168,10 @@ pub fn generate(trace: &Trace, opts: &GenOptions) -> Result<GeneratedBenchmark, 
     program.header = build_header(trace, opts, aligned, wildcards_resolved, &notes);
     // Canonical form: the text grammar folds leading comment statements
     // into the header, so emit them there to keep parse(print(p)) == p.
-    while matches!(program.stmts.first(), Some(conceptual::ast::Stmt::Comment(_))) {
+    while matches!(
+        program.stmts.first(),
+        Some(conceptual::ast::Stmt::Comment(_))
+    ) {
         if let conceptual::ast::Stmt::Comment(c) = program.stmts.remove(0) {
             program.header.push(c);
         }

@@ -291,8 +291,7 @@ mod tests {
             rb.rank_event(0, &send_ev(2));
             rb.rank_event(1, &send_ev(0));
             rb.rank_event(2, &send_ev(0));
-            let parts: Vec<(usize, ConcreteEvent)> =
-                (0..n).map(|r| (r, barrier_ev())).collect();
+            let parts: Vec<(usize, ConcreteEvent)> = (0..n).map(|r| (r, barrier_ev())).collect();
             rb.collective(&parts);
         }
         let trace = rb.finish(CommTable::world(n));

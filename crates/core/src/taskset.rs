@@ -78,11 +78,7 @@ pub struct P2pGroup {
 /// (rank-relative or constant), a single group covering all ranks results;
 /// per-rank tables degrade into one group per distinct value combination —
 /// the paper's size/readability trade-off for irregular patterns.
-pub fn p2p_groups(
-    ranks: &RankSet,
-    peer: Option<&RankParam>,
-    bytes: &ValParam,
-) -> Vec<P2pGroup> {
+pub fn p2p_groups(ranks: &RankSet, peer: Option<&RankParam>, bytes: &ValParam) -> Vec<P2pGroup> {
     let peer_compressed = peer.is_none_or(RankParam::is_compressed);
     if peer_compressed && bytes.is_compressed() {
         return vec![P2pGroup {
@@ -101,10 +97,7 @@ pub fn p2p_groups(
             Some(RankParam::PerRank(_)) => Some(peer.unwrap().eval(r)),
             _ => None,
         };
-        groups
-            .entry((peer_key, bytes.eval(r)))
-            .or_default()
-            .push(r);
+        groups.entry((peer_key, bytes.eval(r))).or_default().push(r);
     }
     groups
         .into_iter()
@@ -151,18 +144,27 @@ mod tests {
     #[test]
     fn strided_subset_prints_such_that() {
         let ts = taskset_of(&RankSet::from_ranks([0, 3, 6, 9]), 16, true);
-        assert_eq!(
-            printer::task_set(&ts),
-            "TASKS t SUCH THAT t IS IN {0-9:3}"
-        );
+        assert_eq!(printer::task_set(&ts), "TASKS t SUCH THAT t IS IN {0-9:3}");
     }
 
     #[test]
     fn rank_param_expressions() {
-        assert_eq!(printer::expr(&expr_of_rank_param(&RankParam::Const(5))), "5");
-        assert_eq!(printer::expr(&expr_of_rank_param(&RankParam::Offset(1))), "t + 1");
-        assert_eq!(printer::expr(&expr_of_rank_param(&RankParam::Offset(-2))), "t - 2");
-        assert_eq!(printer::expr(&expr_of_rank_param(&RankParam::Offset(0))), "t");
+        assert_eq!(
+            printer::expr(&expr_of_rank_param(&RankParam::Const(5))),
+            "5"
+        );
+        assert_eq!(
+            printer::expr(&expr_of_rank_param(&RankParam::Offset(1))),
+            "t + 1"
+        );
+        assert_eq!(
+            printer::expr(&expr_of_rank_param(&RankParam::Offset(-2))),
+            "t - 2"
+        );
+        assert_eq!(
+            printer::expr(&expr_of_rank_param(&RankParam::Offset(0))),
+            "t"
+        );
         assert_eq!(
             printer::expr(&expr_of_rank_param(&RankParam::OffsetMod {
                 offset: 1,

@@ -9,7 +9,53 @@
 //! approximate only where the paper's own mapping averages message sizes.
 
 use mpisim::profile::{MpiP, RoutineStats};
+use scalatrace::cursor::{events_for_rank, ConcreteOp};
+use scalatrace::trace::Trace;
 use std::collections::BTreeMap;
+
+/// Reconstruct the original application's mpiP profile (per-routine counts
+/// and volumes) from its trace, without re-running the application.
+///
+/// The trace records every MPI event losslessly, so replaying each rank's
+/// concrete operation stream yields exactly the aggregate profile a live
+/// [`mpisim::profile::MpiP`] hook would have collected (call-site
+/// breakdowns are not reconstructed — [`compare_profiles`] only consults
+/// per-routine aggregates). This is what lets a campaign verify a job from
+/// a cached trace.
+pub fn profile_of_trace(trace: &Trace) -> MpiP {
+    let mut raw: BTreeMap<&'static str, RoutineStats> = BTreeMap::new();
+    let mut add = |name: &'static str, bytes: u64| {
+        let e = raw.entry(name).or_default();
+        e.calls += 1;
+        e.bytes += bytes;
+    };
+    for rank in 0..trace.nranks {
+        for ev in events_for_rank(trace, rank) {
+            // Mirror `EventKind::mpi_name` / `EventKind::local_bytes`.
+            match ev.op {
+                ConcreteOp::Send {
+                    bytes, blocking, ..
+                } => add(if blocking { "MPI_Send" } else { "MPI_Isend" }, bytes),
+                ConcreteOp::Recv {
+                    bytes, blocking, ..
+                } => add(if blocking { "MPI_Recv" } else { "MPI_Irecv" }, bytes),
+                ConcreteOp::Wait { count } => add(
+                    if count == 1 {
+                        "MPI_Wait"
+                    } else {
+                        "MPI_Waitall"
+                    },
+                    0,
+                ),
+                ConcreteOp::Coll { kind, bytes, .. } => add(kind.mpi_name(), bytes),
+                ConcreteOp::CommSplit { .. } => add("MPI_Comm_split", 0),
+            }
+        }
+    }
+    let mut p = MpiP::new();
+    p.absorb_raw(raw);
+    p
+}
 
 /// Rewrite an original-application profile into the profile the generated
 /// benchmark is expected to produce (Table 1 plus the Finalize→barrier
@@ -155,7 +201,13 @@ mod tests {
         }));
         orig.on_event(&coll(CollKind::Finalize, 0));
         let exp = expected_profile(&orig, 2);
-        assert_eq!(exp.get("MPI_Isend"), RoutineStats { calls: 1, bytes: 77 });
+        assert_eq!(
+            exp.get("MPI_Isend"),
+            RoutineStats {
+                calls: 1,
+                bytes: 77
+            }
+        );
         assert_eq!(exp.get("MPI_Barrier").calls, 1);
     }
 
@@ -185,6 +237,27 @@ mod tests {
             blocking: true,
         }));
         assert_eq!(compare_profiles(&c, &d, 0.01).len(), 1);
+    }
+
+    #[test]
+    fn trace_profile_matches_live_profile() {
+        use miniapps::{registry, AppParams};
+        use mpisim::network;
+        use mpisim::world::World;
+
+        let app = registry::lookup("ring").unwrap();
+        let params = AppParams::quick();
+        let ranks = 4;
+        let traced =
+            scalatrace::trace_app(ranks, network::ideal(), move |ctx| (app.run)(ctx, &params))
+                .unwrap();
+        let (_, hooks) = World::new(ranks)
+            .network(network::ideal())
+            .run_hooked(|_| MpiP::new(), move |ctx| (app.run)(ctx, &params))
+            .unwrap();
+        let live = MpiP::merge_all(hooks.iter());
+        let from_trace = profile_of_trace(&traced.trace);
+        assert_eq!(live.diff(&from_trace), Vec::<String>::new());
     }
 
     #[test]

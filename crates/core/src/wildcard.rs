@@ -145,9 +145,9 @@ impl Matcher {
             matched: None,
         });
         // earliest unmatched send to `owner` matching the selector
-        let pos = self.pending_sends[owner].iter().position(|&(_, src, t, c)| {
-            c == comm && tag.matches(t) && from.matches(src)
-        });
+        let pos = self.pending_sends[owner]
+            .iter()
+            .position(|&(_, src, t, c)| c == comm && tag.matches(t) && from.matches(src));
         match pos {
             Some(p) => {
                 let (sid, src, _, _) = self.pending_sends[owner].remove(p).unwrap();
@@ -234,9 +234,9 @@ pub fn resolve_wildcards(trace: &Trace) -> Result<WildcardOutcome, GenError> {
             if members.is_empty() {
                 continue;
             }
-            let ready = members.iter().all(|&mem| {
-                matches!(&ranks[mem].blocked, Some(Block::Coll(_, _, c)) if *c == comm)
-            });
+            let ready = members.iter().all(
+                |&mem| matches!(&ranks[mem].blocked, Some(Block::Coll(_, _, c)) if *c == comm),
+            );
             if !ready {
                 continue;
             }
@@ -508,7 +508,9 @@ mod tests {
             panic!("expected deadlock, got {err:?}");
         };
         assert!(
-            blocked.iter().any(|(r, what)| *r == 1 && what.contains("receive")),
+            blocked
+                .iter()
+                .any(|(r, what)| *r == 1 && what.contains("receive")),
             "{blocked:?}"
         );
     }
@@ -557,7 +559,6 @@ mod tests {
         .trace;
         let out = resolve_wildcards(&trace).expect("resolves");
         assert_eq!(out.resolved, 0);
-        scalatrace::cursor::semantically_equal(&trace, &out.trace)
-            .expect("unchanged semantics");
+        scalatrace::cursor::semantically_equal(&trace, &out.trace).expect("unchanged semantics");
     }
 }

@@ -43,10 +43,7 @@ fn without_algorithm1_split_collectives_stay_partial() {
     let text = print(&without.program);
     let partial_colls = text
         .lines()
-        .filter(|l| {
-            (l.contains("SYNCHRONIZE") || l.contains("REDUCE"))
-                && l.contains("SUCH THAT")
-        })
+        .filter(|l| (l.contains("SYNCHRONIZE") || l.contains("REDUCE")) && l.contains("SUCH THAT"))
         .count();
     assert!(
         partial_colls > 0,
@@ -58,9 +55,7 @@ fn without_algorithm1_split_collectives_stay_partial() {
     let text = print(&with.program);
     let partial_colls = text
         .lines()
-        .filter(|l| {
-            (l.contains("SYNCHRONIZE") || l.contains("REDUCE")) && l.contains("SUCH THAT")
-        })
+        .filter(|l| (l.contains("SYNCHRONIZE") || l.contains("REDUCE")) && l.contains("SUCH THAT"))
         .count();
     assert_eq!(
         partial_colls, 0,
@@ -128,8 +123,7 @@ fn compute_threshold_trades_accuracy_for_size() {
             "larger threshold must not grow the program"
         );
         prev_stmts = stmts;
-        let outcome =
-            conceptual::interp::run_program(&generated.program, 9, net.clone()).unwrap();
+        let outcome = conceptual::interp::run_program(&generated.program, 9, net.clone()).unwrap();
         errors.push((outcome.total_time.as_secs_f64() - t_app).abs() / t_app);
     }
     // dropping *all* computation must cost real accuracy

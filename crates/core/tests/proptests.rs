@@ -58,7 +58,8 @@ fn run_phases(ctx: &mut Ctx, phases: &[Phase], reps: usize) {
                     ctx.waitall(&[r, s]);
                 }
                 Phase::Butterfly { dim, bytes } => {
-                    let partner = me ^ (1usize << (*dim as usize % n.trailing_zeros().max(1) as usize));
+                    let partner =
+                        me ^ (1usize << (*dim as usize % n.trailing_zeros().max(1) as usize));
                     if partner < n {
                         let r = ctx.irecv(Src::Rank(partner), TagSel::Is(9), *bytes, &w);
                         let s = ctx.isend(partner, 9, *bytes, &w);

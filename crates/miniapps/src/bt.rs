@@ -186,6 +186,9 @@ mod tests {
                 .unwrap()
                 .total_time
         };
-        assert!(time_at(1.0) > time_at(0.5), "less compute must be faster here");
+        assert!(
+            time_at(1.0) > time_at(0.5),
+            "less compute must be faster here"
+        );
     }
 }

@@ -23,11 +23,31 @@ struct Config {
 
 fn config(class: Class) -> Config {
     match class {
-        Class::S => Config { na: 1_400, iters: 15, nonzeros_per_row: 7 },
-        Class::W => Config { na: 7_000, iters: 15, nonzeros_per_row: 8 },
-        Class::A => Config { na: 14_000, iters: 15, nonzeros_per_row: 11 },
-        Class::B => Config { na: 75_000, iters: 25, nonzeros_per_row: 13 },
-        Class::C => Config { na: 150_000, iters: 25, nonzeros_per_row: 15 },
+        Class::S => Config {
+            na: 1_400,
+            iters: 15,
+            nonzeros_per_row: 7,
+        },
+        Class::W => Config {
+            na: 7_000,
+            iters: 15,
+            nonzeros_per_row: 8,
+        },
+        Class::A => Config {
+            na: 14_000,
+            iters: 15,
+            nonzeros_per_row: 11,
+        },
+        Class::B => Config {
+            na: 75_000,
+            iters: 25,
+            nonzeros_per_row: 13,
+        },
+        Class::C => Config {
+            na: 150_000,
+            iters: 25,
+            nonzeros_per_row: 15,
+        },
     }
 }
 

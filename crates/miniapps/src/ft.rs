@@ -22,11 +22,36 @@ fn config(class: Class) -> Config {
     // C=512^3; grid scaled /2 per dimension for B and C, iterations as
     // published (6..20)
     match class {
-        Class::S => Config { nx: 64, ny: 64, nz: 64, iters: 6 },
-        Class::W => Config { nx: 128, ny: 128, nz: 32, iters: 6 },
-        Class::A => Config { nx: 256, ny: 256, nz: 128, iters: 6 },
-        Class::B => Config { nx: 256, ny: 128, nz: 128, iters: 20 },
-        Class::C => Config { nx: 256, ny: 256, nz: 256, iters: 20 },
+        Class::S => Config {
+            nx: 64,
+            ny: 64,
+            nz: 64,
+            iters: 6,
+        },
+        Class::W => Config {
+            nx: 128,
+            ny: 128,
+            nz: 32,
+            iters: 6,
+        },
+        Class::A => Config {
+            nx: 256,
+            ny: 256,
+            nz: 128,
+            iters: 6,
+        },
+        Class::B => Config {
+            nx: 256,
+            ny: 128,
+            nz: 128,
+            iters: 20,
+        },
+        Class::C => Config {
+            nx: 256,
+            ny: 256,
+            nz: 256,
+            iters: 20,
+        },
     }
 }
 

@@ -19,11 +19,26 @@ struct Config {
 
 fn config(class: Class) -> Config {
     match class {
-        Class::S => Config { total_keys_log2: 16, iters: 10 },
-        Class::W => Config { total_keys_log2: 20, iters: 10 },
-        Class::A => Config { total_keys_log2: 23, iters: 10 },
-        Class::B => Config { total_keys_log2: 25, iters: 10 },
-        Class::C => Config { total_keys_log2: 27, iters: 10 },
+        Class::S => Config {
+            total_keys_log2: 16,
+            iters: 10,
+        },
+        Class::W => Config {
+            total_keys_log2: 20,
+            iters: 10,
+        },
+        Class::A => Config {
+            total_keys_log2: 23,
+            iters: 10,
+        },
+        Class::B => Config {
+            total_keys_log2: 25,
+            iters: 10,
+        },
+        Class::C => Config {
+            total_keys_log2: 27,
+            iters: 10,
+        },
     }
 }
 

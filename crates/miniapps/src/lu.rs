@@ -122,8 +122,7 @@ mod tests {
     #[test]
     fn traced_lu_contains_wildcards() {
         let params = AppParams::quick();
-        let traced =
-            scalatrace_probe(4, move |ctx| run(ctx, &params));
+        let traced = scalatrace_probe(4, move |ctx| run(ctx, &params));
         assert!(traced);
     }
 
@@ -136,15 +135,9 @@ mod tests {
             .run_hooked(|_| RecordingHook::default(), body)
             .unwrap();
         hooks.iter().any(|h| {
-            h.events.iter().any(|e| {
-                matches!(
-                    e.kind,
-                    EventKind::Recv {
-                        from: Src::Any,
-                        ..
-                    }
-                )
-            })
+            h.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Recv { from: Src::Any, .. }))
         })
     }
 }

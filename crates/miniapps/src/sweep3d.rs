@@ -25,11 +25,31 @@ struct Config {
 
 fn config(class: Class) -> Config {
     match class {
-        Class::S => Config { n: 20, mk: 2, iters: 2 },
-        Class::W => Config { n: 50, mk: 4, iters: 3 },
-        Class::A => Config { n: 100, mk: 5, iters: 4 },
-        Class::B => Config { n: 200, mk: 5, iters: 4 },
-        Class::C => Config { n: 400, mk: 10, iters: 4 },
+        Class::S => Config {
+            n: 20,
+            mk: 2,
+            iters: 2,
+        },
+        Class::W => Config {
+            n: 50,
+            mk: 4,
+            iters: 3,
+        },
+        Class::A => Config {
+            n: 100,
+            mk: 5,
+            iters: 4,
+        },
+        Class::B => Config {
+            n: 200,
+            mk: 5,
+            iters: 4,
+        },
+        Class::C => Config {
+            n: 400,
+            mk: 10,
+            iters: 4,
+        },
     }
 }
 
@@ -57,10 +77,26 @@ pub fn run(ctx: &mut Ctx, params: &AppParams) {
 
     for iter in 0..iters {
         for (o, (di, dj)) in octants.iter().enumerate() {
-            let up_i = if *di > 0 { grid.north(me) } else { grid.south(me) };
-            let down_i = if *di > 0 { grid.south(me) } else { grid.north(me) };
-            let up_j = if *dj > 0 { grid.west(me) } else { grid.east(me) };
-            let down_j = if *dj > 0 { grid.east(me) } else { grid.west(me) };
+            let up_i = if *di > 0 {
+                grid.north(me)
+            } else {
+                grid.south(me)
+            };
+            let down_i = if *di > 0 {
+                grid.south(me)
+            } else {
+                grid.north(me)
+            };
+            let up_j = if *dj > 0 {
+                grid.west(me)
+            } else {
+                grid.east(me)
+            };
+            let down_j = if *dj > 0 {
+                grid.east(me)
+            } else {
+                grid.west(me)
+            };
             let tag_i = (o * 2) as i32;
             let tag_j = (o * 2 + 1) as i32;
             for kb in 0..kblocks {

@@ -11,7 +11,10 @@ const CLASSES: [Class; 5] = [Class::S, Class::W, Class::A, Class::B, Class::C];
 #[test]
 fn every_app_runs_at_every_class() {
     for app in registry::all() {
-        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let ranks = [16, 9, 8]
+            .into_iter()
+            .find(|&n| (app.valid_ranks)(n))
+            .unwrap();
         for class in CLASSES {
             let params = AppParams {
                 class,
@@ -60,7 +63,10 @@ fn larger_classes_move_more_bytes() {
 fn compute_scale_zero_still_completes() {
     // the Figure 7 workflow drives compute to 0; every app must tolerate it
     for app in registry::all() {
-        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let ranks = [16, 9, 8]
+            .into_iter()
+            .find(|&n| (app.valid_ranks)(n))
+            .unwrap();
         let params = AppParams {
             class: Class::S,
             iterations: Some(2),

@@ -14,8 +14,8 @@ use crate::error::SimError;
 use crate::hooks::{Event, EventKind, Hook};
 use crate::time::{SimDuration, SimTime};
 use crate::types::{CallSite, CollKind, Fnv1a, MsgInfo, Rank, ReqHandle, Src, Tag, TagSel};
-use crossbeam::channel::{Receiver, Sender};
 use std::panic::Location;
+use std::sync::mpsc::{Receiver, Sender};
 
 /// Panic payload used for quiet teardown when the engine aborts a run; the
 /// panic hook installed by [`crate::world::World`] suppresses its output.

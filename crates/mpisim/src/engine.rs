@@ -34,8 +34,8 @@ use crate::error::{BlockedOn, SimError};
 use crate::network::NetworkModel;
 use crate::time::{SimDuration, SimTime};
 use crate::types::{CollKind, Fnv1a, MsgInfo, Rank, Src, Tag, TagSel};
-use crossbeam::channel::{Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 /// How the engine chooses among multiple messages that could match a
@@ -43,8 +43,7 @@ use std::sync::Arc;
 /// different policies model different "runs" of a nondeterministic
 /// application — exactly the run-to-run variance the paper's Algorithm 2
 /// eliminates from generated benchmarks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum MatchPolicy {
     /// Earliest queued message first (ties broken by sender rank). The
     /// most physically plausible policy; the default.
@@ -56,7 +55,6 @@ pub enum MatchPolicy {
     /// model two different executions of the same nondeterministic program.
     Seeded(u64),
 }
-
 
 /// Aggregate counters reported in [`crate::world::RunReport`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -239,7 +237,6 @@ pub(crate) struct Engine {
     /// Per receiver: bytes currently occupying the unexpected buffer.
     unexp_bytes: Vec<u64>,
 
-
     comms: Vec<CommData>,
     coll_slots: HashMap<CommId, VecDeque<CollSlot>>,
     coll_seq: Vec<HashMap<CommId, u64>>,
@@ -418,7 +415,10 @@ impl Engine {
                 self.issue_collective(rank, kind, comm, root, bytes, split)?;
             }
             Op::Exited => {
-                let dangling = self.reqs[rank].values().filter(|r| r.complete.is_none()).count();
+                let dangling = self.reqs[rank]
+                    .values()
+                    .filter(|r| r.complete.is_none())
+                    .count();
                 if dangling > 0 {
                     return Err(SimError::DanglingRequests {
                         rank,
@@ -550,8 +550,9 @@ impl Engine {
         if best_per_src.is_empty() {
             return None;
         }
-        let pick = best_per_src.iter().min_by_key(|(&src, &(seq, id))| {
-            match self.policy {
+        let pick = best_per_src
+            .iter()
+            .min_by_key(|(&src, &(seq, id))| match self.policy {
                 MatchPolicy::ByArrival => (seq, src as u64, 0),
                 MatchPolicy::BySenderRank => (src as u64, seq, 0),
                 MatchPolicy::Seeded(seed) => {
@@ -560,8 +561,7 @@ impl Engine {
                     h.write_u64(id);
                     (h.finish(), src as u64, seq)
                 }
-            }
-        });
+            });
         pick.map(|(_, &(_, id))| id)
     }
 
@@ -602,8 +602,7 @@ impl Engine {
             // scaled by the remaining backlog (as in `drain_stalled`).
             self.stalled[dst].retain(|&i| i != msg_id);
             let backlog = (1 + self.stalled[dst].len() as u64).min(16);
-            let inject = ready.max(recv.post_time)
-                + self.model.stall_resume_penalty() * backlog;
+            let inject = ready.max(recv.post_time) + self.model.stall_resume_penalty() * backlog;
             let arrive = inject + self.model.transit(src, dst, bytes);
             self.finish_match(msg_id, recv, arrive);
         } else {
@@ -647,7 +646,8 @@ impl Engine {
         self.unexpected[dst].push(msg_id);
         self.unexp_bytes[dst] += bytes;
         self.stats.unexpected_messages += 1;
-        self.stats.max_unexpected_bytes = self.stats.max_unexpected_bytes.max(self.unexp_bytes[dst]);
+        self.stats.max_unexpected_bytes =
+            self.stats.max_unexpected_bytes.max(self.unexp_bytes[dst]);
         // Eager send completes locally once injected.
         if let Some(rs) = self.reqs[src].get_mut(&sender_req) {
             rs.complete = Some(inject);
@@ -669,8 +669,7 @@ impl Engine {
             self.stalled[dst].pop_front();
             let backlog = (1 + self.stalled[dst].len() as u64).min(16);
             let ready = self.msgs[&id].ready;
-            let inject =
-                ready.max(free_time) + self.model.stall_resume_penalty() * backlog;
+            let inject = ready.max(free_time) + self.model.stall_resume_penalty() * backlog;
             self.inject_unexpected(id, inject);
         }
     }
@@ -756,7 +755,8 @@ impl Engine {
                 rank,
             });
         }
-        slot.arrivals.insert(rank, (self.clocks[rank], bytes, split));
+        slot.arrivals
+            .insert(rank, (self.clocks[rank], bytes, split));
         // keep the pending op so deadlock diagnostics can describe it
         self.pending[rank].as_mut().unwrap().op = Op::Coll {
             kind,
@@ -823,7 +823,13 @@ impl Engine {
                 self.clocks[r] = finish;
                 self.pending[r] = None;
                 let comm = new_comm_of.remove(&r).expect("every rank got a group");
-                self.reply(r, Reply::CommCreated { clock: finish, comm });
+                self.reply(
+                    r,
+                    Reply::CommCreated {
+                        clock: finish,
+                        comm,
+                    },
+                );
             }
         } else {
             if kind == CollKind::Finalize {
@@ -894,8 +900,15 @@ impl Engine {
                         .coll_slots
                         .get(comm)
                         .and_then(|slots| {
-                            let seq = self.coll_seq[r].get(comm).copied().unwrap_or(1).saturating_sub(1);
-                            slots.iter().find(|s| s.seq == seq).map(|s| s.arrivals.len())
+                            let seq = self.coll_seq[r]
+                                .get(comm)
+                                .copied()
+                                .unwrap_or(1)
+                                .saturating_sub(1);
+                            slots
+                                .iter()
+                                .find(|s| s.seq == seq)
+                                .map(|s| s.arrivals.len())
                         })
                         .unwrap_or(0);
                     let size = self.comms[*comm as usize].members.len();

@@ -18,7 +18,11 @@ pub struct BlockedOn {
 
 impl fmt::Display for BlockedOn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rank {} @ {}: blocked on {}", self.rank, self.clock, self.what)
+        write!(
+            f,
+            "rank {} @ {}: blocked on {}",
+            self.rank, self.clock, self.what
+        )
     }
 }
 

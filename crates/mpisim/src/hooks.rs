@@ -72,9 +72,13 @@ impl EventKind {
     pub fn mpi_name(&self) -> &'static str {
         match self {
             EventKind::Send { blocking: true, .. } => "MPI_Send",
-            EventKind::Send { blocking: false, .. } => "MPI_Isend",
+            EventKind::Send {
+                blocking: false, ..
+            } => "MPI_Isend",
             EventKind::Recv { blocking: true, .. } => "MPI_Recv",
-            EventKind::Recv { blocking: false, .. } => "MPI_Irecv",
+            EventKind::Recv {
+                blocking: false, ..
+            } => "MPI_Irecv",
             EventKind::Wait { count: 1 } => "MPI_Wait",
             EventKind::Wait { .. } => "MPI_Waitall",
             EventKind::Coll { kind, .. } => kind.mpi_name(),

@@ -209,7 +209,11 @@ impl NetworkModel for TorusNetwork {
     }
 
     fn transit(&self, src: Rank, dst: Rank, bytes: u64) -> SimDuration {
-        let hops = if src == dst { 0 } else { self.hops(src, dst).max(1) };
+        let hops = if src == dst {
+            0
+        } else {
+            self.hops(src, dst).max(1)
+        };
         self.base_latency
             + self.per_hop_latency * hops as u64
             + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bps)
@@ -336,7 +340,10 @@ mod tests {
         let t0 = net.transit(0, 1, 0);
         let t1 = net.transit(0, 1, 1_000_000);
         assert_eq!(t0, SimDuration::from_usecs(10));
-        assert_eq!(t1, SimDuration::from_usecs(10) + SimDuration::from_millis(1));
+        assert_eq!(
+            t1,
+            SimDuration::from_usecs(10) + SimDuration::from_millis(1)
+        );
     }
 
     #[test]
@@ -381,7 +388,10 @@ mod tests {
     fn ideal_network_is_free() {
         let net = ideal();
         assert_eq!(net.transit(0, 5, 1 << 30), SimDuration::ZERO);
-        assert_eq!(net.collective(CollKind::Alltoall, 64, 1 << 30), SimDuration::ZERO);
+        assert_eq!(
+            net.collective(CollKind::Alltoall, 64, 1 << 30),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

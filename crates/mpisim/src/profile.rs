@@ -85,7 +85,7 @@ impl MpiP {
             .iter()
             .map(|(k, &s)| (k.clone(), s))
             .collect();
-        v.sort_by(|a, b| (b.1.bytes, b.1.calls).cmp(&(a.1.bytes, a.1.calls)));
+        v.sort_by_key(|e| std::cmp::Reverse((e.1.bytes, e.1.calls)));
         v.truncate(top);
         v
     }
@@ -212,7 +212,13 @@ mod tests {
             bytes: 8,
             comm: 0,
         }));
-        assert_eq!(p.get("MPI_Send"), RoutineStats { calls: 2, bytes: 150 });
+        assert_eq!(
+            p.get("MPI_Send"),
+            RoutineStats {
+                calls: 2,
+                bytes: 150
+            }
+        );
         assert_eq!(p.get("MPI_Allreduce"), RoutineStats { calls: 1, bytes: 8 });
         assert_eq!(p.total_calls(), 3);
         assert_eq!(p.total_bytes(), 158);

@@ -7,9 +7,9 @@ use crate::hooks::Hook;
 use crate::network::{self, NetworkModel};
 use crate::time::SimTime;
 use crate::types::Rank;
-use crossbeam::channel;
 use std::any::Any;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
 use std::sync::{Arc, Once};
 
 /// Outcome of a successful run.
@@ -90,7 +90,10 @@ impl World {
         let mut out = Vec::with_capacity(hooks.len());
         for h in hooks {
             let any: Box<dyn Any> = h;
-            out.push(*any.downcast::<H>().expect("hook type is the one we created"));
+            out.push(
+                *any.downcast::<H>()
+                    .expect("hook type is the one we created"),
+            );
         }
         Ok((report, out))
     }
@@ -106,11 +109,11 @@ impl World {
         install_quiet_abort_hook();
         let n = self.n;
         let body = Arc::new(body);
-        let (req_tx, req_rx) = channel::unbounded::<Request>();
+        let (req_tx, req_rx) = mpsc::channel::<Request>();
         let mut reply_txs = Vec::with_capacity(n);
         let mut threads = Vec::with_capacity(n);
         for rank in 0..n {
-            let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
+            let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
             reply_txs.push(reply_tx);
             let hook = mk(rank);
             let body = Arc::clone(&body);

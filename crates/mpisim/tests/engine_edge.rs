@@ -144,7 +144,7 @@ fn torus_distance_affects_latency() {
 #[test]
 fn seeded_policies_are_deterministic_and_can_differ() {
     let first_match = |seed: u64| {
-        let result = Arc::new(parking_lot::Mutex::new(0usize));
+        let result = Arc::new(std::sync::Mutex::new(0usize));
         let r2 = Arc::clone(&result);
         World::new(4)
             .match_policy(MatchPolicy::Seeded(seed))
@@ -154,7 +154,7 @@ fn seeded_policies_are_deterministic_and_can_differ() {
                     ctx.compute(SimDuration::from_millis(1));
                     for _ in 1..4 {
                         let info = ctx.recv(Src::Any, TagSel::Any, 8, &w);
-                        let mut g = r2.lock();
+                        let mut g = r2.lock().unwrap();
                         if *g == 0 {
                             *g = info.source;
                         }
@@ -164,7 +164,7 @@ fn seeded_policies_are_deterministic_and_can_differ() {
                 }
             })
             .unwrap();
-        let v = *result.lock();
+        let v = *result.lock().unwrap();
         v
     };
     // deterministic per seed

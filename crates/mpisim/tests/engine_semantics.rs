@@ -135,8 +135,8 @@ fn wildcard_match_policy_changes_resolution() {
     // differently under BySenderRank vs a seeded shuffle at least for some
     // seed. We assert determinism per policy and that BySenderRank picks 1.
     use mpisim::engine::MatchPolicy;
-    use parking_lot::Mutex;
     use std::sync::Arc;
+    use std::sync::Mutex;
 
     fn first_source(policy: MatchPolicy) -> usize {
         let result = Arc::new(Mutex::new(0usize));
@@ -149,14 +149,14 @@ fn wildcard_match_policy_changes_resolution() {
                     // Wait long enough for both messages to be queued.
                     ctx.compute(SimDuration::from_millis(1));
                     let info = ctx.recv(Src::Any, TagSel::Any, 8, &w);
-                    *r2.lock() = info.source;
+                    *r2.lock().unwrap() = info.source;
                     let _ = ctx.recv(Src::Any, TagSel::Any, 8, &w);
                 } else {
                     ctx.send(0, 0, 8, &w);
                 }
             })
             .unwrap();
-        let v = *result.lock();
+        let v = *result.lock().unwrap();
         v
     }
 
@@ -180,7 +180,10 @@ fn collectives_synchronize_clocks() {
         .unwrap();
     let t0 = report.per_rank_time[0];
     assert!(report.per_rank_time.iter().all(|&t| t == t0));
-    assert!(t0.as_nanos() > 400_000, "barrier exit after slowest arrival");
+    assert!(
+        t0.as_nanos() > 400_000,
+        "barrier exit after slowest arrival"
+    );
 }
 
 #[test]
@@ -277,7 +280,10 @@ fn collective_mismatch_is_reported() {
             }
         })
         .unwrap_err();
-    assert!(matches!(err, SimError::CollectiveMismatch { .. }), "got {err}");
+    assert!(
+        matches!(err, SimError::CollectiveMismatch { .. }),
+        "got {err}"
+    );
 }
 
 #[test]
@@ -312,7 +318,10 @@ fn dangling_request_is_an_error() {
             }
         })
         .unwrap_err();
-    assert!(matches!(err, SimError::DanglingRequests { rank: 0, .. }), "got {err}");
+    assert!(
+        matches!(err, SimError::DanglingRequests { rank: 0, .. }),
+        "got {err}"
+    );
 }
 
 #[test]
@@ -407,7 +416,11 @@ fn flow_control_stalls_flooding_sender() {
             }
         })
         .unwrap();
-    assert!(report.stats.flow_control_stalls > 0, "stats: {:?}", report.stats);
+    assert!(
+        report.stats.flow_control_stalls > 0,
+        "stats: {:?}",
+        report.stats
+    );
     assert!(report.stats.unexpected_messages > 0);
 }
 

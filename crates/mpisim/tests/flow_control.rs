@@ -2,7 +2,7 @@
 //! behind Figure 7: eager injection, unexpected-queue copies, buffer
 //! exhaustion, and backlog-proportional stall recovery.
 
-use mpisim::network::{FlatNetwork, NetworkModel};
+use mpisim::network::FlatNetwork;
 use mpisim::time::SimDuration;
 use mpisim::types::{Src, TagSel};
 use mpisim::world::World;

@@ -5,9 +5,8 @@ use mpisim::network::{self, FlatNetwork};
 use mpisim::time::SimDuration;
 use mpisim::types::{Src, TagSel};
 use mpisim::world::World;
-use parking_lot::Mutex;
 use proptest::prelude::*;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 #[derive(Clone, Debug)]
 struct Exchange {
@@ -118,12 +117,12 @@ proptest! {
                     ctx.compute(SimDuration::from_usecs(delay_us));
                     for _ in 0..sizes2.len() {
                         let info = ctx.recv(Src::Rank(0), TagSel::Is(7), 0, &w);
-                        rec2.lock().push(info.bytes);
+                        rec2.lock().unwrap().push(info.bytes);
                     }
                 }
             })
             .unwrap();
-        let got = received.lock().clone();
+        let got = received.lock().unwrap().clone();
         prop_assert_eq!(got, sizes);
     }
 
@@ -145,7 +144,7 @@ proptest! {
                 if me == 0 {
                     for _ in 0..senders2.len() {
                         let info = ctx.recv(Src::Any, TagSel::Any, 0, &w);
-                        rec2.lock().push((info.source, info.bytes));
+                        rec2.lock().unwrap().push((info.source, info.bytes));
                     }
                 } else {
                     for (i, &(src, bytes)) in senders2.iter().enumerate() {
@@ -156,7 +155,7 @@ proptest! {
                 }
             })
             .unwrap();
-        let mut got = received.lock().clone();
+        let mut got = received.lock().unwrap().clone();
         got.sort_unstable();
         let mut expect: Vec<(usize, u64)> = senders;
         expect.sort_unstable();

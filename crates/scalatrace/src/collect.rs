@@ -164,11 +164,7 @@ pub struct TracedRun {
 /// Trace `body` running on `n` ranks over `model`. The local traces are
 /// merged into a single global trace "upon application completion", as the
 /// ScalaTrace PMPI wrapper for `MPI_Finalize` does.
-pub fn trace_app<F>(
-    n: usize,
-    model: Arc<dyn NetworkModel>,
-    body: F,
-) -> Result<TracedRun, SimError>
+pub fn trace_app<F>(n: usize, model: Arc<dyn NetworkModel>, body: F) -> Result<TracedRun, SimError>
 where
     F: Fn(&mut Ctx) + Send + Sync + 'static,
 {

@@ -130,7 +130,9 @@ mod tests {
             push(&mut seq, ev(3, 0, 5));
         }
         assert_eq!(seq.len(), 1);
-        let TraceNode::Loop(p) = &seq[0] else { panic!() };
+        let TraceNode::Loop(p) = &seq[0] else {
+            panic!()
+        };
         assert_eq!(p.count, 1000);
         assert_eq!(p.body.len(), 3);
     }

@@ -170,12 +170,7 @@ impl<'t> Cursor<'t> {
                     frame.idx += 1;
                     if rsd.ranks.contains(self.rank) {
                         self.event_counter += 1;
-                        return Some(concretise(
-                            rsd,
-                            self.rank,
-                            self.timing,
-                            self.event_counter,
-                        ));
+                        return Some(concretise(rsd, self.rank, self.timing, self.event_counter));
                     }
                 }
             }
@@ -287,10 +282,7 @@ pub fn semantically_equal(a: &Trace, b: &Trace) -> Result<(), String> {
                 (None, None) => break,
                 (Some(x), Some(y)) => {
                     if x.op != y.op {
-                        return Err(format!(
-                            "rank {r}, event {i}: {:?} vs {:?}",
-                            x.op, y.op
-                        ));
+                        return Err(format!("rank {r}, event {i}: {:?} vs {:?}", x.op, y.op));
                     }
                 }
                 (Some(x), None) => {

@@ -269,11 +269,17 @@ mod tests {
             .collect();
         let merged = merge_sequences(seqs, 8);
         assert_eq!(merged.len(), 2);
-        let TraceNode::Event(s) = &merged[0] else { panic!() };
+        let TraceNode::Event(s) = &merged[0] else {
+            panic!()
+        };
         assert_eq!(s.ranks, RankSet::all(4));
-        let OpTemplate::Send { to, .. } = &s.op else { panic!() };
+        let OpTemplate::Send { to, .. } = &s.op else {
+            panic!()
+        };
         assert_eq!(*to, RankParam::Offset(1));
-        let TraceNode::Event(b) = &merged[1] else { panic!() };
+        let TraceNode::Event(b) = &merged[1] else {
+            panic!()
+        };
         assert_eq!(b.ranks.len(), 4);
         // compute histograms pooled across ranks
         assert_eq!(s.compute.count(), 4);
@@ -285,8 +291,12 @@ mod tests {
         let seqs: Vec<Vec<TraceNode>> = (0..n).map(|r| vec![send(r, (r + 1) % n, 64, 1)]).collect();
         let merged = merge_sequences(seqs, n);
         assert_eq!(merged.len(), 1);
-        let TraceNode::Event(s) = &merged[0] else { panic!() };
-        let OpTemplate::Send { to, .. } = &s.op else { panic!() };
+        let TraceNode::Event(s) = &merged[0] else {
+            panic!()
+        };
+        let OpTemplate::Send { to, .. } = &s.op else {
+            panic!()
+        };
         assert_eq!(
             *to,
             RankParam::OffsetMod {
@@ -313,9 +323,13 @@ mod tests {
         };
         let merged = merge_sequences((0..4).map(mk).collect(), 4);
         assert_eq!(merged.len(), 1);
-        let TraceNode::Loop(p) = &merged[0] else { panic!() };
+        let TraceNode::Loop(p) = &merged[0] else {
+            panic!()
+        };
         assert_eq!(p.count, 100);
-        let TraceNode::Event(e) = &p.body[0] else { panic!() };
+        let TraceNode::Event(e) = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(e.ranks.len(), 4);
     }
 
@@ -340,7 +354,9 @@ mod tests {
         let b = vec![barrier(1, 2)];
         let merged = merge_pair(a, b, 2);
         assert_eq!(merged.len(), 2);
-        let TraceNode::Event(last) = &merged[1] else { panic!() };
+        let TraceNode::Event(last) = &merged[1] else {
+            panic!()
+        };
         assert_eq!(last.ranks.len(), 2, "barrier merged across ranks");
     }
 

@@ -40,8 +40,8 @@ impl RankParam {
             RankParam::Const(c) => *c,
             RankParam::Offset(d) => (rank as i64 + d) as Rank,
             RankParam::OffsetMod { offset, modulus } => {
-                (((rank as i64 + offset) % *modulus as i64 + *modulus as i64)
-                    % *modulus as i64) as Rank
+                (((rank as i64 + offset) % *modulus as i64 + *modulus as i64) % *modulus as i64)
+                    as Rank
             }
             RankParam::Xor(mask) => rank ^ mask,
             RankParam::PerRank(m) => *m.get(&rank).expect("rank present in table"),
@@ -350,13 +350,7 @@ mod tests {
         let mut acc = RankParam::Const(1);
         let mut acc_ranks = rs(&[0]);
         for r in 1..=2 {
-            acc = RankParam::unify(
-                &acc,
-                &acc_ranks,
-                &RankParam::Const(r + 1),
-                &rs(&[r]),
-                8,
-            );
+            acc = RankParam::unify(&acc, &acc_ranks, &RankParam::Const(r + 1), &rs(&[r]), 8);
             acc_ranks = acc_ranks.union(&rs(&[r]));
         }
         assert_eq!(acc, RankParam::Offset(1));

@@ -252,10 +252,7 @@ mod tests {
     fn display_formats() {
         assert_eq!(RankSet::all(4).to_string(), "{0-3}");
         assert_eq!(RankSet::single(7).to_string(), "{7}");
-        assert_eq!(
-            RankSet::from_ranks([0, 3, 6, 9]).to_string(),
-            "{0-9:3}"
-        );
+        assert_eq!(RankSet::from_ranks([0, 3, 6, 9]).to_string(), "{0-9:3}");
         assert_eq!(RankSet::from_ranks([1, 2, 3, 7]).to_string(), "{1-3,7}");
     }
 

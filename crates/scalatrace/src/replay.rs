@@ -96,9 +96,7 @@ pub fn step(
             let c = comms[comm].clone();
             let rel_from = match from {
                 Src::Any => Src::Any,
-                Src::Rank(abs) => {
-                    Src::Rank(c.relative_of(*abs).expect("peer in communicator"))
-                }
+                Src::Rank(abs) => Src::Rank(c.relative_of(*abs).expect("peer in communicator")),
             };
             if *blocking {
                 let _ = ctx.recv(rel_from, *tag, *bytes, &c);
@@ -119,8 +117,7 @@ pub fn step(
         } => {
             use mpisim::types::CollKind::*;
             let c = comms[comm].clone();
-            let root_rel =
-                root.map(|abs| c.relative_of(abs).expect("root in communicator"));
+            let root_rel = root.map(|abs| c.relative_of(abs).expect("root in communicator"));
             match kind {
                 Barrier => ctx.barrier(&c),
                 Bcast => ctx.bcast(root_rel.unwrap(), *bytes, &c),
@@ -146,8 +143,7 @@ pub fn step(
             let key = members
                 .iter()
                 .position(|&m| m == ctx.rank())
-                .expect("rank belongs to its recorded result comm")
-                as i64;
+                .expect("rank belongs to its recorded result comm") as i64;
             let new = ctx.comm_split(&c, color, key);
             debug_assert_eq!(&*new.members, members, "replayed split reproduces groups");
             comms.insert(*result, new);
@@ -261,8 +257,7 @@ mod sampled_tests {
         })
         .unwrap();
         let mean = replay(&traced.trace, network::ideal()).unwrap();
-        let sampled = replay_with(&traced.trace, network::ideal(), TimingMode::Sampled(7))
-            .unwrap();
+        let sampled = replay_with(&traced.trace, network::ideal(), TimingMode::Sampled(7)).unwrap();
         let m = mean.total_time.as_secs_f64();
         let s = sampled.total_time.as_secs_f64();
         // bin midpoints are log-scale approximations, and restoring
@@ -272,12 +267,10 @@ mod sampled_tests {
         assert!((s - m).abs() / m < 0.5, "sampled {s} vs mean {m}");
         assert!(s > 0.0 && m > 0.0);
         // and the sampled mode is itself deterministic per seed
-        let again = replay_with(&traced.trace, network::ideal(), TimingMode::Sampled(7))
-            .unwrap();
+        let again = replay_with(&traced.trace, network::ideal(), TimingMode::Sampled(7)).unwrap();
         assert_eq!(sampled.total_time, again.total_time);
         // different seeds explore different schedules
-        let other = replay_with(&traced.trace, network::ideal(), TimingMode::Sampled(8))
-            .unwrap();
+        let other = replay_with(&traced.trace, network::ideal(), TimingMode::Sampled(8)).unwrap();
         assert_ne!(sampled.total_time, other.total_time);
     }
 }

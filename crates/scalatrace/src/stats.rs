@@ -84,7 +84,10 @@ fn walk(nodes: &[TraceNode], depth: usize, multiplier: u64, s: &mut TraceStats) 
                             SrcParam::Any => true,
                             SrcParam::Rank(p) => rank_param_compressed(p),
                         };
-                        (c && bytes.is_compressed() && comm.is_compressed(), Some(bytes))
+                        (
+                            c && bytes.is_compressed() && comm.is_compressed(),
+                            Some(bytes),
+                        )
                     }
                     OpTemplate::Wait { count } => (count.is_compressed(), None),
                     OpTemplate::Coll {

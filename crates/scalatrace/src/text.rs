@@ -45,7 +45,13 @@ fn write_node(out: &mut String, node: &TraceNode, depth: usize) {
             writeln!(out, "{pad}}}").unwrap();
         }
         TraceNode::Event(r) => {
-            write!(out, "{pad}ev sig={:x} ranks={}", r.sig, encode_ranks(&r.ranks)).unwrap();
+            write!(
+                out,
+                "{pad}ev sig={:x} ranks={}",
+                r.sig,
+                encode_ranks(&r.ranks)
+            )
+            .unwrap();
             match &r.op {
                 OpTemplate::Send {
                     to,
@@ -101,8 +107,13 @@ fn write_node(out: &mut String, node: &TraceNode, depth: usize) {
                     if let Some(root) = root {
                         write!(out, " root={}", encode_rank_param(root)).unwrap();
                     }
-                    write!(out, " bytes={} comm={}", encode_val(bytes), encode_comm(comm))
-                        .unwrap();
+                    write!(
+                        out,
+                        " bytes={} comm={}",
+                        encode_val(bytes),
+                        encode_comm(comm)
+                    )
+                    .unwrap();
                 }
                 OpTemplate::CommSplit { parent, result } => {
                     write!(out, " op=split parent={parent} result={result}").unwrap();
@@ -292,7 +303,9 @@ pub fn from_text(s: &str) -> Result<Trace, String> {
 fn parse_event(rest: &str) -> Result<Rsd, String> {
     let mut fields: BTreeMap<&str, &str> = BTreeMap::new();
     for part in rest.split_whitespace() {
-        let (k, v) = part.split_once('=').ok_or_else(|| format!("bad field {part}"))?;
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad field {part}"))?;
         fields.insert(k, v);
     }
     let sig = u64::from_str_radix(fields.get("sig").ok_or("missing sig")?, 16)

@@ -125,7 +125,11 @@ impl TimeStats {
             seen += c;
             if seen * 2 >= self.count {
                 let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
-                let hi = if i == 0 { 1 } else { (1u64 << i).saturating_sub(1) };
+                let hi = if i == 0 {
+                    1
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
                 return SimDuration::from_nanos(lo + (hi - lo) / 2);
             }
         }
@@ -247,7 +251,9 @@ mod tests {
             t.record(SimDuration::from_usecs(us));
         }
         let m = t.median_approx();
-        assert!(m >= SimDuration::from_usecs(64) && m <= SimDuration::from_usecs(256),
-                "median approx {m} should be near 100us");
+        assert!(
+            m >= SimDuration::from_usecs(64) && m <= SimDuration::from_usecs(256),
+            "median approx {m} should be near 100us"
+        );
     }
 }

@@ -73,10 +73,16 @@ impl OpTemplate {
     pub fn mpi_name(&self) -> &'static str {
         match self {
             OpTemplate::Send { blocking: true, .. } => "MPI_Send",
-            OpTemplate::Send { blocking: false, .. } => "MPI_Isend",
+            OpTemplate::Send {
+                blocking: false, ..
+            } => "MPI_Isend",
             OpTemplate::Recv { blocking: true, .. } => "MPI_Recv",
-            OpTemplate::Recv { blocking: false, .. } => "MPI_Irecv",
-            OpTemplate::Wait { count: ValParam::Const(1) } => "MPI_Wait",
+            OpTemplate::Recv {
+                blocking: false, ..
+            } => "MPI_Irecv",
+            OpTemplate::Wait {
+                count: ValParam::Const(1),
+            } => "MPI_Wait",
             OpTemplate::Wait { .. } => "MPI_Waitall",
             OpTemplate::Coll { kind, .. } => kind.mpi_name(),
             OpTemplate::CommSplit { .. } => "MPI_Comm_split",
@@ -221,10 +227,7 @@ impl TraceNode {
             (TraceNode::Loop(a), TraceNode::Loop(b)) => {
                 a.count == b.count
                     && a.body.len() == b.body.len()
-                    && a.body
-                        .iter()
-                        .zip(&b.body)
-                        .all(|(x, y)| x.foldable_with(y))
+                    && a.body.iter().zip(&b.body).all(|(x, y)| x.foldable_with(y))
             }
             _ => false,
         }
@@ -352,10 +355,7 @@ impl Trace {
 
     /// Uncompressed size: total concrete MPI events across all ranks.
     pub fn concrete_event_count(&self) -> u64 {
-        self.nodes
-            .iter()
-            .map(TraceNode::concrete_event_count)
-            .sum()
+        self.nodes.iter().map(TraceNode::concrete_event_count).sum()
     }
 
     /// Does any RSD contain a wildcard receive? O(r) pre-check for

@@ -2,6 +2,7 @@
 //! compression losslessness, rank-set algebra, parameter-table
 //! reconstruction, serialisation round trips, and merge projection order.
 
+use mpisim::time::SimDuration;
 use proptest::prelude::*;
 use scalatrace::compress::{append_compressed, compress_tail};
 use scalatrace::cursor::Cursor;
@@ -10,7 +11,6 @@ use scalatrace::params::{compress_rank_table, CommParam, RankParam, ValParam};
 use scalatrace::rankset::RankSet;
 use scalatrace::timestats::TimeStats;
 use scalatrace::trace::{CommTable, OpTemplate, Rsd, Trace, TraceNode};
-use mpisim::time::SimDuration;
 use std::collections::{BTreeMap, BTreeSet};
 
 // ---------------------------------------------------------------------------

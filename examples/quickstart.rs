@@ -46,8 +46,8 @@ fn main() {
     // 3. The text is a real artifact: parse it back and run it.
     let source = printer::print(&generated.program);
     let parsed = conceptual::parser::parse(&source).expect("generated text parses");
-    let outcome = run_program(&parsed, n, network::ethernet_cluster())
-        .expect("generated benchmark runs");
+    let outcome =
+        run_program(&parsed, n, network::ethernet_cluster()).expect("generated benchmark runs");
 
     // 4. Compare timings (the paper's Figure 6 criterion).
     let t_app = traced.report.total_time.as_secs_f64();

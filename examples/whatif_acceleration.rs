@@ -33,13 +33,20 @@ fn main() {
         generated.program.stmt_count()
     );
 
-    println!("{:>18}  {:>10}  {:>8}", "compute speedup", "time [s]", "speedup");
+    println!(
+        "{:>18}  {:>10}  {:>8}",
+        "compute speedup", "time [s]", "speedup"
+    );
     let baseline = run_program(&generated.program, ranks, network::ethernet_cluster())
         .expect("baseline runs")
         .total_time
         .as_secs_f64();
     for speedup in [1.0, 1.25, 2.0, 3.3, 10.0, f64::INFINITY] {
-        let factor = if speedup.is_infinite() { 0.0 } else { 1.0 / speedup };
+        let factor = if speedup.is_infinite() {
+            0.0
+        } else {
+            1.0 / speedup
+        };
         let variant = scale_compute(&generated.program, factor);
         let t = run_program(&variant, ranks, network::ethernet_cluster())
             .expect("variant runs")

@@ -1,0 +1,222 @@
+//! `commbench` — campaign fleet runner: execute a declarative experiment
+//! matrix (apps × ranks × classes × networks) through the full
+//! trace → generate → execute → verify pipeline, in parallel, with trace
+//! caching and JSONL telemetry.
+//!
+//! ```text
+//! commbench --matrix sweep.txt                      # run a campaign
+//! commbench --matrix sweep.txt --print-matrix       # expand without running
+//! commbench --matrix sweep.txt --cache /tmp/cc      # trace cache location
+//! commbench --matrix sweep.txt --log fleet.jsonl    # telemetry location
+//! commbench --matrix sweep.txt --workers 8 --timeout 120 --retries 2
+//! ```
+//!
+//! Exit status is success iff every expanded job succeeded.
+
+use campaign::{run_campaign, CampaignSpec, Telemetry, TraceCache};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    matrix: String,
+    print_matrix: bool,
+    cache_dir: PathBuf,
+    log: PathBuf,
+    workers: Option<usize>,
+    timeout_secs: Option<u64>,
+    retries: Option<u32>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    parse_argv(std::env::args().skip(1).collect())
+}
+
+fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
+    let mut matrix = None;
+    let mut args = Args {
+        matrix: String::new(),
+        print_matrix: false,
+        cache_dir: PathBuf::from(".commbench-cache"),
+        log: PathBuf::from("campaign.jsonl"),
+        workers: None,
+        timeout_secs: None,
+        retries: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--matrix" => matrix = Some(value(&mut i)?),
+            "--print-matrix" => args.print_matrix = true,
+            "--cache" => args.cache_dir = PathBuf::from(value(&mut i)?),
+            "--log" => args.log = PathBuf::from(value(&mut i)?),
+            "--workers" => {
+                args.workers = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?,
+                )
+            }
+            "--timeout" => {
+                args.timeout_secs = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout: {e}"))?,
+                )
+            }
+            "--retries" => {
+                args.retries = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --retries: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: commbench --matrix FILE [--print-matrix] [--cache DIR] \
+                            [--log FILE.jsonl] [--workers N] [--timeout SECS] [--retries N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+    args.matrix = matrix.ok_or("--matrix is required (try --help)")?;
+    if args.workers == Some(0) {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = match std::fs::read_to_string(&args.matrix) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.matrix);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec = match CampaignSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad matrix {}: {e}", args.matrix);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(w) = args.workers {
+        spec.workers = w;
+    }
+    if let Some(t) = args.timeout_secs {
+        spec.timeout_secs = t;
+    }
+    if let Some(r) = args.retries {
+        spec.retries = r;
+    }
+
+    let (jobs, skipped) = spec.expand();
+    if args.print_matrix {
+        for job in &jobs {
+            println!("{}", job.id());
+        }
+        for s in &skipped {
+            eprintln!("skipped: {s}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if jobs.is_empty() {
+        eprintln!("matrix expands to no jobs (all combinations skipped)");
+        for s in &skipped {
+            eprintln!("skipped: {s}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let cache = match TraceCache::open(&args.cache_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open cache {}: {e}", args.cache_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let telemetry = match Telemetry::to_file(&args.log) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot open log {}: {e}", args.log.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "campaign: {} jobs on {} workers (cache {}, log {})",
+        jobs.len(),
+        spec.workers,
+        args.cache_dir.display(),
+        args.log.display()
+    );
+    let report = run_campaign(&spec, cache, telemetry);
+    print!("{report}");
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_typical_invocations() {
+        let a = parse_argv(argv("--matrix m.txt")).unwrap();
+        assert_eq!(a.matrix, "m.txt");
+        assert_eq!(a.cache_dir, PathBuf::from(".commbench-cache"));
+        assert!(!a.print_matrix);
+
+        let a = parse_argv(argv(
+            "--matrix m.txt --cache /tmp/c --log f.jsonl --workers 8 --timeout 120 --retries 2",
+        ))
+        .unwrap();
+        assert_eq!(a.workers, Some(8));
+        assert_eq!(a.timeout_secs, Some(120));
+        assert_eq!(a.retries, Some(2));
+        assert_eq!(a.log, PathBuf::from("f.jsonl"));
+
+        assert!(
+            parse_argv(argv("--matrix m.txt --print-matrix"))
+                .unwrap()
+                .print_matrix
+        );
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_argv(argv("")).is_err(), "matrix is required");
+        assert!(parse_argv(argv("--matrix")).is_err(), "missing value");
+        assert!(parse_argv(argv("--matrix m --workers 0")).is_err());
+        assert!(parse_argv(argv("--matrix m --timeout soon")).is_err());
+        assert!(parse_argv(argv("--frobnicate")).is_err());
+        assert!(
+            parse_argv(argv("--help")).is_err(),
+            "help surfaces as a message"
+        );
+    }
+}

@@ -19,6 +19,7 @@ use mpisim::network;
 use scalatrace::trace_app;
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Args {
     app: Option<String>,
     trace_file: Option<String>,
@@ -113,6 +114,27 @@ fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
     }
     if args.app.is_none() && args.trace_file.is_none() {
         return Err("one of --app or --trace is required (try --help)".to_string());
+    }
+    if args.app.is_some() && args.trace_file.is_some() {
+        return Err("--app and --trace are mutually exclusive (try --help)".to_string());
+    }
+    if args.ranks == 0 {
+        return Err("--ranks must be at least 1".to_string());
+    }
+    if !matches!(args.backend.as_str(), "conceptual" | "c") {
+        return Err(format!(
+            "unknown backend {} (expected conceptual|c)",
+            args.backend
+        ));
+    }
+    if !matches!(args.machine.as_str(), "bgl" | "ethernet") {
+        return Err(format!(
+            "unknown machine {} (expected bgl|ethernet)",
+            args.machine
+        ));
+    }
+    if args.extrapolate == Some(0) {
+        return Err("--extrapolate must be at least 1".to_string());
     }
     Ok(args)
 }
@@ -293,6 +315,24 @@ mod tests {
         assert!(parse_argv(argv("--app x --ranks nope")).is_err());
         assert!(parse_argv(argv("--app x --class Z")).is_err());
         assert!(parse_argv(argv("--frobnicate")).is_err());
-        assert!(parse_argv(argv("--help")).is_err(), "help is surfaced as a message");
+        assert!(
+            parse_argv(argv("--help")).is_err(),
+            "help is surfaced as a message"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_flag_combinations() {
+        let err = parse_argv(argv("--app lu --trace t.st")).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        assert!(parse_argv(argv("--app lu --ranks 0")).is_err());
+        let err = parse_argv(argv("--app lu --backend fortran")).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+        let err = parse_argv(argv("--app lu --machine cray")).unwrap_err();
+        assert!(err.contains("unknown machine"), "{err}");
+        assert!(parse_argv(argv("--app lu --extrapolate 0")).is_err());
+        // The accepted spellings still parse.
+        assert!(parse_argv(argv("--app lu --backend c --machine ethernet")).is_ok());
+        assert!(parse_argv(argv("--app lu --backend conceptual --machine bgl")).is_ok());
     }
 }

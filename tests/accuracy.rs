@@ -34,7 +34,10 @@ fn err_pct(app: &'static miniapps::App, ranks: usize, net: Arc<dyn NetworkModel>
 #[test]
 fn generated_benchmarks_track_originals_on_bluegene() {
     for app in registry::all() {
-        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let ranks = [16, 9, 8]
+            .into_iter()
+            .find(|&n| (app.valid_ranks)(n))
+            .unwrap();
         let err = err_pct(app, ranks, network::blue_gene_l());
         assert!(
             err < 12.0,
@@ -47,7 +50,10 @@ fn generated_benchmarks_track_originals_on_bluegene() {
 #[test]
 fn generated_benchmarks_track_originals_on_ethernet() {
     for app in registry::all() {
-        let ranks = [16, 9, 8].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap();
+        let ranks = [16, 9, 8]
+            .into_iter()
+            .find(|&n| (app.valid_ranks)(n))
+            .unwrap();
         let err = err_pct(app, ranks, network::ethernet_cluster());
         assert!(
             err < 15.0,

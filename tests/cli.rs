@@ -1,0 +1,285 @@
+//! CLI-level tests: drive the real `commgen` and `commbench` binaries as
+//! subprocesses and assert on exit status, diagnostics, and artifacts.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn commgen(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_commgen"))
+        .args(args)
+        .output()
+        .expect("commgen spawns")
+}
+
+fn commbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_commbench"))
+        .args(args)
+        .output()
+        .expect("commbench spawns")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "commspec-cli-test-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ---------------------------------------------------------------- commgen
+
+#[test]
+fn commgen_generates_a_program_for_a_registry_app() {
+    let out = commgen(&["--app", "ring", "--ranks", "4", "--class", "S"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ALL TASKS"), "no program emitted:\n{text}");
+}
+
+#[test]
+fn commgen_rejects_unknown_apps_with_a_diagnostic() {
+    let out = commgen(&["--app", "nosuch"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown app nosuch"), "{err}");
+    assert!(err.contains("available:"), "lists alternatives: {err}");
+}
+
+#[test]
+fn commgen_rejects_unreadable_trace_files() {
+    let out = commgen(&["--trace", "/nonexistent/path/t.st"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+}
+
+#[test]
+fn commgen_rejects_corrupt_trace_files() {
+    let dir = temp_dir("corrupt-trace");
+    let path = dir.join("bad.st");
+    std::fs::write(&path, "this is not a trace\n").unwrap();
+    let out = commgen(&["--trace", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("cannot parse trace"),
+        "{}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn commgen_rejects_invalid_flag_combinations() {
+    let out = commgen(&["--app", "lu", "--trace", "t.st"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = commgen(&["--app", "lu", "--backend", "fortran"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown backend"), "{}", stderr(&out));
+
+    let out = commgen(&["--app", "lu", "--machine", "cray"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown machine"), "{}", stderr(&out));
+
+    let out = commgen(&["--app", "lu", "--ranks", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--ranks"), "{}", stderr(&out));
+}
+
+#[test]
+fn commgen_rejects_invalid_rank_counts_for_an_app() {
+    // BT requires a square rank count.
+    let out = commgen(&["--app", "bt", "--ranks", "7", "--class", "S"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("cannot run on 7 ranks"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn commgen_trace_file_roundtrip_through_the_cli() {
+    let dir = temp_dir("emit-trace");
+    let st = dir.join("ring.st");
+    let out = commgen(&[
+        "--app",
+        "ring",
+        "--ranks",
+        "4",
+        "--class",
+        "S",
+        "--emit-trace",
+        st.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let direct = stdout(&out);
+
+    let out2 = commgen(&["--trace", st.to_str().unwrap()]);
+    assert!(out2.status.success(), "{}", stderr(&out2));
+    assert_eq!(direct, stdout(&out2), "trace file reproduces the program");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// -------------------------------------------------------------- commbench
+
+const ACCEPTANCE_MATRIX: &str = "
+    # three apps x two rank counts, one injected fault
+    apps     = ring, cg, ep, __panic__
+    ranks    = 4, 8
+    classes  = S
+    networks = ideal
+    workers  = 4
+    timeout_secs = 120
+    retries  = 1
+";
+
+fn jsonl_events(path: &PathBuf) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .expect("JSONL log exists")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim_matches('"'))
+}
+
+#[test]
+fn commbench_acceptance_fleet_faults_and_cache() {
+    let dir = temp_dir("acceptance");
+    let matrix = dir.join("matrix.txt");
+    std::fs::write(&matrix, ACCEPTANCE_MATRIX).unwrap();
+    let cache = dir.join("cache");
+    let log1 = dir.join("run1.jsonl");
+
+    // Run 1: cold cache. The fleet must finish despite the panicking jobs
+    // (exit status reflects their failure).
+    let out = commbench(&[
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+        "--log",
+        log1.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "injected panics must fail the run");
+    let report = stdout(&out);
+    assert!(report.contains("6 ok"), "8 jobs minus 2 panics:\n{report}");
+    assert!(report.contains("2 failed"), "{report}");
+    assert!(report.contains("injected panic"), "{report}");
+    assert!(
+        report.contains("6 verified"),
+        "E1 passes for all ok jobs: {report}"
+    );
+
+    let events = jsonl_events(&log1);
+    let count = |ev: &str| {
+        events
+            .iter()
+            .filter(|l| field(l, "event") == Some(ev))
+            .count()
+    };
+    assert_eq!(count("queued"), 8);
+    assert_eq!(count("finished"), 8);
+    assert!(count("started") >= 8);
+    assert_eq!(count("cached"), 0, "cold cache");
+    let failed: Vec<&String> = events
+        .iter()
+        .filter(|l| field(l, "status") == Some("failed"))
+        .collect();
+    assert_eq!(failed.len(), 2);
+    assert!(failed.iter().all(|l| l.contains("__panic__")));
+    // Successful finishes carry the metric fields.
+    let ok_line = events
+        .iter()
+        .find(|l| field(l, "status") == Some("ok"))
+        .expect("an ok job");
+    for key in [
+        "t_app_us",
+        "t_gen_us",
+        "err_pct",
+        "compression",
+        "verify_errors",
+        "wall_ms",
+    ] {
+        assert!(field(ok_line, key).is_some(), "missing {key}: {ok_line}");
+    }
+
+    // Run 2: warm cache. Every unchanged (successful) job must hit.
+    let log2 = dir.join("run2.jsonl");
+    let out = commbench(&[
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+        "--log",
+        log2.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let events2 = jsonl_events(&log2);
+    let cached = events2
+        .iter()
+        .filter(|l| field(l, "event") == Some("cached"))
+        .count();
+    assert_eq!(cached, 6, "every previously traced job hits the cache");
+    assert!(stdout(&out).contains("6 cached"), "{}", stdout(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn commbench_print_matrix_lists_jobs_without_running() {
+    let dir = temp_dir("print");
+    let matrix = dir.join("m.txt");
+    std::fs::write(&matrix, "apps = ring, bt\nranks = 4, 7\n").unwrap();
+    let out = commbench(&["--matrix", matrix.to_str().unwrap(), "--print-matrix"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let listing = stdout(&out);
+    let jobs: Vec<&str> = listing.lines().map(str::trim).collect();
+    // ring runs on 4 and 7; bt only on 4 (square).
+    assert_eq!(jobs.iter().filter(|j| j.starts_with("ring.")).count(), 2);
+    assert_eq!(jobs.iter().filter(|j| j.starts_with("bt.")).count(), 1);
+    assert!(stderr(&out).contains("skipped: bt cannot run on 7 ranks"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn commbench_rejects_missing_and_malformed_matrices() {
+    let out = commbench(&["--matrix", "/nonexistent/m.txt"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+
+    let dir = temp_dir("badmatrix");
+    let matrix = dir.join("m.txt");
+    std::fs::write(&matrix, "apps = ring\nranks = 4\nbogus_key = 1\n").unwrap();
+    let out = commbench(&["--matrix", matrix.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown key bogus_key"),
+        "{}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

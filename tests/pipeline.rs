@@ -57,7 +57,10 @@ fn trace_program(program: &Program, n: usize) -> scalatrace::Trace {
 }
 
 fn rank_count_for(app: &miniapps::App) -> usize {
-    [8, 9, 16].into_iter().find(|&n| (app.valid_ranks)(n)).unwrap()
+    [8, 9, 16]
+        .into_iter()
+        .find(|&n| (app.valid_ranks)(n))
+        .unwrap()
 }
 
 /// E1: per-routine event counts and volumes match (§5.2, first experiment).
@@ -71,8 +74,8 @@ fn e1_mpip_counts_and_volumes_match_for_all_apps() {
             compute_scale: 1.0,
         };
         let (trace, orig_prof) = trace_and_profile(app, n, params);
-        let generated =
-            generate(&trace, &GenOptions::default()).unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        let generated = generate(&trace, &GenOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
         let gen_prof = profile_program(&generated.program, n);
         let expected = expected_profile(&orig_prof, n);
         let errors = compare_profiles(&expected, &gen_prof, 0.02);

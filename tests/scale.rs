@@ -15,8 +15,10 @@ fn ring_pipeline_at_256_ranks() {
         iterations: Some(20),
         compute_scale: 1.0,
     };
-    let traced = trace_app(256, network::blue_gene_l(), move |ctx| (app.run)(ctx, &params))
-        .expect("256-rank ring runs");
+    let traced = trace_app(256, network::blue_gene_l(), move |ctx| {
+        (app.run)(ctx, &params)
+    })
+    .expect("256-rank ring runs");
     assert!(traced.trace.node_count() < 10, "compression holds at scale");
 
     let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
