@@ -46,6 +46,29 @@ impl Default for FleetOptions {
     }
 }
 
+/// Why an attempt failed — recorded in [`Outcome::Failed`] and surfaced in
+/// telemetry so a log reader can separate crashes from give-ups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The attempt panicked and was caught at the isolation boundary.
+    Panic,
+    /// The job reported a transient error (and the retry budget ran out).
+    Transient,
+    /// The job reported a permanent error.
+    Fatal,
+}
+
+impl FailureCause {
+    /// Stable lower-case label for logs and telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureCause::Panic => "panic",
+            FailureCause::Transient => "transient",
+            FailureCause::Fatal => "error",
+        }
+    }
+}
+
 /// A job-level error. `transient: true` requests a retry (within budget);
 /// `transient: false` fails the job immediately.
 #[derive(Clone, Debug)]
@@ -54,6 +77,8 @@ pub struct JobError {
     pub message: String,
     /// May a retry succeed?
     pub transient: bool,
+    /// Failure classification for diagnostics.
+    pub cause: FailureCause,
 }
 
 impl JobError {
@@ -62,6 +87,7 @@ impl JobError {
         JobError {
             message: message.into(),
             transient: true,
+            cause: FailureCause::Transient,
         }
     }
 
@@ -70,6 +96,16 @@ impl JobError {
         JobError {
             message: message.into(),
             transient: false,
+            cause: FailureCause::Fatal,
+        }
+    }
+
+    /// A caught panic (constructed by the executor itself).
+    fn panic(message: impl Into<String>) -> JobError {
+        JobError {
+            message: message.into(),
+            transient: false,
+            cause: FailureCause::Panic,
         }
     }
 }
@@ -85,6 +121,8 @@ pub enum Outcome<R> {
         error: String,
         /// Attempts consumed.
         attempts: u32,
+        /// What kind of failure ended the job.
+        cause: FailureCause,
     },
     /// An attempt exceeded the wall-clock budget and was abandoned.
     TimedOut {
@@ -161,7 +199,7 @@ where
     match rx.recv_timeout(budget) {
         Ok(Ok(Ok(r))) => Attempt::Success(r),
         Ok(Ok(Err(e))) => Attempt::Error(e),
-        Ok(Err(payload)) => Attempt::Error(JobError::fatal(panic_message(payload))),
+        Ok(Err(payload)) => Attempt::Error(JobError::panic(panic_message(payload))),
         Err(_) => Attempt::Hung,
     }
 }
@@ -229,6 +267,7 @@ where
                             break Outcome::Failed {
                                 error: e.message,
                                 attempts: attempt,
+                                cause: e.cause,
                             }
                         }
                     }
@@ -299,9 +338,14 @@ mod tests {
         );
         assert!(matches!(out[0], Outcome::Done(2)));
         match &out[1] {
-            Outcome::Failed { error, attempts } => {
+            Outcome::Failed {
+                error,
+                attempts,
+                cause,
+            } => {
                 assert!(error.contains("injected failure"), "{error}");
                 assert_eq!(*attempts, 1, "panics are not retried");
+                assert_eq!(*cause, FailureCause::Panic);
             }
             other => panic!("{other:?}"),
         }
@@ -345,9 +389,14 @@ mod tests {
             |_, _| {},
         );
         match &out[0] {
-            Outcome::Failed { error, attempts } => {
+            Outcome::Failed {
+                error,
+                attempts,
+                cause,
+            } => {
                 assert!(error.contains("always flaky"));
                 assert_eq!(*attempts, 3, "initial attempt + 2 retries");
+                assert_eq!(*cause, FailureCause::Transient);
             }
             other => panic!("{other:?}"),
         }
@@ -362,7 +411,12 @@ mod tests {
             |_, _| {},
         );
         match &out[0] {
-            Outcome::Failed { attempts, .. } => assert_eq!(*attempts, 1),
+            Outcome::Failed {
+                attempts, cause, ..
+            } => {
+                assert_eq!(*attempts, 1);
+                assert_eq!(*cause, FailureCause::Fatal);
+            }
             other => panic!("{other:?}"),
         }
     }

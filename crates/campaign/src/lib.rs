@@ -28,7 +28,7 @@ pub mod runner;
 pub mod telemetry;
 
 pub use cache::{CachedTrace, TraceCache};
-pub use executor::{FleetOptions, JobError, Outcome};
+pub use executor::{FailureCause, FleetOptions, JobError, Outcome};
 pub use matrix::{CampaignSpec, JobSpec};
-pub use runner::{run_campaign, CampaignReport, JobOutput, JobRow};
+pub use runner::{run_campaign, run_jobs, CampaignReport, ChaosSummary, JobOutput, JobRow};
 pub use telemetry::Telemetry;

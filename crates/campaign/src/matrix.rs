@@ -59,6 +59,8 @@ pub struct JobSpec {
     pub compute_scale: f64,
     /// Iteration-count override.
     pub iterations: Option<usize>,
+    /// Seeded chaos perturbations to run after verification (0 = off).
+    pub chaos_seeds: usize,
 }
 
 impl JobSpec {
@@ -88,11 +90,15 @@ impl JobSpec {
     }
 
     /// All `key=value` pairs, including generation flags — the job identity.
+    /// `chaos_seeds` lives here (not in [`Self::trace_pairs`]): chaos runs
+    /// re-trace under fault plans but never change the baseline trace, so
+    /// jobs differing only in chaos depth still share a cache entry.
     pub fn config_pairs(&self) -> Vec<(String, String)> {
         let mut pairs = self.trace_pairs();
         pairs.push(("align".into(), self.align.to_string()));
         pairs.push(("resolve".into(), self.resolve.to_string()));
         pairs.push(("comments".into(), self.comments.to_string()));
+        pairs.push(("chaos_seeds".into(), self.chaos_seeds.to_string()));
         pairs
     }
 
@@ -132,6 +138,8 @@ pub struct CampaignSpec {
     pub compute_scale: f64,
     /// Iteration override for every job.
     pub iterations: Option<usize>,
+    /// Chaos perturbation seeds per job (0 = no chaos step).
+    pub chaos_seeds: usize,
     /// Worker threads in the fleet.
     pub workers: usize,
     /// Per-attempt wall-clock budget in seconds.
@@ -152,6 +160,7 @@ impl Default for CampaignSpec {
             comments: false,
             compute_scale: 1.0,
             iterations: None,
+            chaos_seeds: 0,
             workers: 4,
             timeout_secs: 60,
             retries: 1,
@@ -245,6 +254,11 @@ impl CampaignSpec {
                             .map_err(|e| at(format!("bad iterations: {e}")))?,
                     )
                 }
+                "chaos_seeds" => {
+                    spec.chaos_seeds = value
+                        .parse::<usize>()
+                        .map_err(|e| at(format!("bad chaos_seeds: {e}")))?
+                }
                 "workers" => {
                     spec.workers = value
                         .parse::<usize>()
@@ -320,6 +334,7 @@ impl CampaignSpec {
                             comments: self.comments,
                             compute_scale: self.compute_scale,
                             iterations: self.iterations,
+                            chaos_seeds: self.chaos_seeds,
                         });
                     }
                 }
@@ -412,6 +427,21 @@ mod tests {
         other.comments = true;
         assert_eq!(jobs[0].trace_key(), other.trace_key());
         assert_ne!(jobs[0].id(), other.id());
+        // Chaos depth re-traces under fault plans but never changes the
+        // baseline trace, so it must not split the cache either.
+        let mut chaotic = jobs[0].clone();
+        chaotic.chaos_seeds = 8;
+        assert_eq!(jobs[0].trace_key(), chaotic.trace_key());
+        assert_ne!(jobs[0].id(), chaotic.id());
+    }
+
+    #[test]
+    fn chaos_seeds_parse_and_flow_into_jobs() {
+        let spec = CampaignSpec::parse("apps = ring\nranks = 4\nchaos_seeds = 6").unwrap();
+        assert_eq!(spec.chaos_seeds, 6);
+        let (jobs, _) = spec.expand();
+        assert!(jobs.iter().all(|j| j.chaos_seeds == 6));
+        assert!(CampaignSpec::parse("apps = ring\nranks = 4\nchaos_seeds = lots").is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::executor::{self, ExecEvent, FleetOptions, JobError, Outcome};
 use crate::hash;
 use crate::matrix::{CampaignSpec, JobSpec};
 use crate::telemetry::{Telemetry, Value};
+use benchgen::chaos;
 use benchgen::verify::{compare_profiles, expected_profile, profile_of_trace};
 use benchgen::{generate, GenOptions};
 use conceptual::interp::run_rank;
@@ -22,6 +23,27 @@ use std::time::Duration;
 /// Relative byte-volume tolerance for size-averaged routines in the E1
 /// profile comparison (matches the §5.2 experiment binary).
 const VERIFY_TOL: f64 = 0.02;
+
+/// Summary of a job's chaos differential step (see [`benchgen::chaos`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosSummary {
+    /// Fault plans exercised.
+    pub seeds: usize,
+    /// Seeds whose run was fully invariant.
+    pub invariant: usize,
+    /// Seeds with a structured wildcard divergence (legal nondeterminism).
+    pub diverged: usize,
+}
+
+impl std::fmt::Display for ChaosSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.invariant, self.seeds)?;
+        if self.diverged > 0 {
+            write!(f, "+{}d", self.diverged)?;
+        }
+        Ok(())
+    }
+}
 
 /// Measurements from one successful job.
 #[derive(Clone, Debug)]
@@ -41,6 +63,8 @@ pub struct JobOutput {
     pub compression: f64,
     /// E1 verification mismatches (empty = verified).
     pub verify_errors: Vec<String>,
+    /// Chaos differential summary (`None` when `chaos_seeds = 0`).
+    pub chaos: Option<ChaosSummary>,
 }
 
 /// One row of the final report: the job plus its outcome.
@@ -128,14 +152,14 @@ impl std::fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<30} {:>7} {:>12} {:>12} {:>8} {:>8} {:>8}",
-            "job", "cached", "T_app(us)", "T_gen(us)", "err%", "comp", "verify"
+            "{:<30} {:>7} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}",
+            "job", "cached", "T_app(us)", "T_gen(us)", "err%", "comp", "verify", "chaos"
         )?;
         for row in &self.rows {
             match &row.outcome {
                 Outcome::Done(o) => writeln!(
                     f,
-                    "{:<30} {:>7} {:>12.1} {:>12.1} {:>8.2} {:>8.1} {:>8}",
+                    "{:<30} {:>7} {:>12.1} {:>12.1} {:>8.2} {:>8.1} {:>8} {:>8}",
                     row.job.id(),
                     if o.cached { "hit" } else { "miss" },
                     o.t_app.as_usecs_f64(),
@@ -147,11 +171,20 @@ impl std::fmt::Display for CampaignReport {
                     } else {
                         format!("FAIL({})", o.verify_errors.len())
                     },
+                    match &o.chaos {
+                        Some(c) => c.to_string(),
+                        None => "-".to_string(),
+                    },
                 )?,
-                Outcome::Failed { error, attempts } => writeln!(
+                Outcome::Failed {
+                    error,
+                    attempts,
+                    cause,
+                } => writeln!(
                     f,
-                    "{:<30} FAILED after {} attempt(s): {}",
+                    "{:<30} FAILED ({}) after {} attempt(s): {}",
                     row.job.id(),
+                    cause.label(),
                     attempts,
                     error.lines().next().unwrap_or(""),
                 )?,
@@ -299,7 +332,51 @@ fn run_one(
         VERIFY_TOL,
     );
 
-    // 5. Metrics.
+    // 5. Chaos differential (optional): re-run under seeded fault plans
+    //    and check the timing-independent invariants. Hard violations
+    //    (profile drift, failed runs, failed generation) fail the job;
+    //    benchmark divergences are recorded per seed in telemetry.
+    let chaos_summary = if job.chaos_seeds > 0 {
+        let params = params_of(job);
+        let run = app.run;
+        let plans = chaos::differential_plans(job.chaos_seeds, job.ranks);
+        let report = chaos::differential(
+            &trace,
+            job.ranks,
+            model_of(&job.network),
+            move |ctx| run(ctx, &params),
+            &plans,
+        )
+        .map_err(|e| JobError::fatal(format!("chaos baseline failed: {e}")))?;
+        for o in &report.outcomes {
+            telemetry.emit(
+                "chaos",
+                &[
+                    ("job", job.id().into()),
+                    ("seed", Value::U(o.seed)),
+                    ("verdict", o.verdict.label().into()),
+                    ("detail", o.verdict.detail().into()),
+                ],
+            );
+        }
+        if !report.passed() {
+            let first = &report.violations()[0];
+            return Err(JobError::fatal(format!(
+                "chaos invariant violated ({report}); seed {}: {}",
+                first.seed,
+                first.verdict.detail()
+            )));
+        }
+        Some(ChaosSummary {
+            seeds: report.outcomes.len(),
+            invariant: report.invariant(),
+            diverged: report.divergences().len(),
+        })
+    } else {
+        None
+    };
+
+    // 6. Metrics.
     let err_pct = if t_app.as_nanos() == 0 {
         0.0
     } else {
@@ -315,6 +392,7 @@ fn run_one(
         err_pct,
         compression,
         verify_errors,
+        chaos: chaos_summary,
     })
 }
 
@@ -336,6 +414,24 @@ pub fn run_campaign(
     telemetry: Telemetry,
 ) -> CampaignReport {
     let (jobs, skipped) = spec.expand();
+    let fleet = FleetOptions {
+        workers: spec.workers,
+        timeout: Duration::from_secs(spec.timeout_secs),
+        retries: spec.retries,
+        ..FleetOptions::default()
+    };
+    run_jobs(jobs, skipped, &fleet, cache, telemetry)
+}
+
+/// Run an explicit job list on the fleet (the matrix-free entry point used
+/// by `commbench chaos`, which builds its own jobs over the registry).
+pub fn run_jobs(
+    jobs: Vec<JobSpec>,
+    skipped: Vec<String>,
+    fleet: &FleetOptions,
+    cache: TraceCache,
+    telemetry: Telemetry,
+) -> CampaignReport {
     let telemetry = Arc::new(telemetry);
     for s in &skipped {
         telemetry.emit("skipped", &[("reason", s.as_str().into())]);
@@ -344,19 +440,13 @@ pub fn run_campaign(
         telemetry.emit("queued", &job_fields(job));
     }
 
-    let fleet = FleetOptions {
-        workers: spec.workers,
-        timeout: Duration::from_secs(spec.timeout_secs),
-        retries: spec.retries,
-        ..FleetOptions::default()
-    };
     let jobs_for_observer = jobs.clone();
     let cache = Arc::new(cache);
     let tele_work = Arc::clone(&telemetry);
     let cache_work = Arc::clone(&cache);
     let outcomes = executor::run_fleet(
         jobs.clone(),
-        &fleet,
+        fleet,
         move |job: &JobSpec, attempt| run_one(job, attempt, &cache_work, &tele_work),
         |index, event| {
             let job = &jobs_for_observer[index];
@@ -377,13 +467,14 @@ pub fn run_campaign(
                     &[
                         ("job", job.id().into()),
                         ("attempt", Value::U(attempt as u64)),
+                        ("cause", "transient".into()),
                         ("error", error.into()),
                         ("delay_ms", Value::U(delay.as_millis() as u64)),
                     ],
                 ),
                 ExecEvent::Finished { outcome, wall } => {
                     let mut fields = vec![("job", Value::from(job.id()))];
-                    match outcome {
+                    let failed = match outcome {
                         Outcome::Done(o) => {
                             fields.push(("status", "ok".into()));
                             fields.push(("cached", Value::B(o.cached)));
@@ -393,20 +484,39 @@ pub fn run_campaign(
                             fields.push(("err_pct", Value::F(o.err_pct)));
                             fields.push(("compression", Value::F(o.compression)));
                             fields.push(("verify_errors", Value::U(o.verify_errors.len() as u64)));
+                            if let Some(c) = &o.chaos {
+                                fields.push(("chaos_seeds", Value::U(c.seeds as u64)));
+                                fields.push(("chaos_invariant", Value::U(c.invariant as u64)));
+                                fields.push(("chaos_diverged", Value::U(c.diverged as u64)));
+                            }
+                            false
                         }
-                        Outcome::Failed { error, attempts } => {
+                        Outcome::Failed {
+                            error,
+                            attempts,
+                            cause,
+                        } => {
                             fields.push(("status", "failed".into()));
+                            fields.push(("cause", cause.label().into()));
                             fields.push(("error", error.as_str().into()));
                             fields.push(("attempts", Value::U(*attempts as u64)));
+                            true
                         }
                         Outcome::TimedOut { budget, attempts } => {
                             fields.push(("status", "timeout".into()));
                             fields.push(("budget_ms", Value::U(budget.as_millis() as u64)));
                             fields.push(("attempts", Value::U(*attempts as u64)));
+                            true
                         }
-                    }
+                    };
                     fields.push(("wall_ms", Value::U(wall.as_millis() as u64)));
                     telemetry.emit("finished", &fields);
+                    if failed {
+                        // The worker is about to return from a caught panic
+                        // (or give up on the job): make sure the log hit disk
+                        // while the process is still guaranteed alive.
+                        telemetry.flush();
+                    }
                 }
             }
         },
@@ -500,6 +610,32 @@ mod tests {
         let report = run_campaign(&spec(matrix), cache, Telemetry::sink());
         assert_eq!(report.timed_out(), 1);
         assert_eq!(report.ok(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_step_runs_and_is_summarised_in_the_report() {
+        let dir = temp_dir("chaos");
+        let matrix = "
+            apps = ring
+            ranks = 4
+            networks = bgl
+            iterations = 3
+            chaos_seeds = 2
+            workers = 1
+        ";
+        let cache = TraceCache::open(&dir).unwrap();
+        let report = run_campaign(&spec(matrix), cache, Telemetry::sink());
+        assert_eq!(report.ok(), 1, "{report}");
+        match &report.rows[0].outcome {
+            Outcome::Done(o) => {
+                let chaos = o.chaos.expect("chaos step ran");
+                assert_eq!(chaos.seeds, 2);
+                assert_eq!(chaos.invariant + chaos.diverged, 2, "{chaos}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(report.to_string().contains("chaos"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -119,6 +119,15 @@ impl Telemetry {
         let _ = writeln!(out, "{line}");
         let _ = out.flush();
     }
+
+    /// Force-flush the underlying writer. Workers call this before
+    /// returning from a caught panic so that a crashing campaign process
+    /// still leaves every event it witnessed on disk.
+    pub fn flush(&self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +187,16 @@ mod tests {
         assert!(text.contains("panic: \\\"boom\\\"\\nline2\\ttab\\\\"));
         assert!(text.contains("\"err_pct\":null"));
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn flush_is_safe_and_idempotent() {
+        let (t, buf) = capture();
+        t.emit("queued", &[]);
+        t.flush();
+        t.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod align;
+pub mod chaos;
 pub mod codegen;
 pub mod collectives;
 pub mod rebuild;
@@ -58,6 +59,7 @@ use mpisim::time::SimDuration;
 use scalatrace::trace::Trace;
 
 pub use align::align_collectives;
+pub use chaos::{differential_plans, ChaosOutcome, ChaosReport, ChaosVerdict};
 pub use codegen::{program_of, CTextGenerator, CodeGenerator, ConceptualGenerator};
 pub use wildcard::{resolve_wildcards, WildcardOutcome};
 

@@ -1,0 +1,106 @@
+//! Chaos differential properties: wildcard resolution (Algorithm 2) must be
+//! invariant under seeded *legal* delivery reorderings — the exact
+//! nondeterminism the paper says the generated benchmark has to absorb.
+//!
+//! A reorder-only fault plan permutes which in-flight message a wildcard
+//! receive matches, but never what the application sends or receives, so
+//! the resolved canonical benchmark (COMPUTE suppressed, header stripped)
+//! must come out bit-identical.
+
+use benchgen::chaos::{differential, differential_plans, ChaosVerdict};
+use miniapps::{registry, AppParams, Class};
+use mpisim::faults::FaultPlan;
+use mpisim::network;
+use mpisim::types::{Src, TagSel};
+use proptest::prelude::*;
+use scalatrace::trace_app;
+
+const RANKS: usize = 4;
+
+fn params() -> AppParams {
+    AppParams {
+        class: Class::S,
+        iterations: Some(2),
+        compute_scale: 1.0,
+    }
+}
+
+/// Run `app` under `plans` and return the per-seed verdicts.
+fn verdicts_of(app: &str, plans: &[FaultPlan]) -> Vec<ChaosVerdict> {
+    let entry = registry::lookup(app).expect("registry app");
+    let run = entry.run;
+    let p = params();
+    let baseline =
+        trace_app(RANKS, network::blue_gene_l(), move |ctx| run(ctx, &p)).expect("baseline traces");
+    let p = params();
+    let report = differential(
+        &baseline.trace,
+        RANKS,
+        network::blue_gene_l(),
+        move |ctx| run(ctx, &p),
+        plans,
+    )
+    .expect("baseline generates");
+    report.outcomes.into_iter().map(|o| o.verdict).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Reorder-only plans on lu (the registry app with ANY_SOURCE receives):
+    /// the resolved benchmark must be *identical*, not merely equivalent —
+    /// Algorithm 2 resolves from the trace, and a legal reordering cannot
+    /// change the trace of an app that never branches on message metadata.
+    #[test]
+    fn lu_resolution_is_invariant_under_reordering(seed in 0u64..10_000) {
+        let plans = vec![FaultPlan::seeded(seed).with_reorder()];
+        for v in verdicts_of("lu", &plans) {
+            prop_assert_eq!(v, ChaosVerdict::Invariant);
+        }
+    }
+
+    /// The same holds for a synthetic fan-in that funnels every rank's
+    /// messages through wildcard receives on rank 0 under full differential
+    /// plans (jitter + skew + reorder + slow + stall).
+    #[test]
+    fn wildcard_fan_in_is_invariant_under_differential_plans(seed in 0u64..10_000) {
+        let fan_in = |ctx: &mut mpisim::Ctx| {
+            let w = ctx.world();
+            let me = ctx.rank();
+            for round in 0..3 {
+                if me == 0 {
+                    for _ in 1..ctx.size() {
+                        let _ = ctx.recv(Src::Any, TagSel::Is(round), 128, &w);
+                    }
+                } else {
+                    ctx.send(0, round, 128, &w);
+                }
+                ctx.barrier(&w);
+            }
+            ctx.finalize();
+        };
+        let baseline = trace_app(RANKS, network::blue_gene_l(), fan_in).unwrap();
+        let report = differential(
+            &baseline.trace,
+            RANKS,
+            network::blue_gene_l(),
+            fan_in,
+            &[FaultPlan::differential(seed, RANKS)],
+        )
+        .unwrap();
+        for o in report.outcomes {
+            prop_assert_eq!(o.verdict, ChaosVerdict::Invariant);
+        }
+    }
+}
+
+/// Full differential plans over the wildcard-bearing registry app: the
+/// hard invariants hold for every standard seed.
+#[test]
+fn lu_passes_the_standard_differential_battery() {
+    let verdicts = verdicts_of("lu", &differential_plans(6, RANKS));
+    assert_eq!(verdicts.len(), 6);
+    for v in verdicts {
+        assert!(!v.is_violation(), "{}: {}", v.label(), v.detail());
+    }
+}

@@ -19,7 +19,10 @@ use std::sync::mpsc::{Receiver, Sender};
 
 /// Panic payload used for quiet teardown when the engine aborts a run; the
 /// panic hook installed by [`crate::world::World`] suppresses its output.
-pub struct SimAbort;
+/// Carries the fatal error the engine broadcast, when there was one (e.g.
+/// [`SimError::RankFailed`] for an injected crash), `None` when the engine
+/// side of the channel simply disappeared.
+pub struct SimAbort(pub Option<SimError>);
 
 /// Per-rank execution context.
 pub struct Ctx {
@@ -431,10 +434,11 @@ impl Ctx {
             })
             .is_err()
         {
-            std::panic::panic_any(SimAbort);
+            std::panic::panic_any(SimAbort(None));
         }
         match self.reply_rx.recv() {
-            Ok(Reply::Fatal(_)) | Err(_) => std::panic::panic_any(SimAbort),
+            Ok(Reply::Fatal(err)) => std::panic::panic_any(SimAbort(Some(err))),
+            Err(_) => std::panic::panic_any(SimAbort(None)),
             Ok(reply) => reply,
         }
     }

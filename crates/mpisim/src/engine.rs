@@ -30,7 +30,8 @@
 //! posted. These mechanisms are what produce the paper's Figure 7 upturn.
 
 use crate::comm::{split_groups, Comm, CommId};
-use crate::error::{BlockedOn, SimError};
+use crate::error::{BlockedOn, Budget, SimError};
+use crate::faults::FaultPlan;
 use crate::network::NetworkModel;
 use crate::time::{SimDuration, SimTime};
 use crate::types::{CollKind, Fnv1a, MsgInfo, Rank, Src, Tag, TagSel};
@@ -133,8 +134,9 @@ pub(crate) enum Reply {
         clock: SimTime,
         comm: Comm,
     },
-    // The payload is for diagnostics (Debug); rank threads abort regardless.
-    Fatal(#[allow(dead_code)] SimError),
+    /// The run is over for this rank; the payload rides the `SimAbort`
+    /// panic so callers of partial-run entry points can see the cause.
+    Fatal(SimError),
 }
 
 // ---------------------------------------------------------------------------
@@ -148,6 +150,9 @@ struct ReqState {
     /// Receive status, once matched.
     info: Option<MsgInfo>,
     is_recv: bool,
+    /// The remote rank this request cannot complete without (`None` for an
+    /// unmatched wildcard receive); feeds deadlock wait-for edges.
+    peer: Option<Rank>,
 }
 
 #[derive(Debug)]
@@ -244,6 +249,16 @@ pub(crate) struct Engine {
     pub(crate) stats: EngineStats,
     /// Set when a reply was sent in the current scheduling round (progress).
     progressed: bool,
+
+    /// Injected fault plan (validated by the world before the run starts).
+    faults: Option<Arc<FaultPlan>>,
+    /// Per-rank count of operations issued (drives crash triggers).
+    ops_issued: Vec<u64>,
+    /// Ranks killed by the fault plan: `(rank, ops completed before death)`.
+    failed: Vec<(Rank, u64)>,
+    /// Deterministic livelock cut-offs (see [`SimError::BudgetExceeded`]).
+    op_budget: Option<u64>,
+    time_budget: Option<SimTime>,
 }
 
 impl Engine {
@@ -283,7 +298,23 @@ impl Engine {
             coll_seq: (0..n).map(|_| HashMap::new()).collect(),
             stats: EngineStats::default(),
             progressed: false,
+            faults: None,
+            ops_issued: vec![0; n],
+            failed: Vec::new(),
+            op_budget: None,
+            time_budget: None,
         }
+    }
+
+    /// Install a (pre-validated) fault plan.
+    pub(crate) fn set_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Install deterministic livelock cut-offs.
+    pub(crate) fn set_budgets(&mut self, ops: Option<u64>, time: Option<SimTime>) {
+        self.op_budget = ops;
+        self.time_budget = time;
     }
 
     /// Run the scheduler to completion.
@@ -310,7 +341,7 @@ impl Engine {
                 });
             }
             if self.live == 0 {
-                return Ok(());
+                return self.final_verdict(Vec::new());
             }
 
             // Phase 2: issue new operations, lowest virtual clock first.
@@ -330,10 +361,28 @@ impl Engine {
             self.complete_ready_waits();
 
             if !self.progressed && self.running == 0 && self.live > 0 {
-                let err = SimError::Deadlock(self.describe_blocked());
+                let err = match self.final_verdict(self.describe_blocked()) {
+                    // No injected failure: a genuine application deadlock.
+                    Ok(()) => SimError::Deadlock(self.describe_blocked()),
+                    Err(e) => e,
+                };
                 self.broadcast_fatal(&err);
                 return Err(err);
             }
+        }
+    }
+
+    /// The run can go no further: report success, or — if the fault plan
+    /// killed a rank — a structured [`SimError::RankFailed`] carrying
+    /// whatever survivors are still blocked on the dead rank.
+    fn final_verdict(&self, blocked: Vec<BlockedOn>) -> Result<(), SimError> {
+        match self.failed.first() {
+            None => Ok(()),
+            Some(&(rank, after_ops)) => Err(SimError::RankFailed {
+                rank,
+                after_ops,
+                blocked,
+            }),
         }
     }
 
@@ -354,8 +403,46 @@ impl Engine {
         // Take the op out to appease the borrow checker; blocked ops are put
         // back by the handlers below.
         let op = std::mem::replace(&mut self.pending[rank].as_mut().unwrap().op, Op::Exited);
+        if !matches!(op, Op::Exited | Op::Panicked(_)) {
+            if let Some(limit) = self.op_budget {
+                if self.stats.operations > limit {
+                    return Err(SimError::BudgetExceeded {
+                        budget: Budget::Operations,
+                        limit,
+                        observed: self.stats.operations,
+                        rank,
+                    });
+                }
+            }
+            if let Some(limit) = self.time_budget {
+                if self.clocks[rank] > limit {
+                    return Err(SimError::BudgetExceeded {
+                        budget: Budget::VirtualTimeNanos,
+                        limit: limit.as_nanos(),
+                        observed: self.clocks[rank].as_nanos(),
+                        rank,
+                    });
+                }
+            }
+            if let Some(plan) = self.faults.clone() {
+                if let Some(until) = plan.stall_until(rank, self.clocks[rank]) {
+                    self.clocks[rank] = until;
+                }
+                self.ops_issued[rank] += 1;
+                if let Some(after) = plan.crash_after(rank) {
+                    if self.ops_issued[rank] > after {
+                        self.crash_rank(rank, after);
+                        return Ok(());
+                    }
+                }
+            }
+        }
         match op {
             Op::Compute(d) => {
+                let d = match &self.faults {
+                    Some(plan) => d.scale(plan.slow_factor(rank)),
+                    None => d,
+                };
                 self.clocks[rank] += d;
                 self.reply(rank, Reply::Time(self.clocks[rank]));
             }
@@ -435,6 +522,27 @@ impl Engine {
         Ok(())
     }
 
+    /// Kill `rank` per the fault plan: it dies *before* the operation it was
+    /// about to issue takes effect. The reply bypasses [`Engine::reply`] —
+    /// the rank will never run user code again, so it must not be counted as
+    /// running — and the thread unwinds via `SimAbort`, letting the world
+    /// recover its hooks (partial trace) after `catch_unwind`.
+    fn crash_rank(&mut self, rank: Rank, after_ops: u64) {
+        let err = SimError::RankFailed {
+            rank,
+            after_ops,
+            blocked: Vec::new(),
+        };
+        let _ = self.reply_tx[rank].send(Reply::Fatal(err));
+        self.finished[rank] = true;
+        self.live -= 1;
+        self.pending[rank] = None;
+        self.failed.push((rank, after_ops));
+        // Messages the dead rank already sent stay in flight (survivors may
+        // still match them); its posted receives go stale harmlessly.
+        self.progressed = true;
+    }
+
     fn check_member(&self, abs: Rank, comm: CommId) -> Result<(), SimError> {
         let data = &self.comms[comm as usize];
         if data.members.contains(&abs) {
@@ -452,7 +560,7 @@ impl Engine {
 
     fn issue_isend(&mut self, src: Rank, dst: Rank, tag: Tag, bytes: u64, comm: CommId) -> u64 {
         self.clocks[src] += self.model.send_overhead(bytes);
-        let handle = self.alloc_req(src, false);
+        let handle = self.alloc_req(src, false, Some(dst));
         let id = self.next_msg;
         self.next_msg += 1;
         let dst_seq = self.next_dst_seq[dst];
@@ -502,7 +610,11 @@ impl Engine {
     }
 
     fn issue_irecv(&mut self, dst: Rank, from: Src, tag: TagSel, _bytes: u64, comm: CommId) -> u64 {
-        let handle = self.alloc_req(dst, true);
+        let peer = match from {
+            Src::Rank(s) => Some(s),
+            Src::Any => None,
+        };
+        let handle = self.alloc_req(dst, true, peer);
         let recv = PostedRecv {
             req: handle,
             rank: dst,
@@ -550,19 +662,39 @@ impl Engine {
         if best_per_src.is_empty() {
             return None;
         }
+        // An injected reorder plan overrides the match policy: it perturbs
+        // only the choice *among senders*, which MPI leaves unspecified —
+        // the per-sender earliest-first rule above is untouched, so
+        // non-overtaking holds by construction.
+        let reorder = self.faults.as_ref().filter(|p| p.reorder).map(Arc::clone);
         let pick = best_per_src
             .iter()
-            .min_by_key(|(&src, &(seq, id))| match self.policy {
-                MatchPolicy::ByArrival => (seq, src as u64, 0),
-                MatchPolicy::BySenderRank => (src as u64, seq, 0),
-                MatchPolicy::Seeded(seed) => {
-                    let mut h = Fnv1a::new();
-                    h.write_u64(seed);
-                    h.write_u64(id);
-                    (h.finish(), src as u64, seq)
-                }
+            .min_by_key(|(&src, &(seq, id))| match &reorder {
+                Some(plan) => (plan.reorder_key(id), src as u64, seq),
+                None => match self.policy {
+                    MatchPolicy::ByArrival => (seq, src as u64, 0),
+                    MatchPolicy::BySenderRank => (src as u64, seq, 0),
+                    MatchPolicy::Seeded(seed) => {
+                        let mut h = Fnv1a::new();
+                        h.write_u64(seed);
+                        h.write_u64(id);
+                        (h.finish(), src as u64, seq)
+                    }
+                },
             });
         pick.map(|(_, &(_, id))| id)
+    }
+
+    /// Wire time for message `msg_id`, jittered by the fault plan if one is
+    /// installed. Factors are always ≥ 1, so a later message on the same
+    /// `(src, dst, comm, tag)` channel can be delayed but never pulled ahead
+    /// of an earlier one — and matching order ignores arrival times anyway.
+    fn transit(&self, msg_id: u64, src: Rank, dst: Rank, bytes: u64) -> SimDuration {
+        let base = self.model.transit(src, dst, bytes);
+        match &self.faults {
+            Some(plan) if plan.latency_jitter > 0.0 => base.scale(plan.jitter_factor(msg_id)),
+            _ => base,
+        }
     }
 
     /// Sender found a posted receive at issue time: the message flows
@@ -573,12 +705,12 @@ impl Engine {
             (m.src, m.dst, m.bytes, m.eager, m.ready)
         };
         let arrive = if eager {
-            ready + self.model.transit(src, dst, bytes)
+            ready + self.transit(msg_id, src, dst, bytes)
         } else {
             // Rendezvous with the receive already posted: handshake then
             // transfer, gated by how far the receiver has progressed.
             let start = ready.max(recv.post_time);
-            start + self.model.transit(src, dst, bytes)
+            start + self.transit(msg_id, src, dst, bytes)
         };
         self.finish_match(msg_id, recv, arrive);
     }
@@ -603,14 +735,14 @@ impl Engine {
             self.stalled[dst].retain(|&i| i != msg_id);
             let backlog = (1 + self.stalled[dst].len() as u64).min(16);
             let inject = ready.max(recv.post_time) + self.model.stall_resume_penalty() * backlog;
-            let arrive = inject + self.model.transit(src, dst, bytes);
+            let arrive = inject + self.transit(msg_id, src, dst, bytes);
             self.finish_match(msg_id, recv, arrive);
         } else {
             // Rendezvous header: start the transfer.
             self.rndv[dst].retain(|&i| i != msg_id);
-            let hdr_arrive = ready + self.model.transit(src, dst, 0);
+            let hdr_arrive = ready + self.transit(msg_id, src, dst, 0);
             let start = hdr_arrive.max(recv.post_time);
-            let arrive = start + self.model.transit(src, dst, bytes);
+            let arrive = start + self.transit(msg_id, src, dst, bytes);
             self.finish_match(msg_id, recv, arrive);
         }
     }
@@ -641,7 +773,7 @@ impl Engine {
             let m = &self.msgs[&msg_id];
             (m.src, m.dst, m.bytes, m.sender_req)
         };
-        let arrive = inject + self.model.transit(src, dst, bytes);
+        let arrive = inject + self.transit(msg_id, src, dst, bytes);
         self.msgs.get_mut(&msg_id).unwrap().arrive = Some(arrive);
         self.unexpected[dst].push(msg_id);
         self.unexp_bytes[dst] += bytes;
@@ -848,7 +980,7 @@ impl Engine {
 
     // -- plumbing ---------------------------------------------------------------
 
-    fn alloc_req(&mut self, rank: Rank, is_recv: bool) -> u64 {
+    fn alloc_req(&mut self, rank: Rank, is_recv: bool, peer: Option<Rank>) -> u64 {
         let h = self.next_req[rank];
         self.next_req[rank] += 1;
         self.reqs[rank].insert(
@@ -857,6 +989,7 @@ impl Engine {
                 complete: None,
                 info: None,
                 is_recv,
+                peer,
             },
         );
         h
@@ -882,7 +1015,7 @@ impl Engine {
         let mut out = Vec::new();
         for r in 0..self.n {
             let Some(p) = &self.pending[r] else { continue };
-            let what = match &p.op {
+            let (what, mut waiting_on) = match &p.op {
                 Op::Wait { reqs } => {
                     let parts: Vec<String> = reqs
                         .iter()
@@ -893,33 +1026,47 @@ impl Engine {
                             None => format!("req{h}(?)"),
                         })
                         .collect();
-                    format!("MPI_Wait[{}]", parts.join(", "))
+                    // Wait-for edge: the peers of every incomplete request.
+                    // An unmatched wildcard has no known peer and adds none.
+                    let peers: Vec<Rank> = reqs
+                        .iter()
+                        .filter_map(|h| self.reqs[r].get(h))
+                        .filter(|rs| rs.complete.is_none())
+                        .filter_map(|rs| rs.peer)
+                        .collect();
+                    (format!("MPI_Wait[{}]", parts.join(", ")), peers)
                 }
                 Op::Coll { kind, comm, .. } => {
-                    let arrived = self
-                        .coll_slots
-                        .get(comm)
-                        .and_then(|slots| {
-                            let seq = self.coll_seq[r]
-                                .get(comm)
-                                .copied()
-                                .unwrap_or(1)
-                                .saturating_sub(1);
-                            slots
-                                .iter()
-                                .find(|s| s.seq == seq)
-                                .map(|s| s.arrivals.len())
-                        })
-                        .unwrap_or(0);
-                    let size = self.comms[*comm as usize].members.len();
-                    format!("{kind}(comm {comm}, {arrived}/{size} arrived)")
+                    let slot = self.coll_slots.get(comm).and_then(|slots| {
+                        let seq = self.coll_seq[r]
+                            .get(comm)
+                            .copied()
+                            .unwrap_or(1)
+                            .saturating_sub(1);
+                        slots.iter().find(|s| s.seq == seq)
+                    });
+                    let arrived = slot.map(|s| s.arrivals.len()).unwrap_or(0);
+                    let members = &self.comms[*comm as usize].members;
+                    // Wait-for edge: the members that have not arrived yet.
+                    let stragglers: Vec<Rank> = members
+                        .iter()
+                        .copied()
+                        .filter(|m| slot.map(|s| !s.arrivals.contains_key(m)).unwrap_or(false))
+                        .collect();
+                    (
+                        format!("{kind}(comm {comm}, {arrived}/{} arrived)", members.len()),
+                        stragglers,
+                    )
                 }
-                other => format!("{other:?}"),
+                other => (format!("{other:?}"), Vec::new()),
             };
+            waiting_on.sort_unstable();
+            waiting_on.dedup();
             out.push(BlockedOn {
                 rank: r,
                 clock: self.clocks[r],
                 what,
+                waiting_on,
             });
         }
         out

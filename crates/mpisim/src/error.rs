@@ -14,6 +14,10 @@ pub struct BlockedOn {
     /// Human-readable description of the blocking operation, e.g.
     /// `"MPI_Recv(src=0, tag=1)"` or `"MPI_Barrier(comm 0, 3/4 arrived)"`.
     pub what: String,
+    /// The wait-for edge: which ranks this rank cannot proceed without
+    /// (peers of its incomplete requests, or collective stragglers). Empty
+    /// when the peer set is unknown (e.g. an unmatched wildcard receive).
+    pub waiting_on: Vec<Rank>,
 }
 
 impl fmt::Display for BlockedOn {
@@ -22,7 +26,30 @@ impl fmt::Display for BlockedOn {
             f,
             "rank {} @ {}: blocked on {}",
             self.rank, self.clock, self.what
-        )
+        )?;
+        if !self.waiting_on.is_empty() {
+            let peers: Vec<String> = self.waiting_on.iter().map(|r| r.to_string()).collect();
+            write!(f, " (waiting on rank(s) {})", peers.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Which resource a [`SimError::BudgetExceeded`] budget bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Budget {
+    /// Total MPI-level operations issued across all ranks.
+    Operations,
+    /// Any single rank's virtual clock, in nanoseconds.
+    VirtualTimeNanos,
+}
+
+impl fmt::Display for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Budget::Operations => write!(f, "operation budget"),
+            Budget::VirtualTimeNanos => write!(f, "virtual-time budget"),
+        }
     }
 }
 
@@ -69,6 +96,35 @@ pub enum SimError {
         /// How many requests were incomplete.
         count: usize,
     },
+    /// A rank was killed by an injected fault plan
+    /// ([`crate::faults::FaultPlan::crash_rank`]). The run degraded into a
+    /// partial execution: every other rank ran until it completed or blocked
+    /// on the dead rank, and any installed hooks (tracers, profilers) retain
+    /// what was observed up to that point.
+    RankFailed {
+        /// The crashed rank.
+        rank: Rank,
+        /// MPI-level operations the rank completed before dying.
+        after_ops: u64,
+        /// Survivors left blocked by the crash (empty if all completed).
+        blocked: Vec<BlockedOn>,
+    },
+    /// A deterministic resource budget was exhausted before the application
+    /// completed — the virtual-time analogue of a watchdog timeout, used to
+    /// cut off livelocks reproducibly.
+    BudgetExceeded {
+        /// Which budget ran out.
+        budget: Budget,
+        /// The configured limit.
+        limit: u64,
+        /// The value that crossed it.
+        observed: u64,
+        /// The rank whose operation crossed the limit.
+        rank: Rank,
+    },
+    /// A fault plan failed [`crate::faults::FaultPlan::validate`]; the run
+    /// was refused before any rank was spawned.
+    InvalidFaultPlan(String),
 }
 
 impl fmt::Display for SimError {
@@ -101,6 +157,33 @@ impl fmt::Display for SimError {
             SimError::DanglingRequests { rank, count } => {
                 write!(f, "rank {rank} exited with {count} incomplete request(s)")
             }
+            SimError::RankFailed {
+                rank,
+                after_ops,
+                blocked,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} failed (injected crash after {after_ops} operation(s))"
+                )?;
+                if !blocked.is_empty() {
+                    writeln!(f, "; survivors left blocked:")?;
+                    for b in blocked {
+                        writeln!(f, "  {b}")?;
+                    }
+                }
+                Ok(())
+            }
+            SimError::BudgetExceeded {
+                budget,
+                limit,
+                observed,
+                rank,
+            } => write!(
+                f,
+                "{budget} exceeded at rank {rank}: observed {observed}, limit {limit}"
+            ),
+            SimError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
         }
     }
 }
@@ -118,17 +201,60 @@ mod tests {
                 rank: 0,
                 clock: SimTime::from_nanos(100),
                 what: "MPI_Recv(src=1)".into(),
+                waiting_on: vec![1],
             },
             BlockedOn {
                 rank: 1,
                 clock: SimTime::from_nanos(200),
                 what: "MPI_Recv(src=0)".into(),
+                waiting_on: vec![0],
             },
         ]);
         let s = err.to_string();
         assert!(s.contains("rank 0"));
         assert!(s.contains("rank 1"));
         assert!(s.contains("MPI_Recv(src=0)"));
+        assert!(s.contains("(waiting on rank(s) 0)"), "{s}");
+    }
+
+    #[test]
+    fn blocked_without_known_peers_omits_wait_for_edge() {
+        let b = BlockedOn {
+            rank: 2,
+            clock: SimTime::ZERO,
+            what: "MPI_Recv(src=ANY)".into(),
+            waiting_on: vec![],
+        };
+        assert!(!b.to_string().contains("waiting on"));
+    }
+
+    #[test]
+    fn rank_failed_and_budget_display() {
+        let err = SimError::RankFailed {
+            rank: 3,
+            after_ops: 17,
+            blocked: vec![BlockedOn {
+                rank: 1,
+                clock: SimTime::from_nanos(5),
+                what: "MPI_Recv(src=3)".into(),
+                waiting_on: vec![3],
+            }],
+        };
+        let s = err.to_string();
+        assert!(s.contains("rank 3 failed"));
+        assert!(s.contains("after 17 operation(s)"));
+        assert!(s.contains("MPI_Recv(src=3)"));
+
+        let err = SimError::BudgetExceeded {
+            budget: Budget::Operations,
+            limit: 100,
+            observed: 101,
+            rank: 0,
+        };
+        assert!(err.to_string().contains("operation budget exceeded"));
+        assert!(SimError::InvalidFaultPlan("bad".into())
+            .to_string()
+            .contains("invalid fault plan: bad"));
     }
 
     #[test]

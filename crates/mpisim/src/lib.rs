@@ -26,7 +26,14 @@
 //!   implemented as hooks.
 //! * **Runtime deadlock detection** — if no rank can make progress the run
 //!   aborts with a diagnostic ([`error::SimError::Deadlock`]) listing each
-//!   rank's blocked operation.
+//!   rank's blocked operation and the wait-for edge (which ranks it was
+//!   blocked on).
+//! * **Fault injection** — a seed-reproducible [`faults::FaultPlan`] can
+//!   jitter and skew latencies, legally reorder wildcard matches, slow or
+//!   stall ranks, and crash ranks mid-run; a crash degrades gracefully into
+//!   a partial run with [`error::SimError::RankFailed`] diagnostics.
+//!   Deterministic op-count / virtual-time budgets
+//!   ([`error::SimError::BudgetExceeded`]) cut off livelocks reproducibly.
 //!
 //! ## Example
 //!
@@ -54,6 +61,7 @@ pub mod comm;
 pub mod ctx;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod hooks;
 pub mod network;
 pub mod profile;
@@ -63,5 +71,6 @@ pub mod world;
 
 pub use ctx::Ctx;
 pub use error::SimError;
+pub use faults::FaultPlan;
 pub use time::{SimDuration, SimTime};
 pub use world::{RunReport, World};

@@ -321,6 +321,70 @@ pub fn ideal() -> Arc<dyn NetworkModel> {
     Arc::new(IdealNetwork)
 }
 
+/// A decorator scaling an inner model's wire time by a fixed per-link
+/// factor in `[1, 1+skew]`, keyed by `(seed, src, dst)` — the network-level
+/// half of a [`crate::faults::FaultPlan`]'s latency perturbation. The
+/// factor is a pure function of its arguments (no mutable state), so the
+/// determinism contract of [`NetworkModel`] is preserved; and because every
+/// factor is ≥ 1 and constant per link, relative message order within one
+/// `(src, dst, comm, tag)` channel is untouched.
+pub struct SkewedNetwork {
+    inner: Arc<dyn NetworkModel>,
+    seed: u64,
+    skew: f64,
+    name: String,
+}
+
+impl NetworkModel for SkewedNetwork {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn send_overhead(&self, bytes: u64) -> SimDuration {
+        self.inner.send_overhead(bytes)
+    }
+
+    fn recv_overhead(&self, bytes: u64) -> SimDuration {
+        self.inner.recv_overhead(bytes)
+    }
+
+    fn transit(&self, src: Rank, dst: Rank, bytes: u64) -> SimDuration {
+        let factor = crate::faults::skew_factor_of(self.seed, self.skew, src, dst);
+        self.inner.transit(src, dst, bytes).scale(factor)
+    }
+
+    fn eager_limit(&self) -> u64 {
+        self.inner.eager_limit()
+    }
+
+    fn unexpected_copy(&self, bytes: u64) -> SimDuration {
+        self.inner.unexpected_copy(bytes)
+    }
+
+    fn unexpected_capacity(&self) -> u64 {
+        self.inner.unexpected_capacity()
+    }
+
+    fn stall_resume_penalty(&self) -> SimDuration {
+        self.inner.stall_resume_penalty()
+    }
+
+    fn collective(&self, kind: CollKind, participants: usize, total_bytes: u64) -> SimDuration {
+        self.inner.collective(kind, participants, total_bytes)
+    }
+}
+
+/// Wrap `inner` with per-link latency skew (see [`SkewedNetwork`]).
+pub fn skewed(inner: Arc<dyn NetworkModel>, seed: u64, skew: f64) -> Arc<dyn NetworkModel> {
+    let name = format!("{} (skewed)", inner.name());
+    Arc::new(SkewedNetwork {
+        inner,
+        seed,
+        skew,
+        name,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +456,28 @@ mod tests {
             net.collective(CollKind::Alltoall, 64, 1 << 30),
             SimDuration::ZERO
         );
+    }
+
+    #[test]
+    fn skewed_network_is_deterministic_bounded_and_delegates() {
+        let net = skewed(ethernet_cluster(), 11, 0.25);
+        let base = ethernet_cluster();
+        assert!(net.name().contains("skewed"));
+        for (s, d) in [(0usize, 1usize), (1, 0), (2, 7)] {
+            let t = net.transit(s, d, 4096);
+            let b = base.transit(s, d, 4096);
+            assert!(t >= b, "skew only delays");
+            assert!(t.as_nanos() as f64 <= b.as_nanos() as f64 * 1.2501);
+            assert_eq!(t, net.transit(s, d, 4096), "pure function");
+        }
+        assert_eq!(net.eager_limit(), base.eager_limit());
+        assert_eq!(
+            net.collective(CollKind::Barrier, 16, 0),
+            base.collective(CollKind::Barrier, 16, 0),
+        );
+        // A different seed picks different link factors somewhere.
+        let other = skewed(ethernet_cluster(), 12, 0.25);
+        assert!((0..8).any(|d| other.transit(0, d, 4096) != net.transit(0, d, 4096)));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::ctx::{Ctx, SimAbort};
 use crate::engine::{Engine, EngineStats, MatchPolicy, Reply, Request};
 use crate::error::SimError;
+use crate::faults::FaultPlan;
 use crate::hooks::Hook;
 use crate::network::{self, NetworkModel};
 use crate::time::SimTime;
@@ -42,6 +43,9 @@ pub struct World {
     n: usize,
     model: Arc<dyn NetworkModel>,
     policy: MatchPolicy,
+    faults: Option<FaultPlan>,
+    op_budget: Option<u64>,
+    time_budget: Option<SimTime>,
 }
 
 impl World {
@@ -52,6 +56,9 @@ impl World {
             n,
             model: network::ideal(),
             policy: MatchPolicy::default(),
+            faults: None,
+            op_budget: None,
+            time_budget: None,
         }
     }
 
@@ -68,13 +75,36 @@ impl World {
         self
     }
 
+    /// Inject a fault plan. It is validated against the world size before
+    /// any rank is spawned; an invalid plan fails the run with
+    /// [`SimError::InvalidFaultPlan`].
+    pub fn faults(mut self, plan: FaultPlan) -> World {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Cut the run off deterministically after `ops` MPI-level operations
+    /// ([`SimError::BudgetExceeded`]); the virtual-time analogue of a
+    /// watchdog for livelocked runs.
+    pub fn op_budget(mut self, ops: u64) -> World {
+        self.op_budget = Some(ops);
+        self
+    }
+
+    /// Cut the run off deterministically once any rank's virtual clock
+    /// passes `deadline` ([`SimError::BudgetExceeded`]).
+    pub fn time_budget(mut self, deadline: SimTime) -> World {
+        self.time_budget = Some(deadline);
+        self
+    }
+
     /// Run `body` on every rank without interposition hooks.
     pub fn run<F>(self, body: F) -> Result<RunReport, SimError>
     where
         F: Fn(&mut Ctx) + Send + Sync + 'static,
     {
-        let (report, _hooks) = self.launch(|_| None::<Box<dyn Hook>>, body)?;
-        Ok(report)
+        let (result, _hooks) = self.launch(|_| None::<Box<dyn Hook>>, body);
+        result
     }
 
     /// Run `body` with a per-rank interposition [`Hook`] created by `mk`,
@@ -85,8 +115,26 @@ impl World {
         MK: FnMut(Rank) -> H,
         F: Fn(&mut Ctx) + Send + Sync + 'static,
     {
+        let (result, hooks) = self.run_hooked_partial(mk, body);
+        result.map(|report| (report, hooks))
+    }
+
+    /// As [`World::run_hooked`], but the hooks are returned even when the
+    /// run fails — the basis of partial tracing: when a fault plan crashes a
+    /// rank ([`SimError::RankFailed`]), every rank's hook still holds what
+    /// it observed up to the failure.
+    pub fn run_hooked_partial<H, MK, F>(
+        self,
+        mk: MK,
+        body: F,
+    ) -> (Result<RunReport, SimError>, Vec<H>)
+    where
+        H: Hook + 'static,
+        MK: FnMut(Rank) -> H,
+        F: Fn(&mut Ctx) + Send + Sync + 'static,
+    {
         let mut mk = mk;
-        let (report, hooks) = self.launch(|r| Some(Box::new(mk(r)) as Box<dyn Hook>), body)?;
+        let (result, hooks) = self.launch(|r| Some(Box::new(mk(r)) as Box<dyn Hook>), body);
         let mut out = Vec::with_capacity(hooks.len());
         for h in hooks {
             let any: Box<dyn Any> = h;
@@ -95,19 +143,33 @@ impl World {
                     .expect("hook type is the one we created"),
             );
         }
-        Ok((report, out))
+        (result, out)
     }
 
     fn launch<F>(
         self,
         mut mk: impl FnMut(Rank) -> Option<Box<dyn Hook>>,
         body: F,
-    ) -> Result<(RunReport, Vec<Box<dyn Hook>>), SimError>
+    ) -> (Result<RunReport, SimError>, Vec<Box<dyn Hook>>)
     where
         F: Fn(&mut Ctx) + Send + Sync + 'static,
     {
         install_quiet_abort_hook();
         let n = self.n;
+        // Validate and install the fault plan before any rank is spawned.
+        let plan = match &self.faults {
+            Some(p) => match p.validate(n) {
+                Ok(()) => Some(Arc::new(p.clone())),
+                Err(e) => return (Err(SimError::InvalidFaultPlan(e.to_string())), Vec::new()),
+            },
+            None => None,
+        };
+        // Per-link skew lives in a pure network decorator, keeping
+        // `NetworkModel` implementations stateless.
+        let model = match &plan {
+            Some(p) if p.link_skew > 0.0 => network::skewed(self.model, p.seed, p.link_skew),
+            _ => self.model,
+        };
         let body = Arc::new(body);
         let (req_tx, req_rx) = mpsc::channel::<Request>();
         let mut reply_txs = Vec::with_capacity(n);
@@ -140,7 +202,11 @@ impl World {
         }
         drop(req_tx);
 
-        let mut engine = Engine::new(n, self.model.clone(), self.policy, req_rx, reply_txs);
+        let mut engine = Engine::new(n, model.clone(), self.policy, req_rx, reply_txs);
+        if let Some(p) = plan {
+            engine.set_faults(p);
+        }
+        engine.set_budgets(self.op_budget, self.time_budget);
         let engine_result = engine.run();
 
         let mut hooks = Vec::new();
@@ -152,18 +218,14 @@ impl World {
             }
         }
 
-        engine_result.map(|()| {
-            (
-                RunReport {
-                    ranks: n,
-                    total_time: engine.max_clock(),
-                    per_rank_time: engine.clocks().to_vec(),
-                    stats: engine.stats.clone(),
-                    network: self.model.name().to_string(),
-                },
-                hooks,
-            )
-        })
+        let result = engine_result.map(|()| RunReport {
+            ranks: n,
+            total_time: engine.max_clock(),
+            per_rank_time: engine.clocks().to_vec(),
+            stats: engine.stats.clone(),
+            network: model.name().to_string(),
+        });
+        (result, hooks)
     }
 }
 

@@ -1,0 +1,363 @@
+//! Fault-injection integration tests: crashes degrade into partial runs
+//! with structured diagnostics, perturbations preserve MPI semantics, and
+//! budgets cut off livelocks deterministically.
+
+use mpisim::error::{Budget, SimError};
+use mpisim::faults::FaultPlan;
+use mpisim::network;
+use mpisim::time::{SimDuration, SimTime};
+use mpisim::types::{Src, TagSel};
+use mpisim::world::World;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// A ring exchange every rank participates in for `iters` rounds.
+fn ring(iters: usize) -> impl Fn(&mut mpisim::Ctx) + Send + Sync + 'static {
+    move |ctx| {
+        let w = ctx.world();
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        for _ in 0..iters {
+            let r = ctx.irecv(Src::Rank(left), TagSel::Is(0), 512, &w);
+            let s = ctx.isend(right, 0, 512, &w);
+            ctx.compute(SimDuration::from_usecs(10));
+            ctx.waitall(&[r, s]);
+        }
+    }
+}
+
+// -- crashes -----------------------------------------------------------------
+
+#[test]
+fn rank_crash_yields_rank_failed_not_a_hang() {
+    let err = World::new(4)
+        .network(network::ethernet_cluster())
+        .faults(FaultPlan::seeded(3).crash_rank(2, 5))
+        .run(ring(50))
+        .unwrap_err();
+    match err {
+        SimError::RankFailed {
+            rank,
+            after_ops,
+            blocked,
+        } => {
+            assert_eq!(rank, 2);
+            assert_eq!(after_ops, 5);
+            // The crash starves the ring: some survivor is left blocked,
+            // and the wait-for edges are part of the diagnostic.
+            assert!(!blocked.is_empty(), "survivors should be blocked");
+            assert!(blocked.iter().all(|b| b.rank != 2));
+        }
+        other => panic!("expected RankFailed, got {other}"),
+    }
+}
+
+#[test]
+fn crash_after_zero_ops_kills_rank_immediately() {
+    let err = World::new(2)
+        .faults(FaultPlan::seeded(0).crash_rank(1, 0))
+        .run(ring(3))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::RankFailed {
+                rank: 1,
+                after_ops: 0,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn crash_of_idle_rank_still_fails_the_run_without_blocking_anyone() {
+    // Ranks 0 and 1 talk only to each other; rank 2 computes alone and is
+    // crashed. The survivors complete, but the run still reports the loss.
+    let err = World::new(3)
+        .faults(FaultPlan::seeded(0).crash_rank(2, 1))
+        .run(|ctx| {
+            let w = ctx.world();
+            match ctx.rank() {
+                0 => ctx.send(1, 0, 64, &w),
+                1 => {
+                    ctx.recv(Src::Rank(0), TagSel::Is(0), 64, &w);
+                }
+                _ => {
+                    for _ in 0..8 {
+                        ctx.compute(SimDuration::from_usecs(1));
+                    }
+                }
+            }
+        })
+        .unwrap_err();
+    match err {
+        SimError::RankFailed { rank, blocked, .. } => {
+            assert_eq!(rank, 2);
+            assert!(blocked.is_empty(), "no survivor was blocked: {blocked:?}");
+        }
+        other => panic!("expected RankFailed, got {other}"),
+    }
+}
+
+#[test]
+fn invalid_plans_are_rejected_before_spawning() {
+    let err = World::new(2)
+        .faults(FaultPlan::seeded(0).crash_rank(7, 0))
+        .run(ring(1))
+        .unwrap_err();
+    match err {
+        SimError::InvalidFaultPlan(why) => assert!(why.contains("rank 7"), "{why}"),
+        other => panic!("expected InvalidFaultPlan, got {other}"),
+    }
+    let err = World::new(2)
+        .faults(FaultPlan::seeded(0).with_latency_jitter(-0.5))
+        .run(ring(1))
+        .unwrap_err();
+    assert!(matches!(err, SimError::InvalidFaultPlan(_)), "{err}");
+}
+
+// -- budgets -----------------------------------------------------------------
+
+#[test]
+fn op_budget_cuts_off_unbounded_loops_deterministically() {
+    let run = || {
+        World::new(2)
+            .op_budget(500)
+            .run(ring(1_000_000))
+            .unwrap_err()
+    };
+    let err = run();
+    match &err {
+        SimError::BudgetExceeded {
+            budget: Budget::Operations,
+            limit: 500,
+            observed,
+            ..
+        } => assert!(*observed > 500),
+        other => panic!("expected BudgetExceeded, got {other}"),
+    }
+    assert_eq!(err, run(), "cut-off is deterministic");
+}
+
+#[test]
+fn time_budget_cuts_off_runs_past_the_deadline() {
+    let err = World::new(2)
+        .time_budget(SimTime::from_nanos(50_000))
+        .run(ring(1_000_000))
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::BudgetExceeded {
+                budget: Budget::VirtualTimeNanos,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn budgets_do_not_fire_on_runs_within_limits() {
+    World::new(2)
+        .op_budget(10_000)
+        .time_budget(SimTime::from_nanos(u64::MAX / 2))
+        .run(ring(5))
+        .unwrap();
+}
+
+// -- deadlock wait-for edges --------------------------------------------------
+
+#[test]
+fn deadlock_diagnostics_carry_wait_for_edges() {
+    // 0 and 1 both receive-first from each other: classic cycle.
+    let err = World::new(2)
+        .run(|ctx| {
+            let w = ctx.world();
+            let peer = 1 - ctx.rank();
+            ctx.recv(Src::Rank(peer), TagSel::Is(0), 64, &w);
+            ctx.send(peer, 0, 64, &w);
+        })
+        .unwrap_err();
+    match err {
+        SimError::Deadlock(blocked) => {
+            let of = |r: usize| blocked.iter().find(|b| b.rank == r).expect("rank listed");
+            assert_eq!(of(0).waiting_on, vec![1]);
+            assert_eq!(of(1).waiting_on, vec![0]);
+        }
+        other => panic!("expected Deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn collective_deadlock_names_the_stragglers() {
+    // Rank 2 never joins the barrier.
+    let err = World::new(3)
+        .run(|ctx| {
+            let w = ctx.world();
+            if ctx.rank() != 2 {
+                ctx.barrier(&w);
+            } else {
+                ctx.recv(Src::Rank(0), TagSel::Is(9), 8, &w);
+            }
+        })
+        .unwrap_err();
+    match err {
+        SimError::Deadlock(blocked) => {
+            let b0 = blocked.iter().find(|b| b.rank == 0).expect("rank 0 listed");
+            assert_eq!(b0.waiting_on, vec![2], "{b0}");
+            let b2 = blocked.iter().find(|b| b.rank == 2).expect("rank 2 listed");
+            assert_eq!(b2.waiting_on, vec![0], "{b2}");
+        }
+        other => panic!("expected Deadlock, got {other}"),
+    }
+}
+
+// -- perturbation semantics ---------------------------------------------------
+
+/// A differential-style plan (no crashes) never changes what the app
+/// computes, only when: the run must still complete.
+#[test]
+fn differential_plans_complete_on_the_ring() {
+    for seed in 0..8 {
+        let plan = FaultPlan::differential(seed, 4);
+        World::new(4)
+            .network(network::blue_gene_l())
+            .faults(plan)
+            .run(ring(5))
+            .unwrap();
+    }
+}
+
+#[test]
+fn slow_rank_stretches_its_clock() {
+    let time_with = |plan: Option<FaultPlan>| {
+        let mut world = World::new(2).network(network::ethernet_cluster());
+        if let Some(p) = plan {
+            world = world.faults(p);
+        }
+        world.run(ring(5)).unwrap().total_time
+    };
+    let base = time_with(None);
+    // The factor must beat the ~50us/iteration of communication slack the
+    // ring has to absorb delays, so slow the rank well past it.
+    let slowed = time_with(Some(FaultPlan::seeded(0).slow_rank(0, 20.0)));
+    assert!(slowed > base, "slowed {slowed} <= base {base}");
+}
+
+#[test]
+fn stall_window_delays_but_run_completes() {
+    let base = World::new(2)
+        .network(network::ethernet_cluster())
+        .run(ring(5))
+        .unwrap()
+        .total_time;
+    let stalled = World::new(2)
+        .network(network::ethernet_cluster())
+        .faults(FaultPlan::seeded(0).stall_rank(1, SimTime::ZERO, SimDuration::from_millis(5)))
+        .run(ring(5))
+        .unwrap()
+        .total_time;
+    assert!(
+        stalled >= base + SimDuration::from_millis(4),
+        "{stalled} vs {base}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MPI non-overtaking survives any jitter + reorder plan: a receiver
+    /// draining one (src, tag) channel still sees messages in send order.
+    #[test]
+    fn fifo_preserved_under_jitter_and_reorder(
+        sizes in proptest::collection::vec(1u64..200_000, 1..12),
+        seed in 0u64..1_000,
+        jitter_pct in 0u64..300,
+    ) {
+        let jitter = jitter_pct as f64 / 100.0;
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let rec2 = Arc::clone(&received);
+        let sizes2 = sizes.clone();
+        World::new(2)
+            .network(network::ethernet_cluster())
+            .faults(
+                FaultPlan::seeded(seed)
+                    .with_latency_jitter(jitter)
+                    .with_link_skew(0.5)
+                    .with_reorder(),
+            )
+            .run(move |ctx| {
+                let w = ctx.world();
+                if ctx.rank() == 0 {
+                    for &b in &sizes2 {
+                        ctx.send(1, 7, b, &w);
+                    }
+                } else {
+                    for _ in 0..sizes2.len() {
+                        let info = ctx.recv(Src::Rank(0), TagSel::Is(7), 0, &w);
+                        rec2.lock().unwrap().push(info.bytes);
+                    }
+                }
+            })
+            .unwrap();
+        let got = received.lock().unwrap().clone();
+        prop_assert_eq!(got, sizes);
+    }
+
+    /// Wildcard receives under a reorder plan still drain exactly the
+    /// multiset of messages sent — reordering only permutes the matching.
+    #[test]
+    fn reordered_wildcards_drain_the_same_multiset(
+        senders in proptest::collection::vec((1usize..6, 1u64..10_000), 1..12),
+        seed in 0u64..1_000,
+    ) {
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let rec2 = Arc::clone(&received);
+        let senders2 = senders.clone();
+        World::new(6)
+            .network(network::blue_gene_l())
+            .faults(FaultPlan::differential(seed, 6))
+            .run(move |ctx| {
+                let w = ctx.world();
+                let me = ctx.rank();
+                if me == 0 {
+                    for _ in 0..senders2.len() {
+                        let info = ctx.recv(Src::Any, TagSel::Any, 0, &w);
+                        rec2.lock().unwrap().push((info.source, info.bytes));
+                    }
+                } else {
+                    for (i, &(src, bytes)) in senders2.iter().enumerate() {
+                        if src == me {
+                            ctx.send(0, i as i32, bytes, &w);
+                        }
+                    }
+                }
+            })
+            .unwrap();
+        let mut got = received.lock().unwrap().clone();
+        got.sort_unstable();
+        let mut expect: Vec<(usize, u64)> = senders;
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Same seed, same run: fault-injected executions stay bit-deterministic.
+    #[test]
+    fn faulted_runs_are_bit_deterministic(seed in 0u64..500, n in 2usize..6) {
+        let go = || {
+            World::new(n)
+                .network(network::ethernet_cluster())
+                .faults(FaultPlan::differential(seed, n))
+                .run(ring(4))
+                .unwrap()
+        };
+        let a = go();
+        let b = go();
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.per_rank_time, b.per_rank_time);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}

@@ -181,3 +181,47 @@ where
     let trace = merge_tracers(tracers);
     Ok(TracedRun { trace, report })
 }
+
+/// A traced run that may have ended early: the merged trace covers
+/// everything each rank completed before the run stopped, and `error`
+/// carries the cause (e.g. [`SimError::RankFailed`] from an injected
+/// crash). Exactly one of `report` / `error` is populated.
+#[derive(Clone, Debug)]
+pub struct PartialTracedRun {
+    /// The merged global trace (partial if `error` is set).
+    pub trace: Trace,
+    /// Run report when the run completed normally.
+    pub report: Option<RunReport>,
+    /// Why the run ended early, if it did.
+    pub error: Option<SimError>,
+}
+
+impl PartialTracedRun {
+    /// Did the traced run complete normally?
+    pub fn completed(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// As [`trace_world`], but a failed run still yields the partial trace the
+/// ranks accumulated before the failure — the tracers survive engine errors
+/// because each rank thread hands its hook back even when it is aborted.
+pub fn trace_world_partial<F>(world: World, n: usize, body: F) -> PartialTracedRun
+where
+    F: Fn(&mut Ctx) + Send + Sync + 'static,
+{
+    let (result, tracers) = world.run_hooked_partial(|r| Tracer::new(r, n), body);
+    let trace = merge_tracers(tracers);
+    match result {
+        Ok(report) => PartialTracedRun {
+            trace,
+            report: Some(report),
+            error: None,
+        },
+        Err(err) => PartialTracedRun {
+            trace,
+            report: None,
+            error: Some(err),
+        },
+    }
+}

@@ -50,7 +50,9 @@ pub mod text;
 pub mod timestats;
 pub mod trace;
 
-pub use collect::{trace_app, trace_world, TracedRun, Tracer};
+pub use collect::{
+    trace_app, trace_world, trace_world_partial, PartialTracedRun, TracedRun, Tracer,
+};
 pub use cursor::{events_for_rank, semantically_equal, ConcreteEvent, ConcreteOp, Cursor};
 pub use rankset::RankSet;
 pub use timestats::TimeStats;

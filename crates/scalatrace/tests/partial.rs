@@ -1,0 +1,72 @@
+//! Partial tracing under injected rank crashes: the acceptance-criterion
+//! test that a crash plan produces a partial trace plus structured
+//! `SimError::RankFailed` diagnostics instead of a hang.
+
+use mpisim::error::SimError;
+use mpisim::faults::FaultPlan;
+use mpisim::network;
+use mpisim::time::SimDuration;
+use mpisim::types::{Src, TagSel};
+use mpisim::world::World;
+use scalatrace::{trace_app, trace_world_partial};
+
+fn ring(iters: usize) -> impl Fn(&mut mpisim::Ctx) + Send + Sync + 'static {
+    move |ctx| {
+        let w = ctx.world();
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        for _ in 0..iters {
+            let r = ctx.irecv(Src::Rank(left), TagSel::Is(0), 256, &w);
+            let s = ctx.isend(right, 0, 256, &w);
+            ctx.compute(SimDuration::from_usecs(5));
+            ctx.waitall(&[r, s]);
+        }
+    }
+}
+
+#[test]
+fn crash_plan_yields_partial_trace_with_rank_failed() {
+    const N: usize = 4;
+    let full = trace_app(N, network::ideal(), ring(10)).unwrap();
+    let full_events = full.trace.concrete_event_count();
+
+    let partial = trace_world_partial(
+        World::new(N).faults(FaultPlan::seeded(1).crash_rank(1, 6)),
+        N,
+        ring(10),
+    );
+    assert!(!partial.completed());
+    assert!(partial.report.is_none());
+    match partial.error {
+        Some(SimError::RankFailed {
+            rank, after_ops, ..
+        }) => {
+            assert_eq!(rank, 1);
+            assert_eq!(after_ops, 6);
+        }
+        ref other => panic!("expected RankFailed, got {other:?}"),
+    }
+    // The trace is partial, not empty: the ranks got some iterations in
+    // before the crash starved the ring.
+    let got = partial.trace.concrete_event_count();
+    assert!(got > 0, "crash must not wipe the trace");
+    assert!(
+        got < full_events,
+        "partial trace ({got} events) should be smaller than the full run ({full_events})"
+    );
+}
+
+#[test]
+fn completed_partial_run_equals_the_normal_path() {
+    const N: usize = 3;
+    let a = trace_app(N, network::ideal(), ring(4)).unwrap();
+    let b = trace_world_partial(World::new(N), N, ring(4));
+    assert!(b.completed());
+    assert!(b.error.is_none());
+    let report = b.report.expect("completed run has a report");
+    assert_eq!(report.ranks, N);
+    assert_eq!(
+        a.trace.concrete_event_count(),
+        b.trace.concrete_event_count()
+    );
+}

@@ -266,6 +266,69 @@ fn commbench_print_matrix_lists_jobs_without_running() {
 }
 
 #[test]
+fn commbench_chaos_differential_over_selected_apps() {
+    let dir = temp_dir("chaos");
+    let cache = dir.join("cache");
+    let log = dir.join("chaos.jsonl");
+    let out = commbench(&[
+        "chaos",
+        "--seeds",
+        "3",
+        "--apps",
+        "ring,lu",
+        "--ranks",
+        "4",
+        "--cache",
+        cache.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    let report = stdout(&out);
+    assert!(report.contains("chaos"), "{report}");
+    assert!(report.contains("2 ok"), "{report}");
+    assert!(report.contains("3/3"), "all seeds invariant:\n{report}");
+
+    // Telemetry carries one structured "chaos" event per (job, seed) with a
+    // verdict, plus the per-job summary on the finished event.
+    let events = jsonl_events(&log);
+    let chaos: Vec<&String> = events
+        .iter()
+        .filter(|l| field(l, "event") == Some("chaos"))
+        .collect();
+    assert_eq!(chaos.len(), 6, "2 apps x 3 seeds");
+    assert!(chaos
+        .iter()
+        .all(|l| field(l, "verdict") == Some("invariant")));
+    let ok_line = events
+        .iter()
+        .find(|l| field(l, "status") == Some("ok"))
+        .expect("an ok job");
+    assert_eq!(field(ok_line, "chaos_seeds"), Some("3"), "{ok_line}");
+    assert!(field(ok_line, "chaos_invariant").is_some(), "{ok_line}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn commbench_chaos_rejects_bad_flags() {
+    let out = commbench(&["chaos", "--seeds", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--seeds"), "{}", stderr(&out));
+
+    let out = commbench(&["chaos", "--apps", "nosuch"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown app nosuch"),
+        "{}",
+        stderr(&out)
+    );
+
+    let out = commbench(&["chaos", "--network", "myrinet"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown network"), "{}", stderr(&out));
+}
+
+#[test]
 fn commbench_rejects_missing_and_malformed_matrices() {
     let out = commbench(&["--matrix", "/nonexistent/m.txt"]);
     assert!(!out.status.success());
