@@ -135,18 +135,36 @@ pub fn run_rank(ctx: &mut Ctx, program: &Program) {
     exec.run();
 }
 
-/// Variable bindings during execution.
-#[derive(Clone, Default)]
-pub struct Env {
-    vars: BTreeMap<String, i64>,
+/// Variable bindings during execution. Binding pushes a borrowed stack
+/// frame instead of cloning a map, so loop bodies bind their iteration
+/// variable without allocating; lookup walks the (shallow) frame chain.
+#[derive(Clone, Copy, Default)]
+pub struct Env<'a> {
+    parent: Option<&'a Env<'a>>,
+    binding: Option<(&'a str, i64)>,
     num_tasks: i64,
 }
 
-impl Env {
-    fn bind(&self, name: &str, value: i64) -> Env {
-        let mut e = self.clone();
-        e.vars.insert(name.to_string(), value);
-        e
+impl<'a> Env<'a> {
+    fn bind<'b>(&'b self, name: &'b str, value: i64) -> Env<'b> {
+        Env {
+            parent: Some(self),
+            binding: Some((name, value)),
+            num_tasks: self.num_tasks,
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<i64> {
+        let mut cur = Some(self);
+        while let Some(e) = cur {
+            if let Some((n, v)) = e.binding {
+                if n == name {
+                    return Some(v);
+                }
+            }
+            cur = e.parent;
+        }
+        None
     }
 }
 
@@ -154,8 +172,7 @@ fn eval(e: &Expr, env: &Env) -> i64 {
     match e {
         Expr::Num(v) => *v,
         Expr::NumTasks => env.num_tasks,
-        Expr::Var(v) => *env
-            .vars
+        Expr::Var(v) => env
             .get(v)
             .unwrap_or_else(|| panic!("unbound variable {v} (validation gap)")),
         Expr::Add(a, b) => eval(a, env) + eval(b, env),
@@ -201,6 +218,8 @@ fn eval_cond(c: &Cond, env: &Env) -> bool {
 struct Exec<'c, 'p> {
     ctx: &'c mut Ctx,
     program: &'p Program,
+    /// Cached world communicator (avoids a clone per statement).
+    world: Comm,
     explicit_receives: bool,
     /// group name → members (absolute task ids)
     groups: HashMap<String, Vec<usize>>,
@@ -218,9 +237,11 @@ struct Exec<'c, 'p> {
 impl<'c, 'p> Exec<'c, 'p> {
     fn new(ctx: &'c mut Ctx, program: &'p Program, logs: Arc<Mutex<Vec<LogEntry>>>) -> Self {
         let n = ctx.size();
+        let world = ctx.world();
         Exec {
             ctx,
             program,
+            world,
             explicit_receives: program.has_explicit_receives(),
             groups: HashMap::new(),
             group_comms: HashMap::new(),
@@ -234,7 +255,8 @@ impl<'c, 'p> Exec<'c, 'p> {
 
     fn run(&mut self) {
         let env = Env {
-            vars: BTreeMap::from([("t".to_string(), self.ctx.rank() as i64)]),
+            parent: None,
+            binding: Some(("t", self.ctx.rank() as i64)),
             num_tasks: self.n as i64,
         };
         self.prepass();
@@ -250,12 +272,11 @@ impl<'c, 'p> Exec<'c, 'p> {
     fn prepass(&mut self) {
         let me = self.ctx.rank();
         for members in collect_adhoc_sets(self.program, self.n) {
-            let world = self.ctx.world();
             let (color, key) = match members.iter().position(|&m| m == me) {
                 Some(idx) => (1, idx as i64),
                 None => (0, me as i64),
             };
-            let comm = self.ctx.comm_split(&world, color, key);
+            let comm = self.ctx.comm_split(&self.world, color, key);
             if color == 1 {
                 self.adhoc_comms.insert(members, comm);
             }
@@ -268,13 +289,26 @@ impl<'c, 'p> Exec<'c, 'p> {
         }
     }
 
-    /// Members of a task set (absolute ids, sorted).
+    /// Members of a task set (absolute ids, sorted). Callers that only need
+    /// a membership test should use [`Exec::is_member`], which does not
+    /// allocate.
     fn members(&self, ts: &TaskSet, env: &Env) -> Vec<usize> {
         match &ts.sel {
             TaskSel::All => (0..self.n).collect(),
             TaskSel::Single(e) => vec![eval(e, env).rem_euclid(self.n as i64) as usize],
             TaskSel::Runs(runs) => expand_runs(runs),
             TaskSel::Group(g) => self.groups.get(g).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Is `task` a member of `ts`? Allocation-free equivalent of
+    /// `self.members(ts, env).contains(&task)`.
+    fn is_member(&self, ts: &TaskSet, env: &Env, task: usize) -> bool {
+        match &ts.sel {
+            TaskSel::All => task < self.n,
+            TaskSel::Single(e) => eval(e, env).rem_euclid(self.n as i64) as usize == task,
+            TaskSel::Runs(runs) => expand_runs(runs).contains(&task),
+            TaskSel::Group(g) => self.groups.get(g).is_some_and(|m| m.contains(&task)),
         }
     }
 
@@ -293,7 +327,7 @@ impl<'c, 'p> Exec<'c, 'p> {
 
     fn comm_for_members(&mut self, members: &[usize]) -> Comm {
         if members.len() == self.n {
-            return self.ctx.world();
+            return self.world.clone();
         }
         self.adhoc_comms.get(members).cloned().unwrap_or_else(|| {
             panic!(
@@ -311,12 +345,12 @@ impl<'c, 'p> Exec<'c, 'p> {
                 self.groups.insert(name.clone(), members);
             }
             Stmt::Partition { parent, groups } => {
-                let parent_members: Vec<usize> = match parent {
-                    None => (0..self.n).collect(),
-                    Some(g) => self.groups.get(g).cloned().unwrap_or_default(),
+                let me_in_parent = match parent {
+                    None => true,
+                    Some(g) => self.groups.get(g).is_some_and(|m| m.contains(&me)),
                 };
                 let parent_comm = match parent {
-                    None => self.ctx.world(),
+                    None => self.world.clone(),
                     Some(g) => match self.group_comms.get(g) {
                         Some(c) => c.clone(),
                         None => {
@@ -332,7 +366,7 @@ impl<'c, 'p> Exec<'c, 'p> {
                 for (name, runs) in groups {
                     self.groups.insert(name.clone(), expand_runs(runs));
                 }
-                if !parent_members.contains(&me) {
+                if !me_in_parent {
                     return;
                 }
                 // The color is the group's smallest task id: globally unique
@@ -382,8 +416,7 @@ impl<'c, 'p> Exec<'c, 'p> {
                 amount,
                 unit,
             } => {
-                let members = self.members(tasks, env);
-                if members.contains(&me) {
+                if self.is_member(tasks, env, me) {
                     let env = bind_task_var(tasks, env, me);
                     let ns = unit.nanos(eval(amount, &env));
                     self.ctx.compute(SimDuration::from_nanos(ns));
@@ -396,35 +429,40 @@ impl<'c, 'p> Exec<'c, 'p> {
                 tag,
                 is_async,
             } => {
-                let world = self.ctx.world();
-                let senders = self.members(src, env);
-                if senders.contains(&me) {
+                if self.is_member(src, env, me) {
                     let env = bind_task_var(src, env, me);
                     let to = eval(dst, &env).rem_euclid(self.n as i64) as usize;
                     let nbytes = eval(bytes, &env).max(0) as u64;
                     if *is_async {
-                        let h = self.ctx.isend(to, *tag, nbytes, &world);
+                        let h = self.ctx.isend(to, *tag, nbytes, &self.world);
                         self.outstanding.push(h);
                     } else {
-                        self.ctx.send(to, *tag, nbytes, &world);
+                        self.ctx.send(to, *tag, nbytes, &self.world);
                     }
                 }
                 if !self.explicit_receives {
                     // auto-post matching receives on destinations
+                    let senders = self.members(src, env);
                     for &s in &senders {
                         let env = bind_task_var(src, env, s);
                         let to = eval(dst, &env).rem_euclid(self.n as i64) as usize;
                         if to == me {
                             let nbytes = eval(bytes, &env).max(0) as u64;
                             if *is_async {
-                                let h =
-                                    self.ctx
-                                        .irecv(Src::Rank(s), TagSel::Is(*tag), nbytes, &world);
+                                let h = self.ctx.irecv(
+                                    Src::Rank(s),
+                                    TagSel::Is(*tag),
+                                    nbytes,
+                                    &self.world,
+                                );
                                 self.outstanding.push(h);
                             } else {
-                                let _ =
-                                    self.ctx
-                                        .recv(Src::Rank(s), TagSel::Is(*tag), nbytes, &world);
+                                let _ = self.ctx.recv(
+                                    Src::Rank(s),
+                                    TagSel::Is(*tag),
+                                    nbytes,
+                                    &self.world,
+                                );
                             }
                         }
                     }
@@ -437,9 +475,7 @@ impl<'c, 'p> Exec<'c, 'p> {
                 tag,
                 is_async,
             } => {
-                let world = self.ctx.world();
-                let receivers = self.members(dst, env);
-                if receivers.contains(&me) {
+                if self.is_member(dst, env, me) {
                     let env = bind_task_var(dst, env, me);
                     let from = match src {
                         None => Src::Any,
@@ -447,30 +483,30 @@ impl<'c, 'p> Exec<'c, 'p> {
                     };
                     let nbytes = eval(bytes, &env).max(0) as u64;
                     if *is_async {
-                        let h = self.ctx.irecv(from, TagSel::Is(*tag), nbytes, &world);
+                        let h = self.ctx.irecv(from, TagSel::Is(*tag), nbytes, &self.world);
                         self.outstanding.push(h);
                     } else {
-                        let _ = self.ctx.recv(from, TagSel::Is(*tag), nbytes, &world);
+                        let _ = self.ctx.recv(from, TagSel::Is(*tag), nbytes, &self.world);
                     }
                 }
             }
             Stmt::Await { tasks } => {
-                if self.members(tasks, env).contains(&me) && !self.outstanding.is_empty() {
+                if !self.outstanding.is_empty() && self.is_member(tasks, env, me) {
                     let hs = std::mem::take(&mut self.outstanding);
                     self.ctx.waitall(&hs);
                 }
             }
             Stmt::Sync { tasks } => {
-                if self.members(tasks, env).contains(&me) {
+                if self.is_member(tasks, env, me) {
                     let comm = self.comm_for(tasks, env);
                     self.ctx.barrier(&comm);
                 }
             }
             Stmt::Multicast { root, tasks, bytes } => {
-                let members = self.members(tasks, env);
                 match root {
                     Some(root_expr) => {
                         let root = eval(root_expr, env).rem_euclid(self.n as i64) as usize;
+                        let members = self.members(tasks, env);
                         let participates = members.contains(&me) || root == me;
                         if participates {
                             // participants = tasks ∪ {root}
@@ -479,7 +515,7 @@ impl<'c, 'p> Exec<'c, 'p> {
                             let comm = if members.contains(&root) {
                                 self.comm_for(tasks, &env)
                             } else {
-                                let mut all = members.clone();
+                                let mut all = members;
                                 all.push(root);
                                 all.sort_unstable();
                                 self.comm_for_members(&all)
@@ -490,7 +526,7 @@ impl<'c, 'p> Exec<'c, 'p> {
                         }
                     }
                     None => {
-                        if members.contains(&me) {
+                        if self.is_member(tasks, env, me) {
                             let env = bind_task_var(tasks, env, me);
                             let nbytes = eval(bytes, &env).max(0) as u64;
                             let comm = self.comm_for(tasks, &env);
@@ -500,8 +536,7 @@ impl<'c, 'p> Exec<'c, 'p> {
                 }
             }
             Stmt::Reduce { tasks, to, bytes } => {
-                let members = self.members(tasks, env);
-                if members.contains(&me) {
+                if self.is_member(tasks, env, me) {
                     let env = bind_task_var(tasks, env, me);
                     let nbytes = eval(bytes, &env).max(0) as u64;
                     let comm = self.comm_for(tasks, &env);
@@ -535,10 +570,10 @@ impl<'c, 'p> Exec<'c, 'p> {
     }
 }
 
-fn bind_task_var(ts: &TaskSet, env: &Env, task: usize) -> Env {
+fn bind_task_var<'b>(ts: &'b TaskSet, env: &'b Env<'b>, task: usize) -> Env<'b> {
     match &ts.var {
         Some(v) => env.bind(v, task as i64),
-        None => env.clone(),
+        None => *env,
     }
 }
 

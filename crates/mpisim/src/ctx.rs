@@ -24,6 +24,20 @@ use std::sync::mpsc::{Receiver, Sender};
 /// side of the channel simply disappeared.
 pub struct SimAbort(pub Option<SimError>);
 
+/// A hook event deferred until its operation's reply arrives (op batching).
+/// The stack signature is captured at call time — the region stack may have
+/// changed by the time the batch is flushed.
+struct PendingEv {
+    kind: EventKind,
+    callsite: CallSite,
+    stack_sig: u64,
+    /// How many queue entries *before this one* the event's enter time
+    /// anchors to: 0 = this op's own submission; 1 = the previous entry's
+    /// (a blocking send/recv is an isend/irecv entry followed by a wait
+    /// entry carrying the combined event).
+    span: usize,
+}
+
 /// Per-rank execution context.
 pub struct Ctx {
     rank: Rank,
@@ -34,6 +48,21 @@ pub struct Ctx {
     clock: SimTime,
     hook: Option<Box<dyn Hook>>,
     regions: Vec<&'static str>,
+    /// Client-side op batching: defer every op whose reply carries nothing
+    /// the caller observes (nonblocking ops, computes, blocking sends, void
+    /// collectives) and ship them together with the next value-returning op
+    /// in a single channel handoff.
+    batching: bool,
+    /// Deferred ops (batching mode) with their pending hook events.
+    queue: Vec<(Op, Option<PendingEv>)>,
+    /// Mirror of the engine's per-rank request-handle counter (last handle
+    /// handed out): the engine allocates handles sequentially per rank, so
+    /// deferred isend/irecv handles can be predicted without a round trip.
+    next_handle: u64,
+    /// Handles confirmed against engine replies (debug cross-check).
+    confirmed_handle: u64,
+    /// Reusable per-flush scratch of pre-reply clocks.
+    drain_t: Vec<SimTime>,
 }
 
 impl Ctx {
@@ -43,6 +72,7 @@ impl Ctx {
         req_tx: Sender<Request>,
         reply_rx: Receiver<Reply>,
         hook: Option<Box<dyn Hook>>,
+        batching: bool,
     ) -> Ctx {
         Ctx {
             rank,
@@ -53,6 +83,11 @@ impl Ctx {
             clock: SimTime::ZERO,
             hook,
             regions: Vec::new(),
+            batching,
+            queue: Vec::new(),
+            next_handle: 0,
+            confirmed_handle: 0,
+            drain_t: Vec::new(),
         }
     }
 
@@ -71,8 +106,10 @@ impl Ctx {
         self.world.clone()
     }
 
-    /// Current virtual time on this rank.
-    pub fn now(&self) -> SimTime {
+    /// Current virtual time on this rank. Flushes any deferred operations
+    /// first, so the returned clock reflects them.
+    pub fn now(&mut self) -> SimTime {
+        let _ = self.flush();
         self.clock
     }
 
@@ -80,6 +117,10 @@ impl Ctx {
     /// computation between MPI calls.
     pub fn compute(&mut self, d: SimDuration) {
         if d == SimDuration::ZERO {
+            return;
+        }
+        if self.batching {
+            self.queue.push((Op::Compute(d), None));
             return;
         }
         match self.call(Op::Compute(d)) {
@@ -94,20 +135,28 @@ impl Ctx {
     #[track_caller]
     pub fn isend(&mut self, to: usize, tag: Tag, bytes: u64, comm: &Comm) -> ReqHandle {
         let site = caller();
-        let t_enter = self.clock;
         let abs = comm.translate(to);
+        let kind = EventKind::Send {
+            to: abs,
+            tag,
+            bytes,
+            comm: comm.id,
+            blocking: false,
+        };
+        let op = Op::ISend {
+            to: abs,
+            tag,
+            bytes,
+            comm: comm.id,
+        };
+        if self.batching {
+            let h = self.predict_handle();
+            self.defer(op, kind, site, 0);
+            return h;
+        }
+        let t_enter = self.clock;
         let h = self.raw_isend(abs, tag, bytes, comm.id);
-        self.emit(
-            EventKind::Send {
-                to: abs,
-                tag,
-                bytes,
-                comm: comm.id,
-                blocking: false,
-            },
-            site,
-            t_enter,
-        );
+        self.emit(kind, site, t_enter);
         h
     }
 
@@ -116,20 +165,28 @@ impl Ctx {
     #[track_caller]
     pub fn irecv(&mut self, from: Src, tag: TagSel, bytes: u64, comm: &Comm) -> ReqHandle {
         let site = caller();
-        let t_enter = self.clock;
         let abs_from = self.translate_src(from, comm);
+        let kind = EventKind::Recv {
+            from: abs_from,
+            tag,
+            bytes,
+            comm: comm.id,
+            blocking: false,
+        };
+        let op = Op::IRecv {
+            from: abs_from,
+            tag,
+            bytes,
+            comm: comm.id,
+        };
+        if self.batching {
+            let h = self.predict_handle();
+            self.defer(op, kind, site, 0);
+            return h;
+        }
+        let t_enter = self.clock;
         let h = self.raw_irecv(abs_from, tag, bytes, comm.id);
-        self.emit(
-            EventKind::Recv {
-                from: abs_from,
-                tag,
-                bytes,
-                comm: comm.id,
-                blocking: false,
-            },
-            site,
-            t_enter,
-        );
+        self.emit(kind, site, t_enter);
         h
     }
 
@@ -137,42 +194,75 @@ impl Ctx {
     #[track_caller]
     pub fn send(&mut self, to: usize, tag: Tag, bytes: u64, comm: &Comm) {
         let site = caller();
-        let t_enter = self.clock;
         let abs = comm.translate(to);
+        let kind = EventKind::Send {
+            to: abs,
+            tag,
+            bytes,
+            comm: comm.id,
+            blocking: true,
+        };
+        if self.batching {
+            let h = self.predict_handle();
+            self.queue.push((
+                Op::ISend {
+                    to: abs,
+                    tag,
+                    bytes,
+                    comm: comm.id,
+                },
+                None,
+            ));
+            // The wait returns nothing the caller can observe, so it rides
+            // the batch too: a run of blocking sends crosses the baton once,
+            // at the next value-returning call. The engine replays the batch
+            // sequentially, so rendezvous blocking happens at the same
+            // virtual time as an unbatched run.
+            self.defer(Op::Wait { reqs: vec![h.0] }, kind, site, 1);
+            return;
+        }
+        let t_enter = self.clock;
         let h = self.raw_isend(abs, tag, bytes, comm.id);
         self.raw_wait(vec![h.0]);
-        self.emit(
-            EventKind::Send {
-                to: abs,
-                tag,
-                bytes,
-                comm: comm.id,
-                blocking: true,
-            },
-            site,
-            t_enter,
-        );
+        self.emit(kind, site, t_enter);
     }
 
     /// Blocking receive; returns the resolved status (absolute source rank).
     #[track_caller]
     pub fn recv(&mut self, from: Src, tag: TagSel, bytes: u64, comm: &Comm) -> MsgInfo {
         let site = caller();
-        let t_enter = self.clock;
         let abs_from = self.translate_src(from, comm);
+        let kind = EventKind::Recv {
+            from: abs_from,
+            tag,
+            bytes,
+            comm: comm.id,
+            blocking: true,
+        };
+        if self.batching {
+            let h = self.predict_handle();
+            self.queue.push((
+                Op::IRecv {
+                    from: abs_from,
+                    tag,
+                    bytes,
+                    comm: comm.id,
+                },
+                None,
+            ));
+            let ev = self.mk_ev(kind, site, 1);
+            let (reply, _) = self.submit(Op::Wait { reqs: vec![h.0] }, ev);
+            match reply {
+                Reply::Infos { infos, .. } => {
+                    return infos[0].expect("receive completes with a status")
+                }
+                other => self.protocol_error("recv", &other),
+            }
+        }
+        let t_enter = self.clock;
         let h = self.raw_irecv(abs_from, tag, bytes, comm.id);
         let infos = self.raw_wait(vec![h.0]);
-        self.emit(
-            EventKind::Recv {
-                from: abs_from,
-                tag,
-                bytes,
-                comm: comm.id,
-                blocking: true,
-            },
-            site,
-            t_enter,
-        );
+        self.emit(kind, site, t_enter);
         infos[0].expect("receive completes with a status")
     }
 
@@ -180,6 +270,14 @@ impl Ctx {
     #[track_caller]
     pub fn wait(&mut self, h: ReqHandle) -> Option<MsgInfo> {
         let site = caller();
+        if self.batching {
+            let ev = self.mk_ev(EventKind::Wait { count: 1 }, site, 0);
+            let (reply, _) = self.submit(Op::Wait { reqs: vec![h.0] }, ev);
+            match reply {
+                Reply::Infos { infos, .. } => return infos[0],
+                other => self.protocol_error("wait", &other),
+            }
+        }
         let t_enter = self.clock;
         let infos = self.raw_wait(vec![h.0]);
         self.emit(EventKind::Wait { count: 1 }, site, t_enter);
@@ -191,6 +289,15 @@ impl Ctx {
     #[track_caller]
     pub fn waitall(&mut self, hs: &[ReqHandle]) -> Vec<Option<MsgInfo>> {
         let site = caller();
+        if self.batching {
+            let ev = self.mk_ev(EventKind::Wait { count: hs.len() }, site, 0);
+            let reqs = hs.iter().map(|h| h.0).collect();
+            let (reply, _) = self.submit(Op::Wait { reqs }, ev);
+            match reply {
+                Reply::Infos { infos, .. } => return infos,
+                other => self.protocol_error("waitall", &other),
+            }
+        }
         let t_enter = self.clock;
         let infos = self.raw_wait(hs.iter().map(|h| h.0).collect());
         self.emit(EventKind::Wait { count: hs.len() }, site, t_enter);
@@ -306,14 +413,35 @@ impl Ctx {
     #[track_caller]
     pub fn comm_split(&mut self, comm: &Comm, color: i64, key: i64) -> Comm {
         let site = caller();
-        let t_enter = self.clock;
-        let reply = self.call(Op::Coll {
+        let op = Op::Coll {
             kind: CollKind::CommSplit,
             comm: comm.id,
             root: None,
             bytes: 0,
             split: Some((color, key)),
-        });
+        };
+        if self.batching {
+            // The event needs the reply's member list, so it cannot be
+            // deferred; `submit` hands back the op's own enter time.
+            let (reply, t_enter) = self.submit(op, None);
+            match reply {
+                Reply::CommCreated { comm: new, .. } => {
+                    self.emit(
+                        EventKind::CommSplit {
+                            parent: comm.id,
+                            result: new.id,
+                            members: new.members.clone(),
+                        },
+                        site,
+                        t_enter,
+                    );
+                    return new;
+                }
+                other => self.protocol_error("comm_split", &other),
+            }
+        }
+        let t_enter = self.clock;
+        let reply = self.call(op);
         match reply {
             Reply::CommCreated { clock, comm: new } => {
                 self.clock = clock;
@@ -361,28 +489,33 @@ impl Ctx {
         bytes: u64,
         site: CallSite,
     ) {
-        let t_enter = self.clock;
-        let reply = self.call(Op::Coll {
+        let ev_kind = EventKind::Coll {
+            kind,
+            root,
+            bytes,
+            comm: comm.id,
+        };
+        let op = Op::Coll {
             kind,
             comm: comm.id,
             root,
             bytes,
             split: None,
-        });
+        };
+        if self.batching {
+            // Collectives reply with nothing but a clock, so they defer like
+            // blocking sends: rank synchronisation is a virtual-time affair
+            // the engine enforces whenever the op ships.
+            self.defer(op, ev_kind, site, 0);
+            return;
+        }
+        let t_enter = self.clock;
+        let reply = self.call(op);
         match reply {
             Reply::Time(t) => self.clock = t,
             other => self.protocol_error("collective", &other),
         }
-        self.emit(
-            EventKind::Coll {
-                kind,
-                root,
-                bytes,
-                comm: comm.id,
-            },
-            site,
-            t_enter,
-        );
+        self.emit(ev_kind, site, t_enter);
     }
 
     fn raw_isend(&mut self, to: Rank, tag: Tag, bytes: u64, comm: CommId) -> ReqHandle {
@@ -425,6 +558,107 @@ impl Ctx {
         }
     }
 
+    /// Predict the handle the engine will allocate for the next deferred
+    /// isend/irecv (handles are sequential per rank; cross-checked against
+    /// the replies in `apply_clock`).
+    fn predict_handle(&mut self) -> ReqHandle {
+        self.next_handle += 1;
+        ReqHandle(self.next_handle)
+    }
+
+    /// Queue a nonblocking op together with its deferred hook event.
+    fn defer(&mut self, op: Op, kind: EventKind, callsite: CallSite, span: usize) {
+        let ev = self.mk_ev(kind, callsite, span);
+        self.queue.push((op, ev));
+    }
+
+    /// Build the deferred event record for an op being queued (`None` when
+    /// no hook is installed).
+    fn mk_ev(&self, kind: EventKind, callsite: CallSite, span: usize) -> Option<PendingEv> {
+        self.hook.as_ref()?;
+        Some(PendingEv {
+            kind,
+            stack_sig: self.stack_sig_of(&callsite),
+            callsite,
+            span,
+        })
+    }
+
+    /// Queue `last` behind any deferred ops and ship the whole batch in one
+    /// channel handoff. Returns the final reply and the virtual time at
+    /// which the final op began (its would-be `t_enter`).
+    fn submit(&mut self, last: Op, ev: Option<PendingEv>) -> (Reply, SimTime) {
+        self.queue.push((last, ev));
+        self.flush().expect("queue is non-empty")
+    }
+
+    /// Ship the deferred queue, if any, and drain one reply per op —
+    /// updating the clock and emitting deferred hook events with exactly
+    /// the clocks an unbatched run would have observed.
+    fn flush(&mut self) -> Option<(Reply, SimTime)> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let mut ops = Vec::with_capacity(self.queue.len());
+        let mut evs = Vec::with_capacity(self.queue.len());
+        for (op, ev) in self.queue.drain(..) {
+            ops.push(op);
+            evs.push(ev);
+        }
+        let op = if ops.len() == 1 {
+            ops.pop().expect("one op")
+        } else {
+            Op::Batch(ops)
+        };
+        if self
+            .req_tx
+            .send(Request {
+                rank: self.rank,
+                op,
+            })
+            .is_err()
+        {
+            std::panic::panic_any(SimAbort(None));
+        }
+        let mut t_befores = std::mem::take(&mut self.drain_t);
+        t_befores.clear();
+        let mut out = None;
+        for ev in evs {
+            t_befores.push(self.clock);
+            let reply = match self.reply_rx.recv() {
+                Ok(Reply::Fatal(err)) => std::panic::panic_any(SimAbort(Some(err))),
+                Err(_) => std::panic::panic_any(SimAbort(None)),
+                Ok(reply) => reply,
+            };
+            self.apply_clock(&reply);
+            if let Some(ev) = ev {
+                let t_enter = t_befores[t_befores.len() - 1 - ev.span];
+                self.emit_raw(ev.kind, ev.callsite, ev.stack_sig, t_enter);
+            }
+            out = Some((reply, *t_befores.last().expect("pushed above")));
+        }
+        self.drain_t = t_befores;
+        out
+    }
+
+    /// Update the local clock from an engine reply (batched drain path).
+    fn apply_clock(&mut self, reply: &Reply) {
+        match reply {
+            Reply::Time(t) => self.clock = *t,
+            Reply::Handle { clock, handle } => {
+                self.clock = *clock;
+                self.confirmed_handle += 1;
+                debug_assert_eq!(
+                    *handle, self.confirmed_handle,
+                    "predicted request handle out of sync with engine"
+                );
+            }
+            Reply::Infos { clock, .. } => self.clock = *clock,
+            Reply::CommCreated { clock, .. } => self.clock = *clock,
+            Reply::Fatal(_) => {}
+        }
+    }
+
     fn call(&mut self, op: Op) -> Reply {
         if self
             .req_tx
@@ -447,10 +681,9 @@ impl Ctx {
         panic!("engine protocol violation in {what}: unexpected reply {got:?}")
     }
 
-    fn emit(&mut self, kind: EventKind, callsite: CallSite, t_enter: SimTime) {
-        let Some(hook) = self.hook.as_mut() else {
-            return;
-        };
+    /// FNV-1a over the region stack plus the call site — the stack
+    /// signature attached to every event.
+    fn stack_sig_of(&self, callsite: &CallSite) -> u64 {
         let mut h = Fnv1a::new();
         for r in &self.regions {
             h.write(r.as_bytes());
@@ -459,25 +692,93 @@ impl Ctx {
         h.write(callsite.file.as_bytes());
         h.write_u64(callsite.line as u64);
         h.write_u64(callsite.column as u64);
+        h.finish()
+    }
+
+    fn emit(&mut self, kind: EventKind, callsite: CallSite, t_enter: SimTime) {
+        if self.hook.is_none() {
+            return;
+        }
+        let stack_sig = self.stack_sig_of(&callsite);
+        self.emit_raw(kind, callsite, stack_sig, t_enter);
+    }
+
+    fn emit_raw(&mut self, kind: EventKind, callsite: CallSite, stack_sig: u64, t_enter: SimTime) {
+        let Some(hook) = self.hook.as_mut() else {
+            return;
+        };
         let event = Event {
             rank: self.rank,
             kind,
             callsite,
-            stack_sig: h.finish(),
+            stack_sig,
             t_enter,
             t_exit: self.clock,
         };
         hook.on_event(&event);
     }
 
+    /// Teardown-mode flush for the exit paths: ship the deferred queue
+    /// (optionally with a trailing `Op::Exited` riding the same batch) and
+    /// drain the deferred ops' replies without ever panicking — a `Fatal`
+    /// reply or a closed channel just ends the drain. This runs outside the
+    /// body's `catch_unwind`, so it must not unwind; hook events for the
+    /// deferred ops are still emitted so partial traces stay complete.
+    fn flush_teardown(&mut self, trailing_exit: bool) {
+        let mut ops = Vec::with_capacity(self.queue.len() + 1);
+        let mut evs = Vec::with_capacity(self.queue.len());
+        for (op, ev) in self.queue.drain(..) {
+            ops.push(op);
+            evs.push(ev);
+        }
+        if trailing_exit {
+            ops.push(Op::Exited);
+        }
+        if self
+            .req_tx
+            .send(Request {
+                rank: self.rank,
+                op: Op::Batch(ops),
+            })
+            .is_err()
+        {
+            return;
+        }
+        let mut t_befores = Vec::with_capacity(evs.len());
+        for ev in evs {
+            t_befores.push(self.clock);
+            match self.reply_rx.recv() {
+                Ok(Reply::Fatal(_)) | Err(_) => return,
+                Ok(reply) => {
+                    self.apply_clock(&reply);
+                    if let Some(ev) = ev {
+                        // Deferred blocking sends anchor to their isend one
+                        // slot back (span 1), everything else to itself.
+                        let t_enter = t_befores[t_befores.len() - 1 - ev.span];
+                        self.emit_raw(ev.kind, ev.callsite, ev.stack_sig, t_enter);
+                    }
+                }
+            }
+        }
+    }
+
     pub(crate) fn send_exited(&mut self) {
-        let _ = self.req_tx.send(Request {
-            rank: self.rank,
-            op: Op::Exited,
-        });
+        if self.queue.is_empty() {
+            let _ = self.req_tx.send(Request {
+                rank: self.rank,
+                op: Op::Exited,
+            });
+        } else {
+            self.flush_teardown(true);
+        }
     }
 
     pub(crate) fn send_panicked(&mut self, message: String) {
+        // Deliver any ops deferred before the panic first, so the partial
+        // trace matches what an unbatched run would have recorded.
+        if !self.queue.is_empty() {
+            self.flush_teardown(false);
+        }
         let _ = self.req_tx.send(Request {
             rank: self.rank,
             op: Op::Panicked(message),

@@ -116,6 +116,13 @@ pub(crate) enum Op {
     Exited,
     /// Rank body panicked; the engine aborts the run.
     Panicked(String),
+    /// A burst of operations submitted in one channel handoff: zero or more
+    /// nonblocking ops, optionally ending with one blocking op (or
+    /// `Exited`). The engine unpacks the batch at receive time and issues
+    /// the ops one per scheduling round — the global schedule is identical
+    /// to submitting them individually; only the thread baton crossings are
+    /// saved. Never nested; never contains `Panicked`.
+    Batch(Vec<Op>),
 }
 
 #[derive(Debug)]
@@ -216,6 +223,9 @@ pub(crate) struct Engine {
 
     clocks: Vec<SimTime>,
     pending: Vec<Option<Pending>>,
+    /// Per rank: ops submitted ahead of time via [`Op::Batch`], promoted to
+    /// `pending` one at a time as replies are delivered.
+    queued: Vec<VecDeque<Op>>,
     finished: Vec<bool>,
     finalized: Vec<bool>,
     live: usize,
@@ -250,6 +260,13 @@ pub(crate) struct Engine {
     /// Set when a reply was sent in the current scheduling round (progress).
     progressed: bool,
 
+    /// Reusable phase-2 issue-order buffer.
+    order_buf: Vec<Rank>,
+    /// Reusable wildcard-match scratch: per-source best `(dst_seq, msg id)`.
+    match_best: Vec<Option<(u64, u64)>>,
+    /// Sources with an entry in `match_best` (reset list).
+    match_touched: Vec<Rank>,
+
     /// Injected fault plan (validated by the world before the run starts).
     faults: Option<Arc<FaultPlan>>,
     /// Per-rank count of operations issued (drives crash triggers).
@@ -277,6 +294,7 @@ impl Engine {
             reply_tx,
             clocks: vec![SimTime::ZERO; n],
             pending: (0..n).map(|_| None).collect(),
+            queued: (0..n).map(|_| VecDeque::new()).collect(),
             finished: vec![false; n],
             finalized: vec![false; n],
             live: n,
@@ -298,6 +316,9 @@ impl Engine {
             coll_seq: (0..n).map(|_| HashMap::new()).collect(),
             stats: EngineStats::default(),
             progressed: false,
+            order_buf: Vec::with_capacity(n),
+            match_best: vec![None; n],
+            match_touched: Vec::new(),
             faults: None,
             ops_issued: vec![0; n],
             failed: Vec::new(),
@@ -335,10 +356,20 @@ impl Engine {
                     self.broadcast_fatal(&err);
                     return Err(err);
                 }
-                self.pending[req.rank] = Some(Pending {
-                    op: req.op,
-                    issued: false,
-                });
+                match req.op {
+                    Op::Batch(ops) => {
+                        let mut it = ops.into_iter();
+                        let first = it.next().expect("batches are non-empty");
+                        self.pending[req.rank] = Some(Pending {
+                            op: first,
+                            issued: false,
+                        });
+                        self.queued[req.rank].extend(it);
+                    }
+                    op => {
+                        self.pending[req.rank] = Some(Pending { op, issued: false });
+                    }
+                }
             }
             if self.live == 0 {
                 return self.final_verdict(Vec::new());
@@ -346,16 +377,20 @@ impl Engine {
 
             // Phase 2: issue new operations, lowest virtual clock first.
             self.progressed = false;
-            let mut order: Vec<Rank> = (0..self.n)
-                .filter(|&r| matches!(self.pending[r], Some(Pending { issued: false, .. })))
-                .collect();
+            let mut order = std::mem::take(&mut self.order_buf);
+            order.clear();
+            order.extend(
+                (0..self.n)
+                    .filter(|&r| matches!(self.pending[r], Some(Pending { issued: false, .. }))),
+            );
             order.sort_by_key(|&r| (self.clocks[r], r));
-            for r in order {
+            for &r in &order {
                 if let Err(err) = self.issue(r) {
                     self.broadcast_fatal(&err);
                     return Err(err);
                 }
             }
+            self.order_buf = order;
 
             // Phase 3: complete any waits unblocked by the new issues.
             self.complete_ready_waits();
@@ -517,7 +552,7 @@ impl Engine {
                 self.pending[rank] = None;
                 self.progressed = true;
             }
-            Op::Panicked(_) => unreachable!("handled at receive"),
+            Op::Panicked(_) | Op::Batch(_) => unreachable!("handled at receive"),
         }
         Ok(())
     }
@@ -537,6 +572,7 @@ impl Engine {
         self.finished[rank] = true;
         self.live -= 1;
         self.pending[rank] = None;
+        self.queued[rank].clear();
         self.failed.push((rank, after_ops));
         // Messages the dead rank already sent stay in flight (survivors may
         // still match them); its posted receives go stale harmlessly.
@@ -642,34 +678,50 @@ impl Engine {
     /// matching a newly posted receive. Per sender, the earliest-queued
     /// message is the only candidate (MPI non-overtaking); among senders the
     /// [`MatchPolicy`] decides.
-    fn select_match(&self, recv: &PostedRecv) -> Option<u64> {
+    fn select_match(&mut self, recv: &PostedRecv) -> Option<u64> {
         let dst = recv.rank;
-        let mut best_per_src: HashMap<Rank, (u64, u64)> = HashMap::new(); // src -> (dst_seq, id)
-        let consider = |map: &mut HashMap<Rank, (u64, u64)>, m: &Message| {
-            if m.comm == recv.comm && recv.from.matches(m.src) && recv.tag.matches(m.tag) {
-                let entry = map.entry(m.src).or_insert((m.dst_seq, m.id));
-                if m.dst_seq < entry.0 {
-                    *entry = (m.dst_seq, m.id);
+        // Reusable per-source scratch (src -> (dst_seq, id)) instead of a
+        // fresh HashMap per posted receive; `match_touched` records which
+        // slots to reset afterwards. Taken out of `self` so the closure can
+        // fill it while `self.msgs` is borrowed.
+        let mut best = std::mem::take(&mut self.match_best);
+        let mut touched = std::mem::take(&mut self.match_touched);
+        debug_assert!(touched.is_empty());
+        {
+            let mut consider = |m: &Message| {
+                if m.comm == recv.comm && recv.from.matches(m.src) && recv.tag.matches(m.tag) {
+                    match &mut best[m.src] {
+                        Some((seq, id)) => {
+                            if m.dst_seq < *seq {
+                                *seq = m.dst_seq;
+                                *id = m.id;
+                            }
+                        }
+                        slot @ None => {
+                            *slot = Some((m.dst_seq, m.id));
+                            touched.push(m.src);
+                        }
+                    }
                 }
+            };
+            for &id in self.unexpected[dst].iter().chain(&self.rndv[dst]) {
+                consider(&self.msgs[&id]);
             }
-        };
-        for &id in self.unexpected[dst].iter().chain(&self.rndv[dst]) {
-            consider(&mut best_per_src, &self.msgs[&id]);
-        }
-        for &id in &self.stalled[dst] {
-            consider(&mut best_per_src, &self.msgs[&id]);
-        }
-        if best_per_src.is_empty() {
-            return None;
+            for &id in &self.stalled[dst] {
+                consider(&self.msgs[&id]);
+            }
         }
         // An injected reorder plan overrides the match policy: it perturbs
         // only the choice *among senders*, which MPI leaves unspecified —
         // the per-sender earliest-first rule above is untouched, so
-        // non-overtaking holds by construction.
+        // non-overtaking holds by construction. Every key below embeds the
+        // source rank, so the minimum is unique and the scan order of
+        // `touched` cannot affect the pick.
         let reorder = self.faults.as_ref().filter(|p| p.reorder).map(Arc::clone);
-        let pick = best_per_src
-            .iter()
-            .min_by_key(|(&src, &(seq, id))| match &reorder {
+        let mut pick: Option<((u64, u64, u64), u64)> = None;
+        for &src in &touched {
+            let (seq, id) = best[src].expect("touched slots are filled");
+            let key = match &reorder {
                 Some(plan) => (plan.reorder_key(id), src as u64, seq),
                 None => match self.policy {
                     MatchPolicy::ByArrival => (seq, src as u64, 0),
@@ -681,8 +733,16 @@ impl Engine {
                         (h.finish(), src as u64, seq)
                     }
                 },
-            });
-        pick.map(|(_, &(_, id))| id)
+            };
+            if pick.is_none_or(|(k, _)| key < k) {
+                pick = Some((key, id));
+            }
+            best[src] = None;
+        }
+        touched.clear();
+        self.match_best = best;
+        self.match_touched = touched;
+        pick.map(|(_, id)| id)
     }
 
     /// Wire time for message `msg_id`, jittered by the fault plan if one is
@@ -997,10 +1057,18 @@ impl Engine {
 
     fn reply(&mut self, rank: Rank, reply: Reply) {
         self.progressed = true;
-        self.running += 1;
         // A send failure means the rank thread died; the subsequent request
         // drain will surface the problem.
         let _ = self.reply_tx[rank].send(reply);
+        match self.queued[rank].pop_front() {
+            // The rank pre-submitted its next op in a batch: promote it so
+            // the next round issues it — exactly when an individually
+            // submitted op would have been issued (it would arrive during
+            // the next quiescence phase). The rank thread is not running
+            // user code for it, so `running` stays untouched.
+            Some(op) => self.pending[rank] = Some(Pending { op, issued: false }),
+            None => self.running += 1,
+        }
     }
 
     fn broadcast_fatal(&mut self, err: &SimError) {

@@ -46,6 +46,7 @@ pub struct World {
     faults: Option<FaultPlan>,
     op_budget: Option<u64>,
     time_budget: Option<SimTime>,
+    op_batching: bool,
 }
 
 impl World {
@@ -59,6 +60,7 @@ impl World {
             faults: None,
             op_budget: None,
             time_budget: None,
+            op_batching: true,
         }
     }
 
@@ -95,6 +97,18 @@ impl World {
     /// passes `deadline` ([`SimError::BudgetExceeded`]).
     pub fn time_budget(mut self, deadline: SimTime) -> World {
         self.time_budget = Some(deadline);
+        self
+    }
+
+    /// Enable or disable client-side op batching (on by default). When on,
+    /// every call whose reply the rank cannot observe — nonblocking ops,
+    /// computes, blocking sends, void collectives — is deferred and crosses
+    /// the rank→engine channel as one batch at the next value-returning
+    /// call, instead of one handoff per op. Virtual times, schedules, hook
+    /// events, and reports are identical either way; only host-side
+    /// synchronisation overhead changes.
+    pub fn op_batching(mut self, enabled: bool) -> World {
+        self.op_batching = enabled;
         self
     }
 
@@ -171,6 +185,7 @@ impl World {
             _ => self.model,
         };
         let body = Arc::new(body);
+        let batching = self.op_batching;
         let (req_tx, req_rx) = mpsc::channel::<Request>();
         let mut reply_txs = Vec::with_capacity(n);
         let mut threads = Vec::with_capacity(n);
@@ -185,7 +200,7 @@ impl World {
                 .stack_size(512 * 1024);
             let handle = builder
                 .spawn(move || {
-                    let mut ctx = Ctx::new(rank, n, req_tx, reply_rx, hook);
+                    let mut ctx = Ctx::new(rank, n, req_tx, reply_rx, hook, batching);
                     let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
                     match result {
                         Ok(()) => ctx.send_exited(),

@@ -1,0 +1,160 @@
+//! Batched op submission must be behaviourally invisible.
+//!
+//! `World::op_batching(true)` (the default) lets a rank defer every call
+//! whose reply it cannot observe — nonblocking ops, computes, blocking
+//! sends, void collectives — and hand the run to the engine in one baton
+//! crossing at the next value-returning call instead of one crossing per
+//! op. These tests pin down the contract: batching may only change *how
+//! often* the rank thread and the
+//! engine synchronise, never *what* the engine observes — reports, mpiP
+//! profiles, per-channel message order, and wildcard match outcomes are all
+//! byte-identical to the unbatched seed path, including under seeded fault
+//! perturbation.
+
+use mpisim::faults::FaultPlan;
+use mpisim::network;
+use mpisim::profile::MpiP;
+use mpisim::time::SimDuration;
+use mpisim::types::{MsgInfo, Src, TagSel};
+use mpisim::world::{RunReport, World};
+use std::sync::{Arc, Mutex};
+
+/// An ISend/IRecv burst workload: every iteration posts `width` receives
+/// and `width` sends before a single `waitall` — the exact shape batching
+/// accelerates.
+fn burst(iters: usize, width: usize) -> impl Fn(&mut mpisim::Ctx) + Send + Sync + Clone + 'static {
+    move |ctx| {
+        let w = ctx.world();
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        for it in 0..iters {
+            let mut reqs = Vec::new();
+            for k in 0..width {
+                let bytes = 256 + (64 * k as u64) + it as u64;
+                reqs.push(ctx.irecv(Src::Rank(left), TagSel::Is(k as i32), bytes, &w));
+                reqs.push(ctx.isend(right, k as i32, bytes, &w));
+            }
+            ctx.compute(SimDuration::from_usecs(5));
+            ctx.waitall(&reqs);
+        }
+        ctx.allreduce(8, &ctx.world());
+    }
+}
+
+/// Run `body` with batching on or off, returning the report and the merged
+/// mpiP profile.
+fn profiled_run(
+    batching: bool,
+    faults: Option<FaultPlan>,
+    body: impl Fn(&mut mpisim::Ctx) + Send + Sync + Clone + 'static,
+) -> (RunReport, MpiP) {
+    let mut world = World::new(4)
+        .network(network::ethernet_cluster())
+        .op_batching(batching);
+    if let Some(plan) = faults {
+        world = world.faults(plan);
+    }
+    let (report, hooks) = world.run_hooked(|_| MpiP::new(), body).unwrap();
+    (report, MpiP::merge_all(hooks.iter()))
+}
+
+#[test]
+fn batched_bursts_match_unbatched_reports_and_profiles() {
+    let (batched, prof_b) = profiled_run(true, None, burst(20, 6));
+    let (unbatched, prof_u) = profiled_run(false, None, burst(20, 6));
+    assert_eq!(batched.total_time, unbatched.total_time);
+    assert_eq!(batched.per_rank_time, unbatched.per_rank_time);
+    assert_eq!(batched.stats, unbatched.stats);
+    assert_eq!(prof_b.diff(&prof_u), Vec::<String>::new());
+    assert!(prof_b.total_calls() > 0, "profile must not be empty");
+}
+
+#[test]
+fn batching_preserves_per_channel_non_overtaking() {
+    // Rank 0 posts a burst of same-channel isends with distinguishable
+    // sizes; rank 1 receives them one by one. FIFO per (src, dst, tag)
+    // means the sizes must arrive in posted order — batching hands the
+    // whole burst over at once and must not reorder it.
+    let received: Arc<Mutex<Vec<MsgInfo>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&received);
+    World::new(2)
+        .network(network::ethernet_cluster())
+        .op_batching(true)
+        .run(move |ctx| {
+            let w = ctx.world();
+            if ctx.rank() == 0 {
+                let reqs: Vec<_> = (0..16).map(|k| ctx.isend(1, 7, 100 + k, &w)).collect();
+                ctx.waitall(&reqs);
+            } else {
+                for _ in 0..16 {
+                    let info = ctx.recv(Src::Rank(0), TagSel::Is(7), 4 << 10, &w);
+                    sink.lock().unwrap().push(info);
+                }
+            }
+        })
+        .unwrap();
+    let got: Vec<u64> = received.lock().unwrap().iter().map(|m| m.bytes).collect();
+    let expect: Vec<u64> = (0..16).map(|k| 100 + k).collect();
+    assert_eq!(got, expect, "same-channel messages overtook each other");
+}
+
+/// A wildcard-heavy workload: rank 0 drains `2 * (size - 1)` any-source
+/// receives while every other rank sends twice — the match order is
+/// timing-dependent, which is exactly what FaultPlan reordering perturbs.
+fn wildcard_funnel() -> impl Fn(&mut mpisim::Ctx) + Send + Sync + Clone + 'static {
+    move |ctx| {
+        let w = ctx.world();
+        if ctx.rank() == 0 {
+            for _ in 0..2 * (ctx.size() - 1) {
+                let _ = ctx.recv(Src::Any, TagSel::Any, 8 << 10, &w);
+            }
+        } else {
+            for round in 0..2 {
+                ctx.compute(SimDuration::from_usecs(3 * ctx.rank() as u64));
+                ctx.send(0, round, 512 + ctx.rank() as u64, &w);
+            }
+        }
+        ctx.barrier(&w);
+    }
+}
+
+#[test]
+fn batching_is_invisible_under_seeded_fault_reordering() {
+    for seed in 0..5u64 {
+        let plan = || {
+            FaultPlan::seeded(seed)
+                .with_latency_jitter(0.4)
+                .with_reorder()
+        };
+        let (batched, prof_b) = profiled_run(true, Some(plan()), wildcard_funnel());
+        let (unbatched, prof_u) = profiled_run(false, Some(plan()), wildcard_funnel());
+        assert_eq!(
+            batched.total_time, unbatched.total_time,
+            "seed {seed}: virtual time diverged"
+        );
+        assert_eq!(
+            batched.per_rank_time, unbatched.per_rank_time,
+            "seed {seed}"
+        );
+        assert_eq!(batched.stats, unbatched.stats, "seed {seed}");
+        assert_eq!(
+            prof_b.diff(&prof_u),
+            Vec::<String>::new(),
+            "seed {seed}: profiles diverged"
+        );
+    }
+}
+
+#[test]
+fn batching_is_invisible_under_faulted_bursts() {
+    let plan = || {
+        FaultPlan::seeded(11)
+            .with_latency_jitter(0.25)
+            .with_reorder()
+    };
+    let (batched, prof_b) = profiled_run(true, Some(plan()), burst(12, 4));
+    let (unbatched, prof_u) = profiled_run(false, Some(plan()), burst(12, 4));
+    assert_eq!(batched.total_time, unbatched.total_time);
+    assert_eq!(batched.stats, unbatched.stats);
+    assert_eq!(prof_b.diff(&prof_u), Vec::<String>::new());
+}

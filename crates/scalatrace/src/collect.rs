@@ -1,7 +1,7 @@
 //! Trace collection: the per-rank [`Tracer`] hook (the PMPI interposition
 //! layer of ScalaTrace) and the [`trace_app`]/[`trace_world`] entry points.
 
-use crate::compress::{append_compressed, DEFAULT_MAX_WINDOW};
+use crate::compress::{FoldStrategy, TailCompressor, DEFAULT_MAX_WINDOW};
 use crate::merge::merge_tracers;
 use crate::params::{CommParam, RankParam, SrcParam, ValParam};
 use crate::rankset::RankSet;
@@ -22,10 +22,9 @@ use std::sync::Arc;
 pub struct Tracer {
     rank: usize,
     nranks: usize,
-    seq: Vec<TraceNode>,
+    seq: TailCompressor,
     comms: CommTable,
     last_exit: SimTime,
-    max_window: usize,
     /// Number of MPI events this rank recorded.
     pub events_seen: u64,
 }
@@ -39,13 +38,27 @@ impl Tracer {
     /// A tracer with an explicit tail-compression window (see
     /// [`crate::compress`]).
     pub fn with_window(rank: usize, nranks: usize, max_window: usize) -> Tracer {
+        Tracer::with_compressor(rank, nranks, TailCompressor::new(max_window))
+    }
+
+    /// A tracer with an explicit fold strategy and the default window —
+    /// [`FoldStrategy::Structural`] selects the seed baseline algorithm.
+    pub fn with_strategy(rank: usize, nranks: usize, strategy: FoldStrategy) -> Tracer {
+        Tracer::with_compressor(
+            rank,
+            nranks,
+            TailCompressor::with_strategy(DEFAULT_MAX_WINDOW, strategy),
+        )
+    }
+
+    /// A tracer around a fully configured [`TailCompressor`].
+    pub fn with_compressor(rank: usize, nranks: usize, seq: TailCompressor) -> Tracer {
         Tracer {
             rank,
             nranks,
-            seq: Vec::new(),
+            seq,
             comms: CommTable::world(nranks),
             last_exit: SimTime::ZERO,
-            max_window,
             events_seen: 0,
         }
     }
@@ -63,12 +76,12 @@ impl Tracer {
     /// The rank-local compressed sequence (consumed by the inter-rank
     /// merge).
     pub fn into_parts(self) -> (Vec<TraceNode>, CommTable) {
-        (self.seq, self.comms)
+        (self.seq.into_nodes(), self.comms)
     }
 
     /// The rank-local compressed sequence collected so far.
     pub fn nodes(&self) -> &[TraceNode] {
-        &self.seq
+        self.seq.nodes()
     }
 
     fn template_of(&mut self, kind: &EventKind) -> OpTemplate {
@@ -145,7 +158,7 @@ impl Hook for Tracer {
             op,
             compute: TimeStats::of(compute),
         };
-        append_compressed(&mut self.seq, TraceNode::Event(rsd), self.max_window);
+        self.seq.push(TraceNode::Event(rsd));
         self.events_seen += 1;
     }
 }
@@ -177,7 +190,36 @@ pub fn trace_world<F>(world: World, n: usize, body: F) -> Result<TracedRun, SimE
 where
     F: Fn(&mut Ctx) + Send + Sync + 'static,
 {
-    let (report, tracers) = world.run_hooked(|r| Tracer::new(r, n), body)?;
+    trace_world_with_strategy(world, n, FoldStrategy::default(), body)
+}
+
+/// As [`trace_app`], but with an explicit fold strategy —
+/// [`FoldStrategy::Structural`] reproduces the seed compression algorithm
+/// (the `commbench perf --baseline` path and the differential tests).
+pub fn trace_app_with_strategy<F>(
+    n: usize,
+    model: Arc<dyn NetworkModel>,
+    strategy: FoldStrategy,
+    body: F,
+) -> Result<TracedRun, SimError>
+where
+    F: Fn(&mut Ctx) + Send + Sync + 'static,
+{
+    trace_world_with_strategy(World::new(n).network(model), n, strategy, body)
+}
+
+/// As [`trace_world`], but with an explicit fold strategy.
+pub fn trace_world_with_strategy<F>(
+    world: World,
+    n: usize,
+    strategy: FoldStrategy,
+    body: F,
+) -> Result<TracedRun, SimError>
+where
+    F: Fn(&mut Ctx) + Send + Sync + 'static,
+{
+    let (report, tracers) =
+        world.run_hooked(move |r| Tracer::with_strategy(r, n, strategy), body)?;
     let trace = merge_tracers(tracers);
     Ok(TracedRun { trace, report })
 }

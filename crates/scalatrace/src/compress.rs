@@ -13,11 +13,28 @@
 //! iterations with different computation times still fold — the histogram
 //! absorbs the variation.
 
+use crate::fingerprint::{self, POLY_BASE};
 use crate::trace::{Prsd, TraceNode};
 
 /// Default window: the longest loop body (in trace nodes) that folding will
 /// discover. Exposed for the compression ablation bench.
 pub const DEFAULT_MAX_WINDOW: usize = 32;
+
+/// Which fold-candidate search the compressor uses.
+///
+/// `Fingerprint` is the production path: O(1) rolling-hash window compares
+/// with a structural confirm only on hash hit. `Structural` is the seed
+/// algorithm (O(W) structural compares per window), retained as the
+/// baseline for `commbench perf --baseline` and the differential tests —
+/// both strategies produce byte-identical traces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FoldStrategy {
+    /// Fingerprint-indexed folding (default).
+    #[default]
+    Fingerprint,
+    /// The original structural-comparison folding.
+    Structural,
+}
 
 /// Append `node` and re-establish maximal tail compression.
 pub fn append_compressed(seq: &mut Vec<TraceNode>, node: TraceNode, max_window: usize) {
@@ -71,6 +88,220 @@ fn try_fold_tail(seq: &mut Vec<TraceNode>, max_window: usize) -> bool {
         }
     }
     false
+}
+
+/// Per-node structural summary kept alongside the sequence: the node's
+/// fingerprint plus, for loops, the body summary needed to re-fingerprint
+/// in O(1) when a Case-A fold bumps the count.
+#[derive(Clone, Copy)]
+struct NodeRec {
+    fp: u64,
+    body_hash: u64,
+    body_len: usize,
+}
+
+/// Incremental tail compressor with fingerprint-indexed fold search.
+///
+/// Owns the growing node sequence and, in fingerprint mode, a parallel
+/// record array plus polynomial prefix hashes over the node fingerprints,
+/// so "do these two length-`w` tail windows match?" is a subtraction and a
+/// multiply instead of `w` recursive structural comparisons. Every hash hit
+/// is confirmed structurally before folding, so the output is byte-identical
+/// to the structural strategy regardless of collisions.
+pub struct TailCompressor {
+    seq: Vec<TraceNode>,
+    recs: Vec<NodeRec>,
+    /// `pref[i]` = polynomial hash of `fp(seq[0..i])`; `pref.len() == seq.len()+1`.
+    pref: Vec<u64>,
+    /// `pow[k]` = `POLY_BASE^k`, precomputed up to `max_window`.
+    pow: Vec<u64>,
+    max_window: usize,
+    strategy: FoldStrategy,
+    /// Test hook: fingerprint every node as 0, forcing every window compare
+    /// through the structural confirm (exercises the collision path).
+    degraded: bool,
+}
+
+impl TailCompressor {
+    /// A compressor with the default strategy (fingerprint-indexed).
+    pub fn new(max_window: usize) -> TailCompressor {
+        TailCompressor::with_strategy(max_window, FoldStrategy::default())
+    }
+
+    /// A compressor with an explicit fold strategy.
+    pub fn with_strategy(max_window: usize, strategy: FoldStrategy) -> TailCompressor {
+        let mut pow = Vec::with_capacity(max_window + 1);
+        let mut p = 1u64;
+        for _ in 0..=max_window {
+            pow.push(p);
+            p = p.wrapping_mul(POLY_BASE);
+        }
+        TailCompressor {
+            seq: Vec::new(),
+            recs: Vec::new(),
+            pref: vec![0],
+            pow,
+            max_window,
+            strategy,
+            degraded: false,
+        }
+    }
+
+    /// A fingerprint-mode compressor whose fingerprints all collide (every
+    /// node hashes to 0). Used by the differential tests to prove that hash
+    /// collisions never fold unequal nodes.
+    #[doc(hidden)]
+    pub fn degraded(max_window: usize) -> TailCompressor {
+        let mut c = TailCompressor::with_strategy(max_window, FoldStrategy::Fingerprint);
+        c.degraded = true;
+        c
+    }
+
+    /// The configured fold strategy.
+    pub fn strategy(&self) -> FoldStrategy {
+        self.strategy
+    }
+
+    /// The compressed sequence so far.
+    pub fn nodes(&self) -> &[TraceNode] {
+        &self.seq
+    }
+
+    /// Consume the compressor, yielding the compressed sequence.
+    pub fn into_nodes(self) -> Vec<TraceNode> {
+        self.seq
+    }
+
+    /// Append `node` and re-establish maximal tail compression.
+    pub fn push(&mut self, node: TraceNode) {
+        if self.strategy == FoldStrategy::Structural {
+            append_compressed(&mut self.seq, node, self.max_window);
+            return;
+        }
+        let rec = self.record_of(&node);
+        self.seq.push(node);
+        self.recs.push(rec);
+        self.push_pref(rec.fp);
+        while self.try_fold() {}
+    }
+
+    fn record_of(&self, node: &TraceNode) -> NodeRec {
+        match node {
+            TraceNode::Event(_) => NodeRec {
+                fp: if self.degraded {
+                    0
+                } else {
+                    fingerprint::node_fp(node)
+                },
+                body_hash: 0,
+                body_len: 0,
+            },
+            TraceNode::Loop(p) => {
+                let body_hash = if self.degraded {
+                    0
+                } else {
+                    fingerprint::combine_seq(p.body.iter().map(fingerprint::node_fp))
+                };
+                NodeRec {
+                    fp: self.mk_loop_fp(p.count, p.body.len(), body_hash),
+                    body_hash,
+                    body_len: p.body.len(),
+                }
+            }
+        }
+    }
+
+    fn mk_loop_fp(&self, count: u64, body_len: usize, body_hash: u64) -> u64 {
+        if self.degraded {
+            0
+        } else {
+            fingerprint::loop_fp(count, body_len, body_hash)
+        }
+    }
+
+    fn push_pref(&mut self, fp: u64) {
+        let last = *self.pref.last().unwrap();
+        self.pref
+            .push(last.wrapping_mul(POLY_BASE).wrapping_add(fp));
+    }
+
+    /// Polynomial hash of the fingerprints of `seq[i..j]` (`j - i` must be
+    /// within the precomputed power table, i.e. ≤ `max_window`).
+    fn win_hash(&self, i: usize, j: usize) -> u64 {
+        self.pref[j].wrapping_sub(self.pref[i].wrapping_mul(self.pow[j - i]))
+    }
+
+    fn try_fold(&mut self) -> bool {
+        let len = self.seq.len();
+        for w in 1..=self.max_window {
+            // Case A: the `w` tail nodes repeat the body of the loop that
+            // immediately precedes them → bump the loop's iteration count.
+            if len > w {
+                let rec = self.recs[len - w - 1];
+                if rec.body_len == w
+                    && matches!(self.seq[len - w - 1], TraceNode::Loop(_))
+                    && rec.body_hash == self.win_hash(len - w, len)
+                    && self.confirm_case_a(len, w)
+                {
+                    let tail: Vec<TraceNode> = self.seq.drain(len - w..).collect();
+                    let TraceNode::Loop(p) = self.seq.last_mut().unwrap() else {
+                        unreachable!()
+                    };
+                    for (body, t) in p.body.iter_mut().zip(&tail) {
+                        body.absorb_times(t);
+                    }
+                    p.count += 1;
+                    let count = p.count;
+                    // The loop's fingerprint depends on its count; its body
+                    // hash is timing-blind and thus unchanged by the absorb.
+                    let fp = self.mk_loop_fp(count, rec.body_len, rec.body_hash);
+                    self.recs.truncate(len - w);
+                    self.recs[len - w - 1].fp = fp;
+                    self.pref.truncate(len - w);
+                    self.push_pref(fp);
+                    return true;
+                }
+            }
+            // Case B: two adjacent identical windows of length `w` → new loop.
+            if len >= 2 * w {
+                let first = len - 2 * w;
+                let second = len - w;
+                if self.win_hash(first, second) == self.win_hash(second, len)
+                    && (0..w).all(|i| self.seq[first + i].foldable_with(&self.seq[second + i]))
+                {
+                    let body_hash = self.win_hash(first, second);
+                    let tail: Vec<TraceNode> = self.seq.drain(second..).collect();
+                    let mut body: Vec<TraceNode> = self.seq.drain(first..).collect();
+                    for (b, t) in body.iter_mut().zip(&tail) {
+                        b.absorb_times(t);
+                    }
+                    let fp = self.mk_loop_fp(2, w, body_hash);
+                    self.seq.push(TraceNode::Loop(Prsd { count: 2, body }));
+                    self.recs.truncate(first);
+                    self.recs.push(NodeRec {
+                        fp,
+                        body_hash,
+                        body_len: w,
+                    });
+                    self.pref.truncate(first + 1);
+                    self.push_pref(fp);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn confirm_case_a(&self, len: usize, w: usize) -> bool {
+        let TraceNode::Loop(p) = &self.seq[len - w - 1] else {
+            return false;
+        };
+        p.body.len() == w
+            && p.body
+                .iter()
+                .zip(&self.seq[len - w..])
+                .all(|(a, b)| a.foldable_with(b))
+    }
 }
 
 #[cfg(test)]
@@ -210,5 +441,79 @@ mod tests {
         }
         let total: u64 = seq.iter().map(TraceNode::concrete_event_count).sum();
         assert_eq!(total, pushed, "compression must be lossless in event count");
+    }
+
+    /// Feed the same node stream to the structural baseline and a
+    /// [`TailCompressor`], asserting identical output.
+    fn assert_strategies_agree(stream: impl Iterator<Item = TraceNode> + Clone, window: usize) {
+        let mut baseline = Vec::new();
+        let mut fp = TailCompressor::with_strategy(window, FoldStrategy::Fingerprint);
+        let mut degraded = TailCompressor::degraded(window);
+        for n in stream {
+            append_compressed(&mut baseline, n.clone(), window);
+            fp.push(n.clone());
+            degraded.push(n);
+        }
+        assert_eq!(fp.nodes(), baseline.as_slice());
+        assert_eq!(degraded.nodes(), baseline.as_slice());
+    }
+
+    #[test]
+    fn fingerprint_folding_matches_structural() {
+        // single repeated event
+        assert_strategies_agree(
+            (0..1000).map(|i| ev(1, 64, 10 + (i % 3))),
+            DEFAULT_MAX_WINDOW,
+        );
+        // figure-2 style 3-event body
+        assert_strategies_agree(
+            (0..3000).map(|i| ev(1 + (i % 3), 1024, 5)),
+            DEFAULT_MAX_WINDOW,
+        );
+        // nested loops
+        let nested = (0..5).flat_map(|_| {
+            (0..10)
+                .map(|_| ev(1, 64, 1))
+                .chain(std::iter::once(ev(2, 8, 1)))
+                .collect::<Vec<_>>()
+        });
+        assert_strategies_agree(nested.clone(), DEFAULT_MAX_WINDOW);
+        // tight window
+        assert_strategies_agree(nested, 2);
+        // aperiodic with a break
+        assert_strategies_agree(
+            (0..500).map(|i| ev(if i == 250 { 99 } else { 1 + (i % 4) }, 64, 1)),
+            DEFAULT_MAX_WINDOW,
+        );
+    }
+
+    #[test]
+    fn degraded_fingerprints_never_fold_unequal_nodes() {
+        // All fingerprints collide (hash to 0); only the structural confirm
+        // stands between distinct events and a bogus fold.
+        let mut c = TailCompressor::degraded(DEFAULT_MAX_WINDOW);
+        for i in 0..10 {
+            c.push(ev(i, 64, 1));
+        }
+        assert_eq!(c.nodes().len(), 10);
+    }
+
+    #[test]
+    fn compressor_accepts_preformed_loops() {
+        // Pushing Loop nodes directly (as the differential tests do) folds
+        // identically under both strategies.
+        let mk = || {
+            TraceNode::Loop(Prsd {
+                count: 4,
+                body: vec![ev(1, 64, 1), ev(2, 64, 1)],
+            })
+        };
+        assert_strategies_agree((0..6).map(|_| mk()), DEFAULT_MAX_WINDOW);
+        let mut c = TailCompressor::new(DEFAULT_MAX_WINDOW);
+        for _ in 0..6 {
+            c.push(mk());
+        }
+        // six identical loops fold into one loop-of-loop
+        assert_eq!(c.nodes().len(), 1);
     }
 }

@@ -41,6 +41,7 @@ pub mod collect;
 pub mod compress;
 pub mod cursor;
 pub mod extrap;
+pub mod fingerprint;
 pub mod merge;
 pub mod params;
 pub mod rankset;
@@ -51,8 +52,10 @@ pub mod timestats;
 pub mod trace;
 
 pub use collect::{
-    trace_app, trace_world, trace_world_partial, PartialTracedRun, TracedRun, Tracer,
+    trace_app, trace_app_with_strategy, trace_world, trace_world_partial,
+    trace_world_with_strategy, PartialTracedRun, TracedRun, Tracer,
 };
+pub use compress::{FoldStrategy, TailCompressor};
 pub use cursor::{events_for_rank, semantically_equal, ConcreteEvent, ConcreteOp, Cursor};
 pub use rankset::RankSet;
 pub use timestats::TimeStats;

@@ -5,8 +5,15 @@
 //! runs, so common SPMD patterns ("all ranks", "every third rank", "ranks
 //! 0–31") stay O(1) in size regardless of the job size — the property that
 //! makes ScalaTrace traces near constant-size.
+//!
+//! The run storage is a shared `Arc<[Run]>` behind a small intern arena:
+//! cloning a rank set is a reference-count bump, and the ubiquitous shapes
+//! (empty, `{r}` for small `r`, `0..n` for small `n`) are preallocated
+//! singletons, so the inter-node merge no longer deep-copies rank lists and
+//! equality checks on interned sets short-circuit on pointer identity.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// One arithmetic run of ranks: `start, start+stride, …` (`count` terms).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -31,11 +38,76 @@ impl Run {
     }
 }
 
-/// A sorted set of ranks, compressed into arithmetic runs.
-#[derive(Clone, PartialEq, Eq, Default)]
-pub struct RankSet {
-    runs: Vec<Run>,
+/// Largest rank / world size served from the preallocated intern tables.
+const INTERN_LIMIT: usize = 128;
+
+fn empty_runs() -> Arc<[Run]> {
+    static EMPTY: OnceLock<Arc<[Run]>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new())))
 }
+
+fn single_runs(rank: usize) -> Arc<[Run]> {
+    static SINGLES: OnceLock<Vec<Arc<[Run]>>> = OnceLock::new();
+    let table = SINGLES.get_or_init(|| {
+        (0..INTERN_LIMIT)
+            .map(|r| {
+                Arc::from(vec![Run {
+                    start: r,
+                    stride: 1,
+                    count: 1,
+                }])
+            })
+            .collect()
+    });
+    Arc::clone(&table[rank])
+}
+
+fn all_runs(n: usize) -> Arc<[Run]> {
+    static ALLS: OnceLock<Vec<Arc<[Run]>>> = OnceLock::new();
+    let table = ALLS.get_or_init(|| {
+        (1..=INTERN_LIMIT)
+            .map(|n| {
+                Arc::from(vec![Run {
+                    start: 0,
+                    stride: 1,
+                    count: n,
+                }])
+            })
+            .collect()
+    });
+    Arc::clone(&table[n - 1])
+}
+
+/// Intern a freshly built run vector: canonical shapes resolve to the
+/// shared singletons, everything else is wrapped in a new `Arc`.
+fn intern(runs: Vec<Run>) -> Arc<[Run]> {
+    match runs.as_slice() {
+        [] => empty_runs(),
+        [r] if r.count == 1 && r.start < INTERN_LIMIT => single_runs(r.start),
+        [r] if r.start == 0 && r.stride == 1 && r.count <= INTERN_LIMIT => all_runs(r.count),
+        _ => Arc::from(runs),
+    }
+}
+
+/// A sorted set of ranks, compressed into arithmetic runs.
+#[derive(Clone)]
+pub struct RankSet {
+    runs: Arc<[Run]>,
+}
+
+impl Default for RankSet {
+    fn default() -> RankSet {
+        RankSet { runs: empty_runs() }
+    }
+}
+
+impl PartialEq for RankSet {
+    fn eq(&self, other: &RankSet) -> bool {
+        Arc::ptr_eq(&self.runs, &other.runs) || self.runs == other.runs
+    }
+}
+
+impl Eq for RankSet {}
 
 impl RankSet {
     /// The empty set.
@@ -46,11 +118,11 @@ impl RankSet {
     /// The singleton set `{rank}`.
     pub fn single(rank: usize) -> RankSet {
         RankSet {
-            runs: vec![Run {
+            runs: intern(vec![Run {
                 start: rank,
                 stride: 1,
                 count: 1,
-            }],
+            }]),
         }
     }
 
@@ -60,11 +132,11 @@ impl RankSet {
             return RankSet::empty();
         }
         RankSet {
-            runs: vec![Run {
+            runs: intern(vec![Run {
                 start: 0,
                 stride: 1,
                 count: n,
-            }],
+            }]),
         }
     }
 
@@ -104,7 +176,7 @@ impl RankSet {
             });
             i += count;
         }
-        RankSet { runs }
+        RankSet { runs: intern(runs) }
     }
 
     /// Number of ranks in the set.
@@ -134,8 +206,15 @@ impl RankSet {
         self.iter().min()
     }
 
-    /// Set union, re-compressed.
+    /// Set union, re-compressed. Sharing the run storage makes the common
+    /// degenerate cases (`a ∪ a`, `a ∪ ∅`) O(1) clones.
     pub fn union(&self, other: &RankSet) -> RankSet {
+        if other.is_empty() || Arc::ptr_eq(&self.runs, &other.runs) {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
         RankSet::from_ranks(self.iter().chain(other.iter()))
     }
 
@@ -260,5 +339,33 @@ mod tests {
     fn first() {
         assert_eq!(RankSet::from_ranks([5, 2, 9]).first(), Some(2));
         assert_eq!(RankSet::empty().first(), None);
+    }
+
+    #[test]
+    fn interned_shapes_share_storage() {
+        // Clones and equal constructions of canonical shapes alias the same
+        // allocation — equality is a pointer compare, cloning a refcount bump.
+        let a = RankSet::all(16);
+        let b = RankSet::from_ranks(0..16);
+        assert!(Arc::ptr_eq(&a.runs, &b.runs));
+        let s1 = RankSet::single(7);
+        let s2 = RankSet::from_ranks([7]);
+        assert!(Arc::ptr_eq(&s1.runs, &s2.runs));
+        assert!(Arc::ptr_eq(
+            &RankSet::empty().runs,
+            &RankSet::default().runs
+        ));
+        // Beyond the intern limit everything still works, just uninterned.
+        let big = RankSet::single(INTERN_LIMIT + 5);
+        assert_eq!(big.len(), 1);
+        assert!(big.contains(INTERN_LIMIT + 5));
+    }
+
+    #[test]
+    fn union_fast_paths() {
+        let a = RankSet::from_ranks([1, 5, 9]);
+        assert_eq!(a.union(&RankSet::empty()), a);
+        assert_eq!(RankSet::empty().union(&a), a);
+        assert_eq!(a.union(&a.clone()), a);
     }
 }

@@ -187,6 +187,106 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Differential folding: fingerprint index vs seed structural scan
+// ---------------------------------------------------------------------------
+
+/// An event over a small structural alphabet: signature and payload both
+/// vary, so sequences contain near-miss windows (equal signatures,
+/// different volumes) as well as true repeats.
+fn alpha_ev(sig: u64, bytes: u64) -> TraceNode {
+    TraceNode::Event(Rsd {
+        ranks: RankSet::single(0),
+        sig,
+        op: OpTemplate::Send {
+            to: RankParam::Const(1),
+            tag: 0,
+            bytes: ValParam::Const(bytes * 64),
+            comm: CommParam::Const(0),
+            blocking: sig.is_multiple_of(2),
+        },
+        compute: TimeStats::of(SimDuration::from_usecs(sig + bytes)),
+    })
+}
+
+fn fold_with(
+    stream: &[TraceNode],
+    window: usize,
+    strategy: scalatrace::FoldStrategy,
+) -> Vec<TraceNode> {
+    let mut c = scalatrace::TailCompressor::with_strategy(window, strategy);
+    for n in stream {
+        c.push(n.clone());
+    }
+    c.into_nodes()
+}
+
+proptest! {
+    /// The fingerprint-indexed fast path must produce byte-identical traces
+    /// to the seed structural scan on arbitrary event sequences, and stay
+    /// lossless.
+    #[test]
+    fn fingerprint_folding_matches_structural(
+        stream in proptest::collection::vec((0u64..4, 1u64..4), 0..250),
+        window in 1usize..33,
+    ) {
+        let nodes: Vec<TraceNode> =
+            stream.iter().map(|&(s, b)| alpha_ev(s, b)).collect();
+        let fp = fold_with(&nodes, window, scalatrace::FoldStrategy::Fingerprint);
+        let st = fold_with(&nodes, window, scalatrace::FoldStrategy::Structural);
+        prop_assert_eq!(&fp, &st);
+        let expanded: Vec<u64> = Cursor::over(&fp, 0)
+            .collect_all()
+            .into_iter()
+            .map(|e| e.sig)
+            .collect();
+        let expect: Vec<u64> = stream.iter().map(|&(s, _)| s).collect();
+        prop_assert_eq!(expanded, expect);
+    }
+
+    /// Quasi-periodic drift streams — long repeated prefixes with one
+    /// drifting parameter — are the structural scan's worst case and the
+    /// fingerprint index's motivating pattern; both must still agree.
+    #[test]
+    fn fingerprint_folding_matches_structural_under_drift(
+        period in 2usize..12,
+        reps in 2usize..20,
+        drift_every in 1usize..5,
+    ) {
+        let mut nodes = Vec::new();
+        for p in 0..reps {
+            for s in 0..period as u64 {
+                nodes.push(alpha_ev(s, 1));
+            }
+            let bytes = if p % drift_every == 0 { 1_000 + p as u64 } else { 2 };
+            nodes.push(alpha_ev(period as u64, bytes));
+        }
+        let fp = fold_with(&nodes, 32, scalatrace::FoldStrategy::Fingerprint);
+        let st = fold_with(&nodes, 32, scalatrace::FoldStrategy::Structural);
+        prop_assert_eq!(fp, st);
+    }
+
+    /// With every fingerprint forced to collide (the degraded all-zero
+    /// mode), each window check becomes a hash hit — yet the structural
+    /// confirmation must reject every unequal fold, so the output is still
+    /// byte-identical to the structural scan. Collisions cost time, never
+    /// correctness.
+    #[test]
+    fn forced_collisions_never_fold_unequal_nodes(
+        stream in proptest::collection::vec((0u64..3, 1u64..3), 0..150),
+        window in 1usize..17,
+    ) {
+        let nodes: Vec<TraceNode> =
+            stream.iter().map(|&(s, b)| alpha_ev(s, b)).collect();
+        let mut degraded = scalatrace::TailCompressor::degraded(window);
+        for n in &nodes {
+            degraded.push(n.clone());
+        }
+        let st = fold_with(&nodes, window, scalatrace::FoldStrategy::Structural);
+        prop_assert_eq!(degraded.into_nodes(), st);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Inter-rank merge: per-rank projections are preserved
 // ---------------------------------------------------------------------------
 

@@ -23,11 +23,23 @@
 //! commbench chaos --apps lu,cg --ranks 4 --network bgl
 //! ```
 //!
+//! The `perf` subcommand runs the standing performance suite (compression
+//! microbench at 8/32/64 ranks plus the cache-routed trace → generate →
+//! execute pipeline over the registry) with warmup + median-of-N timing,
+//! and writes `BENCH_pipeline.json`; every suite embeds its seed-algorithm
+//! baseline so the speedups transfer across machines:
+//!
+//! ```text
+//! commbench perf                                    # full suite
+//! commbench perf --smoke --check BENCH_pipeline.json  # the CI gate
+//! ```
+//!
 //! Exit status is success iff every expanded job succeeded.
 
 use campaign::{
     run_campaign, run_jobs, CampaignSpec, FleetOptions, JobSpec, Telemetry, TraceCache,
 };
+use commspec::perf::{self, PerfConfig};
 use miniapps::{registry, Class};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -72,6 +84,7 @@ struct ChaosArgs {
 enum Cmd {
     Matrix(Args),
     Chaos(ChaosArgs),
+    Perf(PerfConfig),
 }
 
 fn parse_args() -> Result<Cmd, String> {
@@ -116,10 +129,11 @@ fn parse_common(common: &mut Common, argv: &[String], i: &mut usize) -> Result<b
 }
 
 fn parse_argv(argv: Vec<String>) -> Result<Cmd, String> {
-    if argv.first().map(String::as_str) == Some("chaos") {
-        return parse_chaos(&argv[1..]).map(Cmd::Chaos);
+    match argv.first().map(String::as_str) {
+        Some("chaos") => parse_chaos(&argv[1..]).map(Cmd::Chaos),
+        Some("perf") => parse_perf(&argv[1..]).map(Cmd::Perf),
+        _ => parse_matrix(&argv).map(Cmd::Matrix),
     }
-    parse_matrix(&argv).map(Cmd::Matrix)
 }
 
 fn parse_matrix(argv: &[String]) -> Result<Args, String> {
@@ -149,7 +163,9 @@ fn parse_matrix(argv: &[String]) -> Result<Args, String> {
                     "usage: commbench --matrix FILE [--print-matrix] [--cache DIR] \
                             [--log FILE.jsonl] [--workers N] [--timeout SECS] [--retries N]\n\
                      or:    commbench chaos [--seeds N] [--apps A,B] [--ranks N] \
-                            [--network ideal|bgl|ethernet] [--iterations N] [common flags]"
+                            [--network ideal|bgl|ethernet] [--iterations N] [common flags]\n\
+                     or:    commbench perf [--smoke] [--baseline] [--reps N] [--warmup N] \
+                            [--cache DIR] [--out FILE.json] [--check BASELINE.json]"
                         .to_string(),
                 )
             }
@@ -282,6 +298,99 @@ fn chaos_jobs(args: &ChaosArgs) -> (Vec<JobSpec>, Vec<String>) {
     (jobs, skipped)
 }
 
+fn parse_perf(argv: &[String]) -> Result<PerfConfig, String> {
+    let mut cfg = PerfConfig::new();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--baseline" => cfg.baseline_only = true,
+            "--reps" => {
+                cfg.reps = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --reps: {e}"))?,
+                )
+            }
+            "--warmup" => {
+                cfg.warmup = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --warmup: {e}"))?,
+                )
+            }
+            "--cache" => cfg.cache_dir = PathBuf::from(value(&mut i)?),
+            "--out" => cfg.out = PathBuf::from(value(&mut i)?),
+            "--check" => cfg.check = Some(PathBuf::from(value(&mut i)?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: commbench perf [--smoke] [--baseline] [--reps N] [--warmup N] \
+                            [--cache DIR] [--out FILE.json] [--check BASELINE.json]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+    if cfg.reps == Some(0) {
+        return Err("--reps must be at least 1".to_string());
+    }
+    Ok(cfg)
+}
+
+fn main_perf(cfg: PerfConfig) -> ExitCode {
+    let report = match perf::run(&cfg) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("perf suite failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.table());
+    let text = format!("{}\n", report.to_json());
+    if let Err(e) = std::fs::write(&cfg.out, &text) {
+        eprintln!("cannot write {}: {e}", cfg.out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf: wrote {}", cfg.out.display());
+    if let Some(baseline_path) = &cfg.check {
+        let committed = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let committed = match perf::parse_json(&committed) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bad baseline {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let errors = perf::check_regressions(&report, &committed);
+        for e in &errors {
+            eprintln!("perf check: {e}");
+        }
+        if !errors.is_empty() {
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "perf: no suite regressed >{:.0}% vs {}",
+            perf::CHECK_TOLERANCE * 100.0,
+            baseline_path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn open_cache_and_log(common: &Common) -> Result<(TraceCache, Telemetry), String> {
     let cache = TraceCache::open(&common.cache_dir)
         .map_err(|e| format!("cannot open cache {}: {e}", common.cache_dir.display()))?;
@@ -294,6 +403,7 @@ fn main() -> ExitCode {
     match parse_args() {
         Ok(Cmd::Matrix(args)) => main_matrix(args),
         Ok(Cmd::Chaos(args)) => main_chaos(args),
+        Ok(Cmd::Perf(cfg)) => main_perf(cfg),
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
@@ -419,14 +529,14 @@ mod tests {
     fn matrix_args(s: &str) -> Args {
         match parse_argv(argv(s)).unwrap() {
             Cmd::Matrix(a) => a,
-            Cmd::Chaos(_) => panic!("expected matrix mode"),
+            _ => panic!("expected matrix mode"),
         }
     }
 
     fn chaos_args(s: &str) -> ChaosArgs {
         match parse_argv(argv(s)).unwrap() {
             Cmd::Chaos(a) => a,
-            Cmd::Matrix(_) => panic!("expected chaos mode"),
+            _ => panic!("expected chaos mode"),
         }
     }
 
@@ -489,6 +599,34 @@ mod tests {
         assert!(parse_argv(argv("chaos --apps nosuchapp")).is_err());
         assert!(parse_argv(argv("chaos --matrix m.txt")).is_err());
         assert!(parse_argv(argv("chaos --help")).is_err());
+    }
+
+    #[test]
+    fn parses_perf_invocations() {
+        let perf = |s: &str| match parse_argv(argv(s)).unwrap() {
+            Cmd::Perf(cfg) => cfg,
+            _ => panic!("expected perf mode"),
+        };
+        let cfg = perf("perf");
+        assert!(!cfg.smoke && !cfg.baseline_only);
+        assert_eq!(cfg.out, PathBuf::from("BENCH_pipeline.json"));
+        assert!(cfg.check.is_none());
+
+        let cfg = perf(
+            "perf --smoke --baseline --reps 7 --warmup 3 --cache /tmp/c \
+             --out o.json --check BENCH_pipeline.json",
+        );
+        assert!(cfg.smoke && cfg.baseline_only);
+        assert_eq!(cfg.reps, Some(7));
+        assert_eq!(cfg.warmup, Some(3));
+        assert_eq!(cfg.cache_dir, PathBuf::from("/tmp/c"));
+        assert_eq!(cfg.out, PathBuf::from("o.json"));
+        assert_eq!(cfg.check, Some(PathBuf::from("BENCH_pipeline.json")));
+
+        assert!(parse_argv(argv("perf --reps 0")).is_err());
+        assert!(parse_argv(argv("perf --reps lots")).is_err());
+        assert!(parse_argv(argv("perf --matrix m.txt")).is_err());
+        assert!(parse_argv(argv("perf --help")).is_err());
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub use miniapps;
 pub use mpisim;
 pub use scalatrace;
 
+pub mod perf;
+
 /// Convenient glob imports for the full pipeline.
 pub mod prelude {
     pub use benchgen::{self, GenOptions};

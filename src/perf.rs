@@ -1,0 +1,709 @@
+//! `commbench perf` — the standing performance gate.
+//!
+//! Runs a fixed, std-only benchmark suite with warmup + median-of-N timing
+//! and writes `BENCH_pipeline.json` at the repo root in a stable schema, so
+//! successive PRs append to a measured performance trajectory instead of
+//! trading anecdotes. Two suite families:
+//!
+//! * **compression** — the ScalaTrace tail-folding microbench at 8/32/64
+//!   ranks: synthetic per-rank event streams (nested loops, flat bursts,
+//!   periodic breaks) pushed through [`TailCompressor`] under the
+//!   production fingerprint strategy and the seed structural strategy.
+//! * **pipeline** — the full trace → generate → execute pipeline over
+//!   miniapp registry entries, routed through [`campaign::TraceCache`] so
+//!   every suite reports both a *cold* timing (trace, store, generate,
+//!   execute) and a *warm* timing (cache load, generate, execute). The
+//!   baseline leg re-runs the seed algorithms: structural folding and
+//!   unbatched rank→engine handoffs.
+//!
+//! Every suite therefore embeds its own `--baseline` comparison; `speedup`
+//! is `baseline_ns / current_ns` on the primary metric (median compression
+//! time, or median cold pipeline time). Speedups — not absolute
+//! nanoseconds — are what the CI smoke gate compares across machines.
+
+use campaign::hash;
+use campaign::TraceCache;
+use conceptual::interp::run_rank;
+use miniapps::{registry, App, AppParams, Class};
+use mpisim::network;
+use mpisim::profile::MpiP;
+use mpisim::time::SimDuration;
+use mpisim::world::World;
+use scalatrace::compress::DEFAULT_MAX_WINDOW;
+use scalatrace::params::{CommParam, RankParam, ValParam};
+use scalatrace::timestats::TimeStats;
+use scalatrace::trace::{OpTemplate, Rsd, TraceNode};
+use scalatrace::{FoldStrategy, RankSet};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+mod json;
+pub use json::{parse as parse_json, Json};
+
+/// Rank counts of the compression microbench (the tentpole gate reads the
+/// 64-rank row).
+pub const COMPRESS_RANKS: [usize; 3] = [8, 32, 64];
+
+/// Pipeline world size; every registry app accepts 4 ranks.
+const PIPELINE_RANKS: usize = 4;
+
+/// Smoke-mode pipeline apps (a wildcard-heavy app plus the simplest one).
+const SMOKE_APPS: [&str; 2] = ["ring", "lu"];
+
+/// Maximum tolerated regression of a suite's speedup vs the committed
+/// baseline in `--check` mode (25%).
+pub const CHECK_TOLERANCE: f64 = 0.25;
+
+/// Configuration of one `commbench perf` invocation.
+#[derive(Clone, Debug)]
+pub struct PerfConfig {
+    /// Smoke mode: two registry apps instead of the full set.
+    pub smoke: bool,
+    /// Measure only the seed algorithms (structural folding, unbatched
+    /// handoffs) — the manual A/B leg. The default run already embeds the
+    /// baseline comparison in every suite.
+    pub baseline_only: bool,
+    /// Median-of-N repetition count (`None` = mode default).
+    pub reps: Option<usize>,
+    /// Warmup iterations before timing (`None` = mode default).
+    pub warmup: Option<usize>,
+    /// Trace-cache directory; the suite uses the `perf/` subdirectory.
+    pub cache_dir: PathBuf,
+    /// Output path for the JSON report.
+    pub out: PathBuf,
+    /// Committed baseline to compare speedups against (CI gate).
+    pub check: Option<PathBuf>,
+}
+
+impl PerfConfig {
+    /// Defaults: full mode, cache and output at their conventional paths.
+    pub fn new() -> PerfConfig {
+        PerfConfig {
+            smoke: false,
+            baseline_only: false,
+            reps: None,
+            warmup: None,
+            cache_dir: PathBuf::from(".commbench-cache"),
+            out: PathBuf::from("BENCH_pipeline.json"),
+            check: None,
+        }
+    }
+
+    /// Median-of-N count. Identical in smoke and full mode: a median of 3
+    /// is too noisy to hold the `--check` tolerance on the cheapest suites
+    /// (one cold-start outlier per leg skews it), so smoke saves its time
+    /// through the smaller pipeline app set only.
+    fn reps(&self) -> usize {
+        self.reps.unwrap_or(5)
+    }
+
+    fn warmup(&self) -> usize {
+        self.warmup.unwrap_or(2)
+    }
+
+    /// Outer iterations of the synthetic compression stream. Identical in
+    /// smoke and full mode: speedups are only comparable across runs when
+    /// the workload shape is fixed (the seed structural scan's cost is not
+    /// linear in the stream length), and smoke mode saves its time by
+    /// cutting the pipeline app set instead.
+    fn compress_iters(&self) -> usize {
+        150
+    }
+
+    /// Per-app iteration override for the pipeline suite. Same in both
+    /// modes, for the same comparability reason as [`Self::compress_iters`].
+    fn pipeline_iters(&self) -> usize {
+        30
+    }
+}
+
+impl Default for PerfConfig {
+    fn default() -> PerfConfig {
+        PerfConfig::new()
+    }
+}
+
+/// One benchmark suite's result. `current_ns` / `baseline_ns` hold the
+/// primary metric (compression: median fold time; pipeline: median cold
+/// time); pipeline suites add the warm (cache-hit) medians.
+#[derive(Clone, Debug)]
+pub struct Suite {
+    /// Stable suite name (e.g. `compress_r64`, `pipeline_lu_r4`).
+    pub name: String,
+    /// `compression`, `pipeline`, or `aggregate`.
+    pub kind: &'static str,
+    /// World size (0 for aggregates).
+    pub ranks: usize,
+    /// Median of the primary metric with the current algorithms, in ns.
+    pub current_ns: u64,
+    /// Median of the primary metric with the seed algorithms, in ns.
+    pub baseline_ns: u64,
+    /// `baseline_ns / current_ns`.
+    pub speedup: f64,
+    /// Median warm (cache-hit) pipeline time, current algorithms.
+    pub warm_ns: Option<u64>,
+    /// Median warm (cache-hit) pipeline time, seed algorithms.
+    pub baseline_warm_ns: Option<u64>,
+}
+
+/// A completed perf run.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// `full`, `smoke`, or `baseline-only`.
+    pub mode: String,
+    /// Median-of-N repetition count.
+    pub reps: usize,
+    /// Warmup iterations.
+    pub warmup: usize,
+    /// Suite results in execution order.
+    pub suites: Vec<Suite>,
+}
+
+/// The two algorithm generations each suite compares.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    /// Fingerprint folding + batched op submission.
+    Current,
+    /// Seed algorithms: structural folding + per-op handoffs.
+    Baseline,
+}
+
+impl Variant {
+    fn strategy(self) -> FoldStrategy {
+        match self {
+            Variant::Current => FoldStrategy::Fingerprint,
+            Variant::Baseline => FoldStrategy::Structural,
+        }
+    }
+
+    fn batching(self) -> bool {
+        self == Variant::Current
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Variant::Current => "current",
+            Variant::Baseline => "baseline",
+        }
+    }
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    }
+}
+
+/// Warmup + median-of-N wall-clock timing of `f` (ns).
+fn time_median<T>(warmup: usize, reps: usize, mut f: impl FnMut() -> T) -> u64 {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    median(samples)
+}
+
+/// One synthetic trace event: a single-rank RSD as the [`Tracer`] hook
+/// would record it.
+///
+/// [`Tracer`]: scalatrace::Tracer
+fn synth_event(rank: usize, nranks: usize, sig: u64, bytes: u64, us: u64) -> TraceNode {
+    TraceNode::Event(Rsd {
+        ranks: RankSet::single(rank),
+        sig,
+        op: OpTemplate::Send {
+            to: RankParam::Const((rank + 1) % nranks),
+            tag: 0,
+            bytes: ValParam::Const(bytes),
+            comm: CommParam::Const(0),
+            blocking: false,
+        },
+        compute: TimeStats::of(SimDuration::from_usecs(us)),
+    })
+}
+
+/// The per-rank event stream of the compression microbench. Two segments:
+///
+/// 1. A quasi-periodic 16-event exchange pattern whose last slot's byte
+///    count *drifts* every fourth period (the shape rank-dependent or
+///    adaptive volumes produce, e.g. IS's `MPI_Alltoallv`). Drift breaks
+///    folding at the drift slot, so the seed algorithm re-walks long
+///    almost-equal tail windows on every append — the O(W²) structural
+///    near-miss case the fingerprint index reduces to O(1) hash compares.
+/// 2. The fold-friendly case: nested loops (8 × a 4-event inner loop plus
+///    an epilogue), where folding succeeds constantly and the fingerprint
+///    bookkeeping has to pay for itself.
+fn synth_stream(rank: usize, nranks: usize, iters: usize) -> Vec<TraceNode> {
+    let mut out = Vec::with_capacity(iters * 16);
+    for p in 0..iters {
+        // Each timestep repeats an 8-call exchange twice, so it folds to
+        // `Loop { count: 2, body: [8 events] }` — but the volume of the
+        // final call drifts with the timestep (rank-dependent scatter sizes,
+        // as in IS), so timesteps never fold into each other. The folded
+        // sequence is a run of Loop nodes that agree on everything except
+        // one leaf: every structural window comparison recurses through
+        // near-identical loop bodies before failing, while the fingerprint
+        // index rejects the windows in O(1).
+        for _ in 0..2 {
+            for s in 0..7u64 {
+                out.push(synth_event(rank, nranks, 10 + s, 256 << (s % 4), 1));
+            }
+            out.push(synth_event(rank, nranks, 17, 100_000 + p as u64, 2));
+        }
+    }
+    out
+}
+
+/// Run the compression microbench for one rank count: push every rank's
+/// stream through a fresh [`TailCompressor`] under `strategy`, returning
+/// the median wall time over `reps`.
+///
+/// [`TailCompressor`]: scalatrace::TailCompressor
+fn compress_once(streams: &[Vec<TraceNode>], strategy: FoldStrategy) -> usize {
+    let mut sink = 0usize;
+    for stream in streams {
+        let mut c = scalatrace::TailCompressor::with_strategy(DEFAULT_MAX_WINDOW, strategy);
+        for node in stream {
+            c.push(node.clone());
+        }
+        sink += c.nodes().len();
+    }
+    sink
+}
+
+fn compression_suite(cfg: &PerfConfig, nranks: usize, variants: &[Variant]) -> Suite {
+    let iters = cfg.compress_iters();
+    let streams: Vec<Vec<TraceNode>> = (0..nranks)
+        .map(|r| synth_stream(r, nranks, iters))
+        .collect();
+    let mut times = [0u64; 2];
+    for &v in variants {
+        let t = time_median(cfg.warmup(), cfg.reps(), || {
+            compress_once(&streams, v.strategy())
+        });
+        times[(v == Variant::Baseline) as usize] = t;
+    }
+    let (current_ns, baseline_ns) = fill_missing(times, variants);
+    Suite {
+        name: format!("compress_r{nranks}"),
+        kind: "compression",
+        ranks: nranks,
+        current_ns,
+        baseline_ns,
+        speedup: ratio(baseline_ns, current_ns),
+        warm_ns: None,
+        baseline_warm_ns: None,
+    }
+}
+
+/// In `--baseline` mode only one leg is measured; mirror it into both
+/// fields so the schema stays stable (speedup degenerates to 1.0).
+fn fill_missing(times: [u64; 2], variants: &[Variant]) -> (u64, u64) {
+    let (mut current, mut baseline) = (times[0], times[1]);
+    if !variants.contains(&Variant::Current) {
+        current = baseline;
+    }
+    if !variants.contains(&Variant::Baseline) {
+        baseline = current;
+    }
+    (current, baseline)
+}
+
+fn ratio(baseline_ns: u64, current_ns: u64) -> f64 {
+    if current_ns == 0 {
+        1.0
+    } else {
+        baseline_ns as f64 / current_ns as f64
+    }
+}
+
+/// One full pipeline pass: trace (or cache load) → generate → execute
+/// under an mpiP hook. The cache key decides cold vs warm.
+fn pipeline_once(
+    app: &'static App,
+    params: AppParams,
+    variant: Variant,
+    cache: &TraceCache,
+    key: u64,
+) -> Result<usize, String> {
+    let n = PIPELINE_RANKS;
+    let trace = match cache.load(key) {
+        Some(hit) => hit.trace,
+        None => {
+            let run = app.run;
+            let world = World::new(n)
+                .network(network::ideal())
+                .op_batching(variant.batching());
+            let traced =
+                scalatrace::trace_world_with_strategy(world, n, variant.strategy(), move |ctx| {
+                    run(ctx, &params)
+                })
+                .map_err(|e| format!("{}: trace failed: {e}", app.name))?;
+            cache
+                .store(key, &traced.trace, traced.report.total_time, &[])
+                .map_err(|e| format!("{}: cache store failed: {e}", app.name))?;
+            traced.trace
+        }
+    };
+    let generated = benchgen::generate(&trace, &benchgen::GenOptions::default())
+        .map_err(|e| format!("{}: generation failed: {e}", app.name))?;
+    let prog = Arc::new(generated.program);
+    let p = Arc::clone(&prog);
+    let (_, hooks) = World::new(n)
+        .network(network::ideal())
+        .op_batching(variant.batching())
+        .run_hooked(|_| MpiP::new(), move |ctx| run_rank(ctx, &p))
+        .map_err(|e| format!("{}: execution failed: {e}", app.name))?;
+    Ok(black_box(
+        MpiP::merge_all(hooks.iter()).total_calls() as usize
+    ))
+}
+
+fn pipeline_key(app: &str, variant: Variant, phase: &str, rep: usize) -> u64 {
+    hash::hash_pairs(&[
+        ("suite".into(), "perf-pipeline".into()),
+        ("app".into(), app.into()),
+        ("ranks".into(), PIPELINE_RANKS.to_string()),
+        ("variant".into(), variant.label().into()),
+        ("phase".into(), phase.into()),
+        ("rep".into(), rep.to_string()),
+    ])
+}
+
+/// Cold and warm medians for one (app, variant): each rep uses a distinct
+/// cache key, so the first pass is a guaranteed miss (trace + store) and
+/// the second a guaranteed hit (load).
+fn pipeline_medians(
+    cfg: &PerfConfig,
+    app: &'static App,
+    variant: Variant,
+    cache: &TraceCache,
+) -> Result<(u64, u64), String> {
+    let params = AppParams {
+        class: Class::S,
+        iterations: Some(cfg.pipeline_iters()),
+        compute_scale: 1.0,
+    };
+    for w in 0..cfg.warmup() {
+        let key = pipeline_key(app.name, variant, "warmup", w);
+        pipeline_once(app, params, variant, cache, key)?;
+        pipeline_once(app, params, variant, cache, key)?;
+    }
+    let mut cold = Vec::with_capacity(cfg.reps());
+    let mut warm = Vec::with_capacity(cfg.reps());
+    for rep in 0..cfg.reps() {
+        let key = pipeline_key(app.name, variant, "rep", rep);
+        let t0 = Instant::now();
+        pipeline_once(app, params, variant, cache, key)?;
+        cold.push(t0.elapsed().as_nanos() as u64);
+        let t1 = Instant::now();
+        pipeline_once(app, params, variant, cache, key)?;
+        warm.push(t1.elapsed().as_nanos() as u64);
+    }
+    Ok((median(cold), median(warm)))
+}
+
+fn pipeline_suite(
+    cfg: &PerfConfig,
+    app: &'static App,
+    variants: &[Variant],
+    cache: &TraceCache,
+) -> Result<Suite, String> {
+    let mut cold = [0u64; 2];
+    let mut warm = [0u64; 2];
+    for &v in variants {
+        let (c, w) = pipeline_medians(cfg, app, v, cache)?;
+        cold[(v == Variant::Baseline) as usize] = c;
+        warm[(v == Variant::Baseline) as usize] = w;
+    }
+    let (current_ns, baseline_ns) = fill_missing(cold, variants);
+    let (warm_ns, baseline_warm_ns) = fill_missing(warm, variants);
+    Ok(Suite {
+        name: format!("pipeline_{}_r{PIPELINE_RANKS}", app.name),
+        kind: "pipeline",
+        ranks: PIPELINE_RANKS,
+        current_ns,
+        baseline_ns,
+        speedup: ratio(baseline_ns, current_ns),
+        warm_ns: Some(warm_ns),
+        baseline_warm_ns: Some(baseline_warm_ns),
+    })
+}
+
+/// The registry apps a perf run covers.
+fn pipeline_apps(cfg: &PerfConfig) -> Vec<&'static App> {
+    if cfg.smoke {
+        SMOKE_APPS
+            .iter()
+            .map(|n| registry::lookup(n).expect("smoke apps are registered"))
+            .collect()
+    } else {
+        registry::all()
+            .iter()
+            .filter(|a| (a.valid_ranks)(PIPELINE_RANKS))
+            .collect()
+    }
+}
+
+/// Run the whole suite. Progress goes to stderr; the caller renders the
+/// returned report and writes the JSON.
+pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
+    let variants: &[Variant] = if cfg.baseline_only {
+        &[Variant::Baseline]
+    } else {
+        &[Variant::Current, Variant::Baseline]
+    };
+    let mut suites = Vec::new();
+
+    for &n in &COMPRESS_RANKS {
+        eprintln!("perf: compression microbench at {n} ranks ...");
+        suites.push(compression_suite(cfg, n, variants));
+    }
+
+    // A dedicated subdirectory keeps perf entries (whose keys embed rep
+    // indices) out of the campaign's cache namespace; wiping it guarantees
+    // the cold legs are real misses even across invocations.
+    let perf_cache_dir = cfg.cache_dir.join("perf");
+    let _ = std::fs::remove_dir_all(&perf_cache_dir);
+    let cache = TraceCache::open(&perf_cache_dir)
+        .map_err(|e| format!("cannot open cache {}: {e}", perf_cache_dir.display()))?;
+
+    let apps = pipeline_apps(cfg);
+    let mut total = [0u64; 2];
+    for app in &apps {
+        eprintln!("perf: pipeline {} at {PIPELINE_RANKS} ranks ...", app.name);
+        let suite = pipeline_suite(cfg, app, variants, &cache)?;
+        total[0] += suite.current_ns;
+        total[1] += suite.baseline_ns;
+        suites.push(suite);
+    }
+    suites.push(Suite {
+        name: "pipeline_registry".into(),
+        kind: "aggregate",
+        ranks: PIPELINE_RANKS,
+        current_ns: total[0],
+        baseline_ns: total[1],
+        speedup: ratio(total[1], total[0]),
+        warm_ns: None,
+        baseline_warm_ns: None,
+    });
+
+    Ok(PerfReport {
+        mode: if cfg.baseline_only {
+            "baseline-only".into()
+        } else if cfg.smoke {
+            "smoke".into()
+        } else {
+            "full".into()
+        },
+        reps: cfg.reps(),
+        warmup: cfg.warmup(),
+        suites,
+    })
+}
+
+impl Suite {
+    fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("kind".into(), Json::Str(self.kind.into())),
+            ("ranks".into(), Json::Num(self.ranks as f64)),
+            ("current_ns".into(), Json::Num(self.current_ns as f64)),
+            ("baseline_ns".into(), Json::Num(self.baseline_ns as f64)),
+            ("speedup".into(), Json::Num(round3(self.speedup))),
+        ];
+        if let Some(w) = self.warm_ns {
+            obj.push(("warm_ns".into(), Json::Num(w as f64)));
+        }
+        if let Some(w) = self.baseline_warm_ns {
+            obj.push(("baseline_warm_ns".into(), Json::Num(w as f64)));
+        }
+        Json::Obj(obj)
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+impl PerfReport {
+    /// The stable on-disk schema (`commspec-perf/v1`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("commspec-perf/v1".into())),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("reps".into(), Json::Num(self.reps as f64)),
+            ("warmup".into(), Json::Num(self.warmup as f64)),
+            (
+                "suites".into(),
+                Json::Arr(self.suites.iter().map(Suite::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Human-readable summary table.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>6} {:>13} {:>13} {:>13} {:>8}\n",
+            "suite", "ranks", "current(ms)", "baseline(ms)", "warm(ms)", "speedup"
+        );
+        for s in &self.suites {
+            let ms = |ns: u64| ns as f64 / 1e6;
+            out.push_str(&format!(
+                "{:<24} {:>6} {:>13.2} {:>13.2} {:>13} {:>7.2}x\n",
+                s.name,
+                s.ranks,
+                ms(s.current_ns),
+                ms(s.baseline_ns),
+                match s.warm_ns {
+                    Some(w) => format!("{:.2}", ms(w)),
+                    None => "-".into(),
+                },
+                s.speedup,
+            ));
+        }
+        out
+    }
+}
+
+/// Compare a fresh report against a committed baseline JSON: every suite
+/// present in both must keep its speedup within [`CHECK_TOLERANCE`] of the
+/// committed value. Speedups are ratios of two timings from the same
+/// machine and run, so — unlike absolute nanoseconds — they transfer
+/// across hosts.
+pub fn check_regressions(new: &PerfReport, committed: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let Some(suites) = committed.get("suites").and_then(Json::as_arr) else {
+        return vec!["committed baseline has no `suites` array".into()];
+    };
+    for suite in suites {
+        let Some(name) = suite.get("name").and_then(Json::as_str) else {
+            errors.push("committed suite without a name".into());
+            continue;
+        };
+        let Some(old_speedup) = suite.get("speedup").and_then(Json::as_num) else {
+            errors.push(format!("committed suite {name} has no speedup"));
+            continue;
+        };
+        if suite.get("kind").and_then(Json::as_str).map(String::as_str) == Some("aggregate") {
+            // Aggregates sum over whatever suites the mode ran; a smoke
+            // run's aggregate covers a different app set than the committed
+            // full run's, so only the per-suite rows are gated.
+            continue;
+        }
+        let Some(fresh) = new.suites.iter().find(|s| s.name == *name) else {
+            // Smoke mode runs a subset of the committed full suite.
+            continue;
+        };
+        let floor = old_speedup * (1.0 - CHECK_TOLERANCE);
+        if fresh.speedup < floor {
+            errors.push(format!(
+                "suite {name} regressed: speedup {:.2}x is more than {:.0}% below the \
+                 committed {:.2}x",
+                fresh.speedup,
+                CHECK_TOLERANCE * 100.0,
+                old_speedup,
+            ));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        assert_eq!(median(vec![3, 1, 2]), 2);
+        assert_eq!(median(vec![4, 1, 2, 3]), 2);
+        assert_eq!(median(vec![7]), 7);
+    }
+
+    #[test]
+    fn synth_stream_compresses_under_both_strategies_identically() {
+        let stream = synth_stream(0, 8, 30);
+        let fold = |strategy| {
+            let mut c = scalatrace::TailCompressor::with_strategy(DEFAULT_MAX_WINDOW, strategy);
+            for n in &stream {
+                c.push(n.clone());
+            }
+            c.into_nodes()
+        };
+        let fp = fold(FoldStrategy::Fingerprint);
+        let st = fold(FoldStrategy::Structural);
+        assert_eq!(fp, st);
+        assert!(
+            fp.len() < stream.len() / 10,
+            "stream must actually fold ({} -> {})",
+            stream.len(),
+            fp.len()
+        );
+    }
+
+    #[test]
+    fn pipeline_cold_then_warm_hits_the_cache() {
+        let dir = std::env::temp_dir().join(format!("commspec-perf-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::open(&dir).unwrap();
+        let app = registry::lookup("ring").unwrap();
+        let params = AppParams::quick();
+        let key = pipeline_key("ring", Variant::Current, "test", 0);
+        assert!(cache.load(key).is_none());
+        pipeline_once(app, params, Variant::Current, &cache, key).unwrap();
+        assert!(cache.load(key).is_some(), "cold pass fills the cache");
+        pipeline_once(app, params, Variant::Current, &cache, key).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_json_roundtrips_and_checks() {
+        let report = PerfReport {
+            mode: "smoke".into(),
+            reps: 3,
+            warmup: 1,
+            suites: vec![Suite {
+                name: "compress_r64".into(),
+                kind: "compression",
+                ranks: 64,
+                current_ns: 1_000,
+                baseline_ns: 2_500,
+                speedup: 2.5,
+                warm_ns: None,
+                baseline_warm_ns: None,
+            }],
+        };
+        let text = report.to_json().to_string();
+        let parsed = parse_json(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(&"commspec-perf/v1".to_string())
+        );
+        assert!(check_regressions(&report, &parsed).is_empty());
+
+        // A fresh run whose speedup collapsed must fail the check.
+        let mut bad = report.clone();
+        bad.suites[0].speedup = 1.2;
+        let errors = check_regressions(&bad, &parsed);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("compress_r64"), "{}", errors[0]);
+
+        // Suites missing from the fresh (smoke) run are not an error.
+        let subset = PerfReport {
+            suites: Vec::new(),
+            ..report.clone()
+        };
+        assert!(check_regressions(&subset, &parsed).is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! Minimal JSON value, writer, and parser for the perf report.
+//!
+//! The repo is std-only (no serde); this covers exactly the subset the
+//! `commspec-perf/v1` schema uses — objects, arrays, strings, finite
+//! numbers, booleans, and null — and doubles as the CI "JSON parses" check.
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order so the emitted report is
+/// byte-stable across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&String> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Json::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    return write!(f, "[]");
+                }
+                writeln!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    write!(f, "{pad}  ")?;
+                    item.write(f, indent + 1)?;
+                    writeln!(f, "{}", if i + 1 < items.len() { "," } else { "" })?;
+                }
+                write!(f, "{pad}]")
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    return write!(f, "{{}}");
+                }
+                writeln!(f, "{{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    write!(f, "{pad}  \"{k}\": ")?;
+                    v.write(f, indent + 1)?;
+                    writeln!(f, "{}", if i + 1 < members.len() { "," } else { "" })?;
+                }
+                write!(f, "{pad}}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, 0)
+    }
+}
+
+/// Parse a JSON document. Trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => parse_str(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|x| x.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?} at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let s = &bytes[*pos..];
+                let ch = std::str::from_utf8(s)
+                    .map_err(|e| e.to_string())?
+                    .chars()
+                    .next()
+                    .unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_str(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        members.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_the_schema_subset() {
+        let v = Json::Obj(vec![
+            ("schema".into(), Json::Str("commspec-perf/v1".into())),
+            ("ok".into(), Json::Bool(true)),
+            ("nothing".into(), Json::Null),
+            (
+                "suites".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("name".into(), Json::Str("compress_r64".into())),
+                    ("speedup".into(), Json::Num(2.125)),
+                    ("current_ns".into(), Json::Num(123456789.0)),
+                ])]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        let text = v.to_string();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_survive_a_roundtrip() {
+        let v = Json::Str("a \"quoted\" \\ line\nbreak".into());
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("12 34").is_err(), "trailing data");
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("1e999").is_err(), "non-finite numbers are rejected");
+    }
+
+    #[test]
+    fn integers_print_without_a_fraction() {
+        assert_eq!(Json::Num(42.0).to_string(), "42");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+    }
+}
