@@ -4,15 +4,21 @@
 //!
 //! ```text
 //! <dir>/<key>.st     ScalaTrace-style text trace (scalatrace::text)
-//! <dir>/<key>.meta   key=value sidecar: t_app_ns plus the config pairs
+//! <dir>/<key>.meta   key=value sidecar: trace_fnv, t_app_ns, config pairs
 //! ```
 //!
 //! The sidecar records the traced application's simulated wall-clock time
 //! (`t_app_ns`), so a cache hit can verify timing accuracy without
-//! re-running the application. Corrupt or partially written entries are
-//! treated as misses — the campaign re-traces and overwrites them.
+//! re-running the application, and an FNV-1a checksum of the trace text
+//! (`trace_fnv`), so silent corruption is detected rather than replayed.
+//! Both files are written atomically (tmp + rename) and the sidecar last,
+//! so a crash mid-store leaves a miss, not a lie. Corrupt or partially
+//! written entries are treated as misses on load; [`TraceCache::fsck`]
+//! goes further and quarantines them so the wreckage is visible and the
+//! next campaign run regenerates the entry.
 
 use crate::hash;
+use crate::journal::write_atomic;
 use mpisim::time::SimTime;
 use scalatrace::trace::Trace;
 use std::io;
@@ -31,6 +37,49 @@ pub struct CachedTrace {
     pub trace: Trace,
     /// Simulated wall-clock time of the original traced run.
     pub t_app: SimTime,
+}
+
+/// One entry quarantined by [`TraceCache::fsck`].
+#[derive(Clone, Debug)]
+pub struct QuarantinedEntry {
+    /// The entry's hex key (file stem).
+    pub key: String,
+    /// Why it was condemned.
+    pub reason: String,
+}
+
+/// Result of a cache integrity sweep.
+#[derive(Clone, Debug, Default)]
+pub struct FsckReport {
+    /// Entries that passed every check.
+    pub ok: usize,
+    /// Entries moved aside as corrupt (they will regenerate as misses).
+    pub quarantined: Vec<QuarantinedEntry>,
+    /// Stranded `.tmp` files (crash mid-write) swept away.
+    pub tmp_removed: usize,
+}
+
+impl FsckReport {
+    /// Did every entry check out?
+    pub fn clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+}
+
+impl std::fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} ok, {} quarantined, {} stranded tmp file(s) removed",
+            self.ok,
+            self.quarantined.len(),
+            self.tmp_removed
+        )?;
+        for q in &self.quarantined {
+            writeln!(f, "quarantined {}: {}", q.key, q.reason)?;
+        }
+        Ok(())
+    }
 }
 
 impl TraceCache {
@@ -54,16 +103,17 @@ impl TraceCache {
         self.dir.join(format!("{}.meta", hash::hex(key)))
     }
 
-    /// Look up a trace by key. Any read or parse failure — missing files,
-    /// truncated trace, malformed sidecar — is a miss.
+    /// Look up a trace by key. Any read, parse, or integrity failure —
+    /// missing files, truncated trace, malformed sidecar, checksum
+    /// mismatch — is a miss.
     pub fn load(&self, key: u64) -> Option<CachedTrace> {
         let text = std::fs::read_to_string(self.trace_path(key)).ok()?;
-        let trace = scalatrace::text::from_text(&text).ok()?;
         let meta = std::fs::read_to_string(self.meta_path(key)).ok()?;
-        let t_app_ns: u64 = meta
-            .lines()
-            .find_map(|l| l.strip_prefix("t_app_ns="))
-            .and_then(|v| v.trim().parse().ok())?;
+        let (fnv, t_app_ns) = parse_meta(&meta)?;
+        if fnv != hash::fnv1a(text.as_bytes()) {
+            return None;
+        }
+        let trace = scalatrace::text::from_text(&text).ok()?;
         Some(CachedTrace {
             trace,
             t_app: SimTime::from_nanos(t_app_ns),
@@ -71,8 +121,9 @@ impl TraceCache {
     }
 
     /// Store a trace under `key`. `pairs` (the job's trace config) is
-    /// recorded in the sidecar for human inspection. The sidecar is written
-    /// last so a crash mid-store leaves a miss, not a lie.
+    /// recorded in the sidecar for human inspection. Both files go through
+    /// tmp + rename, and the checksum-bearing sidecar lands last, so no
+    /// interleaving of a crash with this call can produce a loadable lie.
     pub fn store(
         &self,
         key: u64,
@@ -80,12 +131,14 @@ impl TraceCache {
         t_app: SimTime,
         pairs: &[(String, String)],
     ) -> io::Result<()> {
-        std::fs::write(self.trace_path(key), scalatrace::text::to_text(trace))?;
-        let mut meta = format!("t_app_ns={}\n", t_app.as_nanos());
+        let text = scalatrace::text::to_text(trace);
+        write_atomic(&self.trace_path(key), text.as_bytes())?;
+        let mut meta = format!("trace_fnv={}\n", hash::hex(hash::fnv1a(text.as_bytes())));
+        meta.push_str(&format!("t_app_ns={}\n", t_app.as_nanos()));
         for (k, v) in pairs {
             meta.push_str(&format!("{k}={v}\n"));
         }
-        std::fs::write(self.meta_path(key), meta)
+        write_atomic(&self.meta_path(key), meta.as_bytes())
     }
 
     /// Number of complete entries currently in the cache.
@@ -103,6 +156,92 @@ impl TraceCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Integrity sweep: verify every entry's checksum, sidecar, and trace
+    /// syntax; rename corrupt entries to `*.quarantined` (making them
+    /// invisible to [`TraceCache::load`], so the next run regenerates
+    /// them) and delete stranded `.tmp` files from interrupted writes.
+    pub fn fsck(&self) -> io::Result<FsckReport> {
+        let mut report = FsckReport::default();
+        let mut stems: Vec<String> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                std::fs::remove_file(&path)?;
+                report.tmp_removed += 1;
+            } else if let Some(stem) = name.strip_suffix(".st") {
+                stems.push(stem.to_string());
+            } else if let Some(stem) = name.strip_suffix(".meta") {
+                // An orphaned sidecar (trace gone) is condemned below when
+                // its stem has no `.st` partner.
+                if !self.dir.join(format!("{stem}.st")).exists() {
+                    stems.push(stem.to_string());
+                }
+            }
+        }
+        stems.sort();
+        stems.dedup();
+        for stem in stems {
+            match self.check_entry(&stem) {
+                Ok(()) => report.ok += 1,
+                Err(reason) => {
+                    self.quarantine(&stem)?;
+                    report
+                        .quarantined
+                        .push(QuarantinedEntry { key: stem, reason });
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Every invariant `load` relies on, as a named verdict.
+    fn check_entry(&self, stem: &str) -> Result<(), String> {
+        let trace_path = self.dir.join(format!("{stem}.st"));
+        let meta_path = self.dir.join(format!("{stem}.meta"));
+        let text =
+            std::fs::read_to_string(&trace_path).map_err(|e| format!("unreadable trace: {e}"))?;
+        let meta = std::fs::read_to_string(&meta_path)
+            .map_err(|e| format!("missing or unreadable sidecar: {e}"))?;
+        let (fnv, _) = parse_meta(&meta).ok_or("sidecar lacks trace_fnv/t_app_ns")?;
+        if fnv != hash::fnv1a(text.as_bytes()) {
+            return Err(format!(
+                "checksum mismatch: sidecar says {}, trace hashes to {}",
+                hash::hex(fnv),
+                hash::hex(hash::fnv1a(text.as_bytes()))
+            ));
+        }
+        scalatrace::text::from_text(&text).map_err(|e| format!("unparsable trace: {e}"))?;
+        Ok(())
+    }
+
+    /// Move both files of an entry aside (best-effort: either may already
+    /// be missing, which is part of why it was condemned).
+    fn quarantine(&self, stem: &str) -> io::Result<()> {
+        for ext in ["st", "meta"] {
+            let from = self.dir.join(format!("{stem}.{ext}"));
+            if from.exists() {
+                std::fs::rename(&from, self.dir.join(format!("{stem}.{ext}.quarantined")))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Extract `(trace_fnv, t_app_ns)` from sidecar text.
+fn parse_meta(meta: &str) -> Option<(u64, u64)> {
+    let fnv = meta
+        .lines()
+        .find_map(|l| l.strip_prefix("trace_fnv="))
+        .and_then(|v| u64::from_str_radix(v.trim(), 16).ok())?;
+    let t_app_ns = meta
+        .lines()
+        .find_map(|l| l.strip_prefix("t_app_ns="))
+        .and_then(|v| v.trim().parse().ok())?;
+    Some((fnv, t_app_ns))
 }
 
 #[cfg(test)]
@@ -153,7 +292,7 @@ mod tests {
         let (trace, t_app) = sample_trace();
         cache.store(7, &trace, t_app, &[]).unwrap();
 
-        // Truncated trace body.
+        // Truncated trace body (checksum catches it before the parser).
         std::fs::write(cache.trace_path(7), "nranks 4\ngarbage").unwrap();
         assert!(cache.load(7).is_none());
 
@@ -170,12 +309,100 @@ mod tests {
     }
 
     #[test]
+    fn single_flipped_byte_is_detected() {
+        let cache = TraceCache::open(temp_dir("bitflip")).unwrap();
+        let (trace, t_app) = sample_trace();
+        cache.store(9, &trace, t_app, &[]).unwrap();
+        // Flip one byte in a *numeric* field: still parses as a trace, so
+        // only the checksum can tell it is not the trace that was stored.
+        let mut bytes = std::fs::read(cache.trace_path(9)).unwrap();
+        let pos = bytes
+            .iter()
+            .position(|b| b.is_ascii_digit())
+            .expect("traces contain numbers");
+        bytes[pos] = if bytes[pos] == b'9' { b'8' } else { b'9' };
+        std::fs::write(cache.trace_path(9), &bytes).unwrap();
+        assert!(cache.load(9).is_none(), "corrupt entry must not load");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
     fn distinct_keys_do_not_collide() {
         let cache = TraceCache::open(temp_dir("keys")).unwrap();
         let (trace, t_app) = sample_trace();
         cache.store(1, &trace, t_app, &[]).unwrap();
         assert!(cache.load(2).is_none());
         assert!(cache.load(1).is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn store_leaves_no_tmp_files() {
+        let cache = TraceCache::open(temp_dir("atomic")).unwrap();
+        let (trace, t_app) = sample_trace();
+        cache.store(3, &trace, t_app, &[]).unwrap();
+        for entry in std::fs::read_dir(cache.dir()).unwrap() {
+            let name = entry.unwrap().file_name().into_string().unwrap();
+            assert!(!name.ends_with(".tmp"), "tmp residue: {name}");
+        }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn fsck_quarantines_corruption_and_next_load_misses() {
+        let cache = TraceCache::open(temp_dir("fsck")).unwrap();
+        let (trace, t_app) = sample_trace();
+        cache.store(1, &trace, t_app, &[]).unwrap();
+        cache.store(2, &trace, t_app, &[]).unwrap();
+        cache.store(3, &trace, t_app, &[]).unwrap();
+
+        // Entry 2: flip a byte. Entry 3: orphan the sidecar. Plus a
+        // stranded tmp file from a hypothetical crash mid-write.
+        let mut bytes = std::fs::read(cache.trace_path(2)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(cache.trace_path(2), &bytes).unwrap();
+        std::fs::remove_file(cache.trace_path(3)).unwrap();
+        std::fs::write(cache.dir().join("0000.st.12345.tmp"), "partial").unwrap();
+
+        let report = cache.fsck().unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.ok, 1);
+        assert_eq!(report.tmp_removed, 1);
+        let keys: Vec<&str> = report.quarantined.iter().map(|q| q.key.as_str()).collect();
+        assert_eq!(keys, vec![hash::hex(2).as_str(), hash::hex(3).as_str()]);
+        assert!(report.quarantined[0].reason.contains("checksum"));
+
+        // Quarantined entries are invisible: the campaign regenerates.
+        assert!(cache.load(2).is_none());
+        assert!(cache.load(1).is_some(), "healthy entries survive fsck");
+        cache.store(2, &trace, t_app, &[]).unwrap();
+        assert!(cache.load(2).is_some());
+
+        // A second sweep over the repaired cache is clean.
+        let report2 = cache.fsck().unwrap();
+        assert!(report2.clean(), "{report2}");
+        assert_eq!(report2.ok, 2);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn entries_without_checksum_are_not_trusted() {
+        // A sidecar from before checksums (or hand-edited) must not load.
+        let cache = TraceCache::open(temp_dir("legacy")).unwrap();
+        let (trace, t_app) = sample_trace();
+        cache.store(5, &trace, t_app, &[]).unwrap();
+        let meta = std::fs::read_to_string(cache.meta_path(5)).unwrap();
+        let stripped: String = meta
+            .lines()
+            .filter(|l| !l.starts_with("trace_fnv="))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(cache.meta_path(5), stripped).unwrap();
+        assert!(cache.load(5).is_none());
+        let report = cache.fsck().unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].reason.contains("trace_fnv"));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

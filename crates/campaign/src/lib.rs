@@ -15,20 +15,27 @@
 //! * [`executor`] — the std-only worker pool with per-job fault isolation:
 //!   panics are caught, hangs are timed out and abandoned, transient
 //!   failures retry with capped exponential backoff.
-//! * [`runner`] — the per-job pipeline and the aggregate
-//!   [`runner::CampaignReport`].
+//! * [`journal`] — the write-ahead view of the telemetry log: crash-safe
+//!   atomic writes, torn-line-tolerant decoding, and the per-job resume
+//!   classification (replay vs rerun).
+//! * [`runner`] — the per-job pipeline, the aggregate
+//!   [`runner::CampaignReport`], and [`runner::resume_campaign`].
 //!
 //! The `commbench` binary is the command-line front end.
 
 pub mod cache;
 pub mod executor;
 pub mod hash;
+pub mod journal;
 pub mod matrix;
 pub mod runner;
 pub mod telemetry;
 
-pub use cache::{CachedTrace, TraceCache};
+pub use cache::{CachedTrace, FsckReport, TraceCache};
 pub use executor::{FailureCause, FleetOptions, JobError, Outcome};
+pub use journal::{Journal, ResumeAction};
 pub use matrix::{CampaignSpec, JobSpec};
-pub use runner::{run_campaign, run_jobs, CampaignReport, ChaosSummary, JobOutput, JobRow};
+pub use runner::{
+    resume_campaign, run_campaign, run_jobs, CampaignReport, ChaosSummary, JobOutput, JobRow,
+};
 pub use telemetry::Telemetry;

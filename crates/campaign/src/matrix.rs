@@ -138,8 +138,11 @@ pub struct CampaignSpec {
     pub compute_scale: f64,
     /// Iteration override for every job.
     pub iterations: Option<usize>,
-    /// Chaos perturbation seeds per job (0 = no chaos step).
-    pub chaos_seeds: usize,
+    /// Chaos-depth axis: one job per entry, each running that many seeded
+    /// fault plans after verification (0 = no chaos step). A first-class
+    /// matrix dimension like `ranks` or `classes`, so a single matrix can
+    /// sweep fault depth across workload classes.
+    pub chaos_seeds: Vec<usize>,
     /// Worker threads in the fleet.
     pub workers: usize,
     /// Per-attempt wall-clock budget in seconds.
@@ -160,7 +163,7 @@ impl Default for CampaignSpec {
             comments: false,
             compute_scale: 1.0,
             iterations: None,
-            chaos_seeds: 0,
+            chaos_seeds: vec![0],
             workers: 4,
             timeout_secs: 60,
             retries: 1,
@@ -255,9 +258,13 @@ impl CampaignSpec {
                     )
                 }
                 "chaos_seeds" => {
-                    spec.chaos_seeds = value
-                        .parse::<usize>()
-                        .map_err(|e| at(format!("bad chaos_seeds: {e}")))?
+                    spec.chaos_seeds = split_list(value)
+                        .iter()
+                        .map(|s| {
+                            s.parse::<usize>()
+                                .map_err(|e| at(format!("bad chaos_seeds {s}: {e}")))
+                        })
+                        .collect::<Result<_, _>>()?
                 }
                 "workers" => {
                     spec.workers = value
@@ -290,6 +297,9 @@ impl CampaignSpec {
         }
         if self.ranks.contains(&0) {
             return Err("rank count 0 is invalid".to_string());
+        }
+        if self.chaos_seeds.is_empty() {
+            return Err("chaos_seeds lists no values (use 0 to disable chaos)".to_string());
         }
         if self.workers == 0 {
             return Err("workers must be at least 1".to_string());
@@ -324,18 +334,20 @@ impl CampaignSpec {
                 }
                 for &class in &self.classes {
                     for network in &self.networks {
-                        jobs.push(JobSpec {
-                            app: app.clone(),
-                            ranks,
-                            class,
-                            network: network.clone(),
-                            align: self.align,
-                            resolve: self.resolve,
-                            comments: self.comments,
-                            compute_scale: self.compute_scale,
-                            iterations: self.iterations,
-                            chaos_seeds: self.chaos_seeds,
-                        });
+                        for &chaos_seeds in &self.chaos_seeds {
+                            jobs.push(JobSpec {
+                                app: app.clone(),
+                                ranks,
+                                class,
+                                network: network.clone(),
+                                align: self.align,
+                                resolve: self.resolve,
+                                comments: self.comments,
+                                compute_scale: self.compute_scale,
+                                iterations: self.iterations,
+                                chaos_seeds,
+                            });
+                        }
                     }
                 }
             }
@@ -438,10 +450,34 @@ mod tests {
     #[test]
     fn chaos_seeds_parse_and_flow_into_jobs() {
         let spec = CampaignSpec::parse("apps = ring\nranks = 4\nchaos_seeds = 6").unwrap();
-        assert_eq!(spec.chaos_seeds, 6);
+        assert_eq!(spec.chaos_seeds, vec![6]);
         let (jobs, _) = spec.expand();
         assert!(jobs.iter().all(|j| j.chaos_seeds == 6));
         assert!(CampaignSpec::parse("apps = ring\nranks = 4\nchaos_seeds = lots").is_err());
+        assert!(CampaignSpec::parse("apps = ring\nranks = 4\nchaos_seeds = ").is_err());
+    }
+
+    #[test]
+    fn chaos_seeds_is_a_matrix_axis_over_classes() {
+        // The satellite shape: chaos depth crossed with W/A workload
+        // classes, every combination its own job with its own identity —
+        // but all sharing one trace-cache entry per (app, ranks, class,
+        // network), because chaos depth never changes the baseline trace.
+        let spec =
+            CampaignSpec::parse("apps = ring\nranks = 4\nclasses = W, A\nchaos_seeds = 0, 3")
+                .unwrap();
+        let (jobs, skipped) = spec.expand();
+        assert!(skipped.is_empty());
+        assert_eq!(jobs.len(), 4);
+        let combos: Vec<(char, usize)> = jobs
+            .iter()
+            .map(|j| (j.class.name().chars().next().unwrap(), j.chaos_seeds))
+            .collect();
+        assert_eq!(combos, vec![('W', 0), ('W', 3), ('A', 0), ('A', 3)]);
+        let ids: std::collections::BTreeSet<String> = jobs.iter().map(|j| j.id()).collect();
+        assert_eq!(ids.len(), 4, "chaos depth must split job identity");
+        assert_eq!(jobs[0].trace_key(), jobs[1].trace_key());
+        assert_ne!(jobs[0].trace_key(), jobs[2].trace_key());
     }
 
     #[test]

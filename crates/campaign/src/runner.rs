@@ -3,8 +3,9 @@
 //! with trace caching and JSONL telemetry.
 
 use crate::cache::TraceCache;
-use crate::executor::{self, ExecEvent, FleetOptions, JobError, Outcome};
+use crate::executor::{self, ExecEvent, FailureCause, FleetOptions, JobError, Outcome};
 use crate::hash;
+use crate::journal::{JobRecord, Journal, ResumeAction};
 use crate::matrix::{CampaignSpec, JobSpec};
 use crate::telemetry::{Telemetry, Value};
 use benchgen::chaos;
@@ -423,6 +424,126 @@ pub fn run_campaign(
     run_jobs(jobs, skipped, &fleet, cache, telemetry)
 }
 
+/// Reconstruct a terminal outcome from its journaled `finished` record.
+/// `None` means the record is incomplete (a log from an older schema, or
+/// hand-edited): the caller falls back to rerunning the job, which is
+/// always safe.
+fn replay_outcome(rec: &JobRecord) -> Option<Outcome<JobOutput>> {
+    match rec.status.as_str() {
+        "ok" => {
+            let verify_errors = rec.u64("verify_errors")? as usize;
+            let chaos = match rec.u64("chaos_seeds") {
+                Some(seeds) => Some(ChaosSummary {
+                    seeds: seeds as usize,
+                    invariant: rec.u64("chaos_invariant")? as usize,
+                    diverged: rec.u64("chaos_diverged")? as usize,
+                }),
+                None => None,
+            };
+            Some(Outcome::Done(JobOutput {
+                cached: rec.get("cached")? == "true",
+                trace_key: u64::from_str_radix(rec.get("trace_key")?, 16).ok()?,
+                t_app: SimTime::from_nanos(rec.u64("t_app_ns")?),
+                t_gen: SimTime::from_nanos(rec.u64("t_gen_ns")?),
+                err_pct: rec.f64("err_pct")?,
+                compression: rec.f64("compression")?,
+                verify_errors: vec![
+                    "mismatch recorded before resume (see original log)".to_string();
+                    verify_errors
+                ],
+                chaos,
+            }))
+        }
+        "failed" => Some(Outcome::Failed {
+            error: rec.get("error")?.to_string(),
+            attempts: rec.u64("attempts")? as u32,
+            cause: match rec.get("cause")? {
+                "panic" => FailureCause::Panic,
+                "transient" => FailureCause::Transient,
+                _ => FailureCause::Fatal,
+            },
+        }),
+        _ => None,
+    }
+}
+
+/// Resume an interrupted campaign from its write-ahead journal: jobs with
+/// a journaled terminal outcome are *replayed* (successes and
+/// deterministic failures alike — rerunning a job that panicked
+/// deterministically would only reproduce the panic), while transient
+/// failures, timeouts, and the jobs the crash cut short run again. The
+/// returned report covers the full matrix, replayed rows included, in
+/// matrix order.
+pub fn resume_campaign(
+    spec: &CampaignSpec,
+    cache: TraceCache,
+    telemetry: Telemetry,
+    journal: &Journal,
+) -> CampaignReport {
+    let (jobs, skipped) = spec.expand();
+    let mut to_run = Vec::new();
+    let mut replayed: Vec<JobRow> = Vec::new();
+    for job in &jobs {
+        let outcome = journal.get(&job.id()).and_then(|rec| match rec.action() {
+            ResumeAction::Rerun => None,
+            ResumeAction::ReplayOk | ResumeAction::ReplayFailed => replay_outcome(rec),
+        });
+        match outcome {
+            Some(outcome) => {
+                telemetry.emit(
+                    "resumed",
+                    &[
+                        ("job", job.id().into()),
+                        (
+                            "status",
+                            match &outcome {
+                                Outcome::Done(_) => "ok".into(),
+                                _ => "failed".into(),
+                            },
+                        ),
+                        ("replayed", Value::B(true)),
+                    ],
+                );
+                replayed.push(JobRow {
+                    job: job.clone(),
+                    outcome,
+                });
+            }
+            None => to_run.push(job.clone()),
+        }
+    }
+    telemetry.emit(
+        "resume",
+        &[
+            ("jobs", Value::U(jobs.len() as u64)),
+            ("replayed", Value::U(replayed.len() as u64)),
+            ("rerun", Value::U(to_run.len() as u64)),
+        ],
+    );
+
+    let fleet = FleetOptions {
+        workers: spec.workers,
+        timeout: Duration::from_secs(spec.timeout_secs),
+        retries: spec.retries,
+        ..FleetOptions::default()
+    };
+    let ran = run_jobs(to_run, skipped.clone(), &fleet, cache, telemetry);
+
+    // Stitch replayed and fresh rows back into matrix order.
+    let mut by_id: std::collections::HashMap<String, JobRow> = replayed
+        .into_iter()
+        .chain(ran.rows)
+        .map(|row| (row.job.id(), row))
+        .collect();
+    CampaignReport {
+        rows: jobs
+            .iter()
+            .filter_map(|job| by_id.remove(&job.id()))
+            .collect(),
+        skipped,
+    }
+}
+
 /// Run an explicit job list on the fleet (the matrix-free entry point used
 /// by `commbench chaos`, which builds its own jobs over the registry).
 pub fn run_jobs(
@@ -481,6 +602,11 @@ pub fn run_jobs(
                             fields.push(("trace_key", hash::hex(o.trace_key).into()));
                             fields.push(("t_app_us", Value::F(o.t_app.as_usecs_f64())));
                             fields.push(("t_gen_us", Value::F(o.t_gen.as_usecs_f64())));
+                            // Exact integer times alongside the lossy
+                            // human-friendly microsecond floats: the resume
+                            // journal replays outcomes from these.
+                            fields.push(("t_app_ns", Value::U(o.t_app.as_nanos())));
+                            fields.push(("t_gen_ns", Value::U(o.t_gen.as_nanos())));
                             fields.push(("err_pct", Value::F(o.err_pct)));
                             fields.push(("compression", Value::F(o.compression)));
                             fields.push(("verify_errors", Value::U(o.verify_errors.len() as u64)));
@@ -636,6 +762,107 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(report.to_string().contains("chaos"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_replays_terminal_outcomes_and_reruns_the_rest() {
+        let dir = temp_dir("resume");
+        let matrix = "
+            apps = ring, __panic__
+            ranks = 2, 4
+            workers = 2
+            retries = 0
+            timeout_secs = 60
+        ";
+        let log_path = {
+            let cache = TraceCache::open(&dir).unwrap();
+            let log_path = dir.join("campaign.jsonl");
+            let tele = Telemetry::to_file(&log_path).unwrap();
+            let report = run_campaign(&spec(matrix), cache, tele);
+            assert_eq!(report.ok(), 2);
+            assert_eq!(report.failed(), 2);
+            log_path
+        };
+        let log = std::fs::read_to_string(&log_path).unwrap();
+        let original = {
+            let journal = Journal::from_text(&log);
+            assert_eq!(journal.len(), 4);
+            journal
+        };
+
+        // Complete journal: every row replays (including the deterministic
+        // panics — rerunning those would only panic again), nothing runs.
+        let replayed = resume_campaign(
+            &spec(matrix),
+            TraceCache::open(&dir).unwrap(),
+            Telemetry::sink(),
+            &original,
+        );
+        assert_eq!(replayed.rows.len(), 4);
+        assert_eq!(replayed.ok(), 2);
+        assert_eq!(replayed.failed(), 2);
+        for row in &replayed.rows {
+            match (&row.job.app[..], &row.outcome) {
+                ("__panic__", Outcome::Failed { error, cause, .. }) => {
+                    assert!(error.contains("injected panic"), "{error}");
+                    assert_eq!(cause.label(), "panic");
+                }
+                ("ring", Outcome::Done(o)) => {
+                    let rec = original.get(&row.job.id()).unwrap();
+                    assert_eq!(o.t_app.as_nanos(), rec.u64("t_app_ns").unwrap());
+                    assert_eq!(o.t_gen.as_nanos(), rec.u64("t_gen_ns").unwrap());
+                    assert_eq!(o.err_pct.to_bits(), rec.f64("err_pct").unwrap().to_bits());
+                    assert!(o.verify_errors.is_empty());
+                }
+                other => panic!("unexpected row {other:?}"),
+            }
+        }
+
+        // Prune one success from the journal (the job the crash would have
+        // cut short): exactly that job reruns — served from the cache the
+        // interrupted run already filled — and the stitched report matches.
+        let pruned: String = log
+            .lines()
+            .filter(|l| !(l.contains("\"event\":\"finished\"") && l.contains("ring.n4")))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let journal = Journal::from_text(&pruned);
+        assert_eq!(journal.len(), 3);
+        let resumed = resume_campaign(
+            &spec(matrix),
+            TraceCache::open(&dir).unwrap(),
+            Telemetry::sink(),
+            &journal,
+        );
+        assert_eq!(resumed.rows.len(), 4, "report covers the whole matrix");
+        assert_eq!(resumed.ok(), 2);
+        assert_eq!(resumed.failed(), 2);
+        assert_eq!(resumed.cache_hits(), 1, "the rerun trace comes from cache");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_failures_and_timeouts_rerun_on_resume() {
+        let dir = temp_dir("resume-transient");
+        let matrix = "apps = __flaky__\nranks = 2\nworkers = 1\nretries = 1";
+        // Forge a journal where the job died transiently (as if the process
+        // was killed before its retry) plus one that timed out: both must
+        // rerun, and the flaky app succeeds on its retry attempt.
+        let id = spec(matrix).expand().0[0].id();
+        let forged = format!(
+            "{{\"t_ms\":1,\"event\":\"finished\",\"job\":\"{id}\",\"status\":\"failed\",\"cause\":\"transient\",\"error\":\"x\",\"attempts\":1}}\n\
+             {{\"t_ms\":2,\"event\":\"finished\",\"job\":\"nosuch.n2\",\"status\":\"timeout\",\"budget_ms\":1,\"attempts\":1}}\n"
+        );
+        let journal = Journal::from_text(&forged);
+        let report = resume_campaign(
+            &spec(matrix),
+            TraceCache::open(&dir).unwrap(),
+            Telemetry::sink(),
+            &journal,
+        );
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.ok(), 1, "{report}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

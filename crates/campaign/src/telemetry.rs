@@ -90,6 +90,18 @@ impl Telemetry {
         Ok(Telemetry::to_writer(Box::new(BufWriter::new(file))))
     }
 
+    /// Append events to `path`, creating it if needed. This is the resume
+    /// mode: the log already on disk is the write-ahead journal of the
+    /// interrupted campaign, and the resumed run extends it rather than
+    /// erasing the history it is recovering from.
+    pub fn append_file(path: &std::path::Path) -> io::Result<Telemetry> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Telemetry::to_writer(Box::new(BufWriter::new(file))))
+    }
+
     /// Write events to an arbitrary sink.
     pub fn to_writer(out: Box<dyn Write + Send>) -> Telemetry {
         Telemetry {

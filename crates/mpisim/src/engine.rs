@@ -271,6 +271,8 @@ pub(crate) struct Engine {
     faults: Option<Arc<FaultPlan>>,
     /// Per-rank count of operations issued (drives crash triggers).
     ops_issued: Vec<u64>,
+    /// Per-rank count of collective entries (drives crash-in-collective).
+    colls_entered: Vec<u64>,
     /// Ranks killed by the fault plan: `(rank, ops completed before death)`.
     failed: Vec<(Rank, u64)>,
     /// Deterministic livelock cut-offs (see [`SimError::BudgetExceeded`]).
@@ -321,6 +323,7 @@ impl Engine {
             match_touched: Vec::new(),
             faults: None,
             ops_issued: vec![0; n],
+            colls_entered: vec![0; n],
             failed: Vec::new(),
             op_budget: None,
             time_budget: None,
@@ -919,6 +922,24 @@ impl Engine {
         bytes: u64,
         split: Option<(i64, i64)>,
     ) -> Result<(), SimError> {
+        if let Some(plan) = self.faults.clone() {
+            if let Some(at) = plan.crash_at_collective(rank) {
+                if self.colls_entered[rank] >= at {
+                    // Dies on entry, before arriving at the rendezvous: the
+                    // surviving participants keep waiting on this collective
+                    // and show up as its wait-for edges.
+                    let after = self.ops_issued[rank].saturating_sub(1);
+                    self.crash_rank(rank, after);
+                    return Ok(());
+                }
+            }
+            self.colls_entered[rank] += 1;
+            // Straggler model: this rank reaches the collective late. A
+            // non-negative delay keeps its clock monotone, so the only
+            // effect is a later `latest_arrival`.
+            let seq_next = self.coll_seq[rank].get(&comm).copied().unwrap_or(0);
+            self.clocks[rank] += plan.coll_straggle_delay(rank, comm, seq_next);
+        }
         let comm_size = self.comms[comm as usize].members.len();
         let seq = {
             let c = self.coll_seq[rank].entry(comm).or_insert(0);

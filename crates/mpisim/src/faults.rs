@@ -66,6 +66,21 @@ pub struct CrashRank {
     pub after_ops: u64,
 }
 
+/// A rank that dies *inside* a collective: it completes `at_collective`
+/// collective operations, then crashes on entering the next one — after its
+/// peers may already have arrived at the rendezvous, so the surviving
+/// participants block on the collective's wait-for edges and the run
+/// degrades to [`crate::error::SimError::RankFailed`] whose `blocked` list
+/// names the collective and who arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollCrash {
+    /// The crashing rank.
+    pub rank: Rank,
+    /// Collectives the rank completes entering before dying (0 = dies
+    /// entering its first collective).
+    pub at_collective: u64,
+}
+
 /// A deterministic fault-injection plan (see the module docs).
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct FaultPlan {
@@ -87,6 +102,14 @@ pub struct FaultPlan {
     pub stalls: Vec<StallWindow>,
     /// Mid-run rank crashes.
     pub crashes: Vec<CrashRank>,
+    /// Crashes on entry to a specific collective (see [`CollCrash`]).
+    pub coll_crashes: Vec<CollCrash>,
+    /// Per-rank arrival skew *inside* collectives: each rank's arrival at
+    /// each collective is delayed by a duration drawn uniformly from
+    /// `[0, coll_straggle)`, keyed by `(rank, comm, collective seq)`. A
+    /// straggler model — late arrivals only stretch the rendezvous, they
+    /// never reorder anything MPI specifies. `ZERO` disables.
+    pub coll_straggle: SimDuration,
 }
 
 /// A parameterisation [`FaultPlan::validate`] refuses to run.
@@ -163,6 +186,7 @@ mod domain {
     pub const SKEW: u64 = 2;
     pub const REORDER: u64 = 3;
     pub const PRESET: u64 = 4;
+    pub const COLL: u64 = 5;
 }
 
 /// A deterministic draw from `[0, 1)` keyed by `(seed, domain, x, y)`.
@@ -228,6 +252,33 @@ impl FaultPlan {
         self
     }
 
+    /// Crash `rank` on entry to its `at_collective`-th collective (0-based):
+    /// it never arrives at the rendezvous, its surviving peers block there.
+    pub fn crash_in_collective(mut self, rank: Rank, at_collective: u64) -> FaultPlan {
+        self.coll_crashes.push(CollCrash {
+            rank,
+            at_collective,
+        });
+        self
+    }
+
+    /// Set the per-rank collective arrival-skew amplitude.
+    pub fn with_coll_straggle(mut self, amplitude: SimDuration) -> FaultPlan {
+        self.coll_straggle = amplitude;
+        self
+    }
+
+    /// This plan minus every crash action (op-count and collective-entry
+    /// alike), with all timing perturbations kept. This is the plan a
+    /// checkpoint *resume* runs under: the re-entry invariant needs the same
+    /// jitter/skew/straggle draws as the crashed run, but the recovered rank
+    /// must live this time.
+    pub fn without_crashes(mut self) -> FaultPlan {
+        self.crashes.clear();
+        self.coll_crashes.clear();
+        self
+    }
+
     /// Does this plan inject anything at all?
     pub fn is_noop(&self) -> bool {
         self.latency_jitter == 0.0
@@ -236,6 +287,8 @@ impl FaultPlan {
             && self.slow.is_empty()
             && self.stalls.is_empty()
             && self.crashes.is_empty()
+            && self.coll_crashes.is_empty()
+            && self.coll_straggle == SimDuration::ZERO
     }
 
     /// Check the plan against a world of `n` ranks. See the module docs for
@@ -275,13 +328,19 @@ impl FaultPlan {
                 return Err(FaultError::EmptyStall { rank: s.rank });
             }
         }
+        // One rank, one death: duplicate detection spans both crash kinds.
         let mut crashed = Vec::new();
-        for c in &self.crashes {
-            check_rank(c.rank)?;
-            if crashed.contains(&c.rank) {
-                return Err(FaultError::DuplicateCrash { rank: c.rank });
+        for rank in self
+            .crashes
+            .iter()
+            .map(|c| c.rank)
+            .chain(self.coll_crashes.iter().map(|c| c.rank))
+        {
+            check_rank(rank)?;
+            if crashed.contains(&rank) {
+                return Err(FaultError::DuplicateCrash { rank });
             }
-            crashed.push(c.rank);
+            crashed.push(rank);
         }
         Ok(())
     }
@@ -338,6 +397,26 @@ impl FaultPlan {
             .iter()
             .find(|c| c.rank == rank)
             .map(|c| c.after_ops)
+    }
+
+    /// The 0-based collective-entry index at which `rank` dies, if any.
+    pub fn crash_at_collective(&self, rank: Rank) -> Option<u64> {
+        self.coll_crashes
+            .iter()
+            .find(|c| c.rank == rank)
+            .map(|c| c.at_collective)
+    }
+
+    /// Arrival delay in `[0, coll_straggle)` for `rank`'s `seq`-th
+    /// collective on communicator `comm`. Deterministic in
+    /// `(seed, rank, comm, seq)`.
+    pub fn coll_straggle_delay(&self, rank: Rank, comm: u32, seq: u64) -> SimDuration {
+        if self.coll_straggle == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let key = ((comm as u64) << 32) ^ seq;
+        let u = unit(self.seed, domain::COLL, rank as u64, key);
+        SimDuration::from_nanos((self.coll_straggle.as_nanos() as f64 * u) as u64)
     }
 
     /// The standard *differential* perturbation for chaos testing: jitter,
@@ -486,6 +565,44 @@ mod tests {
         );
         assert_eq!(p.stall_until(1, SimTime::from_nanos(1500)), None);
         assert_eq!(p.stall_until(0, SimTime::from_nanos(1200)), None);
+    }
+
+    #[test]
+    fn collective_faults_validate_draw_bounded_delays_and_strip_cleanly() {
+        let amp = SimDuration::from_usecs(100);
+        let p = FaultPlan::seeded(5)
+            .with_coll_straggle(amp)
+            .crash_in_collective(2, 3);
+        p.validate(4).unwrap();
+        assert!(!p.is_noop());
+        assert_eq!(p.crash_at_collective(2), Some(3));
+        assert_eq!(p.crash_at_collective(0), None);
+        for (rank, comm, seq) in [(0, 0, 0), (1, 0, 7), (3, 2, 1)] {
+            let d = p.coll_straggle_delay(rank, comm, seq);
+            assert!(d < amp, "{d}");
+            assert_eq!(d, p.coll_straggle_delay(rank, comm, seq), "deterministic");
+        }
+        // distinct keys draw distinct delays (overwhelmingly)
+        assert_ne!(
+            p.coll_straggle_delay(0, 0, 0),
+            p.coll_straggle_delay(1, 0, 0)
+        );
+        // without_crashes strips both crash kinds, keeps the timing knobs
+        let resumed = p.clone().crash_rank(1, 9).without_crashes();
+        assert!(resumed.crashes.is_empty() && resumed.coll_crashes.is_empty());
+        assert_eq!(resumed.coll_straggle, amp);
+        // duplicate detection spans both crash lists
+        assert_eq!(
+            FaultPlan::seeded(0)
+                .crash_rank(1, 2)
+                .crash_in_collective(1, 0)
+                .validate(4),
+            Err(FaultError::DuplicateCrash { rank: 1 })
+        );
+        assert_eq!(
+            FaultPlan::seeded(0).crash_in_collective(7, 0).validate(4),
+            Err(FaultError::RankOutOfRange { rank: 7, world: 4 })
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Fault injection *inside* the collective model: per-rank arrival skew
+//! (stragglers) and crash-during-collective degrading to `RankFailed` with
+//! the collective's wait-for edges.
+
+use mpisim::error::SimError;
+use mpisim::faults::FaultPlan;
+use mpisim::network;
+use mpisim::time::SimDuration;
+use mpisim::types::{Src, TagSel};
+use mpisim::world::World;
+use proptest::prelude::*;
+
+/// `iters` rounds of allreduce with a little compute in between.
+fn allreduce_loop(iters: usize) -> impl Fn(&mut mpisim::Ctx) + Send + Sync + 'static {
+    move |ctx| {
+        let w = ctx.world();
+        for _ in 0..iters {
+            ctx.compute(SimDuration::from_usecs(5));
+            ctx.allreduce(256, &w);
+        }
+    }
+}
+
+// -- crash-during-collective --------------------------------------------------
+
+#[test]
+fn crash_in_collective_names_the_collective_and_survivors() {
+    // Rank 2 dies entering its third allreduce; the other three ranks are
+    // left waiting at that rendezvous.
+    let err = World::new(4)
+        .network(network::ethernet_cluster())
+        .faults(FaultPlan::seeded(7).crash_in_collective(2, 2))
+        .run(allreduce_loop(10))
+        .unwrap_err();
+    match err {
+        SimError::RankFailed { rank, blocked, .. } => {
+            assert_eq!(rank, 2);
+            let survivors: Vec<usize> = blocked.iter().map(|b| b.rank).collect();
+            assert_eq!(survivors, vec![0, 1, 3], "all survivors blocked");
+            for b in &blocked {
+                // The wait-for edge names the collective itself...
+                assert!(
+                    b.what.contains("MPI_Allreduce"),
+                    "description should name the collective: {b}"
+                );
+                assert!(b.what.contains("3/4 arrived"), "{b}");
+                // ... and the edge points at the straggler (the dead rank).
+                assert_eq!(b.waiting_on, vec![2], "{b}");
+            }
+        }
+        other => panic!("expected RankFailed, got {other}"),
+    }
+}
+
+#[test]
+fn crash_in_first_collective_fires_before_any_rendezvous() {
+    let err = World::new(3)
+        .faults(FaultPlan::seeded(0).crash_in_collective(0, 0))
+        .run(|ctx| {
+            let w = ctx.world();
+            ctx.barrier(&w);
+        })
+        .unwrap_err();
+    match err {
+        SimError::RankFailed { rank, blocked, .. } => {
+            assert_eq!(rank, 0);
+            for b in &blocked {
+                assert!(b.what.contains("MPI_Barrier"), "{b}");
+                assert_eq!(b.waiting_on, vec![0], "{b}");
+            }
+        }
+        other => panic!("expected RankFailed, got {other}"),
+    }
+}
+
+#[test]
+fn crash_in_collective_beyond_the_run_never_fires() {
+    // The app only performs 4 collectives per rank; a crash armed at the
+    // 100th never triggers and the run completes.
+    World::new(4)
+        .faults(FaultPlan::seeded(1).crash_in_collective(1, 100))
+        .run(allreduce_loop(4))
+        .unwrap();
+}
+
+#[test]
+fn point_to_point_traffic_does_not_advance_the_collective_trigger() {
+    // Rank 1 performs 6 point-to-point ops before its single barrier; the
+    // crash armed at collective #0 must still fire at the barrier, not
+    // during the sends.
+    let err = World::new(2)
+        .faults(FaultPlan::seeded(3).crash_in_collective(1, 0))
+        .run(|ctx| {
+            let w = ctx.world();
+            if ctx.rank() == 0 {
+                for i in 0..3 {
+                    ctx.recv(Src::Rank(1), TagSel::Is(i), 64, &w);
+                }
+            } else {
+                for i in 0..3 {
+                    ctx.send(0, i, 64, &w);
+                }
+            }
+            ctx.barrier(&w);
+        })
+        .unwrap_err();
+    match err {
+        SimError::RankFailed {
+            rank, after_ops, ..
+        } => {
+            assert_eq!(rank, 1);
+            assert!(after_ops >= 3, "sends completed first: {after_ops}");
+        }
+        other => panic!("expected RankFailed, got {other}"),
+    }
+}
+
+// -- arrival skew (stragglers) ------------------------------------------------
+
+#[test]
+fn coll_straggle_stretches_the_run_but_completes() {
+    let time_with = |plan: Option<FaultPlan>| {
+        let mut world = World::new(4).network(network::ethernet_cluster());
+        if let Some(p) = plan {
+            world = world.faults(p);
+        }
+        world.run(allreduce_loop(8)).unwrap().total_time
+    };
+    let base = time_with(None);
+    let skewed = time_with(Some(
+        FaultPlan::seeded(11).with_coll_straggle(SimDuration::from_millis(2)),
+    ));
+    assert!(skewed > base, "skewed {skewed} <= base {base}");
+}
+
+#[test]
+fn zero_amplitude_straggle_is_a_noop() {
+    let base = World::new(4)
+        .network(network::blue_gene_l())
+        .run(allreduce_loop(6))
+        .unwrap();
+    let zero = World::new(4)
+        .network(network::blue_gene_l())
+        .faults(FaultPlan::seeded(9).with_coll_straggle(SimDuration::ZERO))
+        .run(allreduce_loop(6))
+        .unwrap();
+    assert_eq!(base.total_time, zero.total_time);
+    assert_eq!(base.per_rank_time, zero.per_rank_time);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Straggler skew never changes what completes, and the same seed gives
+    /// bit-identical virtual times across repetitions.
+    #[test]
+    fn straggled_collectives_are_deterministic(
+        seed in 0u64..500,
+        n in 2usize..6,
+        amp_us in 1u64..5_000,
+    ) {
+        let go = || {
+            World::new(n)
+                .network(network::ethernet_cluster())
+                .faults(FaultPlan::seeded(seed).with_coll_straggle(SimDuration::from_usecs(amp_us)))
+                .run(allreduce_loop(5))
+                .unwrap()
+        };
+        let a = go();
+        let b = go();
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.per_rank_time, b.per_rank_time);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    /// `without_crashes()` strips every crash trigger but keeps the timing
+    /// perturbations: the stripped plan completes where the original died,
+    /// and repeated stripped runs are bit-identical — the restart invariant
+    /// the resume path relies on.
+    #[test]
+    fn stripped_plans_complete_deterministically(seed in 0u64..200) {
+        let plan = FaultPlan::differential(seed, 4)
+            .crash_in_collective(1, 1)
+            .with_coll_straggle(SimDuration::from_usecs(40));
+        let err = World::new(4)
+            .network(network::ethernet_cluster())
+            .faults(plan.clone())
+            .run(allreduce_loop(6))
+            .unwrap_err();
+        prop_assert!(matches!(err, SimError::RankFailed { rank: 1, .. }), "{}", err);
+
+        let stripped = plan.without_crashes();
+        let go = || {
+            World::new(4)
+                .network(network::ethernet_cluster())
+                .faults(stripped.clone())
+                .run(allreduce_loop(6))
+                .unwrap()
+        };
+        let a = go();
+        let b = go();
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.per_rank_time, b.per_rank_time);
+    }
+}

@@ -162,6 +162,42 @@ impl TailCompressor {
         self.strategy
     }
 
+    /// The configured fold window.
+    pub fn max_window(&self) -> usize {
+        self.max_window
+    }
+
+    /// Rebuild a compressor around a previously compressed sequence (a
+    /// checkpoint restore).
+    ///
+    /// The sequence is adopted verbatim — no fold is attempted, because the
+    /// checkpointed state is by construction a fold fixpoint and restoring
+    /// must be byte-exact. The fingerprint records and prefix hashes are
+    /// recomputed from the node structure; this reproduces the incrementally
+    /// maintained values exactly: fingerprints are timing-blind (so
+    /// histogram absorption during folding never changed them) and a
+    /// Case-A-bumped loop's fingerprint is re-derived from its count and
+    /// body hash via the same [`fingerprint::loop_fp`] identity the
+    /// incremental path uses.
+    pub fn from_nodes(
+        max_window: usize,
+        strategy: FoldStrategy,
+        nodes: Vec<TraceNode>,
+    ) -> TailCompressor {
+        let mut c = TailCompressor::with_strategy(max_window, strategy);
+        if strategy == FoldStrategy::Structural {
+            c.seq = nodes;
+            return c;
+        }
+        for node in nodes {
+            let rec = c.record_of(&node);
+            c.seq.push(node);
+            c.recs.push(rec);
+            c.push_pref(rec.fp);
+        }
+        c
+    }
+
     /// The compressed sequence so far.
     pub fn nodes(&self) -> &[TraceNode] {
         &self.seq
@@ -496,6 +532,34 @@ mod tests {
             c.push(ev(i, 64, 1));
         }
         assert_eq!(c.nodes().len(), 10);
+    }
+
+    #[test]
+    fn from_nodes_continuation_matches_uninterrupted_run() {
+        // Split a stream at every prefix length, restore a compressor from
+        // the checkpointed nodes, feed the remainder — the result must be
+        // byte-identical to the uninterrupted run.
+        let stream: Vec<TraceNode> = (0..120)
+            .map(|i| ev(if i == 60 { 99 } else { 1 + (i % 4) }, 64, 1 + (i % 3)))
+            .collect();
+        for strategy in [FoldStrategy::Fingerprint, FoldStrategy::Structural] {
+            let mut whole = TailCompressor::with_strategy(DEFAULT_MAX_WINDOW, strategy);
+            for n in &stream {
+                whole.push(n.clone());
+            }
+            for cut in 0..stream.len() {
+                let mut first = TailCompressor::with_strategy(DEFAULT_MAX_WINDOW, strategy);
+                for n in &stream[..cut] {
+                    first.push(n.clone());
+                }
+                let snapshot = first.into_nodes();
+                let mut second = TailCompressor::from_nodes(DEFAULT_MAX_WINDOW, strategy, snapshot);
+                for n in &stream[cut..] {
+                    second.push(n.clone());
+                }
+                assert_eq!(second.nodes(), whole.nodes(), "cut at {cut}");
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod merge;
 pub mod params;
 pub mod rankset;
 pub mod replay;
+pub mod snapshot;
 pub mod stats;
 pub mod text;
 pub mod timestats;
@@ -58,5 +59,8 @@ pub use collect::{
 pub use compress::{FoldStrategy, TailCompressor};
 pub use cursor::{events_for_rank, semantically_equal, ConcreteEvent, ConcreteOp, Cursor};
 pub use rankset::RankSet;
+pub use snapshot::{
+    trace_world_checkpointed, trace_world_resumed, CheckpointConfig, SnapshotError,
+};
 pub use timestats::TimeStats;
 pub use trace::{CommTable, OpTemplate, Prsd, Rsd, Trace, TraceNode};

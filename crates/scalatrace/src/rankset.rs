@@ -238,6 +238,14 @@ impl RankSet {
     pub fn runs(&self) -> &[Run] {
         &self.runs
     }
+
+    /// Rebuild a set from runs captured by [`RankSet::runs`] — the exact
+    /// inverse the checkpoint codec needs. The runs are re-interned, so
+    /// canonical shapes regain their shared storage (and pointer-equality
+    /// fast paths) after a restore.
+    pub fn from_runs(runs: Vec<Run>) -> RankSet {
+        RankSet { runs: intern(runs) }
+    }
 }
 
 impl FromIterator<usize> for RankSet {

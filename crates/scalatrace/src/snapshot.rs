@@ -1,0 +1,897 @@
+//! Versioned, checksummed binary checkpoints of per-rank trace-capture
+//! state, and run entry points that resume tracing from them.
+//!
+//! A checkpoint freezes everything a [`Tracer`] knows: the compressed node
+//! sequence (with exact timing histograms — the text rendering is lossy,
+//! checkpoints are not), the communicator table, the last-exit clock, and
+//! the event count. The file format is std-only binary:
+//!
+//! ```text
+//! magic "STCP" · version u32 · payload · FNV-1a checksum u64
+//! ```
+//!
+//! every integer little-endian, the checksum covering magic, version, and
+//! payload. A truncated, bit-flipped, or wrong-version file decodes to
+//! [`SnapshotError::Corrupt`], never to a silently wrong tracer.
+//!
+//! # Deterministic re-entry
+//!
+//! Restoring does **not** fast-forward the simulator — virtual time costs
+//! nothing to re-run. Instead, a resumed run re-executes the application
+//! from virtual t=0 under the bit-deterministic engine; the restored tracer
+//! skips its first `events_seen` deliveries (they are exactly the events
+//! the checkpoint already captured, reproduced with identical payloads and
+//! virtual timestamps) and then continues appending where the checkpoint
+//! left off. This is message-logging-style recovery with the simulator as
+//! the log: the *expensive* state — compressed trace structure and
+//! histograms — is never recomputed, and the result is provably
+//! byte-identical to an uninterrupted run (`tests/checkpoint.rs` checks
+//! this differentially across random programs and seeded fault plans).
+
+use crate::collect::{PartialTracedRun, Tracer};
+use crate::compress::{FoldStrategy, TailCompressor};
+use crate::merge::merge_tracers;
+use crate::params::{CommParam, RankParam, SrcParam, ValParam};
+use crate::rankset::{RankSet, Run};
+use crate::timestats::TimeStats;
+use crate::trace::{CommTable, OpTemplate, Prsd, Rsd, TraceNode};
+use mpisim::ctx::Ctx;
+use mpisim::hooks::{Event, Hook};
+use mpisim::time::{SimDuration, SimTime};
+use mpisim::types::{CollKind, Fnv1a, TagSel};
+use mpisim::world::World;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// File magic of a tracer checkpoint ("ScalaTrace CheckPoint").
+pub const MAGIC: [u8; 4] = *b"STCP";
+
+/// Current checkpoint format version.
+pub const VERSION: u32 = 1;
+
+/// Maximum loop-nesting depth the decoder accepts (a corruption guard, far
+/// above anything tail folding produces).
+const MAX_DEPTH: usize = 256;
+
+/// Why a checkpoint could not be read, written, or decoded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The checkpoint file could not be read or written.
+    Io(std::io::Error),
+    /// The bytes are not a valid checkpoint: truncated, checksum mismatch,
+    /// wrong magic/version, or structurally malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+fn corrupt(why: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(why.into())
+}
+
+// ------------------------------------------------------------------ codec
+
+#[derive(Default)]
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.buf.len() - self.pos < n {
+            return Err(corrupt("truncated payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(corrupt(format!("bad bool byte {b}"))),
+        }
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, SnapshotError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| corrupt("length overflows usize"))
+    }
+    /// A length that is about to drive a loop of ≥1-byte items; bounding it
+    /// by the remaining bytes turns "absurd length from corruption" into an
+    /// immediate error instead of a giant allocation.
+    fn len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.usize()?;
+        if n > self.buf.len() - self.pos {
+            return Err(corrupt("length exceeds payload"));
+        }
+        Ok(n)
+    }
+}
+
+fn enc_stats(e: &mut Enc, s: &TimeStats) {
+    let (count, sum_ns, min_ns, max_ns, bins) = s.raw();
+    e.u64(count);
+    e.u128(sum_ns);
+    e.u64(min_ns);
+    e.u64(max_ns);
+    for &b in bins {
+        e.u64(b);
+    }
+}
+
+fn dec_stats(d: &mut Dec) -> Result<TimeStats, SnapshotError> {
+    let count = d.u64()?;
+    let sum_ns = d.u128()?;
+    let min_ns = d.u64()?;
+    let max_ns = d.u64()?;
+    let mut bins = [0u64; 64];
+    for b in &mut bins {
+        *b = d.u64()?;
+    }
+    Ok(TimeStats::from_raw(count, sum_ns, min_ns, max_ns, bins))
+}
+
+fn enc_ranks(e: &mut Enc, ranks: &RankSet) {
+    e.usize(ranks.run_count());
+    for run in ranks.runs() {
+        e.usize(run.start);
+        e.usize(run.stride);
+        e.usize(run.count);
+    }
+}
+
+fn dec_ranks(d: &mut Dec) -> Result<RankSet, SnapshotError> {
+    let n = d.len()?;
+    let mut runs = Vec::with_capacity(n);
+    for _ in 0..n {
+        runs.push(Run {
+            start: d.usize()?,
+            stride: d.usize()?,
+            count: d.usize()?,
+        });
+    }
+    Ok(RankSet::from_runs(runs))
+}
+
+fn enc_rank_param(e: &mut Enc, p: &RankParam) {
+    match p {
+        RankParam::Const(r) => {
+            e.u8(1);
+            e.usize(*r);
+        }
+        RankParam::Offset(d) => {
+            e.u8(2);
+            e.i64(*d);
+        }
+        RankParam::OffsetMod { offset, modulus } => {
+            e.u8(3);
+            e.i64(*offset);
+            e.usize(*modulus);
+        }
+        RankParam::Xor(mask) => {
+            e.u8(4);
+            e.usize(*mask);
+        }
+        RankParam::PerRank(m) => {
+            e.u8(5);
+            e.usize(m.len());
+            for (r, v) in m {
+                e.usize(*r);
+                e.usize(*v);
+            }
+        }
+    }
+}
+
+fn dec_rank_param(d: &mut Dec) -> Result<RankParam, SnapshotError> {
+    Ok(match d.u8()? {
+        1 => RankParam::Const(d.usize()?),
+        2 => RankParam::Offset(d.i64()?),
+        3 => RankParam::OffsetMod {
+            offset: d.i64()?,
+            modulus: d.usize()?,
+        },
+        4 => RankParam::Xor(d.usize()?),
+        5 => {
+            let n = d.len()?;
+            let mut m = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let r = d.usize()?;
+                m.insert(r, d.usize()?);
+            }
+            RankParam::PerRank(m)
+        }
+        t => return Err(corrupt(format!("bad RankParam tag {t}"))),
+    })
+}
+
+fn enc_val_param(e: &mut Enc, p: &ValParam) {
+    match p {
+        ValParam::Const(v) => {
+            e.u8(1);
+            e.u64(*v);
+        }
+        ValParam::PerRank(m) => {
+            e.u8(2);
+            e.usize(m.len());
+            for (r, v) in m {
+                e.usize(*r);
+                e.u64(*v);
+            }
+        }
+    }
+}
+
+fn dec_val_param(d: &mut Dec) -> Result<ValParam, SnapshotError> {
+    Ok(match d.u8()? {
+        1 => ValParam::Const(d.u64()?),
+        2 => {
+            let n = d.len()?;
+            let mut m = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let r = d.usize()?;
+                m.insert(r, d.u64()?);
+            }
+            ValParam::PerRank(m)
+        }
+        t => return Err(corrupt(format!("bad ValParam tag {t}"))),
+    })
+}
+
+fn enc_comm_param(e: &mut Enc, p: &CommParam) {
+    match p {
+        CommParam::Const(c) => {
+            e.u8(1);
+            e.u32(*c);
+        }
+        CommParam::PerRank(m) => {
+            e.u8(2);
+            e.usize(m.len());
+            for (r, v) in m {
+                e.usize(*r);
+                e.u32(*v);
+            }
+        }
+    }
+}
+
+fn dec_comm_param(d: &mut Dec) -> Result<CommParam, SnapshotError> {
+    Ok(match d.u8()? {
+        1 => CommParam::Const(d.u32()?),
+        2 => {
+            let n = d.len()?;
+            let mut m = std::collections::BTreeMap::new();
+            for _ in 0..n {
+                let r = d.usize()?;
+                m.insert(r, d.u32()?);
+            }
+            CommParam::PerRank(m)
+        }
+        t => return Err(corrupt(format!("bad CommParam tag {t}"))),
+    })
+}
+
+fn enc_op(e: &mut Enc, op: &OpTemplate) {
+    match op {
+        OpTemplate::Send {
+            to,
+            tag,
+            bytes,
+            comm,
+            blocking,
+        } => {
+            e.u8(0);
+            enc_rank_param(e, to);
+            e.i64(*tag as i64);
+            enc_val_param(e, bytes);
+            enc_comm_param(e, comm);
+            e.bool(*blocking);
+        }
+        OpTemplate::Recv {
+            from,
+            tag,
+            bytes,
+            comm,
+            blocking,
+        } => {
+            e.u8(1);
+            match from {
+                SrcParam::Any => e.u8(0),
+                SrcParam::Rank(r) => {
+                    e.u8(1);
+                    enc_rank_param(e, r);
+                }
+            }
+            match tag {
+                TagSel::Any => e.u8(0),
+                TagSel::Is(t) => {
+                    e.u8(1);
+                    e.i64(*t as i64);
+                }
+            }
+            enc_val_param(e, bytes);
+            enc_comm_param(e, comm);
+            e.bool(*blocking);
+        }
+        OpTemplate::Wait { count } => {
+            e.u8(2);
+            enc_val_param(e, count);
+        }
+        OpTemplate::Coll {
+            kind,
+            root,
+            bytes,
+            comm,
+        } => {
+            e.u8(3);
+            let idx = CollKind::ALL.iter().position(|k| k == kind).unwrap();
+            e.u8(idx as u8);
+            match root {
+                None => e.u8(0),
+                Some(r) => {
+                    e.u8(1);
+                    enc_rank_param(e, r);
+                }
+            }
+            enc_val_param(e, bytes);
+            enc_comm_param(e, comm);
+        }
+        OpTemplate::CommSplit { parent, result } => {
+            e.u8(4);
+            e.u32(*parent);
+            e.u32(*result);
+        }
+    }
+}
+
+fn dec_tag(v: i64) -> Result<i32, SnapshotError> {
+    i32::try_from(v).map_err(|_| corrupt("tag out of range"))
+}
+
+fn dec_op(d: &mut Dec) -> Result<OpTemplate, SnapshotError> {
+    Ok(match d.u8()? {
+        0 => OpTemplate::Send {
+            to: dec_rank_param(d)?,
+            tag: dec_tag(d.i64()?)?,
+            bytes: dec_val_param(d)?,
+            comm: dec_comm_param(d)?,
+            blocking: d.bool()?,
+        },
+        1 => {
+            let from = match d.u8()? {
+                0 => SrcParam::Any,
+                1 => SrcParam::Rank(dec_rank_param(d)?),
+                t => return Err(corrupt(format!("bad SrcParam tag {t}"))),
+            };
+            let tag = match d.u8()? {
+                0 => TagSel::Any,
+                1 => TagSel::Is(dec_tag(d.i64()?)?),
+                t => return Err(corrupt(format!("bad TagSel tag {t}"))),
+            };
+            OpTemplate::Recv {
+                from,
+                tag,
+                bytes: dec_val_param(d)?,
+                comm: dec_comm_param(d)?,
+                blocking: d.bool()?,
+            }
+        }
+        2 => OpTemplate::Wait {
+            count: dec_val_param(d)?,
+        },
+        3 => {
+            let idx = d.u8()? as usize;
+            let kind = *CollKind::ALL
+                .get(idx)
+                .ok_or_else(|| corrupt(format!("bad CollKind index {idx}")))?;
+            let root = match d.u8()? {
+                0 => None,
+                1 => Some(dec_rank_param(d)?),
+                t => return Err(corrupt(format!("bad root tag {t}"))),
+            };
+            OpTemplate::Coll {
+                kind,
+                root,
+                bytes: dec_val_param(d)?,
+                comm: dec_comm_param(d)?,
+            }
+        }
+        4 => OpTemplate::CommSplit {
+            parent: d.u32()?,
+            result: d.u32()?,
+        },
+        t => return Err(corrupt(format!("bad OpTemplate tag {t}"))),
+    })
+}
+
+fn enc_node(e: &mut Enc, node: &TraceNode) {
+    match node {
+        TraceNode::Event(r) => {
+            e.u8(0);
+            enc_ranks(e, &r.ranks);
+            e.u64(r.sig);
+            enc_op(e, &r.op);
+            enc_stats(e, &r.compute);
+        }
+        TraceNode::Loop(p) => {
+            e.u8(1);
+            e.u64(p.count);
+            e.usize(p.body.len());
+            for n in &p.body {
+                enc_node(e, n);
+            }
+        }
+    }
+}
+
+fn dec_node(d: &mut Dec, depth: usize) -> Result<TraceNode, SnapshotError> {
+    if depth > MAX_DEPTH {
+        return Err(corrupt("loop nesting too deep"));
+    }
+    Ok(match d.u8()? {
+        0 => TraceNode::Event(Rsd {
+            ranks: dec_ranks(d)?,
+            sig: d.u64()?,
+            op: dec_op(d)?,
+            compute: dec_stats(d)?,
+        }),
+        1 => {
+            let count = d.u64()?;
+            let n = d.len()?;
+            let mut body = Vec::with_capacity(n);
+            for _ in 0..n {
+                body.push(dec_node(d, depth + 1)?);
+            }
+            TraceNode::Loop(Prsd { count, body })
+        }
+        t => return Err(corrupt(format!("bad TraceNode tag {t}"))),
+    })
+}
+
+// ----------------------------------------------------------- tracer frame
+
+/// Serialise a tracer's full capture state into a framed, checksummed
+/// checkpoint (the exact inverse of [`tracer_from_checkpoint`]).
+pub fn checkpoint_bytes(t: &Tracer) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.0.extend_from_slice(&MAGIC);
+    e.u32(VERSION);
+    e.usize(t.rank());
+    e.usize(t.nranks());
+    e.u64(t.events_seen);
+    e.u64(t.last_exit().as_nanos());
+    let seq = t.compressor();
+    e.usize(seq.max_window());
+    e.u8(match seq.strategy() {
+        FoldStrategy::Fingerprint => 0,
+        FoldStrategy::Structural => 1,
+    });
+    let comms = t.comms_ref();
+    let ids: Vec<u32> = comms.ids().collect();
+    e.usize(ids.len());
+    for id in ids {
+        e.u32(id);
+        let members = comms.members(id);
+        e.usize(members.len());
+        for &m in members {
+            e.usize(m);
+        }
+    }
+    e.usize(t.nodes().len());
+    for n in t.nodes() {
+        enc_node(&mut e, n);
+    }
+    let mut h = Fnv1a::new();
+    h.write(&e.0);
+    let sum = h.finish();
+    e.u64(sum);
+    e.0
+}
+
+/// Decode a checkpoint produced by [`checkpoint_bytes`], verifying frame,
+/// version, and checksum. The returned tracer is in resume mode: it will
+/// skip its first `events_seen` observed events (see the module docs).
+pub fn tracer_from_checkpoint(bytes: &[u8]) -> Result<Tracer, SnapshotError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(corrupt("file shorter than frame"));
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    let mut h = Fnv1a::new();
+    h.write(body);
+    if h.finish() != stored {
+        return Err(corrupt("checksum mismatch"));
+    }
+    if body[..MAGIC.len()] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let mut d = Dec {
+        buf: body,
+        pos: MAGIC.len(),
+    };
+    let version = d.u32()?;
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    let rank = d.usize()?;
+    let nranks = d.usize()?;
+    if nranks == 0 || rank >= nranks {
+        return Err(corrupt(format!("rank {rank} out of range for {nranks}")));
+    }
+    let events_seen = d.u64()?;
+    let last_exit = SimTime::ZERO + SimDuration::from_nanos(d.u64()?);
+    let max_window = d.usize()?;
+    if max_window == 0 {
+        return Err(corrupt("zero fold window"));
+    }
+    let strategy = match d.u8()? {
+        0 => FoldStrategy::Fingerprint,
+        1 => FoldStrategy::Structural,
+        t => return Err(corrupt(format!("bad strategy tag {t}"))),
+    };
+    let mut comms = CommTable::world(nranks);
+    let ncomms = d.len()?;
+    for _ in 0..ncomms {
+        let id = d.u32()?;
+        let n = d.len()?;
+        let mut members = Vec::with_capacity(n);
+        for _ in 0..n {
+            members.push(d.usize()?);
+        }
+        comms.insert(id, members);
+    }
+    let nnodes = d.len()?;
+    let mut nodes = Vec::with_capacity(nnodes);
+    for _ in 0..nnodes {
+        nodes.push(dec_node(&mut d, 0)?);
+    }
+    if d.pos != d.buf.len() {
+        return Err(corrupt("trailing bytes after payload"));
+    }
+    let seq = TailCompressor::from_nodes(max_window, strategy, nodes);
+    Ok(Tracer::restore(
+        rank,
+        nranks,
+        seq,
+        comms,
+        last_exit,
+        events_seen,
+    ))
+}
+
+// ------------------------------------------------------------ checkpointing
+
+/// Where and how often a run checkpoints its tracers.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    dir: PathBuf,
+    every: u64,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir`, writing each rank's snapshot after every
+    /// `every` recorded events (`every` is clamped to at least 1).
+    pub fn new(dir: impl Into<PathBuf>, every: u64) -> CheckpointConfig {
+        CheckpointConfig {
+            dir: dir.into(),
+            every: every.max(1),
+        }
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Checkpoint cadence in recorded events per rank.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Path of `rank`'s checkpoint file.
+    pub fn rank_path(&self, rank: usize) -> PathBuf {
+        self.dir.join(format!("rank{rank}.ckpt"))
+    }
+}
+
+/// Atomically write `tracer`'s checkpoint under `cfg` (tmp file + rename,
+/// so a crash mid-write leaves the previous checkpoint intact, never a
+/// truncated one).
+pub fn write_checkpoint(cfg: &CheckpointConfig, tracer: &Tracer) -> Result<(), SnapshotError> {
+    let path = cfg.rank_path(tracer.rank());
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, checkpoint_bytes(tracer))?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Load `rank`'s checkpoint under `cfg`. `Ok(None)` when no checkpoint
+/// exists (a fresh rank); `Err` when one exists but cannot be decoded.
+pub fn read_checkpoint(
+    cfg: &CheckpointConfig,
+    rank: usize,
+) -> Result<Option<Tracer>, SnapshotError> {
+    let path = cfg.rank_path(rank);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(SnapshotError::Io(e)),
+    };
+    tracer_from_checkpoint(&bytes).map(Some)
+}
+
+/// A [`Tracer`] that checkpoints itself every [`CheckpointConfig::every`]
+/// recorded events. Checkpoint writes are best-effort: a full disk must not
+/// kill the traced run, it only widens the window a later resume replays.
+pub struct CheckpointingTracer {
+    inner: Tracer,
+    cfg: CheckpointConfig,
+}
+
+impl CheckpointingTracer {
+    /// Wrap `inner`, checkpointing under `cfg`.
+    pub fn new(inner: Tracer, cfg: CheckpointConfig) -> CheckpointingTracer {
+        CheckpointingTracer { inner, cfg }
+    }
+
+    /// Unwrap the tracer (for merging after the run).
+    pub fn into_inner(self) -> Tracer {
+        self.inner
+    }
+}
+
+impl Hook for CheckpointingTracer {
+    fn on_event(&mut self, event: &Event) {
+        let before = self.inner.events_seen;
+        self.inner.on_event(event);
+        // `events_seen` does not advance while the tracer is skipping
+        // already-checkpointed events on a resume, so no re-writes happen
+        // during replay.
+        if self.inner.events_seen != before && self.inner.events_seen.is_multiple_of(self.cfg.every)
+        {
+            let _ = write_checkpoint(&self.cfg, &self.inner);
+        }
+    }
+}
+
+fn run_and_salvage<F>(
+    world: World,
+    n: usize,
+    cfg: &CheckpointConfig,
+    mut restored: Vec<Option<Tracer>>,
+    body: F,
+) -> PartialTracedRun
+where
+    F: Fn(&mut Ctx) + Send + Sync + 'static,
+{
+    let cfg_hook = cfg.clone();
+    let (result, hooks) = world.run_hooked_partial(
+        move |r| {
+            let t = restored
+                .get_mut(r)
+                .and_then(Option::take)
+                .unwrap_or_else(|| Tracer::new(r, n));
+            CheckpointingTracer::new(t, cfg_hook.clone())
+        },
+        body,
+    );
+    // Final salvage: whatever each rank saw last — including the tail
+    // between the last cadence checkpoint and a crash — becomes the new
+    // checkpoint, so a subsequent resume replays nothing twice.
+    let mut tracers = Vec::with_capacity(hooks.len());
+    for h in hooks {
+        let _ = write_checkpoint(cfg, &h.inner);
+        tracers.push(h.into_inner());
+    }
+    let trace = merge_tracers(tracers);
+    match result {
+        Ok(report) => PartialTracedRun {
+            trace,
+            report: Some(report),
+            error: None,
+        },
+        Err(err) => PartialTracedRun {
+            trace,
+            report: None,
+            error: Some(err),
+        },
+    }
+}
+
+/// As [`crate::trace_world_partial`], but every rank checkpoints its capture
+/// state under `cfg` (every N events, plus a final salvage write when the
+/// run ends — normally or by a fault). A failed run therefore leaves on disk
+/// exactly the state [`trace_world_resumed`] needs.
+pub fn trace_world_checkpointed<F>(
+    world: World,
+    n: usize,
+    cfg: &CheckpointConfig,
+    body: F,
+) -> Result<PartialTracedRun, SnapshotError>
+where
+    F: Fn(&mut Ctx) + Send + Sync + 'static,
+{
+    std::fs::create_dir_all(cfg.dir())?;
+    Ok(run_and_salvage(world, n, cfg, Vec::new(), body))
+}
+
+/// Resume a (crashed or interrupted) traced run from the checkpoints under
+/// `cfg`: each rank with a checkpoint is restored and replays through the
+/// already-captured prefix without re-recording it; ranks without one start
+/// fresh. The world must re-run the same application deterministically —
+/// same ranks, same body, same network/match policy, and a fault plan
+/// without the crash being recovered from (see
+/// [`mpisim::faults::FaultPlan::without_crashes`]).
+///
+/// Corrupt checkpoints are an error (the caller decides whether to delete
+/// and restart); missing ones are not.
+pub fn trace_world_resumed<F>(
+    world: World,
+    n: usize,
+    cfg: &CheckpointConfig,
+    body: F,
+) -> Result<PartialTracedRun, SnapshotError>
+where
+    F: Fn(&mut Ctx) + Send + Sync + 'static,
+{
+    std::fs::create_dir_all(cfg.dir())?;
+    let mut restored = Vec::with_capacity(n);
+    for r in 0..n {
+        let t = read_checkpoint(cfg, r)?;
+        if let Some(t) = &t {
+            if t.rank() != r || t.nranks() != n {
+                return Err(corrupt(format!(
+                    "checkpoint for rank {r} of {n} actually holds rank {} of {}",
+                    t.rank(),
+                    t.nranks()
+                )));
+            }
+        }
+        restored.push(t);
+    }
+    Ok(run_and_salvage(world, n, cfg, restored, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tracer() -> Tracer {
+        // Drive nodes through the real compressor so loops, histograms, and
+        // fingerprint state all exist in the checkpointed sequence.
+        let mut c = TailCompressor::new(crate::compress::DEFAULT_MAX_WINDOW);
+        for i in 0..40u64 {
+            c.push(TraceNode::Event(Rsd {
+                ranks: RankSet::single(1),
+                sig: 10 + (i % 3),
+                op: OpTemplate::Send {
+                    to: RankParam::Offset(1),
+                    tag: 7,
+                    bytes: ValParam::Const(64),
+                    comm: CommParam::Const(0),
+                    blocking: i % 2 == 0,
+                },
+                compute: TimeStats::of(SimDuration::from_usecs(i)),
+            }));
+        }
+        let mut comms = CommTable::world(4);
+        comms.insert(1, vec![0, 2]);
+        let last_exit = SimTime::ZERO + SimDuration::from_usecs(123);
+        Tracer::restore(1, 4, c, comms, last_exit, 40)
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let t = sample_tracer();
+        let bytes = checkpoint_bytes(&t);
+        let back = tracer_from_checkpoint(&bytes).expect("decodes");
+        assert_eq!(back.rank(), t.rank());
+        assert_eq!(back.nranks(), t.nranks());
+        assert_eq!(back.events_seen, t.events_seen);
+        assert_eq!(back.last_exit(), t.last_exit());
+        assert_eq!(back.nodes(), t.nodes());
+        // re-encoding the decoded tracer is byte-identical
+        assert_eq!(checkpoint_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = checkpoint_bytes(&sample_tracer());
+        for cut in 0..bytes.len() {
+            assert!(
+                tracer_from_checkpoint(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bitflip_is_detected() {
+        let bytes = checkpoint_bytes(&sample_tracer());
+        // Flip one bit per byte position; the checksum (or a structural
+        // check) must catch every one of them.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(
+                tracer_from_checkpoint(&bad).is_err(),
+                "bit flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let t = sample_tracer();
+        let mut bytes = checkpoint_bytes(&t);
+        bytes[4] = 99; // version lives right after the 4-byte magic
+                       // fix up the checksum so only the version is wrong
+        let body_len = bytes.len() - 8;
+        let mut h = Fnv1a::new();
+        h.write(&bytes[..body_len]);
+        let sum = h.finish().to_le_bytes();
+        bytes[body_len..].copy_from_slice(&sum);
+        let err = match tracer_from_checkpoint(&bytes) {
+            Err(e) => e,
+            Ok(_) => panic!("wrong version must not decode"),
+        };
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+}

@@ -165,6 +165,41 @@ impl TimeStats {
     pub fn bins(&self) -> &[u64] {
         &self.bins
     }
+
+    /// The exact internal fields `(count, sum_ns, min_ns, max_ns, bins)`.
+    ///
+    /// The text rendering of a histogram is lossy (it keeps only count and
+    /// mean); checkpoints are not allowed to be, so the snapshot codec
+    /// serialises these fields verbatim and rebuilds via
+    /// [`TimeStats::from_raw`].
+    pub fn raw(&self) -> (u64, u128, u64, u64, &[u64; BINS]) {
+        (
+            self.count,
+            self.sum_ns,
+            self.min_ns,
+            self.max_ns,
+            &self.bins,
+        )
+    }
+
+    /// Rebuild a histogram from fields captured by [`TimeStats::raw`].
+    /// Exact inverse: `TimeStats::from_raw` of `raw()` compares equal to the
+    /// original, bit for bit.
+    pub fn from_raw(
+        count: u64,
+        sum_ns: u128,
+        min_ns: u64,
+        max_ns: u64,
+        bins: [u64; BINS],
+    ) -> TimeStats {
+        TimeStats {
+            count,
+            sum_ns,
+            min_ns,
+            max_ns,
+            bins,
+        }
+    }
 }
 
 impl fmt::Debug for TimeStats {

@@ -34,10 +34,29 @@
 //! commbench perf --smoke --check BENCH_pipeline.json  # the CI gate
 //! ```
 //!
+//! The `resume` subcommand restarts an interrupted campaign from its JSONL
+//! log (the write-ahead journal): jobs with a recorded terminal outcome
+//! are replayed without rerunning, transient failures and the job the
+//! crash cut short run again, and the log is extended in place:
+//!
+//! ```text
+//! commbench resume --matrix sweep.txt --log fleet.jsonl
+//! ```
+//!
+//! The `fsck` subcommand sweeps the trace cache for corruption (checksum
+//! mismatches, orphaned sidecars, stranded tmp files), quarantines what it
+//! finds so the next run regenerates it, and exits non-zero if anything
+//! was condemned:
+//!
+//! ```text
+//! commbench fsck --cache .commbench-cache
+//! ```
+//!
 //! Exit status is success iff every expanded job succeeded.
 
 use campaign::{
-    run_campaign, run_jobs, CampaignSpec, FleetOptions, JobSpec, Telemetry, TraceCache,
+    resume_campaign, run_campaign, run_jobs, CampaignSpec, FleetOptions, JobSpec, Journal,
+    Telemetry, TraceCache,
 };
 use commspec::perf::{self, PerfConfig};
 use miniapps::{registry, Class};
@@ -81,10 +100,16 @@ struct ChaosArgs {
     common: Common,
 }
 
+struct FsckArgs {
+    cache_dir: PathBuf,
+}
+
 enum Cmd {
     Matrix(Args),
+    Resume(Args),
     Chaos(ChaosArgs),
     Perf(PerfConfig),
+    Fsck(FsckArgs),
 }
 
 fn parse_args() -> Result<Cmd, String> {
@@ -132,8 +157,30 @@ fn parse_argv(argv: Vec<String>) -> Result<Cmd, String> {
     match argv.first().map(String::as_str) {
         Some("chaos") => parse_chaos(&argv[1..]).map(Cmd::Chaos),
         Some("perf") => parse_perf(&argv[1..]).map(Cmd::Perf),
+        Some("resume") => parse_matrix(&argv[1..]).map(Cmd::Resume),
+        Some("fsck") => parse_fsck(&argv[1..]).map(Cmd::Fsck),
         _ => parse_matrix(&argv).map(Cmd::Matrix),
     }
+}
+
+fn parse_fsck(argv: &[String]) -> Result<FsckArgs, String> {
+    let mut args = FsckArgs {
+        cache_dir: PathBuf::from(".commbench-cache"),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--cache" => {
+                i += 1;
+                args.cache_dir =
+                    PathBuf::from(argv.get(i).cloned().ok_or("missing value for --cache")?);
+            }
+            "--help" | "-h" => return Err("usage: commbench fsck [--cache DIR]".to_string()),
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
 }
 
 fn parse_matrix(argv: &[String]) -> Result<Args, String> {
@@ -162,10 +209,14 @@ fn parse_matrix(argv: &[String]) -> Result<Args, String> {
                 return Err(
                     "usage: commbench --matrix FILE [--print-matrix] [--cache DIR] \
                             [--log FILE.jsonl] [--workers N] [--timeout SECS] [--retries N]\n\
+                     or:    commbench resume --matrix FILE [common flags]   \
+                            # restart an interrupted campaign from its log\n\
                      or:    commbench chaos [--seeds N] [--apps A,B] [--ranks N] \
                             [--network ideal|bgl|ethernet] [--iterations N] [common flags]\n\
                      or:    commbench perf [--smoke] [--baseline] [--reps N] [--warmup N] \
-                            [--cache DIR] [--out FILE.json] [--check BASELINE.json]"
+                            [--cache DIR] [--out FILE.json] [--check BASELINE.json]\n\
+                     or:    commbench fsck [--cache DIR]   \
+                            # verify + quarantine corrupt cache entries"
                         .to_string(),
                 )
             }
@@ -402,8 +453,10 @@ fn open_cache_and_log(common: &Common) -> Result<(TraceCache, Telemetry), String
 fn main() -> ExitCode {
     match parse_args() {
         Ok(Cmd::Matrix(args)) => main_matrix(args),
+        Ok(Cmd::Resume(args)) => main_resume(args),
         Ok(Cmd::Chaos(args)) => main_chaos(args),
         Ok(Cmd::Perf(cfg)) => main_perf(cfg),
+        Ok(Cmd::Fsck(args)) => main_fsck(args),
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
@@ -411,21 +464,12 @@ fn main() -> ExitCode {
     }
 }
 
-fn main_matrix(args: Args) -> ExitCode {
-    let text = match std::fs::read_to_string(&args.matrix) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", args.matrix);
-            return ExitCode::FAILURE;
-        }
-    };
-    let mut spec = match CampaignSpec::parse(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("bad matrix {}: {e}", args.matrix);
-            return ExitCode::FAILURE;
-        }
-    };
+/// Read, parse, and flag-override the campaign spec named by `args`.
+fn load_spec(args: &Args) -> Result<CampaignSpec, String> {
+    let text = std::fs::read_to_string(&args.matrix)
+        .map_err(|e| format!("cannot read {}: {e}", args.matrix))?;
+    let mut spec =
+        CampaignSpec::parse(&text).map_err(|e| format!("bad matrix {}: {e}", args.matrix))?;
     if let Some(w) = args.common.workers {
         spec.workers = w;
     }
@@ -435,6 +479,17 @@ fn main_matrix(args: Args) -> ExitCode {
     if let Some(r) = args.common.retries {
         spec.retries = r;
     }
+    Ok(spec)
+}
+
+fn main_matrix(args: Args) -> ExitCode {
+    let spec = match load_spec(&args) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let (jobs, skipped) = spec.expand();
     if args.print_matrix {
@@ -475,6 +530,86 @@ fn main_matrix(args: Args) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn main_resume(args: Args) -> ExitCode {
+    let spec = match load_spec(&args) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let journal = match Journal::load(&args.common.log) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!(
+                "cannot read journal {}: {e}\n\
+                 (resume needs the JSONL log of the interrupted run — pass it with --log)",
+                args.common.log.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = match TraceCache::open(&args.common.cache_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open cache {}: {e}", args.common.cache_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Append, don't truncate: the log on disk is the journal being resumed.
+    let telemetry = match Telemetry::append_file(&args.common.log) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot append to log {}: {e}", args.common.log.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "resume: {} journaled outcome(s){} in {}",
+        journal.len(),
+        if journal.torn > 0 {
+            format!(" ({} torn line(s) ignored)", journal.torn)
+        } else {
+            String::new()
+        },
+        args.common.log.display()
+    );
+    let report = resume_campaign(&spec, cache, telemetry, &journal);
+    print!("{report}");
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main_fsck(args: FsckArgs) -> ExitCode {
+    let cache = match TraceCache::open(&args.cache_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open cache {}: {e}", args.cache_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match cache.fsck() {
+        Ok(report) => {
+            print!("fsck {}: {report}", args.cache_dir.display());
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                // Non-zero so scripts notice; the condemned entries are
+                // already quarantined and will regenerate on the next run.
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("fsck failed on {}: {e}", args.cache_dir.display());
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -569,6 +704,36 @@ mod tests {
             parse_argv(argv("--help")).is_err(),
             "help surfaces as a message"
         );
+    }
+
+    #[test]
+    fn parses_resume_and_fsck_invocations() {
+        let a = match parse_argv(argv("resume --matrix m.txt --log old.jsonl --workers 2")).unwrap()
+        {
+            Cmd::Resume(a) => a,
+            _ => panic!("expected resume mode"),
+        };
+        assert_eq!(a.matrix, "m.txt");
+        assert_eq!(a.common.log, PathBuf::from("old.jsonl"));
+        assert_eq!(a.common.workers, Some(2));
+        assert!(
+            parse_argv(argv("resume")).is_err(),
+            "resume still requires --matrix"
+        );
+
+        let f = match parse_argv(argv("fsck --cache /tmp/cc")).unwrap() {
+            Cmd::Fsck(f) => f,
+            _ => panic!("expected fsck mode"),
+        };
+        assert_eq!(f.cache_dir, PathBuf::from("/tmp/cc"));
+        let f = match parse_argv(argv("fsck")).unwrap() {
+            Cmd::Fsck(f) => f,
+            _ => panic!("expected fsck mode"),
+        };
+        assert_eq!(f.cache_dir, PathBuf::from(".commbench-cache"));
+        assert!(parse_argv(argv("fsck --matrix m.txt")).is_err());
+        assert!(parse_argv(argv("fsck --cache")).is_err(), "missing value");
+        assert!(parse_argv(argv("fsck --help")).is_err());
     }
 
     #[test]

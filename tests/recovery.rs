@@ -1,0 +1,321 @@
+//! Crash/recovery end-to-end tests: SIGKILL a live campaign and prove that
+//! `commbench resume` converges to the uninterrupted run's outcomes, that
+//! `commbench fsck` quarantines cache corruption which the next run then
+//! regenerates, and that checkpoint-resumed traces carry the same mpiP
+//! profile as never-crashed ones.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn commbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_commbench"))
+        .args(args)
+        .output()
+        .expect("commbench spawns")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "commspec-recovery-test-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim_matches('"'))
+}
+
+/// Final per-job outcome view of a JSONL journal: job id → the fields a
+/// resume must reproduce. `cached` is deliberately excluded — a resumed
+/// run legitimately serves traces from the cache the interrupted run
+/// filled.
+fn final_outcomes(log: &Path) -> std::collections::BTreeMap<String, Vec<(String, String)>> {
+    let mut map = std::collections::BTreeMap::new();
+    for line in std::fs::read_to_string(log).expect("log exists").lines() {
+        if field(line, "event") != Some("finished") {
+            continue;
+        }
+        let job = field(line, "job").expect("finished has job").to_string();
+        let mut fields = Vec::new();
+        for key in [
+            "status",
+            "t_app_ns",
+            "t_gen_ns",
+            "err_pct",
+            "compression",
+            "verify_errors",
+            "cause",
+        ] {
+            if let Some(v) = field(line, key) {
+                fields.push((key.to_string(), v.to_string()));
+            }
+        }
+        map.insert(job, fields); // last finished record wins
+    }
+    map
+}
+
+fn count_events(log: &Path, event: &str) -> usize {
+    std::fs::read_to_string(log)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| field(l, "event") == Some(event))
+        .count()
+}
+
+/// Serialised matrix: one worker, several independent jobs, so a kill
+/// mid-run reliably leaves later jobs unfinished.
+const RECOVERY_MATRIX: &str = "
+    apps     = ring, cg, ep, lu
+    ranks    = 4, 8
+    classes  = S
+    networks = ideal
+    workers  = 1
+    timeout_secs = 120
+    retries  = 1
+";
+
+#[test]
+fn kill9_mid_campaign_then_resume_converges_to_uninterrupted_outcomes() {
+    let dir = temp_dir("kill9");
+    let matrix = dir.join("matrix.txt");
+    std::fs::write(&matrix, RECOVERY_MATRIX).unwrap();
+
+    // Reference: the run nothing interrupts.
+    let ref_cache = dir.join("ref-cache");
+    let ref_log = dir.join("ref.jsonl");
+    let out = commbench(&[
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--cache",
+        ref_cache.to_str().unwrap(),
+        "--log",
+        ref_log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    let reference = final_outcomes(&ref_log);
+    assert_eq!(reference.len(), 8, "4 apps x 2 rank counts");
+
+    // Victim: same matrix, fresh cache and log, SIGKILLed after the first
+    // couple of jobs finish.
+    let cache = dir.join("cache");
+    let log = dir.join("campaign.jsonl");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_commbench"))
+        .args([
+            "--matrix",
+            matrix.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+            "--log",
+            log.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("victim campaign spawns");
+    let deadline = Instant::now() + Duration::from_secs(110);
+    loop {
+        if count_events(&log, "finished") >= 2 || child.try_wait().unwrap().is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "victim made no progress");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // SIGKILL: no atexit handlers, no flushes, no goodbye.
+    let _ = child.kill();
+    let _ = child.wait();
+    let journaled_before = final_outcomes(&log).len();
+    assert!(
+        journaled_before < reference.len(),
+        "the kill must interrupt the campaign for this test to mean anything"
+    );
+
+    // Resume from the journal. It must succeed and converge.
+    let out = commbench(&[
+        "resume",
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(
+        stderr(&out).contains("journaled outcome"),
+        "{}",
+        stderr(&out)
+    );
+
+    // The extended journal now holds the same terminal outcome — status,
+    // exact simulated times, accuracy metrics, mpiP verification verdict —
+    // for every job the uninterrupted run produced.
+    let resumed = final_outcomes(&log);
+    assert_eq!(resumed, reference, "resume must converge, bit for bit");
+
+    // And it truly resumed: completed jobs were replayed, not rerun.
+    assert_eq!(count_events(&log, "resumed"), journaled_before);
+    let started = count_events(&log, "started");
+    assert!(
+        started < 2 * reference.len(),
+        "resume reran everything ({started} started events)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_quarantines_corruption_and_the_next_run_regenerates() {
+    let dir = temp_dir("fsck");
+    let matrix = dir.join("matrix.txt");
+    std::fs::write(&matrix, "apps = ring\nranks = 4\nworkers = 1\n").unwrap();
+    let cache = dir.join("cache");
+
+    // Populate the cache.
+    let out = commbench(&[
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+        "--log",
+        dir.join("run1.jsonl").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // A healthy cache passes.
+    let out = commbench(&["fsck", "--cache", cache.to_str().unwrap()]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("1 ok"), "{}", stdout(&out));
+
+    // Flip one byte in the stored trace.
+    let entry = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "st"))
+        .expect("campaign stored a trace");
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&entry, &bytes).unwrap();
+
+    // fsck detects, quarantines, and exits non-zero.
+    let out = commbench(&["fsck", "--cache", cache.to_str().unwrap()]);
+    assert!(!out.status.success(), "corruption must fail fsck");
+    let report = stdout(&out);
+    assert!(report.contains("1 quarantined"), "{report}");
+    assert!(report.contains("checksum"), "{report}");
+    assert!(!entry.exists(), "corrupt entry moved aside");
+    assert!(
+        entry.with_extension("st.quarantined").exists(),
+        "wreckage kept for inspection"
+    );
+
+    // The next campaign run regenerates the entry (a miss, not a hit)...
+    let log2 = dir.join("run2.jsonl");
+    let out = commbench(&[
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+        "--log",
+        log2.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(count_events(&log2, "cached"), 0, "no hit on quarantined");
+    assert!(entry.exists(), "entry regenerated");
+
+    // ... and the repaired cache is clean again.
+    let out = commbench(&["fsck", "--cache", cache.to_str().unwrap()]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_journal_fails_with_a_hint() {
+    let dir = temp_dir("nolog");
+    let matrix = dir.join("matrix.txt");
+    std::fs::write(&matrix, "apps = ring\nranks = 4\n").unwrap();
+    let out = commbench(&[
+        "resume",
+        "--matrix",
+        matrix.to_str().unwrap(),
+        "--log",
+        dir.join("never-written.jsonl").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--log"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The deferred half of the checkpoint round-trip property: beyond
+/// byte-identical trace text (proven in scalatrace's own tests), the
+/// resumed trace must induce the *same mpiP profile* — the artifact the
+/// paper's E1 verification consumes.
+#[test]
+fn checkpoint_resume_preserves_the_mpip_profile() {
+    use benchgen::verify::profile_of_trace;
+    use mpisim::faults::FaultPlan;
+    use mpisim::world::World;
+    use scalatrace::{
+        trace_world, trace_world_checkpointed, trace_world_resumed, CheckpointConfig,
+    };
+
+    const N: usize = 4;
+    let app = |ctx: &mut mpisim::Ctx| {
+        let w = ctx.world();
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        for _ in 0..6 {
+            let r = ctx.irecv(
+                mpisim::types::Src::Rank(left),
+                mpisim::types::TagSel::Is(0),
+                512,
+                &w,
+            );
+            let s = ctx.isend(right, 0, 512, &w);
+            ctx.waitall(&[r, s]);
+            ctx.allreduce(128, &w);
+        }
+    };
+
+    let full = trace_world(World::new(N), N, app).unwrap();
+
+    let dir = temp_dir("profile").join("ckpt");
+    let cfg = CheckpointConfig::new(&dir, 3);
+    let crashed = trace_world_checkpointed(
+        World::new(N).faults(FaultPlan::seeded(3).crash_rank(1, 9)),
+        N,
+        &cfg,
+        app,
+    )
+    .unwrap();
+    assert!(!crashed.completed(), "the crash must fire");
+
+    let resumed = trace_world_resumed(World::new(N), N, &cfg, app).unwrap();
+    assert!(resumed.completed());
+
+    let prof_full: Vec<_> = profile_of_trace(&full.trace).routines().collect();
+    let prof_resumed: Vec<_> = profile_of_trace(&resumed.trace).routines().collect();
+    assert_eq!(prof_full, prof_resumed, "mpiP profiles must be identical");
+    assert!(!prof_full.is_empty());
+    let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+}
