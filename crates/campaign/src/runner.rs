@@ -544,6 +544,13 @@ pub fn resume_campaign(
     }
 }
 
+/// Does `workers * pipeline_threads` exceed the 2x-cores oversubscription
+/// threshold? Only an explicit width (> 1) triggers the warning — the
+/// default defers to the ambient `par` configuration.
+fn oversubscribed(workers: usize, pipeline_threads: usize, cores: usize) -> bool {
+    pipeline_threads > 1 && workers * pipeline_threads > 2 * cores
+}
+
 /// Run an explicit job list on the fleet (the matrix-free entry point used
 /// by `commbench chaos`, which builds its own jobs over the registry).
 pub fn run_jobs(
@@ -560,6 +567,34 @@ pub fn run_jobs(
     for job in &jobs {
         telemetry.emit("queued", &job_fields(job));
     }
+
+    // Apply the jobs' analysis pool width (merge / alignment / wildcard
+    // resolution) for the fleet's duration. The matrix expands one value to
+    // every job; for hand-built job lists the widest wins. Thread count
+    // never changes any stage's output, so this is purely a resource knob:
+    // total demand is workers * pipeline_threads, and exceeding twice the
+    // core count is worth a telemetry warning before the run drowns in
+    // context switches. The default (1) leaves the ambient width —
+    // COMMSPEC_THREADS or the core count — untouched.
+    let pipeline_threads = jobs.iter().map(|j| j.pipeline_threads).max().unwrap_or(1);
+    let _threads_guard = (pipeline_threads > 1).then(|| {
+        let cores = par::available_cores();
+        if oversubscribed(fleet.workers, pipeline_threads, cores) {
+            telemetry.emit(
+                "oversubscription",
+                &[
+                    ("workers", Value::U(fleet.workers as u64)),
+                    ("pipeline_threads", Value::U(pipeline_threads as u64)),
+                    ("cores", Value::U(cores as u64)),
+                    (
+                        "hint",
+                        "keep workers * pipeline_threads <= 2 * cores".into(),
+                    ),
+                ],
+            );
+        }
+        par::scoped_threads(pipeline_threads)
+    });
 
     let jobs_for_observer = jobs.clone();
     let cache = Arc::new(cache);
@@ -678,6 +713,17 @@ mod tests {
 
     fn spec(matrix: &str) -> CampaignSpec {
         CampaignSpec::parse(matrix).unwrap()
+    }
+
+    #[test]
+    fn oversubscription_warns_only_past_twice_the_cores() {
+        // Default width never warns, whatever the fleet size.
+        assert!(!oversubscribed(64, 1, 1));
+        // At the boundary (workers * threads == 2 * cores) we stay quiet.
+        assert!(!oversubscribed(4, 4, 8));
+        // One past the boundary warns.
+        assert!(oversubscribed(4, 5, 8));
+        assert!(oversubscribed(2, 8, 4));
     }
 
     #[test]

@@ -46,7 +46,13 @@ fn collective_of(ev: &ConcreteEvent) -> Option<(CollKind, u32)> {
 /// corresponds to exactly one RSD covering its full communicator.
 pub fn align_collectives(trace: &Trace) -> Result<Trace, GenError> {
     let n = trace.nranks;
-    let mut cursors: Vec<Cursor> = (0..n).map(|r| Cursor::new(trace, r)).collect();
+    // Per-rank traversal fan-out on the shared pool: each rank's compressed
+    // stream expands independently. The alignment loop walks the expanded
+    // streams by index in exactly the order the incremental cursors would
+    // have produced, so the result is identical for every thread count.
+    let streams: Vec<Vec<ConcreteEvent>> =
+        par::par_map_indexed(par::threads(), n, |r| Cursor::new(trace, r).collect_all());
+    let mut pos = vec![0usize; n];
     let mut rb = SegmentedRebuilder::new(n);
     let mut blocked: Vec<Option<BlockedColl>> = (0..n).map(|_| None).collect();
     let mut done = vec![false; n];
@@ -60,12 +66,13 @@ pub fn align_collectives(trace: &Trace) -> Result<Trace, GenError> {
                 continue;
             }
             loop {
-                match cursors[r].next() {
+                match streams[r].get(pos[r]).cloned() {
                     None => {
                         done[r] = true;
                         break;
                     }
                     Some(ev) => {
+                        pos[r] += 1;
                         if let Some((kind, comm)) = collective_of(&ev) {
                             blocked[r] = Some(BlockedColl {
                                 event: ev,

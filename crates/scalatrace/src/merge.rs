@@ -12,6 +12,16 @@
 //! by taking the union of their rank sets and unifying parameters
 //! ([`crate::params`]). Unmatched nodes are interleaved, which preserves
 //! the per-rank projection order (each rank only appears on one side).
+//!
+//! The reduction runs on the shared [`par`] pool: pairs within one tree
+//! level are independent and merge concurrently, while the combine order is
+//! fixed — level `k` always pairs `(0,1), (2,3), …` — so the merged trace is
+//! identical for every thread count, and `threads = 1` takes the exact
+//! sequential code path. Node payloads are thread-safe by construction:
+//! [`crate::rankset::RankSet`] arenas are `Arc`-interned behind `OnceLock`
+//! tables, and timing histograms are owned per node.
+
+use std::cell::RefCell;
 
 use crate::collect::Tracer;
 use crate::params::{CommParam, RankParam, SrcParam, ValParam};
@@ -25,7 +35,7 @@ pub fn merge_tracers(tracers: Vec<Tracer>) -> Trace {
     let mut seqs: Vec<Vec<TraceNode>> = Vec::with_capacity(tracers.len());
     for t in tracers {
         let (seq, c) = t.into_parts();
-        comms.merge(&c);
+        comms.absorb(c);
         seqs.push(seq);
     }
     let nodes = merge_sequences(seqs, nranks);
@@ -36,20 +46,23 @@ pub fn merge_tracers(tracers: Vec<Tracer>) -> Trace {
     }
 }
 
-/// Binary-tree reduction of many per-rank sequences.
-pub fn merge_sequences(mut seqs: Vec<Vec<TraceNode>>, world: usize) -> Vec<TraceNode> {
-    while seqs.len() > 1 {
-        let mut next = Vec::with_capacity(seqs.len().div_ceil(2));
-        let mut it = seqs.into_iter();
-        while let Some(a) = it.next() {
-            match it.next() {
-                Some(b) => next.push(merge_pair(a, b, world)),
-                None => next.push(a),
-            }
-        }
-        seqs = next;
-    }
-    seqs.pop().unwrap_or_default()
+/// Binary-tree reduction of many per-rank sequences, on [`par::threads`]
+/// workers.
+pub fn merge_sequences(seqs: Vec<Vec<TraceNode>>, world: usize) -> Vec<TraceNode> {
+    merge_sequences_with(seqs, world, par::threads())
+}
+
+/// Binary-tree reduction with an explicit thread count.
+///
+/// The combine order is fixed regardless of `threads` (see
+/// [`par::tree_reduce`]), so the output is identical for any value;
+/// `threads = 1` runs the sequential loop on the caller's stack.
+pub fn merge_sequences_with(
+    seqs: Vec<Vec<TraceNode>>,
+    world: usize,
+    threads: usize,
+) -> Vec<TraceNode> {
+    par::tree_reduce(threads, seqs, |a, b| merge_pair(a, b, world)).unwrap_or_default()
 }
 
 /// Can two nodes be merged into one RSD/PRSD spanning both rank sets?
@@ -177,12 +190,30 @@ pub fn merge_rsds(a: Rsd, b: Rsd, world: usize) -> Rsd {
     }
 }
 
+thread_local! {
+    /// Per-worker LCS table, reused across pair merges: one merge of p
+    /// sequences runs p-1 pairwise DPs, and the table is the only large
+    /// transient allocation on that path.
+    static DP_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Align and merge two sequences with an LCS over [`mergeable`].
 pub fn merge_pair(a: Vec<TraceNode>, b: Vec<TraceNode>, world: usize) -> Vec<TraceNode> {
+    DP_SCRATCH.with(|s| merge_pair_scratch(a, b, world, &mut s.borrow_mut()))
+}
+
+fn merge_pair_scratch(
+    a: Vec<TraceNode>,
+    b: Vec<TraceNode>,
+    world: usize,
+    dp: &mut Vec<u32>,
+) -> Vec<TraceNode> {
     let n = a.len();
     let m = b.len();
-    // LCS DP table of match lengths.
-    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    // LCS DP table of match lengths (borders stay 0; the backward fill
+    // overwrites every interior cell before reading it).
+    dp.clear();
+    dp.resize((n + 1) * (m + 1), 0);
     let at = |i: usize, j: usize| i * (m + 1) + j;
     for i in (0..n).rev() {
         for j in (0..m).rev() {

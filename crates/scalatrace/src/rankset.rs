@@ -376,4 +376,46 @@ mod tests {
         assert_eq!(RankSet::empty().union(&a), a);
         assert_eq!(a.union(&a.clone()), a);
     }
+
+    #[test]
+    fn intern_arena_survives_forced_contention() {
+        // The parallel merge hits the OnceLock intern tables from every
+        // worker at once. Hammer first-touch initialisation and steady-state
+        // lookups from many threads rendezvousing on a barrier: every thread
+        // must observe the same canonical allocation for each shape, and
+        // unions built concurrently must equal their sequential versions.
+        let nthreads = 8;
+        let barrier = std::sync::Barrier::new(nthreads);
+        let sets: Vec<Vec<RankSet>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nthreads)
+                .map(|t| {
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        let mut mine = Vec::new();
+                        for i in 0..INTERN_LIMIT {
+                            let single = RankSet::single(i);
+                            let all = RankSet::all(i + 1);
+                            let u = single.union(&RankSet::single((i + t) % INTERN_LIMIT));
+                            assert!(single.contains(i));
+                            assert_eq!(all.len(), i + 1);
+                            mine.push(u);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Cross-thread: interned singles alias one allocation per shape.
+        for (t, mine) in sets.iter().enumerate() {
+            for (i, got) in mine.iter().enumerate() {
+                let expect = RankSet::single(i).union(&RankSet::single((i + t) % INTERN_LIMIT));
+                assert_eq!(*got, expect);
+            }
+        }
+        let a1 = RankSet::single(3);
+        let a2 = RankSet::single(3);
+        assert!(Arc::ptr_eq(&a1.runs, &a2.runs));
+    }
 }

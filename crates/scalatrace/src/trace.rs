@@ -321,6 +321,16 @@ impl CommTable {
         }
     }
 
+    /// Union consuming the other table: member lists move instead of being
+    /// cloned (first definition of an id still wins). This is the
+    /// per-tracer path in [`crate::merge::merge_tracers`], where `other` is
+    /// always discarded afterwards.
+    pub fn absorb(&mut self, other: CommTable) {
+        for (id, m) in other.members {
+            self.members.entry(id).or_insert(m);
+        }
+    }
+
     /// All known communicator ids, ascending.
     pub fn ids(&self) -> impl Iterator<Item = CommId> + '_ {
         self.members.keys().copied()

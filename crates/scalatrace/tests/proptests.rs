@@ -6,7 +6,7 @@ use mpisim::time::SimDuration;
 use proptest::prelude::*;
 use scalatrace::compress::{append_compressed, compress_tail};
 use scalatrace::cursor::Cursor;
-use scalatrace::merge::merge_sequences;
+use scalatrace::merge::{merge_pair, merge_sequences, merge_sequences_with};
 use scalatrace::params::{compress_rank_table, CommParam, RankParam, ValParam};
 use scalatrace::rankset::RankSet;
 use scalatrace::timestats::TimeStats;
@@ -326,6 +326,75 @@ proptest! {
                 .map(|e| e.sig)
                 .collect();
             prop_assert_eq!(&got, sigs, "rank {} projection changed", rank);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential merge: parallel tree reduce vs seed sequential pairing
+// ---------------------------------------------------------------------------
+
+/// The seed merge: level-by-level pair merges, strictly sequential and in
+/// index order. The pool's tree reduce pairs levels identically, so every
+/// width must reproduce this byte for byte.
+fn seed_merge(mut level: Vec<Vec<TraceNode>>, world: usize) -> Vec<TraceNode> {
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        let mut it = level.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_pair(a, b, world)),
+                None => next.push(a),
+            }
+        }
+        level = next;
+    }
+    level.pop().unwrap_or_default()
+}
+
+/// A per-rank send whose volume depends on the rank, so cross-rank merging
+/// exercises real parameter unification rather than trivial set unions.
+fn rank_node(rank: usize, sig: u64, bytes: u64, world: usize) -> TraceNode {
+    TraceNode::Event(Rsd {
+        ranks: RankSet::single(rank),
+        sig,
+        op: OpTemplate::Send {
+            to: RankParam::Const((rank + 1) % world),
+            tag: 0,
+            bytes: ValParam::Const(64 * bytes + rank as u64),
+            comm: CommParam::Const(0),
+            blocking: false,
+        },
+        compute: TimeStats::of(SimDuration::from_usecs(sig + 1)),
+    })
+}
+
+proptest! {
+    /// `merge_sequences_with` must be byte-identical across pool widths and
+    /// to the seed sequential pairing, on ragged per-rank streams.
+    #[test]
+    fn parallel_merge_is_pool_width_invariant(
+        streams in proptest::collection::vec(
+            proptest::collection::vec((0u64..4, 1u64..4), 0..32),
+            1..10
+        ),
+    ) {
+        let world = streams.len();
+        let seqs: Vec<Vec<TraceNode>> = streams
+            .iter()
+            .enumerate()
+            .map(|(rank, evs)| {
+                let mut seq = Vec::new();
+                for &(s, b) in evs {
+                    append_compressed(&mut seq, rank_node(rank, s, b, world), 16);
+                }
+                seq
+            })
+            .collect();
+        let seed = seed_merge(seqs.clone(), world);
+        for threads in [1usize, 2, 8] {
+            let got = merge_sequences_with(seqs.clone(), world, threads);
+            prop_assert_eq!(&got, &seed, "pool width {} diverged from the seed merge", threads);
         }
     }
 }

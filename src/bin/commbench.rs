@@ -214,7 +214,8 @@ fn parse_matrix(argv: &[String]) -> Result<Args, String> {
                      or:    commbench chaos [--seeds N] [--apps A,B] [--ranks N] \
                             [--network ideal|bgl|ethernet] [--iterations N] [common flags]\n\
                      or:    commbench perf [--smoke] [--baseline] [--reps N] [--warmup N] \
-                            [--cache DIR] [--out FILE.json] [--check BASELINE.json]\n\
+                            [--cache DIR] [--out FILE.json] [--check BASELINE.json] \
+                            [--threads N] [--parallel-suites]\n\
                      or:    commbench fsck [--cache DIR]   \
                             # verify + quarantine corrupt cache entries"
                         .to_string(),
@@ -344,6 +345,7 @@ fn chaos_jobs(args: &ChaosArgs) -> (Vec<JobSpec>, Vec<String>) {
             compute_scale: 1.0,
             iterations: Some(args.iterations),
             chaos_seeds: args.seeds,
+            pipeline_threads: 1,
         });
     }
     (jobs, skipped)
@@ -379,10 +381,19 @@ fn parse_perf(argv: &[String]) -> Result<PerfConfig, String> {
             "--cache" => cfg.cache_dir = PathBuf::from(value(&mut i)?),
             "--out" => cfg.out = PathBuf::from(value(&mut i)?),
             "--check" => cfg.check = Some(PathBuf::from(value(&mut i)?)),
+            "--threads" => {
+                cfg.threads = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                )
+            }
+            "--parallel-suites" => cfg.parallel_suites = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: commbench perf [--smoke] [--baseline] [--reps N] [--warmup N] \
-                            [--cache DIR] [--out FILE.json] [--check BASELINE.json]"
+                            [--cache DIR] [--out FILE.json] [--check BASELINE.json] \
+                            [--threads N] [--parallel-suites]"
                         .to_string(),
                 )
             }
@@ -392,6 +403,9 @@ fn parse_perf(argv: &[String]) -> Result<PerfConfig, String> {
     }
     if cfg.reps == Some(0) {
         return Err("--reps must be at least 1".to_string());
+    }
+    if cfg.threads == Some(0) {
+        return Err("--threads must be at least 1".to_string());
     }
     Ok(cfg)
 }
@@ -779,7 +793,7 @@ mod tests {
 
         let cfg = perf(
             "perf --smoke --baseline --reps 7 --warmup 3 --cache /tmp/c \
-             --out o.json --check BENCH_pipeline.json",
+             --out o.json --check BENCH_pipeline.json --threads 4 --parallel-suites",
         );
         assert!(cfg.smoke && cfg.baseline_only);
         assert_eq!(cfg.reps, Some(7));
@@ -787,9 +801,13 @@ mod tests {
         assert_eq!(cfg.cache_dir, PathBuf::from("/tmp/c"));
         assert_eq!(cfg.out, PathBuf::from("o.json"));
         assert_eq!(cfg.check, Some(PathBuf::from("BENCH_pipeline.json")));
+        assert_eq!(cfg.threads, Some(4));
+        assert!(cfg.parallel_suites);
 
         assert!(parse_argv(argv("perf --reps 0")).is_err());
         assert!(parse_argv(argv("perf --reps lots")).is_err());
+        assert!(parse_argv(argv("perf --threads 0")).is_err());
+        assert!(parse_argv(argv("perf --threads many")).is_err());
         assert!(parse_argv(argv("perf --matrix m.txt")).is_err());
         assert!(parse_argv(argv("perf --help")).is_err());
     }

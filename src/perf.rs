@@ -16,6 +16,16 @@
 //!   baseline leg re-runs the seed algorithms: structural folding and
 //!   unbatched rank→engine handoffs.
 //!
+//! * **merge** — the inter-rank binary-tree reduction at 64/128/256 ranks:
+//!   per-rank streams with identical call-site structure (the SPMD common
+//!   case) merged by [`scalatrace::merge::merge_sequences_with`] on the
+//!   [`par`] pool (`current`, at the configured thread count) and on the
+//!   hard sequential path (`baseline`, `threads = 1`). The speedup is the
+//!   thread-scaling factor; the suite records the pool width it measured
+//!   under, and the `--check` gate only compares a merge suite when the
+//!   fresh run used the *same* width (a 1-core runner cannot reproduce an
+//!   8-thread scaling number).
+//!
 //! Every suite therefore embeds its own `--baseline` comparison; `speedup`
 //! is `baseline_ns / current_ns` on the primary metric (median compression
 //! time, or median cold pipeline time). Speedups — not absolute
@@ -46,6 +56,9 @@ pub use json::{parse as parse_json, Json};
 /// 64-rank row).
 pub const COMPRESS_RANKS: [usize; 3] = [8, 32, 64];
 
+/// Rank counts (= sequence counts) of the merge-scaling microbench.
+pub const MERGE_RANKS: [usize; 3] = [64, 128, 256];
+
 /// Pipeline world size; every registry app accepts 4 ranks.
 const PIPELINE_RANKS: usize = 4;
 
@@ -75,6 +88,14 @@ pub struct PerfConfig {
     pub out: PathBuf,
     /// Committed baseline to compare speedups against (CI gate).
     pub check: Option<PathBuf>,
+    /// Pool width for the parallel legs (`None` = [`par::threads`], i.e.
+    /// `COMMSPEC_THREADS` or the core count).
+    pub threads: Option<usize>,
+    /// Run independent pipeline suites concurrently on the pool. Off by
+    /// default: concurrent suites contend for cores and perturb each
+    /// other's timings, so this is for quick exploratory runs, not for
+    /// regenerating the committed baseline.
+    pub parallel_suites: bool,
 }
 
 impl PerfConfig {
@@ -88,7 +109,14 @@ impl PerfConfig {
             cache_dir: PathBuf::from(".commbench-cache"),
             out: PathBuf::from("BENCH_pipeline.json"),
             check: None,
+            threads: None,
+            parallel_suites: false,
         }
+    }
+
+    /// Resolved pool width for the parallel legs.
+    fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(par::threads).max(1)
     }
 
     /// Median-of-N count. Identical in smoke and full mode: a median of 3
@@ -146,6 +174,10 @@ pub struct Suite {
     pub warm_ns: Option<u64>,
     /// Median warm (cache-hit) pipeline time, seed algorithms.
     pub baseline_warm_ns: Option<u64>,
+    /// Pool width the `current` leg ran under (merge/scaling suites only;
+    /// `None` for single-threaded workloads). The `--check` gate only
+    /// compares suites measured under the same width.
+    pub threads: Option<usize>,
 }
 
 /// A completed perf run.
@@ -157,6 +189,10 @@ pub struct PerfReport {
     pub reps: usize,
     /// Warmup iterations.
     pub warmup: usize,
+    /// Pool width used for the parallel legs.
+    pub threads: usize,
+    /// Hardware threads the measuring host reported.
+    pub cores: usize,
     /// Suite results in execution order.
     pub suites: Vec<Suite>,
 }
@@ -265,6 +301,96 @@ fn synth_stream(rank: usize, nranks: usize, iters: usize) -> Vec<TraceNode> {
     out
 }
 
+/// One synthetic collective event (same call site on every rank, so the
+/// inter-rank merge unifies it into a single full-world RSD).
+fn synth_barrier(rank: usize, sig: u64) -> TraceNode {
+    TraceNode::Event(Rsd {
+        ranks: RankSet::single(rank),
+        sig,
+        op: OpTemplate::Coll {
+            kind: mpisim::types::CollKind::Barrier,
+            root: None,
+            bytes: ValParam::Const(0),
+            comm: CommParam::Const(0),
+        },
+        compute: TimeStats::of(SimDuration::from_usecs(5)),
+    })
+}
+
+/// Timesteps of the merge-scaling microbench stream.
+const MERGE_TIMESTEPS: usize = 48;
+
+/// The per-rank stream of the merge microbench: `MERGE_TIMESTEPS` steps of
+/// an inner exchange loop, a ring send (destinations unify to
+/// `OffsetMod`), a volume-drifting send (byte counts unify per rank), and
+/// a barrier — identical call-site structure on every rank, the SPMD shape
+/// the binary-tree merge sees in practice. Each timestep gets distinct
+/// signatures so the pairwise LCS has real mismatches to reject, and each
+/// pair merge preserves the stream length, keeping per-level work fixed.
+fn merge_stream(rank: usize, nranks: usize) -> Vec<TraceNode> {
+    let mut out = Vec::with_capacity(MERGE_TIMESTEPS * 4);
+    for t in 0..MERGE_TIMESTEPS as u64 {
+        let base = 1000 + t * 16;
+        out.push(TraceNode::Loop(scalatrace::trace::Prsd {
+            count: 10,
+            body: vec![
+                synth_event(rank, nranks, base + 1, 512, 1),
+                synth_event(rank, nranks, base + 2, 1024, 1),
+            ],
+        }));
+        out.push(synth_event(rank, nranks, base + 3, 4096, 2));
+        // Rank-dependent volume: parameter unification has to work.
+        out.push(TraceNode::Event(Rsd {
+            ranks: RankSet::single(rank),
+            sig: base + 4,
+            op: OpTemplate::Send {
+                to: RankParam::Const((rank + 1) % nranks),
+                tag: 0,
+                bytes: ValParam::Const(256 + rank as u64),
+                comm: CommParam::Const(0),
+                blocking: true,
+            },
+            compute: TimeStats::of(SimDuration::from_usecs(1)),
+        }));
+        out.push(synth_barrier(rank, base + 5));
+    }
+    out
+}
+
+/// The merge-scaling suite at one rank count: `current` runs the
+/// binary-tree reduction on `cfg.threads()` workers, `baseline` on the
+/// hard sequential path. Same streams, same fixed combine order — the
+/// speedup is purely thread scaling, so the suite records the width it
+/// measured under and the `--check` gate skips it on hosts running a
+/// different width.
+fn merge_suite(cfg: &PerfConfig, nranks: usize, variants: &[Variant]) -> Suite {
+    let threads = cfg.threads();
+    let streams: Vec<Vec<TraceNode>> = (0..nranks).map(|r| merge_stream(r, nranks)).collect();
+    let mut times = [0u64; 2];
+    for &v in variants {
+        let width = match v {
+            Variant::Current => threads,
+            Variant::Baseline => 1,
+        };
+        let t = time_median(cfg.warmup(), cfg.reps(), || {
+            scalatrace::merge::merge_sequences_with(streams.clone(), nranks, width).len()
+        });
+        times[(v == Variant::Baseline) as usize] = t;
+    }
+    let (current_ns, baseline_ns) = fill_missing(times, variants);
+    Suite {
+        name: format!("merge_r{nranks}"),
+        kind: "merge",
+        ranks: nranks,
+        current_ns,
+        baseline_ns,
+        speedup: ratio(baseline_ns, current_ns),
+        warm_ns: None,
+        baseline_warm_ns: None,
+        threads: Some(threads),
+    }
+}
+
 /// Run the compression microbench for one rank count: push every rank's
 /// stream through a fresh [`TailCompressor`] under `strategy`, returning
 /// the median wall time over `reps`.
@@ -304,6 +430,7 @@ fn compression_suite(cfg: &PerfConfig, nranks: usize, variants: &[Variant]) -> S
         speedup: ratio(baseline_ns, current_ns),
         warm_ns: None,
         baseline_warm_ns: None,
+        threads: None,
     }
 }
 
@@ -438,6 +565,7 @@ fn pipeline_suite(
         speedup: ratio(baseline_ns, current_ns),
         warm_ns: Some(warm_ns),
         baseline_warm_ns: Some(baseline_warm_ns),
+        threads: None,
     })
 }
 
@@ -471,6 +599,14 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
         suites.push(compression_suite(cfg, n, variants));
     }
 
+    for &n in &MERGE_RANKS {
+        eprintln!(
+            "perf: merge reduction at {n} ranks (threads {}) ...",
+            cfg.threads()
+        );
+        suites.push(merge_suite(cfg, n, variants));
+    }
+
     // A dedicated subdirectory keeps perf entries (whose keys embed rep
     // indices) out of the campaign's cache namespace; wiping it guarantees
     // the cold legs are real misses even across invocations.
@@ -480,10 +616,26 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
         .map_err(|e| format!("cannot open cache {}: {e}", perf_cache_dir.display()))?;
 
     let apps = pipeline_apps(cfg);
+    let results: Vec<Result<Suite, String>> = if cfg.parallel_suites && cfg.threads() > 1 {
+        eprintln!(
+            "perf: pipeline suites for {} apps on {} workers ...",
+            apps.len(),
+            cfg.threads()
+        );
+        par::par_map(cfg.threads(), apps, |app| {
+            pipeline_suite(cfg, app, variants, &cache)
+        })
+    } else {
+        apps.into_iter()
+            .map(|app| {
+                eprintln!("perf: pipeline {} at {PIPELINE_RANKS} ranks ...", app.name);
+                pipeline_suite(cfg, app, variants, &cache)
+            })
+            .collect()
+    };
     let mut total = [0u64; 2];
-    for app in &apps {
-        eprintln!("perf: pipeline {} at {PIPELINE_RANKS} ranks ...", app.name);
-        let suite = pipeline_suite(cfg, app, variants, &cache)?;
+    for suite in results {
+        let suite = suite?;
         total[0] += suite.current_ns;
         total[1] += suite.baseline_ns;
         suites.push(suite);
@@ -497,6 +649,7 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
         speedup: ratio(total[1], total[0]),
         warm_ns: None,
         baseline_warm_ns: None,
+        threads: None,
     });
 
     Ok(PerfReport {
@@ -509,6 +662,8 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
         },
         reps: cfg.reps(),
         warmup: cfg.warmup(),
+        threads: cfg.threads(),
+        cores: par::available_cores(),
         suites,
     })
 }
@@ -529,6 +684,9 @@ impl Suite {
         if let Some(w) = self.baseline_warm_ns {
             obj.push(("baseline_warm_ns".into(), Json::Num(w as f64)));
         }
+        if let Some(t) = self.threads {
+            obj.push(("threads".into(), Json::Num(t as f64)));
+        }
         Json::Obj(obj)
     }
 }
@@ -538,13 +696,20 @@ fn round3(x: f64) -> f64 {
 }
 
 impl PerfReport {
-    /// The stable on-disk schema (`commspec-perf/v1`).
+    /// The stable on-disk schema (`commspec-perf/v2`). v2 adds the
+    /// top-level `threads` (pool width of the run) and `cores` (hardware
+    /// threads of the measuring host), plus a per-suite `threads` field on
+    /// scaling suites; everything a v1 reader consumed is unchanged, and
+    /// the `--check` gate still reads committed v1 files (absent `threads`
+    /// simply means "no width constraint").
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
-            ("schema".into(), Json::Str("commspec-perf/v1".into())),
+            ("schema".into(), Json::Str("commspec-perf/v2".into())),
             ("mode".into(), Json::Str(self.mode.clone())),
             ("reps".into(), Json::Num(self.reps as f64)),
             ("warmup".into(), Json::Num(self.warmup as f64)),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("cores".into(), Json::Num(self.cores as f64)),
             (
                 "suites".into(),
                 Json::Arr(self.suites.iter().map(Suite::to_json).collect()),
@@ -555,15 +720,19 @@ impl PerfReport {
     /// Human-readable summary table.
     pub fn table(&self) -> String {
         let mut out = format!(
-            "{:<24} {:>6} {:>13} {:>13} {:>13} {:>8}\n",
-            "suite", "ranks", "current(ms)", "baseline(ms)", "warm(ms)", "speedup"
+            "{:<24} {:>6} {:>4} {:>13} {:>13} {:>13} {:>8}\n",
+            "suite", "ranks", "thr", "current(ms)", "baseline(ms)", "warm(ms)", "speedup"
         );
         for s in &self.suites {
             let ms = |ns: u64| ns as f64 / 1e6;
             out.push_str(&format!(
-                "{:<24} {:>6} {:>13.2} {:>13.2} {:>13} {:>7.2}x\n",
+                "{:<24} {:>6} {:>4} {:>13.2} {:>13.2} {:>13} {:>7.2}x\n",
                 s.name,
                 s.ranks,
+                match s.threads {
+                    Some(t) => t.to_string(),
+                    None => "-".into(),
+                },
                 ms(s.current_ns),
                 ms(s.baseline_ns),
                 match s.warm_ns {
@@ -606,6 +775,17 @@ pub fn check_regressions(new: &PerfReport, committed: &Json) -> Vec<String> {
             // Smoke mode runs a subset of the committed full suite.
             continue;
         };
+        // A scaling suite's speedup is only reproducible at the pool width
+        // it was committed under: a run at a different `--threads` (or on a
+        // host with fewer cores than the committed width) measures a
+        // different quantity, so width-mismatched suites are skipped, not
+        // compared. Committed v1 files carry no `threads` field and are
+        // gated unconditionally, as before.
+        if let Some(committed_threads) = suite.get("threads").and_then(Json::as_num) {
+            if fresh.threads.map(|t| t as f64) != Some(committed_threads) {
+                continue;
+            }
+        }
         let floor = old_speedup * (1.0 - CHECK_TOLERANCE);
         if fresh.speedup < floor {
             errors.push(format!(
@@ -667,29 +847,42 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    #[test]
-    fn report_json_roundtrips_and_checks() {
-        let report = PerfReport {
+    fn suite(name: &str, kind: &'static str, speedup: f64, threads: Option<usize>) -> Suite {
+        Suite {
+            name: name.into(),
+            kind,
+            ranks: 64,
+            current_ns: 1_000,
+            baseline_ns: (1_000.0 * speedup) as u64,
+            speedup,
+            warm_ns: None,
+            baseline_warm_ns: None,
+            threads,
+        }
+    }
+
+    fn report(suites: Vec<Suite>) -> PerfReport {
+        PerfReport {
             mode: "smoke".into(),
             reps: 3,
             warmup: 1,
-            suites: vec![Suite {
-                name: "compress_r64".into(),
-                kind: "compression",
-                ranks: 64,
-                current_ns: 1_000,
-                baseline_ns: 2_500,
-                speedup: 2.5,
-                warm_ns: None,
-                baseline_warm_ns: None,
-            }],
-        };
+            threads: 8,
+            cores: 8,
+            suites,
+        }
+    }
+
+    #[test]
+    fn report_json_roundtrips_and_checks() {
+        let report = report(vec![suite("compress_r64", "compression", 2.5, None)]);
         let text = report.to_json().to_string();
         let parsed = parse_json(&text).unwrap();
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some(&"commspec-perf/v1".to_string())
+            Some(&"commspec-perf/v2".to_string())
         );
+        assert_eq!(parsed.get("threads").and_then(Json::as_num), Some(8.0));
+        assert_eq!(parsed.get("cores").and_then(Json::as_num), Some(8.0));
         assert!(check_regressions(&report, &parsed).is_empty());
 
         // A fresh run whose speedup collapsed must fail the check.
@@ -705,5 +898,65 @@ mod tests {
             ..report.clone()
         };
         assert!(check_regressions(&subset, &parsed).is_empty());
+    }
+
+    #[test]
+    fn check_still_reads_v1_baselines() {
+        // A committed v1 file: no schema bump, no threads fields anywhere.
+        let v1 = r#"{
+            "schema": "commspec-perf/v1",
+            "mode": "full", "reps": 5, "warmup": 2,
+            "suites": [
+                {"name": "compress_r64", "kind": "compression", "ranks": 64,
+                 "current_ns": 1000, "baseline_ns": 5500, "speedup": 5.5}
+            ]
+        }"#;
+        let parsed = parse_json(v1).unwrap();
+        let good = report(vec![suite("compress_r64", "compression", 5.4, None)]);
+        assert!(check_regressions(&good, &parsed).is_empty());
+        let bad = report(vec![suite("compress_r64", "compression", 1.0, None)]);
+        let errors = check_regressions(&bad, &parsed);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+    }
+
+    #[test]
+    fn check_skips_suites_measured_at_a_different_pool_width() {
+        // Committed: merge_r256 measured at threads=8. A fresh run at
+        // threads=1 (or 4) measures a different quantity and is skipped; a
+        // fresh run at the same width is gated.
+        let committed = parse_json(
+            &report(vec![suite("merge_r256", "merge", 4.0, Some(8))])
+                .to_json()
+                .to_string(),
+        )
+        .unwrap();
+        let narrower = report(vec![suite("merge_r256", "merge", 1.0, Some(1))]);
+        assert!(check_regressions(&narrower, &committed).is_empty());
+        let same_width_regressed = report(vec![suite("merge_r256", "merge", 1.0, Some(8))]);
+        assert_eq!(
+            check_regressions(&same_width_regressed, &committed).len(),
+            1
+        );
+        let same_width_ok = report(vec![suite("merge_r256", "merge", 3.9, Some(8))]);
+        assert!(check_regressions(&same_width_ok, &committed).is_empty());
+    }
+
+    #[test]
+    fn merge_stream_is_thread_count_invariant_and_actually_merges() {
+        let p = 16;
+        let streams: Vec<Vec<TraceNode>> = (0..p).map(|r| merge_stream(r, p)).collect();
+        let len = streams[0].len();
+        let seq = scalatrace::merge::merge_sequences_with(streams.clone(), p, 1);
+        for threads in [2, 8] {
+            let par_out = scalatrace::merge::merge_sequences_with(streams.clone(), p, threads);
+            assert_eq!(par_out, seq, "threads={threads}");
+        }
+        // Full SPMD merge: the global sequence keeps the per-rank length and
+        // every node covers all ranks.
+        assert_eq!(seq.len(), len);
+        for node in &seq {
+            let TraceNode::Event(e) = node else { continue };
+            assert_eq!(e.ranks.len(), p, "{e:?}");
+        }
     }
 }

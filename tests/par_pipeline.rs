@@ -1,0 +1,145 @@
+//! Differential tests for the parallel execution layer: the entire
+//! trace → generate → execute pipeline must produce identical artifacts at
+//! every pool width. The pool's tree reduce pairs merges in index order and
+//! the traversal fan-outs preserve per-rank stream order, so threads=8 must
+//! be byte-identical to threads=1 — on complete traces, and on partial
+//! traces cut short by injected faults.
+
+use benchgen::verify::profile_of_trace;
+use benchgen::{generate, GenOptions};
+use conceptual::ast::Program;
+use miniapps::{registry, AppParams, Class};
+use mpisim::faults::FaultPlan;
+use mpisim::network;
+use mpisim::profile::MpiP;
+use mpisim::world::World;
+use scalatrace::{trace_app, trace_world_partial};
+use std::sync::{Arc, Mutex};
+
+/// The pool-width override is process-global; serialise the sections that
+/// pin it so concurrently running tests never see each other's width.
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_width<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let _lock = WIDTH_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = par::scoped_threads(threads);
+    f()
+}
+
+/// Everything the pipeline produces, rendered to comparable form: the
+/// folded trace text, the virtual times of the traced and generated runs,
+/// the generated program, and the mpiP profile of the original trace.
+#[derive(Debug, PartialEq)]
+struct Artifacts {
+    trace_text: String,
+    trace_time: String,
+    program_text: String,
+    exec_time: String,
+    profile: Vec<String>,
+}
+
+fn profile_rows(prof: &MpiP) -> Vec<String> {
+    prof.routines()
+        .map(|(name, stats)| format!("{name}: {stats:?}"))
+        .collect()
+}
+
+fn run_pipeline(app: &'static miniapps::App, n: usize) -> Artifacts {
+    let params = AppParams {
+        class: Class::S,
+        iterations: Some(3),
+        compute_scale: 1.0,
+    };
+    let traced = trace_app(n, network::ideal(), move |ctx| (app.run)(ctx, &params))
+        .expect("application runs");
+    let generated = generate(&traced.trace, &GenOptions::default()).expect("generates");
+    let program = Arc::new(generated.program.clone());
+    let exec: Arc<Program> = Arc::clone(&program);
+    let (exec_report, _) = World::new(n)
+        .network(network::ideal())
+        .run_hooked(
+            |_| MpiP::new(),
+            move |ctx| conceptual::interp::run_rank(ctx, &exec),
+        )
+        .expect("generated benchmark runs");
+    Artifacts {
+        trace_text: scalatrace::text::to_text(&traced.trace),
+        trace_time: format!("{:?}", traced.report.total_time),
+        program_text: conceptual::printer::print(&program),
+        exec_time: format!("{:?}", exec_report.total_time),
+        profile: profile_rows(&profile_of_trace(&traced.trace)),
+    }
+}
+
+/// Full pipeline at width 8 must match width 1 exactly, for an app from
+/// each algorithmic family: plain point-to-point (ring), wildcard
+/// resolution / Algorithm 2 (lu), and collective alignment / Algorithm 1
+/// (sweep3d).
+#[test]
+fn pipeline_artifacts_are_pool_width_invariant() {
+    for name in ["ring", "lu", "sweep3d"] {
+        let app = registry::lookup(name).unwrap();
+        let n = [8, 9, 16]
+            .into_iter()
+            .find(|&n| (app.valid_ranks)(n))
+            .unwrap();
+        let sequential = with_width(1, || run_pipeline(app, n));
+        let parallel = with_width(8, || run_pipeline(app, n));
+        assert_eq!(
+            sequential, parallel,
+            "{name}: width 8 diverged from the sequential pipeline"
+        );
+        assert!(!sequential.profile.is_empty(), "{name}: empty profile");
+    }
+}
+
+/// Partial traces from faulted runs flow through the same parallel merge;
+/// the folded text and profile of a crash-truncated trace must also be
+/// width-invariant.
+#[test]
+fn partial_traces_are_pool_width_invariant() {
+    const N: usize = 8;
+    let app = |ctx: &mut mpisim::Ctx| {
+        let w = ctx.world();
+        let right = (ctx.rank() + 1) % ctx.size();
+        let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        for _ in 0..12 {
+            let r = ctx.irecv(
+                mpisim::types::Src::Rank(left),
+                mpisim::types::TagSel::Is(0),
+                256,
+                &w,
+            );
+            let s = ctx.isend(right, 0, 256, &w);
+            ctx.waitall(&[r, s]);
+            ctx.allreduce(64, &w);
+        }
+        ctx.finalize();
+    };
+    for seed in [3u64, 7, 11] {
+        let trace_at = |threads: usize| {
+            with_width(threads, || {
+                let partial = trace_world_partial(
+                    World::new(N)
+                        .network(network::ideal())
+                        .faults(FaultPlan::seeded(seed).crash_rank(2, 17)),
+                    N,
+                    app,
+                );
+                assert!(!partial.completed(), "seed {seed}: the crash must fire");
+                (
+                    scalatrace::text::to_text(&partial.trace),
+                    profile_rows(&profile_of_trace(&partial.trace)),
+                )
+            })
+        };
+        let sequential = trace_at(1);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                sequential,
+                trace_at(threads),
+                "seed {seed}: width {threads} diverged on the partial trace"
+            );
+        }
+    }
+}
