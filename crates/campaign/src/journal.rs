@@ -145,6 +145,12 @@ impl Journal {
         self.jobs.get(job_id)
     }
 
+    /// Iterate every journaled `(job_id, record)` pair, in job-id order.
+    /// Long-running services use this to preload their job tables.
+    pub fn jobs(&self) -> impl Iterator<Item = (&str, &JobRecord)> {
+        self.jobs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Number of jobs with a journaled terminal state.
     pub fn len(&self) -> usize {
         self.jobs.len()

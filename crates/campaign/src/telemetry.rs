@@ -18,6 +18,7 @@
 //!
 //! JSON is emitted by hand; no serialization dependency exists offline.
 
+use std::collections::BTreeMap;
 use std::io::{self, BufWriter, Write};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -142,6 +143,75 @@ impl Telemetry {
     }
 }
 
+/// Thread-safe per-client counter registry, used by long-running services
+/// (the commspec server) to account requests, rejections, and cache
+/// evictions per tenant. Counter and client names are free-form;
+/// [`Counters::snapshot`] returns everything name-sorted, so reports are
+/// deterministic regardless of arrival order.
+#[derive(Default)]
+pub struct Counters {
+    inner: Mutex<BTreeMap<String, BTreeMap<String, u64>>>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `n` to `client`'s `counter`, returning the new value.
+    pub fn add(&self, client: &str, counter: &str, n: u64) -> u64 {
+        let mut inner = self.inner.lock().expect("counters poisoned");
+        let slot = inner
+            .entry(client.to_string())
+            .or_default()
+            .entry(counter.to_string())
+            .or_default();
+        *slot += n;
+        *slot
+    }
+
+    /// Increment `client`'s `counter` by one, returning the new value.
+    pub fn incr(&self, client: &str, counter: &str) -> u64 {
+        self.add(client, counter, 1)
+    }
+
+    /// Current value of `client`'s `counter` (0 if never touched).
+    pub fn get(&self, client: &str, counter: &str) -> u64 {
+        let inner = self.inner.lock().expect("counters poisoned");
+        inner
+            .get(client)
+            .and_then(|c| c.get(counter))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Every client's counters, both levels sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, Vec<(String, u64)>)> {
+        let inner = self.inner.lock().expect("counters poisoned");
+        inner
+            .iter()
+            .map(|(client, counters)| {
+                (
+                    client.clone(),
+                    counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Emit one `counters` telemetry event per client.
+    pub fn emit_to(&self, telemetry: &Telemetry) {
+        for (client, counters) in self.snapshot() {
+            let mut fields: Vec<(&str, Value)> = vec![("client", client.as_str().into())];
+            for (k, v) in &counters {
+                fields.push((k.as_str(), Value::U(*v)));
+            }
+            telemetry.emit("counters", &fields);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +279,63 @@ mod tests {
         t.flush();
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate_per_client_and_snapshot_sorted() {
+        let c = Counters::new();
+        assert_eq!(c.get("cli", "requests"), 0);
+        assert_eq!(c.incr("cli", "requests"), 1);
+        assert_eq!(c.add("cli", "requests", 2), 3);
+        c.incr("cli", "evictions");
+        c.incr("batch", "rejections");
+        assert_eq!(c.get("cli", "requests"), 3);
+        assert_eq!(c.get("batch", "requests"), 0);
+        let snap = c.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("batch".to_string(), vec![("rejections".to_string(), 1)]),
+                (
+                    "cli".to_string(),
+                    vec![("evictions".to_string(), 1), ("requests".to_string(), 3)]
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn counters_survive_concurrent_increments() {
+        let c = Arc::new(Counters::new());
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        c.incr(if i % 2 == 0 { "a" } else { "b" }, "requests");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get("a", "requests"), 400);
+        assert_eq!(c.get("b", "requests"), 400);
+    }
+
+    #[test]
+    fn counters_emit_one_event_per_client() {
+        let (t, buf) = capture();
+        let c = Counters::new();
+        c.incr("cli", "requests");
+        c.incr("ci", "rejections");
+        c.emit_to(&t);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"client\":\"ci\"") && lines[0].contains("\"rejections\":1"));
+        assert!(lines[1].contains("\"client\":\"cli\"") && lines[1].contains("\"requests\":1"));
     }
 
     #[test]

@@ -1,8 +1,13 @@
-//! Minimal JSON value, writer, and parser for the perf report.
+//! Minimal JSON value, writer, and parser — the repo's one hand-rolled
+//! JSON implementation.
 //!
 //! The repo is std-only (no serde); this covers exactly the subset the
-//! `commspec-perf/v1` schema uses — objects, arrays, strings, finite
-//! numbers, booleans, and null — and doubles as the CI "JSON parses" check.
+//! wire protocol and the `commspec-perf` report schema use — objects,
+//! arrays, strings, finite numbers, booleans, and null. Two writers share
+//! the one value type: [`Json::to_compact`] emits the single-line form the
+//! line-delimited wire protocol requires, while `Display` pretty-prints
+//! for committed reports. Object keys keep insertion order, so both forms
+//! are byte-stable across runs.
 
 use std::fmt;
 
@@ -54,6 +59,63 @@ impl Json {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an exact unsigned integer, if this is a
+    /// non-negative whole number small enough for f64 to represent exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x < 9e15 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// Single-line rendering with no inter-token whitespace: the framing
+    /// the line-delimited wire protocol requires (a value never contains a
+    /// raw newline — newlines inside strings are escaped).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{self}");
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write_compact(out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
         }
     }
 
@@ -323,5 +385,36 @@ mod tests {
     fn integers_print_without_a_fraction() {
         assert_eq!(Json::Num(42.0).to_string(), "42");
         assert_eq!(Json::Num(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_roundtrips() {
+        let v = Json::Obj(vec![
+            ("type".into(), Json::Str("status".into())),
+            ("line".into(), Json::Str("two\nlines\r\ttab".into())),
+            ("n".into(), Json::Num(7.0)),
+            ("ok".into(), Json::Bool(true)),
+            ("items".into(), Json::Arr(vec![Json::Num(1.0), Json::Null])),
+        ]);
+        let line = v.to_compact();
+        assert!(!line.contains('\n'), "compact form must be one line");
+        assert!(!line.contains(": "), "no inter-token whitespace");
+        assert_eq!(parse(&line).unwrap(), v);
+        assert_eq!(
+            Json::Arr(vec![]).to_compact(),
+            "[]",
+            "empty containers stay tight"
+        );
+        assert_eq!(Json::Obj(vec![]).to_compact(), "{}");
+    }
+
+    #[test]
+    fn bool_and_u64_accessors() {
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Num(1.0).as_bool(), None);
+        assert_eq!(Json::Num(42.0).as_u64(), Some(42));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(2.5).as_u64(), None);
+        assert_eq!(Json::Str("7".into()).as_u64(), None);
     }
 }

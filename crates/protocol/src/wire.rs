@@ -1,0 +1,974 @@
+//! The versioned `commspec-server` wire protocol: typed request/response
+//! enums and their line-delimited JSON encoding.
+//!
+//! Framing is one JSON object per `\n`-terminated line (strings escape
+//! embedded newlines, so a value never spans lines). Every object carries a
+//! `type` discriminator; the remaining fields are flat or shallowly nested.
+//!
+//! **Versioning and forward compatibility.** A connection opens with a
+//! `hello` carrying `proto_version`; the server answers `hello_ok` with its
+//! own version or an `error` with code `proto-version`. Within a version,
+//! the compat rules are:
+//!
+//! * **Unknown fields are tolerated.** Decoders read the fields they know
+//!   and ignore the rest, so a v1.x peer can add fields without breaking
+//!   v1.0. Golden fixtures in `tests/wire_compat.rs` pin this.
+//! * **Unknown variants are rejected.** A `type` value the decoder does not
+//!   know is a [`WireError::UnknownVariant`], because a request whose
+//!   *meaning* is unknown cannot be safely half-understood. The server
+//!   answers with an `error` (code `unknown-variant`) and keeps the
+//!   connection open.
+
+use crate::json::{parse, Json};
+
+/// Protocol version spoken by this build. Bumped only for changes that
+/// break the rules above (removed fields, changed meanings).
+pub const PROTO_VERSION: u32 = 1;
+
+/// Decode failure for one wire line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The line is not a JSON object (torn line, bad framing).
+    Syntax(String),
+    /// The `type` discriminator names a variant this decoder does not know.
+    UnknownVariant(String),
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field is present but has the wrong shape or an invalid value.
+    Bad(&'static str, String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Syntax(e) => write!(f, "malformed wire line: {e}"),
+            WireError::UnknownVariant(t) => write!(f, "unknown message type `{t}`"),
+            WireError::Missing(k) => write!(f, "missing required field `{k}`"),
+            WireError::Bad(k, e) => write!(f, "bad field `{k}`: {e}"),
+        }
+    }
+}
+
+impl WireError {
+    /// Stable machine-readable code for the matching `error` response.
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::Syntax(_) => "syntax",
+            WireError::UnknownVariant(_) => "unknown-variant",
+            WireError::Missing(_) => "missing-field",
+            WireError::Bad(..) => "bad-field",
+        }
+    }
+}
+
+/// Parameters of a single trace / generate / simulate job. Field meanings
+/// mirror the batch CLI flags so the daemon's artifacts are byte-identical
+/// to `commgen`'s for the same inputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobParams {
+    /// Application registry name.
+    pub app: String,
+    /// World size.
+    pub ranks: u32,
+    /// NPB problem class (`S|W|A|B|C`).
+    pub class: String,
+    /// Network model (`ideal|bgl|ethernet`).
+    pub network: String,
+    /// Iteration-count override (absent = class default).
+    pub iterations: Option<u32>,
+    /// Run Algorithm 1 (collective alignment) during generation.
+    pub align: bool,
+    /// Run Algorithm 2 (wildcard resolution) during generation.
+    pub resolve: bool,
+    /// Emit provenance comments in the generated program.
+    pub comments: bool,
+}
+
+impl JobParams {
+    /// Params for `app` at `ranks` with batch-CLI defaults (class S, bgl
+    /// network, align+resolve on, comments off).
+    pub fn new(app: impl Into<String>, ranks: u32) -> JobParams {
+        JobParams {
+            app: app.into(),
+            ranks,
+            class: "S".to_string(),
+            network: "bgl".to_string(),
+            iterations: None,
+            align: true,
+            resolve: true,
+            comments: false,
+        }
+    }
+}
+
+/// How a request names a job: by server-assigned id, or by the
+/// client-chosen tag sent with the submission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobRef {
+    /// The id returned in `submitted`.
+    Id(String),
+    /// The client's own `tag` from the submitting request.
+    Tag(String),
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Version negotiation; must be the first message on a connection.
+    Hello {
+        /// Protocol version the client speaks.
+        proto_version: u32,
+        /// Client identity for multi-tenant accounting (queue caps, rate
+        /// limits, per-client counters).
+        client: String,
+    },
+    /// Submit a trace job (produces the folded trace text).
+    Trace {
+        /// Job parameters.
+        params: JobParams,
+        /// Optional client-chosen handle for later `status` requests.
+        tag: Option<String>,
+    },
+    /// Submit a generate job (produces the coNCePTuaL program text).
+    Generate {
+        /// Job parameters.
+        params: JobParams,
+        /// Optional client-chosen handle.
+        tag: Option<String>,
+    },
+    /// Submit a simulate job (executes the generated benchmark; produces
+    /// the mpiP profile and timing metrics).
+    Simulate {
+        /// Job parameters.
+        params: JobParams,
+        /// Optional client-chosen handle.
+        tag: Option<String>,
+    },
+    /// Submit a whole campaign matrix (the text of a matrix file).
+    Campaign {
+        /// Matrix document, as `commbench --matrix` would read it.
+        matrix: String,
+        /// Optional client-chosen handle.
+        tag: Option<String>,
+    },
+    /// Query a job's state (and result once terminal).
+    Status {
+        /// Which job.
+        job: JobRef,
+        /// Block until the job reaches a terminal state before answering.
+        wait: bool,
+    },
+    /// Cancel a queued job (running jobs cannot be interrupted).
+    CancelJob {
+        /// Which job.
+        job: JobRef,
+    },
+    /// Request server-wide and per-client statistics.
+    Stats,
+    /// Ask the server to finish in-flight work and exit cleanly.
+    Shutdown,
+}
+
+/// One named artifact of a finished job, checksummed for end-to-end
+/// integrity (`fnv` is the 16-hex-digit FNV-1a of `text`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Artifact {
+    /// Artifact name (`trace.st`, `program.ncptl`, `profile.mpip`).
+    pub name: String,
+    /// FNV-1a checksum of `text`, 16 lowercase hex digits.
+    pub fnv: String,
+    /// The artifact body.
+    pub text: String,
+}
+
+/// The terminal payload of a successful job.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct JobResult {
+    /// Job kind (`trace|generate|simulate|campaign`).
+    pub kind: String,
+    /// Was the trace served from a cache (memory or disk)?
+    pub cached: bool,
+    /// Simulated wall-clock of the traced application, in ns.
+    pub t_app_ns: Option<u64>,
+    /// Simulated wall-clock of the generated benchmark, in ns.
+    pub t_gen_ns: Option<u64>,
+    /// Timing accuracy `|t_gen - t_app| / t_app` in percent.
+    pub err_pct: Option<f64>,
+    /// Campaign summary: successful jobs.
+    pub ok: Option<u64>,
+    /// Campaign summary: failed jobs.
+    pub failed: Option<u64>,
+    /// Campaign summary: timed-out jobs.
+    pub timed_out: Option<u64>,
+    /// Campaign summary: mean absolute timing error (percent).
+    pub mape: Option<f64>,
+    /// Checksummed artifacts.
+    pub artifacts: Vec<Artifact>,
+}
+
+/// Counters for one client, name-sorted.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ClientStats {
+    /// Client identity (from `hello`).
+    pub client: String,
+    /// `(counter, count)` pairs, sorted by counter name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Server-wide statistics.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct StatsReport {
+    /// Jobs currently queued.
+    pub jobs_queued: u64,
+    /// Jobs currently running.
+    pub jobs_running: u64,
+    /// Jobs finished successfully since startup (replays included).
+    pub jobs_done: u64,
+    /// Jobs finished in failure since startup.
+    pub jobs_failed: u64,
+    /// Jobs cancelled since startup.
+    pub jobs_cancelled: u64,
+    /// Jobs served from the journal without re-execution.
+    pub jobs_replayed: u64,
+    /// In-memory trace-cache hits.
+    pub mem_hits: u64,
+    /// In-memory misses that fell through to disk.
+    pub mem_misses: u64,
+    /// Disk-cache hits (loaded and promoted to memory).
+    pub disk_hits: u64,
+    /// LRU evictions from the in-memory cache.
+    pub evictions: u64,
+    /// Entries resident in the in-memory cache.
+    pub mem_entries: u64,
+    /// Bytes resident in the in-memory cache.
+    pub mem_bytes: u64,
+    /// Per-client counters.
+    pub clients: Vec<ClientStats>,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Successful version negotiation.
+    HelloOk {
+        /// Protocol version the server speaks.
+        proto_version: u32,
+        /// Server identity string.
+        server: String,
+    },
+    /// A submission was accepted (or served straight from the journal).
+    Submitted {
+        /// Server-assigned job id (stable across resubmission and restart).
+        job: String,
+        /// Job kind.
+        kind: String,
+        /// Echo of the client's tag, if any.
+        tag: Option<String>,
+        /// The job's terminal state was replayed from the journal; no work
+        /// was scheduled.
+        replayed: bool,
+    },
+    /// Answer to `status`.
+    JobStatus {
+        /// Job id.
+        job: String,
+        /// `queued|running|done|failed|cancelled`.
+        state: String,
+        /// Echo of the submission tag, if any.
+        tag: Option<String>,
+        /// Failure message when `state` is `failed`.
+        error: Option<String>,
+        /// Result payload when `state` is `done`.
+        result: Option<JobResult>,
+    },
+    /// Answer to `cancel_job`.
+    Cancelled {
+        /// Job id.
+        job: String,
+        /// Did the cancellation take effect (job was still queued)?
+        ok: bool,
+        /// The job's state after the attempt.
+        state: String,
+    },
+    /// Answer to `stats`.
+    Stats(StatsReport),
+    /// Any request-level failure.
+    Error {
+        /// Stable machine-readable code.
+        code: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Acknowledgement of `shutdown`; the last line the server writes.
+    Bye,
+}
+
+// --------------------------------------------------------------- encoding
+
+fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(v: &str) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn u(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn push_opt(members: &mut Vec<(&str, Json)>, key: &'static str, v: &Option<String>) {
+    if let Some(v) = v {
+        members.push((key, s(v)));
+    }
+}
+
+fn params_fields(members: &mut Vec<(&str, Json)>, p: &JobParams) {
+    members.push(("app", s(&p.app)));
+    members.push(("ranks", u(p.ranks as u64)));
+    members.push(("class", s(&p.class)));
+    members.push(("network", s(&p.network)));
+    if let Some(i) = p.iterations {
+        members.push(("iterations", u(i as u64)));
+    }
+    members.push(("align", Json::Bool(p.align)));
+    members.push(("resolve", Json::Bool(p.resolve)));
+    members.push(("comments", Json::Bool(p.comments)));
+}
+
+fn job_ref_fields(members: &mut Vec<(&str, Json)>, job: &JobRef) {
+    match job {
+        JobRef::Id(id) => members.push(("job", s(id))),
+        JobRef::Tag(tag) => members.push(("tag", s(tag))),
+    }
+}
+
+impl Request {
+    /// The `type` discriminator this request encodes with.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Trace { .. } => "trace",
+            Request::Generate { .. } => "generate",
+            Request::Simulate { .. } => "simulate",
+            Request::Campaign { .. } => "campaign",
+            Request::Status { .. } => "status",
+            Request::CancelJob { .. } => "cancel_job",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Encode as a JSON value (`type` first, then the variant's fields).
+    pub fn to_json(&self) -> Json {
+        let mut m: Vec<(&str, Json)> = vec![("type", s(self.type_name()))];
+        match self {
+            Request::Hello {
+                proto_version,
+                client,
+            } => {
+                m.push(("proto_version", u(*proto_version as u64)));
+                m.push(("client", s(client)));
+            }
+            Request::Trace { params, tag }
+            | Request::Generate { params, tag }
+            | Request::Simulate { params, tag } => {
+                params_fields(&mut m, params);
+                push_opt(&mut m, "tag", tag);
+            }
+            Request::Campaign { matrix, tag } => {
+                m.push(("matrix", s(matrix)));
+                push_opt(&mut m, "tag", tag);
+            }
+            Request::Status { job, wait } => {
+                job_ref_fields(&mut m, job);
+                m.push(("wait", Json::Bool(*wait)));
+            }
+            Request::CancelJob { job } => job_ref_fields(&mut m, job),
+            Request::Stats | Request::Shutdown => {}
+        }
+        obj(m)
+    }
+
+    /// Encode as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// Decode one wire line.
+    pub fn from_line(line: &str) -> Result<Request, WireError> {
+        let v = parse(line.trim()).map_err(WireError::Syntax)?;
+        Request::from_json(&v)
+    }
+
+    /// Decode from a JSON value. Unknown fields are ignored; an unknown
+    /// `type` is rejected.
+    pub fn from_json(v: &Json) -> Result<Request, WireError> {
+        let t = req_str(v, "type")?;
+        match t.as_str() {
+            "hello" => Ok(Request::Hello {
+                proto_version: req_u64(v, "proto_version")? as u32,
+                client: req_str(v, "client")?,
+            }),
+            "trace" => Ok(Request::Trace {
+                params: decode_params(v)?,
+                tag: opt_str(v, "tag")?,
+            }),
+            "generate" => Ok(Request::Generate {
+                params: decode_params(v)?,
+                tag: opt_str(v, "tag")?,
+            }),
+            "simulate" => Ok(Request::Simulate {
+                params: decode_params(v)?,
+                tag: opt_str(v, "tag")?,
+            }),
+            "campaign" => Ok(Request::Campaign {
+                matrix: req_str(v, "matrix")?,
+                tag: opt_str(v, "tag")?,
+            }),
+            "status" => Ok(Request::Status {
+                job: decode_job_ref(v)?,
+                wait: opt_bool(v, "wait")?.unwrap_or(false),
+            }),
+            "cancel_job" => Ok(Request::CancelJob {
+                job: decode_job_ref(v)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(WireError::UnknownVariant(other.to_string())),
+        }
+    }
+}
+
+impl Response {
+    /// The `type` discriminator this response encodes with.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Response::HelloOk { .. } => "hello_ok",
+            Response::Submitted { .. } => "submitted",
+            Response::JobStatus { .. } => "job_status",
+            Response::Cancelled { .. } => "cancelled",
+            Response::Stats(_) => "stats",
+            Response::Error { .. } => "error",
+            Response::Bye => "bye",
+        }
+    }
+
+    /// Encode as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut m: Vec<(&str, Json)> = vec![("type", s(self.type_name()))];
+        match self {
+            Response::HelloOk {
+                proto_version,
+                server,
+            } => {
+                m.push(("proto_version", u(*proto_version as u64)));
+                m.push(("server", s(server)));
+            }
+            Response::Submitted {
+                job,
+                kind,
+                tag,
+                replayed,
+            } => {
+                m.push(("job", s(job)));
+                m.push(("kind", s(kind)));
+                push_opt(&mut m, "tag", tag);
+                m.push(("replayed", Json::Bool(*replayed)));
+            }
+            Response::JobStatus {
+                job,
+                state,
+                tag,
+                error,
+                result,
+            } => {
+                m.push(("job", s(job)));
+                m.push(("state", s(state)));
+                push_opt(&mut m, "tag", tag);
+                push_opt(&mut m, "error", error);
+                if let Some(r) = result {
+                    m.push(("result", encode_result(r)));
+                }
+            }
+            Response::Cancelled { job, ok, state } => {
+                m.push(("job", s(job)));
+                m.push(("ok", Json::Bool(*ok)));
+                m.push(("state", s(state)));
+            }
+            Response::Stats(r) => encode_stats(&mut m, r),
+            Response::Error { code, message } => {
+                m.push(("code", s(code)));
+                m.push(("message", s(message)));
+            }
+            Response::Bye => {}
+        }
+        obj(m)
+    }
+
+    /// Encode as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// Decode one wire line.
+    pub fn from_line(line: &str) -> Result<Response, WireError> {
+        let v = parse(line.trim()).map_err(WireError::Syntax)?;
+        Response::from_json(&v)
+    }
+
+    /// Decode from a JSON value (same compat rules as requests).
+    pub fn from_json(v: &Json) -> Result<Response, WireError> {
+        let t = req_str(v, "type")?;
+        match t.as_str() {
+            "hello_ok" => Ok(Response::HelloOk {
+                proto_version: req_u64(v, "proto_version")? as u32,
+                server: req_str(v, "server")?,
+            }),
+            "submitted" => Ok(Response::Submitted {
+                job: req_str(v, "job")?,
+                kind: req_str(v, "kind")?,
+                tag: opt_str(v, "tag")?,
+                replayed: opt_bool(v, "replayed")?.unwrap_or(false),
+            }),
+            "job_status" => Ok(Response::JobStatus {
+                job: req_str(v, "job")?,
+                state: req_str(v, "state")?,
+                tag: opt_str(v, "tag")?,
+                error: opt_str(v, "error")?,
+                result: match v.get("result") {
+                    Some(r) => Some(decode_result(r)?),
+                    None => None,
+                },
+            }),
+            "cancelled" => Ok(Response::Cancelled {
+                job: req_str(v, "job")?,
+                ok: opt_bool(v, "ok")?.unwrap_or(false),
+                state: req_str(v, "state")?,
+            }),
+            "stats" => Ok(Response::Stats(decode_stats(v)?)),
+            "error" => Ok(Response::Error {
+                code: req_str(v, "code")?,
+                message: req_str(v, "message")?,
+            }),
+            "bye" => Ok(Response::Bye),
+            other => Err(WireError::UnknownVariant(other.to_string())),
+        }
+    }
+}
+
+fn encode_result(r: &JobResult) -> Json {
+    let mut m: Vec<(&str, Json)> = vec![("kind", s(&r.kind)), ("cached", Json::Bool(r.cached))];
+    let opt_u = |m: &mut Vec<(&str, Json)>, k: &'static str, v: Option<u64>| {
+        if let Some(v) = v {
+            m.push((k, u(v)));
+        }
+    };
+    let opt_f = |m: &mut Vec<(&str, Json)>, k: &'static str, v: Option<f64>| {
+        if let Some(v) = v {
+            m.push((k, Json::Num(v)));
+        }
+    };
+    opt_u(&mut m, "t_app_ns", r.t_app_ns);
+    opt_u(&mut m, "t_gen_ns", r.t_gen_ns);
+    opt_f(&mut m, "err_pct", r.err_pct);
+    opt_u(&mut m, "ok", r.ok);
+    opt_u(&mut m, "failed", r.failed);
+    opt_u(&mut m, "timed_out", r.timed_out);
+    opt_f(&mut m, "mape", r.mape);
+    m.push((
+        "artifacts",
+        Json::Arr(
+            r.artifacts
+                .iter()
+                .map(|a| {
+                    obj(vec![
+                        ("name", s(&a.name)),
+                        ("fnv", s(&a.fnv)),
+                        ("text", s(&a.text)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    obj(m)
+}
+
+fn decode_result(v: &Json) -> Result<JobResult, WireError> {
+    let mut artifacts = Vec::new();
+    if let Some(items) = v.get("artifacts").and_then(Json::as_arr) {
+        for a in items {
+            artifacts.push(Artifact {
+                name: req_str(a, "name")?,
+                fnv: req_str(a, "fnv")?,
+                text: req_str(a, "text")?,
+            });
+        }
+    }
+    Ok(JobResult {
+        kind: req_str(v, "kind")?,
+        cached: opt_bool(v, "cached")?.unwrap_or(false),
+        t_app_ns: opt_u64(v, "t_app_ns")?,
+        t_gen_ns: opt_u64(v, "t_gen_ns")?,
+        err_pct: opt_f64(v, "err_pct")?,
+        ok: opt_u64(v, "ok")?,
+        failed: opt_u64(v, "failed")?,
+        timed_out: opt_u64(v, "timed_out")?,
+        mape: opt_f64(v, "mape")?,
+        artifacts,
+    })
+}
+
+fn encode_stats(m: &mut Vec<(&str, Json)>, r: &StatsReport) {
+    m.push((
+        "jobs",
+        obj(vec![
+            ("queued", u(r.jobs_queued)),
+            ("running", u(r.jobs_running)),
+            ("done", u(r.jobs_done)),
+            ("failed", u(r.jobs_failed)),
+            ("cancelled", u(r.jobs_cancelled)),
+            ("replayed", u(r.jobs_replayed)),
+        ]),
+    ));
+    m.push((
+        "cache",
+        obj(vec![
+            ("mem_hits", u(r.mem_hits)),
+            ("mem_misses", u(r.mem_misses)),
+            ("disk_hits", u(r.disk_hits)),
+            ("evictions", u(r.evictions)),
+            ("mem_entries", u(r.mem_entries)),
+            ("mem_bytes", u(r.mem_bytes)),
+        ]),
+    ));
+    m.push((
+        "clients",
+        Json::Arr(
+            r.clients
+                .iter()
+                .map(|c| {
+                    obj(vec![
+                        ("client", s(&c.client)),
+                        (
+                            "counters",
+                            Json::Obj(c.counters.iter().map(|(k, v)| (k.clone(), u(*v))).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+}
+
+fn decode_stats(v: &Json) -> Result<StatsReport, WireError> {
+    let jobs = v.get("jobs").ok_or(WireError::Missing("jobs"))?;
+    let cache = v.get("cache").ok_or(WireError::Missing("cache"))?;
+    let sub = |o: &Json, k: &'static str| -> Result<u64, WireError> {
+        o.get(k).and_then(Json::as_u64).ok_or(WireError::Missing(k))
+    };
+    let mut clients = Vec::new();
+    if let Some(items) = v.get("clients").and_then(Json::as_arr) {
+        for c in items {
+            let mut counters = Vec::new();
+            if let Some(Json::Obj(members)) = c.get("counters") {
+                for (k, count) in members {
+                    counters.push((
+                        k.clone(),
+                        count
+                            .as_u64()
+                            .ok_or(WireError::Bad("counters", format!("{count}")))?,
+                    ));
+                }
+            }
+            clients.push(ClientStats {
+                client: req_str(c, "client")?,
+                counters,
+            });
+        }
+    }
+    Ok(StatsReport {
+        jobs_queued: sub(jobs, "queued")?,
+        jobs_running: sub(jobs, "running")?,
+        jobs_done: sub(jobs, "done")?,
+        jobs_failed: sub(jobs, "failed")?,
+        jobs_cancelled: sub(jobs, "cancelled")?,
+        jobs_replayed: sub(jobs, "replayed")?,
+        mem_hits: sub(cache, "mem_hits")?,
+        mem_misses: sub(cache, "mem_misses")?,
+        disk_hits: sub(cache, "disk_hits")?,
+        evictions: sub(cache, "evictions")?,
+        mem_entries: sub(cache, "mem_entries")?,
+        mem_bytes: sub(cache, "mem_bytes")?,
+        clients,
+    })
+}
+
+// --------------------------------------------------------------- decoding
+
+fn req_str(v: &Json, key: &'static str) -> Result<String, WireError> {
+    match v.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(WireError::Bad(key, format!("expected string, got {other}"))),
+        None => Err(WireError::Missing(key)),
+    }
+}
+
+fn opt_str(v: &Json, key: &'static str) -> Result<Option<String>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(WireError::Bad(key, format!("expected string, got {other}"))),
+    }
+}
+
+fn req_u64(v: &Json, key: &'static str) -> Result<u64, WireError> {
+    match v.get(key) {
+        Some(n @ Json::Num(_)) => n
+            .as_u64()
+            .ok_or_else(|| WireError::Bad(key, format!("expected unsigned integer, got {n}"))),
+        Some(other) => Err(WireError::Bad(key, format!("expected number, got {other}"))),
+        None => Err(WireError::Missing(key)),
+    }
+}
+
+fn opt_u64(v: &Json, key: &'static str) -> Result<Option<u64>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(_) => req_u64(v, key).map(Some),
+    }
+}
+
+fn opt_f64(v: &Json, key: &'static str) -> Result<Option<f64>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(x)) => Ok(Some(*x)),
+        Some(other) => Err(WireError::Bad(key, format!("expected number, got {other}"))),
+    }
+}
+
+fn opt_bool(v: &Json, key: &'static str) -> Result<Option<bool>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(WireError::Bad(key, format!("expected bool, got {other}"))),
+    }
+}
+
+fn decode_params(v: &Json) -> Result<JobParams, WireError> {
+    Ok(JobParams {
+        app: req_str(v, "app")?,
+        ranks: req_u64(v, "ranks")? as u32,
+        class: opt_str(v, "class")?.unwrap_or_else(|| "S".to_string()),
+        network: opt_str(v, "network")?.unwrap_or_else(|| "bgl".to_string()),
+        iterations: opt_u64(v, "iterations")?.map(|i| i as u32),
+        align: opt_bool(v, "align")?.unwrap_or(true),
+        resolve: opt_bool(v, "resolve")?.unwrap_or(true),
+        comments: opt_bool(v, "comments")?.unwrap_or(false),
+    })
+}
+
+fn decode_job_ref(v: &Json) -> Result<JobRef, WireError> {
+    match (opt_str(v, "job")?, opt_str(v, "tag")?) {
+        (Some(id), _) => Ok(JobRef::Id(id)),
+        (None, Some(tag)) => Ok(JobRef::Tag(tag)),
+        (None, None) => Err(WireError::Missing("job")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_roundtrip() {
+        let reqs = vec![
+            Request::Hello {
+                proto_version: PROTO_VERSION,
+                client: "cli".into(),
+            },
+            Request::Trace {
+                params: JobParams::new("ring", 4),
+                tag: Some("t1".into()),
+            },
+            Request::Generate {
+                params: JobParams {
+                    iterations: Some(3),
+                    comments: true,
+                    ..JobParams::new("lu", 8)
+                },
+                tag: None,
+            },
+            Request::Simulate {
+                params: JobParams::new("cg", 16),
+                tag: Some("s".into()),
+            },
+            Request::Campaign {
+                matrix: "apps = ring\nranks = 4\n".into(),
+                tag: None,
+            },
+            Request::Status {
+                job: JobRef::Id("trace.abc".into()),
+                wait: true,
+            },
+            Request::Status {
+                job: JobRef::Tag("t1".into()),
+                wait: false,
+            },
+            Request::CancelJob {
+                job: JobRef::Id("x".into()),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "framing: {line}");
+            assert_eq!(Request::from_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn response_lines_roundtrip() {
+        let resps = vec![
+            Response::HelloOk {
+                proto_version: 1,
+                server: "commspec-server/0.1.0".into(),
+            },
+            Response::Submitted {
+                job: "trace.0011223344556677".into(),
+                kind: "trace".into(),
+                tag: Some("t1".into()),
+                replayed: true,
+            },
+            Response::JobStatus {
+                job: "sim.1".into(),
+                state: "done".into(),
+                tag: None,
+                error: None,
+                result: Some(JobResult {
+                    kind: "simulate".into(),
+                    cached: true,
+                    t_app_ns: Some(123_456_789),
+                    t_gen_ns: Some(123_000_000),
+                    err_pct: Some(0.375),
+                    artifacts: vec![Artifact {
+                        name: "profile.mpip".into(),
+                        fnv: "00000000deadbeef".into(),
+                        text: "routine calls\nMPI_Send 2\n".into(),
+                    }],
+                    ..JobResult::default()
+                }),
+            },
+            Response::JobStatus {
+                job: "x".into(),
+                state: "failed".into(),
+                tag: Some("t".into()),
+                error: Some("unknown app nosuch".into()),
+                result: None,
+            },
+            Response::Cancelled {
+                job: "x".into(),
+                ok: false,
+                state: "running".into(),
+            },
+            Response::Stats(StatsReport {
+                jobs_done: 3,
+                mem_hits: 2,
+                clients: vec![ClientStats {
+                    client: "cli".into(),
+                    counters: vec![("requests".into(), 9)],
+                }],
+                ..StatsReport::default()
+            }),
+            Response::Error {
+                code: "unknown-variant".into(),
+                message: "unknown message type `frobnicate`".into(),
+            },
+            Response::Bye,
+        ];
+        for r in resps {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "framing: {line}");
+            assert_eq!(Response::from_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let line =
+            "{\"type\":\"status\",\"job\":\"j\",\"wait\":true,\"novel_v2_field\":{\"deep\":[1,2]}}";
+        assert_eq!(
+            Request::from_line(line).unwrap(),
+            Request::Status {
+                job: JobRef::Id("j".into()),
+                wait: true
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_variants_are_rejected() {
+        let err = Request::from_line("{\"type\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(err, WireError::UnknownVariant("frobnicate".into()));
+        assert_eq!(err.code(), "unknown-variant");
+        let err = Response::from_line("{\"type\":\"frobnicate\"}").unwrap_err();
+        assert_eq!(err, WireError::UnknownVariant("frobnicate".into()));
+    }
+
+    #[test]
+    fn malformed_and_incomplete_lines_are_structured_errors() {
+        assert_eq!(Request::from_line("not json").unwrap_err().code(), "syntax");
+        assert_eq!(
+            Request::from_line("{\"type\":\"hello\",\"proto_version\":1}").unwrap_err(),
+            WireError::Missing("client")
+        );
+        assert_eq!(
+            Request::from_line("{\"type\":\"trace\",\"app\":\"ring\"}").unwrap_err(),
+            WireError::Missing("ranks")
+        );
+        assert_eq!(
+            Request::from_line("{\"type\":\"trace\",\"app\":\"ring\",\"ranks\":\"four\"}")
+                .unwrap_err()
+                .code(),
+            "bad-field"
+        );
+        assert_eq!(
+            Request::from_line("{\"type\":\"status\",\"wait\":true}").unwrap_err(),
+            WireError::Missing("job")
+        );
+    }
+
+    #[test]
+    fn params_defaults_match_the_batch_cli() {
+        // Decoding a minimal submission fills in the commgen defaults, so a
+        // terse client and the batch CLI produce the same artifacts.
+        let line = "{\"type\":\"generate\",\"app\":\"ring\",\"ranks\":4}";
+        match Request::from_line(line).unwrap() {
+            Request::Generate { params, tag } => {
+                assert_eq!(params, JobParams::new("ring", 4));
+                assert!(tag.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_error_messages_name_the_problem() {
+        assert!(WireError::Missing("job").to_string().contains("job"));
+        assert!(WireError::UnknownVariant("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(WireError::Syntax("trailing".into())
+            .to_string()
+            .contains("trailing"));
+        assert!(WireError::Bad("ranks", "nope".into())
+            .to_string()
+            .contains("ranks"));
+    }
+}

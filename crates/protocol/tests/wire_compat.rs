@@ -1,0 +1,472 @@
+//! Wire-compatibility suite: golden fixtures pinned in-repo, property
+//! round-trips, and the v-next tolerance rules.
+//!
+//! The golden files under `tests/fixtures/` are the protocol's contract:
+//! every line is the exact byte encoding of a known message. If an edit
+//! to the encoder changes any of these bytes, this suite fails — that is
+//! a wire-format break and must come with a `PROTO_VERSION` bump (or be
+//! reverted). To regenerate after a deliberate break:
+//!
+//! ```text
+//! WIRE_GOLDEN_REGEN=1 cargo test -p protocol --test wire_compat
+//! ```
+
+use protocol::{
+    Artifact, ClientStats, JobParams, JobRef, JobResult, Request, Response, StatsReport,
+    PROTO_VERSION,
+};
+
+/// The canonical message set pinned by `tests/fixtures/requests_v1.jsonl`.
+/// Append new cases; never reorder or edit existing ones (that's the
+/// point of a golden file).
+fn golden_requests() -> Vec<Request> {
+    vec![
+        Request::Hello {
+            proto_version: PROTO_VERSION,
+            client: "golden".into(),
+        },
+        Request::Trace {
+            params: JobParams::new("ring", 4),
+            tag: Some("t1".into()),
+        },
+        Request::Trace {
+            params: JobParams {
+                class: "W".into(),
+                network: "ethernet".into(),
+                iterations: Some(7),
+                ..JobParams::new("lu", 8)
+            },
+            tag: None,
+        },
+        Request::Generate {
+            params: JobParams {
+                comments: true,
+                align: false,
+                ..JobParams::new("cg", 16)
+            },
+            tag: None,
+        },
+        Request::Simulate {
+            params: JobParams::new("stencil2d", 4),
+            tag: Some("sweep/1".into()),
+        },
+        Request::Campaign {
+            matrix: "apps = ring\nranks = 4\nworkers = 1\n".into(),
+            tag: Some("nightly".into()),
+        },
+        Request::Status {
+            job: JobRef::Id("trace.00de53a67e8e0472".into()),
+            wait: true,
+        },
+        Request::Status {
+            job: JobRef::Tag("t1".into()),
+            wait: false,
+        },
+        Request::CancelJob {
+            job: JobRef::Id("campaign.1122334455667788".into()),
+        },
+        Request::Stats,
+        Request::Shutdown,
+    ]
+}
+
+/// The canonical message set pinned by `tests/fixtures/responses_v1.jsonl`.
+fn golden_responses() -> Vec<Response> {
+    vec![
+        Response::HelloOk {
+            proto_version: PROTO_VERSION,
+            server: "commspec-server/0.1.0".into(),
+        },
+        Response::Submitted {
+            job: "trace.00de53a67e8e0472".into(),
+            kind: "trace".into(),
+            tag: Some("t1".into()),
+            replayed: false,
+        },
+        Response::Submitted {
+            job: "simulate.f18d02e8e17d3abf".into(),
+            kind: "simulate".into(),
+            tag: None,
+            replayed: true,
+        },
+        Response::JobStatus {
+            job: "trace.00de53a67e8e0472".into(),
+            state: "queued".into(),
+            tag: Some("t1".into()),
+            error: None,
+            result: None,
+        },
+        Response::JobStatus {
+            job: "simulate.f18d02e8e17d3abf".into(),
+            state: "done".into(),
+            tag: None,
+            error: None,
+            result: Some(JobResult {
+                kind: "simulate".into(),
+                cached: true,
+                t_app_ns: Some(2_562_641),
+                t_gen_ns: Some(2_550_250),
+                err_pct: Some(0.4835),
+                artifacts: vec![
+                    Artifact {
+                        name: "trace.st".into(),
+                        fnv: "103877e1fa8e9fac".into(),
+                        text: "trace nranks=4\n".into(),
+                    },
+                    Artifact {
+                        name: "profile.mpip".into(),
+                        fnv: "00000000deadbeef".into(),
+                        text: "routine\tcalls\nMPI_Send\t2\n".into(),
+                    },
+                ],
+                ..JobResult::default()
+            }),
+        },
+        Response::JobStatus {
+            job: "generate.42294748308dc6b8".into(),
+            state: "failed".into(),
+            tag: None,
+            error: Some("unknown app nosuch; available: ring".into()),
+            result: None,
+        },
+        Response::JobStatus {
+            job: "campaign.1122334455667788".into(),
+            state: "done".into(),
+            tag: Some("nightly".into()),
+            error: None,
+            result: Some(JobResult {
+                kind: "campaign".into(),
+                ok: Some(11),
+                failed: Some(1),
+                timed_out: Some(0),
+                mape: Some(1.5),
+                artifacts: vec![Artifact {
+                    name: "report.txt".into(),
+                    fnv: "0123456789abcdef".into(),
+                    text: "11 ok, 1 failed\n".into(),
+                }],
+                ..JobResult::default()
+            }),
+        },
+        Response::Cancelled {
+            job: "trace.00de53a67e8e0472".into(),
+            ok: true,
+            state: "cancelled".into(),
+        },
+        Response::Cancelled {
+            job: "simulate.f18d02e8e17d3abf".into(),
+            ok: false,
+            state: "running".into(),
+        },
+        Response::Stats(StatsReport {
+            jobs_queued: 1,
+            jobs_running: 2,
+            jobs_done: 30,
+            jobs_failed: 4,
+            jobs_cancelled: 5,
+            jobs_replayed: 6,
+            mem_hits: 70,
+            mem_misses: 8,
+            disk_hits: 9,
+            evictions: 10,
+            mem_entries: 11,
+            mem_bytes: 4096,
+            clients: vec![
+                ClientStats {
+                    client: "ci".into(),
+                    counters: vec![("rejections".into(), 2), ("requests".into(), 40)],
+                },
+                ClientStats {
+                    client: "cli".into(),
+                    counters: vec![("evictions".into(), 1)],
+                },
+            ],
+        }),
+        Response::Error {
+            code: "rate-limited".into(),
+            message: "submission refused for client ci".into(),
+        },
+        Response::Bye,
+    ]
+}
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compare (or with `WIRE_GOLDEN_REGEN=1`, rewrite) one golden file.
+fn check_golden(name: &str, lines: &[String]) {
+    let path = fixture_path(name);
+    let body = lines.join("\n") + "\n";
+    if std::env::var_os("WIRE_GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &body).unwrap();
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with WIRE_GOLDEN_REGEN=1 to create it",
+            path.display()
+        )
+    });
+    for (i, (got, want)) in lines.iter().zip(pinned.lines()).enumerate() {
+        assert_eq!(
+            got, want,
+            "wire format changed for {name} case {i} — this is a protocol break; \
+             bump PROTO_VERSION or revert"
+        );
+    }
+    assert_eq!(
+        lines.len(),
+        pinned.lines().count(),
+        "{name}: case count differs from the pinned file"
+    );
+}
+
+#[test]
+fn golden_request_encodings_are_pinned() {
+    let lines: Vec<String> = golden_requests().iter().map(Request::to_line).collect();
+    check_golden("requests_v1.jsonl", &lines);
+}
+
+#[test]
+fn golden_response_encodings_are_pinned() {
+    let lines: Vec<String> = golden_responses().iter().map(Response::to_line).collect();
+    check_golden("responses_v1.jsonl", &lines);
+}
+
+#[test]
+fn golden_requests_decode_to_their_values() {
+    let path = fixture_path("requests_v1.jsonl");
+    let pinned = std::fs::read_to_string(&path).expect("golden file present");
+    for (line, want) in pinned.lines().zip(golden_requests()) {
+        assert_eq!(Request::from_line(line).unwrap(), want, "{line}");
+    }
+}
+
+#[test]
+fn golden_responses_decode_to_their_values() {
+    let path = fixture_path("responses_v1.jsonl");
+    let pinned = std::fs::read_to_string(&path).expect("golden file present");
+    for (line, want) in pinned.lines().zip(golden_responses()) {
+        assert_eq!(Response::from_line(line).unwrap(), want, "{line}");
+    }
+}
+
+#[test]
+fn vnext_messages_with_unknown_fields_still_decode() {
+    // A v1.x peer may add fields anywhere — top level, inside params,
+    // inside results — and a v1.0 decoder must read the fields it knows
+    // and ignore the rest.
+    let cases = [
+        "{\"type\":\"hello\",\"proto_version\":1,\"client\":\"new\",\"features\":[\"zstd\",\"tls\"]}",
+        "{\"type\":\"trace\",\"app\":\"ring\",\"ranks\":4,\"priority\":\"high\",\"deadline_ms\":5000}",
+        "{\"type\":\"status\",\"job\":\"j\",\"wait\":true,\"fields\":{\"only\":[\"state\"]}}",
+        "{\"type\":\"shutdown\",\"grace_ms\":100}",
+    ];
+    for line in cases {
+        Request::from_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+    }
+    let resp = "{\"type\":\"submitted\",\"job\":\"j\",\"kind\":\"trace\",\"replayed\":false,\
+                \"queue_depth\":3,\"eta_ms\":120}";
+    assert!(matches!(
+        Response::from_line(resp).unwrap(),
+        Response::Submitted { .. }
+    ));
+}
+
+#[test]
+fn vnext_unknown_types_are_rejected_not_misread() {
+    // The other half of the compat contract: a *variant* this decoder
+    // does not know must be a structured rejection the server can answer
+    // with an `error` line, never a silent misparse.
+    for line in [
+        "{\"type\":\"trace_v2\",\"app\":\"ring\",\"ranks\":4}",
+        "{\"type\":\"subscribe\",\"job\":\"j\"}",
+    ] {
+        let err = Request::from_line(line).unwrap_err();
+        assert_eq!(err.code(), "unknown-variant", "{line}");
+    }
+}
+
+// ------------------------------------------------------------ round-trips
+
+mod roundtrip {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_name() -> impl Strategy<Value = String> {
+        "[a-z]{1,8}".prop_map(|s| s)
+    }
+
+    fn arb_text() -> impl Strategy<Value = String> {
+        // Exercise the escaper: quotes, backslashes, newlines, tabs,
+        // control characters, non-ASCII.
+        prop_oneof![
+            Just(String::new()),
+            Just("plain text".to_string()),
+            Just("line1\nline2\r\n\ttabbed \"quoted\" back\\slash".to_string()),
+            Just("control \u{1} and uni ∑ ünïcode".to_string()),
+            "[ -~]{0,40}".prop_map(|s| s),
+        ]
+    }
+
+    fn arb_params() -> impl Strategy<Value = JobParams> {
+        (
+            (
+                arb_name(),
+                1u32..64,
+                prop_oneof![Just("S"), Just("W"), Just("A"), Just("B"), Just("C")],
+                prop_oneof![Just("ideal"), Just("bgl"), Just("ethernet")],
+            ),
+            (
+                proptest::option::of(1u32..100),
+                any::<bool>(),
+                any::<bool>(),
+                any::<bool>(),
+            ),
+        )
+            .prop_map(
+                |((app, ranks, class, network), (iterations, align, resolve, comments))| {
+                    JobParams {
+                        app,
+                        ranks,
+                        class: class.to_string(),
+                        network: network.to_string(),
+                        iterations,
+                        align,
+                        resolve,
+                        comments,
+                    }
+                },
+            )
+    }
+
+    fn arb_job_ref() -> impl Strategy<Value = JobRef> {
+        prop_oneof![
+            arb_name().prop_map(JobRef::Id),
+            arb_name().prop_map(JobRef::Tag),
+        ]
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            (1u32..10, arb_name()).prop_map(|(proto_version, client)| Request::Hello {
+                proto_version,
+                client
+            }),
+            (arb_params(), proptest::option::of(arb_name()))
+                .prop_map(|(params, tag)| Request::Trace { params, tag }),
+            (arb_params(), proptest::option::of(arb_name()))
+                .prop_map(|(params, tag)| Request::Generate { params, tag }),
+            (arb_params(), proptest::option::of(arb_name()))
+                .prop_map(|(params, tag)| Request::Simulate { params, tag }),
+            (arb_text(), proptest::option::of(arb_name()))
+                .prop_map(|(matrix, tag)| Request::Campaign { matrix, tag }),
+            (arb_job_ref(), any::<bool>()).prop_map(|(job, wait)| Request::Status { job, wait }),
+            arb_job_ref().prop_map(|job| Request::CancelJob { job }),
+            Just(Request::Stats),
+            Just(Request::Shutdown),
+        ]
+    }
+
+    fn arb_artifact() -> impl Strategy<Value = Artifact> {
+        (arb_name(), arb_text()).prop_map(|(name, text)| Artifact {
+            name,
+            fnv: "0123456789abcdef".to_string(),
+            text,
+        })
+    }
+
+    fn arb_result() -> impl Strategy<Value = JobResult> {
+        (
+            prop_oneof![Just("trace"), Just("generate"), Just("simulate")],
+            any::<bool>(),
+            proptest::option::of(0u64..1 << 50),
+            proptest::option::of(0u64..1 << 50),
+            proptest::option::of(0u64..100),
+            proptest::collection::vec(arb_artifact(), 0..3),
+        )
+            .prop_map(
+                |(kind, cached, t_app_ns, t_gen_ns, err, artifacts)| JobResult {
+                    kind: kind.to_string(),
+                    cached,
+                    t_app_ns,
+                    t_gen_ns,
+                    // Quarter steps survive f64 round-trips exactly.
+                    err_pct: err.map(|e| e as f64 / 4.0),
+                    artifacts,
+                    ..JobResult::default()
+                },
+            )
+    }
+
+    fn arb_response() -> impl Strategy<Value = Response> {
+        prop_oneof![
+            (1u32..10, arb_name()).prop_map(|(proto_version, server)| Response::HelloOk {
+                proto_version,
+                server
+            }),
+            (
+                arb_name(),
+                prop_oneof![Just("trace"), Just("campaign")],
+                proptest::option::of(arb_name()),
+                any::<bool>()
+            )
+                .prop_map(|(job, kind, tag, replayed)| Response::Submitted {
+                    job,
+                    kind: kind.to_string(),
+                    tag,
+                    replayed
+                }),
+            (
+                arb_name(),
+                prop_oneof![
+                    Just("queued"),
+                    Just("running"),
+                    Just("done"),
+                    Just("failed")
+                ],
+                proptest::option::of(arb_name()),
+                proptest::option::of(arb_text()),
+                proptest::option::of(arb_result()),
+            )
+                .prop_map(|(job, state, tag, error, result)| Response::JobStatus {
+                    job,
+                    state: state.to_string(),
+                    tag,
+                    error,
+                    result
+                }),
+            (arb_name(), any::<bool>(), arb_name())
+                .prop_map(|(job, ok, state)| { Response::Cancelled { job, ok, state } }),
+            (arb_name(), arb_text()).prop_map(|(code, message)| Response::Error { code, message }),
+            Just(Response::Bye),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn any_request_roundtrips_through_its_line(req in arb_request()) {
+            let line = req.to_line();
+            prop_assert!(!line.contains('\n'), "framing: one message per line");
+            prop_assert_eq!(Request::from_line(&line).unwrap(), req);
+        }
+
+        #[test]
+        fn any_response_roundtrips_through_its_line(resp in arb_response()) {
+            let line = resp.to_line();
+            prop_assert!(!line.contains('\n'), "framing: one message per line");
+            prop_assert_eq!(Response::from_line(&line).unwrap(), resp);
+        }
+
+        #[test]
+        fn decoding_is_total_over_arbitrary_bytes(noise in "[ -~]{0,60}") {
+            // Garbage must produce a structured error, never a panic.
+            let _ = Request::from_line(&noise);
+            let _ = Response::from_line(&noise);
+        }
+    }
+}

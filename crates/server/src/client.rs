@@ -1,0 +1,99 @@
+//! A small synchronous client for the commspec-server wire protocol.
+//!
+//! One request, one response, in order — exactly the discipline the
+//! line-delimited protocol guarantees — so the client is a thin wrapper
+//! over a buffered TCP stream. `commbench client` and the
+//! `server_client` example are built on this.
+
+use protocol::{JobParams, JobRef, Request, Response, PROTO_VERSION};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A connected, hello-negotiated client session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Server identity from `hello_ok`.
+    pub server: String,
+}
+
+impl Client {
+    /// Connect to `addr` and perform the `hello` handshake as `name`.
+    pub fn connect(addr: &str, name: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        );
+        let mut client = Client {
+            reader,
+            writer: stream,
+            server: String::new(),
+        };
+        match client.request(&Request::Hello {
+            proto_version: PROTO_VERSION,
+            client: name.to_string(),
+        })? {
+            Response::HelloOk { server, .. } => {
+                client.server = server;
+                Ok(client)
+            }
+            Response::Error { code, message } => {
+                Err(format!("handshake refused: {code}: {message}"))
+            }
+            other => Err(format!("unexpected handshake reply: {}", other.type_name())),
+        }
+    }
+
+    /// Send one request and read the one response it produces.
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        writeln!(self.writer, "{}", req.to_line()).map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Response::from_line(&line).map_err(|e| format!("bad response: {e}"))
+    }
+
+    /// Submit a single-app job; returns `(job_id, replayed)`.
+    pub fn submit(
+        &mut self,
+        kind: &str,
+        params: JobParams,
+        tag: Option<String>,
+    ) -> Result<(String, bool), String> {
+        let req = match kind {
+            "trace" => Request::Trace { params, tag },
+            "generate" => Request::Generate { params, tag },
+            "simulate" => Request::Simulate { params, tag },
+            other => return Err(format!("unknown job kind: {other}")),
+        };
+        match self.request(&req)? {
+            Response::Submitted { job, replayed, .. } => Ok((job, replayed)),
+            Response::Error { code, message } => Err(format!("{code}: {message}")),
+            other => Err(format!("unexpected reply: {}", other.type_name())),
+        }
+    }
+
+    /// Block until `job` reaches a terminal state and return its status.
+    pub fn wait(&mut self, job: &str) -> Result<Response, String> {
+        self.request(&Request::Status {
+            job: JobRef::Id(job.to_string()),
+            wait: true,
+        })
+    }
+
+    /// Ask the server to shut down; expects `bye`.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(format!("unexpected reply: {}", other.type_name())),
+        }
+    }
+}

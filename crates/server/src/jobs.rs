@@ -1,0 +1,383 @@
+//! Job identity and execution: the bridge from wire-level requests to the
+//! paper pipeline (trace → generate → execute → verify).
+//!
+//! Job ids are content hashes of the request parameters, so resubmitting
+//! the same work yields the same id — which is what makes the journal a
+//! durability layer: a restarted server recognises a completed job by its
+//! id and serves the recorded result instead of re-executing.
+//!
+//! Execution calls the exact library functions the batch CLI calls
+//! (`scalatrace::trace_app`, `benchgen::generate`,
+//! `conceptual::printer::print`, `World::run_hooked` with an [`MpiP`]
+//! hook), so every artifact — folded trace text, program text, mpiP
+//! profile — is byte-identical to `commgen`'s output for the same inputs.
+
+use crate::memcache::TraceMemCache;
+use campaign::hash;
+use campaign::matrix::{parse_class, CampaignSpec, JobSpec, NETWORKS};
+use campaign::{run_campaign, Telemetry, TraceCache};
+use conceptual::interp::run_rank;
+use miniapps::registry;
+use mpisim::network::{self, NetworkModel};
+use mpisim::profile::MpiP;
+use mpisim::world::World;
+use protocol::{Artifact, JobParams, JobResult};
+use std::sync::Arc;
+
+/// What a job does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// Produce the folded trace text.
+    Trace,
+    /// Produce the generated program text.
+    Generate,
+    /// Execute the generated benchmark: profile plus timing metrics.
+    Simulate,
+    /// Run a whole campaign matrix.
+    Campaign,
+}
+
+impl JobKind {
+    /// Wire and journal label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Trace => "trace",
+            JobKind::Generate => "generate",
+            JobKind::Simulate => "simulate",
+            JobKind::Campaign => "campaign",
+        }
+    }
+
+    /// Inverse of [`JobKind::label`].
+    pub fn from_label(s: &str) -> Option<JobKind> {
+        match s {
+            "trace" => Some(JobKind::Trace),
+            "generate" => Some(JobKind::Generate),
+            "simulate" => Some(JobKind::Simulate),
+            "campaign" => Some(JobKind::Campaign),
+            _ => None,
+        }
+    }
+}
+
+fn model_of(name: &str) -> Arc<dyn NetworkModel> {
+    match name {
+        "bgl" => network::blue_gene_l(),
+        "ethernet" => network::ethernet_cluster(),
+        _ => network::ideal(),
+    }
+}
+
+/// Validate wire parameters into a concrete [`JobSpec`]. The spec carries
+/// batch defaults for the knobs the wire protocol does not expose
+/// (`compute_scale`, `chaos_seeds`, `pipeline_threads`), so its
+/// `trace_key` matches the one a `commbench` campaign over the same
+/// configuration would use — the two front ends share cache entries.
+pub fn spec_of(p: &JobParams) -> Result<JobSpec, String> {
+    let app = registry::lookup(&p.app).ok_or_else(|| {
+        let names: Vec<&str> = registry::all().iter().map(|a| a.name).collect();
+        format!("unknown app {}; available: {}", p.app, names.join(", "))
+    })?;
+    if p.ranks == 0 {
+        return Err("ranks must be at least 1".to_string());
+    }
+    if !(app.valid_ranks)(p.ranks as usize) {
+        return Err(format!("{} cannot run on {} ranks", p.app, p.ranks));
+    }
+    if !NETWORKS.contains(&p.network.as_str()) {
+        return Err(format!(
+            "unknown network {} (expected one of {})",
+            p.network,
+            NETWORKS.join("|")
+        ));
+    }
+    Ok(JobSpec {
+        app: p.app.clone(),
+        ranks: p.ranks as usize,
+        class: parse_class(&p.class)?,
+        network: p.network.clone(),
+        align: p.align,
+        resolve: p.resolve,
+        comments: p.comments,
+        compute_scale: 1.0,
+        iterations: p.iterations.map(|i| i as usize),
+        chaos_seeds: 0,
+        pipeline_threads: 1,
+    })
+}
+
+/// Deterministic id of a single-pipeline job: kind label plus the hash of
+/// the full job configuration.
+pub fn single_job_id(kind: JobKind, spec: &JobSpec) -> String {
+    let mut pairs = spec.config_pairs();
+    pairs.push(("kind".into(), kind.label().into()));
+    format!("{}.{}", kind.label(), hash::hex(hash::hash_pairs(&pairs)))
+}
+
+/// Deterministic id of a campaign job: hash of the matrix document itself.
+pub fn campaign_job_id(matrix: &str) -> String {
+    format!("campaign.{}", hash::hex(hash::fnv1a(matrix.as_bytes())))
+}
+
+/// Build a checksummed artifact.
+pub fn artifact(name: &str, text: String) -> Artifact {
+    Artifact {
+        name: name.to_string(),
+        fnv: hash::hex(hash::fnv1a(text.as_bytes())),
+        text,
+    }
+}
+
+/// Outcome of executing a job body: the wire-level result plus how many
+/// memory-cache evictions the execution forced (accounted to the
+/// submitting client by the server).
+pub struct Executed {
+    /// The result shipped to clients and journaled to disk.
+    pub result: JobResult,
+    /// LRU evictions this execution caused.
+    pub evictions: u64,
+}
+
+/// Run a trace / generate / simulate job. `spec` must come from
+/// [`spec_of`] (so the app and rank count are already validated).
+pub fn run_single(kind: JobKind, spec: &JobSpec, mem: &TraceMemCache) -> Result<Executed, String> {
+    let model = model_of(&spec.network);
+    let key = spec.trace_key();
+    let mut evictions = 0;
+
+    // 1. Trace: memory, disk, or a fresh application run.
+    let (trace, trace_text, t_app, cached) = match mem.load(key) {
+        Some(hit) => (hit.trace, hit.text, hit.t_app, true),
+        None => {
+            let app = registry::lookup(&spec.app).ok_or("app vanished from registry")?;
+            let params = miniapps::AppParams {
+                class: spec.class,
+                iterations: spec.iterations,
+                compute_scale: spec.compute_scale,
+            };
+            let run = app.run;
+            let traced =
+                scalatrace::trace_app(spec.ranks, model.clone(), move |ctx| run(ctx, &params))
+                    .map_err(|e| format!("tracing failed: {e}"))?;
+            let t_app = traced.report.total_time;
+            let (text, evicted) = mem.store(key, &traced.trace, t_app, &spec.trace_pairs());
+            evictions += evicted;
+            (traced.trace, text, t_app, false)
+        }
+    };
+
+    let mut result = JobResult {
+        kind: kind.label().to_string(),
+        cached,
+        t_app_ns: Some(t_app.as_nanos()),
+        ..JobResult::default()
+    };
+    if kind == JobKind::Trace {
+        result
+            .artifacts
+            .push(artifact("trace.st", (*trace_text).clone()));
+        return Ok(Executed { result, evictions });
+    }
+
+    // 2. Generate the executable specification.
+    let opts = benchgen::GenOptions {
+        align_collectives: spec.align,
+        resolve_wildcards: spec.resolve,
+        emit_comments: spec.comments,
+        ..benchgen::GenOptions::default()
+    };
+    let generated =
+        benchgen::generate(&trace, &opts).map_err(|e| format!("generation failed: {e}"))?;
+    let program_text = conceptual::printer::print(&generated.program);
+    if kind == JobKind::Generate {
+        result
+            .artifacts
+            .push(artifact("program.ncptl", program_text));
+        return Ok(Executed { result, evictions });
+    }
+
+    // 3. Execute under an mpiP hook: one run yields T_gen and the profile.
+    let program = Arc::new(generated.program);
+    let prog = Arc::clone(&program);
+    let (report, hooks) = World::new(spec.ranks)
+        .network(model)
+        .run_hooked(|_| MpiP::new(), move |ctx| run_rank(ctx, &prog))
+        .map_err(|e| format!("generated benchmark failed: {e}"))?;
+    let t_gen = report.total_time;
+    let profile_text = MpiP::merge_all(hooks.iter()).to_string();
+
+    result.t_gen_ns = Some(t_gen.as_nanos());
+    result.err_pct = Some(if t_app.as_nanos() == 0 {
+        0.0
+    } else {
+        (t_gen.as_secs_f64() - t_app.as_secs_f64()).abs() / t_app.as_secs_f64() * 100.0
+    });
+    result
+        .artifacts
+        .push(artifact("trace.st", (*trace_text).clone()));
+    result
+        .artifacts
+        .push(artifact("program.ncptl", program_text));
+    result
+        .artifacts
+        .push(artifact("profile.mpip", profile_text));
+    Ok(Executed { result, evictions })
+}
+
+/// Run a campaign job over a matrix document. The campaign runner gets
+/// its own handle on the shared *disk* cache (its workers bypass the
+/// memory layer) and journals its per-job telemetry to `telemetry`.
+pub fn run_campaign_job(
+    matrix: &str,
+    disk: TraceCache,
+    telemetry: Telemetry,
+) -> Result<Executed, String> {
+    let spec = CampaignSpec::parse(matrix).map_err(|e| format!("bad matrix: {e}"))?;
+    let report = run_campaign(&spec, disk, telemetry);
+    let result = JobResult {
+        kind: JobKind::Campaign.label().to_string(),
+        cached: false,
+        ok: Some(report.ok() as u64),
+        failed: Some(report.failed() as u64),
+        timed_out: Some(report.timed_out() as u64),
+        mape: Some(report.mape()),
+        artifacts: vec![artifact("report.txt", report.to_string())],
+        ..JobResult::default()
+    };
+    Ok(Executed {
+        result,
+        evictions: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "server-jobs-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn mem(tag: &str) -> TraceMemCache {
+        TraceMemCache::new(TraceCache::open(temp_dir(tag)).unwrap(), 4, 1 << 24)
+    }
+
+    #[test]
+    fn job_ids_are_deterministic_and_kind_qualified() {
+        let p = JobParams::new("ring", 4);
+        let spec = spec_of(&p).unwrap();
+        let a = single_job_id(JobKind::Trace, &spec);
+        let b = single_job_id(JobKind::Trace, &spec_of(&p).unwrap());
+        assert_eq!(a, b, "same request, same id");
+        assert!(a.starts_with("trace."));
+        assert_ne!(a, single_job_id(JobKind::Simulate, &spec));
+        let mut p2 = p.clone();
+        p2.ranks = 8;
+        assert_ne!(a, single_job_id(JobKind::Trace, &spec_of(&p2).unwrap()));
+        assert_eq!(
+            campaign_job_id("apps = ring\n"),
+            campaign_job_id("apps = ring\n")
+        );
+        assert_ne!(
+            campaign_job_id("apps = ring\n"),
+            campaign_job_id("apps = cg\n")
+        );
+    }
+
+    #[test]
+    fn spec_of_validates_app_ranks_network_class() {
+        assert!(spec_of(&JobParams::new("ring", 4)).is_ok());
+        assert!(spec_of(&JobParams::new("nosuch", 4))
+            .unwrap_err()
+            .contains("unknown app"));
+        assert!(spec_of(&JobParams::new("ring", 0))
+            .unwrap_err()
+            .contains("at least 1"));
+        let mut p = JobParams::new("ring", 4);
+        p.network = "myrinet".to_string();
+        assert!(spec_of(&p).unwrap_err().contains("unknown network"));
+        let mut p = JobParams::new("ring", 4);
+        p.class = "Z".to_string();
+        assert!(spec_of(&p).is_err());
+        // Injected fault apps are a campaign-internal facility, not a
+        // service surface.
+        assert!(spec_of(&JobParams::new("__panic__", 4)).is_err());
+    }
+
+    #[test]
+    fn trace_generate_simulate_share_one_cache_entry() {
+        let mem = mem("pipeline");
+        let spec = spec_of(&JobParams::new("ring", 4)).unwrap();
+
+        let traced = run_single(JobKind::Trace, &spec, &mem).unwrap();
+        assert!(!traced.result.cached, "first touch traces the app");
+        assert_eq!(traced.result.artifacts.len(), 1);
+        assert_eq!(traced.result.artifacts[0].name, "trace.st");
+
+        let generated = run_single(JobKind::Generate, &spec, &mem).unwrap();
+        assert!(generated.result.cached, "trace came from memory");
+        assert_eq!(generated.result.artifacts[0].name, "program.ncptl");
+        assert!(!generated.result.artifacts[0].text.is_empty());
+
+        let simulated = run_single(JobKind::Simulate, &spec, &mem).unwrap();
+        assert!(simulated.result.cached);
+        let names: Vec<&str> = simulated
+            .result
+            .artifacts
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["trace.st", "program.ncptl", "profile.mpip"]);
+        assert!(simulated.result.t_gen_ns.is_some());
+        assert!(simulated.result.err_pct.is_some());
+
+        // The simulate job's trace and program artifacts are byte-identical
+        // to the dedicated jobs' (one pipeline, one truth).
+        assert_eq!(
+            simulated.result.artifacts[0].text,
+            traced.result.artifacts[0].text
+        );
+        assert_eq!(
+            simulated.result.artifacts[1].text,
+            generated.result.artifacts[1 - 1].text
+        );
+        // And every artifact checksum verifies.
+        for a in &simulated.result.artifacts {
+            assert_eq!(a.fnv, hash::hex(hash::fnv1a(a.text.as_bytes())));
+        }
+        let _ = std::fs::remove_dir_all(mem.disk().dir());
+    }
+
+    #[test]
+    fn campaign_job_runs_a_matrix_end_to_end() {
+        let disk = TraceCache::open(temp_dir("campaign")).unwrap();
+        let dir = disk.dir().to_path_buf();
+        let out = run_campaign_job(
+            "apps = ring\nranks = 4\nworkers = 1\n",
+            disk,
+            Telemetry::sink(),
+        )
+        .unwrap();
+        assert_eq!(out.result.ok, Some(1));
+        assert_eq!(out.result.failed, Some(0));
+        assert_eq!(out.result.artifacts[0].name, "report.txt");
+        assert!(out.result.artifacts[0].text.contains("1 ok"));
+        assert!(run_campaign_job(
+            "nonsense ===",
+            TraceCache::open(&dir).unwrap(),
+            Telemetry::sink()
+        )
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

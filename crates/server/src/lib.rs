@@ -1,0 +1,30 @@
+//! `commspec-server`: a long-running trace-and-generation service over
+//! the campaign runner.
+//!
+//! The batch tools (`commgen`, `commbench`) pay the full pipeline cost on
+//! every invocation. This crate fronts the same library calls with a
+//! daemon: a versioned line-delimited JSON protocol ([`protocol`]), a
+//! multi-tenant FIFO job queue with per-client admission control
+//! ([`queue`]), a sharded in-memory trace cache layered over the
+//! campaign's disk cache ([`memcache`]), async job handles, and a JSONL
+//! journal as the durability layer ([`server`]): a killed server replays
+//! completed jobs on restart instead of rerunning them.
+//!
+//! Everything a served job produces is byte-identical to what the batch
+//! CLI produces for the same configuration, because both sides call the
+//! exact same library functions with the same defaults ([`jobs`]).
+//!
+//! See `DESIGN.md` §13 for the protocol grammar and the durability
+//! argument.
+
+pub mod client;
+pub mod jobs;
+pub mod memcache;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use jobs::JobKind;
+pub use memcache::{CacheSource, CacheStats, TraceMemCache};
+pub use queue::{JobQueue, QueueLimits, Reject};
+pub use server::{Server, ServerOptions};

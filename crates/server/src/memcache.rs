@@ -1,0 +1,376 @@
+//! Sharded in-memory trace cache, layered over the campaign's disk cache.
+//!
+//! Entries hold the canonical ScalaTrace *text* (not the parsed tree): the
+//! text is what the disk cache checksums, what the wire protocol ships as
+//! the `trace.st` artifact, and what [`TraceMemCache::load`] re-hashes on
+//! every hit — so a bit-flip in resident memory is detected exactly like
+//! one on disk, and a hit degrades to a disk read instead of serving a
+//! corrupt trace. Keys shard by their low bits; each shard is an
+//! independently locked LRU bounded by bytes of trace text, so hot-path
+//! lookups from concurrent workers do not serialize on one lock.
+
+use campaign::hash;
+use campaign::TraceCache;
+use mpisim::time::SimTime;
+use scalatrace::trace::Trace;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where a loaded trace came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheSource {
+    /// Resident in memory.
+    Mem,
+    /// Read from the disk cache and promoted to memory.
+    Disk,
+}
+
+/// A successfully loaded trace plus its canonical text.
+pub struct LoadedTrace {
+    /// The parsed trace.
+    pub trace: Trace,
+    /// Canonical `scalatrace::text` form — the `trace.st` artifact.
+    pub text: Arc<String>,
+    /// Simulated wall-clock of the original traced run.
+    pub t_app: SimTime,
+    /// Which layer served the hit.
+    pub source: CacheSource,
+}
+
+/// Point-in-time counter snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Memory hits (integrity-verified).
+    pub mem_hits: u64,
+    /// Lookups that missed memory (integrity drops included).
+    pub mem_misses: u64,
+    /// Misses the disk layer absorbed.
+    pub disk_hits: u64,
+    /// LRU evictions (capacity) plus integrity drops.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes of trace text currently resident.
+    pub bytes: u64,
+}
+
+struct Entry {
+    text: Arc<String>,
+    fnv: u64,
+    t_app: SimTime,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u64, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl Shard {
+    /// Evict least-recently-used entries until `bytes <= budget`. Returns
+    /// how many entries were evicted.
+    fn shrink_to(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget && !self.entries.is_empty() {
+            let coldest = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            let gone = self.entries.remove(&coldest).expect("present");
+            self.bytes -= gone.text.len();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn insert(&mut self, key: u64, text: Arc<String>, t_app: SimTime, budget: usize) -> u64 {
+        self.tick += 1;
+        let fnv = hash::fnv1a(text.as_bytes());
+        if let Some(old) = self.entries.remove(&key) {
+            self.bytes -= old.text.len();
+        }
+        self.bytes += text.len();
+        self.entries.insert(
+            key,
+            Entry {
+                text,
+                fnv,
+                t_app,
+                last_used: self.tick,
+            },
+        );
+        self.shrink_to(budget)
+    }
+}
+
+/// The layered cache: sharded in-memory LRU in front of a [`TraceCache`].
+pub struct TraceMemCache {
+    disk: TraceCache,
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    mem_hits: AtomicU64,
+    mem_misses: AtomicU64,
+    disk_hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl TraceMemCache {
+    /// Layer `shards` in-memory LRU shards totalling `capacity_bytes` over
+    /// `disk`. Shard count is rounded up to at least 1.
+    pub fn new(disk: TraceCache, shards: usize, capacity_bytes: usize) -> TraceMemCache {
+        let shards = shards.max(1);
+        TraceMemCache {
+            disk,
+            shard_budget: capacity_bytes / shards,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            mem_hits: AtomicU64::new(0),
+            mem_misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying disk cache.
+    pub fn disk(&self) -> &TraceCache {
+        &self.disk
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) % self.shards.len()]
+    }
+
+    /// Look up a trace: memory first (re-verifying the FNV-1a of the
+    /// resident text on every hit), then disk (promoting into memory).
+    /// `None` means both layers missed and the caller must trace.
+    pub fn load(&self, key: u64) -> Option<LoadedTrace> {
+        {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            shard.tick += 1;
+            let tick = shard.tick;
+            if let Some(e) = shard.entries.get_mut(&key) {
+                if hash::fnv1a(e.text.as_bytes()) == e.fnv {
+                    e.last_used = tick;
+                    let (text, t_app) = (Arc::clone(&e.text), e.t_app);
+                    drop(shard);
+                    // Parse outside the shard lock; a resident entry that
+                    // passed its checksum always parses (it did at insert).
+                    let trace = scalatrace::text::from_text(&text).ok()?;
+                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(LoadedTrace {
+                        trace,
+                        text,
+                        t_app,
+                        source: CacheSource::Mem,
+                    });
+                }
+                // Resident entry no longer matches its own checksum:
+                // memory corruption. Drop it and fall through to disk.
+                let gone = shard.entries.remove(&key).expect("present");
+                shard.bytes -= gone.text.len();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.mem_misses.fetch_add(1, Ordering::Relaxed);
+
+        let hit = self.disk.load(key)?;
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        let text = Arc::new(scalatrace::text::to_text(&hit.trace));
+        let evicted = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, Arc::clone(&text), hit.t_app, self.shard_budget);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        Some(LoadedTrace {
+            trace: hit.trace,
+            text,
+            t_app: hit.t_app,
+            source: CacheSource::Disk,
+        })
+    }
+
+    /// Store a freshly traced application in both layers. The disk write is
+    /// best-effort (a read-only cache directory must not fail the job);
+    /// returns the canonical text and how many LRU evictions the insert
+    /// forced.
+    pub fn store(
+        &self,
+        key: u64,
+        trace: &Trace,
+        t_app: SimTime,
+        pairs: &[(String, String)],
+    ) -> (Arc<String>, u64) {
+        let text = Arc::new(scalatrace::text::to_text(trace));
+        let _ = self.disk.store(key, trace, t_app, pairs);
+        let evicted = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, Arc::clone(&text), t_app, self.shard_budget);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        (text, evicted)
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let (mut entries, mut bytes) = (0u64, 0u64);
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            entries += shard.entries.len() as u64;
+            bytes += shard.bytes as u64;
+        }
+        CacheStats {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            mem_misses: self.mem_misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miniapps::{registry, AppParams};
+    use mpisim::network;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "server-memcache-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_trace() -> (Trace, SimTime) {
+        let app = registry::lookup("ring").unwrap();
+        let params = AppParams::quick();
+        let traced =
+            scalatrace::trace_app(4, network::ideal(), move |ctx| (app.run)(ctx, &params)).unwrap();
+        (traced.trace, traced.report.total_time)
+    }
+
+    fn cache(tag: &str, capacity: usize) -> TraceMemCache {
+        TraceMemCache::new(TraceCache::open(temp_dir(tag)).unwrap(), 4, capacity)
+    }
+
+    #[test]
+    fn store_then_load_hits_memory() {
+        let c = cache("hit", 1 << 20);
+        let (trace, t_app) = sample_trace();
+        assert!(c.load(1).is_none());
+        let (text, _) = c.store(1, &trace, t_app, &[]);
+        let hit = c.load(1).expect("stored");
+        assert_eq!(hit.source, CacheSource::Mem);
+        assert_eq!(*hit.text, *text);
+        assert_eq!(hit.t_app, t_app);
+        let stats = c.stats();
+        assert_eq!(
+            (stats.mem_hits, stats.mem_misses, stats.disk_hits),
+            (1, 1, 0)
+        );
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, text.len() as u64);
+        let _ = std::fs::remove_dir_all(c.disk().dir());
+    }
+
+    #[test]
+    fn disk_entries_promote_into_memory() {
+        let dir = temp_dir("promote");
+        let disk = TraceCache::open(&dir).unwrap();
+        let (trace, t_app) = sample_trace();
+        disk.store(7, &trace, t_app, &[]).unwrap();
+
+        // A cold memory layer over a warm disk: first load promotes.
+        let c = TraceMemCache::new(disk, 4, 1 << 20);
+        let first = c.load(7).expect("disk entry");
+        assert_eq!(first.source, CacheSource::Disk);
+        let second = c.load(7).expect("promoted");
+        assert_eq!(second.source, CacheSource::Mem);
+        assert_eq!(*first.text, *second.text);
+        let stats = c.stats();
+        assert_eq!((stats.mem_hits, stats.disk_hits), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_evicts_coldest_when_over_budget() {
+        let (trace, t_app) = sample_trace();
+        let text_len = scalatrace::text::to_text(&trace).len();
+        // One shard, room for exactly two entries.
+        let disk = TraceCache::open(temp_dir("lru")).unwrap();
+        let c = TraceMemCache::new(disk, 1, 2 * text_len);
+        c.store(1, &trace, t_app, &[]);
+        c.store(2, &trace, t_app, &[]);
+        assert!(c.load(1).is_some(), "touch 1 so 2 is coldest");
+        c.store(3, &trace, t_app, &[]);
+        let stats = c.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        // 2 was evicted from memory; 1 and 3 are resident. (2 still loads,
+        // but from disk.)
+        assert_eq!(c.load(1).unwrap().source, CacheSource::Mem);
+        assert_eq!(c.load(3).unwrap().source, CacheSource::Mem);
+        assert_eq!(c.load(2).unwrap().source, CacheSource::Disk);
+        let _ = std::fs::remove_dir_all(c.disk().dir());
+    }
+
+    #[test]
+    fn corrupted_resident_text_is_dropped_not_served() {
+        // Force a checksum mismatch by reaching into the shard. The public
+        // surface can't corrupt memory, so the test does it directly.
+        let c = cache("corrupt", 1 << 20);
+        let (trace, t_app) = sample_trace();
+        c.store(9, &trace, t_app, &[]);
+        {
+            let mut shard = c.shard(9).lock().unwrap();
+            let e = shard.entries.get_mut(&9).unwrap();
+            e.fnv ^= 1; // the text no longer matches its recorded checksum
+        }
+        let hit = c.load(9).expect("disk copy is intact");
+        assert_eq!(
+            hit.source,
+            CacheSource::Disk,
+            "corrupt entry must not serve"
+        );
+        assert_eq!(c.stats().evictions, 1);
+        // The promotion re-inserted a good entry.
+        assert_eq!(c.load(9).unwrap().source, CacheSource::Mem);
+        let _ = std::fs::remove_dir_all(c.disk().dir());
+    }
+
+    #[test]
+    fn concurrent_loads_and_stores_keep_counters_consistent() {
+        let c = Arc::new(cache("racy", 1 << 20));
+        let (trace, t_app) = sample_trace();
+        c.store(0, &trace, t_app, &[]);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        assert!(c.load(0).is_some());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.stats().mem_hits, 100);
+        let _ = std::fs::remove_dir_all(c.disk().dir());
+    }
+}

@@ -1,0 +1,801 @@
+//! The `commspec-server` daemon: connection handling, the job table,
+//! worker pool, and journal-backed durability.
+//!
+//! ## Durability argument
+//!
+//! Every terminal job outcome is persisted *before* it becomes visible to
+//! clients, in write-ahead order: artifact files land first (atomic
+//! tmp+rename each), then the flushed JSONL `finished` line that names
+//! them with their checksums, then the in-memory state clients can
+//! observe. A SIGKILL between any two steps leaves either a job the
+//! restarted server reruns (no journal line — artifacts without a
+//! blessing line are dead weight, not lies) or a fully recorded outcome
+//! it replays. On startup the journal is decoded with the campaign's
+//! last-wins / torn-tail-tolerant reader and every record is verified
+//! against its artifact files' FNV-1a checksums; anything incomplete or
+//! corrupt is dropped and simply reruns on resubmission.
+//!
+//! Job ids are content hashes of the request ([`crate::jobs`]), so "the
+//! same job" is a well-defined notion across restarts: a client that
+//! resubmits after a server crash gets `replayed: true` and the recorded
+//! result, with no pipeline execution.
+
+use crate::jobs::{self, Executed, JobKind};
+use crate::memcache::TraceMemCache;
+use crate::queue::{JobQueue, QueueLimits, QueuedJob};
+use campaign::journal::{write_atomic, Journal};
+use campaign::telemetry::{Counters, Value};
+use campaign::{Telemetry, TraceCache};
+use protocol::{
+    ClientStats, JobParams, JobRef, JobResult, Request, Response, StatsReport, PROTO_VERSION,
+};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server identity string sent in `hello_ok`.
+pub const SERVER_ID: &str = concat!("commspec-server/", env!("CARGO_PKG_VERSION"));
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// State directory: journal, artifact files, trace cache, campaign
+    /// telemetry.
+    pub state_dir: PathBuf,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// In-memory trace cache capacity in bytes.
+    pub mem_bytes: usize,
+    /// Memory cache shard count.
+    pub shards: usize,
+    /// Per-client admission limits.
+    pub limits: QueueLimits,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            state_dir: PathBuf::from(".commspec-server"),
+            workers: 2,
+            mem_bytes: 64 << 20,
+            shards: 8,
+            limits: QueueLimits::default(),
+        }
+    }
+}
+
+/// Lifecycle of a job in the table.
+#[derive(Clone, Debug)]
+enum JobState {
+    Queued,
+    Running,
+    Done(JobResult),
+    Failed(String),
+    Cancelled,
+}
+
+impl JobState {
+    fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done(_) | JobState::Failed(_) | JobState::Cancelled
+        )
+    }
+}
+
+/// What a worker needs to execute the job.
+#[derive(Clone)]
+enum JobBody {
+    Single(JobKind, campaign::JobSpec),
+    Campaign(String),
+}
+
+struct JobEntry {
+    kind: JobKind,
+    client: String,
+    tag: Option<String>,
+    state: JobState,
+    body: Option<JobBody>,
+    /// Served from the journal without (re-)execution.
+    replayed: bool,
+}
+
+#[derive(Default)]
+struct JobTable {
+    jobs: HashMap<String, JobEntry>,
+    /// Client-chosen tag → job id (latest submission wins).
+    tags: HashMap<String, String>,
+}
+
+impl JobTable {
+    fn resolve(&self, job: &JobRef) -> Option<String> {
+        match job {
+            JobRef::Id(id) => self.jobs.contains_key(id).then(|| id.clone()),
+            JobRef::Tag(tag) => self.tags.get(tag).cloned(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct ServerStats {
+    done: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    replayed: AtomicU64,
+}
+
+struct State {
+    opts: ServerOptions,
+    mem: TraceMemCache,
+    queue: JobQueue,
+    table: Mutex<JobTable>,
+    table_cv: Condvar,
+    counters: Counters,
+    stats: ServerStats,
+    /// Append-only JSONL journal (flushed per line by `Telemetry`).
+    journal: Telemetry,
+    shutdown: AtomicBool,
+}
+
+impl State {
+    fn journal_path(opts: &ServerOptions) -> PathBuf {
+        opts.state_dir.join("server.jsonl")
+    }
+
+    fn artifact_dir(&self, job_id: &str) -> PathBuf {
+        self.opts.state_dir.join("artifacts").join(job_id)
+    }
+
+    /// Persist a successful outcome in write-ahead order: artifacts, then
+    /// the journal line naming them and their checksums.
+    fn persist_done(&self, job_id: &str, kind: JobKind, result: &JobResult) {
+        let dir = self.artifact_dir(job_id);
+        let _ = std::fs::create_dir_all(&dir);
+        for a in &result.artifacts {
+            let _ = write_atomic(&dir.join(&a.name), a.text.as_bytes());
+        }
+        let names: Vec<&str> = result.artifacts.iter().map(|a| a.name.as_str()).collect();
+        let mut fields: Vec<(&str, Value)> = vec![
+            ("job", job_id.into()),
+            ("status", "ok".into()),
+            ("kind", kind.label().into()),
+            ("cached", Value::B(result.cached)),
+            ("artifacts", names.join(" ").into()),
+        ];
+        let fnv_keys: Vec<String> = result
+            .artifacts
+            .iter()
+            .map(|a| format!("fnv.{}", a.name))
+            .collect();
+        for (key, a) in fnv_keys.iter().zip(&result.artifacts) {
+            fields.push((key.as_str(), a.fnv.as_str().into()));
+        }
+        let opt_u = |fields: &mut Vec<(&str, Value)>, k: &'static str, v: Option<u64>| {
+            if let Some(v) = v {
+                fields.push((k, Value::U(v)));
+            }
+        };
+        let opt_f = |fields: &mut Vec<(&str, Value)>, k: &'static str, v: Option<f64>| {
+            if let Some(v) = v {
+                fields.push((k, Value::F(v)));
+            }
+        };
+        opt_u(&mut fields, "t_app_ns", result.t_app_ns);
+        opt_u(&mut fields, "t_gen_ns", result.t_gen_ns);
+        opt_f(&mut fields, "err_pct", result.err_pct);
+        opt_u(&mut fields, "jobs_ok", result.ok);
+        opt_u(&mut fields, "jobs_failed", result.failed);
+        opt_u(&mut fields, "jobs_timed_out", result.timed_out);
+        opt_f(&mut fields, "mape", result.mape);
+        self.journal.emit("finished", &fields);
+        self.journal.flush();
+    }
+
+    fn persist_failed(&self, job_id: &str, kind: JobKind, error: &str) {
+        self.journal.emit(
+            "finished",
+            &[
+                ("job", job_id.into()),
+                ("status", "failed".into()),
+                ("kind", kind.label().into()),
+                ("cause", "error".into()),
+                ("error", error.into()),
+            ],
+        );
+        self.journal.flush();
+    }
+
+    /// Move a job to a terminal state and wake status waiters.
+    fn finish(&self, job_id: &str, client: &str, state: JobState) {
+        {
+            let mut table = self.table.lock().expect("job table poisoned");
+            if let Some(entry) = table.jobs.get_mut(job_id) {
+                entry.state = state;
+                entry.body = None;
+            }
+        }
+        self.queue.release(client);
+        self.table_cv.notify_all();
+    }
+}
+
+/// Reconstruct a journaled outcome, verifying every artifact file against
+/// its recorded checksum. `None` = incomplete or corrupt → rerun.
+fn replay_record(
+    state_dir: &Path,
+    job_id: &str,
+    rec: &campaign::journal::JobRecord,
+) -> Option<JobEntry> {
+    let kind = JobKind::from_label(rec.get("kind")?)?;
+    let entry = |state: JobState| JobEntry {
+        kind,
+        client: String::new(),
+        tag: None,
+        state,
+        body: None,
+        replayed: true,
+    };
+    match rec.status.as_str() {
+        "ok" => {
+            let mut artifacts = Vec::new();
+            let names = rec.get("artifacts")?;
+            let dir = state_dir.join("artifacts").join(job_id);
+            for name in names.split(' ').filter(|n| !n.is_empty()) {
+                let text = std::fs::read_to_string(dir.join(name)).ok()?;
+                let fnv = campaign::hash::hex(campaign::hash::fnv1a(text.as_bytes()));
+                if rec.get(&format!("fnv.{name}")) != Some(fnv.as_str()) {
+                    return None; // artifact corrupt on disk: rerun
+                }
+                artifacts.push(protocol::Artifact {
+                    name: name.to_string(),
+                    fnv,
+                    text,
+                });
+            }
+            Some(entry(JobState::Done(JobResult {
+                kind: kind.label().to_string(),
+                cached: rec.get("cached") == Some("true"),
+                t_app_ns: rec.u64("t_app_ns"),
+                t_gen_ns: rec.u64("t_gen_ns"),
+                err_pct: rec.f64("err_pct"),
+                ok: rec.u64("jobs_ok"),
+                failed: rec.u64("jobs_failed"),
+                timed_out: rec.u64("jobs_timed_out"),
+                mape: rec.f64("mape"),
+                artifacts,
+            })))
+        }
+        "failed" => Some(entry(JobState::Failed(rec.get("error")?.to_string()))),
+        _ => None,
+    }
+}
+
+/// A running server: worker pool plus shared state. Connections are
+/// served by [`Server::serve_stdio`], [`Server::serve_tcp`], or (for
+/// in-process tests) [`Server::handle`].
+pub struct Server {
+    state: Arc<State>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Open the state directory, replay the journal, and start the worker
+    /// pool. Returns the server and how many journaled outcomes were
+    /// restored.
+    pub fn start(opts: ServerOptions) -> io::Result<(Server, usize)> {
+        std::fs::create_dir_all(&opts.state_dir)?;
+        let journal_path = State::journal_path(&opts);
+        let journal = Journal::load(&journal_path).unwrap_or_default();
+
+        let mut table = JobTable::default();
+        let mut restored = 0;
+        for (job_id, rec) in journal.jobs() {
+            if let Some(entry) = replay_record(&opts.state_dir, job_id, rec) {
+                table.jobs.insert(job_id.to_string(), entry);
+                restored += 1;
+            }
+        }
+
+        let disk = TraceCache::open(opts.state_dir.join("cache"))?;
+        let mem = TraceMemCache::new(disk, opts.shards, opts.mem_bytes);
+        let state = Arc::new(State {
+            queue: JobQueue::new(opts.limits),
+            mem,
+            table: Mutex::new(table),
+            table_cv: Condvar::new(),
+            counters: Counters::new(),
+            stats: ServerStats::default(),
+            journal: Telemetry::append_file(&journal_path)?,
+            shutdown: AtomicBool::new(false),
+            opts,
+        });
+
+        let workers = (0..state.opts.workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state))
+            })
+            .collect();
+        Ok((Server { state, workers }, restored))
+    }
+
+    /// Serve one connection on stdin/stdout (the test and CI mode), then
+    /// shut down.
+    pub fn serve_stdio(self) {
+        let stdin = io::stdin();
+        let stdout = io::stdout();
+        self.handle(stdin.lock(), stdout.lock());
+        self.shutdown();
+    }
+
+    /// Bind `addr` and serve connections until a client sends `shutdown`.
+    /// The bound address is announced on stderr as `listening on <addr>`
+    /// (ephemeral-port callers parse it).
+    pub fn serve_tcp(self, addr: &str) -> io::Result<()> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        eprintln!("listening on {}", listener.local_addr()?);
+        let mut conns = Vec::new();
+        while !self.state.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    conns.push(std::thread::spawn(move || {
+                        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                        handle_conn(&state, reader, stream);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+        self.shutdown();
+        Ok(())
+    }
+
+    /// Serve one connection over arbitrary byte streams (in-process use).
+    pub fn handle(&self, reader: impl BufRead, writer: impl Write) {
+        handle_conn(&self.state, reader, writer);
+    }
+
+    /// Drain the queue, stop the workers, and join them.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.state.counters.emit_to(&self.state.journal);
+    }
+}
+
+fn worker_loop(state: &State) {
+    while let Some(QueuedJob { id, client }) = state.queue.pop() {
+        let claimed = {
+            let mut table = state.table.lock().expect("job table poisoned");
+            match table.jobs.get_mut(&id) {
+                Some(entry) if matches!(entry.state, JobState::Queued) => {
+                    entry.state = JobState::Running;
+                    entry.body.clone().map(|b| (entry.kind, b))
+                }
+                // Cancelled (or somehow already terminal): nothing to run.
+                _ => None,
+            }
+        };
+        let Some((kind, body)) = claimed else {
+            continue;
+        };
+
+        // Fault isolation: a panicking job fails the job, not the server.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match body {
+            JobBody::Single(kind, spec) => jobs::run_single(kind, &spec, &state.mem),
+            JobBody::Campaign(matrix) => {
+                let disk = TraceCache::open(state.mem.disk().dir())
+                    .map_err(|e| format!("cannot open cache: {e}"))?;
+                let telemetry =
+                    Telemetry::to_file(&state.opts.state_dir.join(format!("{id}.campaign.jsonl")))
+                        .unwrap_or_else(|_| Telemetry::sink());
+                jobs::run_campaign_job(&matrix, disk, telemetry)
+            }
+        }));
+        let outcome = match outcome {
+            Ok(r) => r,
+            Err(p) => {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "job panicked".to_string());
+                Err(format!("panic: {msg}"))
+            }
+        };
+
+        match outcome {
+            Ok(Executed { result, evictions }) => {
+                if evictions > 0 {
+                    state.counters.add(&client, "evictions", evictions);
+                }
+                state.persist_done(&id, kind, &result);
+                state.stats.done.fetch_add(1, Ordering::Relaxed);
+                state.finish(&id, &client, JobState::Done(result));
+            }
+            Err(error) => {
+                state.persist_failed(&id, kind, &error);
+                state.stats.failed.fetch_add(1, Ordering::Relaxed);
+                state.finish(&id, &client, JobState::Failed(error));
+            }
+        }
+    }
+}
+
+/// Serve one client connection: line in, line out.
+fn handle_conn(state: &Arc<State>, mut reader: impl BufRead, mut writer: impl Write) {
+    let mut client: Option<String> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF: client hung up
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::from_line(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                if let Some(c) = &client {
+                    state.counters.incr(c, "errors");
+                }
+                if write_line(
+                    &mut writer,
+                    &Response::Error {
+                        code: e.code().to_string(),
+                        message: e.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let (resp, bye) = dispatch(state, &mut client, req);
+        if write_line(&mut writer, &resp).is_err() {
+            return;
+        }
+        if bye {
+            return;
+        }
+    }
+}
+
+fn write_line(writer: &mut impl Write, resp: &Response) -> io::Result<()> {
+    writeln!(writer, "{}", resp.to_line())?;
+    writer.flush()
+}
+
+fn error(code: &str, message: impl Into<String>) -> Response {
+    Response::Error {
+        code: code.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Process one request. Returns the response and whether the connection
+/// (and for `shutdown`, the server) should wind down.
+fn dispatch(state: &Arc<State>, client: &mut Option<String>, req: Request) -> (Response, bool) {
+    if let Some(c) = client.as_deref() {
+        state.counters.incr(c, "requests");
+    }
+    match req {
+        Request::Hello {
+            proto_version,
+            client: name,
+        } => {
+            if proto_version != PROTO_VERSION {
+                return (
+                    error(
+                        "proto-version",
+                        format!("server speaks proto {PROTO_VERSION}, client sent {proto_version}"),
+                    ),
+                    false,
+                );
+            }
+            state.counters.incr(&name, "requests");
+            *client = Some(name);
+            (
+                Response::HelloOk {
+                    proto_version: PROTO_VERSION,
+                    server: SERVER_ID.to_string(),
+                },
+                false,
+            )
+        }
+        _ if client.is_none() => (
+            error("hello-required", "first message must be `hello`"),
+            false,
+        ),
+        Request::Trace { params, tag } => (
+            submit_single(
+                state,
+                client.as_deref().unwrap(),
+                JobKind::Trace,
+                params,
+                tag,
+            ),
+            false,
+        ),
+        Request::Generate { params, tag } => (
+            submit_single(
+                state,
+                client.as_deref().unwrap(),
+                JobKind::Generate,
+                params,
+                tag,
+            ),
+            false,
+        ),
+        Request::Simulate { params, tag } => (
+            submit_single(
+                state,
+                client.as_deref().unwrap(),
+                JobKind::Simulate,
+                params,
+                tag,
+            ),
+            false,
+        ),
+        Request::Campaign { matrix, tag } => (
+            submit_campaign(state, client.as_deref().unwrap(), matrix, tag),
+            false,
+        ),
+        Request::Status { job, wait } => (status(state, &job, wait), false),
+        Request::CancelJob { job } => (cancel(state, client.as_deref().unwrap(), &job), false),
+        Request::Stats => (Response::Stats(stats(state)), false),
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue.close();
+            (Response::Bye, true)
+        }
+    }
+}
+
+/// Register a submission in the table (or recognise it), enforcing
+/// admission control for genuinely new work.
+fn admit(
+    state: &Arc<State>,
+    client: &str,
+    job_id: String,
+    kind: JobKind,
+    body: JobBody,
+    tag: Option<String>,
+) -> Response {
+    let mut table = state.table.lock().expect("job table poisoned");
+    if let Some(t) = &tag {
+        table.tags.insert(t.clone(), job_id.clone());
+    }
+    if let Some(entry) = table.jobs.get_mut(&job_id) {
+        // Known job: idempotent submit. A terminal entry is served as a
+        // replay — from this process's run or from the journal of a
+        // previous one — with no execution.
+        entry.tag = tag.clone();
+        let replayed = entry.state.terminal();
+        if replayed {
+            entry.replayed = true;
+            state.stats.replayed.fetch_add(1, Ordering::Relaxed);
+            state.counters.incr(client, "replayed");
+        }
+        return Response::Submitted {
+            job: job_id,
+            kind: kind.label().to_string(),
+            tag,
+            replayed,
+        };
+    }
+    if state.shutdown.load(Ordering::SeqCst) {
+        return error("shutting-down", "server is shutting down");
+    }
+    if let Err(reject) = state.queue.submit(client, &job_id) {
+        state.counters.incr(client, "rejections");
+        return error(
+            reject.code(),
+            format!("submission refused for client {client}"),
+        );
+    }
+    table.jobs.insert(
+        job_id.clone(),
+        JobEntry {
+            kind,
+            client: client.to_string(),
+            tag: tag.clone(),
+            state: JobState::Queued,
+            body: Some(body),
+            replayed: false,
+        },
+    );
+    state.journal.emit(
+        "submitted",
+        &[
+            ("job", job_id.as_str().into()),
+            ("kind", kind.label().into()),
+            ("client", client.into()),
+        ],
+    );
+    Response::Submitted {
+        job: job_id,
+        kind: kind.label().to_string(),
+        tag,
+        replayed: false,
+    }
+}
+
+fn submit_single(
+    state: &Arc<State>,
+    client: &str,
+    kind: JobKind,
+    params: JobParams,
+    tag: Option<String>,
+) -> Response {
+    let spec = match jobs::spec_of(&params) {
+        Ok(s) => s,
+        Err(e) => {
+            state.counters.incr(client, "errors");
+            return error("bad-request", e);
+        }
+    };
+    let job_id = jobs::single_job_id(kind, &spec);
+    admit(
+        state,
+        client,
+        job_id,
+        kind,
+        JobBody::Single(kind, spec),
+        tag,
+    )
+}
+
+fn submit_campaign(
+    state: &Arc<State>,
+    client: &str,
+    matrix: String,
+    tag: Option<String>,
+) -> Response {
+    // Validate the matrix up front so a syntax error is a synchronous
+    // `bad-request`, not a failed job discovered later.
+    if let Err(e) = campaign::CampaignSpec::parse(&matrix) {
+        state.counters.incr(client, "errors");
+        return error("bad-request", format!("bad matrix: {e}"));
+    }
+    let job_id = jobs::campaign_job_id(&matrix);
+    admit(
+        state,
+        client,
+        job_id,
+        JobKind::Campaign,
+        JobBody::Campaign(matrix),
+        tag,
+    )
+}
+
+fn status(state: &Arc<State>, job: &JobRef, wait: bool) -> Response {
+    let mut table = state.table.lock().expect("job table poisoned");
+    let Some(id) = table.resolve(job) else {
+        return error("unknown-job", format!("no such job: {job:?}"));
+    };
+    if wait {
+        while !table.jobs[&id].state.terminal() {
+            table = state.table_cv.wait(table).expect("job table poisoned");
+        }
+    }
+    let entry = &table.jobs[&id];
+    Response::JobStatus {
+        job: id.clone(),
+        state: entry.state.label().to_string(),
+        tag: entry.tag.clone(),
+        error: match &entry.state {
+            JobState::Failed(e) => Some(e.clone()),
+            _ => None,
+        },
+        result: match &entry.state {
+            JobState::Done(r) => Some(r.clone()),
+            _ => None,
+        },
+    }
+}
+
+fn cancel(state: &Arc<State>, client: &str, job: &JobRef) -> Response {
+    let id = {
+        let table = state.table.lock().expect("job table poisoned");
+        match table.resolve(job) {
+            Some(id) => id,
+            None => return error("unknown-job", format!("no such job: {job:?}")),
+        }
+    };
+    match state.queue.cancel(&id) {
+        Some(_) => {
+            // Release the slot of the client that *owns* the job (which
+            // may differ from the one cancelling it).
+            let owner = {
+                let table = state.table.lock().expect("job table poisoned");
+                table.jobs[&id].client.clone()
+            };
+            state.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            state.counters.incr(client, "cancelled");
+            state.finish(&id, &owner, JobState::Cancelled);
+            Response::Cancelled {
+                job: id,
+                ok: true,
+                state: "cancelled".to_string(),
+            }
+        }
+        None => {
+            let table = state.table.lock().expect("job table poisoned");
+            let current = table.jobs[&id].state.label().to_string();
+            Response::Cancelled {
+                job: id,
+                ok: false,
+                state: current,
+            }
+        }
+    }
+}
+
+fn stats(state: &Arc<State>) -> StatsReport {
+    let (queued, running) = {
+        let table = state.table.lock().expect("job table poisoned");
+        let queued = table
+            .jobs
+            .values()
+            .filter(|e| matches!(e.state, JobState::Queued))
+            .count() as u64;
+        let running = table
+            .jobs
+            .values()
+            .filter(|e| matches!(e.state, JobState::Running))
+            .count() as u64;
+        (queued, running)
+    };
+    let cache = state.mem.stats();
+    StatsReport {
+        jobs_queued: queued,
+        jobs_running: running,
+        jobs_done: state.stats.done.load(Ordering::Relaxed),
+        jobs_failed: state.stats.failed.load(Ordering::Relaxed),
+        jobs_cancelled: state.stats.cancelled.load(Ordering::Relaxed),
+        jobs_replayed: state.stats.replayed.load(Ordering::Relaxed),
+        mem_hits: cache.mem_hits,
+        mem_misses: cache.mem_misses,
+        disk_hits: cache.disk_hits,
+        evictions: cache.evictions,
+        mem_entries: cache.entries,
+        mem_bytes: cache.bytes,
+        clients: state
+            .counters
+            .snapshot()
+            .into_iter()
+            .map(|(client, counters)| ClientStats { client, counters })
+            .collect(),
+    }
+}

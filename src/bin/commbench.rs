@@ -104,12 +104,41 @@ struct FsckArgs {
     cache_dir: PathBuf,
 }
 
+struct ServeArgs {
+    stdio: bool,
+    addr: String,
+    state_dir: PathBuf,
+    workers: usize,
+    mem_mb: usize,
+    rate: f64,
+    burst: f64,
+    inflight: usize,
+}
+
+struct ClientArgs {
+    addr: String,
+    name: String,
+    submit: Option<String>,
+    app: String,
+    ranks: u32,
+    class: String,
+    network: String,
+    iterations: Option<u32>,
+    matrix: Option<String>,
+    tag: Option<String>,
+    out: Option<PathBuf>,
+    stats: bool,
+    shutdown: bool,
+}
+
 enum Cmd {
     Matrix(Args),
     Resume(Args),
     Chaos(ChaosArgs),
     Perf(PerfConfig),
     Fsck(FsckArgs),
+    Serve(ServeArgs),
+    Client(ClientArgs),
 }
 
 fn parse_args() -> Result<Cmd, String> {
@@ -159,8 +188,162 @@ fn parse_argv(argv: Vec<String>) -> Result<Cmd, String> {
         Some("perf") => parse_perf(&argv[1..]).map(Cmd::Perf),
         Some("resume") => parse_matrix(&argv[1..]).map(Cmd::Resume),
         Some("fsck") => parse_fsck(&argv[1..]).map(Cmd::Fsck),
+        Some("serve") => parse_serve(&argv[1..]).map(Cmd::Serve),
+        Some("client") => parse_client(&argv[1..]).map(Cmd::Client),
+        // A word that is not a flag is a misspelled subcommand: reject it
+        // with a usage pointer instead of silently treating it as matrix
+        // mode (which would report the confusing "--matrix is required").
+        Some(other) if !other.starts_with('-') => Err(format!(
+            "unknown subcommand {other} (expected serve, client, chaos, perf, \
+             resume, or fsck, or --matrix to run a campaign; try --help)"
+        )),
         _ => parse_matrix(&argv).map(Cmd::Matrix),
     }
+}
+
+fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        stdio: false,
+        addr: "127.0.0.1:0".to_string(),
+        state_dir: PathBuf::from(".commspec-server"),
+        workers: 2,
+        mem_mb: 64,
+        rate: 50.0,
+        burst: 100.0,
+        inflight: 16,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--stdio" => args.stdio = true,
+            "--addr" => args.addr = value(&mut i)?,
+            "--state" => args.state_dir = PathBuf::from(value(&mut i)?),
+            "--workers" => {
+                args.workers = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--mem-mb" => {
+                args.mem_mb = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --mem-mb: {e}"))?
+            }
+            "--rate" => {
+                args.rate = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --rate: {e}"))?
+            }
+            "--burst" => {
+                args.burst = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --burst: {e}"))?
+            }
+            "--inflight" => {
+                args.inflight = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --inflight: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: commbench serve [--stdio | --addr HOST:PORT] [--state DIR] \
+                            [--workers N] [--mem-mb N] [--rate PER_SEC] [--burst N] \
+                            [--inflight N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+    if args.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    if args.inflight == 0 {
+        return Err("--inflight must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn parse_client(argv: &[String]) -> Result<ClientArgs, String> {
+    let mut args = ClientArgs {
+        addr: String::new(),
+        name: "commbench".to_string(),
+        submit: None,
+        app: "ring".to_string(),
+        ranks: 4,
+        class: "S".to_string(),
+        network: "bgl".to_string(),
+        iterations: None,
+        matrix: None,
+        tag: None,
+        out: None,
+        stats: false,
+        shutdown: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i)?,
+            "--name" => args.name = value(&mut i)?,
+            "--submit" => args.submit = Some(value(&mut i)?),
+            "--app" => args.app = value(&mut i)?,
+            "--ranks" => {
+                args.ranks = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --ranks: {e}"))?
+            }
+            "--class" => args.class = value(&mut i)?,
+            "--network" => args.network = value(&mut i)?,
+            "--iterations" => {
+                args.iterations = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --iterations: {e}"))?,
+                )
+            }
+            "--matrix" => args.matrix = Some(value(&mut i)?),
+            "--tag" => args.tag = Some(value(&mut i)?),
+            "--out" => args.out = Some(PathBuf::from(value(&mut i)?)),
+            "--stats" => args.stats = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                return Err("usage: commbench client --addr HOST:PORT [--name ID] \
+                            [--submit trace|generate|simulate [--app A] [--ranks N] \
+                            [--class S|W|A|B] [--network ideal|bgl|ethernet] \
+                            [--iterations N] [--tag T] [--out DIR]] \
+                            [--matrix FILE] [--stats] [--shutdown]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+    if args.addr.is_empty() {
+        return Err("--addr is required (try --help)".to_string());
+    }
+    if let Some(kind) = &args.submit {
+        if !["trace", "generate", "simulate"].contains(&kind.as_str()) {
+            return Err(format!(
+                "bad --submit {kind} (expected trace, generate, or simulate)"
+            ));
+        }
+    }
+    if args.submit.is_none() && args.matrix.is_none() && !args.stats && !args.shutdown {
+        return Err("nothing to do: pass --submit, --matrix, --stats, or --shutdown".to_string());
+    }
+    Ok(args)
 }
 
 fn parse_fsck(argv: &[String]) -> Result<FsckArgs, String> {
@@ -471,10 +654,203 @@ fn main() -> ExitCode {
         Ok(Cmd::Chaos(args)) => main_chaos(args),
         Ok(Cmd::Perf(cfg)) => main_perf(cfg),
         Ok(Cmd::Fsck(args)) => main_fsck(args),
+        Ok(Cmd::Serve(args)) => main_serve(args),
+        Ok(Cmd::Client(args)) => main_client(args),
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn main_serve(args: ServeArgs) -> ExitCode {
+    let opts = server::ServerOptions {
+        state_dir: args.state_dir.clone(),
+        workers: args.workers,
+        mem_bytes: args.mem_mb << 20,
+        shards: 8,
+        limits: server::QueueLimits {
+            max_inflight: args.inflight,
+            rate_per_sec: args.rate,
+            burst: args.burst,
+        },
+    };
+    let (srv, restored) = match server::Server::start(opts) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot start server in {}: {e}", args.state_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if restored > 0 {
+        eprintln!(
+            "serve: restored {restored} journaled job(s) from {}",
+            args.state_dir.display()
+        );
+    }
+    if args.stdio {
+        srv.serve_stdio();
+        ExitCode::SUCCESS
+    } else {
+        match srv.serve_tcp(&args.addr) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("serve failed on {}: {e}", args.addr);
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn main_client(args: ClientArgs) -> ExitCode {
+    use protocol::{JobParams, Request, Response};
+    let mut client = match server::Client::connect(&args.addr, &args.name) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("connected to {}", client.server);
+
+    let wait_and_report = |client: &mut server::Client, job: &str, out: &Option<PathBuf>| -> bool {
+        match client.wait(job) {
+            Ok(Response::JobStatus {
+                state,
+                error,
+                result,
+                ..
+            }) => {
+                if let Some(e) = error {
+                    eprintln!("{job}: {state}: {e}");
+                    return false;
+                }
+                if let Some(r) = result {
+                    println!("{job}: {state} (cached: {})", r.cached);
+                    for a in &r.artifacts {
+                        if let Some(dir) = out {
+                            if let Err(e) = std::fs::create_dir_all(dir)
+                                .and_then(|()| std::fs::write(dir.join(&a.name), &a.text))
+                            {
+                                eprintln!("cannot write {}: {e}", dir.join(&a.name).display());
+                                return false;
+                            }
+                            eprintln!("wrote {}", dir.join(&a.name).display());
+                        } else {
+                            println!("  {} fnv {} ({} bytes)", a.name, a.fnv, a.text.len());
+                        }
+                    }
+                    state == "done"
+                } else {
+                    eprintln!("{job}: {state}");
+                    state == "done"
+                }
+            }
+            Ok(other) => {
+                eprintln!("unexpected reply: {}", other.type_name());
+                false
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                false
+            }
+        }
+    };
+
+    let mut ok = true;
+    if let Some(kind) = &args.submit {
+        let mut params = JobParams::new(&args.app, args.ranks);
+        params.class = args.class.clone();
+        params.network = args.network.clone();
+        params.iterations = args.iterations;
+        match client.submit(kind, params, args.tag.clone()) {
+            Ok((job, replayed)) => {
+                eprintln!(
+                    "submitted {job}{}",
+                    if replayed { " (replayed)" } else { "" }
+                );
+                ok &= wait_and_report(&mut client, &job, &args.out);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ok = false;
+            }
+        }
+    }
+    if let Some(path) = &args.matrix {
+        match std::fs::read_to_string(path) {
+            Ok(matrix) => match client.request(&Request::Campaign {
+                matrix,
+                tag: args.tag.clone(),
+            }) {
+                Ok(Response::Submitted { job, replayed, .. }) => {
+                    eprintln!(
+                        "submitted {job}{}",
+                        if replayed { " (replayed)" } else { "" }
+                    );
+                    ok &= wait_and_report(&mut client, &job, &args.out);
+                }
+                Ok(Response::Error { code, message }) => {
+                    eprintln!("{code}: {message}");
+                    ok = false;
+                }
+                Ok(other) => {
+                    eprintln!("unexpected reply: {}", other.type_name());
+                    ok = false;
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if args.stats {
+        match client.request(&Request::Stats) {
+            Ok(Response::Stats(s)) => {
+                println!(
+                    "jobs: {} queued, {} running, {} done, {} failed, {} cancelled, {} replayed",
+                    s.jobs_queued,
+                    s.jobs_running,
+                    s.jobs_done,
+                    s.jobs_failed,
+                    s.jobs_cancelled,
+                    s.jobs_replayed
+                );
+                println!(
+                    "cache: {} mem hits, {} misses, {} disk hits, {} evictions, {} entries ({} bytes)",
+                    s.mem_hits, s.mem_misses, s.disk_hits, s.evictions, s.mem_entries, s.mem_bytes
+                );
+                for c in &s.clients {
+                    let counters: Vec<String> =
+                        c.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    println!("client {}: {}", c.client, counters.join(" "));
+                }
+            }
+            Ok(other) => {
+                eprintln!("unexpected reply: {}", other.type_name());
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ok = false;
+            }
+        }
+    }
+    if args.shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("{e}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -810,6 +1186,91 @@ mod tests {
         assert!(parse_argv(argv("perf --threads many")).is_err());
         assert!(parse_argv(argv("perf --matrix m.txt")).is_err());
         assert!(parse_argv(argv("perf --help")).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommands_are_rejected_with_usage() {
+        let err_of = |s: &str| match parse_argv(argv(s)) {
+            Err(e) => e,
+            Ok(_) => panic!("{s} should be rejected"),
+        };
+        let err = err_of("serv --stdio");
+        assert!(err.contains("unknown subcommand serv"), "{err}");
+        assert!(err.contains("serve, client, chaos"), "points at valid ones");
+        let err = err_of("status");
+        assert!(err.contains("unknown subcommand status"), "{err}");
+        // Flags still reach matrix mode.
+        assert!(matches!(
+            parse_argv(argv("--matrix m.txt")),
+            Ok(Cmd::Matrix(_))
+        ));
+    }
+
+    #[test]
+    fn parses_serve_invocations() {
+        let a = match parse_argv(argv("serve --stdio --state /tmp/s --workers 3")).unwrap() {
+            Cmd::Serve(a) => a,
+            _ => panic!("expected serve mode"),
+        };
+        assert!(a.stdio);
+        assert_eq!(a.state_dir, PathBuf::from("/tmp/s"));
+        assert_eq!(a.workers, 3);
+        assert_eq!(a.mem_mb, 64);
+
+        let a = match parse_argv(argv(
+            "serve --addr 127.0.0.1:7777 --mem-mb 8 --rate 5 --burst 10 --inflight 2",
+        ))
+        .unwrap()
+        {
+            Cmd::Serve(a) => a,
+            _ => panic!("expected serve mode"),
+        };
+        assert!(!a.stdio);
+        assert_eq!(a.addr, "127.0.0.1:7777");
+        assert_eq!(a.mem_mb, 8);
+        assert_eq!(a.rate, 5.0);
+        assert_eq!(a.burst, 10.0);
+        assert_eq!(a.inflight, 2);
+
+        assert!(parse_argv(argv("serve --workers 0")).is_err());
+        assert!(parse_argv(argv("serve --inflight 0")).is_err());
+        assert!(parse_argv(argv("serve --frobnicate")).is_err());
+        assert!(parse_argv(argv("serve --help")).is_err());
+    }
+
+    #[test]
+    fn parses_client_invocations() {
+        let a = match parse_argv(argv(
+            "client --addr 127.0.0.1:7777 --submit simulate --app lu --ranks 8 \
+             --class W --network ethernet --tag t1 --out /tmp/art",
+        ))
+        .unwrap()
+        {
+            Cmd::Client(a) => a,
+            _ => panic!("expected client mode"),
+        };
+        assert_eq!(a.addr, "127.0.0.1:7777");
+        assert_eq!(a.submit.as_deref(), Some("simulate"));
+        assert_eq!(a.app, "lu");
+        assert_eq!(a.ranks, 8);
+        assert_eq!(a.class, "W");
+        assert_eq!(a.network, "ethernet");
+        assert_eq!(a.tag.as_deref(), Some("t1"));
+        assert_eq!(a.out, Some(PathBuf::from("/tmp/art")));
+
+        let a = match parse_argv(argv("client --addr :7777 --stats --shutdown")).unwrap() {
+            Cmd::Client(a) => a,
+            _ => panic!("expected client mode"),
+        };
+        assert!(a.stats && a.shutdown && a.submit.is_none());
+
+        assert!(parse_argv(argv("client --stats")).is_err(), "addr required");
+        assert!(
+            parse_argv(argv("client --addr :1")).is_err(),
+            "an action is required"
+        );
+        assert!(parse_argv(argv("client --addr :1 --submit frobnicate")).is_err());
+        assert!(parse_argv(argv("client --help")).is_err());
     }
 
     #[test]

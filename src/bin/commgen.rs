@@ -27,6 +27,7 @@ struct Args {
     class: Class,
     output: Option<String>,
     emit_trace: Option<String>,
+    profile: Option<String>,
     run: bool,
     stats: bool,
     no_align: bool,
@@ -49,6 +50,7 @@ fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
         class: Class::A,
         output: None,
         emit_trace: None,
+        profile: None,
         run: false,
         stats: false,
         no_align: false,
@@ -86,6 +88,7 @@ fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
             }
             "-o" | "--output" => args.output = Some(value(&mut i)?),
             "--emit-trace" => args.emit_trace = Some(value(&mut i)?),
+            "--profile" => args.profile = Some(value(&mut i)?),
             "--run" => args.run = true,
             "--stats" => args.stats = true,
             "--no-align" => args.no_align = true,
@@ -102,7 +105,8 @@ fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
             "--machine" => args.machine = value(&mut i)?,
             "--help" | "-h" => {
                 return Err("usage: commgen (--app NAME | --trace FILE) [--ranks N] \
-                            [--class S|W|A|B|C] [-o FILE] [--emit-trace FILE] [--run] \
+                            [--class S|W|A|B|C] [-o FILE] [--emit-trace FILE] \
+                            [--profile FILE] [--run] \
                             [--backend conceptual|c] [--machine bgl|ethernet] \
                             [--extrapolate N] [--stats] [--no-align] [--no-resolve] \
                             [--comments]"
@@ -268,7 +272,35 @@ fn main() -> ExitCode {
         None => print!("{text}"),
     }
 
-    // 4. Optionally execute the generated benchmark.
+    // 4. Optionally execute the generated benchmark under mpiP hooks and
+    //    write the merged profile — the artifact the paper's E1 verification
+    //    (and the commspec server's `simulate` job) consumes.
+    if let Some(path) = &args.profile {
+        let program = std::sync::Arc::new(generated.program.clone());
+        let prog = std::sync::Arc::clone(&program);
+        let result = mpisim::world::World::new(trace.nranks)
+            .network(machine.clone())
+            .run_hooked(
+                |_| mpisim::profile::MpiP::new(),
+                move |ctx| conceptual::interp::run_rank(ctx, &prog),
+            );
+        match result {
+            Ok((_, hooks)) => {
+                let profile = mpisim::profile::MpiP::merge_all(hooks.iter()).to_string();
+                if let Err(e) = std::fs::write(path, profile) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("mpiP profile written to {path}");
+            }
+            Err(e) => {
+                eprintln!("generated benchmark failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // 5. Optionally execute the generated benchmark.
     if args.run {
         match conceptual::interp::run_program(&generated.program, trace.nranks, machine) {
             Ok(outcome) => eprintln!("T_gen = {}", outcome.total_time),
@@ -306,6 +338,9 @@ mod tests {
         let a = parse_argv(argv("--app ring --extrapolate 512 --no-align --no-resolve")).unwrap();
         assert_eq!(a.extrapolate, Some(512));
         assert!(a.no_align && a.no_resolve);
+
+        let a = parse_argv(argv("--app ring --ranks 4 --profile ring.mpip")).unwrap();
+        assert_eq!(a.profile.as_deref(), Some("ring.mpip"));
     }
 
     #[test]

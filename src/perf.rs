@@ -49,8 +49,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-mod json;
-pub use json::{parse as parse_json, Json};
+pub use protocol::json::{parse as parse_json, Json};
 
 /// Rank counts of the compression microbench (the tentpole gate reads the
 /// 64-rank row).

@@ -266,6 +266,290 @@ fn resume_without_a_journal_fails_with_a_hint() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// SIGKILL the commspec server mid-campaign, restart it on the same
+/// state directory, and prove the journal makes completed jobs replays,
+/// not reruns: the resubmitted trace job answers `replayed: true`, its
+/// result is served from the journal with the original artifact bytes,
+/// and no new `finished` line is appended for it.
+#[test]
+fn kill9_server_then_restart_replays_completed_jobs_from_the_journal() {
+    use protocol::{JobParams, JobRef, Request, Response};
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = temp_dir("server-kill9");
+    let state = dir.join("state");
+    let journal = state.join("server.jsonl");
+
+    let spawn_server = || {
+        Command::new(env!("CARGO_BIN_EXE_commbench"))
+            .args(["serve", "--stdio", "--state", state.to_str().unwrap()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("server spawns")
+    };
+    let hello = Request::Hello {
+        proto_version: protocol::PROTO_VERSION,
+        client: "recovery".to_string(),
+    };
+    let read_resp = |reader: &mut BufReader<std::process::ChildStdout>| -> Response {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        Response::from_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"))
+    };
+
+    // Session 1: finish one trace job, then start a multi-job campaign
+    // and SIGKILL the server while it runs.
+    let mut child = spawn_server();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+
+    writeln!(stdin, "{}", hello.to_line()).unwrap();
+    writeln!(
+        stdin,
+        "{}",
+        Request::Trace {
+            params: JobParams::new("ring", 4),
+            tag: Some("t".into()),
+        }
+        .to_line()
+    )
+    .unwrap();
+    writeln!(
+        stdin,
+        "{}",
+        Request::Status {
+            job: JobRef::Tag("t".into()),
+            wait: true,
+        }
+        .to_line()
+    )
+    .unwrap();
+    assert!(matches!(read_resp(&mut reader), Response::HelloOk { .. }));
+    let trace_job = match read_resp(&mut reader) {
+        Response::Submitted { job, replayed, .. } => {
+            assert!(!replayed);
+            job
+        }
+        other => panic!("expected submitted, got {other:?}"),
+    };
+    let first_result = match read_resp(&mut reader) {
+        Response::JobStatus {
+            state,
+            result: Some(r),
+            ..
+        } => {
+            assert_eq!(state, "done");
+            r
+        }
+        other => panic!("expected done, got {other:?}"),
+    };
+
+    // The campaign the kill will interrupt (several jobs, one worker).
+    writeln!(
+        stdin,
+        "{}",
+        Request::Campaign {
+            matrix: "apps = ring, cg, ep, lu\nranks = 4, 8\nworkers = 1\n".to_string(),
+            tag: None,
+        }
+        .to_line()
+    )
+    .unwrap();
+    assert!(matches!(read_resp(&mut reader), Response::Submitted { .. }));
+    // SIGKILL with the campaign in flight: no flushes, no goodbye.
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let finished_for = |job: &str| {
+        std::fs::read_to_string(&journal)
+            .unwrap_or_default()
+            .lines()
+            .filter(|l| field(l, "event") == Some("finished") && field(l, "job") == Some(job))
+            .count()
+    };
+    assert_eq!(finished_for(&trace_job), 1, "trace outcome journaled");
+
+    // A kill mid-append leaves a torn tail; the restarted server must
+    // shrug it off.
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .unwrap();
+        write!(f, "{{\"t_ms\":99,\"event\":\"finished\",\"job\":\"torn").unwrap();
+    }
+
+    // Session 2: restart on the same state dir; the same submission must
+    // be a replay with the original bytes, executing nothing.
+    let mut child = spawn_server();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    writeln!(stdin, "{}", hello.to_line()).unwrap();
+    writeln!(
+        stdin,
+        "{}",
+        Request::Trace {
+            params: JobParams::new("ring", 4),
+            tag: None,
+        }
+        .to_line()
+    )
+    .unwrap();
+    writeln!(
+        stdin,
+        "{}",
+        Request::Status {
+            job: JobRef::Id(trace_job.clone()),
+            wait: true,
+        }
+        .to_line()
+    )
+    .unwrap();
+    writeln!(stdin, "{}", Request::Stats.to_line()).unwrap();
+    writeln!(stdin, "{}", Request::Shutdown.to_line()).unwrap();
+    drop(stdin);
+
+    assert!(matches!(read_resp(&mut reader), Response::HelloOk { .. }));
+    match read_resp(&mut reader) {
+        Response::Submitted { job, replayed, .. } => {
+            assert_eq!(job, trace_job, "content-hashed ids survive restarts");
+            assert!(replayed, "journaled job must be served as a replay");
+        }
+        other => panic!("expected submitted, got {other:?}"),
+    }
+    match read_resp(&mut reader) {
+        Response::JobStatus {
+            state,
+            result: Some(r),
+            ..
+        } => {
+            assert_eq!(state, "done");
+            assert_eq!(
+                r.artifacts, first_result.artifacts,
+                "replayed artifacts are the journaled bytes"
+            );
+            assert_eq!(r.t_app_ns, first_result.t_app_ns);
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+    match read_resp(&mut reader) {
+        Response::Stats(stats) => {
+            assert_eq!(stats.jobs_replayed, 1);
+            assert_eq!(stats.jobs_done, 0, "nothing was executed after restart");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    assert!(matches!(read_resp(&mut reader), Response::Bye));
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+
+    // Replay-not-rerun, as the journal itself records it: still exactly
+    // one finished line for the trace job.
+    assert_eq!(finished_for(&trace_job), 1, "replay must not re-journal");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Last-wins journal decoding through the server restart path: when a
+/// job id has several `finished` records (a journal extended across
+/// runs), the restarted server serves the latest one.
+#[test]
+fn server_restart_honors_the_last_finished_record() {
+    use protocol::{JobParams, JobRef, Request, Response};
+
+    let dir = temp_dir("server-lastwins");
+    let state = dir.join("state");
+
+    let run_script = |script: &[Request]| -> Vec<Response> {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_commbench"))
+            .args(["serve", "--stdio", "--state", state.to_str().unwrap()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("server spawns");
+        {
+            use std::io::Write;
+            let mut stdin = child.stdin.take().unwrap();
+            for req in script {
+                writeln!(stdin, "{}", req.to_line()).unwrap();
+            }
+        }
+        let out = child.wait_with_output().unwrap();
+        assert!(out.status.success());
+        String::from_utf8(out.stdout)
+            .unwrap()
+            .lines()
+            .map(|l| Response::from_line(l).unwrap())
+            .collect()
+    };
+    let hello = Request::Hello {
+        proto_version: protocol::PROTO_VERSION,
+        client: "recovery".to_string(),
+    };
+
+    // Run one job to completion so the journal holds an `ok` record.
+    let responses = run_script(&[
+        hello.clone(),
+        Request::Trace {
+            params: JobParams::new("ring", 4),
+            tag: Some("t".into()),
+        },
+        Request::Status {
+            job: JobRef::Tag("t".into()),
+            wait: true,
+        },
+        Request::Shutdown,
+    ]);
+    let trace_job = match &responses[1] {
+        Response::Submitted { job, .. } => job.clone(),
+        other => panic!("expected submitted, got {other:?}"),
+    };
+
+    // Append a *later* failed record for the same job — the last record
+    // must win on restart, exactly as `commbench resume` treats its log.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(state.join("server.jsonl"))
+            .unwrap();
+        writeln!(
+            f,
+            "{{\"t_ms\":1,\"event\":\"finished\",\"job\":\"{trace_job}\",\
+             \"status\":\"failed\",\"kind\":\"trace\",\"cause\":\"error\",\
+             \"error\":\"injected-stale-record\"}}"
+        )
+        .unwrap();
+    }
+
+    let responses = run_script(&[
+        hello,
+        Request::Trace {
+            params: JobParams::new("ring", 4),
+            tag: None,
+        },
+        Request::Status {
+            job: JobRef::Id(trace_job),
+            wait: true,
+        },
+        Request::Shutdown,
+    ]);
+    assert!(matches!(
+        responses[1],
+        Response::Submitted { replayed: true, .. }
+    ));
+    match &responses[2] {
+        Response::JobStatus { state, error, .. } => {
+            assert_eq!(state, "failed", "the last finished record wins");
+            assert_eq!(error.as_deref(), Some("injected-stale-record"));
+        }
+        other => panic!("expected job_status, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The deferred half of the checkpoint round-trip property: beyond
 /// byte-identical trace text (proven in scalatrace's own tests), the
 /// resumed trace must induce the *same mpiP profile* — the artifact the

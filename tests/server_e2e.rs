@@ -1,0 +1,381 @@
+//! End-to-end tests of `commbench serve --stdio`: a scripted wire session
+//! drives trace → generate → simulate over the registry's smallest
+//! miniapp and the artifacts must be byte-identical to what the batch
+//! CLI (`commgen`) produces for the same configuration — the server is a
+//! cache and a queue, never a different pipeline.
+
+use protocol::{JobParams, JobRef, Request, Response};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "commspec-server-e2e-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Run one scripted stdio session against `commbench serve --stdio` and
+/// return the decoded response stream. The whole script is written up
+/// front (the pipe buffers it); the server answers in order, blocking on
+/// `status` waits, and exits on `shutdown` or EOF.
+fn serve_script(state: &Path, extra_flags: &[&str], script: &[Request]) -> Vec<Response> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_commbench"))
+        .args(["serve", "--stdio", "--state", state.to_str().unwrap()])
+        .args(extra_flags)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for req in script {
+            writeln!(stdin, "{}", req.to_line()).unwrap();
+        }
+        // Dropping stdin closes the pipe: EOF also ends the session.
+    }
+    let out = child.wait_with_output().expect("server exits");
+    assert!(out.status.success(), "server failed:\n{}", stderr(&out));
+    String::from_utf8(out.stdout)
+        .expect("utf8 responses")
+        .lines()
+        .map(|l| Response::from_line(l).unwrap_or_else(|e| panic!("{l}: {e}")))
+        .collect()
+}
+
+fn hello() -> Request {
+    Request::Hello {
+        proto_version: protocol::PROTO_VERSION,
+        client: "e2e".to_string(),
+    }
+}
+
+fn artifact<'a>(resp: &'a Response, name: &str) -> &'a protocol::Artifact {
+    match resp {
+        Response::JobStatus {
+            state,
+            result: Some(r),
+            ..
+        } => {
+            assert_eq!(state, "done");
+            r.artifacts
+                .iter()
+                .find(|a| a.name == name)
+                .unwrap_or_else(|| panic!("no artifact {name}"))
+        }
+        other => panic!("expected a done job_status, got {other:?}"),
+    }
+}
+
+#[test]
+fn served_artifacts_are_byte_identical_to_the_batch_cli() {
+    let dir = temp_dir("bytes");
+
+    // Batch reference: commgen with the same app/ranks/class/network the
+    // server defaults to, dumping all three artifacts.
+    let trace_path = dir.join("batch-trace.st");
+    let prog_path = dir.join("batch-program.ncptl");
+    let prof_path = dir.join("batch-profile.mpip");
+    let out = Command::new(env!("CARGO_BIN_EXE_commgen"))
+        .args([
+            "--app",
+            "ring",
+            "--ranks",
+            "4",
+            "--class",
+            "S",
+            "--machine",
+            "bgl",
+            "--emit-trace",
+            trace_path.to_str().unwrap(),
+            "-o",
+            prog_path.to_str().unwrap(),
+            "--profile",
+            prof_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("commgen spawns");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let batch_trace = std::fs::read_to_string(&trace_path).unwrap();
+    let batch_prog = std::fs::read_to_string(&prog_path).unwrap();
+    let batch_prof = std::fs::read_to_string(&prof_path).unwrap();
+
+    // Server session: one simulate job returns all three artifacts.
+    let responses = serve_script(
+        &dir.join("state"),
+        &[],
+        &[
+            hello(),
+            Request::Simulate {
+                params: JobParams::new("ring", 4),
+                tag: Some("s".into()),
+            },
+            Request::Status {
+                job: JobRef::Tag("s".into()),
+                wait: true,
+            },
+            Request::Shutdown,
+        ],
+    );
+    assert!(matches!(responses[0], Response::HelloOk { .. }));
+    assert!(matches!(
+        responses[1],
+        Response::Submitted {
+            replayed: false,
+            ..
+        }
+    ));
+    let status = &responses[2];
+
+    for (name, batch) in [
+        ("trace.st", &batch_trace),
+        ("program.ncptl", &batch_prog),
+        ("profile.mpip", &batch_prof),
+    ] {
+        let served = artifact(status, name);
+        assert_eq!(
+            &served.text, batch,
+            "served {name} must be byte-identical to the batch CLI's"
+        );
+        // And the advertised checksum must actually cover those bytes.
+        let fnv = campaign::hash::hex(campaign::hash::fnv1a(served.text.as_bytes()));
+        assert_eq!(served.fnv, fnv, "{name} checksum");
+    }
+    assert!(matches!(responses[3], Response::Bye));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_generate_simulate_reuse_one_cache_entry() {
+    let dir = temp_dir("cache");
+    let responses = serve_script(
+        &dir.join("state"),
+        &[],
+        &[
+            hello(),
+            Request::Trace {
+                params: JobParams::new("ring", 4),
+                tag: Some("t".into()),
+            },
+            Request::Status {
+                job: JobRef::Tag("t".into()),
+                wait: true,
+            },
+            Request::Generate {
+                params: JobParams::new("ring", 4),
+                tag: Some("g".into()),
+            },
+            Request::Status {
+                job: JobRef::Tag("g".into()),
+                wait: true,
+            },
+            Request::Simulate {
+                params: JobParams::new("ring", 4),
+                tag: Some("s".into()),
+            },
+            Request::Status {
+                job: JobRef::Tag("s".into()),
+                wait: true,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ],
+    );
+    // trace misses (fills the cache); generate and simulate hit memory.
+    let trace_st = artifact(&responses[2], "trace.st").text.clone();
+    let program = artifact(&responses[4], "program.ncptl").text.clone();
+    assert_eq!(artifact(&responses[6], "trace.st").text, trace_st);
+    assert_eq!(artifact(&responses[6], "program.ncptl").text, program);
+    match (&responses[2], &responses[4], &responses[6]) {
+        (
+            Response::JobStatus {
+                result: Some(t), ..
+            },
+            Response::JobStatus {
+                result: Some(g), ..
+            },
+            Response::JobStatus {
+                result: Some(s), ..
+            },
+        ) => {
+            assert!(!t.cached, "first trace is fresh");
+            assert!(g.cached && s.cached, "later jobs reuse the trace");
+        }
+        other => panic!("unexpected responses: {other:?}"),
+    }
+    match &responses[7] {
+        Response::Stats(stats) => {
+            assert_eq!(stats.jobs_done, 3);
+            assert_eq!(stats.mem_misses, 1, "one cold lookup");
+            assert_eq!(stats.mem_hits, 2, "generate and simulate hit memory");
+            let e2e = stats.clients.iter().find(|c| c.client == "e2e").unwrap();
+            let get = |name: &str| {
+                e2e.counters
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0)
+            };
+            assert!(get("requests") >= 8, "every request is counted");
+            assert_eq!(get("rejections"), 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_violations_get_structured_errors_and_the_session_survives() {
+    let dir = temp_dir("errors");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_commbench"))
+        .args([
+            "serve",
+            "--stdio",
+            "--state",
+            dir.join("state").to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        // 1: not hello first. 2: wrong proto version. 3: real hello.
+        // 4: unknown variant. 5: torn JSON. 6: bad app. 7: still alive?
+        writeln!(stdin, "{}", Request::Stats.to_line()).unwrap();
+        writeln!(
+            stdin,
+            "{{\"type\":\"hello\",\"proto_version\":999,\"client\":\"e2e\"}}"
+        )
+        .unwrap();
+        writeln!(stdin, "{}", hello().to_line()).unwrap();
+        writeln!(stdin, "{{\"type\":\"frobnicate\"}}").unwrap();
+        writeln!(stdin, "{{\"type\":\"trace\",\"app\":").unwrap();
+        writeln!(
+            stdin,
+            "{{\"type\":\"trace\",\"app\":\"nosuchapp\",\"ranks\":4}}"
+        )
+        .unwrap();
+        writeln!(stdin, "{}", Request::Stats.to_line()).unwrap();
+        writeln!(stdin, "{}", Request::Shutdown.to_line()).unwrap();
+    }
+    let out = child.wait_with_output().expect("server exits");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let responses: Vec<Response> = String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .map(|l| Response::from_line(l).unwrap())
+        .collect();
+    let code = |r: &Response| match r {
+        Response::Error { code, .. } => code.clone(),
+        other => panic!("expected error, got {other:?}"),
+    };
+    assert_eq!(code(&responses[0]), "hello-required");
+    assert_eq!(code(&responses[1]), "proto-version");
+    assert!(matches!(responses[2], Response::HelloOk { .. }));
+    assert_eq!(code(&responses[3]), "unknown-variant");
+    assert_eq!(code(&responses[4]), "syntax");
+    assert_eq!(code(&responses[5]), "bad-request");
+    assert!(
+        matches!(responses[6], Response::Stats(_)),
+        "the connection survives every error"
+    );
+    assert!(matches!(responses[7], Response::Bye));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rate_limits_reject_but_resubmitting_a_known_job_is_free() {
+    let dir = temp_dir("rate");
+    // Burst of exactly 2 tokens and no refill to speak of.
+    let responses = serve_script(
+        &dir.join("state"),
+        &["--rate", "0.000001", "--burst", "2"],
+        &[
+            hello(),
+            Request::Trace {
+                params: JobParams::new("ring", 4),
+                tag: None,
+            },
+            Request::Generate {
+                params: JobParams::new("ring", 4),
+                tag: None,
+            },
+            Request::Simulate {
+                params: JobParams::new("ring", 4),
+                tag: None,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ],
+    );
+    assert!(matches!(responses[1], Response::Submitted { .. }));
+    assert!(matches!(responses[2], Response::Submitted { .. }));
+    match &responses[3] {
+        Response::Error { code, .. } => assert_eq!(code, "rate-limited"),
+        other => panic!("third submission must be rate-limited, got {other:?}"),
+    }
+    match &responses[4] {
+        Response::Stats(stats) => {
+            let e2e = stats.clients.iter().find(|c| c.client == "e2e").unwrap();
+            let rejections = e2e
+                .counters
+                .iter()
+                .find(|(k, _)| k == "rejections")
+                .map(|(_, v)| *v);
+            assert_eq!(rejections, Some(1), "the rejection is accounted");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // A duplicate of an already-finished job takes no token: idempotent
+    // resubmission is recognised before admission control. With a burst
+    // of 1 the only token goes to the first submit; the resubmission
+    // still succeeds, served as a replay.
+    let responses = serve_script(
+        &dir.join("state2"),
+        &["--rate", "0.000001", "--burst", "1"],
+        &[
+            hello(),
+            Request::Trace {
+                params: JobParams::new("ring", 4),
+                tag: Some("t".into()),
+            },
+            Request::Status {
+                job: JobRef::Tag("t".into()),
+                wait: true,
+            },
+            Request::Trace {
+                params: JobParams::new("ring", 4),
+                tag: None,
+            },
+            Request::Shutdown,
+        ],
+    );
+    assert!(matches!(
+        responses[1],
+        Response::Submitted {
+            replayed: false,
+            ..
+        }
+    ));
+    assert!(matches!(
+        responses[3],
+        Response::Submitted { replayed: true, .. }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
