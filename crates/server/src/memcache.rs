@@ -148,28 +148,45 @@ impl TraceMemCache {
     /// resident text on every hit), then disk (promoting into memory).
     /// `None` means both layers missed and the caller must trace.
     pub fn load(&self, key: u64) -> Option<LoadedTrace> {
-        {
+        let resident = {
             let mut shard = self.shard(key).lock().expect("cache shard poisoned");
             shard.tick += 1;
             let tick = shard.tick;
-            if let Some(e) = shard.entries.get_mut(&key) {
-                if hash::fnv1a(e.text.as_bytes()) == e.fnv {
+            match shard.entries.get_mut(&key) {
+                Some(e) if hash::fnv1a(e.text.as_bytes()) == e.fnv => {
                     e.last_used = tick;
-                    let (text, t_app) = (Arc::clone(&e.text), e.t_app);
-                    drop(shard);
-                    // Parse outside the shard lock; a resident entry that
-                    // passed its checksum always parses (it did at insert).
-                    let trace = scalatrace::text::from_text(&text).ok()?;
-                    self.mem_hits.fetch_add(1, Ordering::Relaxed);
-                    return Some(LoadedTrace {
-                        trace,
-                        text,
-                        t_app,
-                        source: CacheSource::Mem,
-                    });
+                    Some((Arc::clone(&e.text), e.t_app))
                 }
-                // Resident entry no longer matches its own checksum:
-                // memory corruption. Drop it and fall through to disk.
+                Some(_) => {
+                    // Resident entry no longer matches its own checksum:
+                    // memory corruption. Drop it and fall through to disk.
+                    let gone = shard.entries.remove(&key).expect("present");
+                    shard.bytes -= gone.text.len();
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+                None => None,
+            }
+        };
+        if let Some((text, t_app)) = resident {
+            // Parse outside the shard lock; a resident entry that passed
+            // its checksum parses in practice (it did at insert), but a
+            // parse failure must still degrade to disk, not to a miss.
+            if let Ok(trace) = scalatrace::text::from_text(&text) {
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(LoadedTrace {
+                    trace,
+                    text,
+                    t_app,
+                    source: CacheSource::Mem,
+                });
+            }
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            if shard
+                .entries
+                .get(&key)
+                .is_some_and(|e| Arc::ptr_eq(&e.text, &text))
+            {
                 let gone = shard.entries.remove(&key).expect("present");
                 shard.bytes -= gone.text.len();
                 self.evictions.fetch_add(1, Ordering::Relaxed);

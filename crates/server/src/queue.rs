@@ -132,6 +132,13 @@ impl JobQueue {
     /// [`JobQueue::submit`] with an explicit clock, for tests.
     pub fn submit_at(&self, client: &str, id: &str, now: Instant) -> Result<(), Reject> {
         let mut inner = self.inner.lock().expect("queue poisoned");
+        // Check the in-flight cap before touching the token bucket: a
+        // client pinned at max_inflight must not also drain its tokens on
+        // every rejected retry (it would come back rate-limited once slots
+        // free up).
+        if inner.inflight.get(client).copied().unwrap_or(0) >= self.limits.max_inflight {
+            return Err(Reject::TooManyInFlight);
+        }
         let bucket = inner
             .buckets
             .entry(client.to_string())
@@ -139,11 +146,7 @@ impl JobQueue {
         if !bucket.try_take(now) {
             return Err(Reject::RateLimited);
         }
-        let inflight = inner.inflight.entry(client.to_string()).or_default();
-        if *inflight >= self.limits.max_inflight {
-            return Err(Reject::TooManyInFlight);
-        }
-        *inflight += 1;
+        *inner.inflight.entry(client.to_string()).or_default() += 1;
         inner.fifo.push_back(QueuedJob {
             id: id.to_string(),
             client: client.to_string(),
@@ -254,6 +257,20 @@ mod tests {
         assert!(b.try_take(t2));
         assert!(b.try_take(t2));
         assert!(!b.try_take(t2));
+    }
+
+    #[test]
+    fn inflight_rejection_does_not_consume_tokens() {
+        let q = JobQueue::new(limits(1, 0.0, 2.0));
+        let t0 = Instant::now();
+        q.submit_at("a", "j1", t0).unwrap();
+        // Pinned at max_inflight: rejected retries must not drain the
+        // bucket, or the client comes back rate-limited once a slot frees.
+        for _ in 0..10 {
+            assert_eq!(q.submit_at("a", "j2", t0), Err(Reject::TooManyInFlight));
+        }
+        q.release("a");
+        assert!(q.submit_at("a", "j2", t0).is_ok(), "one token must remain");
     }
 
     #[test]

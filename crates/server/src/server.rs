@@ -125,7 +125,14 @@ impl JobTable {
     fn resolve(&self, job: &JobRef) -> Option<String> {
         match job {
             JobRef::Id(id) => self.jobs.contains_key(id).then(|| id.clone()),
-            JobRef::Tag(tag) => self.tags.get(tag).cloned(),
+            // A tag mapping without a live job entry is treated as unknown
+            // rather than trusted: indexing `jobs` with a dangling id would
+            // panic while the table mutex is held, poisoning it.
+            JobRef::Tag(tag) => self
+                .tags
+                .get(tag)
+                .filter(|id| self.jobs.contains_key(*id))
+                .cloned(),
         }
     }
 }
@@ -353,6 +360,11 @@ impl Server {
         while !self.state.shutdown.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
+                    // A periodic read timeout lets the connection thread
+                    // notice shutdown: without it, an idle-but-open client
+                    // parks the thread in read_line forever and the join
+                    // below never completes.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
                     let state = Arc::clone(&self.state);
                     conns.push(std::thread::spawn(move || {
                         let reader = BufReader::new(stream.try_clone().expect("clone stream"));
@@ -453,10 +465,26 @@ fn handle_conn(state: &Arc<State>, mut reader: impl BufRead, mut writer: impl Wr
     let mut line = String::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF: client hung up
-            Ok(_) => {}
-            Err(_) => return,
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return, // EOF: client hung up
+                Ok(_) => break,
+                // Read timeout (set by serve_tcp): check for shutdown and
+                // keep waiting. read_line appends, so a partially received
+                // line survives the retry intact.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => return,
+            }
         }
         if line.trim().is_empty() {
             continue;
@@ -593,14 +621,27 @@ fn admit(
     tag: Option<String>,
 ) -> Response {
     let mut table = state.table.lock().expect("job table poisoned");
-    if let Some(t) = &tag {
-        table.tags.insert(t.clone(), job_id.clone());
-    }
-    if let Some(entry) = table.jobs.get_mut(&job_id) {
+    if table.jobs.contains_key(&job_id) {
         // Known job: idempotent submit. A terminal entry is served as a
         // replay — from this process's run or from the journal of a
-        // previous one — with no execution.
-        entry.tag = tag.clone();
+        // previous one — with no execution. Only a submission that carries
+        // a tag retags the job; a tagless resubmit leaves the original tag
+        // in place.
+        if let Some(t) = &tag {
+            let old = table.jobs[&job_id].tag.clone();
+            if let Some(old) = old.filter(|o| o != t) {
+                // Drop the superseded mapping, unless the tag has since
+                // been claimed by a different job (latest submission wins).
+                if table.tags.get(&old).map(String::as_str) == Some(job_id.as_str()) {
+                    table.tags.remove(&old);
+                }
+            }
+            table.tags.insert(t.clone(), job_id.clone());
+        }
+        let entry = table.jobs.get_mut(&job_id).expect("checked above");
+        if let Some(t) = &tag {
+            entry.tag = Some(t.clone());
+        }
         let replayed = entry.state.terminal();
         if replayed {
             entry.replayed = true;
@@ -623,6 +664,13 @@ fn admit(
             reject.code(),
             format!("submission refused for client {client}"),
         );
+    }
+    // Register the tag only once the job entry actually exists: a mapping
+    // created before admission control would dangle if the submission is
+    // refused, and a later status/cancel by that tag would resolve to a
+    // job id absent from the table.
+    if let Some(t) = &tag {
+        table.tags.insert(t.clone(), job_id.clone());
     }
     table.jobs.insert(
         job_id.clone(),
@@ -705,11 +753,13 @@ fn status(state: &Arc<State>, job: &JobRef, wait: bool) -> Response {
         return error("unknown-job", format!("no such job: {job:?}"));
     };
     if wait {
-        while !table.jobs[&id].state.terminal() {
+        while table.jobs.get(&id).is_some_and(|e| !e.state.terminal()) {
             table = state.table_cv.wait(table).expect("job table poisoned");
         }
     }
-    let entry = &table.jobs[&id];
+    let Some(entry) = table.jobs.get(&id) else {
+        return error("unknown-job", format!("no such job: {job:?}"));
+    };
     Response::JobStatus {
         job: id.clone(),
         state: entry.state.label().to_string(),
@@ -739,7 +789,11 @@ fn cancel(state: &Arc<State>, client: &str, job: &JobRef) -> Response {
             // may differ from the one cancelling it).
             let owner = {
                 let table = state.table.lock().expect("job table poisoned");
-                table.jobs[&id].client.clone()
+                table
+                    .jobs
+                    .get(&id)
+                    .map(|e| e.client.clone())
+                    .unwrap_or_default()
             };
             state.stats.cancelled.fetch_add(1, Ordering::Relaxed);
             state.counters.incr(client, "cancelled");
@@ -752,7 +806,11 @@ fn cancel(state: &Arc<State>, client: &str, job: &JobRef) -> Response {
         }
         None => {
             let table = state.table.lock().expect("job table poisoned");
-            let current = table.jobs[&id].state.label().to_string();
+            let current = table
+                .jobs
+                .get(&id)
+                .map(|e| e.state.label().to_string())
+                .unwrap_or_else(|| "unknown".to_string());
             Response::Cancelled {
                 job: id,
                 ok: false,

@@ -299,6 +299,164 @@ fn protocol_violations_get_structured_errors_and_the_session_survives() {
 }
 
 #[test]
+fn rejected_submission_leaves_no_dangling_tag() {
+    let dir = temp_dir("dangling");
+    // Burst of 1: the second (distinct) submission is rate-limited. Its
+    // tag must not be registered — a status poll by that tag must come
+    // back unknown-job, not crash the server on a dangling mapping.
+    let responses = serve_script(
+        &dir.join("state"),
+        &["--rate", "0.000001", "--burst", "1"],
+        &[
+            hello(),
+            Request::Trace {
+                params: JobParams::new("ring", 4),
+                tag: Some("first".into()),
+            },
+            Request::Generate {
+                params: JobParams::new("ring", 4),
+                tag: Some("gone".into()),
+            },
+            Request::Status {
+                job: JobRef::Tag("gone".into()),
+                wait: false,
+            },
+            Request::Status {
+                job: JobRef::Tag("first".into()),
+                wait: true,
+            },
+            // Tagless idempotent resubmit: the original tag must survive.
+            Request::Trace {
+                params: JobParams::new("ring", 4),
+                tag: None,
+            },
+            Request::Status {
+                job: JobRef::Tag("first".into()),
+                wait: false,
+            },
+            // Retag: the old mapping goes away, the new one resolves.
+            Request::Trace {
+                params: JobParams::new("ring", 4),
+                tag: Some("second".into()),
+            },
+            Request::Status {
+                job: JobRef::Tag("first".into()),
+                wait: false,
+            },
+            Request::Status {
+                job: JobRef::Tag("second".into()),
+                wait: false,
+            },
+            Request::Shutdown,
+        ],
+    );
+    assert!(matches!(responses[1], Response::Submitted { .. }));
+    match &responses[2] {
+        Response::Error { code, .. } => assert_eq!(code, "rate-limited"),
+        other => panic!("expected rate-limited, got {other:?}"),
+    }
+    match &responses[3] {
+        Response::Error { code, .. } => {
+            assert_eq!(code, "unknown-job", "rejected tag must not resolve")
+        }
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+    assert!(matches!(responses[4], Response::JobStatus { .. }));
+    assert!(matches!(
+        responses[5],
+        Response::Submitted { replayed: true, .. }
+    ));
+    match &responses[6] {
+        Response::JobStatus { tag, .. } => {
+            assert_eq!(
+                tag.as_deref(),
+                Some("first"),
+                "tagless resubmit must not wipe the original tag"
+            );
+        }
+        other => panic!("expected job_status, got {other:?}"),
+    }
+    assert!(matches!(
+        responses[7],
+        Response::Submitted { replayed: true, .. }
+    ));
+    match &responses[8] {
+        Response::Error { code, .. } => {
+            assert_eq!(code, "unknown-job", "superseded tag must be unmapped")
+        }
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+    match &responses[9] {
+        Response::JobStatus { tag, .. } => assert_eq!(tag.as_deref(), Some("second")),
+        other => panic!("expected job_status, got {other:?}"),
+    }
+    assert!(matches!(responses[10], Response::Bye));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_shutdown_completes_despite_an_idle_connection() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let dir = temp_dir("tcp-shutdown");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_commbench"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--state",
+            dir.join("state").to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    // The server announces its ephemeral port on stderr.
+    let mut stderr_reader = BufReader::new(child.stderr.take().unwrap());
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stderr_reader.read_line(&mut line).unwrap(),
+            0,
+            "server exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            break rest.to_string();
+        }
+    };
+
+    // One connection goes idle and stays open; a second one asks the
+    // server to shut down. The server must still exit promptly.
+    let idle = TcpStream::connect(&addr).expect("idle client connects");
+    {
+        let mut active = TcpStream::connect(&addr).expect("active client connects");
+        writeln!(active, "{}", hello().to_line()).unwrap();
+        writeln!(active, "{}", Request::Shutdown.to_line()).unwrap();
+        let mut replies = String::new();
+        let _ = active.read_to_string(&mut replies);
+        assert!(replies.lines().count() >= 2, "hello_ok + bye expected");
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("server did not shut down while an idle connection stayed open");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "server exited cleanly");
+    drop(idle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn rate_limits_reject_but_resubmitting_a_known_job_is_free() {
     let dir = temp_dir("rate");
     // Burst of exactly 2 tokens and no refill to speak of.
