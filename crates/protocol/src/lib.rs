@@ -13,6 +13,6 @@ pub mod json;
 pub mod wire;
 
 pub use wire::{
-    Artifact, ClientStats, JobParams, JobRef, JobResult, Request, Response, StatsReport, WireError,
-    PROTO_VERSION,
+    Artifact, ClientStats, FleetStats, JobParams, JobRef, JobResult, Request, Response,
+    StatsReport, WireError, PROTO_VERSION,
 };

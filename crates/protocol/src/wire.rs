@@ -167,6 +167,56 @@ pub enum Request {
     Stats,
     /// Ask the server to finish in-flight work and exit cleanly.
     Shutdown,
+    /// Worker plane: register this connection's peer as a fleet worker.
+    /// The server answers `worker_ok` with the assigned worker id and the
+    /// lease TTL the worker must heartbeat within.
+    WorkerRegister {
+        /// Worker-chosen name (the server suffixes it into a unique id).
+        worker: String,
+    },
+    /// Worker plane: ask for one job lease. Non-blocking — the server
+    /// answers `lease_grant` or `no_work`; the worker polls.
+    LeaseRequest {
+        /// Assigned worker id from `worker_ok`.
+        worker: String,
+    },
+    /// Worker plane: the combined heartbeat / lease renewal. Refreshes
+    /// the worker's liveness window and renews every listed lease; the
+    /// `heartbeat_ok` answer names the leases that are no longer held.
+    Heartbeat {
+        /// Assigned worker id.
+        worker: String,
+        /// Leases the worker believes it holds.
+        leases: Vec<String>,
+    },
+    /// Worker plane: report a finished lease. The result carries the
+    /// per-artifact FNV checksums the coordinator verifies before
+    /// accepting (a stale or duplicate report is discarded, not an error).
+    JobComplete {
+        /// Assigned worker id.
+        worker: String,
+        /// The lease being completed.
+        lease: String,
+        /// The job the lease covered.
+        job: String,
+        /// Terminal payload, artifacts checksummed.
+        result: JobResult,
+    },
+    /// Worker plane: report a failed lease, classified by the worker as
+    /// transient (worth a retry elsewhere) or deterministic.
+    JobFail {
+        /// Assigned worker id.
+        worker: String,
+        /// The lease being failed.
+        lease: String,
+        /// The job the lease covered.
+        job: String,
+        /// Failure message.
+        error: String,
+        /// Worker's classification: true = transient (retry), false =
+        /// deterministic (fail the job).
+        transient: bool,
+    },
 }
 
 /// One named artifact of a finished job, checksummed for end-to-end
@@ -215,6 +265,30 @@ pub struct ClientStats {
     pub counters: Vec<(String, u64)>,
 }
 
+/// Fleet-coordination counters (the worker plane). All zero until a
+/// worker registers; the stats encoding omits the `fleet` object while it
+/// is all-default, so a fleet-less server's stats bytes are unchanged from
+/// v1.0 and a v1.0 stats line decodes to default counters.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FleetStats {
+    /// Worker registrations since startup.
+    pub workers_seen: u64,
+    /// Workers currently inside their liveness window.
+    pub workers_live: u64,
+    /// Leases granted since startup.
+    pub leases_granted: u64,
+    /// Lease renewals (heartbeats over held leases).
+    pub leases_renewed: u64,
+    /// Leases expired on missed heartbeats or worker disconnect.
+    pub leases_expired: u64,
+    /// Jobs requeued for another worker after a lease expired.
+    pub leases_reassigned: u64,
+    /// Jobs quarantined after killing too many distinct workers.
+    pub jobs_quarantined: u64,
+    /// Stale or duplicate completion reports discarded idempotently.
+    pub completions_discarded: u64,
+}
+
 /// Server-wide statistics.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct StatsReport {
@@ -242,6 +316,8 @@ pub struct StatsReport {
     pub mem_entries: u64,
     /// Bytes resident in the in-memory cache.
     pub mem_bytes: u64,
+    /// Fleet-coordination counters (zero while no worker has registered).
+    pub fleet: FleetStats,
     /// Per-client counters.
     pub clients: Vec<ClientStats>,
 }
@@ -301,6 +377,57 @@ pub enum Response {
     },
     /// Acknowledgement of `shutdown`; the last line the server writes.
     Bye,
+    /// Successful `worker_register`.
+    WorkerOk {
+        /// Server-assigned worker id (echo this in every worker-plane
+        /// request).
+        worker: String,
+        /// Lease TTL in milliseconds: a lease not renewed within this
+        /// window expires and its job is reassigned.
+        lease_ttl_ms: u64,
+    },
+    /// Answer to `lease_request`: run the enclosed job and report within
+    /// the TTL.
+    LeaseGrant {
+        /// Lease id (unique per coordinator process).
+        lease: String,
+        /// Content-hashed job id.
+        job: String,
+        /// Job kind (`trace|generate|simulate|campaign`).
+        kind: String,
+        /// Parameters for single-pipeline kinds.
+        params: Option<JobParams>,
+        /// Matrix document for campaign jobs.
+        matrix: Option<String>,
+        /// Lease TTL in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Answer to `lease_request` when nothing is leasable.
+    NoWork {
+        /// Suggested poll delay in milliseconds.
+        retry_ms: u64,
+        /// The server is shutting down: finish held leases and exit.
+        draining: bool,
+    },
+    /// Answer to `heartbeat`: the renewed TTL plus any listed leases the
+    /// worker no longer holds (expired or reassigned — abandon them).
+    HeartbeatOk {
+        /// Lease TTL in milliseconds, from now.
+        ttl_ms: u64,
+        /// Leases from the request that are no longer held.
+        expired: Vec<String>,
+    },
+    /// Answer to `job_complete` / `job_fail`.
+    CompleteOk {
+        /// The job the report named.
+        job: String,
+        /// Whether the report was accepted. A stale lease, duplicate
+        /// report, or checksum mismatch is discarded idempotently with
+        /// `accepted: false` — never an `error`.
+        accepted: bool,
+        /// Why a report was discarded, when it was.
+        reason: Option<String>,
+    },
 }
 
 // --------------------------------------------------------------- encoding
@@ -326,6 +453,10 @@ fn push_opt(members: &mut Vec<(&str, Json)>, key: &'static str, v: &Option<Strin
     if let Some(v) = v {
         members.push((key, s(v)));
     }
+}
+
+fn str_arr(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|x| s(x)).collect())
 }
 
 fn params_fields(members: &mut Vec<(&str, Json)>, p: &JobParams) {
@@ -361,6 +492,11 @@ impl Request {
             Request::CancelJob { .. } => "cancel_job",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
+            Request::WorkerRegister { .. } => "worker_register",
+            Request::LeaseRequest { .. } => "lease_request",
+            Request::Heartbeat { .. } => "heartbeat",
+            Request::JobComplete { .. } => "job_complete",
+            Request::JobFail { .. } => "job_fail",
         }
     }
 
@@ -391,6 +527,37 @@ impl Request {
             }
             Request::CancelJob { job } => job_ref_fields(&mut m, job),
             Request::Stats | Request::Shutdown => {}
+            Request::WorkerRegister { worker } | Request::LeaseRequest { worker } => {
+                m.push(("worker", s(worker)));
+            }
+            Request::Heartbeat { worker, leases } => {
+                m.push(("worker", s(worker)));
+                m.push(("leases", str_arr(leases)));
+            }
+            Request::JobComplete {
+                worker,
+                lease,
+                job,
+                result,
+            } => {
+                m.push(("worker", s(worker)));
+                m.push(("lease", s(lease)));
+                m.push(("job", s(job)));
+                m.push(("result", encode_result(result)));
+            }
+            Request::JobFail {
+                worker,
+                lease,
+                job,
+                error,
+                transient,
+            } => {
+                m.push(("worker", s(worker)));
+                m.push(("lease", s(lease)));
+                m.push(("job", s(job)));
+                m.push(("error", s(error)));
+                m.push(("transient", Json::Bool(*transient)));
+            }
         }
         obj(m)
     }
@@ -440,6 +607,29 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "worker_register" => Ok(Request::WorkerRegister {
+                worker: req_str(v, "worker")?,
+            }),
+            "lease_request" => Ok(Request::LeaseRequest {
+                worker: req_str(v, "worker")?,
+            }),
+            "heartbeat" => Ok(Request::Heartbeat {
+                worker: req_str(v, "worker")?,
+                leases: opt_str_arr(v, "leases")?,
+            }),
+            "job_complete" => Ok(Request::JobComplete {
+                worker: req_str(v, "worker")?,
+                lease: req_str(v, "lease")?,
+                job: req_str(v, "job")?,
+                result: decode_result(v.get("result").ok_or(WireError::Missing("result"))?)?,
+            }),
+            "job_fail" => Ok(Request::JobFail {
+                worker: req_str(v, "worker")?,
+                lease: req_str(v, "lease")?,
+                job: req_str(v, "job")?,
+                error: req_str(v, "error")?,
+                transient: opt_bool(v, "transient")?.unwrap_or(false),
+            }),
             other => Err(WireError::UnknownVariant(other.to_string())),
         }
     }
@@ -456,6 +646,11 @@ impl Response {
             Response::Stats(_) => "stats",
             Response::Error { .. } => "error",
             Response::Bye => "bye",
+            Response::WorkerOk { .. } => "worker_ok",
+            Response::LeaseGrant { .. } => "lease_grant",
+            Response::NoWork { .. } => "no_work",
+            Response::HeartbeatOk { .. } => "heartbeat_ok",
+            Response::CompleteOk { .. } => "complete_ok",
         }
     }
 
@@ -507,6 +702,47 @@ impl Response {
                 m.push(("message", s(message)));
             }
             Response::Bye => {}
+            Response::WorkerOk {
+                worker,
+                lease_ttl_ms,
+            } => {
+                m.push(("worker", s(worker)));
+                m.push(("lease_ttl_ms", u(*lease_ttl_ms)));
+            }
+            Response::LeaseGrant {
+                lease,
+                job,
+                kind,
+                params,
+                matrix,
+                ttl_ms,
+            } => {
+                m.push(("lease", s(lease)));
+                m.push(("job", s(job)));
+                m.push(("kind", s(kind)));
+                if let Some(p) = params {
+                    params_fields(&mut m, p);
+                }
+                push_opt(&mut m, "matrix", matrix);
+                m.push(("ttl_ms", u(*ttl_ms)));
+            }
+            Response::NoWork { retry_ms, draining } => {
+                m.push(("retry_ms", u(*retry_ms)));
+                m.push(("draining", Json::Bool(*draining)));
+            }
+            Response::HeartbeatOk { ttl_ms, expired } => {
+                m.push(("ttl_ms", u(*ttl_ms)));
+                m.push(("expired", str_arr(expired)));
+            }
+            Response::CompleteOk {
+                job,
+                accepted,
+                reason,
+            } => {
+                m.push(("job", s(job)));
+                m.push(("accepted", Json::Bool(*accepted)));
+                push_opt(&mut m, "reason", reason);
+            }
         }
         obj(m)
     }
@@ -557,6 +793,36 @@ impl Response {
                 message: req_str(v, "message")?,
             }),
             "bye" => Ok(Response::Bye),
+            "worker_ok" => Ok(Response::WorkerOk {
+                worker: req_str(v, "worker")?,
+                lease_ttl_ms: req_u64(v, "lease_ttl_ms")?,
+            }),
+            "lease_grant" => Ok(Response::LeaseGrant {
+                lease: req_str(v, "lease")?,
+                job: req_str(v, "job")?,
+                kind: req_str(v, "kind")?,
+                // Single-pipeline grants carry flat params (an `app` field,
+                // like the submit requests); campaign grants carry `matrix`.
+                params: match v.get("app") {
+                    Some(_) => Some(decode_params(v)?),
+                    None => None,
+                },
+                matrix: opt_str(v, "matrix")?,
+                ttl_ms: req_u64(v, "ttl_ms")?,
+            }),
+            "no_work" => Ok(Response::NoWork {
+                retry_ms: opt_u64(v, "retry_ms")?.unwrap_or(0),
+                draining: opt_bool(v, "draining")?.unwrap_or(false),
+            }),
+            "heartbeat_ok" => Ok(Response::HeartbeatOk {
+                ttl_ms: req_u64(v, "ttl_ms")?,
+                expired: opt_str_arr(v, "expired")?,
+            }),
+            "complete_ok" => Ok(Response::CompleteOk {
+                job: req_str(v, "job")?,
+                accepted: opt_bool(v, "accepted")?.unwrap_or(false),
+                reason: opt_str(v, "reason")?,
+            }),
             other => Err(WireError::UnknownVariant(other.to_string())),
         }
     }
@@ -647,6 +913,23 @@ fn encode_stats(m: &mut Vec<(&str, Json)>, r: &StatsReport) {
             ("mem_bytes", u(r.mem_bytes)),
         ]),
     ));
+    // Omitted while all-default so a fleet-less server's stats line is
+    // byte-identical to v1.0's (additive v1.x field, tolerated either way).
+    if r.fleet != FleetStats::default() {
+        m.push((
+            "fleet",
+            obj(vec![
+                ("workers_seen", u(r.fleet.workers_seen)),
+                ("workers_live", u(r.fleet.workers_live)),
+                ("leases_granted", u(r.fleet.leases_granted)),
+                ("leases_renewed", u(r.fleet.leases_renewed)),
+                ("leases_expired", u(r.fleet.leases_expired)),
+                ("leases_reassigned", u(r.fleet.leases_reassigned)),
+                ("jobs_quarantined", u(r.fleet.jobs_quarantined)),
+                ("completions_discarded", u(r.fleet.completions_discarded)),
+            ]),
+        ));
+    }
     m.push((
         "clients",
         Json::Arr(
@@ -692,6 +975,23 @@ fn decode_stats(v: &Json) -> Result<StatsReport, WireError> {
             });
         }
     }
+    // A v1.0 stats line has no `fleet` object: default counters.
+    let fleet = match v.get("fleet") {
+        Some(f) => {
+            let fsub = |k: &'static str| f.get(k).and_then(Json::as_u64).unwrap_or(0);
+            FleetStats {
+                workers_seen: fsub("workers_seen"),
+                workers_live: fsub("workers_live"),
+                leases_granted: fsub("leases_granted"),
+                leases_renewed: fsub("leases_renewed"),
+                leases_expired: fsub("leases_expired"),
+                leases_reassigned: fsub("leases_reassigned"),
+                jobs_quarantined: fsub("jobs_quarantined"),
+                completions_discarded: fsub("completions_discarded"),
+            }
+        }
+        None => FleetStats::default(),
+    };
     Ok(StatsReport {
         jobs_queued: sub(jobs, "queued")?,
         jobs_running: sub(jobs, "running")?,
@@ -705,6 +1005,7 @@ fn decode_stats(v: &Json) -> Result<StatsReport, WireError> {
         evictions: sub(cache, "evictions")?,
         mem_entries: sub(cache, "mem_entries")?,
         mem_bytes: sub(cache, "mem_bytes")?,
+        fleet,
         clients,
     })
 }
@@ -724,6 +1025,20 @@ fn opt_str(v: &Json, key: &'static str) -> Result<Option<String>, WireError> {
         None | Some(Json::Null) => Ok(None),
         Some(Json::Str(s)) => Ok(Some(s.clone())),
         Some(other) => Err(WireError::Bad(key, format!("expected string, got {other}"))),
+    }
+}
+
+fn opt_str_arr(v: &Json, key: &'static str) -> Result<Vec<String>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|x| match x {
+                Json::Str(s) => Ok(s.clone()),
+                other => Err(WireError::Bad(key, format!("expected string, got {other}"))),
+            })
+            .collect(),
+        Some(other) => Err(WireError::Bad(key, format!("expected array, got {other}"))),
     }
 }
 
@@ -897,6 +1212,123 @@ mod tests {
             assert!(!line.contains('\n'), "framing: {line}");
             assert_eq!(Response::from_line(&line).unwrap(), r, "{line}");
         }
+    }
+
+    #[test]
+    fn worker_plane_lines_roundtrip() {
+        let reqs = vec![
+            Request::WorkerRegister {
+                worker: "w1".into(),
+            },
+            Request::LeaseRequest {
+                worker: "w1#3".into(),
+            },
+            Request::Heartbeat {
+                worker: "w1#3".into(),
+                leases: vec!["lease.1".into(), "lease.2".into()],
+            },
+            Request::Heartbeat {
+                worker: "idle".into(),
+                leases: vec![],
+            },
+            Request::JobComplete {
+                worker: "w1#3".into(),
+                lease: "lease.1".into(),
+                job: "trace.00de53a67e8e0472".into(),
+                result: JobResult {
+                    kind: "trace".into(),
+                    artifacts: vec![Artifact {
+                        name: "trace.st".into(),
+                        fnv: "0123456789abcdef".into(),
+                        text: "trace nranks=4\n".into(),
+                    }],
+                    ..JobResult::default()
+                },
+            },
+            Request::JobFail {
+                worker: "w1#3".into(),
+                lease: "lease.2".into(),
+                job: "simulate.f18d02e8e17d3abf".into(),
+                error: "panic: boom".into(),
+                transient: false,
+            },
+        ];
+        for r in reqs {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "framing: {line}");
+            assert_eq!(Request::from_line(&line).unwrap(), r, "{line}");
+        }
+        let resps = vec![
+            Response::WorkerOk {
+                worker: "w1#3".into(),
+                lease_ttl_ms: 10_000,
+            },
+            Response::LeaseGrant {
+                lease: "lease.1".into(),
+                job: "simulate.f18d02e8e17d3abf".into(),
+                kind: "simulate".into(),
+                params: Some(JobParams::new("ring", 4)),
+                matrix: None,
+                ttl_ms: 10_000,
+            },
+            Response::LeaseGrant {
+                lease: "lease.2".into(),
+                job: "campaign.1122334455667788".into(),
+                kind: "campaign".into(),
+                params: None,
+                matrix: Some("apps = ring\nranks = 4\n".into()),
+                ttl_ms: 500,
+            },
+            Response::NoWork {
+                retry_ms: 50,
+                draining: true,
+            },
+            Response::HeartbeatOk {
+                ttl_ms: 10_000,
+                expired: vec!["lease.1".into()],
+            },
+            Response::CompleteOk {
+                job: "trace.00de53a67e8e0472".into(),
+                accepted: false,
+                reason: Some("lease expired".into()),
+            },
+        ];
+        for r in resps {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "framing: {line}");
+            assert_eq!(Response::from_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn fleet_stats_are_omitted_while_default_and_decode_when_absent() {
+        // Byte-compat with v1.0: a fleet-less stats report encodes exactly
+        // as before the worker plane existed...
+        let plain = Response::Stats(StatsReport {
+            jobs_done: 3,
+            ..StatsReport::default()
+        });
+        assert!(!plain.to_line().contains("fleet"));
+        // ...and a v1.0 line (no fleet object) decodes to default counters.
+        assert_eq!(Response::from_line(&plain.to_line()).unwrap(), plain);
+        // Once a worker has registered, the counters ride along and survive
+        // the round-trip.
+        let fleet = Response::Stats(StatsReport {
+            fleet: FleetStats {
+                workers_seen: 2,
+                workers_live: 1,
+                leases_granted: 9,
+                leases_renewed: 30,
+                leases_expired: 3,
+                leases_reassigned: 2,
+                jobs_quarantined: 1,
+                completions_discarded: 4,
+            },
+            ..StatsReport::default()
+        });
+        let line = fleet.to_line();
+        assert!(line.contains("\"fleet\""), "{line}");
+        assert_eq!(Response::from_line(&line).unwrap(), fleet);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! ```
 
 use protocol::{
-    Artifact, ClientStats, JobParams, JobRef, JobResult, Request, Response, StatsReport,
-    PROTO_VERSION,
+    Artifact, ClientStats, FleetStats, JobParams, JobRef, JobResult, Request, Response,
+    StatsReport, PROTO_VERSION,
 };
 
 /// The canonical message set pinned by `tests/fixtures/requests_v1.jsonl`.
@@ -67,6 +67,49 @@ fn golden_requests() -> Vec<Request> {
         },
         Request::Stats,
         Request::Shutdown,
+        // --- worker plane (v1.x additive; appended, never reordered) ---
+        Request::WorkerRegister {
+            worker: "w-4242".into(),
+        },
+        Request::LeaseRequest {
+            worker: "w-4242".into(),
+        },
+        Request::Heartbeat {
+            worker: "w-4242".into(),
+            leases: vec!["lease.1".into(), "lease.7".into()],
+        },
+        Request::Heartbeat {
+            worker: "w-idle".into(),
+            leases: vec![],
+        },
+        Request::JobComplete {
+            worker: "w-4242".into(),
+            lease: "lease.1".into(),
+            job: "trace.00de53a67e8e0472".into(),
+            result: JobResult {
+                kind: "trace".into(),
+                artifacts: vec![Artifact {
+                    name: "trace.st".into(),
+                    fnv: "103877e1fa8e9fac".into(),
+                    text: "trace nranks=4\n".into(),
+                }],
+                ..JobResult::default()
+            },
+        },
+        Request::JobFail {
+            worker: "w-4242".into(),
+            lease: "lease.7".into(),
+            job: "simulate.f18d02e8e17d3abf".into(),
+            error: "panicked: index out of bounds".into(),
+            transient: false,
+        },
+        Request::JobFail {
+            worker: "w-9".into(),
+            lease: "lease.8".into(),
+            job: "generate.42294748308dc6b8".into(),
+            error: "watchdog timeout after 30s".into(),
+            transient: true,
+        },
     ]
 }
 
@@ -171,6 +214,7 @@ fn golden_responses() -> Vec<Response> {
             evictions: 10,
             mem_entries: 11,
             mem_bytes: 4096,
+            fleet: FleetStats::default(),
             clients: vec![
                 ClientStats {
                     client: "ci".into(),
@@ -187,6 +231,67 @@ fn golden_responses() -> Vec<Response> {
             message: "submission refused for client ci".into(),
         },
         Response::Bye,
+        // --- worker plane (v1.x additive; appended, never reordered) ---
+        Response::WorkerOk {
+            worker: "w-4242".into(),
+            lease_ttl_ms: 10_000,
+        },
+        Response::LeaseGrant {
+            lease: "lease.1".into(),
+            job: "simulate.f18d02e8e17d3abf".into(),
+            kind: "simulate".into(),
+            params: Some(JobParams::new("ring", 4)),
+            matrix: None,
+            ttl_ms: 10_000,
+        },
+        Response::LeaseGrant {
+            lease: "lease.2".into(),
+            job: "campaign.1122334455667788".into(),
+            kind: "campaign".into(),
+            params: None,
+            matrix: Some("apps = ring\nranks = 4\nworkers = 1\n".into()),
+            ttl_ms: 30_000,
+        },
+        Response::NoWork {
+            retry_ms: 50,
+            draining: false,
+        },
+        Response::NoWork {
+            retry_ms: 0,
+            draining: true,
+        },
+        Response::HeartbeatOk {
+            ttl_ms: 10_000,
+            expired: vec![],
+        },
+        Response::HeartbeatOk {
+            ttl_ms: 10_000,
+            expired: vec!["lease.1".into()],
+        },
+        Response::CompleteOk {
+            job: "trace.00de53a67e8e0472".into(),
+            accepted: true,
+            reason: None,
+        },
+        Response::CompleteOk {
+            job: "trace.00de53a67e8e0472".into(),
+            accepted: false,
+            reason: Some("lease expired; job reassigned".into()),
+        },
+        Response::Stats(StatsReport {
+            jobs_done: 12,
+            fleet: FleetStats {
+                workers_seen: 3,
+                workers_live: 2,
+                leases_granted: 14,
+                leases_renewed: 55,
+                leases_expired: 2,
+                leases_reassigned: 2,
+                jobs_quarantined: 1,
+                completions_discarded: 1,
+            },
+            ..StatsReport::default()
+        }),
     ]
 }
 
@@ -265,16 +370,28 @@ fn vnext_messages_with_unknown_fields_still_decode() {
         "{\"type\":\"trace\",\"app\":\"ring\",\"ranks\":4,\"priority\":\"high\",\"deadline_ms\":5000}",
         "{\"type\":\"status\",\"job\":\"j\",\"wait\":true,\"fields\":{\"only\":[\"state\"]}}",
         "{\"type\":\"shutdown\",\"grace_ms\":100}",
+        // Worker plane, same rule: a v1.(x+1) worker may report load,
+        // capabilities, or timings this decoder has never heard of.
+        "{\"type\":\"worker_register\",\"worker\":\"w\",\"cores\":8,\"labels\":[\"gpu\"]}",
+        "{\"type\":\"lease_request\",\"worker\":\"w\",\"max_jobs\":2}",
+        "{\"type\":\"heartbeat\",\"worker\":\"w\",\"leases\":[\"l1\"],\"load\":0.25}",
+        "{\"type\":\"job_fail\",\"worker\":\"w\",\"lease\":\"l1\",\"job\":\"j\",\
+         \"error\":\"x\",\"transient\":true,\"rss_bytes\":1048576}",
     ];
     for line in cases {
         Request::from_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
     }
-    let resp = "{\"type\":\"submitted\",\"job\":\"j\",\"kind\":\"trace\",\"replayed\":false,\
-                \"queue_depth\":3,\"eta_ms\":120}";
-    assert!(matches!(
-        Response::from_line(resp).unwrap(),
-        Response::Submitted { .. }
-    ));
+    let resps = [
+        "{\"type\":\"submitted\",\"job\":\"j\",\"kind\":\"trace\",\"replayed\":false,\
+         \"queue_depth\":3,\"eta_ms\":120}",
+        "{\"type\":\"lease_grant\",\"lease\":\"l1\",\"job\":\"j\",\"kind\":\"trace\",\
+         \"app\":\"ring\",\"ranks\":4,\"ttl_ms\":1000,\"priority\":\"high\"}",
+        "{\"type\":\"heartbeat_ok\",\"ttl_ms\":1000,\"expired\":[],\"server_time_ms\":99}",
+        "{\"type\":\"no_work\",\"retry_ms\":10,\"draining\":false,\"queue_depth\":0}",
+    ];
+    for line in resps {
+        Response::from_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+    }
 }
 
 #[test]
@@ -369,6 +486,32 @@ mod roundtrip {
             arb_job_ref().prop_map(|job| Request::CancelJob { job }),
             Just(Request::Stats),
             Just(Request::Shutdown),
+            arb_name().prop_map(|worker| Request::WorkerRegister { worker }),
+            arb_name().prop_map(|worker| Request::LeaseRequest { worker }),
+            (arb_name(), proptest::collection::vec(arb_name(), 0..4))
+                .prop_map(|(worker, leases)| Request::Heartbeat { worker, leases }),
+            (arb_name(), arb_name(), arb_name(), arb_result()).prop_map(
+                |(worker, lease, job, result)| Request::JobComplete {
+                    worker,
+                    lease,
+                    job,
+                    result,
+                }
+            ),
+            (
+                arb_name(),
+                arb_name(),
+                arb_name(),
+                arb_text(),
+                any::<bool>()
+            )
+                .prop_map(|(worker, lease, job, error, transient)| Request::JobFail {
+                    worker,
+                    lease,
+                    job,
+                    error,
+                    transient,
+                }),
         ]
     }
 
@@ -444,6 +587,37 @@ mod roundtrip {
                 .prop_map(|(job, ok, state)| { Response::Cancelled { job, ok, state } }),
             (arb_name(), arb_text()).prop_map(|(code, message)| Response::Error { code, message }),
             Just(Response::Bye),
+            (arb_name(), 0u64..1 << 32).prop_map(|(worker, lease_ttl_ms)| Response::WorkerOk {
+                worker,
+                lease_ttl_ms
+            }),
+            (
+                (arb_name(), arb_name(), arb_name()),
+                proptest::option::of(arb_params()),
+                proptest::option::of(arb_text()),
+                0u64..1 << 32,
+            )
+                .prop_map(|((lease, job, kind), params, matrix, ttl_ms)| {
+                    Response::LeaseGrant {
+                        lease,
+                        job,
+                        kind,
+                        params,
+                        matrix,
+                        ttl_ms,
+                    }
+                }),
+            (0u64..1 << 32, any::<bool>())
+                .prop_map(|(retry_ms, draining)| Response::NoWork { retry_ms, draining }),
+            (0u64..1 << 32, proptest::collection::vec(arb_name(), 0..4))
+                .prop_map(|(ttl_ms, expired)| Response::HeartbeatOk { ttl_ms, expired }),
+            (arb_name(), any::<bool>(), proptest::option::of(arb_text())).prop_map(
+                |(job, accepted, reason)| Response::CompleteOk {
+                    job,
+                    accepted,
+                    reason
+                }
+            ),
         ]
     }
 

@@ -8,6 +8,7 @@
 use protocol::{JobParams, JobRef, Request, Response, PROTO_VERSION};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// A connected, hello-negotiated client session.
 pub struct Client {
@@ -20,7 +21,20 @@ pub struct Client {
 impl Client {
     /// Connect to `addr` and perform the `hello` handshake as `name`.
     pub fn connect(addr: &str, name: &str) -> Result<Client, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        Client::connect_with(addr, name, 1, Duration::ZERO)
+    }
+
+    /// [`Client::connect`] with capped exponential backoff between
+    /// connection attempts — for racing a server that is still binding
+    /// its socket, or riding out a coordinator restart.
+    pub fn connect_with(
+        addr: &str,
+        name: &str,
+        retries: u32,
+        backoff: Duration,
+    ) -> Result<Client, String> {
+        let stream = crate::worker::connect_with_retries(addr, retries, backoff)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
         let reader = BufReader::new(
             stream
                 .try_clone()

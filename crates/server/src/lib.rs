@@ -8,7 +8,12 @@
 //! ([`queue`]), a sharded in-memory trace cache layered over the
 //! campaign's disk cache ([`memcache`]), async job handles, and a JSONL
 //! journal as the durability layer ([`server`]): a killed server replays
-//! completed jobs on restart instead of rerunning them.
+//! completed jobs on restart instead of rerunning them. On top of that
+//! sits the distributed campaign fleet: a lease-based coordinator
+//! ([`fleet`]) hands jobs to standalone worker processes ([`worker`])
+//! over the same wire protocol, detects dead workers by missed
+//! heartbeats, and reassigns their jobs with capped backoff — falling
+//! back to in-process execution whenever no workers are registered.
 //!
 //! Everything a served job produces is byte-identical to what the batch
 //! CLI produces for the same configuration, because both sides call the
@@ -18,13 +23,18 @@
 //! argument.
 
 pub mod client;
+pub mod fleet;
 pub mod jobs;
 pub mod memcache;
 pub mod queue;
 pub mod server;
+pub mod sync;
+pub mod worker;
 
 pub use client::Client;
+pub use fleet::{Fleet, FleetConfig};
 pub use jobs::JobKind;
 pub use memcache::{CacheSource, CacheStats, TraceMemCache};
 pub use queue::{JobQueue, QueueLimits, Reject};
 pub use server::{Server, ServerOptions};
+pub use worker::{run_worker, WorkerOptions};

@@ -149,7 +149,7 @@ impl TraceMemCache {
     /// `None` means both layers missed and the caller must trace.
     pub fn load(&self, key: u64) -> Option<LoadedTrace> {
         let resident = {
-            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            let mut shard = crate::sync::lock(self.shard(key));
             shard.tick += 1;
             let tick = shard.tick;
             match shard.entries.get_mut(&key) {
@@ -181,7 +181,7 @@ impl TraceMemCache {
                     source: CacheSource::Mem,
                 });
             }
-            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            let mut shard = crate::sync::lock(self.shard(key));
             if shard
                 .entries
                 .get(&key)
@@ -197,11 +197,12 @@ impl TraceMemCache {
         let hit = self.disk.load(key)?;
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
         let text = Arc::new(scalatrace::text::to_text(&hit.trace));
-        let evicted = self
-            .shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .insert(key, Arc::clone(&text), hit.t_app, self.shard_budget);
+        let evicted = crate::sync::lock(self.shard(key)).insert(
+            key,
+            Arc::clone(&text),
+            hit.t_app,
+            self.shard_budget,
+        );
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         Some(LoadedTrace {
             trace: hit.trace,
@@ -224,11 +225,12 @@ impl TraceMemCache {
     ) -> (Arc<String>, u64) {
         let text = Arc::new(scalatrace::text::to_text(trace));
         let _ = self.disk.store(key, trace, t_app, pairs);
-        let evicted = self
-            .shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .insert(key, Arc::clone(&text), t_app, self.shard_budget);
+        let evicted = crate::sync::lock(self.shard(key)).insert(
+            key,
+            Arc::clone(&text),
+            t_app,
+            self.shard_budget,
+        );
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         (text, evicted)
     }
@@ -237,7 +239,7 @@ impl TraceMemCache {
     pub fn stats(&self) -> CacheStats {
         let (mut entries, mut bytes) = (0u64, 0u64);
         for shard in &self.shards {
-            let shard = shard.lock().expect("cache shard poisoned");
+            let shard = crate::sync::lock(shard);
             entries += shard.entries.len() as u64;
             bytes += shard.bytes as u64;
         }

@@ -89,6 +89,17 @@ impl TokenBucket {
     }
 }
 
+/// Outcome of a bounded pop ([`JobQueue::pop_timeout`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PopResult {
+    /// A job was dequeued.
+    Job(QueuedJob),
+    /// The deadline passed with the FIFO still empty.
+    Empty,
+    /// The queue is closed and fully drained; the worker should exit.
+    Closed,
+}
+
 /// One queued unit of work: the job id plus the client it accounts to.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueuedJob {
@@ -131,7 +142,7 @@ impl JobQueue {
 
     /// [`JobQueue::submit`] with an explicit clock, for tests.
     pub fn submit_at(&self, client: &str, id: &str, now: Instant) -> Result<(), Reject> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = crate::sync::lock(&self.inner);
         // Check the in-flight cap before touching the token bucket: a
         // client pinned at max_inflight must not also drain its tokens on
         // every rejected retry (it would come back rate-limited once slots
@@ -158,7 +169,7 @@ impl JobQueue {
     /// Block until a job is available (FIFO order) or the queue is closed
     /// and drained; `None` tells the worker to exit.
     pub fn pop(&self) -> Option<QueuedJob> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = crate::sync::lock(&self.inner);
         loop {
             if let Some(job) = inner.fifo.pop_front() {
                 return Some(job);
@@ -166,14 +177,66 @@ impl JobQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.cv.wait(inner).expect("queue poisoned");
+            inner = crate::sync::wait(&self.cv, inner);
         }
+    }
+
+    /// Non-blocking pop for the fleet coordinator: take the head of the
+    /// FIFO if one is ready, else return immediately. Used on the lease
+    /// path, where a worker polling for work must get `no_work` rather
+    /// than a parked connection.
+    pub fn try_pop(&self) -> Option<QueuedJob> {
+        crate::sync::lock(&self.inner).fifo.pop_front()
+    }
+
+    /// [`JobQueue::pop`] with a deadline: block until a job arrives, the
+    /// queue closes-and-drains, or `dur` elapses. The in-process worker
+    /// pool uses this so it can re-check whether remote fleet workers
+    /// have appeared (and yield the queue to them) without busy-waiting.
+    pub fn pop_timeout(&self, dur: std::time::Duration) -> PopResult {
+        let deadline = Instant::now() + dur;
+        let mut inner = crate::sync::lock(&self.inner);
+        loop {
+            if let Some(job) = inner.fifo.pop_front() {
+                return PopResult::Job(job);
+            }
+            if inner.closed {
+                return PopResult::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return PopResult::Empty;
+            }
+            let (guard, _timed_out) = crate::sync::wait_timeout(&self.cv, inner, deadline - now);
+            inner = guard;
+        }
+    }
+
+    /// Put a job back at the *front* of the FIFO without re-running
+    /// admission. Used when a lease expires or a worker dies: the job was
+    /// already admitted and its client's in-flight slot is still held (it
+    /// is released only at a terminal state), so re-admission would
+    /// double-count it — and could even bounce a legitimately-accepted
+    /// job off its own rate limit. Front insertion preserves the original
+    /// FIFO position as closely as possible.
+    pub fn requeue(&self, job: QueuedJob) {
+        let mut inner = crate::sync::lock(&self.inner);
+        inner.fifo.push_front(job);
+        self.cv.notify_one();
+    }
+
+    /// True once the queue is closed *and* the FIFO has drained. The
+    /// shutdown path uses this together with the fleet's outstanding-lease
+    /// count to decide when the daemon may exit.
+    pub fn closed_and_drained(&self) -> bool {
+        let inner = crate::sync::lock(&self.inner);
+        inner.closed && inner.fifo.is_empty()
     }
 
     /// Release `client`'s in-flight slot after its job reaches a terminal
     /// state (done, failed, or cancelled).
     pub fn release(&self, client: &str) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = crate::sync::lock(&self.inner);
         if let Some(n) = inner.inflight.get_mut(client) {
             *n = n.saturating_sub(1);
         }
@@ -183,7 +246,7 @@ impl JobQueue {
     /// caller releases the slot and marks the job cancelled); a job already
     /// popped by a worker cannot be cancelled.
     pub fn cancel(&self, id: &str) -> Option<QueuedJob> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = crate::sync::lock(&self.inner);
         let pos = inner.fifo.iter().position(|j| j.id == id)?;
         inner.fifo.remove(pos)
     }
@@ -192,14 +255,14 @@ impl JobQueue {
     /// `None` once the FIFO empties, and submissions are refused by the
     /// server before they reach here.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = crate::sync::lock(&self.inner);
         inner.closed = true;
         self.cv.notify_all();
     }
 
     /// Jobs currently queued (not yet popped).
     pub fn queued(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").fifo.len()
+        crate::sync::lock(&self.inner).fifo.len()
     }
 }
 
@@ -295,6 +358,47 @@ mod tests {
         assert_eq!(q.cancel("j2").unwrap().client, "a");
         assert!(q.cancel("j2").is_none(), "already cancelled");
         assert_eq!(q.queued(), 0);
+    }
+
+    #[test]
+    fn try_pop_never_blocks_and_requeue_restores_fifo_head() {
+        let q = JobQueue::new(QueueLimits::default());
+        assert!(q.try_pop().is_none());
+        q.submit("a", "j1").unwrap();
+        q.submit("a", "j2").unwrap();
+        let j1 = q.try_pop().unwrap();
+        assert_eq!(j1.id, "j1");
+        // A reassigned job goes back to the *front*: it was admitted
+        // before j2 and must not lose its place.
+        q.requeue(j1);
+        assert_eq!(q.try_pop().unwrap().id, "j1");
+        assert_eq!(q.try_pop().unwrap().id, "j2");
+    }
+
+    #[test]
+    fn requeue_bypasses_admission() {
+        // burst=1: the client has no tokens left after its one submit, yet
+        // requeue must still succeed (the slot is already accounted for).
+        let q = JobQueue::new(limits(1, 0.0, 1.0));
+        let t0 = Instant::now();
+        q.submit_at("a", "j1", t0).unwrap();
+        let j = q.try_pop().unwrap();
+        q.requeue(j);
+        assert_eq!(q.queued(), 1);
+    }
+
+    #[test]
+    fn pop_timeout_times_out_then_sees_new_work_and_close() {
+        let q = JobQueue::new(QueueLimits::default());
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), PopResult::Empty);
+        q.submit("a", "j1").unwrap();
+        match q.pop_timeout(Duration::from_millis(5)) {
+            PopResult::Job(j) => assert_eq!(j.id, "j1"),
+            other => panic!("expected job, got {other:?}"),
+        }
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), PopResult::Closed);
+        assert!(q.closed_and_drained());
     }
 
     #[test]

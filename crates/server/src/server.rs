@@ -20,10 +20,11 @@
 //! resubmits after a server crash gets `replayed: true` and the recorded
 //! result, with no pipeline execution.
 
+use crate::fleet::{Actions, Completion, FailVerdict, Fleet, FleetConfig};
 use crate::jobs::{self, Executed, JobKind};
 use crate::memcache::TraceMemCache;
-use crate::queue::{JobQueue, QueueLimits, QueuedJob};
-use campaign::journal::{write_atomic, Journal};
+use crate::queue::{JobQueue, PopResult, QueueLimits, QueuedJob};
+use campaign::journal::{parse_line, write_atomic, Journal};
 use campaign::telemetry::{Counters, Value};
 use campaign::{Telemetry, TraceCache};
 use protocol::{
@@ -35,7 +36,7 @@ use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server identity string sent in `hello_ok`.
 pub const SERVER_ID: &str = concat!("commspec-server/", env!("CARGO_PKG_VERSION"));
@@ -54,6 +55,8 @@ pub struct ServerOptions {
     pub shards: usize,
     /// Per-client admission limits.
     pub limits: QueueLimits,
+    /// Fleet coordinator tuning (lease TTL, backoff, poison threshold).
+    pub fleet: FleetConfig,
 }
 
 impl Default for ServerOptions {
@@ -64,6 +67,7 @@ impl Default for ServerOptions {
             mem_bytes: 64 << 20,
             shards: 8,
             limits: QueueLimits::default(),
+            fleet: FleetConfig::default(),
         }
     }
 }
@@ -97,10 +101,14 @@ impl JobState {
     }
 }
 
-/// What a worker needs to execute the job.
+/// What a worker needs to execute the job. Single jobs carry both the
+/// validated spec (the in-process pool runs it directly) and the original
+/// wire params (a `lease_grant` ships them to remote workers, which
+/// re-validate — the validation is deterministic, so both derive the same
+/// spec).
 #[derive(Clone)]
 enum JobBody {
-    Single(JobKind, campaign::JobSpec),
+    Single(JobKind, campaign::JobSpec, JobParams),
     Campaign(String),
 }
 
@@ -153,6 +161,7 @@ struct State {
     table_cv: Condvar,
     counters: Counters,
     stats: ServerStats,
+    fleet: Fleet,
     /// Append-only JSONL journal (flushed per line by `Telemetry`).
     journal: Telemetry,
     shutdown: AtomicBool,
@@ -229,7 +238,7 @@ impl State {
     /// Move a job to a terminal state and wake status waiters.
     fn finish(&self, job_id: &str, client: &str, state: JobState) {
         {
-            let mut table = self.table.lock().expect("job table poisoned");
+            let mut table = crate::sync::lock(&self.table);
             if let Some(entry) = table.jobs.get_mut(job_id) {
                 entry.state = state;
                 entry.body = None;
@@ -297,6 +306,8 @@ fn replay_record(
 pub struct Server {
     state: Arc<State>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Fleet monitor: lease expiry, reassignment, quarantine.
+    monitor: std::thread::JoinHandle<()>,
 }
 
 impl Server {
@@ -317,6 +328,20 @@ impl Server {
             }
         }
 
+        // Rebuild per-job fleet health (poison budgets) from journaled
+        // lease transitions. Leases themselves died with the old process —
+        // their connections are gone — so only the budgets replay.
+        let fleet = Fleet::new(opts.fleet);
+        if let Ok(text) = std::fs::read_to_string(&journal_path) {
+            for line in text.lines() {
+                if let Some(fields) = parse_line(line) {
+                    if fields.get("event").map(String::as_str) == Some("lease") {
+                        fleet.replay(&fields);
+                    }
+                }
+            }
+        }
+
         let disk = TraceCache::open(opts.state_dir.join("cache"))?;
         let mem = TraceMemCache::new(disk, opts.shards, opts.mem_bytes);
         let state = Arc::new(State {
@@ -326,6 +351,7 @@ impl Server {
             table_cv: Condvar::new(),
             counters: Counters::new(),
             stats: ServerStats::default(),
+            fleet,
             journal: Telemetry::append_file(&journal_path)?,
             shutdown: AtomicBool::new(false),
             opts,
@@ -337,7 +363,18 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&state))
             })
             .collect();
-        Ok((Server { state, workers }, restored))
+        let monitor = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || monitor_loop(&state))
+        };
+        Ok((
+            Server {
+                state,
+                workers,
+                monitor,
+            },
+            restored,
+        ))
     }
 
     /// Serve one connection on stdin/stdout (the test and CI mode), then
@@ -365,10 +402,13 @@ impl Server {
                     // parks the thread in read_line forever and the join
                     // below never completes.
                     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                    // A failed clone drops this connection, not the server.
+                    let Ok(read_half) = stream.try_clone() else {
+                        continue;
+                    };
                     let state = Arc::clone(&self.state);
                     conns.push(std::thread::spawn(move || {
-                        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
-                        handle_conn(&state, reader, stream);
+                        handle_conn(&state, BufReader::new(read_half), stream);
                     }));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -389,21 +429,100 @@ impl Server {
         handle_conn(&self.state, reader, writer);
     }
 
-    /// Drain the queue, stop the workers, and join them.
+    /// Drain the queue (including outstanding fleet leases), stop the
+    /// workers and the monitor, and join them.
     pub fn shutdown(self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
         self.state.queue.close();
         for w in self.workers {
             let _ = w.join();
         }
+        let _ = self.monitor.join();
         self.state.counters.emit_to(&self.state.journal);
     }
 }
 
+/// Lease housekeeping: expire overdue leases, reassign matured pen
+/// entries, quarantine poison jobs. Runs until shutdown has fully
+/// drained both the queue and the lease table.
+fn monitor_loop(state: &Arc<State>) {
+    loop {
+        let actions = state.fleet.tick(Instant::now(), &state.journal);
+        apply_fleet_actions(state, actions);
+        if state.shutdown.load(Ordering::SeqCst)
+            && state.queue.closed_and_drained()
+            && state.fleet.outstanding() == 0
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Apply the fleet's verdicts to the job table and queue.
+fn apply_fleet_actions(state: &Arc<State>, actions: Actions) {
+    for job in actions.requeue {
+        let requeue = {
+            let mut table = crate::sync::lock(&state.table);
+            match table.jobs.get_mut(&job.id) {
+                Some(entry) if matches!(entry.state, JobState::Queued | JobState::Running) => {
+                    entry.state = JobState::Queued;
+                    true
+                }
+                // Terminal (e.g. completed by a racing worker) or gone:
+                // nothing left to rerun.
+                _ => false,
+            }
+        };
+        if requeue {
+            state.queue.requeue(job);
+        }
+    }
+    for (job, reason) in actions.quarantine {
+        let kind = {
+            let table = crate::sync::lock(&state.table);
+            table.jobs.get(&job.id).map(|e| e.kind)
+        };
+        let Some(kind) = kind else { continue };
+        state.persist_failed(&job.id, kind, &reason);
+        state.stats.failed.fetch_add(1, Ordering::Relaxed);
+        state.finish(&job.id, &job.client, JobState::Failed(reason));
+    }
+}
+
 fn worker_loop(state: &State) {
-    while let Some(QueuedJob { id, client }) = state.queue.pop() {
+    loop {
+        // Graceful degradation in reverse: while remote fleet workers are
+        // live, the in-process pool yields the queue to them and just
+        // keeps watch. The moment the fleet empties (workers died or
+        // never existed), this loop is today's single-process executor.
+        if state.fleet.live_workers(Instant::now()) > 0 {
+            if state.shutdown.load(Ordering::SeqCst)
+                && state.queue.closed_and_drained()
+                && state.fleet.outstanding() == 0
+            {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            continue;
+        }
+        let QueuedJob { id, client } = match state.queue.pop_timeout(Duration::from_millis(100)) {
+            PopResult::Job(job) => job,
+            // Re-check the fleet: workers may have appeared.
+            PopResult::Empty => continue,
+            PopResult::Closed => {
+                // Closed and drained — but an expired lease may still
+                // requeue its job here, so only exit once the fleet owes
+                // nothing.
+                if state.fleet.outstanding() == 0 {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
         let claimed = {
-            let mut table = state.table.lock().expect("job table poisoned");
+            let mut table = crate::sync::lock(&state.table);
             match table.jobs.get_mut(&id) {
                 Some(entry) if matches!(entry.state, JobState::Queued) => {
                     entry.state = JobState::Running;
@@ -419,7 +538,7 @@ fn worker_loop(state: &State) {
 
         // Fault isolation: a panicking job fails the job, not the server.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match body {
-            JobBody::Single(kind, spec) => jobs::run_single(kind, &spec, &state.mem),
+            JobBody::Single(kind, spec, _params) => jobs::run_single(kind, &spec, &state.mem),
             JobBody::Campaign(matrix) => {
                 let disk = TraceCache::open(state.mem.disk().dir())
                     .map_err(|e| format!("cannot open cache: {e}"))?;
@@ -459,8 +578,24 @@ fn worker_loop(state: &State) {
     }
 }
 
-/// Serve one client connection: line in, line out.
-fn handle_conn(state: &Arc<State>, mut reader: impl BufRead, mut writer: impl Write) {
+/// Serve one client connection: line in, line out. If the connection
+/// registered as a fleet worker, its death — clean or not — expires every
+/// lease it holds so the jobs reassign immediately.
+fn handle_conn(state: &Arc<State>, reader: impl BufRead, writer: impl Write) {
+    let mut worker: Option<String> = None;
+    handle_conn_inner(state, reader, writer, &mut worker);
+    if let Some(w) = worker {
+        let actions = state.fleet.disconnect(&w, Instant::now(), &state.journal);
+        apply_fleet_actions(state, actions);
+    }
+}
+
+fn handle_conn_inner(
+    state: &Arc<State>,
+    mut reader: impl BufRead,
+    mut writer: impl Write,
+    worker: &mut Option<String>,
+) {
     let mut client: Option<String> = None;
     let mut line = String::new();
     loop {
@@ -479,7 +614,12 @@ fn handle_conn(state: &Arc<State>, mut reader: impl BufRead, mut writer: impl Wr
                     ) =>
                 {
                     if state.shutdown.load(Ordering::SeqCst) {
-                        return;
+                        // A worker connection drains first: cutting it here
+                        // would expire its leases and bounce jobs that are
+                        // about to complete. Plain clients drop right away.
+                        if worker.is_none() || state.fleet.outstanding() == 0 {
+                            return;
+                        }
                     }
                     continue;
                 }
@@ -509,7 +649,7 @@ fn handle_conn(state: &Arc<State>, mut reader: impl BufRead, mut writer: impl Wr
                 continue;
             }
         };
-        let (resp, bye) = dispatch(state, &mut client, req);
+        let (resp, bye) = dispatch(state, &mut client, worker, req);
         if write_line(&mut writer, &resp).is_err() {
             return;
         }
@@ -532,8 +672,15 @@ fn error(code: &str, message: impl Into<String>) -> Response {
 }
 
 /// Process one request. Returns the response and whether the connection
-/// (and for `shutdown`, the server) should wind down.
-fn dispatch(state: &Arc<State>, client: &mut Option<String>, req: Request) -> (Response, bool) {
+/// (and for `shutdown`, the server) should wind down. `worker` records
+/// that this connection registered as a fleet worker, for disconnect
+/// cleanup.
+fn dispatch(
+    state: &Arc<State>,
+    client: &mut Option<String>,
+    worker: &mut Option<String>,
+    req: Request,
+) -> (Response, bool) {
     if let Some(c) = client.as_deref() {
         state.counters.incr(c, "requests");
     }
@@ -607,6 +754,208 @@ fn dispatch(state: &Arc<State>, client: &mut Option<String>, req: Request) -> (R
             state.queue.close();
             (Response::Bye, true)
         }
+        Request::WorkerRegister { worker: name } => {
+            state.fleet.register(&name, Instant::now());
+            *worker = Some(name.clone());
+            (
+                Response::WorkerOk {
+                    worker: name,
+                    lease_ttl_ms: state.fleet.lease_ttl().as_millis() as u64,
+                },
+                false,
+            )
+        }
+        Request::LeaseRequest { worker: name } => (grant_lease(state, &name), false),
+        Request::Heartbeat {
+            worker: name,
+            leases,
+        } => {
+            let expired = state
+                .fleet
+                .heartbeat(&name, &leases, Instant::now(), &state.journal);
+            (
+                Response::HeartbeatOk {
+                    ttl_ms: state.fleet.lease_ttl().as_millis() as u64,
+                    expired,
+                },
+                false,
+            )
+        }
+        Request::JobComplete {
+            worker: name,
+            lease,
+            job,
+            result,
+        } => (worker_complete(state, &name, &lease, &job, result), false),
+        Request::JobFail {
+            worker: name,
+            lease,
+            job,
+            error,
+            transient,
+        } => (
+            worker_fail(state, &name, &lease, &job, error, transient),
+            false,
+        ),
+    }
+}
+
+/// Hand the queue head to a polling worker as a fresh lease.
+fn grant_lease(state: &Arc<State>, worker: &str) -> Response {
+    loop {
+        let Some(queued) = state.queue.try_pop() else {
+            return Response::NoWork {
+                retry_ms: 50,
+                draining: state.shutdown.load(Ordering::SeqCst),
+            };
+        };
+        // Claim Queued → Running, exactly like the in-process pool; a job
+        // cancelled while queued has no body and is skipped.
+        let claimed = {
+            let mut table = crate::sync::lock(&state.table);
+            match table.jobs.get_mut(&queued.id) {
+                Some(entry) if matches!(entry.state, JobState::Queued) => {
+                    entry.state = JobState::Running;
+                    entry.body.clone().map(|b| (entry.kind, b))
+                }
+                _ => None,
+            }
+        };
+        let Some((kind, body)) = claimed else {
+            continue;
+        };
+        let job_id = queued.id.clone();
+        let (lease, ttl) = state
+            .fleet
+            .grant(worker, queued, Instant::now(), &state.journal);
+        let (params, matrix) = match body {
+            JobBody::Single(_, _, params) => (Some(params), None),
+            JobBody::Campaign(matrix) => (None, Some(matrix)),
+        };
+        return Response::LeaseGrant {
+            lease,
+            job: job_id,
+            kind: kind.label().to_string(),
+            params,
+            matrix,
+            ttl_ms: ttl.as_millis() as u64,
+        };
+    }
+}
+
+/// Commit a worker's completion — or discard it idempotently if its lease
+/// is no longer live (expired, reassigned, or from before a coordinator
+/// restart).
+fn worker_complete(
+    state: &Arc<State>,
+    worker: &str,
+    lease: &str,
+    job: &str,
+    result: JobResult,
+) -> Response {
+    // Checksums first: a result whose artifacts do not match their own
+    // FNVs was corrupted in flight and is retried as a transient failure,
+    // never committed.
+    for a in &result.artifacts {
+        if a.fnv != campaign::hash::hex(campaign::hash::fnv1a(a.text.as_bytes())) {
+            let reason = format!("artifact {} fails its checksum", a.name);
+            let resp = worker_fail(state, worker, lease, job, reason.clone(), true);
+            if let Response::CompleteOk { job, .. } = resp {
+                return Response::CompleteOk {
+                    job,
+                    accepted: false,
+                    reason: Some(reason),
+                };
+            }
+            return resp;
+        }
+    }
+    match state.fleet.complete(worker, lease, job, &state.journal) {
+        Completion::Accepted { client } => {
+            let kind = {
+                let table = crate::sync::lock(&state.table);
+                table.jobs.get(job).map(|e| e.kind)
+            };
+            let Some(kind) = kind else {
+                return Response::CompleteOk {
+                    job: job.to_string(),
+                    accepted: false,
+                    reason: Some("job vanished from the table".to_string()),
+                };
+            };
+            state.persist_done(job, kind, &result);
+            state.stats.done.fetch_add(1, Ordering::Relaxed);
+            state.finish(job, &client, JobState::Done(result));
+            Response::CompleteOk {
+                job: job.to_string(),
+                accepted: true,
+                reason: None,
+            }
+        }
+        Completion::Stale { reason } => Response::CompleteOk {
+            job: job.to_string(),
+            accepted: false,
+            reason: Some(reason.to_string()),
+        },
+    }
+}
+
+/// Process a worker-reported failure: deterministic causes fail the job
+/// for good, transient ones send it back through the backoff pen.
+fn worker_fail(
+    state: &Arc<State>,
+    worker: &str,
+    lease: &str,
+    job: &str,
+    error: String,
+    transient: bool,
+) -> Response {
+    match state.fleet.fail(
+        worker,
+        lease,
+        job,
+        transient,
+        Instant::now(),
+        &state.journal,
+    ) {
+        FailVerdict::Fatal { client } => {
+            let kind = {
+                let table = crate::sync::lock(&state.table);
+                table.jobs.get(job).map(|e| e.kind)
+            };
+            if let Some(kind) = kind {
+                state.persist_failed(job, kind, &error);
+            }
+            state.stats.failed.fetch_add(1, Ordering::Relaxed);
+            state.finish(job, &client, JobState::Failed(error));
+            Response::CompleteOk {
+                job: job.to_string(),
+                accepted: true,
+                reason: None,
+            }
+        }
+        FailVerdict::Retry { delay } => {
+            // The fleet penned the job; flip it back to Queued so the
+            // matured requeue (or a cancel meanwhile) finds it claimable.
+            {
+                let mut table = crate::sync::lock(&state.table);
+                if let Some(entry) = table.jobs.get_mut(job) {
+                    if matches!(entry.state, JobState::Running) {
+                        entry.state = JobState::Queued;
+                    }
+                }
+            }
+            Response::CompleteOk {
+                job: job.to_string(),
+                accepted: true,
+                reason: Some(format!("transient; requeued in {}ms", delay.as_millis())),
+            }
+        }
+        FailVerdict::Stale { reason } => Response::CompleteOk {
+            job: job.to_string(),
+            accepted: false,
+            reason: Some(reason.to_string()),
+        },
     }
 }
 
@@ -620,7 +969,7 @@ fn admit(
     body: JobBody,
     tag: Option<String>,
 ) -> Response {
-    let mut table = state.table.lock().expect("job table poisoned");
+    let mut table = crate::sync::lock(&state.table);
     if table.jobs.contains_key(&job_id) {
         // Known job: idempotent submit. A terminal entry is served as a
         // replay — from this process's run or from the journal of a
@@ -719,7 +1068,7 @@ fn submit_single(
         client,
         job_id,
         kind,
-        JobBody::Single(kind, spec),
+        JobBody::Single(kind, spec, params),
         tag,
     )
 }
@@ -748,13 +1097,18 @@ fn submit_campaign(
 }
 
 fn status(state: &Arc<State>, job: &JobRef, wait: bool) -> Response {
-    let mut table = state.table.lock().expect("job table poisoned");
+    let mut table = crate::sync::lock(&state.table);
     let Some(id) = table.resolve(job) else {
         return error("unknown-job", format!("no such job: {job:?}"));
     };
     if wait {
+        // Bounded waits (instead of a bare cv.wait) so a waiter survives
+        // lock poisoning and re-checks liveness rather than parking on a
+        // notification that might never come.
         while table.jobs.get(&id).is_some_and(|e| !e.state.terminal()) {
-            table = state.table_cv.wait(table).expect("job table poisoned");
+            let (guard, _timed_out) =
+                crate::sync::wait_timeout(&state.table_cv, table, Duration::from_millis(200));
+            table = guard;
         }
     }
     let Some(entry) = table.jobs.get(&id) else {
@@ -777,7 +1131,7 @@ fn status(state: &Arc<State>, job: &JobRef, wait: bool) -> Response {
 
 fn cancel(state: &Arc<State>, client: &str, job: &JobRef) -> Response {
     let id = {
-        let table = state.table.lock().expect("job table poisoned");
+        let table = crate::sync::lock(&state.table);
         match table.resolve(job) {
             Some(id) => id,
             None => return error("unknown-job", format!("no such job: {job:?}")),
@@ -788,7 +1142,7 @@ fn cancel(state: &Arc<State>, client: &str, job: &JobRef) -> Response {
             // Release the slot of the client that *owns* the job (which
             // may differ from the one cancelling it).
             let owner = {
-                let table = state.table.lock().expect("job table poisoned");
+                let table = crate::sync::lock(&state.table);
                 table
                     .jobs
                     .get(&id)
@@ -805,7 +1159,7 @@ fn cancel(state: &Arc<State>, client: &str, job: &JobRef) -> Response {
             }
         }
         None => {
-            let table = state.table.lock().expect("job table poisoned");
+            let table = crate::sync::lock(&state.table);
             let current = table
                 .jobs
                 .get(&id)
@@ -822,7 +1176,7 @@ fn cancel(state: &Arc<State>, client: &str, job: &JobRef) -> Response {
 
 fn stats(state: &Arc<State>) -> StatsReport {
     let (queued, running) = {
-        let table = state.table.lock().expect("job table poisoned");
+        let table = crate::sync::lock(&state.table);
         let queued = table
             .jobs
             .values()
@@ -849,6 +1203,7 @@ fn stats(state: &Arc<State>) -> StatsReport {
         evictions: cache.evictions,
         mem_entries: cache.entries,
         mem_bytes: cache.bytes,
+        fleet: state.fleet.snapshot(Instant::now()),
         clients: state
             .counters
             .snapshot()

@@ -113,6 +113,9 @@ struct ServeArgs {
     rate: f64,
     burst: f64,
     inflight: usize,
+    lease_ttl_ms: u64,
+    reassign_backoff_ms: u64,
+    poison: u32,
 }
 
 struct ClientArgs {
@@ -129,6 +132,17 @@ struct ClientArgs {
     out: Option<PathBuf>,
     stats: bool,
     shutdown: bool,
+    connect_retries: u32,
+    connect_backoff_ms: u64,
+}
+
+struct WorkerArgs {
+    stdio: bool,
+    addr: Option<String>,
+    name: Option<String>,
+    state_dir: PathBuf,
+    connect_retries: u32,
+    connect_backoff_ms: u64,
 }
 
 enum Cmd {
@@ -139,6 +153,7 @@ enum Cmd {
     Fsck(FsckArgs),
     Serve(ServeArgs),
     Client(ClientArgs),
+    Worker(WorkerArgs),
 }
 
 fn parse_args() -> Result<Cmd, String> {
@@ -190,12 +205,13 @@ fn parse_argv(argv: Vec<String>) -> Result<Cmd, String> {
         Some("fsck") => parse_fsck(&argv[1..]).map(Cmd::Fsck),
         Some("serve") => parse_serve(&argv[1..]).map(Cmd::Serve),
         Some("client") => parse_client(&argv[1..]).map(Cmd::Client),
+        Some("worker") => parse_worker(&argv[1..]).map(Cmd::Worker),
         // A word that is not a flag is a misspelled subcommand: reject it
         // with a usage pointer instead of silently treating it as matrix
         // mode (which would report the confusing "--matrix is required").
         Some(other) if !other.starts_with('-') => Err(format!(
-            "unknown subcommand {other} (expected serve, client, chaos, perf, \
-             resume, or fsck, or --matrix to run a campaign; try --help)"
+            "unknown subcommand {other} (expected serve, client, worker, chaos, \
+             perf, resume, or fsck, or --matrix to run a campaign; try --help)"
         )),
         _ => parse_matrix(&argv).map(Cmd::Matrix),
     }
@@ -211,6 +227,9 @@ fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
         rate: 50.0,
         burst: 100.0,
         inflight: 16,
+        lease_ttl_ms: 10_000,
+        reassign_backoff_ms: 100,
+        poison: 3,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -249,11 +268,27 @@ fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|e| format!("bad --inflight: {e}"))?
             }
+            "--lease-ttl-ms" => {
+                args.lease_ttl_ms = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --lease-ttl-ms: {e}"))?
+            }
+            "--reassign-backoff-ms" => {
+                args.reassign_backoff_ms = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --reassign-backoff-ms: {e}"))?
+            }
+            "--poison" => {
+                args.poison = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --poison: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: commbench serve [--stdio | --addr HOST:PORT] [--state DIR] \
                             [--workers N] [--mem-mb N] [--rate PER_SEC] [--burst N] \
-                            [--inflight N]"
+                            [--inflight N] [--lease-ttl-ms MS] [--reassign-backoff-ms MS] \
+                            [--poison N]"
                         .to_string(),
                 )
             }
@@ -266,6 +301,64 @@ fn parse_serve(argv: &[String]) -> Result<ServeArgs, String> {
     }
     if args.inflight == 0 {
         return Err("--inflight must be at least 1".to_string());
+    }
+    if args.lease_ttl_ms == 0 {
+        return Err("--lease-ttl-ms must be at least 1".to_string());
+    }
+    if args.poison == 0 {
+        return Err("--poison must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn parse_worker(argv: &[String]) -> Result<WorkerArgs, String> {
+    let mut args = WorkerArgs {
+        stdio: false,
+        addr: None,
+        name: None,
+        state_dir: PathBuf::from(".commspec-worker"),
+        connect_retries: 5,
+        connect_backoff_ms: 100,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--stdio" => args.stdio = true,
+            "--connect" => args.addr = Some(value(&mut i)?),
+            "--name" => args.name = Some(value(&mut i)?),
+            "--state" => args.state_dir = PathBuf::from(value(&mut i)?),
+            "--connect-retries" => {
+                args.connect_retries = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --connect-retries: {e}"))?
+            }
+            "--connect-backoff-ms" => {
+                args.connect_backoff_ms = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --connect-backoff-ms: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: commbench worker (--connect HOST:PORT | --stdio) [--name ID] \
+                            [--state DIR] [--connect-retries N] [--connect-backoff-ms MS]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+    if args.stdio == args.addr.is_some() {
+        return Err("exactly one of --connect or --stdio is required (try --help)".to_string());
+    }
+    if args.connect_retries == 0 {
+        return Err("--connect-retries must be at least 1".to_string());
     }
     Ok(args)
 }
@@ -285,6 +378,8 @@ fn parse_client(argv: &[String]) -> Result<ClientArgs, String> {
         out: None,
         stats: false,
         shutdown: false,
+        connect_retries: 1,
+        connect_backoff_ms: 100,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -318,12 +413,23 @@ fn parse_client(argv: &[String]) -> Result<ClientArgs, String> {
             "--out" => args.out = Some(PathBuf::from(value(&mut i)?)),
             "--stats" => args.stats = true,
             "--shutdown" => args.shutdown = true,
+            "--connect-retries" => {
+                args.connect_retries = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --connect-retries: {e}"))?
+            }
+            "--connect-backoff-ms" => {
+                args.connect_backoff_ms = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --connect-backoff-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err("usage: commbench client --addr HOST:PORT [--name ID] \
                             [--submit trace|generate|simulate [--app A] [--ranks N] \
                             [--class S|W|A|B] [--network ideal|bgl|ethernet] \
                             [--iterations N] [--tag T] [--out DIR]] \
-                            [--matrix FILE] [--stats] [--shutdown]"
+                            [--matrix FILE] [--stats] [--shutdown] \
+                            [--connect-retries N] [--connect-backoff-ms MS]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other} (try --help)")),
@@ -332,6 +438,9 @@ fn parse_client(argv: &[String]) -> Result<ClientArgs, String> {
     }
     if args.addr.is_empty() {
         return Err("--addr is required (try --help)".to_string());
+    }
+    if args.connect_retries == 0 {
+        return Err("--connect-retries must be at least 1".to_string());
     }
     if let Some(kind) = &args.submit {
         if !["trace", "generate", "simulate"].contains(&kind.as_str()) {
@@ -656,6 +765,7 @@ fn main() -> ExitCode {
         Ok(Cmd::Fsck(args)) => main_fsck(args),
         Ok(Cmd::Serve(args)) => main_serve(args),
         Ok(Cmd::Client(args)) => main_client(args),
+        Ok(Cmd::Worker(args)) => main_worker(args),
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
@@ -673,6 +783,12 @@ fn main_serve(args: ServeArgs) -> ExitCode {
             max_inflight: args.inflight,
             rate_per_sec: args.rate,
             burst: args.burst,
+        },
+        fleet: server::FleetConfig {
+            lease_ttl: Duration::from_millis(args.lease_ttl_ms),
+            reassign_backoff: Duration::from_millis(args.reassign_backoff_ms),
+            poison_threshold: args.poison,
+            ..server::FleetConfig::default()
         },
     };
     let (srv, restored) = match server::Server::start(opts) {
@@ -704,7 +820,12 @@ fn main_serve(args: ServeArgs) -> ExitCode {
 
 fn main_client(args: ClientArgs) -> ExitCode {
     use protocol::{JobParams, Request, Response};
-    let mut client = match server::Client::connect(&args.addr, &args.name) {
+    let mut client = match server::Client::connect_with(
+        &args.addr,
+        &args.name,
+        args.connect_retries,
+        Duration::from_millis(args.connect_backoff_ms),
+    ) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
@@ -825,6 +946,18 @@ fn main_client(args: ClientArgs) -> ExitCode {
                     "cache: {} mem hits, {} misses, {} disk hits, {} evictions, {} entries ({} bytes)",
                     s.mem_hits, s.mem_misses, s.disk_hits, s.evictions, s.mem_entries, s.mem_bytes
                 );
+                println!(
+                    "fleet: {} workers ({} live), {} leases granted, {} renewed, \
+                     {} expired, {} reassigned, {} quarantined, {} dup completions discarded",
+                    s.fleet.workers_seen,
+                    s.fleet.workers_live,
+                    s.fleet.leases_granted,
+                    s.fleet.leases_renewed,
+                    s.fleet.leases_expired,
+                    s.fleet.leases_reassigned,
+                    s.fleet.jobs_quarantined,
+                    s.fleet.completions_discarded
+                );
                 for c in &s.clients {
                     let counters: Vec<String> =
                         c.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
@@ -851,6 +984,27 @@ fn main_client(args: ClientArgs) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn main_worker(args: WorkerArgs) -> ExitCode {
+    let defaults = server::WorkerOptions::default();
+    let opts = server::WorkerOptions {
+        addr: args.addr,
+        name: args.name.unwrap_or(defaults.name),
+        state_dir: args.state_dir,
+        connect_retries: args.connect_retries,
+        connect_backoff: Duration::from_millis(args.connect_backoff_ms),
+    };
+    match server::run_worker(opts) {
+        Ok(done) => {
+            eprintln!("worker exiting after {done} job(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("worker failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -1196,7 +1350,10 @@ mod tests {
         };
         let err = err_of("serv --stdio");
         assert!(err.contains("unknown subcommand serv"), "{err}");
-        assert!(err.contains("serve, client, chaos"), "points at valid ones");
+        assert!(
+            err.contains("serve, client, worker, chaos"),
+            "points at valid ones"
+        );
         let err = err_of("status");
         assert!(err.contains("unknown subcommand status"), "{err}");
         // Flags still reach matrix mode.
@@ -1236,6 +1393,92 @@ mod tests {
         assert!(parse_argv(argv("serve --inflight 0")).is_err());
         assert!(parse_argv(argv("serve --frobnicate")).is_err());
         assert!(parse_argv(argv("serve --help")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_fleet_flags() {
+        let a = match parse_argv(argv(
+            "serve --stdio --lease-ttl-ms 500 --reassign-backoff-ms 50 --poison 2",
+        ))
+        .unwrap()
+        {
+            Cmd::Serve(a) => a,
+            _ => panic!("expected serve mode"),
+        };
+        assert_eq!(a.lease_ttl_ms, 500);
+        assert_eq!(a.reassign_backoff_ms, 50);
+        assert_eq!(a.poison, 2);
+
+        let a = match parse_argv(argv("serve --stdio")).unwrap() {
+            Cmd::Serve(a) => a,
+            _ => panic!("expected serve mode"),
+        };
+        assert_eq!(a.lease_ttl_ms, 10_000, "default TTL is 10s");
+        assert_eq!(a.poison, 3, "default poison threshold");
+
+        assert!(parse_argv(argv("serve --lease-ttl-ms 0")).is_err());
+        assert!(parse_argv(argv("serve --poison 0")).is_err());
+        assert!(parse_argv(argv("serve --lease-ttl-ms soon")).is_err());
+    }
+
+    #[test]
+    fn parses_worker_invocations() {
+        let a = match parse_argv(argv(
+            "worker --connect 127.0.0.1:7777 --name w1 --state /tmp/w \
+             --connect-retries 9 --connect-backoff-ms 20",
+        ))
+        .unwrap()
+        {
+            Cmd::Worker(a) => a,
+            _ => panic!("expected worker mode"),
+        };
+        assert_eq!(a.addr.as_deref(), Some("127.0.0.1:7777"));
+        assert_eq!(a.name.as_deref(), Some("w1"));
+        assert_eq!(a.state_dir, PathBuf::from("/tmp/w"));
+        assert_eq!(a.connect_retries, 9);
+        assert_eq!(a.connect_backoff_ms, 20);
+
+        let a = match parse_argv(argv("worker --stdio")).unwrap() {
+            Cmd::Worker(a) => a,
+            _ => panic!("expected worker mode"),
+        };
+        assert!(a.stdio && a.addr.is_none());
+        assert_eq!(a.connect_retries, 5, "default retry budget");
+
+        assert!(
+            parse_argv(argv("worker")).is_err(),
+            "a transport is required"
+        );
+        assert!(
+            parse_argv(argv("worker --stdio --connect :1")).is_err(),
+            "transports are mutually exclusive"
+        );
+        assert!(parse_argv(argv("worker --connect :1 --connect-retries 0")).is_err());
+        assert!(parse_argv(argv("worker --frobnicate")).is_err());
+        assert!(parse_argv(argv("worker --help")).is_err());
+    }
+
+    #[test]
+    fn parses_client_retry_flags() {
+        let a = match parse_argv(argv(
+            "client --addr :7777 --stats --connect-retries 4 --connect-backoff-ms 250",
+        ))
+        .unwrap()
+        {
+            Cmd::Client(a) => a,
+            _ => panic!("expected client mode"),
+        };
+        assert_eq!(a.connect_retries, 4);
+        assert_eq!(a.connect_backoff_ms, 250);
+
+        let a = match parse_argv(argv("client --addr :7777 --stats")).unwrap() {
+            Cmd::Client(a) => a,
+            _ => panic!("expected client mode"),
+        };
+        assert_eq!(a.connect_retries, 1, "no retries unless asked");
+
+        assert!(parse_argv(argv("client --addr :1 --stats --connect-retries 0")).is_err());
+        assert!(parse_argv(argv("client --addr :1 --stats --connect-backoff-ms soon")).is_err());
     }
 
     #[test]
