@@ -27,6 +27,17 @@
 //! uses for its rolling window hashes, so a loop's body hash compares
 //! directly against a tail-window hash without rehashing the window.
 
+//!
+//! A second fingerprint family serves the inter-rank merge: [`shape_fp`]
+//! hashes exactly what [`crate::merge::mergeable`] compares — the signature
+//! and the *op shape* ([`crate::trace::same_op_shape`]), but neither rank
+//! sets nor parameter values nor timing. Two per-rank sequences with equal
+//! whole-sequence shape digests ([`SeqDigest`]) are candidates for the same
+//! merge equivalence class; the merge confirms every digest hit
+//! structurally, so the same one-directional invariant holds:
+//!
+//! > `same_node_shape(a, b)` implies `shape_fp(a) == shape_fp(b)`.
+
 use crate::params::{CommParam, RankParam, SrcParam, ValParam};
 use crate::rankset::RankSet;
 use crate::trace::{OpTemplate, Rsd, TraceNode};
@@ -201,6 +212,131 @@ fn write_op(h: &mut Mix, op: &OpTemplate) {
     }
 }
 
+/// Shape-level fingerprint of a node: a hash of exactly the structure
+/// [`crate::merge::mergeable`] compares across ranks — signature and op
+/// shape ([`crate::trace::same_op_shape`]); loops add count, body length,
+/// and the body's shape hashes. Rank sets, parameter *values*, and timing
+/// are deliberately excluded: those are what the merge unifies, not what it
+/// matches on. Distinct domain tags keep shape fingerprints from colliding
+/// with the structural [`node_fp`] family by construction.
+pub fn shape_fp(node: &TraceNode) -> u64 {
+    match node {
+        TraceNode::Event(r) => {
+            let mut h = Mix::new(0x21);
+            h.word(r.sig);
+            write_op_shape(&mut h, &r.op);
+            h.finish()
+        }
+        TraceNode::Loop(p) => {
+            let body_hash = combine_seq(p.body.iter().map(shape_fp));
+            let mut h = Mix::new(0x22);
+            h.word(p.count);
+            h.word(p.body.len() as u64);
+            h.word(body_hash);
+            h.finish()
+        }
+    }
+}
+
+/// Hash the fields [`crate::trace::same_op_shape`] compares — and only
+/// those. `Coll` roots are not hashed: equal kinds imply equal rootedness.
+fn write_op_shape(h: &mut Mix, op: &OpTemplate) {
+    match op {
+        OpTemplate::Send { tag, blocking, .. } => {
+            h.word(0x10 | ((*blocking as u64) << 8));
+            h.word(*tag as u64);
+        }
+        OpTemplate::Recv {
+            from,
+            tag,
+            blocking,
+            ..
+        } => {
+            h.word(0x11 | ((*blocking as u64) << 8));
+            h.word(from.is_wildcard() as u64);
+            match tag {
+                TagSel::Any => h.word(0x00),
+                TagSel::Is(t) => {
+                    h.word(0x01);
+                    h.word(*t as u64);
+                }
+            }
+        }
+        OpTemplate::Wait { .. } => h.word(0x12),
+        OpTemplate::Coll { kind, .. } => {
+            h.word(0x13);
+            h.str(kind.mpi_name());
+        }
+        OpTemplate::CommSplit { parent, result } => {
+            h.word(0x14);
+            h.word(*parent as u64);
+            h.word(*result as u64);
+        }
+    }
+}
+
+/// Incremental whole-sequence shape digest.
+///
+/// Maintains the left-to-right polynomial combination of per-node
+/// [`shape_fp`]s (same [`POLY_BASE`] convention as the compressor's window
+/// hashes) together with the length, and avalanches both on
+/// [`SeqDigest::finish`]. The merge computes one digest per rank in a
+/// single O(sequence) pass and buckets ranks by the result; pushing is
+/// O(node), so callers that build sequences incrementally (the tree
+/// reduce's merged outputs) can keep a running digest instead of
+/// re-walking.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeqDigest {
+    hash: u64,
+    len: u64,
+}
+
+impl SeqDigest {
+    /// An empty digest.
+    pub fn new() -> SeqDigest {
+        SeqDigest::default()
+    }
+
+    /// Append a node's shape fingerprint.
+    #[inline]
+    pub fn push_fp(&mut self, fp: u64) {
+        self.hash = self.hash.wrapping_mul(POLY_BASE).wrapping_add(fp);
+        self.len += 1;
+    }
+
+    /// Append a node (computes its [`shape_fp`]).
+    pub fn push(&mut self, node: &TraceNode) {
+        self.push_fp(shape_fp(node));
+    }
+
+    /// Nodes pushed so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// No nodes pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The finished 64-bit digest (length-aware, avalanched).
+    pub fn finish(&self) -> u64 {
+        let mut h = Mix::new(0x23);
+        h.word(self.len);
+        h.word(self.hash);
+        h.finish()
+    }
+}
+
+/// Whole-sequence shape digest in one pass.
+pub fn seq_shape_fp(nodes: &[TraceNode]) -> u64 {
+    let mut d = SeqDigest::new();
+    for n in nodes {
+        d.push(n);
+    }
+    d.finish()
+}
+
 fn write_rank_param(h: &mut Mix, p: &RankParam) {
     match p {
         RankParam::Const(c) => {
@@ -334,6 +470,93 @@ mod tests {
             body: vec![ev(1, 64, 1)],
         });
         assert_ne!(node_fp(&e), node_fp(&l));
+    }
+
+    #[test]
+    fn shape_fp_ignores_ranks_params_and_timing() {
+        // Same sig + op shape on different ranks with different parameter
+        // values and timings: mergeable across ranks, so shape fps agree.
+        let a = ev(7, 64, 10);
+        let b = TraceNode::Event(Rsd {
+            ranks: RankSet::single(3),
+            sig: 7,
+            op: OpTemplate::Send {
+                to: RankParam::Const(4),
+                tag: 0,
+                bytes: ValParam::Const(9999),
+                comm: CommParam::Const(0),
+                blocking: true,
+            },
+            compute: TimeStats::of(SimDuration::from_usecs(123)),
+        });
+        assert!(crate::merge::mergeable(&a, &b));
+        assert_eq!(shape_fp(&a), shape_fp(&b));
+        assert_ne!(node_fp(&a), node_fp(&b), "node_fp still sees ranks/params");
+    }
+
+    #[test]
+    fn shape_fp_separates_what_mergeable_separates() {
+        let base = ev(7, 64, 10);
+        // different sig
+        assert_ne!(shape_fp(&base), shape_fp(&ev(8, 64, 10)));
+        // different blocking
+        let nonblocking = TraceNode::Event(Rsd {
+            ranks: RankSet::single(0),
+            sig: 7,
+            op: OpTemplate::Send {
+                to: RankParam::Const(1),
+                tag: 0,
+                bytes: ValParam::Const(64),
+                comm: CommParam::Const(0),
+                blocking: false,
+            },
+            compute: TimeStats::new(),
+        });
+        assert_ne!(shape_fp(&base), shape_fp(&nonblocking));
+        // wildcard vs concrete recv
+        let recv = |from| {
+            TraceNode::Event(Rsd {
+                ranks: RankSet::single(0),
+                sig: 5,
+                op: OpTemplate::Recv {
+                    from,
+                    tag: TagSel::Any,
+                    bytes: ValParam::Const(8),
+                    comm: CommParam::Const(0),
+                    blocking: true,
+                },
+                compute: TimeStats::new(),
+            })
+        };
+        assert_ne!(
+            shape_fp(&recv(SrcParam::Any)),
+            shape_fp(&recv(SrcParam::Rank(RankParam::Const(0))))
+        );
+        // loop count / body are part of the shape
+        let lp = |count| {
+            TraceNode::Loop(Prsd {
+                count,
+                body: vec![ev(1, 64, 1)],
+            })
+        };
+        assert_ne!(shape_fp(&lp(10)), shape_fp(&lp(20)));
+        assert_ne!(shape_fp(&lp(1)), shape_fp(&ev(1, 64, 1)));
+    }
+
+    #[test]
+    fn seq_digest_is_incremental_and_order_sensitive() {
+        let nodes = vec![ev(1, 64, 1), ev(2, 8, 1), ev(3, 16, 2)];
+        let mut d = SeqDigest::new();
+        for n in &nodes {
+            d.push(n);
+        }
+        assert_eq!(d.finish(), seq_shape_fp(&nodes));
+        assert_eq!(d.len(), 3);
+        let swapped = vec![ev(2, 8, 1), ev(1, 64, 1), ev(3, 16, 2)];
+        assert_ne!(seq_shape_fp(&nodes), seq_shape_fp(&swapped));
+        // length-aware: a prefix never digests equal to the whole
+        assert_ne!(seq_shape_fp(&nodes[..2]), seq_shape_fp(&nodes));
+        assert_ne!(seq_shape_fp(&[]), seq_shape_fp(&nodes[..1]));
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub use collect::{
 };
 pub use compress::{FoldStrategy, TailCompressor};
 pub use cursor::{events_for_rank, semantically_equal, ConcreteEvent, ConcreteOp, Cursor};
+pub use merge::{MergeStats, MergeStrategy};
 pub use rankset::RankSet;
 pub use snapshot::{
     trace_world_checkpointed, trace_world_resumed, CheckpointConfig, SnapshotError,

@@ -67,6 +67,36 @@ impl RankParam {
         compress_rank_table(table, world)
     }
 
+    /// Unify parameters over many disjoint rank sets at once: expand every
+    /// part into one shared table and compress once. `parts` must be
+    /// non-empty. Because pairwise [`RankParam::unify`] recompresses
+    /// exactly, folding it over the parts in *any* association yields the
+    /// compression of the full union table — which is what this computes
+    /// directly, in O(total ranks) instead of O(parts · ranks).
+    pub fn unify_many<'a, I>(parts: I, world: usize) -> RankParam
+    where
+        I: IntoIterator<Item = (&'a RankParam, &'a RankSet)>,
+    {
+        let parts: Vec<(&RankParam, &RankSet)> = parts.into_iter().collect();
+        // Fast path: every part is the same constant, so the union table is
+        // all-equal and would compress straight back to that constant.
+        if let RankParam::Const(v) = parts[0].0 {
+            if parts
+                .iter()
+                .all(|(p, _)| matches!(p, RankParam::Const(x) if x == v))
+            {
+                return RankParam::Const(*v);
+            }
+        }
+        let mut table = BTreeMap::new();
+        for (p, ranks) in parts {
+            for r in ranks.iter() {
+                table.insert(r, p.eval(r));
+            }
+        }
+        compress_rank_table(table, world)
+    }
+
     /// Is this a compressed (non-table) form?
     pub fn is_compressed(&self) -> bool {
         !matches!(self, RankParam::PerRank(_))
@@ -165,6 +195,33 @@ impl SrcParam {
             _ => None,
         }
     }
+
+    /// Many-way [`SrcParam::unify`]: all-wildcard stays a wildcard,
+    /// all-concrete unifies the rank expressions over the full union table,
+    /// and any wildcard/concrete mix is `None`. `parts` must be non-empty.
+    pub fn unify_many<'a, I>(parts: I, world: usize) -> Option<SrcParam>
+    where
+        I: IntoIterator<Item = (&'a SrcParam, &'a RankSet)>,
+    {
+        let mut concrete: Vec<(&RankParam, &RankSet)> = Vec::new();
+        let mut wildcards = 0usize;
+        let mut total = 0usize;
+        for (p, ranks) in parts {
+            total += 1;
+            match p {
+                SrcParam::Any => wildcards += 1,
+                SrcParam::Rank(r) => concrete.push((r, ranks)),
+            }
+        }
+        debug_assert!(total > 0, "unify_many over no parts");
+        if wildcards == total {
+            Some(SrcParam::Any)
+        } else if wildcards == 0 {
+            Some(SrcParam::Rank(RankParam::unify_many(concrete, world)))
+        } else {
+            None
+        }
+    }
 }
 
 impl fmt::Display for SrcParam {
@@ -205,6 +262,36 @@ impl CommParam {
         let mut table = a.table(a_ranks);
         table.extend(b.table(b_ranks));
         let first = *table.values().next().unwrap();
+        if table.values().all(|&v| v == first) {
+            CommParam::Const(first)
+        } else {
+            CommParam::PerRank(table)
+        }
+    }
+
+    /// Many-way [`CommParam::unify`]: one shared table, compressed once.
+    /// Equivalent to folding the pairwise unify in any association;
+    /// `parts` must be non-empty.
+    pub fn unify_many<'a, I>(parts: I) -> CommParam
+    where
+        I: IntoIterator<Item = (&'a CommParam, &'a RankSet)>,
+    {
+        let parts: Vec<(&CommParam, &RankSet)> = parts.into_iter().collect();
+        if let CommParam::Const(v) = parts[0].0 {
+            if parts
+                .iter()
+                .all(|(p, _)| matches!(p, CommParam::Const(x) if x == v))
+            {
+                return CommParam::Const(*v);
+            }
+        }
+        let mut table = BTreeMap::new();
+        for (p, ranks) in parts {
+            for r in ranks.iter() {
+                table.insert(r, p.eval(r));
+            }
+        }
+        let first = *table.values().next().expect("unify_many over no ranks");
         if table.values().all(|&v| v == first) {
             CommParam::Const(first)
         } else {
@@ -280,6 +367,36 @@ impl ValParam {
         let mut table = a.table(a_ranks);
         table.extend(b.table(b_ranks));
         let first = *table.values().next().unwrap();
+        if table.values().all(|&v| v == first) {
+            ValParam::Const(first)
+        } else {
+            ValParam::PerRank(table)
+        }
+    }
+
+    /// Many-way [`ValParam::unify`]: one shared table, compressed once.
+    /// Equivalent to folding the pairwise unify in any association;
+    /// `parts` must be non-empty.
+    pub fn unify_many<'a, I>(parts: I) -> ValParam
+    where
+        I: IntoIterator<Item = (&'a ValParam, &'a RankSet)>,
+    {
+        let parts: Vec<(&ValParam, &RankSet)> = parts.into_iter().collect();
+        if let ValParam::Const(v) = parts[0].0 {
+            if parts
+                .iter()
+                .all(|(p, _)| matches!(p, ValParam::Const(x) if x == v))
+            {
+                return ValParam::Const(*v);
+            }
+        }
+        let mut table = BTreeMap::new();
+        for (p, ranks) in parts {
+            for r in ranks.iter() {
+                table.insert(r, p.eval(r));
+            }
+        }
+        let first = *table.values().next().expect("unify_many over no ranks");
         if table.values().all(|&v| v == first) {
             ValParam::Const(first)
         } else {
@@ -423,6 +540,57 @@ mod tests {
             &rs(&[1]),
         );
         assert_eq!(c, ValParam::Const(7));
+    }
+
+    #[test]
+    fn unify_many_matches_pairwise_fold() {
+        // ring peers: the one-pass table build must equal the left fold of
+        // pairwise unify (which is itself association-invariant).
+        let parts: Vec<(RankParam, RankSet)> = (0..6)
+            .map(|r| (RankParam::Const((r + 1) % 6), rs(&[r])))
+            .collect();
+        let many = RankParam::unify_many(parts.iter().map(|(p, s)| (p, s)), 6);
+        let mut acc = parts[0].0.clone();
+        let mut acc_ranks = parts[0].1.clone();
+        for (p, s) in &parts[1..] {
+            acc = RankParam::unify(&acc, &acc_ranks, p, s, 6);
+            acc_ranks = acc_ranks.union(s);
+        }
+        assert_eq!(many, acc);
+        assert_eq!(
+            many,
+            RankParam::OffsetMod {
+                offset: 1,
+                modulus: 6
+            }
+        );
+    }
+
+    #[test]
+    fn val_comm_src_unify_many() {
+        let vparts: Vec<(ValParam, RankSet)> = (0..4)
+            .map(|r| (ValParam::Const(64 + r as u64), rs(&[r])))
+            .collect();
+        let v = ValParam::unify_many(vparts.iter().map(|(p, s)| (p, s)));
+        assert!(matches!(v, ValParam::PerRank(_)));
+        assert_eq!(v.eval(2), 66);
+        let (r0, r1) = (rs(&[0]), rs(&[1]));
+        let c = CommParam::unify_many([(&CommParam::Const(3), &r0), (&CommParam::Const(3), &r1)]);
+        assert_eq!(c, CommParam::Const(3));
+        assert_eq!(
+            SrcParam::unify_many(
+                [
+                    (&SrcParam::Any, &r0),
+                    (&SrcParam::Rank(RankParam::Const(1)), &r1)
+                ],
+                4
+            ),
+            None
+        );
+        assert_eq!(
+            SrcParam::unify_many([(&SrcParam::Any, &r0), (&SrcParam::Any, &r1)], 4),
+            Some(SrcParam::Any)
+        );
     }
 
     #[test]

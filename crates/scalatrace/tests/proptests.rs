@@ -6,9 +6,13 @@ use mpisim::time::SimDuration;
 use proptest::prelude::*;
 use scalatrace::compress::{append_compressed, compress_tail};
 use scalatrace::cursor::Cursor;
-use scalatrace::merge::{merge_pair, merge_sequences, merge_sequences_with};
+use scalatrace::merge::{
+    merge_pair, merge_sequences, merge_sequences_degraded, merge_sequences_stats,
+    merge_sequences_strategy, MergeStrategy,
+};
 use scalatrace::params::{compress_rank_table, CommParam, RankParam, ValParam};
 use scalatrace::rankset::RankSet;
+use scalatrace::text::to_text;
 use scalatrace::timestats::TimeStats;
 use scalatrace::trace::{CommTable, OpTemplate, Rsd, Trace, TraceNode};
 use std::collections::{BTreeMap, BTreeSet};
@@ -369,33 +373,157 @@ fn rank_node(rank: usize, sig: u64, bytes: u64, world: usize) -> TraceNode {
     })
 }
 
+/// Build ragged per-rank folded sequences from per-rank `(sig, bytes)`
+/// streams.
+fn ragged_seqs(streams: &[Vec<(u64, u64)>]) -> Vec<Vec<TraceNode>> {
+    let world = streams.len();
+    streams
+        .iter()
+        .enumerate()
+        .map(|(rank, evs)| {
+            let mut seq = Vec::new();
+            for &(s, b) in evs {
+                append_compressed(&mut seq, rank_node(rank, s, b, world), 16);
+            }
+            seq
+        })
+        .collect()
+}
+
 proptest! {
-    /// `merge_sequences_with` must be byte-identical across pool widths and
-    /// to the seed sequential pairing, on ragged per-rank streams.
+    /// The seed pairwise strategy must be byte-identical across pool widths
+    /// and to the seed sequential pairing, on ragged per-rank streams.
     #[test]
-    fn parallel_merge_is_pool_width_invariant(
+    fn pairwise_merge_is_pool_width_invariant(
         streams in proptest::collection::vec(
             proptest::collection::vec((0u64..4, 1u64..4), 0..32),
             1..10
         ),
     ) {
         let world = streams.len();
-        let seqs: Vec<Vec<TraceNode>> = streams
-            .iter()
-            .enumerate()
-            .map(|(rank, evs)| {
-                let mut seq = Vec::new();
-                for &(s, b) in evs {
-                    append_compressed(&mut seq, rank_node(rank, s, b, world), 16);
-                }
-                seq
+        let seqs = ragged_seqs(&streams);
+        let seed = seed_merge(seqs.clone(), world);
+        for threads in [1usize, 2, 8] {
+            let got =
+                merge_sequences_strategy(seqs.clone(), world, threads, MergeStrategy::Pairwise);
+            prop_assert_eq!(&got, &seed, "pool width {} diverged from the seed merge", threads);
+        }
+    }
+
+    /// The default class-collapsed strategy must be byte-identical across
+    /// pool widths on arbitrary ragged streams, with identical phase
+    /// counters (bucketing and reduction shape are width-invariant).
+    #[test]
+    fn class_collapse_is_pool_width_invariant(
+        streams in proptest::collection::vec(
+            proptest::collection::vec((0u64..4, 1u64..4), 0..32),
+            1..10
+        ),
+    ) {
+        let world = streams.len();
+        let seqs = ragged_seqs(&streams);
+        let (base, base_stats) =
+            merge_sequences_stats(seqs.clone(), world, 1, MergeStrategy::ClassCollapsed);
+        for threads in [2usize, 8] {
+            let (got, stats) =
+                merge_sequences_stats(seqs.clone(), world, threads, MergeStrategy::ClassCollapsed);
+            prop_assert_eq!(&got, &base, "pool width {} diverged", threads);
+            prop_assert_eq!(stats, base_stats, "stats diverged at width {}", threads);
+        }
+    }
+
+    /// With exactly two ranks, the collapsed strategy is either one flat
+    /// collapse (same shape class) or one anchored pair merge — and both
+    /// must equal the seed `merge_pair` unconditionally, on arbitrary
+    /// ragged streams. This pins the anchor-trimming rewrite against the
+    /// seed DP including its tie-breaking.
+    #[test]
+    fn two_rank_collapse_matches_seed_pair(
+        sa in proptest::collection::vec((0u64..4, 1u64..4), 0..32),
+        sb in proptest::collection::vec((0u64..4, 1u64..4), 0..32),
+    ) {
+        let streams = vec![sa, sb];
+        let seqs = ragged_seqs(&streams);
+        let seed = merge_pair(seqs[0].clone(), seqs[1].clone(), 2);
+        let got = merge_sequences_strategy(seqs, 2, 1, MergeStrategy::ClassCollapsed);
+        prop_assert_eq!(got, seed);
+    }
+
+    /// SPMD single-class streams: collapse is byte-identical to the seed
+    /// pairwise merge under any permutation of the input rank order, and
+    /// finds exactly one class.
+    #[test]
+    fn spmd_collapse_matches_seed_under_permutation(
+        program in proptest::collection::vec((0u64..4, 1u64..4), 0..32),
+        world in 2usize..12,
+        perm_seed in 0u64..1024,
+    ) {
+        let streams: Vec<Vec<(u64, u64)>> = vec![program; world];
+        let seqs = ragged_seqs(&streams);
+        let seed = seed_merge(seqs.clone(), world);
+        // Fisher–Yates with a xorshift generator: any fixed permutation of
+        // the per-rank sequences must not change the merged bytes.
+        let mut perm: Vec<usize> = (0..world).collect();
+        let mut x = perm_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        for i in (1..world).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            perm.swap(i, (x % (i as u64 + 1)) as usize);
+        }
+        let permuted: Vec<Vec<TraceNode>> = perm.iter().map(|&i| seqs[i].clone()).collect();
+        let (got, stats) =
+            merge_sequences_stats(permuted, world, 1, MergeStrategy::ClassCollapsed);
+        prop_assert_eq!(&got, &seed);
+        prop_assert_eq!(stats.classes, 1, "SPMD streams are one shape class");
+        prop_assert_eq!(stats.rep_merges, 0);
+    }
+
+    /// Forced digest collisions (every sequence hashes alike) must leave
+    /// the merged bytes and the class structure unchanged — collisions cost
+    /// confirms, never correctness.
+    #[test]
+    fn degraded_collapse_matches_normal(
+        streams in proptest::collection::vec(
+            proptest::collection::vec((0u64..4, 1u64..4), 0..32),
+            1..10
+        ),
+    ) {
+        let world = streams.len();
+        let seqs = ragged_seqs(&streams);
+        let (normal, nstats) =
+            merge_sequences_stats(seqs.clone(), world, 1, MergeStrategy::ClassCollapsed);
+        let (degraded, dstats) = merge_sequences_degraded(seqs, world, 1);
+        prop_assert_eq!(&degraded, &normal);
+        prop_assert_eq!(dstats.classes, nstats.classes);
+        prop_assert_eq!(dstats.members, nstats.members);
+    }
+
+    /// Crash-truncated SPMD streams — the shape a seeded `FaultPlan` crash
+    /// leaves behind, every rank holding a prefix of the same program —
+    /// must collapse byte-identically to the seed pairwise merge, down to
+    /// the rendered trace text.
+    #[test]
+    fn truncated_spmd_collapse_matches_seed(
+        program in proptest::collection::vec((0u64..4, 1u64..4), 1..32),
+        cuts in proptest::collection::vec(0usize..100, 2..10),
+    ) {
+        let world = cuts.len();
+        let streams: Vec<Vec<(u64, u64)>> = vec![program; world];
+        let seqs: Vec<Vec<TraceNode>> = ragged_seqs(&streams)
+            .into_iter()
+            .zip(&cuts)
+            .map(|(seq, &c)| {
+                let keep = c % (seq.len() + 1);
+                seq.into_iter().take(keep).collect()
             })
             .collect();
         let seed = seed_merge(seqs.clone(), world);
-        for threads in [1usize, 2, 8] {
-            let got = merge_sequences_with(seqs.clone(), world, threads);
-            prop_assert_eq!(&got, &seed, "pool width {} diverged from the seed merge", threads);
-        }
+        let got = merge_sequences_strategy(seqs, world, 1, MergeStrategy::ClassCollapsed);
+        prop_assert_eq!(&got, &seed);
+        let t_got = Trace { nranks: world, nodes: got, comms: CommTable::world(world) };
+        let t_seed = Trace { nranks: world, nodes: seed, comms: CommTable::world(world) };
+        prop_assert_eq!(to_text(&t_got), to_text(&t_seed));
     }
 }
 

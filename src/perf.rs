@@ -16,15 +16,20 @@
 //!   baseline leg re-runs the seed algorithms: structural folding and
 //!   unbatched rank→engine handoffs.
 //!
-//! * **merge** — the inter-rank binary-tree reduction at 64/128/256 ranks:
-//!   per-rank streams with identical call-site structure (the SPMD common
-//!   case) merged by [`scalatrace::merge::merge_sequences_with`] on the
-//!   [`par`] pool (`current`, at the configured thread count) and on the
-//!   hard sequential path (`baseline`, `threads = 1`). The speedup is the
-//!   thread-scaling factor; the suite records the pool width it measured
-//!   under, and the `--check` gate only compares a merge suite when the
-//!   fresh run used the *same* width (a 1-core runner cannot reproduce an
-//!   8-thread scaling number).
+//! * **merge** — the inter-rank reduction at 64–1024 ranks: per-rank
+//!   streams with identical call-site structure (the SPMD common case)
+//!   merged under the class-collapsed strategy (`current`) and the seed
+//!   pairwise LCS tree (`baseline`), both at the configured pool width, so
+//!   the speedup isolates the algorithm rather than thread scaling. A
+//!   `merge_distinct_r64` suite runs the all-distinct worst case, where
+//!   collapse degenerates to the pairwise tree plus digest overhead and
+//!   must stay within noise of the seed path. Merge suites embed the
+//!   collapse phase counters (classes, representative merges, LCS cells,
+//!   anchor-trim rate) as additive JSON fields, and record the pool width
+//!   they measured under: the pairwise baseline parallelises on real
+//!   multicore hosts while collapse is mostly width-insensitive, so the
+//!   ratio depends on the width and the `--check` gate only compares a
+//!   merge suite when the fresh run used the *same* width.
 //!
 //! Every suite therefore embeds its own `--baseline` comparison; `speedup`
 //! is `baseline_ns / current_ns` on the primary metric (median compression
@@ -40,10 +45,11 @@ use mpisim::profile::MpiP;
 use mpisim::time::SimDuration;
 use mpisim::world::World;
 use scalatrace::compress::DEFAULT_MAX_WINDOW;
+use scalatrace::merge::merge_sequences_stats;
 use scalatrace::params::{CommParam, RankParam, ValParam};
 use scalatrace::timestats::TimeStats;
 use scalatrace::trace::{OpTemplate, Rsd, TraceNode};
-use scalatrace::{FoldStrategy, RankSet};
+use scalatrace::{FoldStrategy, MergeStats, MergeStrategy, RankSet};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -55,8 +61,13 @@ pub use protocol::json::{parse as parse_json, Json};
 /// 64-rank row).
 pub const COMPRESS_RANKS: [usize; 3] = [8, 32, 64];
 
-/// Rank counts (= sequence counts) of the merge-scaling microbench.
-pub const MERGE_RANKS: [usize; 3] = [64, 128, 256];
+/// Rank counts (= sequence counts) of the merge microbench. The top counts
+/// exist to show merge cost tracking distinct behaviors, not P: the
+/// remaining per-rank work is reading the input streams once.
+pub const MERGE_RANKS: [usize; 5] = [64, 128, 256, 512, 1024];
+
+/// Rank count of the all-distinct worst-case merge suite.
+pub const MERGE_DISTINCT_RANKS: usize = 64;
 
 /// Pipeline world size; every registry app accepts 4 ranks.
 const PIPELINE_RANKS: usize = 4;
@@ -177,6 +188,9 @@ pub struct Suite {
     /// `None` for single-threaded workloads). The `--check` gate only
     /// compares suites measured under the same width.
     pub threads: Option<usize>,
+    /// Merge phase counters from the `current` (class-collapsed) leg, so
+    /// regressions are diagnosable from the committed JSON alone.
+    pub merge_stats: Option<MergeStats>,
 }
 
 /// A completed perf run.
@@ -244,6 +258,29 @@ fn time_median<T>(warmup: usize, reps: usize, mut f: impl FnMut() -> T) -> u64 {
     for _ in 0..reps {
         let t0 = Instant::now();
         black_box(f());
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    median(samples)
+}
+
+/// [`time_median`] with a per-iteration `setup` whose cost stays outside
+/// the timed region — used where the measured function consumes its input
+/// (e.g. the merge takes the streams by value) and the rebuild would
+/// otherwise dominate the measurement.
+fn time_median_setup<S, T>(
+    warmup: usize,
+    reps: usize,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S) -> T,
+) -> u64 {
+    for _ in 0..warmup {
+        black_box(f(setup()));
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(f(input));
         samples.push(t0.elapsed().as_nanos() as u64);
     }
     median(samples)
@@ -356,29 +393,72 @@ fn merge_stream(rank: usize, nranks: usize) -> Vec<TraceNode> {
     out
 }
 
-/// The merge-scaling suite at one rank count: `current` runs the
-/// binary-tree reduction on `cfg.threads()` workers, `baseline` on the
-/// hard sequential path. Same streams, same fixed combine order — the
-/// speedup is purely thread scaling, so the suite records the width it
-/// measured under and the `--check` gate skips it on hosts running a
-/// different width.
-fn merge_suite(cfg: &PerfConfig, nranks: usize, variants: &[Variant]) -> Suite {
+/// Timesteps of the all-distinct worst-case stream. Much shorter than the
+/// SPMD stream: nothing merges, so the pairwise baseline's sequence length
+/// — and its quadratic LCS cost — grows linearly with P.
+const DISTINCT_TIMESTEPS: usize = 8;
+
+/// The class-collapse worst case: the same step structure as
+/// [`merge_stream`], but every call-site signature embeds the rank, so
+/// every rank is its own class, no anchors form, and the representative
+/// reduce degenerates to the seed pairwise tree plus digest/bucketing
+/// overhead — which is what this suite bounds.
+fn distinct_stream(rank: usize, nranks: usize) -> Vec<TraceNode> {
+    let mut out = Vec::with_capacity(DISTINCT_TIMESTEPS * 4);
+    for t in 0..DISTINCT_TIMESTEPS as u64 {
+        let base = 1_000_000 + rank as u64 * 10_000 + t * 16;
+        out.push(TraceNode::Loop(scalatrace::trace::Prsd {
+            count: 10,
+            body: vec![
+                synth_event(rank, nranks, base + 1, 512, 1),
+                synth_event(rank, nranks, base + 2, 1024, 1),
+            ],
+        }));
+        out.push(synth_event(rank, nranks, base + 3, 4096, 2));
+        out.push(synth_barrier(rank, base + 5));
+    }
+    out
+}
+
+/// One merge suite: `current` is the class-collapsed strategy, `baseline`
+/// the seed pairwise LCS tree, both at `cfg.threads()` over the same
+/// streams — the speedup isolates the algorithm, not thread scaling.
+/// Stream construction and per-rep cloning stay outside the timed region.
+fn merge_suite_over(
+    cfg: &PerfConfig,
+    name: String,
+    nranks: usize,
+    variants: &[Variant],
+    streams: Vec<Vec<TraceNode>>,
+) -> Suite {
     let threads = cfg.threads();
-    let streams: Vec<Vec<TraceNode>> = (0..nranks).map(|r| merge_stream(r, nranks)).collect();
     let mut times = [0u64; 2];
     for &v in variants {
-        let width = match v {
-            Variant::Current => threads,
-            Variant::Baseline => 1,
+        let strategy = match v {
+            Variant::Current => MergeStrategy::ClassCollapsed,
+            Variant::Baseline => MergeStrategy::Pairwise,
         };
-        let t = time_median(cfg.warmup(), cfg.reps(), || {
-            scalatrace::merge::merge_sequences_with(streams.clone(), nranks, width).len()
-        });
+        let t = time_median_setup(
+            cfg.warmup(),
+            cfg.reps(),
+            || streams.clone(),
+            |input| {
+                merge_sequences_stats(input, nranks, threads, strategy)
+                    .0
+                    .len()
+            },
+        );
         times[(v == Variant::Baseline) as usize] = t;
     }
+    // The counters are deterministic, so one untimed pass captures them.
+    let merge_stats = if variants.contains(&Variant::Current) {
+        Some(merge_sequences_stats(streams, nranks, threads, MergeStrategy::ClassCollapsed).1)
+    } else {
+        None
+    };
     let (current_ns, baseline_ns) = fill_missing(times, variants);
     Suite {
-        name: format!("merge_r{nranks}"),
+        name,
         kind: "merge",
         ranks: nranks,
         current_ns,
@@ -387,6 +467,7 @@ fn merge_suite(cfg: &PerfConfig, nranks: usize, variants: &[Variant]) -> Suite {
         warm_ns: None,
         baseline_warm_ns: None,
         threads: Some(threads),
+        merge_stats,
     }
 }
 
@@ -430,6 +511,7 @@ fn compression_suite(cfg: &PerfConfig, nranks: usize, variants: &[Variant]) -> S
         warm_ns: None,
         baseline_warm_ns: None,
         threads: None,
+        merge_stats: None,
     }
 }
 
@@ -565,6 +647,7 @@ fn pipeline_suite(
         warm_ns: Some(warm_ns),
         baseline_warm_ns: Some(baseline_warm_ns),
         threads: None,
+        merge_stats: None,
     })
 }
 
@@ -603,7 +686,30 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
             "perf: merge reduction at {n} ranks (threads {}) ...",
             cfg.threads()
         );
-        suites.push(merge_suite(cfg, n, variants));
+        let streams = (0..n).map(|r| merge_stream(r, n)).collect();
+        suites.push(merge_suite_over(
+            cfg,
+            format!("merge_r{n}"),
+            n,
+            variants,
+            streams,
+        ));
+    }
+
+    {
+        let n = MERGE_DISTINCT_RANKS;
+        eprintln!(
+            "perf: merge worst case (all-distinct) at {n} ranks (threads {}) ...",
+            cfg.threads()
+        );
+        let streams = (0..n).map(|r| distinct_stream(r, n)).collect();
+        suites.push(merge_suite_over(
+            cfg,
+            format!("merge_distinct_r{n}"),
+            n,
+            variants,
+            streams,
+        ));
     }
 
     // A dedicated subdirectory keeps perf entries (whose keys embed rep
@@ -649,6 +755,7 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
         warm_ns: None,
         baseline_warm_ns: None,
         threads: None,
+        merge_stats: None,
     });
 
     Ok(PerfReport {
@@ -685,6 +792,20 @@ impl Suite {
         }
         if let Some(t) = self.threads {
             obj.push(("threads".into(), Json::Num(t as f64)));
+        }
+        if let Some(st) = &self.merge_stats {
+            // Additive fields (schema stays commspec-perf/v2): the collapse
+            // phase counters, so a committed merge row explains itself.
+            obj.push(("classes".into(), Json::Num(st.classes as f64)));
+            obj.push(("rep_merges".into(), Json::Num(st.rep_merges as f64)));
+            obj.push(("lcs_cells".into(), Json::Num(st.lcs_cells as f64)));
+            obj.push(("zip_merges".into(), Json::Num(st.zip_merges as f64)));
+            let trim_rate = if st.pair_nodes == 0 {
+                0.0
+            } else {
+                st.anchor_trimmed as f64 / st.pair_nodes as f64
+            };
+            obj.push(("anchor_trim_rate".into(), Json::Num(round3(trim_rate))));
         }
         Json::Obj(obj)
     }
@@ -857,6 +978,7 @@ mod tests {
             warm_ns: None,
             baseline_warm_ns: None,
             threads,
+            merge_stats: None,
         }
     }
 
@@ -938,6 +1060,55 @@ mod tests {
         );
         let same_width_ok = report(vec![suite("merge_r256", "merge", 3.9, Some(8))]);
         assert!(check_regressions(&same_width_ok, &committed).is_empty());
+    }
+
+    #[test]
+    fn merge_suite_json_carries_phase_counters() {
+        let mut s = suite("merge_r64", "merge", 4.0, Some(1));
+        s.merge_stats = Some(MergeStats {
+            members: 64,
+            classes: 1,
+            collisions: 0,
+            rep_merges: 0,
+            zip_merges: 0,
+            lcs_cells: 0,
+            anchor_trimmed: 12,
+            pair_nodes: 48,
+        });
+        let json = parse_json(&s.to_json().to_string()).unwrap();
+        assert_eq!(json.get("classes").and_then(Json::as_num), Some(1.0));
+        assert_eq!(json.get("rep_merges").and_then(Json::as_num), Some(0.0));
+        assert_eq!(json.get("lcs_cells").and_then(Json::as_num), Some(0.0));
+        assert_eq!(
+            json.get("anchor_trim_rate").and_then(Json::as_num),
+            Some(0.25)
+        );
+        // The counters are additive: a reader of the committed schema that
+        // only knows v2's original fields still parses the row.
+        assert_eq!(json.get("speedup").and_then(Json::as_num), Some(4.0));
+        // And the gate itself ignores them.
+        let committed = parse_json(
+            &report(vec![suite("merge_r64", "merge", 4.0, Some(1))])
+                .to_json()
+                .to_string(),
+        )
+        .unwrap();
+        let fresh = report(vec![s]);
+        assert!(check_regressions(&fresh, &committed).is_empty());
+    }
+
+    #[test]
+    fn distinct_stream_never_collapses() {
+        let p = 8;
+        let streams: Vec<Vec<TraceNode>> = (0..p).map(|r| distinct_stream(r, p)).collect();
+        let (merged, stats) =
+            merge_sequences_stats(streams.clone(), p, 1, MergeStrategy::ClassCollapsed);
+        assert_eq!(stats.classes, p as u64, "every rank is its own class");
+        assert_eq!(stats.rep_merges, p as u64 - 1);
+        let pairwise =
+            scalatrace::merge::merge_sequences_strategy(streams, p, 1, MergeStrategy::Pairwise);
+        assert_eq!(merged, pairwise, "worst case still matches the seed path");
+        assert_eq!(merged.len(), p * DISTINCT_TIMESTEPS * 3);
     }
 
     #[test]
