@@ -77,10 +77,21 @@ impl JobRecord {
         self.get(key)?.parse().ok()
     }
 
+    /// Was this job's trace recovered by segment salvage rather than
+    /// captured to completion? Salvaged prefixes are legitimate `ok`
+    /// evidence mid-campaign, but a resume should upgrade them.
+    pub fn salvaged(&self) -> bool {
+        self.get("salvaged") == Some("true")
+    }
+
     /// The failure classification driving resume: deterministic outcomes
-    /// are replayed, everything else reruns.
+    /// are replayed, everything else reruns. An `ok` job whose trace was
+    /// *salvaged* (a verified prefix recovered from a torn streamed
+    /// capture) reruns too: the prefix was the best evidence available at
+    /// the time, but a resume exists to finish the campaign properly.
     pub fn action(&self) -> ResumeAction {
         match self.status.as_str() {
+            "ok" if self.salvaged() => ResumeAction::Rerun,
             "ok" => ResumeAction::ReplayOk,
             "failed" => match self.get("cause") {
                 Some("transient") => ResumeAction::Rerun,
@@ -388,6 +399,28 @@ mod tests {
         );
         assert_eq!(rec("timeout", None).action(), ResumeAction::Rerun);
         assert_eq!(rec("mystery", None).action(), ResumeAction::Rerun);
+    }
+
+    #[test]
+    fn salvaged_ok_records_rerun_on_resume() {
+        let rec = |salvaged: Option<&str>| {
+            let mut fields = BTreeMap::new();
+            if let Some(v) = salvaged {
+                fields.insert("salvaged".to_string(), v.to_string());
+            }
+            JobRecord {
+                status: "ok".to_string(),
+                fields,
+            }
+        };
+        assert_eq!(rec(None).action(), ResumeAction::ReplayOk);
+        assert_eq!(rec(Some("false")).action(), ResumeAction::ReplayOk);
+        assert!(rec(Some("true")).salvaged());
+        assert_eq!(
+            rec(Some("true")).action(),
+            ResumeAction::Rerun,
+            "a salvaged prefix must be upgraded to a complete trace on resume"
+        );
     }
 
     #[test]

@@ -51,6 +51,11 @@ impl std::fmt::Display for ChaosSummary {
 pub struct JobOutput {
     /// Was the trace served from the cache?
     pub cached: bool,
+    /// Did the trace come from a salvaged prefix of an interrupted
+    /// streamed capture (a cache entry stored via
+    /// [`TraceCache::store_salvaged`])? Recorded in the journal so a
+    /// resume reruns the job instead of replaying the partial evidence.
+    pub salvaged: bool,
     /// Trace-cache key (shared by jobs differing only in generation flags).
     pub trace_key: u64,
     /// Simulated wall-clock time of the original application.
@@ -267,16 +272,17 @@ fn run_one(
     let trace_key = job.trace_key();
 
     // 1. Trace: cache hit, or run the application and fill the cache.
-    let (trace, t_app, cached) = match cache.load(trace_key) {
+    let (trace, t_app, cached, salvaged) = match cache.load(trace_key) {
         Some(hit) => {
             telemetry.emit(
                 "cached",
                 &[
                     ("job", job.id().into()),
                     ("trace_key", hash::hex(trace_key).into()),
+                    ("salvaged", Value::B(hit.salvaged)),
                 ],
             );
-            (hit.trace, hit.t_app, true)
+            (hit.trace, hit.t_app, true, hit.salvaged)
         }
         None => {
             if !(app.valid_ranks)(job.ranks) {
@@ -298,7 +304,7 @@ fn run_one(
                 traced.report.total_time,
                 &job.trace_pairs(),
             );
-            (traced.trace, traced.report.total_time, false)
+            (traced.trace, traced.report.total_time, false, false)
         }
     };
 
@@ -387,6 +393,7 @@ fn run_one(
 
     Ok(JobOutput {
         cached,
+        salvaged,
         trace_key,
         t_app,
         t_gen,
@@ -442,6 +449,7 @@ fn replay_outcome(rec: &JobRecord) -> Option<Outcome<JobOutput>> {
             };
             Some(Outcome::Done(JobOutput {
                 cached: rec.get("cached")? == "true",
+                salvaged: rec.salvaged(),
                 trace_key: u64::from_str_radix(rec.get("trace_key")?, 16).ok()?,
                 t_app: SimTime::from_nanos(rec.u64("t_app_ns")?),
                 t_gen: SimTime::from_nanos(rec.u64("t_gen_ns")?),
@@ -485,7 +493,16 @@ pub fn resume_campaign(
     let mut replayed: Vec<JobRow> = Vec::new();
     for job in &jobs {
         let outcome = journal.get(&job.id()).and_then(|rec| match rec.action() {
-            ResumeAction::Rerun => None,
+            ResumeAction::Rerun => {
+                if rec.salvaged() {
+                    // The journaled success leaned on a salvaged prefix.
+                    // Drop the cache entry so the rerun re-traces the
+                    // application and stores the complete capture instead
+                    // of re-serving the same prefix forever.
+                    cache.evict(job.trace_key());
+                }
+                None
+            }
             ResumeAction::ReplayOk | ResumeAction::ReplayFailed => replay_outcome(rec),
         });
         match outcome {
@@ -634,6 +651,11 @@ pub fn run_jobs(
                         Outcome::Done(o) => {
                             fields.push(("status", "ok".into()));
                             fields.push(("cached", Value::B(o.cached)));
+                            if o.salvaged {
+                                // A resume keys off this marker to rerun
+                                // the job rather than replay the prefix.
+                                fields.push(("salvaged", Value::B(true)));
+                            }
                             fields.push(("trace_key", hash::hex(o.trace_key).into()));
                             fields.push(("t_app_us", Value::F(o.t_app.as_usecs_f64())));
                             fields.push(("t_gen_us", Value::F(o.t_gen.as_usecs_f64())));
@@ -885,6 +907,78 @@ mod tests {
         assert_eq!(resumed.ok(), 2);
         assert_eq!(resumed.failed(), 2);
         assert_eq!(resumed.cache_hits(), 1, "the rerun trace comes from cache");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salvaged_cache_entries_flag_the_journal_and_rerun_on_resume() {
+        let dir = temp_dir("salvage");
+        let matrix = "apps = ring\nranks = 2\nworkers = 1\nretries = 0\ntimeout_secs = 60";
+        let job = spec(matrix).expand().0.remove(0);
+
+        // Seed the cache the way a salvage operation would: the trace
+        // recovered from an interrupted streamed capture, stored under the
+        // job's trace key with the salvaged marker.
+        let cache = TraceCache::open(&dir).unwrap();
+        let app = resolve_app(&job, 0).unwrap();
+        let params = params_of(&job);
+        let run = app.run;
+        let traced = scalatrace::trace_app(job.ranks, model_of(&job.network), move |ctx| {
+            run(ctx, &params)
+        })
+        .unwrap();
+        cache
+            .store_salvaged(
+                job.trace_key(),
+                &traced.trace,
+                traced.report.total_time,
+                &job.trace_pairs(),
+            )
+            .unwrap();
+        assert!(cache.load(job.trace_key()).unwrap().salvaged);
+
+        // The campaign serves the salvaged entry (legitimate evidence
+        // mid-campaign) but records the fact on the finished line.
+        let log_path = dir.join("campaign.jsonl");
+        let report = run_campaign(
+            &spec(matrix),
+            TraceCache::open(&dir).unwrap(),
+            Telemetry::to_file(&log_path).unwrap(),
+        );
+        assert_eq!(report.ok(), 1);
+        assert_eq!(report.cache_hits(), 1);
+        match &report.rows[0].outcome {
+            Outcome::Done(o) => assert!(o.salvaged, "salvaged trace must be flagged"),
+            other => panic!("{other:?}"),
+        }
+        let journal = Journal::from_text(&std::fs::read_to_string(&log_path).unwrap());
+        let rec = journal.get(&job.id()).unwrap();
+        assert!(rec.salvaged());
+        assert_eq!(rec.action(), ResumeAction::Rerun);
+
+        // Resume upgrades rather than replays: the salvaged entry is
+        // evicted, the job re-traces the application, and the cache ends
+        // up holding a complete (unflagged) capture of the same trace.
+        let resumed = resume_campaign(
+            &spec(matrix),
+            TraceCache::open(&dir).unwrap(),
+            Telemetry::sink(),
+            &journal,
+        );
+        assert_eq!(resumed.ok(), 1);
+        match &resumed.rows[0].outcome {
+            Outcome::Done(o) => {
+                assert!(!o.cached, "the prefix must not be re-served");
+                assert!(!o.salvaged);
+            }
+            other => panic!("{other:?}"),
+        }
+        let upgraded = TraceCache::open(&dir)
+            .unwrap()
+            .load(job.trace_key())
+            .unwrap();
+        assert!(!upgraded.salvaged, "the rerun replaces the salvaged entry");
+        assert_eq!(upgraded.trace, traced.trace);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -96,6 +96,10 @@ impl Tracer {
         &self.seq
     }
 
+    pub(crate) fn compressor_mut(&mut self) -> &mut TailCompressor {
+        &mut self.seq
+    }
+
     pub(crate) fn comms_ref(&self) -> &CommTable {
         &self.comms
     }
@@ -188,8 +192,14 @@ impl Tracer {
     }
 }
 
-impl Hook for Tracer {
-    fn on_event(&mut self, event: &Event) {
+impl Tracer {
+    /// Translate one interposed event into its single-rank RSD node,
+    /// updating the clock, communicator table, and event count — everything
+    /// [`Hook::on_event`] does except appending to the compressor. `None`
+    /// while the tracer is replaying through already-captured events after a
+    /// restore. Factored out so the streaming capture (`crate::stream`) can
+    /// interpose its seal/reload logic between observation and append.
+    pub(crate) fn observe(&mut self, event: &Event) -> Option<TraceNode> {
         if self.resume_skip > 0 {
             // Already captured before the checkpoint; the deterministic
             // re-run reproduces it bit-for-bit (communicators included —
@@ -203,19 +213,26 @@ impl Hook for Tracer {
             // compute interval must be measured from.
             self.last_exit = event.t_exit;
             self.resume_skip -= 1;
-            return;
+            return None;
         }
         let compute = event.t_enter.since(self.last_exit);
         self.last_exit = event.t_exit;
         let op = self.template_of(&event.kind);
-        let rsd = Rsd {
+        self.events_seen += 1;
+        Some(TraceNode::Event(Rsd {
             ranks: RankSet::single(self.rank),
             sig: event.stack_sig,
             op,
             compute: TimeStats::of(compute),
-        };
-        self.seq.push(TraceNode::Event(rsd));
-        self.events_seen += 1;
+        }))
+    }
+}
+
+impl Hook for Tracer {
+    fn on_event(&mut self, event: &Event) {
+        if let Some(node) = self.observe(event) {
+            self.seq.push(node);
+        }
     }
 }
 

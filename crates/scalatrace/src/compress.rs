@@ -338,6 +338,81 @@ impl TailCompressor {
                 .zip(&self.seq[len - w..])
                 .all(|(a, b)| a.foldable_with(b))
     }
+
+    // ------------------------------------------------------------ streaming
+    //
+    // The streaming capture path (`crate::stream`) drives the compressor
+    // piecewise: append without folding, fold one step at a time (so a
+    // sealed-segment reload can be interleaved between fold attempts), evict
+    // a sealed prefix, and re-attach a reloaded one. A fold only ever
+    // inspects the last `2 * max_window` positions of the sequence, and the
+    // rolling window hash `win_hash(i, j)` equals the polynomial hash of the
+    // window's fingerprints regardless of how much prefix precedes it, so a
+    // compressor holding only a suffix folds exactly like one holding the
+    // whole sequence — provided the suffix keeps at least `2 * max_window`
+    // nodes (the invariant `stream::StreamingTracer` maintains).
+
+    /// Number of nodes currently resident.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Is the resident sequence empty?
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Append `node` without attempting any fold.
+    pub(crate) fn push_raw(&mut self, node: TraceNode) {
+        if self.strategy == FoldStrategy::Structural {
+            self.seq.push(node);
+            return;
+        }
+        let rec = self.record_of(&node);
+        self.seq.push(node);
+        self.recs.push(rec);
+        self.push_pref(rec.fp);
+    }
+
+    /// Attempt exactly one tail fold; `true` if a fold was applied.
+    pub(crate) fn try_fold_once(&mut self) -> bool {
+        if self.strategy == FoldStrategy::Structural {
+            return try_fold_tail(&mut self.seq, self.max_window);
+        }
+        self.try_fold()
+    }
+
+    /// Drop the first `k` nodes (sealed to disk by the streaming capture)
+    /// and rebuild the fingerprint index over the remaining tail.
+    pub(crate) fn drop_prefix(&mut self, k: usize) {
+        self.seq.drain(..k);
+        self.rebuild_index();
+    }
+
+    /// Re-attach previously sealed nodes in front of the resident tail (a
+    /// segment reload) and rebuild the fingerprint index.
+    pub(crate) fn prepend_nodes(&mut self, nodes: Vec<TraceNode>) {
+        self.seq.splice(0..0, nodes);
+        self.rebuild_index();
+    }
+
+    /// Recompute `recs`/`pref` from the node structure, exactly as
+    /// [`TailCompressor::from_nodes`] does on a checkpoint restore (and with
+    /// the same byte-exactness argument: fingerprints are timing-blind and
+    /// loop fingerprints are re-derived from count and body hash).
+    fn rebuild_index(&mut self) {
+        if self.strategy == FoldStrategy::Structural {
+            return;
+        }
+        let recs: Vec<NodeRec> = self.seq.iter().map(|n| self.record_of(n)).collect();
+        self.recs.clear();
+        self.pref.clear();
+        self.pref.push(0);
+        for rec in recs {
+            self.recs.push(rec);
+            self.push_pref(rec.fp);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -558,6 +633,69 @@ mod tests {
                     second.push(n.clone());
                 }
                 assert_eq!(second.nodes(), whole.nodes(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn piecewise_push_matches_push() {
+        // push == push_raw + fold-to-fixpoint, under both strategies.
+        let stream: Vec<TraceNode> = (0..200)
+            .map(|i| ev(if i == 100 { 99 } else { 1 + (i % 3) }, 64, 1))
+            .collect();
+        for strategy in [FoldStrategy::Fingerprint, FoldStrategy::Structural] {
+            let mut whole = TailCompressor::with_strategy(DEFAULT_MAX_WINDOW, strategy);
+            let mut piecewise = TailCompressor::with_strategy(DEFAULT_MAX_WINDOW, strategy);
+            for n in &stream {
+                whole.push(n.clone());
+                piecewise.push_raw(n.clone());
+                while piecewise.try_fold_once() {}
+                assert_eq!(piecewise.nodes(), whole.nodes());
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_eviction_with_reload_guard_matches_unbounded() {
+        // The streaming-capture invariant at the unit level: evict prefixes
+        // freely, but reload them before any fold whenever fewer than
+        // `2 * max_window + 1` nodes are resident. Then the concatenation
+        // of evicted prefix and resident tail is byte-identical to the
+        // unbounded compressor after every single push.
+        let window = 4usize;
+        let min_resident = 2 * window + 1;
+        let stream: Vec<TraceNode> = (0..400)
+            .map(|i| {
+                ev(
+                    if i % 50 == 0 { 90 + i } else { 1 + (i % 4) },
+                    64,
+                    1 + (i % 2),
+                )
+            })
+            .collect();
+        for strategy in [FoldStrategy::Fingerprint, FoldStrategy::Structural] {
+            let mut whole = TailCompressor::with_strategy(window, strategy);
+            let mut churned = TailCompressor::with_strategy(window, strategy);
+            let mut evicted: Vec<TraceNode> = Vec::new();
+            for (i, n) in stream.iter().enumerate() {
+                whole.push(n.clone());
+                churned.push_raw(n.clone());
+                loop {
+                    if churned.len() < min_resident && !evicted.is_empty() {
+                        churned.prepend_nodes(std::mem::take(&mut evicted));
+                    }
+                    if !churned.try_fold_once() {
+                        break;
+                    }
+                }
+                if churned.len() > 2 * min_resident {
+                    let k = churned.len() - min_resident;
+                    evicted.extend_from_slice(&churned.nodes()[..k]);
+                    churned.drop_prefix(k);
+                }
+                let mut joined = evicted.clone();
+                joined.extend_from_slice(churned.nodes());
+                assert_eq!(joined.as_slice(), whole.nodes(), "after push {i}");
             }
         }
     }

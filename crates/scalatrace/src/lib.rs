@@ -48,6 +48,7 @@ pub mod rankset;
 pub mod replay;
 pub mod snapshot;
 pub mod stats;
+pub mod stream;
 pub mod text;
 pub mod timestats;
 pub mod trace;
@@ -62,6 +63,10 @@ pub use merge::{MergeStats, MergeStrategy};
 pub use rankset::RankSet;
 pub use snapshot::{
     trace_world_checkpointed, trace_world_resumed, CheckpointConfig, SnapshotError,
+};
+pub use stream::{
+    fsck_dir, salvage_dir, trace_world_streamed, RankSalvage, SalvageReport, SegmentCursor,
+    StreamConfig, StreamCounters, StreamFsckReport, StreamedRun, StreamingTracer,
 };
 pub use timestats::TimeStats;
 pub use trace::{CommTable, OpTemplate, Prsd, Rsd, Trace, TraceNode};

@@ -80,46 +80,46 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
-fn corrupt(why: impl Into<String>) -> SnapshotError {
+pub(crate) fn corrupt(why: impl Into<String>) -> SnapshotError {
     SnapshotError::Corrupt(why.into())
 }
 
 // ------------------------------------------------------------------ codec
 
 #[derive(Default)]
-struct Enc(Vec<u8>);
+pub(crate) struct Enc(pub(crate) Vec<u8>);
 
 impl Enc {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
-    fn bool(&mut self, v: bool) {
+    pub(crate) fn bool(&mut self, v: bool) {
         self.u8(v as u8);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u128(&mut self, v: u128) {
+    pub(crate) fn u128(&mut self, v: u128) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn usize(&mut self, v: usize) {
+    pub(crate) fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
 }
 
-struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Dec<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         if self.buf.len() - self.pos < n {
             return Err(corrupt("truncated payload"));
         }
@@ -127,36 +127,36 @@ impl<'a> Dec<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
-    fn bool(&mut self) -> Result<bool, SnapshotError> {
+    pub(crate) fn bool(&mut self) -> Result<bool, SnapshotError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
             b => Err(corrupt(format!("bad bool byte {b}"))),
         }
     }
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn u128(&mut self) -> Result<u128, SnapshotError> {
+    pub(crate) fn u128(&mut self) -> Result<u128, SnapshotError> {
         Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
     }
-    fn i64(&mut self) -> Result<i64, SnapshotError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, SnapshotError> {
         Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
-    fn usize(&mut self) -> Result<usize, SnapshotError> {
+    pub(crate) fn usize(&mut self) -> Result<usize, SnapshotError> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| corrupt("length overflows usize"))
     }
     /// A length that is about to drive a loop of ≥1-byte items; bounding it
     /// by the remaining bytes turns "absurd length from corruption" into an
     /// immediate error instead of a giant allocation.
-    fn len(&mut self) -> Result<usize, SnapshotError> {
+    pub(crate) fn len(&mut self) -> Result<usize, SnapshotError> {
         let n = self.usize()?;
         if n > self.buf.len() - self.pos {
             return Err(corrupt("length exceeds payload"));
@@ -461,7 +461,7 @@ fn dec_op(d: &mut Dec) -> Result<OpTemplate, SnapshotError> {
     })
 }
 
-fn enc_node(e: &mut Enc, node: &TraceNode) {
+pub(crate) fn enc_node(e: &mut Enc, node: &TraceNode) {
     match node {
         TraceNode::Event(r) => {
             e.u8(0);
@@ -481,7 +481,7 @@ fn enc_node(e: &mut Enc, node: &TraceNode) {
     }
 }
 
-fn dec_node(d: &mut Dec, depth: usize) -> Result<TraceNode, SnapshotError> {
+pub(crate) fn dec_node(d: &mut Dec, depth: usize) -> Result<TraceNode, SnapshotError> {
     if depth > MAX_DEPTH {
         return Err(corrupt("loop nesting too deep"));
     }

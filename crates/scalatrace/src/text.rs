@@ -157,8 +157,25 @@ fn encode_comm(c: &CommParam) -> String {
     }
 }
 
+/// Split a `<tag-char><payload>` field without panicking: `split_at(1)`
+/// panics on an empty field or one starting mid-UTF-8; parsed trace text is
+/// untrusted input, so every malformed shape must surface as `Err`.
+fn split_tag(s: &str) -> Result<(&str, &str), String> {
+    match s.char_indices().nth(1) {
+        Some((i, _)) => Ok(s.split_at(i)),
+        None if !s.is_empty() => Ok((s, "")),
+        None => Err("empty field".into()),
+    }
+}
+
+/// Caps on what a parsed trace may materialise in memory. Far above any
+/// real trace (the format's point is rank-count independence), low enough
+/// that a crafted `ranks=0:1:18446744073709551615` cannot allocate its way
+/// to an abort.
+const MAX_PARSED_RANKS: usize = 1 << 24;
+
 fn decode_comm(s: &str) -> Result<CommParam, String> {
-    let (tag, rest) = s.split_at(1);
+    let (tag, rest) = split_tag(s)?;
     Ok(match tag {
         "c" => CommParam::Const(rest.parse().map_err(|e| format!("bad comm: {e}"))?),
         "p" => {
@@ -246,17 +263,23 @@ pub fn from_text(s: &str) -> Result<Trace, String> {
         .trim()
         .parse()
         .map_err(|e| format!("bad nranks: {e}"))?;
+    if nranks > MAX_PARSED_RANKS {
+        return Err(format!("implausible nranks {nranks}"));
+    }
     let mut trace = Trace::new(nranks);
     while let Some(line) = lines.peek() {
         if line.trim_start().starts_with("comm ") {
-            let line = lines.next().unwrap().trim();
-            let rest = line.strip_prefix("comm ").unwrap();
+            let line = lines.next().ok_or("comm line vanished")?.trim();
+            let rest = line.strip_prefix("comm ").ok_or("bad comm line")?;
             let (id, members) = rest.split_once(' ').ok_or("bad comm line")?;
             let id: u32 = id.parse().map_err(|e| format!("bad comm id: {e}"))?;
             let members: Vec<usize> = members
                 .split(',')
                 .map(|m| m.parse().map_err(|e| format!("bad comm member: {e}")))
                 .collect::<Result<_, _>>()?;
+            if members.len() > MAX_PARSED_RANKS {
+                return Err("comm membership implausibly large".into());
+            }
             trace.comms.insert(id, members);
         } else {
             break;
@@ -296,7 +319,7 @@ pub fn from_text(s: &str) -> Result<Trace, String> {
     if stack.len() != 1 {
         return Err("unbalanced loop braces".into());
     }
-    trace.nodes = stack.pop().unwrap();
+    trace.nodes = stack.pop().ok_or("empty parse stack")?;
     Ok(trace)
 }
 
@@ -399,15 +422,22 @@ fn decode_ranks(s: &str) -> Result<RankSet, String> {
         let start: usize = start.parse().map_err(|e| format!("bad run start: {e}"))?;
         let stride: usize = stride.parse().map_err(|e| format!("bad run stride: {e}"))?;
         let count: usize = count.parse().map_err(|e| format!("bad run count: {e}"))?;
+        if ranks.len().saturating_add(count) > MAX_PARSED_RANKS {
+            return Err(format!("rank set larger than {MAX_PARSED_RANKS}"));
+        }
         for i in 0..count {
-            ranks.push(start + i * stride);
+            let r = i
+                .checked_mul(stride)
+                .and_then(|off| start.checked_add(off))
+                .ok_or("rank run overflows")?;
+            ranks.push(r);
         }
     }
     Ok(RankSet::from_ranks(ranks))
 }
 
 fn decode_rank_param(s: &str) -> Result<RankParam, String> {
-    let (tag, rest) = s.split_at(1);
+    let (tag, rest) = split_tag(s)?;
     Ok(match tag {
         "c" => RankParam::Const(rest.parse().map_err(|e| format!("bad const: {e}"))?),
         "o" => RankParam::Offset(rest.parse().map_err(|e| format!("bad offset: {e}"))?),
@@ -435,7 +465,7 @@ fn decode_rank_param(s: &str) -> Result<RankParam, String> {
 }
 
 fn decode_val(s: &str) -> Result<ValParam, String> {
-    let (tag, rest) = s.split_at(1);
+    let (tag, rest) = split_tag(s)?;
     Ok(match tag {
         "c" => ValParam::Const(rest.parse().map_err(|e| format!("bad const: {e}"))?),
         "p" => {
@@ -457,10 +487,10 @@ fn decode_stats(s: &str) -> Result<TimeStats, String> {
     let (count, mean) = s.split_once('x').ok_or("bad stats")?;
     let count: u64 = count.parse().map_err(|e| format!("bad count: {e}"))?;
     let mean_ns: u64 = mean.parse().map_err(|e| format!("bad mean: {e}"))?;
+    // O(1) regardless of count: the count is attacker-controlled, and a
+    // crafted `t=18446744073709551615x1` must not loop for an eternity.
     let mut t = TimeStats::new();
-    for _ in 0..count {
-        t.record(SimDuration::from_nanos(mean_ns));
-    }
+    t.record_n(count, SimDuration::from_nanos(mean_ns));
     Ok(t)
 }
 

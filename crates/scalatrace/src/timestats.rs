@@ -65,6 +65,22 @@ impl TimeStats {
         self.bins[bin_of(ns)] += 1;
     }
 
+    /// Add `n` identical samples in O(1) — exactly equivalent to calling
+    /// [`TimeStats::record`] `n` times. The text decoder uses this to
+    /// rebuild a `{count}x{mean}` summary without looping `count` times
+    /// (counts are attacker-controlled in parsed trace text).
+    pub fn record_n(&mut self, n: u64, d: SimDuration) {
+        if n == 0 {
+            return;
+        }
+        let ns = d.as_nanos();
+        self.count += n;
+        self.sum_ns += ns as u128 * n as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.bins[bin_of(ns)] += n;
+    }
+
     /// Pool another histogram's samples into this one.
     pub fn merge(&mut self, other: &TimeStats) {
         if other.count == 0 {
@@ -267,6 +283,22 @@ mod tests {
         }
         assert!(t.is_constant());
         assert_eq!(t.mean(), SimDuration::from_usecs(7));
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        for (n, us) in [(1u64, 3u64), (7, 0), (1000, 42), (3, u64::MAX / 2000)] {
+            let mut bulk = TimeStats::new();
+            bulk.record_n(n, SimDuration::from_usecs(us));
+            let mut looped = TimeStats::new();
+            for _ in 0..n {
+                looped.record(SimDuration::from_usecs(us));
+            }
+            assert_eq!(bulk, looped, "record_n({n}, {us}us) must match n records");
+        }
+        let mut none = TimeStats::new();
+        none.record_n(0, SimDuration::from_usecs(5));
+        assert_eq!(none, TimeStats::new());
     }
 
     #[test]

@@ -574,6 +574,174 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Parser robustness: from_text must never panic, whatever the input
+// ---------------------------------------------------------------------------
+
+/// A trace exercising every line shape the text format has — comm lines,
+/// nested loops, every op tag, wildcards, per-rank tables — so mutations of
+/// its rendering reach every branch of the parser.
+fn fuzz_base_text() -> String {
+    use mpisim::types::CollKind;
+    let mut trace = Trace::new(4);
+    trace.comms.insert(7, vec![0, 2]);
+    let ev = |sig: u64, op: OpTemplate| {
+        TraceNode::Event(Rsd {
+            ranks: RankSet::from_ranks(0..4),
+            sig,
+            op,
+            compute: TimeStats::of(SimDuration::from_nanos(sig * 3 + 1)),
+        })
+    };
+    let body = vec![
+        ev(
+            1,
+            OpTemplate::Send {
+                to: RankParam::OffsetMod {
+                    offset: 1,
+                    modulus: 4,
+                },
+                tag: 3,
+                bytes: ValParam::PerRank((0..4).map(|r| (r, 64 * r as u64)).collect()),
+                comm: CommParam::Const(0),
+                blocking: false,
+            },
+        ),
+        ev(
+            2,
+            OpTemplate::Recv {
+                from: scalatrace::params::SrcParam::Any,
+                tag: mpisim::types::TagSel::Any,
+                bytes: ValParam::Const(256),
+                comm: CommParam::PerRank((0..4).map(|r| (r, (r % 2) as u32 * 7)).collect()),
+                blocking: true,
+            },
+        ),
+        ev(
+            3,
+            OpTemplate::Wait {
+                count: ValParam::Const(2),
+            },
+        ),
+    ];
+    trace
+        .nodes
+        .push(TraceNode::Loop(scalatrace::trace::Prsd { count: 10, body }));
+    trace.nodes.push(ev(
+        4,
+        OpTemplate::Coll {
+            kind: CollKind::Allreduce,
+            root: Some(RankParam::Xor(1)),
+            bytes: ValParam::Const(64),
+            comm: CommParam::Const(7),
+        },
+    ));
+    trace.nodes.push(ev(
+        5,
+        OpTemplate::CommSplit {
+            parent: 0,
+            result: 7,
+        },
+    ));
+    to_text(&trace)
+}
+
+proptest! {
+    /// Fuzz: arbitrary byte flips plus a truncation applied to a valid
+    /// trace rendering. The parser must always return (Ok or Err) — a panic
+    /// fails the property — and must do so fast even when the mutation
+    /// fabricates absurd counts.
+    #[test]
+    fn from_text_survives_mutated_trace_text(
+        flips in proptest::collection::vec((0usize..100_000, 0u8..=255), 0..8),
+        cut in 0usize..100_000,
+    ) {
+        let mut bytes = fuzz_base_text().into_bytes();
+        for &(pos, val) in &flips {
+            let i = pos % bytes.len();
+            bytes[i] = val;
+        }
+        let keep = cut % (bytes.len() + 1);
+        bytes.truncate(keep);
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = scalatrace::text::from_text(&s);
+    }
+
+    /// Fuzz: completely arbitrary unicode input.
+    #[test]
+    fn from_text_survives_arbitrary_input(s in "\\PC*") {
+        let _ = scalatrace::text::from_text(&s);
+    }
+
+    /// Valid renderings of synthetic traces keep parsing after the
+    /// hardening (no behavioural regression from the unwrap sweep).
+    #[test]
+    fn hardened_parser_still_accepts_valid_traces(
+        sigs in proptest::collection::vec(0u64..6, 1..40),
+    ) {
+        let mut trace = Trace::new(4);
+        for &s in &sigs {
+            trace.nodes.push(TraceNode::Event(Rsd {
+                ranks: RankSet::from_ranks(0..4),
+                sig: s,
+                op: OpTemplate::Wait { count: ValParam::Const(s + 1) },
+                compute: TimeStats::of(SimDuration::from_nanos(s)),
+            }));
+        }
+        let text = to_text(&trace);
+        let back = scalatrace::text::from_text(&text).expect("valid text parses");
+        prop_assert_eq!(to_text(&back), text);
+    }
+}
+
+/// Directed adversarial inputs aimed at the previously panicking or
+/// unbounded sites: empty/multibyte tag fields, overflowing rank runs,
+/// materialisation bombs, and absurd histogram counts. All must return
+/// promptly — `Err` for the malformed ones, `Ok` in O(1) for the absurd
+/// count, never a panic or an eternity.
+#[test]
+fn adversarial_trace_text_is_rejected_structurally() {
+    let must_err = [
+        // empty field where a tagged value is expected (split_at(1) panic)
+        "trace nranks=2\nev sig=1 ranks=0:1:1 op=wait count= t=1x1\n",
+        // multibyte first char in a tag position (split_at(1) UTF-8 panic)
+        "trace nranks=2\nev sig=1 ranks=0:1:1 op=send to=\u{e9}3 tag=0 bytes=c1 comm=c0 t=1x1\n",
+        "trace nranks=2\nev sig=1 ranks=0:1:1 op=wait count=\u{1F600} t=1x1\n",
+        // rank run arithmetic overflow
+        "trace nranks=2\nev sig=1 ranks=18446744073709551615:2:3 op=wait count=c1 t=1x1\n",
+        "trace nranks=2\nev sig=1 ranks=2:18446744073709551615:3 op=wait count=c1 t=1x1\n",
+        // rank materialisation bomb
+        "trace nranks=2\nev sig=1 ranks=0:1:18446744073709551615 op=wait count=c1 t=1x1\n",
+        // implausible world size (allocation bomb in Trace::new)
+        "trace nranks=18446744073709551615\n",
+        "trace nranks=999999999999\n",
+        // malformed comm lines
+        "trace nranks=2\ncomm 5\n",
+        "trace nranks=2\ncomm x 0,1\n",
+        // structural garbage that previously hit unwraps
+        "trace nranks=2\n}\n",
+        "trace nranks=2\nloop 3 {\n",
+    ];
+    for s in must_err {
+        assert!(
+            scalatrace::text::from_text(s).is_err(),
+            "must reject: {s:?}"
+        );
+    }
+    // An absurd histogram count is *valid* data — but must decode in O(1),
+    // not by recording 2^64 samples one at a time.
+    let t0 = std::time::Instant::now();
+    let huge = scalatrace::text::from_text(
+        "trace nranks=2\nev sig=1 ranks=0:1:2 op=wait count=c1 t=18446744073709551615x5\n",
+    )
+    .expect("huge count is well-formed");
+    assert_eq!(huge.nodes.len(), 1);
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(5),
+        "histogram decode must not loop over the count"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // TimeStats
 // ---------------------------------------------------------------------------
 

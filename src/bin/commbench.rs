@@ -46,10 +46,28 @@
 //! The `fsck` subcommand sweeps the trace cache for corruption (checksum
 //! mismatches, orphaned sidecars, stranded tmp files), quarantines what it
 //! finds so the next run regenerates it, and exits non-zero if anything
-//! was condemned:
+//! was condemned. With `--stream` it instead scans a streaming-capture
+//! segment directory (see `capture`), verifying every STBS segment's
+//! checksum and quarantining torn writes and unreachable segments:
 //!
 //! ```text
 //! commbench fsck --cache .commbench-cache
+//! commbench fsck --stream /tmp/capture.d
+//! ```
+//!
+//! The `capture` subcommand traces one registry app with bounded-memory
+//! streaming capture: compressed trace segments are sealed to `--dir`
+//! *during* the run (so a `kill -9` loses at most the unsealed tail), and
+//! the trace is reassembled from the segment files afterwards. `salvage`
+//! performs that reassembly on its own — after a crash it recovers the
+//! longest checksum-verified prefix. `convert` translates a whole trace
+//! between the text format (`.st`) and the STBS binary (`.stbs`):
+//!
+//! ```text
+//! commbench capture --app lu --ranks 4 --dir /tmp/capture.d --budget 4096
+//! commbench salvage --dir /tmp/capture.d --out recovered.st
+//! commbench convert trace.st trace.stbs
+//! commbench convert trace.stbs trace.st
 //! ```
 //!
 //! Exit status is success iff every expanded job succeeded.
@@ -60,7 +78,7 @@ use campaign::{
 };
 use commspec::perf::{self, PerfConfig};
 use miniapps::{registry, Class};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -102,6 +120,29 @@ struct ChaosArgs {
 
 struct FsckArgs {
     cache_dir: PathBuf,
+    stream_dir: Option<PathBuf>,
+}
+
+struct ConvertArgs {
+    input: PathBuf,
+    output: PathBuf,
+}
+
+struct CaptureArgs {
+    app: String,
+    ranks: usize,
+    iterations: Option<usize>,
+    dir: PathBuf,
+    budget: usize,
+    max_window: Option<usize>,
+    network: String,
+    event_delay_us: u64,
+    out: Option<PathBuf>,
+}
+
+struct SalvageArgs {
+    dir: PathBuf,
+    out: Option<PathBuf>,
 }
 
 struct ServeArgs {
@@ -151,6 +192,9 @@ enum Cmd {
     Chaos(ChaosArgs),
     Perf(PerfConfig),
     Fsck(FsckArgs),
+    Convert(ConvertArgs),
+    Capture(CaptureArgs),
+    Salvage(SalvageArgs),
     Serve(ServeArgs),
     Client(ClientArgs),
     Worker(WorkerArgs),
@@ -203,6 +247,9 @@ fn parse_argv(argv: Vec<String>) -> Result<Cmd, String> {
         Some("perf") => parse_perf(&argv[1..]).map(Cmd::Perf),
         Some("resume") => parse_matrix(&argv[1..]).map(Cmd::Resume),
         Some("fsck") => parse_fsck(&argv[1..]).map(Cmd::Fsck),
+        Some("convert") => parse_convert(&argv[1..]).map(Cmd::Convert),
+        Some("capture") => parse_capture(&argv[1..]).map(Cmd::Capture),
+        Some("salvage") => parse_salvage(&argv[1..]).map(Cmd::Salvage),
         Some("serve") => parse_serve(&argv[1..]).map(Cmd::Serve),
         Some("client") => parse_client(&argv[1..]).map(Cmd::Client),
         Some("worker") => parse_worker(&argv[1..]).map(Cmd::Worker),
@@ -211,7 +258,8 @@ fn parse_argv(argv: Vec<String>) -> Result<Cmd, String> {
         // mode (which would report the confusing "--matrix is required").
         Some(other) if !other.starts_with('-') => Err(format!(
             "unknown subcommand {other} (expected serve, client, worker, chaos, \
-             perf, resume, or fsck, or --matrix to run a campaign; try --help)"
+             perf, resume, fsck, convert, capture, or salvage, or --matrix to \
+             run a campaign; try --help)"
         )),
         _ => parse_matrix(&argv).map(Cmd::Matrix),
     }
@@ -458,6 +506,7 @@ fn parse_client(argv: &[String]) -> Result<ClientArgs, String> {
 fn parse_fsck(argv: &[String]) -> Result<FsckArgs, String> {
     let mut args = FsckArgs {
         cache_dir: PathBuf::from(".commbench-cache"),
+        stream_dir: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -467,10 +516,201 @@ fn parse_fsck(argv: &[String]) -> Result<FsckArgs, String> {
                 args.cache_dir =
                     PathBuf::from(argv.get(i).cloned().ok_or("missing value for --cache")?);
             }
-            "--help" | "-h" => return Err("usage: commbench fsck [--cache DIR]".to_string()),
+            "--stream" => {
+                i += 1;
+                args.stream_dir = Some(PathBuf::from(
+                    argv.get(i).cloned().ok_or("missing value for --stream")?,
+                ));
+            }
+            "--help" | "-h" => {
+                return Err("usage: commbench fsck [--cache DIR | --stream SEGMENT_DIR]".to_string())
+            }
             other => return Err(format!("unknown argument {other} (try --help)")),
         }
         i += 1;
+    }
+    Ok(args)
+}
+
+fn parse_convert(argv: &[String]) -> Result<ConvertArgs, String> {
+    const USAGE: &str = "usage: commbench convert INPUT OUTPUT \
+                         (formats inferred from extensions: .st text, .stbs binary)";
+    let mut paths = Vec::new();
+    for a in argv {
+        match a.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown argument {other} (try --help)"))
+            }
+            _ => paths.push(PathBuf::from(a)),
+        }
+    }
+    let [input, output] = <[PathBuf; 2]>::try_from(paths)
+        .map_err(|_| format!("convert takes exactly two paths; {USAGE}"))?;
+    for p in [&input, &output] {
+        if trace_format_of(p).is_none() {
+            return Err(format!(
+                "cannot infer trace format of {} (expected a .st or .stbs extension)",
+                p.display()
+            ));
+        }
+    }
+    Ok(ConvertArgs { input, output })
+}
+
+/// `.st` is the text format, `.stbs` the binary one; anything else is
+/// ambiguous and rejected at parse time.
+fn trace_format_of(path: &Path) -> Option<TraceFormat> {
+    match path.extension()?.to_str()? {
+        "st" => Some(TraceFormat::Text),
+        "stbs" => Some(TraceFormat::Binary),
+        _ => None,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TraceFormat {
+    Text,
+    Binary,
+}
+
+fn parse_capture(argv: &[String]) -> Result<CaptureArgs, String> {
+    let mut args = CaptureArgs {
+        app: String::new(),
+        ranks: 4,
+        iterations: None,
+        dir: PathBuf::from(".commbench-stream"),
+        budget: 4096,
+        max_window: None,
+        network: "ideal".to_string(),
+        event_delay_us: 0,
+        out: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--app" => args.app = value(&mut i)?,
+            "--ranks" => {
+                args.ranks = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --ranks: {e}"))?
+            }
+            "--iterations" => {
+                args.iterations = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --iterations: {e}"))?,
+                )
+            }
+            "--dir" => args.dir = PathBuf::from(value(&mut i)?),
+            "--budget" => {
+                args.budget = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --budget: {e}"))?
+            }
+            "--max-window" => {
+                args.max_window = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --max-window: {e}"))?,
+                )
+            }
+            "--network" => args.network = value(&mut i)?,
+            "--event-delay-us" => {
+                args.event_delay_us = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --event-delay-us: {e}"))?
+            }
+            "--out" => args.out = Some(PathBuf::from(value(&mut i)?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: commbench capture --app NAME [--ranks N] [--iterations N] \
+                     [--dir DIR] [--budget NODES] [--max-window N] \
+                     [--network ideal|bgl|ethernet] [--event-delay-us N] \
+                     [--out TRACE.st|.stbs]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+    if args.app.is_empty() {
+        return Err("--app is required (try --help)".to_string());
+    }
+    let Some(entry) = registry::lookup(&args.app) else {
+        let names: Vec<&str> = registry::all().iter().map(|a| a.name).collect();
+        return Err(format!(
+            "unknown app {}; available: {}",
+            args.app,
+            names.join(", ")
+        ));
+    };
+    if args.ranks == 0 {
+        return Err("--ranks must be at least 1".to_string());
+    }
+    if args.max_window == Some(0) {
+        return Err("--max-window must be at least 1".to_string());
+    }
+    if !(entry.valid_ranks)(args.ranks) {
+        return Err(format!("{} cannot run on {} ranks", args.app, args.ranks));
+    }
+    if !["ideal", "bgl", "ethernet"].contains(&args.network.as_str()) {
+        return Err(format!(
+            "unknown network {} (expected ideal, bgl, or ethernet)",
+            args.network
+        ));
+    }
+    if let Some(out) = &args.out {
+        if trace_format_of(out).is_none() {
+            return Err(format!(
+                "cannot infer trace format of {} (expected a .st or .stbs extension)",
+                out.display()
+            ));
+        }
+    }
+    Ok(args)
+}
+
+fn parse_salvage(argv: &[String]) -> Result<SalvageArgs, String> {
+    let mut args = SalvageArgs {
+        dir: PathBuf::from(".commbench-stream"),
+        out: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dir" => args.dir = PathBuf::from(value(&mut i)?),
+            "--out" => args.out = Some(PathBuf::from(value(&mut i)?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: commbench salvage [--dir SEGMENT_DIR] [--out TRACE.st|.stbs]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+        i += 1;
+    }
+    if let Some(out) = &args.out {
+        if trace_format_of(out).is_none() {
+            return Err(format!(
+                "cannot infer trace format of {} (expected a .st or .stbs extension)",
+                out.display()
+            ));
+        }
     }
     Ok(args)
 }
@@ -763,6 +1003,9 @@ fn main() -> ExitCode {
         Ok(Cmd::Chaos(args)) => main_chaos(args),
         Ok(Cmd::Perf(cfg)) => main_perf(cfg),
         Ok(Cmd::Fsck(args)) => main_fsck(args),
+        Ok(Cmd::Convert(args)) => main_convert(args),
+        Ok(Cmd::Capture(args)) => main_capture(args),
+        Ok(Cmd::Salvage(args)) => main_salvage(args),
         Ok(Cmd::Serve(args)) => main_serve(args),
         Ok(Cmd::Client(args)) => main_client(args),
         Ok(Cmd::Worker(args)) => main_worker(args),
@@ -1132,6 +1375,30 @@ fn main_resume(args: Args) -> ExitCode {
 }
 
 fn main_fsck(args: FsckArgs) -> ExitCode {
+    if let Some(stream_dir) = &args.stream_dir {
+        match scalatrace::stream::fsck_dir(stream_dir) {
+            Ok(report) => {
+                println!(
+                    "fsck {}: {} segment(s) ok, {} file(s) quarantined",
+                    stream_dir.display(),
+                    report.ok,
+                    report.quarantined.len()
+                );
+                for (path, reason) in &report.quarantined {
+                    println!("quarantined {}: {reason}", path.display());
+                }
+                return if report.clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            Err(e) => {
+                eprintln!("fsck failed on {}: {e}", stream_dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let cache = match TraceCache::open(&args.cache_dir) {
         Ok(c) => c,
         Err(e) => {
@@ -1155,6 +1422,150 @@ fn main_fsck(args: FsckArgs) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Read a whole trace in the format its extension names.
+fn read_trace(path: &Path) -> Result<scalatrace::Trace, String> {
+    match trace_format_of(path).expect("validated at parse time") {
+        TraceFormat::Text => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            scalatrace::text::from_text(&text)
+                .map_err(|e| format!("cannot parse {}: {e}", path.display()))
+        }
+        TraceFormat::Binary => {
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            scalatrace::stream::trace_from_bytes(&bytes)
+                .map_err(|e| format!("cannot decode {}: {e}", path.display()))
+        }
+    }
+}
+
+/// Write a whole trace in the format the extension names.
+fn write_trace(path: &Path, trace: &scalatrace::Trace) -> Result<(), String> {
+    let bytes = match trace_format_of(path).expect("validated at parse time") {
+        TraceFormat::Text => scalatrace::text::to_text(trace).into_bytes(),
+        TraceFormat::Binary => scalatrace::stream::trace_to_bytes(trace),
+    };
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+fn main_convert(args: ConvertArgs) -> ExitCode {
+    let trace = match read_trace(&args.input) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(msg) = write_trace(&args.output, &trace) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "converted {} -> {} ({} ranks, {} events)",
+        args.input.display(),
+        args.output.display(),
+        trace.nranks,
+        trace.concrete_event_count()
+    );
+    ExitCode::SUCCESS
+}
+
+fn capture_network(name: &str) -> std::sync::Arc<dyn mpisim::network::NetworkModel> {
+    match name {
+        "bgl" => mpisim::network::blue_gene_l(),
+        "ethernet" => mpisim::network::ethernet_cluster(),
+        _ => mpisim::network::ideal(),
+    }
+}
+
+fn main_capture(args: CaptureArgs) -> ExitCode {
+    let entry = registry::lookup(&args.app).expect("validated at parse time");
+    let params = miniapps::AppParams {
+        class: Class::S,
+        iterations: args.iterations,
+        compute_scale: 1.0,
+    };
+    let mut cfg = scalatrace::StreamConfig::new(&args.dir, args.budget);
+    if let Some(w) = args.max_window {
+        cfg = cfg.with_max_window(w);
+    }
+    if args.event_delay_us > 0 {
+        cfg = cfg.with_event_delay(Duration::from_micros(args.event_delay_us));
+    }
+    let world = mpisim::world::World::new(args.ranks).network(capture_network(&args.network));
+    let run_fn = entry.run;
+    let streamed = match scalatrace::trace_world_streamed(world, args.ranks, &cfg, move |ctx| {
+        run_fn(ctx, &params)
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("capture failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Commit the artifact before touching stdout: if the report's reader
+    // has gone away (`capture ... | head` closing the pipe kills us), the
+    // recovered trace must already be on disk.
+    if let Some(out) = &args.out {
+        if let Err(msg) = write_trace(out, &streamed.run.trace) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", out.display());
+    }
+    let mut total = scalatrace::StreamCounters::default();
+    for c in &streamed.counters {
+        total.absorb(c);
+    }
+    println!(
+        "captured {} on {} ranks into {}: {} events, {} segment(s) sealed, \
+         {} reload(s), peak {} resident nodes (budget {}), {} seal error(s)",
+        args.app,
+        args.ranks,
+        args.dir.display(),
+        total.events,
+        total.segments_sealed,
+        total.segments_reloaded,
+        total.peak_resident,
+        cfg.budget(),
+        total.seal_errors
+    );
+    print!("{}", streamed.salvage);
+    if let Some(err) = &streamed.run.error {
+        eprintln!("run ended early: {err}");
+    }
+    let ok = streamed.run.error.is_none() && streamed.salvage.complete() && total.seal_errors == 0;
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main_salvage(args: SalvageArgs) -> ExitCode {
+    let (trace, report) = match scalatrace::salvage_dir(&args.dir) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("salvage failed on {}: {e}", args.dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Artifact before report (see main_capture): a reader closing stdout
+    // must not cost us the recovered trace.
+    if let Some(out) = &args.out {
+        if let Err(msg) = write_trace(out, &trace) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", out.display());
+    }
+    print!("{report}");
+    // A partial prefix is still a successful salvage: the report says
+    // which ranks stopped short, and the recovered trace is verified.
+    ExitCode::SUCCESS
 }
 
 fn main_chaos(args: ChaosArgs) -> ExitCode {
@@ -1275,9 +1686,94 @@ mod tests {
             _ => panic!("expected fsck mode"),
         };
         assert_eq!(f.cache_dir, PathBuf::from(".commbench-cache"));
+        assert!(f.stream_dir.is_none());
+        let f = match parse_argv(argv("fsck --stream /tmp/seg.d")).unwrap() {
+            Cmd::Fsck(f) => f,
+            _ => panic!("expected fsck mode"),
+        };
+        assert_eq!(f.stream_dir, Some(PathBuf::from("/tmp/seg.d")));
         assert!(parse_argv(argv("fsck --matrix m.txt")).is_err());
         assert!(parse_argv(argv("fsck --cache")).is_err(), "missing value");
+        assert!(parse_argv(argv("fsck --stream")).is_err(), "missing value");
         assert!(parse_argv(argv("fsck --help")).is_err());
+    }
+
+    #[test]
+    fn parses_convert_invocations() {
+        let c = match parse_argv(argv("convert in.st out.stbs")).unwrap() {
+            Cmd::Convert(c) => c,
+            _ => panic!("expected convert mode"),
+        };
+        assert_eq!(c.input, PathBuf::from("in.st"));
+        assert_eq!(c.output, PathBuf::from("out.stbs"));
+        let c = match parse_argv(argv("convert a.stbs b.st")).unwrap() {
+            Cmd::Convert(c) => c,
+            _ => panic!("expected convert mode"),
+        };
+        assert_eq!(trace_format_of(&c.input), Some(TraceFormat::Binary));
+        assert_eq!(trace_format_of(&c.output), Some(TraceFormat::Text));
+        assert!(parse_argv(argv("convert")).is_err(), "two paths required");
+        assert!(parse_argv(argv("convert only.st")).is_err());
+        assert!(parse_argv(argv("convert a.st b.st c.st")).is_err());
+        assert!(
+            parse_argv(argv("convert a.st b.json")).is_err(),
+            "unknown extension must be rejected"
+        );
+        assert!(parse_argv(argv("convert --frobnicate a.st b.st")).is_err());
+        assert!(parse_argv(argv("convert --help")).is_err());
+    }
+
+    #[test]
+    fn parses_capture_invocations() {
+        let c = match parse_argv(argv(
+            "capture --app ring --ranks 8 --iterations 5 --dir /tmp/seg.d \
+             --budget 128 --network bgl --event-delay-us 250 --out t.stbs",
+        ))
+        .unwrap()
+        {
+            Cmd::Capture(c) => c,
+            _ => panic!("expected capture mode"),
+        };
+        assert_eq!(c.app, "ring");
+        assert_eq!(c.ranks, 8);
+        assert_eq!(c.iterations, Some(5));
+        assert_eq!(c.dir, PathBuf::from("/tmp/seg.d"));
+        assert_eq!(c.budget, 128);
+        assert_eq!(c.network, "bgl");
+        assert_eq!(c.event_delay_us, 250);
+        assert_eq!(c.out, Some(PathBuf::from("t.stbs")));
+        let c = match parse_argv(argv("capture --app ring")).unwrap() {
+            Cmd::Capture(c) => c,
+            _ => panic!("expected capture mode"),
+        };
+        assert_eq!(c.ranks, 4);
+        assert!(c.out.is_none());
+        assert!(parse_argv(argv("capture")).is_err(), "--app is required");
+        assert!(parse_argv(argv("capture --app nosuchapp")).is_err());
+        assert!(parse_argv(argv("capture --app ring --ranks 0")).is_err());
+        assert!(parse_argv(argv("capture --app ring --max-window 0")).is_err());
+        assert!(parse_argv(argv("capture --app bt --ranks 3")).is_err());
+        assert!(parse_argv(argv("capture --app ring --network myrinet")).is_err());
+        assert!(parse_argv(argv("capture --app ring --out t.json")).is_err());
+        assert!(parse_argv(argv("capture --help")).is_err());
+    }
+
+    #[test]
+    fn parses_salvage_invocations() {
+        let s = match parse_argv(argv("salvage --dir /tmp/seg.d --out t.st")).unwrap() {
+            Cmd::Salvage(s) => s,
+            _ => panic!("expected salvage mode"),
+        };
+        assert_eq!(s.dir, PathBuf::from("/tmp/seg.d"));
+        assert_eq!(s.out, Some(PathBuf::from("t.st")));
+        let s = match parse_argv(argv("salvage")).unwrap() {
+            Cmd::Salvage(s) => s,
+            _ => panic!("expected salvage mode"),
+        };
+        assert_eq!(s.dir, PathBuf::from(".commbench-stream"));
+        assert!(parse_argv(argv("salvage --dir")).is_err(), "missing value");
+        assert!(parse_argv(argv("salvage --out t.json")).is_err());
+        assert!(parse_argv(argv("salvage --help")).is_err());
     }
 
     #[test]

@@ -31,6 +31,13 @@
 //!   ratio depends on the width and the `--check` gate only compares a
 //!   merge suite when the fresh run used the *same* width.
 //!
+//! * **stream** — bounded-memory streaming capture (`scalatrace::stream`)
+//!   of the ring app versus the seed unbounded in-memory capture. The
+//!   speedup here is the streaming overhead ratio, and the row embeds the
+//!   capture counters (peak resident nodes vs budget, segments sealed,
+//!   reloads, seal errors) as additive JSON fields, so the memory bound is
+//!   part of the committed record.
+//!
 //! Every suite therefore embeds its own `--baseline` comparison; `speedup`
 //! is `baseline_ns / current_ns` on the primary metric (median compression
 //! time, or median cold pipeline time). Speedups — not absolute
@@ -49,7 +56,7 @@ use scalatrace::merge::merge_sequences_stats;
 use scalatrace::params::{CommParam, RankParam, ValParam};
 use scalatrace::timestats::TimeStats;
 use scalatrace::trace::{OpTemplate, Rsd, TraceNode};
-use scalatrace::{FoldStrategy, MergeStats, MergeStrategy, RankSet};
+use scalatrace::{FoldStrategy, MergeStats, MergeStrategy, RankSet, StreamConfig, StreamCounters};
 use std::hint::black_box;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -71,6 +78,15 @@ pub const MERGE_DISTINCT_RANKS: usize = 64;
 
 /// Pipeline world size; every registry app accepts 4 ranks.
 const PIPELINE_RANKS: usize = 4;
+
+/// World size of the streaming-capture suite.
+const STREAM_RANKS: usize = 8;
+
+/// Resident-node budget the streaming-capture suite runs under — small
+/// enough that the workload actually seals segments mid-run (the ring app
+/// at the suite's iteration count produces ~90 events per rank), so the
+/// suite measures real streaming, not the degenerate everything-fits case.
+const STREAM_BUDGET: usize = 48;
 
 /// Smoke-mode pipeline apps (a wildcard-heavy app plus the simplest one).
 const SMOKE_APPS: [&str; 2] = ["ring", "lu"];
@@ -191,6 +207,18 @@ pub struct Suite {
     /// Merge phase counters from the `current` (class-collapsed) leg, so
     /// regressions are diagnosable from the committed JSON alone.
     pub merge_stats: Option<MergeStats>,
+    /// Streaming-capture counters from the `current` (streamed) leg plus
+    /// the budget it ran under (stream suites only).
+    pub stream_stats: Option<StreamSuiteStats>,
+}
+
+/// Capture counters of the streaming suite, pooled over all ranks.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamSuiteStats {
+    /// Resident-node budget the capture ran under.
+    pub budget: usize,
+    /// Pooled per-rank counters (events/seals sum, peak takes the max).
+    pub counters: StreamCounters,
 }
 
 /// A completed perf run.
@@ -468,6 +496,7 @@ fn merge_suite_over(
         baseline_warm_ns: None,
         threads: Some(threads),
         merge_stats,
+        stream_stats: None,
     }
 }
 
@@ -512,6 +541,7 @@ fn compression_suite(cfg: &PerfConfig, nranks: usize, variants: &[Variant]) -> S
         baseline_warm_ns: None,
         threads: None,
         merge_stats: None,
+        stream_stats: None,
     }
 }
 
@@ -648,6 +678,95 @@ fn pipeline_suite(
         baseline_warm_ns: Some(baseline_warm_ns),
         threads: None,
         merge_stats: None,
+        stream_stats: None,
+    })
+}
+
+/// Streaming-capture suite: trace the ring app under a bounded resident
+/// budget (`current`: segments sealed to disk mid-run) versus the seed
+/// unbounded in-memory capture (`baseline`). The speedup is the streaming
+/// overhead ratio (expected near or below 1.0 — the suite exists to keep
+/// that overhead, and the capture counters, on the measured record).
+fn stream_suite(cfg: &PerfConfig, variants: &[Variant]) -> Result<Suite, String> {
+    let app = registry::lookup("ring").expect("ring is registered");
+    let params = AppParams {
+        class: Class::S,
+        iterations: Some(cfg.pipeline_iters()),
+        compute_scale: 1.0,
+    };
+    let run_fn = app.run;
+    let body = move |ctx: &mut mpisim::Ctx| run_fn(ctx, &params);
+    let dir = cfg.cache_dir.join("perf-stream");
+    let stream_cfg = StreamConfig::new(&dir, STREAM_BUDGET).with_max_window(1);
+    let mut times = [0u64; 2];
+    for &v in variants {
+        let t = match v {
+            Variant::Current => time_median(cfg.warmup(), cfg.reps(), || {
+                let _ = std::fs::remove_dir_all(&dir);
+                let streamed = scalatrace::trace_world_streamed(
+                    World::new(STREAM_RANKS).network(network::ideal()),
+                    STREAM_RANKS,
+                    &stream_cfg,
+                    body,
+                )
+                .expect("streamed capture");
+                streamed.run.trace.node_count()
+            }),
+            Variant::Baseline => time_median(cfg.warmup(), cfg.reps(), || {
+                let traced = scalatrace::trace_world_with_strategy(
+                    World::new(STREAM_RANKS).network(network::ideal()),
+                    STREAM_RANKS,
+                    FoldStrategy::default(),
+                    body,
+                )
+                .expect("unbounded capture");
+                traced.trace.node_count()
+            }),
+        };
+        times[(v == Variant::Baseline) as usize] = t;
+    }
+    // The counters are deterministic; one untimed pass records them.
+    let stream_stats = if variants.contains(&Variant::Current) {
+        let _ = std::fs::remove_dir_all(&dir);
+        let streamed = scalatrace::trace_world_streamed(
+            World::new(STREAM_RANKS).network(network::ideal()),
+            STREAM_RANKS,
+            &stream_cfg,
+            body,
+        )
+        .map_err(|e| format!("stream suite capture failed: {e}"))?;
+        let mut counters = StreamCounters::default();
+        for c in &streamed.counters {
+            counters.absorb(c);
+        }
+        if counters.peak_resident > stream_cfg.budget() {
+            return Err(format!(
+                "stream suite broke its memory bound: peak {} resident nodes under budget {}",
+                counters.peak_resident,
+                stream_cfg.budget()
+            ));
+        }
+        Some(StreamSuiteStats {
+            budget: stream_cfg.budget(),
+            counters,
+        })
+    } else {
+        None
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    let (current_ns, baseline_ns) = fill_missing(times, variants);
+    Ok(Suite {
+        name: format!("stream_capture_r{STREAM_RANKS}"),
+        kind: "stream",
+        ranks: STREAM_RANKS,
+        current_ns,
+        baseline_ns,
+        speedup: ratio(baseline_ns, current_ns),
+        warm_ns: None,
+        baseline_warm_ns: None,
+        threads: None,
+        merge_stats: None,
+        stream_stats,
     })
 }
 
@@ -712,6 +831,9 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
         ));
     }
 
+    eprintln!("perf: streaming capture at {STREAM_RANKS} ranks (budget {STREAM_BUDGET} nodes) ...");
+    suites.push(stream_suite(cfg, variants)?);
+
     // A dedicated subdirectory keeps perf entries (whose keys embed rep
     // indices) out of the campaign's cache namespace; wiping it guarantees
     // the cold legs are real misses even across invocations.
@@ -756,6 +878,7 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
         baseline_warm_ns: None,
         threads: None,
         merge_stats: None,
+        stream_stats: None,
     });
 
     Ok(PerfReport {
@@ -806,6 +929,29 @@ impl Suite {
                 st.anchor_trimmed as f64 / st.pair_nodes as f64
             };
             obj.push(("anchor_trim_rate".into(), Json::Num(round3(trim_rate))));
+        }
+        if let Some(st) = &self.stream_stats {
+            // Additive fields (schema stays commspec-perf/v2): the capture
+            // counters, so the committed row shows the memory bound held
+            // (`peak_resident <= budget`) and at what seal/reload cost.
+            obj.push(("budget".into(), Json::Num(st.budget as f64)));
+            obj.push((
+                "peak_resident".into(),
+                Json::Num(st.counters.peak_resident as f64),
+            ));
+            obj.push((
+                "segments_sealed".into(),
+                Json::Num(st.counters.segments_sealed as f64),
+            ));
+            obj.push((
+                "segments_reloaded".into(),
+                Json::Num(st.counters.segments_reloaded as f64),
+            ));
+            obj.push(("stream_events".into(), Json::Num(st.counters.events as f64)));
+            obj.push((
+                "seal_errors".into(),
+                Json::Num(st.counters.seal_errors as f64),
+            ));
         }
         Json::Obj(obj)
     }
@@ -979,6 +1125,7 @@ mod tests {
             baseline_warm_ns: None,
             threads,
             merge_stats: None,
+            stream_stats: None,
         }
     }
 
@@ -1087,6 +1234,51 @@ mod tests {
         // only knows v2's original fields still parses the row.
         assert_eq!(json.get("speedup").and_then(Json::as_num), Some(4.0));
         // And the gate itself ignores them.
+        let committed = parse_json(
+            &report(vec![suite("merge_r64", "merge", 4.0, Some(1))])
+                .to_json()
+                .to_string(),
+        )
+        .unwrap();
+        let fresh = report(vec![s]);
+        assert!(check_regressions(&fresh, &committed).is_empty());
+    }
+
+    #[test]
+    fn stream_suite_json_carries_capture_counters() {
+        let mut s = suite("stream_capture_r8", "stream", 0.9, None);
+        s.stream_stats = Some(StreamSuiteStats {
+            budget: 192,
+            counters: StreamCounters {
+                events: 2408,
+                peak_resident: 190,
+                segments_sealed: 72,
+                segments_reloaded: 0,
+                seal_errors: 0,
+            },
+        });
+        let json = parse_json(&s.to_json().to_string()).unwrap();
+        assert_eq!(json.get("budget").and_then(Json::as_num), Some(192.0));
+        assert_eq!(
+            json.get("peak_resident").and_then(Json::as_num),
+            Some(190.0)
+        );
+        assert_eq!(
+            json.get("segments_sealed").and_then(Json::as_num),
+            Some(72.0)
+        );
+        assert_eq!(
+            json.get("segments_reloaded").and_then(Json::as_num),
+            Some(0.0)
+        );
+        assert_eq!(
+            json.get("stream_events").and_then(Json::as_num),
+            Some(2408.0)
+        );
+        assert_eq!(json.get("seal_errors").and_then(Json::as_num), Some(0.0));
+        // Additive: the original v2 fields are untouched and a committed
+        // baseline without the stream suite simply does not gate it.
+        assert_eq!(json.get("speedup").and_then(Json::as_num), Some(0.9));
         let committed = parse_json(
             &report(vec![suite("merge_r64", "merge", 4.0, Some(1))])
                 .to_json()

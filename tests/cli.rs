@@ -346,3 +346,81 @@ fn commbench_rejects_missing_and_malformed_matrices() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn commbench_convert_roundtrips_between_text_and_binary() {
+    let dir = temp_dir("convert");
+    // Produce a trace in both formats via a streamed capture.
+    let seg_dir = dir.join("segments");
+    let text_path = dir.join("trace.st");
+    let out = commbench(&[
+        "capture",
+        "--app",
+        "ring",
+        "--ranks",
+        "4",
+        "--iterations",
+        "10",
+        "--dir",
+        seg_dir.to_str().unwrap(),
+        "--out",
+        text_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // text -> binary -> text must reproduce the text byte-for-byte.
+    let bin_path = dir.join("trace.stbs");
+    let back_path = dir.join("back.st");
+    let out = commbench(&[
+        "convert",
+        text_path.to_str().unwrap(),
+        bin_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = commbench(&[
+        "convert",
+        bin_path.to_str().unwrap(),
+        back_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        std::fs::read(&text_path).unwrap(),
+        std::fs::read(&back_path).unwrap(),
+        "text -> stbs -> text is not byte-identical"
+    );
+
+    // binary -> text -> binary likewise (the trace is text-canonical
+    // because it just came through the text format).
+    let bin2_path = dir.join("trace2.stbs");
+    let out = commbench(&[
+        "convert",
+        back_path.to_str().unwrap(),
+        bin2_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        std::fs::read(&bin_path).unwrap(),
+        std::fs::read(&bin2_path).unwrap(),
+        "stbs -> text -> stbs is not byte-identical"
+    );
+
+    // Corrupt binary input is a structured diagnostic, not a panic.
+    std::fs::write(&bin_path, b"not a trace").unwrap();
+    let out = commbench(&[
+        "convert",
+        bin_path.to_str().unwrap(),
+        back_path.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot decode"), "{}", stderr(&out));
+
+    // Unknown extensions are rejected up front.
+    let out = commbench(&["convert", "a.st", "b.json"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("cannot infer trace format"),
+        "{}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

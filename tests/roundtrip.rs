@@ -55,3 +55,52 @@ fn every_registry_app_roundtrips_through_the_text_format() {
         );
     }
 }
+
+#[test]
+fn every_registry_app_roundtrips_through_the_binary_format() {
+    use scalatrace::stream::{trace_from_bytes, trace_to_bytes};
+    for app in registry::all() {
+        let ranks = smallest_ranks(app);
+        let params = AppParams::quick();
+        let run = app.run;
+        let traced = scalatrace::trace_app(ranks, network::ideal(), move |ctx| run(ctx, &params))
+            .unwrap_or_else(|e| panic!("{} fails to trace: {e}", app.name));
+
+        // Binary round-trip is exact (not just semantic): STBS preserves
+        // the timing histograms the text view summarises away.
+        let bytes = trace_to_bytes(&traced.trace);
+        let reloaded = trace_from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{} binary trace fails to decode: {e}", app.name));
+        assert_eq!(
+            traced.trace, reloaded,
+            "{}: binary round-trip changed the trace",
+            app.name
+        );
+        assert_eq!(
+            bytes,
+            trace_to_bytes(&reloaded),
+            "{}: second binary serialization differs",
+            app.name
+        );
+
+        // Converting through the other format and back is byte-identical
+        // on each side: text -> binary -> text is the identity on trace
+        // text, and binary -> text -> binary on text-canonical traces
+        // (`commbench convert` both directions).
+        let text = to_text(&traced.trace);
+        let via_binary = to_text(&trace_from_bytes(&trace_to_bytes(&traced.trace)).unwrap());
+        assert_eq!(
+            text, via_binary,
+            "{}: text -> binary -> text is not the identity",
+            app.name
+        );
+        let canonical = from_text(&text).unwrap();
+        let canon_bytes = trace_to_bytes(&canonical);
+        let via_text = trace_to_bytes(&from_text(&to_text(&canonical)).unwrap());
+        assert_eq!(
+            canon_bytes, via_text,
+            "{}: binary -> text -> binary is not the identity on canonical traces",
+            app.name
+        );
+    }
+}
