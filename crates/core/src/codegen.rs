@@ -225,7 +225,7 @@ impl CodeGenerator for ConceptualGenerator {
                         self.push(Stmt::Send {
                             src: taskset_of(&g.ranks, self.nranks, true),
                             dst: g.peer.expect("sends have peers"),
-                            bytes: Expr::num(g.bytes as i64),
+                            bytes: g.bytes,
                             tag: synth_tag(comm_id, *tag),
                             is_async: !blocking,
                         });
@@ -257,7 +257,7 @@ impl CodeGenerator for ConceptualGenerator {
                                 self.push(Stmt::Receive {
                                     dst: taskset_of(&g.ranks, self.nranks, true),
                                     src: None,
-                                    bytes: Expr::num(g.bytes as i64),
+                                    bytes: g.bytes,
                                     tag,
                                     is_async: !blocking,
                                 });
@@ -268,7 +268,7 @@ impl CodeGenerator for ConceptualGenerator {
                                 self.push(Stmt::Receive {
                                     dst: taskset_of(&g.ranks, self.nranks, true),
                                     src: Some(g.peer.expect("grouped peer")),
-                                    bytes: Expr::num(g.bytes as i64),
+                                    bytes: g.bytes,
                                     tag,
                                     is_async: !blocking,
                                 });

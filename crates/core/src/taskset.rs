@@ -40,8 +40,8 @@ pub fn runs_of(ranks: &RankSet) -> Vec<TaskRun> {
 }
 
 /// Express a rank-relative peer parameter as an expression over the task
-/// binder. Callers must have grouped `PerRank` tables away beforehand
-/// (see [`p2p_groups`]).
+/// binder. Callers must have grouped `PerRank` tables and piecewise forms
+/// away beforehand (see [`p2p_groups`]).
 pub fn expr_of_rank_param(p: &RankParam) -> Expr {
     match p {
         RankParam::Const(c) => Expr::num(*c as i64),
@@ -52,6 +52,30 @@ pub fn expr_of_rank_param(p: &RankParam) -> Expr {
         ),
         RankParam::Xor(mask) => Expr::xor(Expr::var(TASK_VAR), Expr::num(*mask as i64)),
         RankParam::PerRank(_) => unreachable!("PerRank peers are grouped before emission"),
+        RankParam::Piecewise(_) => unreachable!("piecewise peers are grouped before emission"),
+    }
+}
+
+/// Express a value parameter (bytes, counts) as an expression over the
+/// task binder. Callers must have grouped `PerRank`/piecewise forms away
+/// beforehand (see [`p2p_groups`]).
+pub fn expr_of_val_param(v: &ValParam) -> Expr {
+    match v {
+        ValParam::Const(c) => Expr::num(*c as i64),
+        ValParam::Linear { base, slope } => {
+            let prop = if *slope == 1 {
+                Expr::var(TASK_VAR)
+            } else {
+                Expr::mul(Expr::num(*slope), Expr::var(TASK_VAR))
+            };
+            match base.cmp(&0) {
+                std::cmp::Ordering::Equal => prop,
+                std::cmp::Ordering::Greater => Expr::add(prop, Expr::num(*base)),
+                std::cmp::Ordering::Less => Expr::sub(prop, Expr::num(-base)),
+            }
+        }
+        ValParam::PerRank(_) => unreachable!("PerRank values are grouped before emission"),
+        ValParam::Piecewise(_) => unreachable!("piecewise values are grouped before emission"),
     }
 }
 
@@ -69,56 +93,131 @@ pub struct P2pGroup {
     pub ranks: RankSet,
     /// Peer expression for the group (rank-relative or constant).
     pub peer: Option<Expr>,
-    /// Uniform message size for the group.
-    pub bytes: u64,
+    /// Message-size expression for the group (constant or rank-relative).
+    pub bytes: Expr,
+}
+
+/// Sub-domains of `ranks` over which `peer` has a single closed form, with
+/// that form's expression. One entry (and no set intersection) in the
+/// common single-form case.
+fn peer_segments(ranks: &RankSet, peer: Option<&RankParam>) -> Vec<(RankSet, Option<Expr>)> {
+    match peer {
+        None => vec![(ranks.clone(), None)],
+        Some(RankParam::Piecewise(ps)) => {
+            let covered: usize = ps.iter().map(|(s, _)| s.len()).sum();
+            ps.iter()
+                .map(|(s, f)| {
+                    let dom = if covered == ranks.len() {
+                        s.clone()
+                    } else {
+                        s.intersect(ranks)
+                    };
+                    (dom, Some(expr_of_rank_param(&f.into_param())))
+                })
+                .filter(|(s, _)| !s.is_empty())
+                .collect()
+        }
+        Some(p) if p.is_compressed() => vec![(ranks.clone(), Some(expr_of_rank_param(p)))],
+        Some(p) => {
+            // dense escape hatch: one segment per distinct peer value
+            let mut by_val: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for r in ranks.iter() {
+                by_val.entry(p.eval(r)).or_default().push(r);
+            }
+            by_val
+                .into_iter()
+                .map(|(v, members)| (RankSet::from_ranks(members), Some(Expr::num(v as i64))))
+                .collect()
+        }
+    }
+}
+
+/// Sub-domains of `ranks` over which `bytes` has a single expression.
+fn bytes_segments(ranks: &RankSet, bytes: &ValParam) -> Vec<(RankSet, Expr)> {
+    match bytes {
+        ValParam::Piecewise(ps) => {
+            let covered: usize = ps.iter().map(|(s, _)| s.len()).sum();
+            ps.iter()
+                .map(|(s, v)| {
+                    let dom = if covered == ranks.len() {
+                        s.clone()
+                    } else {
+                        s.intersect(ranks)
+                    };
+                    (dom, Expr::num(*v as i64))
+                })
+                .filter(|(s, _)| !s.is_empty())
+                .collect()
+        }
+        v if v.is_compressed() => vec![(ranks.clone(), expr_of_val_param(v))],
+        v => {
+            let mut by_val: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+            for r in ranks.iter() {
+                by_val.entry(v.eval(r)).or_default().push(r);
+            }
+            by_val
+                .into_iter()
+                .map(|(b, members)| (RankSet::from_ranks(members), Expr::num(b as i64)))
+                .collect()
+        }
+    }
 }
 
 /// Split a point-to-point RSD's rank set into groups with uniform emitted
-/// parameters. If both the peer and the byte count are compressed
-/// (rank-relative or constant), a single group covering all ranks results;
-/// per-rank tables degrade into one group per distinct value combination —
+/// parameters: one coNCePTuaL clause per *piece*, never per rank. If both
+/// the peer and the byte count have a single closed form, a single group
+/// covering all ranks results; piecewise forms contribute one group per
+/// piece (intersected run-wise when both parameters are piecewise), and
+/// dense tables degrade into one group per distinct value combination —
 /// the paper's size/readability trade-off for irregular patterns.
 pub fn p2p_groups(ranks: &RankSet, peer: Option<&RankParam>, bytes: &ValParam) -> Vec<P2pGroup> {
-    let peer_compressed = peer.is_none_or(RankParam::is_compressed);
-    if peer_compressed && bytes.is_compressed() {
-        return vec![P2pGroup {
-            ranks: ranks.clone(),
-            peer: peer.map(expr_of_rank_param),
-            bytes: match bytes {
-                ValParam::Const(c) => *c,
-                ValParam::PerRank(_) => unreachable!("checked compressed"),
-            },
-        }];
+    let peers = peer_segments(ranks, peer);
+    let sizes = bytes_segments(ranks, bytes);
+    if peers.len() == 1 {
+        let (_, peer) = &peers[0];
+        return sizes
+            .into_iter()
+            .map(|(dom, b)| P2pGroup {
+                ranks: dom,
+                peer: peer.clone(),
+                bytes: b,
+            })
+            .collect();
     }
-    // Group ranks by (peer value if tabulated, bytes value).
-    let mut groups: BTreeMap<(Option<usize>, u64), Vec<usize>> = BTreeMap::new();
-    for r in ranks.iter() {
-        let peer_key = match peer {
-            Some(RankParam::PerRank(_)) => Some(peer.unwrap().eval(r)),
-            _ => None,
-        };
-        groups.entry((peer_key, bytes.eval(r))).or_default().push(r);
+    if sizes.len() == 1 {
+        let (_, b) = &sizes[0];
+        return peers
+            .into_iter()
+            .map(|(dom, peer)| P2pGroup {
+                ranks: dom,
+                peer,
+                bytes: b.clone(),
+            })
+            .collect();
     }
-    groups
-        .into_iter()
-        .map(|((peer_key, b), members)| P2pGroup {
-            ranks: RankSet::from_ranks(members),
-            peer: match (peer_key, peer) {
-                (Some(p), _) => Some(Expr::num(p as i64)),
-                (None, Some(p)) => Some(expr_of_rank_param(p)),
-                (None, None) => None,
-            },
-            bytes: b,
-        })
-        .collect()
+    let mut out = Vec::new();
+    for (pdom, peer) in &peers {
+        for (bdom, b) in &sizes {
+            let dom = pdom.intersect(bdom);
+            if !dom.is_empty() {
+                out.push(P2pGroup {
+                    ranks: dom,
+                    peer: peer.clone(),
+                    bytes: b.clone(),
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Representative byte count for a collective RSD: exact when uniform,
-/// averaged otherwise (Table 1's "averaged message size" rule).
+/// averaged otherwise (Table 1's "averaged message size" rule). The mean
+/// is closed-form on the symbolic variants.
 pub fn collective_bytes(bytes: &ValParam, ranks: &RankSet) -> (u64, bool) {
     match bytes {
         ValParam::Const(c) => (*c, false),
-        ValParam::PerRank(_) => (bytes.mean_over(ranks), true),
+        other => (other.mean_over(ranks), true),
     }
 }
 
@@ -190,7 +289,7 @@ mod tests {
             &ValParam::Const(1024),
         );
         assert_eq!(groups.len(), 1);
-        assert_eq!(groups[0].bytes, 1024);
+        assert_eq!(groups[0].bytes, Expr::num(1024));
         assert_eq!(groups[0].ranks.len(), 8);
     }
 
@@ -203,9 +302,9 @@ mod tests {
             &ValParam::PerRank(table),
         );
         assert_eq!(groups.len(), 2);
-        assert_eq!(groups[0].bytes, 100);
+        assert_eq!(groups[0].bytes, Expr::num(100));
         assert_eq!(groups[0].ranks.iter().collect::<Vec<_>>(), vec![0, 2]);
-        assert_eq!(groups[1].bytes, 200);
+        assert_eq!(groups[1].bytes, Expr::num(200));
     }
 
     #[test]

@@ -98,6 +98,13 @@ fn extrapolate_ranks(ranks: &RankSet, old_n: usize, new_n: usize) -> Result<Rank
                 Ok(ranks.clone())
             };
         }
+        // a contiguous run ending one short of the world edge tracks that
+        // edge — the sender side of a pipeline ({0..n-2}), its interior
+        // ({1..n-2}), or the unwrapped piece of a broken ring: the start
+        // is a fixed root, the end stretches with the world
+        if r.stride == 1 && last == old_n - 2 {
+            return Ok(RankSet::from_ranks(r.start..new_n - 1));
+        }
         // fixed prefix {0..k} with k well inside the old world: keep
         if r.start == 0 && r.stride == 1 && last < old_n - 1 {
             return Ok(ranks.clone());
@@ -149,9 +156,59 @@ fn extrapolate_rank_param(
         RankParam::OffsetMod { .. } => Err(ExtrapError(
             "modular peer whose modulus is not the world size".into(),
         )),
-        RankParam::PerRank(_) => Err(ExtrapError(
-            "per-rank peer table (irregular pattern)".into(),
-        )),
+        RankParam::Piecewise(ps) => {
+            // each piece extrapolates independently: the domain as a
+            // function of the world size, the closed form as a peer
+            let pieces = ps
+                .iter()
+                .map(|(s, f)| {
+                    let dom = extrapolate_ranks(s, old_n, new_n)?;
+                    let func = match extrapolate_rank_param(&f.into_param(), old_n, new_n)?.as_fn()
+                    {
+                        Some(f) => f,
+                        None => unreachable!("closed forms extrapolate to closed forms"),
+                    };
+                    Ok((dom, func))
+                })
+                .collect::<Result<Vec<_>, ExtrapError>>()?;
+            Ok(RankParam::Piecewise(pieces))
+        }
+        RankParam::PerRank(_) => {
+            // the dense escape hatch may still hide a stride-expressible
+            // pattern (e.g. produced under ParamRepr::Dense): re-fit it
+            // before refusing
+            match p.canonical() {
+                RankParam::PerRank(_) => Err(ExtrapError(
+                    "per-rank peer table (irregular pattern)".into(),
+                )),
+                c => extrapolate_rank_param(&c, old_n, new_n),
+            }
+        }
+    }
+}
+
+fn extrapolate_val(
+    v: &crate::params::ValParam,
+    old_n: usize,
+    new_n: usize,
+) -> Result<crate::params::ValParam, ExtrapError> {
+    use crate::params::ValParam;
+    match v {
+        // constants and rank-proportional sizes are world-independent
+        ValParam::Const(_) | ValParam::Linear { .. } => Ok(v.clone()),
+        ValParam::Piecewise(ps) => {
+            let pieces = ps
+                .iter()
+                .map(|(s, val)| Ok((extrapolate_ranks(s, old_n, new_n)?, *val)))
+                .collect::<Result<Vec<_>, ExtrapError>>()?;
+            Ok(ValParam::Piecewise(pieces))
+        }
+        ValParam::PerRank(_) => match v.canonical() {
+            ValParam::PerRank(_) => {
+                Err(ExtrapError("per-rank value table (irregular sizes)".into()))
+            }
+            c => extrapolate_val(&c, old_n, new_n),
+        },
     }
 }
 
@@ -162,14 +219,7 @@ fn extrapolate_op(op: &OpTemplate, old_n: usize, new_n: usize) -> Result<OpTempl
             _ => Err(ExtrapError("non-world communicator".into())),
         }
     };
-    let check_val = |v: &crate::params::ValParam| -> Result<crate::params::ValParam, ExtrapError> {
-        match v {
-            crate::params::ValParam::Const(_) => Ok(v.clone()),
-            crate::params::ValParam::PerRank(_) => {
-                Err(ExtrapError("per-rank value table (irregular sizes)".into()))
-            }
-        }
-    };
+    let check_val = |v: &crate::params::ValParam| extrapolate_val(v, old_n, new_n);
     Ok(match op {
         OpTemplate::Send {
             to,
@@ -314,6 +364,89 @@ mod tests {
 
         let root = RankSet::single(0);
         assert_eq!(extrapolate_ranks(&root, 8, 16).unwrap(), root);
+    }
+
+    #[test]
+    fn piecewise_peer_extrapolates_per_piece() {
+        // broken ring built as pieces (previously a PerRank table → refused):
+        // interior ranks shift right, the last rank wraps to 0
+        use crate::params::RankFn;
+        let p = RankParam::Piecewise(vec![
+            (RankSet::from_ranks(0..7), RankFn::Offset(1)),
+            (RankSet::single(7), RankFn::Const(0)),
+        ]);
+        let out = extrapolate_rank_param(&p, 8, 32).expect("piecewise extrapolates");
+        assert_eq!(
+            out,
+            RankParam::Piecewise(vec![
+                (RankSet::from_ranks(0..31), RankFn::Offset(1)),
+                (RankSet::single(31), RankFn::Const(0)),
+            ])
+        );
+    }
+
+    #[test]
+    fn dense_affine_tables_are_refit_not_refused() {
+        // a PerRank table that is secretly `rank+1` (as the Dense escape
+        // hatch produces) used to be refused outright
+        let table: std::collections::BTreeMap<usize, usize> = (0..7).map(|r| (r, r + 1)).collect();
+        let out = extrapolate_rank_param(&RankParam::PerRank(table), 8, 16)
+            .expect("affine table extrapolates");
+        assert_eq!(out, RankParam::Offset(1));
+
+        // value tables with rank-proportional sizes likewise
+        let sizes: std::collections::BTreeMap<usize, u64> =
+            (0..8).map(|r| (r, 64 * (r as u64 + 1))).collect();
+        let out = extrapolate_val(&crate::params::ValParam::PerRank(sizes), 8, 16)
+            .expect("linear sizes extrapolate");
+        assert_eq!(
+            out,
+            crate::params::ValParam::Linear {
+                base: 64,
+                slope: 64
+            }
+        );
+
+        // genuinely irregular tables are still refused
+        let bad: std::collections::BTreeMap<usize, usize> = [(0, 5), (1, 3), (2, 9), (3, 0)].into();
+        assert!(extrapolate_rank_param(&RankParam::PerRank(bad), 8, 16).is_err());
+    }
+
+    #[test]
+    fn rank_linear_collective_sizes_extrapolate() {
+        // allgatherv with bytes = 64*(rank+1): the size parameter unifies
+        // to a linear form, which used to degrade to a per-rank table and
+        // refuse extrapolation
+        let app = |ctx: &mut mpisim::ctx::Ctx| {
+            let w = ctx.world();
+            let bytes = 64 * (ctx.rank() as u64 + 1);
+            ctx.allgatherv(bytes, &w);
+            ctx.finalize();
+        };
+        let small = trace_app(8, network::ideal(), app).unwrap().trace;
+        let big = extrapolate(&small, 32).expect("linear sizes are world-generic");
+        let truth = trace_app(32, network::ideal(), app).unwrap().trace;
+        semantically_equal(&big, &truth).expect("extrapolated trace matches reality");
+    }
+
+    #[test]
+    fn edge_tracking_prefix_and_interior_sets_rewrite() {
+        // sender side of a pipeline: {0..n-2} stretches with the world
+        assert_eq!(
+            extrapolate_ranks(&RankSet::from_ranks(0..7), 8, 24).unwrap(),
+            RankSet::from_ranks(0..23)
+        );
+        // interior (send-and-recv) ranks of a pipeline: {1..n-2} keeps
+        // its fixed root and stretches its end
+        assert_eq!(
+            extrapolate_ranks(&RankSet::from_ranks(1..7), 8, 24).unwrap(),
+            RankSet::from_ranks(1..23)
+        );
+        // a short fixed prefix well inside the world stays put
+        assert_eq!(
+            extrapolate_ranks(&RankSet::from_ranks(0..3), 8, 24).unwrap(),
+            RankSet::from_ranks(0..3)
+        );
     }
 
     #[test]

@@ -364,6 +364,42 @@ fn write_rank_param(h: &mut Mix, p: &RankParam) {
                 h.word(*v as u64);
             }
         }
+        RankParam::Piecewise(ps) => {
+            h.word(0x06);
+            h.word(ps.len() as u64);
+            for (s, f) in ps {
+                write_rank_set(h, s);
+                match f {
+                    crate::params::RankFn::Const(c) => {
+                        h.word(0x01);
+                        h.word(*c as u64);
+                    }
+                    crate::params::RankFn::Offset(d) => {
+                        h.word(0x02);
+                        h.word(*d as u64);
+                    }
+                    crate::params::RankFn::OffsetMod { offset, modulus } => {
+                        h.word(0x03);
+                        h.word(*offset as u64);
+                        h.word(*modulus as u64);
+                    }
+                    crate::params::RankFn::Xor(mask) => {
+                        h.word(0x04);
+                        h.word(*mask as u64);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn write_rank_set(h: &mut Mix, s: &crate::rankset::RankSet) {
+    let runs = s.runs();
+    h.word(runs.len() as u64);
+    for r in runs {
+        h.word(r.start as u64);
+        h.word(r.stride as u64);
+        h.word(r.count as u64);
     }
 }
 
@@ -381,6 +417,14 @@ fn write_comm_param(h: &mut Mix, p: &CommParam) {
                 h.word(*v as u64);
             }
         }
+        CommParam::Piecewise(ps) => {
+            h.word(0x03);
+            h.word(ps.len() as u64);
+            for (s, c) in ps {
+                write_rank_set(h, s);
+                h.word(*c as u64);
+            }
+        }
     }
 }
 
@@ -395,6 +439,19 @@ fn write_val_param(h: &mut Mix, p: &ValParam) {
             h.word(m.len() as u64);
             for (r, v) in m {
                 h.word(*r as u64);
+                h.word(*v);
+            }
+        }
+        ValParam::Linear { base, slope } => {
+            h.word(0x03);
+            h.word(*base as u64);
+            h.word(*slope as u64);
+        }
+        ValParam::Piecewise(ps) => {
+            h.word(0x04);
+            h.word(ps.len() as u64);
+            for (s, v) in ps {
+                write_rank_set(h, s);
                 h.word(*v);
             }
         }

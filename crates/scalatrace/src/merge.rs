@@ -427,7 +427,7 @@ fn collapse_rsds(rsds: Vec<Rsd>, world: usize) -> Rsd {
     for r in &rsds[1..] {
         compute.merge(&r.compute);
     }
-    let ranks = RankSet::from_ranks(rsds.iter().flat_map(|r| r.ranks.iter()));
+    let ranks = RankSet::union_many(rsds.iter().map(|r| &r.ranks));
     Rsd {
         ranks,
         sig: rsds[0].sig,

@@ -4,17 +4,130 @@
 //! of the constituent calls. A parameter that is identical everywhere stays
 //! a constant; one that is expressible *relative to the rank* (`rank+1`,
 //! `(rank+1) mod N` …) becomes a rank expression; anything else degrades to
-//! an explicit per-rank table. This is the "structural compression extends
-//! to any event parameters" property the paper contrasts with call-graph
-//! compression (§2).
+//! a **piecewise-symbolic** form — an ordered list of `(RankSet, closed
+//! form)` pieces — and only past a compressibility threshold to an explicit
+//! per-rank table. This is the "structural compression extends to any event
+//! parameters" property the paper contrasts with call-graph compression
+//! (§2), kept independent of the rank count:
+//!
+//! * Unification never materializes dense tables on the symbolic path: the
+//!   candidate closed forms are checked piece-against-piece over rank-set
+//!   runs ([`RankSet::runs`]), and the piecewise fallback groups runs by
+//!   the offset `value - rank`, so unifying k distinct behaviors costs
+//!   O(k·runs) instead of O(P).
+//! * The fit is *canonical*: the result depends only on the pointwise
+//!   rank→value map, never on how the input was cut into parts. That makes
+//!   flat many-way unification ([`RankParam::unify_many`]) equal to any
+//!   fold of the pairwise [`RankParam::unify`] — the associativity the
+//!   class-collapsed merge relies on — and makes the dense and symbolic
+//!   representations encode byte-identically (see [`ParamRepr`]).
+//!
+//! The legacy dense behavior survives behind the [`ParamRepr::Dense`]
+//! escape hatch: under it, unification expands and recompresses explicit
+//! tables exactly as the seed implementation did. Differential tests pin
+//! the two representations to byte-identical text/STBS encodings, virtual
+//! times, and profiles.
 
-use crate::rankset::RankSet;
+use crate::rankset::{RankSet, Run};
 use mpisim::types::Rank;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Which parameter representation unification produces for irregular
+/// tables: the seed dense `PerRank` maps, or the piecewise-symbolic form.
+///
+/// The setting is per-thread (merges that must honor a non-default value
+/// should run with `threads = 1` so all work stays on the calling thread).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ParamRepr {
+    /// Seed behavior: expand to dense rank tables and recompress.
+    Dense,
+    /// Run-wise piecewise-symbolic unification (the default).
+    #[default]
+    Symbolic,
+}
+
+thread_local! {
+    static REPR: Cell<ParamRepr> = const { Cell::new(ParamRepr::Symbolic) };
+}
+
+/// The active [`ParamRepr`] on this thread.
+pub fn param_repr() -> ParamRepr {
+    REPR.with(Cell::get)
+}
+
+/// Set the active [`ParamRepr`] on this thread.
+pub fn set_param_repr(repr: ParamRepr) {
+    REPR.with(|c| c.set(repr));
+}
+
+/// Run `f` with `repr` active on this thread, restoring the previous value.
+pub fn with_param_repr<T>(repr: ParamRepr, f: impl FnOnce() -> T) -> T {
+    let prev = param_repr();
+    set_param_repr(repr);
+    let out = f();
+    set_param_repr(prev);
+    out
+}
+
+/// One closed-form peer function — the value half of a piecewise piece.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RankFn {
+    /// Same absolute rank everywhere.
+    Const(Rank),
+    /// `peer = rank + offset` (no wraparound).
+    Offset(i64),
+    /// `peer = (rank + offset) mod modulus` — ring patterns.
+    OffsetMod {
+        /// Additive offset before the modulo.
+        offset: i64,
+        /// The modulus (the world size in collected traces).
+        modulus: usize,
+    },
+    /// `peer = rank XOR mask` — hypercube/butterfly patterns.
+    Xor(usize),
+}
+
+impl RankFn {
+    /// The peer value for `rank`.
+    pub fn eval(self, rank: Rank) -> Rank {
+        match self {
+            RankFn::Const(c) => c,
+            RankFn::Offset(d) => (rank as i64 + d) as Rank,
+            RankFn::OffsetMod { offset, modulus } => {
+                (((rank as i64 + offset) % modulus as i64 + modulus as i64) % modulus as i64)
+                    as Rank
+            }
+            RankFn::Xor(mask) => rank ^ mask,
+        }
+    }
+
+    /// The equivalent [`RankParam`].
+    pub fn into_param(self) -> RankParam {
+        match self {
+            RankFn::Const(c) => RankParam::Const(c),
+            RankFn::Offset(d) => RankParam::Offset(d),
+            RankFn::OffsetMod { offset, modulus } => RankParam::OffsetMod { offset, modulus },
+            RankFn::Xor(m) => RankParam::Xor(m),
+        }
+    }
+}
+
+impl fmt::Display for RankFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankFn::Const(c) => write!(f, "{c}"),
+            RankFn::Offset(d) if *d >= 0 => write!(f, "rank+{d}"),
+            RankFn::Offset(d) => write!(f, "rank{d}"),
+            RankFn::OffsetMod { offset, modulus } => write!(f, "(rank+{offset})%{modulus}"),
+            RankFn::Xor(mask) => write!(f, "rank^{mask}"),
+        }
+    }
+}
+
 /// A peer-rank parameter as a function of the owning rank.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Eq, Debug)]
 pub enum RankParam {
     /// Same absolute rank for every participant.
     Const(Rank),
@@ -29,22 +142,41 @@ pub enum RankParam {
     },
     /// `peer = rank XOR mask` — hypercube/butterfly patterns.
     Xor(usize),
-    /// Explicit per-rank table (the uncompressed fallback).
+    /// Explicit per-rank table (the dense escape hatch, only past the
+    /// piecewise compressibility threshold).
     PerRank(BTreeMap<Rank, Rank>),
+    /// Ordered disjoint `(domain, closed form)` pieces — the symbolic
+    /// fallback. Pieces are sorted by smallest domain rank; the fit is
+    /// canonical in the pointwise map.
+    Piecewise(Vec<(RankSet, RankFn)>),
 }
 
 impl RankParam {
+    /// The closed form, when this is not a table/piecewise variant.
+    pub fn as_fn(&self) -> Option<RankFn> {
+        match self {
+            RankParam::Const(c) => Some(RankFn::Const(*c)),
+            RankParam::Offset(d) => Some(RankFn::Offset(*d)),
+            RankParam::OffsetMod { offset, modulus } => Some(RankFn::OffsetMod {
+                offset: *offset,
+                modulus: *modulus,
+            }),
+            RankParam::Xor(m) => Some(RankFn::Xor(*m)),
+            _ => None,
+        }
+    }
+
     /// The peer value for `rank`.
     pub fn eval(&self, rank: Rank) -> Rank {
         match self {
-            RankParam::Const(c) => *c,
-            RankParam::Offset(d) => (rank as i64 + d) as Rank,
-            RankParam::OffsetMod { offset, modulus } => {
-                (((rank as i64 + offset) % *modulus as i64 + *modulus as i64) % *modulus as i64)
-                    as Rank
-            }
-            RankParam::Xor(mask) => rank ^ mask,
             RankParam::PerRank(m) => *m.get(&rank).expect("rank present in table"),
+            RankParam::Piecewise(ps) => ps
+                .iter()
+                .find(|(s, _)| s.contains(rank))
+                .expect("rank present in some piece")
+                .1
+                .eval(rank),
+            plain => plain.as_fn().unwrap().eval(rank),
         }
     }
 
@@ -62,24 +194,27 @@ impl RankParam {
         b_ranks: &RankSet,
         world: usize,
     ) -> RankParam {
-        let mut table = a.table(a_ranks);
-        table.extend(b.table(b_ranks));
-        compress_rank_table(table, world)
+        match param_repr() {
+            ParamRepr::Dense => {
+                let mut table = a.table(a_ranks);
+                table.extend(b.table(b_ranks));
+                compress_rank_table(table, world)
+            }
+            ParamRepr::Symbolic => unify_rank_symbolic(&[(a, a_ranks), (b, b_ranks)], world),
+        }
     }
 
-    /// Unify parameters over many disjoint rank sets at once: expand every
-    /// part into one shared table and compress once. `parts` must be
-    /// non-empty. Because pairwise [`RankParam::unify`] recompresses
-    /// exactly, folding it over the parts in *any* association yields the
-    /// compression of the full union table — which is what this computes
-    /// directly, in O(total ranks) instead of O(parts · ranks).
+    /// Unify parameters over many disjoint rank sets at once. Because the
+    /// fit is canonical in the pointwise union map, folding the pairwise
+    /// [`RankParam::unify`] in *any* association yields the same result —
+    /// which this computes directly, run-wise on the symbolic path.
     pub fn unify_many<'a, I>(parts: I, world: usize) -> RankParam
     where
         I: IntoIterator<Item = (&'a RankParam, &'a RankSet)>,
     {
         let parts: Vec<(&RankParam, &RankSet)> = parts.into_iter().collect();
-        // Fast path: every part is the same constant, so the union table is
-        // all-equal and would compress straight back to that constant.
+        // Fast path: every part is the same constant, so the union would
+        // compress straight back to that constant.
         if let RankParam::Const(v) = parts[0].0 {
             if parts
                 .iter()
@@ -88,22 +223,70 @@ impl RankParam {
                 return RankParam::Const(*v);
             }
         }
-        let mut table = BTreeMap::new();
-        for (p, ranks) in parts {
-            for r in ranks.iter() {
-                table.insert(r, p.eval(r));
+        match param_repr() {
+            ParamRepr::Dense => {
+                let mut table = BTreeMap::new();
+                for (p, ranks) in parts {
+                    for r in ranks.iter() {
+                        table.insert(r, p.eval(r));
+                    }
+                }
+                compress_rank_table(table, world)
             }
+            ParamRepr::Symbolic => unify_rank_symbolic(&parts, world),
         }
-        compress_rank_table(table, world)
     }
 
     /// Is this a compressed (non-table) form?
     pub fn is_compressed(&self) -> bool {
         !matches!(self, RankParam::PerRank(_))
     }
+
+    /// The canonical encoding form: dense tables re-fit to the piecewise
+    /// form they would have taken on the symbolic path (or stay dense past
+    /// the threshold); everything else is already canonical. Encoders call
+    /// this so both [`ParamRepr`]s serialize byte-identically.
+    pub fn canonical(&self) -> RankParam {
+        match self {
+            RankParam::PerRank(t) => fit_rank_table(t),
+            other => other.clone(),
+        }
+    }
 }
 
-/// Find the most compact exact representation of a rank→peer table.
+impl PartialEq for RankParam {
+    fn eq(&self, other: &RankParam) -> bool {
+        use RankParam::*;
+        match (self, other) {
+            (Const(a), Const(b)) => a == b,
+            (Offset(a), Offset(b)) => a == b,
+            (
+                OffsetMod {
+                    offset: o1,
+                    modulus: m1,
+                },
+                OffsetMod {
+                    offset: o2,
+                    modulus: m2,
+                },
+            ) => o1 == o2 && m1 == m2,
+            (Xor(a), Xor(b)) => a == b,
+            (PerRank(a), PerRank(b)) => a == b,
+            (Piecewise(a), Piecewise(b)) => a == b,
+            // A dense table equals a symbolic form when its canonical
+            // re-fit is structurally that form (same pointwise map).
+            (PerRank(t), o) | (o, PerRank(t)) => match fit_rank_table(t) {
+                PerRank(_) => false,
+                c => &c == o,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Find the most compact exact representation of a rank→peer table. The
+/// fallback representation for irregular tables follows the active
+/// [`ParamRepr`]: dense `PerRank`, or the canonical piecewise fit.
 pub fn compress_rank_table(table: BTreeMap<Rank, Rank>, world: usize) -> RankParam {
     debug_assert!(!table.is_empty());
     let mut values = table.values();
@@ -133,19 +316,230 @@ pub fn compress_rank_table(table: BTreeMap<Rank, Rank>, world: usize) -> RankPar
             };
         }
     }
-    RankParam::PerRank(table)
+    match param_repr() {
+        ParamRepr::Dense => RankParam::PerRank(table),
+        ParamRepr::Symbolic => fit_rank_table(&table),
+    }
+}
+
+/// Canonical piecewise fit of an irregular table: group ranks by the
+/// offset `value - rank`, singleton groups becoming constants. Tables
+/// where that doesn't compress (more groups than half the ranks) stay
+/// dense. Depends only on the pointwise map.
+fn fit_rank_table(table: &BTreeMap<Rank, Rank>) -> RankParam {
+    let mut groups: BTreeMap<i64, Vec<Run>> = BTreeMap::new();
+    for (&r, &v) in table {
+        push_single(&mut groups, v as i64 - r as i64, r);
+    }
+    fit_rank_groups(groups, table.len()).unwrap_or_else(|| RankParam::PerRank(table.clone()))
+}
+
+fn push_single<K: Ord>(groups: &mut BTreeMap<K, Vec<Run>>, key: K, r: Rank) {
+    groups.entry(key).or_default().push(Run {
+        start: r,
+        stride: 1,
+        count: 1,
+    });
+}
+
+/// Turn offset-keyed run groups into the canonical piecewise form, or
+/// `None` when the partition fails the compressibility threshold.
+fn fit_rank_groups(groups: BTreeMap<i64, Vec<Run>>, total: usize) -> Option<RankParam> {
+    if groups.len() > total / 2 {
+        return None;
+    }
+    let mut pieces: Vec<(RankSet, RankFn)> = groups
+        .into_iter()
+        .map(|(d, frags)| {
+            let set = RankSet::from_fragments(frags);
+            let f = if set.len() == 1 {
+                RankFn::Const((set.min_rank().unwrap() as i64 + d) as Rank)
+            } else {
+                RankFn::Offset(d)
+            };
+            (set, f)
+        })
+        .collect();
+    pieces.sort_by_key(|(s, _)| s.min_rank());
+    if pieces.len() == 1 {
+        return Some(pieces.pop().unwrap().1.into_param());
+    }
+    Some(RankParam::Piecewise(pieces))
+}
+
+/// Run-wise symbolic unification: candidate closed forms are checked
+/// piece-against-piece (exactly — including the dense parts, which are
+/// scanned as the seed would), then the offset partition builds the
+/// canonical piecewise form without ever materializing a union table
+/// unless the threshold forces the dense escape hatch.
+fn unify_rank_symbolic(parts: &[(&RankParam, &RankSet)], world: usize) -> RankParam {
+    let total: usize = parts.iter().map(|(_, s)| s.len()).sum();
+    debug_assert!(total > 0, "unify over no ranks");
+    let (mut r0, mut v0) = (usize::MAX, 0);
+    for (p, s) in parts {
+        if let Some(m) = s.min_rank() {
+            if m < r0 {
+                r0 = m;
+                v0 = p.eval(m);
+            }
+        }
+    }
+    // Same candidate order as `compress_rank_table`.
+    let mut cands = vec![RankFn::Const(v0), RankFn::Offset(v0 as i64 - r0 as i64)];
+    let mask = r0 ^ v0;
+    if mask != 0 {
+        cands.push(RankFn::Xor(mask));
+    }
+    if world > 0 {
+        let m = world as i64;
+        cands.push(RankFn::OffsetMod {
+            offset: ((v0 as i64 - r0 as i64) % m + m) % m,
+            modulus: world,
+        });
+    }
+    'cand: for c in cands {
+        for (p, s) in parts {
+            if !param_agrees(c, p, s) {
+                continue 'cand;
+            }
+        }
+        return c.into_param();
+    }
+    let mut groups: BTreeMap<i64, Vec<Run>> = BTreeMap::new();
+    for (p, s) in parts {
+        rank_diff_fragments(p, s, &mut groups);
+    }
+    fit_rank_groups(groups, total).unwrap_or_else(|| {
+        let mut table = BTreeMap::new();
+        for (p, s) in parts {
+            for r in s.iter() {
+                table.insert(r, p.eval(r));
+            }
+        }
+        RankParam::PerRank(table)
+    })
+}
+
+/// Does `cand` equal `p` pointwise over `dom`? Exact: closed-form cases
+/// are decided per run in O(1); the genuinely incomparable mixes fall back
+/// to an early-exit scan (which in practice disagrees within a couple of
+/// elements).
+fn param_agrees(cand: RankFn, p: &RankParam, dom: &RankSet) -> bool {
+    match p {
+        RankParam::PerRank(_) => dom.iter().all(|r| cand.eval(r) == p.eval(r)),
+        RankParam::Piecewise(ps) => ps.iter().all(|(s, f)| fn_agrees(cand, *f, s)),
+        plain => fn_agrees(cand, plain.as_fn().unwrap(), dom),
+    }
+}
+
+/// Do two closed forms agree on every rank of `dom`?
+fn fn_agrees(f: RankFn, g: RankFn, dom: &RankSet) -> bool {
+    use RankFn::*;
+    if f == g {
+        return true;
+    }
+    if dom.len() == 1 {
+        let r = dom.min_rank().unwrap();
+        return f.eval(r) == g.eval(r);
+    }
+    // Symmetrize so each pair is matched once.
+    let (f, g) = if rank_fn_order(&f) <= rank_fn_order(&g) {
+        (f, g)
+    } else {
+        (g, f)
+    };
+    match (f, g) {
+        // Injective / distinct-valued forms can't match a constant on >1 rank.
+        (Const(_), Offset(_)) | (Const(_), Xor(_)) => false,
+        (Const(a), OffsetMod { offset, modulus }) => {
+            let m = modulus as i64;
+            a < modulus
+                && dom.runs().iter().all(|run| {
+                    (run.start as i64 + offset - a as i64).rem_euclid(m) == 0
+                        && (run.count == 1 || (run.stride as i64).rem_euclid(m) == 0)
+                })
+        }
+        (Offset(d1), Offset(d2)) => d1 == d2,
+        (Offset(d), OffsetMod { offset, modulus }) => {
+            let m = modulus as i64;
+            dom.runs().iter().all(|run| {
+                let k = (run.start as i64 + offset).div_euclid(m);
+                k == (run.last() as i64 + offset).div_euclid(m) && offset - k * m == d
+            })
+        }
+        (Xor(a), Xor(b)) => a == b,
+        // Offset/OffsetMod against Xor: no useful closed form — exact
+        // early-exit scan.
+        _ => dom.iter().all(|r| f.eval(r) == g.eval(r)),
+    }
+}
+
+fn rank_fn_order(f: &RankFn) -> u8 {
+    match f {
+        RankFn::Const(_) => 0,
+        RankFn::Offset(_) => 1,
+        RankFn::OffsetMod { .. } => 2,
+        RankFn::Xor(_) => 3,
+    }
+}
+
+/// Add `p`'s offset-partition fragments over `dom` to `groups`. Offset
+/// pieces contribute whole runs; modular pieces split at wrap boundaries;
+/// constants and xors (which have rank-varying offsets) expand — they are
+/// only reached when the single-form candidates already failed, so the
+/// cost is bounded by what the dense path would pay anyway.
+fn rank_diff_fragments(p: &RankParam, dom: &RankSet, groups: &mut BTreeMap<i64, Vec<Run>>) {
+    match p {
+        RankParam::Piecewise(ps) => {
+            for (s, f) in ps {
+                fn_diff_fragments(*f, s, groups);
+            }
+        }
+        RankParam::PerRank(_) => {
+            for r in dom.iter() {
+                push_single(groups, p.eval(r) as i64 - r as i64, r);
+            }
+        }
+        plain => fn_diff_fragments(plain.as_fn().unwrap(), dom, groups),
+    }
+}
+
+fn fn_diff_fragments(f: RankFn, dom: &RankSet, groups: &mut BTreeMap<i64, Vec<Run>>) {
+    match f {
+        RankFn::Offset(d) => groups.entry(d).or_default().extend_from_slice(dom.runs()),
+        RankFn::OffsetMod { offset, modulus } => {
+            let m = modulus as i64;
+            for run in dom.runs() {
+                let stride = run.stride.max(1) as i64;
+                let mut i = 0usize;
+                while i < run.count {
+                    let r = (run.start + run.stride * i) as i64;
+                    let k = (r + offset).div_euclid(m);
+                    // Last index whose element stays under the next wrap.
+                    let hi = (k + 1) * m - offset - 1;
+                    let last =
+                        ((hi - run.start as i64).div_euclid(stride) as usize).min(run.count - 1);
+                    let count = last - i + 1;
+                    groups.entry(offset - k * m).or_default().push(Run {
+                        start: r as usize,
+                        stride: if count == 1 { 1 } else { run.stride },
+                        count,
+                    });
+                    i = last + 1;
+                }
+            }
+        }
+        _ => {
+            for r in dom.iter() {
+                push_single(groups, f.eval(r) as i64 - r as i64, r);
+            }
+        }
+    }
 }
 
 impl fmt::Display for RankParam {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RankParam::Const(c) => write!(f, "{c}"),
-            RankParam::Offset(d) if *d >= 0 => write!(f, "rank+{d}"),
-            RankParam::Offset(d) => write!(f, "rank{d}"),
-            RankParam::OffsetMod { offset, modulus } => {
-                write!(f, "(rank+{offset})%{modulus}")
-            }
-            RankParam::Xor(mask) => write!(f, "rank^{mask}"),
             RankParam::PerRank(m) => {
                 write!(f, "[")?;
                 for (i, (r, v)) in m.iter().enumerate() {
@@ -156,6 +550,17 @@ impl fmt::Display for RankParam {
                 }
                 write!(f, "]")
             }
+            RankParam::Piecewise(ps) => {
+                write!(f, "[")?;
+                for (i, (s, func)) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ";")?;
+                    }
+                    write!(f, "{s}:{func}")?;
+                }
+                write!(f, "]")
+            }
+            plain => write!(f, "{}", plain.as_fn().unwrap()),
         }
     }
 }
@@ -197,7 +602,7 @@ impl SrcParam {
     }
 
     /// Many-way [`SrcParam::unify`]: all-wildcard stays a wildcard,
-    /// all-concrete unifies the rank expressions over the full union table,
+    /// all-concrete unifies the rank expressions over the full union,
     /// and any wildcard/concrete mix is `None`. `parts` must be non-empty.
     pub fn unify_many<'a, I>(parts: I, world: usize) -> Option<SrcParam>
     where
@@ -236,12 +641,14 @@ impl fmt::Display for SrcParam {
 /// A communicator parameter: like other RSD parameters, the communicator an
 /// operation uses may differ across the merged ranks (e.g. CG's per-column
 /// allreduce — same call site, different subcommunicator per column).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Eq, Debug)]
 pub enum CommParam {
     /// Same communicator on every rank.
     Const(u32),
-    /// Explicit per-rank communicator table.
+    /// Explicit per-rank communicator table (dense escape hatch).
     PerRank(BTreeMap<Rank, u32>),
+    /// Disjoint `(domain, comm id)` pieces sorted by smallest domain rank.
+    Piecewise(Vec<(RankSet, u32)>),
 }
 
 impl CommParam {
@@ -250,28 +657,22 @@ impl CommParam {
         match self {
             CommParam::Const(c) => *c,
             CommParam::PerRank(m) => *m.get(&rank).expect("rank present in table"),
+            CommParam::Piecewise(ps) => {
+                ps.iter()
+                    .find(|(s, _)| s.contains(rank))
+                    .expect("rank present in some piece")
+                    .1
+            }
         }
-    }
-
-    fn table(&self, ranks: &RankSet) -> BTreeMap<Rank, u32> {
-        ranks.iter().map(|r| (r, self.eval(r))).collect()
     }
 
     /// Unify two communicator parameters over disjoint rank sets.
     pub fn unify(a: &CommParam, a_ranks: &RankSet, b: &CommParam, b_ranks: &RankSet) -> CommParam {
-        let mut table = a.table(a_ranks);
-        table.extend(b.table(b_ranks));
-        let first = *table.values().next().unwrap();
-        if table.values().all(|&v| v == first) {
-            CommParam::Const(first)
-        } else {
-            CommParam::PerRank(table)
-        }
+        CommParam::unify_many([(a, a_ranks), (b, b_ranks)])
     }
 
-    /// Many-way [`CommParam::unify`]: one shared table, compressed once.
-    /// Equivalent to folding the pairwise unify in any association;
-    /// `parts` must be non-empty.
+    /// Many-way [`CommParam::unify`]: canonical in the pointwise map, so
+    /// any fold association agrees; `parts` must be non-empty.
     pub fn unify_many<'a, I>(parts: I) -> CommParam
     where
         I: IntoIterator<Item = (&'a CommParam, &'a RankSet)>,
@@ -285,25 +686,73 @@ impl CommParam {
                 return CommParam::Const(*v);
             }
         }
-        let mut table = BTreeMap::new();
-        for (p, ranks) in parts {
-            for r in ranks.iter() {
-                table.insert(r, p.eval(r));
+        match param_repr() {
+            ParamRepr::Dense => {
+                let mut table = BTreeMap::new();
+                for (p, ranks) in parts {
+                    for r in ranks.iter() {
+                        table.insert(r, p.eval(r));
+                    }
+                }
+                let first = *table.values().next().expect("unify_many over no ranks");
+                if table.values().all(|&v| v == first) {
+                    CommParam::Const(first)
+                } else {
+                    CommParam::PerRank(table)
+                }
             }
-        }
-        let first = *table.values().next().expect("unify_many over no ranks");
-        if table.values().all(|&v| v == first) {
-            CommParam::Const(first)
-        } else {
-            CommParam::PerRank(table)
+            ParamRepr::Symbolic => {
+                let total: usize = parts.iter().map(|(_, s)| s.len()).sum();
+                let mut groups: BTreeMap<u32, Vec<Run>> = BTreeMap::new();
+                for (p, s) in &parts {
+                    match p {
+                        CommParam::Const(c) => {
+                            groups.entry(*c).or_default().extend_from_slice(s.runs())
+                        }
+                        CommParam::Piecewise(ps) => {
+                            for (set, c) in ps {
+                                groups.entry(*c).or_default().extend_from_slice(set.runs());
+                            }
+                        }
+                        CommParam::PerRank(_) => {
+                            for r in s.iter() {
+                                push_single(&mut groups, p.eval(r), r);
+                            }
+                        }
+                    }
+                }
+                fit_value_groups(groups, total, CommParam::Const, CommParam::Piecewise)
+                    .unwrap_or_else(|| {
+                        let mut table = BTreeMap::new();
+                        for (p, s) in parts {
+                            for r in s.iter() {
+                                table.insert(r, p.eval(r));
+                            }
+                        }
+                        CommParam::PerRank(table)
+                    })
+            }
         }
     }
 
     /// Distinct communicator ids with the sub-rank-set using each, in
-    /// ascending comm-id order.
+    /// ascending comm-id order. O(pieces) on the symbolic forms.
     pub fn groups(&self, ranks: &RankSet) -> Vec<(u32, RankSet)> {
         match self {
             CommParam::Const(c) => vec![(*c, ranks.clone())],
+            CommParam::Piecewise(ps) => {
+                let covered: usize = ps.iter().map(|(s, _)| s.len()).sum();
+                let mut out: Vec<(u32, RankSet)> = if covered == ranks.len() {
+                    ps.iter().map(|(s, c)| (*c, s.clone())).collect()
+                } else {
+                    ps.iter()
+                        .map(|(s, c)| (*c, s.intersect(ranks)))
+                        .filter(|(_, s)| !s.is_empty())
+                        .collect()
+                };
+                out.sort_by_key(|(c, _)| *c);
+                out
+            }
             CommParam::PerRank(_) => {
                 let mut map: BTreeMap<u32, Vec<Rank>> = BTreeMap::new();
                 for r in ranks.iter() {
@@ -320,6 +769,67 @@ impl CommParam {
     pub fn is_compressed(&self) -> bool {
         !matches!(self, CommParam::PerRank(_))
     }
+
+    /// Canonical encoding form (see [`RankParam::canonical`]).
+    pub fn canonical(&self) -> CommParam {
+        match self {
+            CommParam::PerRank(t) => {
+                let mut groups: BTreeMap<u32, Vec<Run>> = BTreeMap::new();
+                for (&r, &v) in t {
+                    push_single(&mut groups, v, r);
+                }
+                fit_value_groups(groups, t.len(), CommParam::Const, CommParam::Piecewise)
+                    .unwrap_or_else(|| CommParam::PerRank(t.clone()))
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+impl PartialEq for CommParam {
+    fn eq(&self, other: &CommParam) -> bool {
+        use CommParam::*;
+        match (self, other) {
+            (Const(a), Const(b)) => a == b,
+            (PerRank(a), PerRank(b)) => a == b,
+            (Piecewise(a), Piecewise(b)) => a == b,
+            (PerRank(_), o) => match self.canonical() {
+                PerRank(_) => false,
+                c => &c == o,
+            },
+            (o, PerRank(_)) => match other.canonical() {
+                PerRank(_) => false,
+                c => o == &c,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Shared value-partition fit for const-valued pieces: one piece per
+/// distinct value, sorted by smallest domain rank, `None` past the
+/// compressibility threshold.
+fn fit_value_groups<V, P>(
+    groups: BTreeMap<V, Vec<Run>>,
+    total: usize,
+    one: impl FnOnce(V) -> P,
+    many: impl FnOnce(Vec<(RankSet, V)>) -> P,
+) -> Option<P>
+where
+    V: Copy + Ord,
+{
+    if groups.len() > total / 2 {
+        return None;
+    }
+    let mut pieces: Vec<(RankSet, V)> = groups
+        .into_iter()
+        .map(|(v, frags)| (RankSet::from_fragments(frags), v))
+        .collect();
+    pieces.sort_by_key(|(s, _)| s.min_rank());
+    if pieces.len() == 1 {
+        return Some(one(pieces.pop().unwrap().1));
+    }
+    Some(many(pieces))
 }
 
 impl fmt::Display for CommParam {
@@ -336,17 +846,36 @@ impl fmt::Display for CommParam {
                 }
                 write!(f, "]")
             }
+            CommParam::Piecewise(ps) => {
+                write!(f, "[")?;
+                for (i, (s, v)) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ";")?;
+                    }
+                    write!(f, "{s}:{v}")?;
+                }
+                write!(f, "]")
+            }
         }
     }
 }
 
 /// A scalar value parameter (byte counts, wait counts).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Eq, Debug)]
 pub enum ValParam {
     /// Same value on every rank.
     Const(u64),
-    /// Explicit per-rank table.
+    /// `value = base + slope·rank` — rank-proportional sizes (`slope ≠ 0`).
+    Linear {
+        /// Value at rank 0.
+        base: i64,
+        /// Per-rank increment.
+        slope: i64,
+    },
+    /// Explicit per-rank table (dense escape hatch).
     PerRank(BTreeMap<Rank, u64>),
+    /// Disjoint `(domain, value)` pieces sorted by smallest domain rank.
+    Piecewise(Vec<(RankSet, u64)>),
 }
 
 impl ValParam {
@@ -354,29 +883,24 @@ impl ValParam {
     pub fn eval(&self, rank: Rank) -> u64 {
         match self {
             ValParam::Const(c) => *c,
+            ValParam::Linear { base, slope } => (base + slope * rank as i64) as u64,
             ValParam::PerRank(m) => *m.get(&rank).expect("rank present in table"),
+            ValParam::Piecewise(ps) => {
+                ps.iter()
+                    .find(|(s, _)| s.contains(rank))
+                    .expect("rank present in some piece")
+                    .1
+            }
         }
-    }
-
-    fn table(&self, ranks: &RankSet) -> BTreeMap<Rank, u64> {
-        ranks.iter().map(|r| (r, self.eval(r))).collect()
     }
 
     /// Unify two value parameters over disjoint rank sets.
     pub fn unify(a: &ValParam, a_ranks: &RankSet, b: &ValParam, b_ranks: &RankSet) -> ValParam {
-        let mut table = a.table(a_ranks);
-        table.extend(b.table(b_ranks));
-        let first = *table.values().next().unwrap();
-        if table.values().all(|&v| v == first) {
-            ValParam::Const(first)
-        } else {
-            ValParam::PerRank(table)
-        }
+        ValParam::unify_many([(a, a_ranks), (b, b_ranks)])
     }
 
-    /// Many-way [`ValParam::unify`]: one shared table, compressed once.
-    /// Equivalent to folding the pairwise unify in any association;
-    /// `parts` must be non-empty.
+    /// Many-way [`ValParam::unify`]: canonical in the pointwise map, so
+    /// any fold association agrees; `parts` must be non-empty.
     pub fn unify_many<'a, I>(parts: I) -> ValParam
     where
         I: IntoIterator<Item = (&'a ValParam, &'a RankSet)>,
@@ -390,30 +914,61 @@ impl ValParam {
                 return ValParam::Const(*v);
             }
         }
-        let mut table = BTreeMap::new();
-        for (p, ranks) in parts {
-            for r in ranks.iter() {
-                table.insert(r, p.eval(r));
+        match param_repr() {
+            ParamRepr::Dense => {
+                let mut table = BTreeMap::new();
+                for (p, ranks) in parts {
+                    for r in ranks.iter() {
+                        table.insert(r, p.eval(r));
+                    }
+                }
+                let first = *table.values().next().expect("unify_many over no ranks");
+                if table.values().all(|&v| v == first) {
+                    ValParam::Const(first)
+                } else {
+                    ValParam::PerRank(table)
+                }
             }
+            ParamRepr::Symbolic => unify_val_symbolic(&parts),
         }
-        let first = *table.values().next().expect("unify_many over no ranks");
-        if table.values().all(|&v| v == first) {
-            ValParam::Const(first)
-        } else {
-            ValParam::PerRank(table)
+    }
+
+    /// Sum across a rank set. Closed-form and run-weighted on the symbolic
+    /// forms — O(pieces·runs), not O(P).
+    pub fn sum_over(&self, ranks: &RankSet) -> u64 {
+        match self {
+            ValParam::Const(c) => c * ranks.len() as u64,
+            ValParam::Linear { base, slope } => {
+                let mut sum: i128 = 0;
+                for run in ranks.runs() {
+                    let (s, t, c) = (run.start as i128, run.stride as i128, run.count as i128);
+                    let rank_sum = s * c + t * c * (c - 1) / 2;
+                    sum += *base as i128 * c + *slope as i128 * rank_sum;
+                }
+                sum as u64
+            }
+            ValParam::Piecewise(ps) => {
+                let covered: usize = ps.iter().map(|(s, _)| s.len()).sum();
+                if covered == ranks.len() {
+                    ps.iter().map(|(s, v)| *v * s.len() as u64).sum()
+                } else {
+                    // summing over a subset of the domain
+                    ps.iter()
+                        .map(|(s, v)| *v * s.intersect(ranks).len() as u64)
+                        .sum()
+                }
+            }
+            ValParam::PerRank(_) => ranks.iter().map(|r| self.eval(r)).sum(),
         }
     }
 
     /// Mean across a rank set (used by Table 1 "averaged message size"
-    /// substitutions for the v-variant collectives).
+    /// substitutions for the v-variant collectives). Closed-form on the
+    /// symbolic forms, so cost is independent of the rank count.
     pub fn mean_over(&self, ranks: &RankSet) -> u64 {
         match self {
             ValParam::Const(c) => *c,
-            ValParam::PerRank(_) => {
-                let n = ranks.len().max(1) as u64;
-                let sum: u64 = ranks.iter().map(|r| self.eval(r)).sum();
-                sum / n
-            }
+            _ => self.sum_over(ranks) / ranks.len().max(1) as u64,
         }
     }
 
@@ -421,12 +976,168 @@ impl ValParam {
     pub fn is_compressed(&self) -> bool {
         !matches!(self, ValParam::PerRank(_))
     }
+
+    /// Canonical encoding form (see [`RankParam::canonical`]).
+    pub fn canonical(&self) -> ValParam {
+        match self {
+            ValParam::PerRank(t) => fit_val_table(t),
+            other => other.clone(),
+        }
+    }
+}
+
+impl PartialEq for ValParam {
+    fn eq(&self, other: &ValParam) -> bool {
+        use ValParam::*;
+        match (self, other) {
+            (Const(a), Const(b)) => a == b,
+            (
+                Linear {
+                    base: b1,
+                    slope: s1,
+                },
+                Linear {
+                    base: b2,
+                    slope: s2,
+                },
+            ) => b1 == b2 && s1 == s2,
+            (PerRank(a), PerRank(b)) => a == b,
+            (Piecewise(a), Piecewise(b)) => a == b,
+            (PerRank(t), o) | (o, PerRank(t)) => match fit_val_table(t) {
+                PerRank(_) => false,
+                c => &c == o,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Canonical fit of an irregular value table: an exact linear form if one
+/// exists, else one piece per distinct value (threshold-guarded).
+fn fit_val_table(table: &BTreeMap<Rank, u64>) -> ValParam {
+    if table.len() >= 2 {
+        let mut it = table.iter();
+        let (&r0, &v0) = it.next().unwrap();
+        let (&r1, &v1) = it.next().unwrap();
+        if let Some(lin) = linear_candidate(r0, v0, r1, v1) {
+            if table.iter().all(|(&r, &v)| lin.eval(r) == v) {
+                return lin;
+            }
+        }
+    }
+    let mut groups: BTreeMap<u64, Vec<Run>> = BTreeMap::new();
+    for (&r, &v) in table {
+        push_single(&mut groups, v, r);
+    }
+    fit_value_groups(groups, table.len(), ValParam::Const, ValParam::Piecewise)
+        .unwrap_or_else(|| ValParam::PerRank(table.clone()))
+}
+
+/// The exact linear form through two points, if the slope is integral and
+/// non-zero (a zero slope is a constant, handled elsewhere).
+fn linear_candidate(r0: Rank, v0: u64, r1: Rank, v1: u64) -> Option<ValParam> {
+    let dr = r1 as i64 - r0 as i64;
+    let dv = v1 as i64 - v0 as i64;
+    if dr == 0 || dv % dr != 0 || dv == 0 {
+        return None;
+    }
+    let slope = dv / dr;
+    Some(ValParam::Linear {
+        base: v0 as i64 - slope * r0 as i64,
+        slope,
+    })
+}
+
+fn unify_val_symbolic(parts: &[(&ValParam, &RankSet)]) -> ValParam {
+    let total: usize = parts.iter().map(|(_, s)| s.len()).sum();
+    debug_assert!(total > 0, "unify over no ranks");
+    // The two globally-smallest ranks determine the candidate forms.
+    let mut firsts: Vec<(Rank, u64)> = Vec::with_capacity(parts.len() * 2);
+    for (p, s) in parts {
+        for r in s.iter().take(2) {
+            firsts.push((r, p.eval(r)));
+        }
+    }
+    firsts.sort_unstable_by_key(|(r, _)| *r);
+    let (r0, v0) = firsts[0];
+    let mut cands = vec![ValParam::Const(v0)];
+    if let Some(&(r1, v1)) = firsts.get(1) {
+        if let Some(lin) = linear_candidate(r0, v0, r1, v1) {
+            cands.push(lin);
+        }
+    }
+    'cand: for c in cands {
+        for (p, s) in parts {
+            if !val_agrees(&c, p, s) {
+                continue 'cand;
+            }
+        }
+        return c;
+    }
+    let mut groups: BTreeMap<u64, Vec<Run>> = BTreeMap::new();
+    for (p, s) in parts {
+        match p {
+            ValParam::Const(v) => groups.entry(*v).or_default().extend_from_slice(s.runs()),
+            ValParam::Piecewise(ps) => {
+                for (set, v) in ps {
+                    groups.entry(*v).or_default().extend_from_slice(set.runs());
+                }
+            }
+            _ => {
+                for r in s.iter() {
+                    push_single(&mut groups, p.eval(r), r);
+                }
+            }
+        }
+    }
+    fit_value_groups(groups, total, ValParam::Const, ValParam::Piecewise).unwrap_or_else(|| {
+        let mut table = BTreeMap::new();
+        for (p, s) in parts {
+            for r in s.iter() {
+                table.insert(r, p.eval(r));
+            }
+        }
+        ValParam::PerRank(table)
+    })
+}
+
+/// Does candidate `c` (`Const` or `Linear`) equal `p` pointwise over `dom`?
+fn val_agrees(c: &ValParam, p: &ValParam, dom: &RankSet) -> bool {
+    if dom.len() == 1 {
+        let r = dom.min_rank().unwrap();
+        return c.eval(r) == p.eval(r);
+    }
+    match (c, p) {
+        (ValParam::Const(a), ValParam::Const(b)) => a == b,
+        // A non-zero-slope linear takes distinct values on >1 rank.
+        (ValParam::Const(_), ValParam::Linear { .. })
+        | (ValParam::Linear { .. }, ValParam::Const(_)) => false,
+        (
+            ValParam::Linear {
+                base: b1,
+                slope: s1,
+            },
+            ValParam::Linear {
+                base: b2,
+                slope: s2,
+            },
+        ) => b1 == b2 && s1 == s2,
+        (_, ValParam::Piecewise(ps)) => ps.iter().all(|(s, v)| {
+            if s.len() == 1 {
+                c.eval(s.min_rank().unwrap()) == *v
+            } else {
+                matches!(c, ValParam::Const(a) if a == v)
+            }
+        }),
+        _ => dom.iter().all(|r| c.eval(r) == p.eval(r)),
+    }
 }
 
 impl fmt::Display for ValParam {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValParam::Const(c) => write!(f, "{c}"),
+            ValParam::Linear { base, slope } => write!(f, "{slope}*rank+{base}"),
             ValParam::PerRank(m) => {
                 write!(f, "[")?;
                 for (i, (r, v)) in m.iter().enumerate() {
@@ -434,6 +1145,16 @@ impl fmt::Display for ValParam {
                         write!(f, ",")?;
                     }
                     write!(f, "{r}:{v}")?;
+                }
+                write!(f, "]")
+            }
+            ValParam::Piecewise(ps) => {
+                write!(f, "[")?;
+                for (i, (s, v)) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ";")?;
+                    }
+                    write!(f, "{s}:{v}")?;
                 }
                 write!(f, "]")
             }
@@ -531,7 +1252,14 @@ mod tests {
             &ValParam::Const(200),
             &rs(&[1]),
         );
-        assert!(matches!(v, ValParam::PerRank(_)));
+        // Two points at consecutive ranks fit the linear form exactly.
+        assert_eq!(
+            v,
+            ValParam::Linear {
+                base: 100,
+                slope: 100
+            }
+        );
         assert_eq!(v.mean_over(&rs(&[0, 1])), 150);
         let c = ValParam::unify(
             &ValParam::Const(7),
@@ -544,7 +1272,7 @@ mod tests {
 
     #[test]
     fn unify_many_matches_pairwise_fold() {
-        // ring peers: the one-pass table build must equal the left fold of
+        // ring peers: the flat unification must equal the left fold of
         // pairwise unify (which is itself association-invariant).
         let parts: Vec<(RankParam, RankSet)> = (0..6)
             .map(|r| (RankParam::Const((r + 1) % 6), rs(&[r])))
@@ -572,7 +1300,7 @@ mod tests {
             .map(|r| (ValParam::Const(64 + r as u64), rs(&[r])))
             .collect();
         let v = ValParam::unify_many(vparts.iter().map(|(p, s)| (p, s)));
-        assert!(matches!(v, ValParam::PerRank(_)));
+        assert_eq!(v, ValParam::Linear { base: 64, slope: 1 });
         assert_eq!(v.eval(2), 66);
         let (r0, r1) = (rs(&[0]), rs(&[1]));
         let c = CommParam::unify_many([(&CommParam::Const(3), &r0), (&CommParam::Const(3), &r1)]);
@@ -606,5 +1334,136 @@ mod tests {
             "(rank+1)%8"
         );
         assert_eq!(SrcParam::Any.to_string(), "ANY_SOURCE");
+        assert_eq!(
+            RankParam::Piecewise(vec![
+                (RankSet::all(4), RankFn::Offset(1)),
+                (RankSet::single(4), RankFn::Const(0)),
+            ])
+            .to_string(),
+            "[{0-3}:rank+1;{4}:0]"
+        );
+        assert_eq!(
+            ValParam::Linear { base: 64, slope: 8 }.to_string(),
+            "8*rank+64"
+        );
+    }
+
+    #[test]
+    fn piecewise_fit_of_broken_ring() {
+        // Interior ranks shift by one, the tail rank points at itself: two
+        // offset groups, so the symbolic fit is two pieces, not a table.
+        let n = 64;
+        let table: BTreeMap<Rank, Rank> = (0..n)
+            .map(|r| (r, if r < n - 1 { r + 1 } else { r }))
+            .collect();
+        let p = compress_rank_table(table.clone(), 0);
+        let RankParam::Piecewise(ps) = &p else {
+            panic!("expected piecewise, got {p:?}")
+        };
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0], (RankSet::all(n - 1), RankFn::Offset(1)));
+        assert_eq!(ps[1], (RankSet::single(n - 1), RankFn::Const(n - 1)));
+        for (&r, &v) in &table {
+            assert_eq!(p.eval(r), v);
+        }
+        // The dense escape hatch equals the symbolic fit as a value.
+        assert_eq!(p, RankParam::PerRank(table));
+    }
+
+    #[test]
+    fn symbolic_matches_dense_on_random_maps() {
+        // Pseudo-random rank maps, several worlds: the symbolic unify of
+        // singleton parts must equal the dense compression pointwise, and
+        // canonical() must reconcile the two representations.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for n in [3usize, 7, 16, 33] {
+            for _ in 0..40 {
+                let table: BTreeMap<Rank, Rank> = (0..n)
+                    .map(|r| (r, (next() % (2 * n as u64)) as usize))
+                    .collect();
+                let dense =
+                    with_param_repr(ParamRepr::Dense, || compress_rank_table(table.clone(), n));
+                let parts: Vec<(RankParam, RankSet)> = table
+                    .iter()
+                    .map(|(&r, &v)| (RankParam::Const(v), RankSet::single(r)))
+                    .collect();
+                let sym = RankParam::unify_many(parts.iter().map(|(p, s)| (p, s)), n);
+                for &r in table.keys() {
+                    assert_eq!(sym.eval(r), dense.eval(r), "n={n} r={r}");
+                }
+                assert_eq!(sym.canonical(), dense.canonical(), "n={n}");
+                assert_eq!(sym, dense, "Eq must reconcile representations");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_mod_pieces_split_at_wrap() {
+        // A ring over a *subset* with the wrong world modulus falls to the
+        // piecewise fit; mod pieces split into offset runs at the wrap.
+        let table: BTreeMap<Rank, Rank> = (0..8).map(|r| (r, (r + 3) % 8)).collect();
+        let p = compress_rank_table(table, 16); // world 16: mod-8 won't fit
+        let RankParam::Piecewise(ps) = &p else {
+            panic!("expected piecewise, got {p:?}")
+        };
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].1, RankFn::Offset(3));
+        assert_eq!(ps[1].1, RankFn::Offset(-5));
+        // Re-unifying the piecewise form with itself splits the mod pieces
+        // identically (fragment path).
+        let dom = RankSet::all(8);
+        let again = RankParam::unify_many([(&p, &dom)], 16);
+        assert_eq!(&again, &p);
+    }
+
+    #[test]
+    fn comm_piecewise_groups() {
+        let parts: Vec<(CommParam, RankSet)> = (0..8)
+            .map(|r| (CommParam::Const((r % 2) as u32), RankSet::single(r)))
+            .collect();
+        let c = CommParam::unify_many(parts.iter().map(|(p, s)| (p, s)));
+        let CommParam::Piecewise(ps) = &c else {
+            panic!("expected piecewise, got {c:?}")
+        };
+        assert_eq!(ps.len(), 2);
+        let g = c.groups(&RankSet::all(8));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].0, 0);
+        assert_eq!(g[0].1, RankSet::from_ranks((0..4).map(|i| 2 * i)));
+        assert_eq!(g[1].0, 1);
+        assert_eq!(g[1].1, RankSet::from_ranks((0..4).map(|i| 2 * i + 1)));
+    }
+
+    #[test]
+    fn linear_val_mean_is_closed_form() {
+        let parts: Vec<(ValParam, RankSet)> = (0..100)
+            .map(|r| (ValParam::Const(256 + 8 * r as u64), RankSet::single(r)))
+            .collect();
+        let v = ValParam::unify_many(parts.iter().map(|(p, s)| (p, s)));
+        assert_eq!(
+            v,
+            ValParam::Linear {
+                base: 256,
+                slope: 8
+            }
+        );
+        let dom = RankSet::all(100);
+        let expect: u64 = (0..100u64).map(|r| 256 + 8 * r).sum::<u64>() / 100;
+        assert_eq!(v.mean_over(&dom), expect);
+    }
+
+    #[test]
+    fn threshold_keeps_scattered_tables_dense() {
+        // All-distinct irregular values: both partitions explode, so both
+        // representations keep the dense table (and encode identically).
+        let table: BTreeMap<Rank, Rank> = [(0, 5), (1, 3), (2, 9), (3, 0)].into();
+        let p = compress_rank_table(table.clone(), 0);
+        assert_eq!(p, RankParam::PerRank(table));
     }
 }

@@ -27,7 +27,8 @@ pub struct Run {
 }
 
 impl Run {
-    fn last(&self) -> usize {
+    /// Last (largest) rank of the run.
+    pub fn last(&self) -> usize {
         self.start + self.stride * (self.count - 1)
     }
 
@@ -36,6 +37,88 @@ impl Run {
             && r <= self.last()
             && (self.stride == 0 || (r - self.start).is_multiple_of(self.stride))
     }
+
+    fn nth(&self, i: usize) -> usize {
+        self.start + self.stride * i
+    }
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Intersection of two arithmetic runs — itself an arithmetic run (stride
+/// `lcm`) found by solving the pair of congruences, or `None` when the
+/// residues are incompatible or the ranges don't overlap.
+fn run_intersection(a: &Run, b: &Run) -> Option<Run> {
+    if a.count == 1 || a.stride == 0 {
+        return b.contains(a.start).then_some(Run {
+            start: a.start,
+            stride: 1,
+            count: 1,
+        });
+    }
+    if b.count == 1 || b.stride == 0 {
+        return a.contains(b.start).then_some(Run {
+            start: b.start,
+            stride: 1,
+            count: 1,
+        });
+    }
+    let lo = a.start.max(b.start);
+    let hi = a.last().min(b.last());
+    if lo > hi {
+        return None;
+    }
+    let g = gcd(a.stride, b.stride);
+    let (sa, sb) = (a.start as i128, b.start as i128);
+    if (sb - sa).rem_euclid(g as i128) != 0 {
+        return None;
+    }
+    // x = sa + ta*t with ta*t ≡ sb - sa (mod tb): divide through by g and
+    // invert ta/g modulo tb/g (coprime by construction).
+    let (ta, tb) = (a.stride as i128, b.stride as i128);
+    let m = tb / g as i128;
+    let rhs = (sb - sa) / g as i128;
+    let inv = mod_inverse((ta / g as i128).rem_euclid(m), m)?;
+    let t0 = (rhs.rem_euclid(m) * inv).rem_euclid(m.max(1));
+    let l = (ta / g as i128) * tb; // lcm
+    let mut x = sa + ta * t0;
+    let lo = lo as i128;
+    if x < lo {
+        x += (lo - x).div_euclid(l) * l;
+        if x < lo {
+            x += l;
+        }
+    }
+    let hi = hi as i128;
+    if x > hi {
+        return None;
+    }
+    let count = ((hi - x) / l + 1) as usize;
+    Some(Run {
+        start: x as usize,
+        stride: if count == 1 { 1 } else { l as usize },
+        count,
+    })
+}
+
+/// Modular inverse of `a` modulo `m` (both non-negative, `m >= 1`).
+fn mod_inverse(a: i128, m: i128) -> Option<i128> {
+    if m == 1 {
+        return Some(0);
+    }
+    let (mut old_r, mut r) = (a, m);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    (old_r == 1).then(|| old_s.rem_euclid(m))
 }
 
 /// Largest rank / world size served from the preallocated intern tables.
@@ -218,15 +301,21 @@ impl RankSet {
         RankSet::from_ranks(self.iter().chain(other.iter()))
     }
 
-    /// Do the two sets share any rank?
+    /// Do the two sets share any rank? Run-wise: each run pair is tested
+    /// by congruence solving, so the cost is O(runs × runs), independent
+    /// of how many ranks the runs cover.
     pub fn intersects(&self, other: &RankSet) -> bool {
-        // Iterate the smaller set.
-        let (small, big) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        small.iter().any(|r| big.contains(r))
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        if Arc::ptr_eq(&self.runs, &other.runs) {
+            return true;
+        }
+        self.runs.iter().any(|a| {
+            other.runs.iter().any(|b| {
+                a.start <= b.last() && b.start <= a.last() && run_intersection(a, b).is_some()
+            })
+        })
     }
 
     /// Number of stored runs (the compressed size).
@@ -244,6 +333,198 @@ impl RankSet {
     /// canonical shapes regain their shared storage (and pointer-equality
     /// fast paths) after a restore.
     pub fn from_runs(runs: Vec<Run>) -> RankSet {
+        RankSet { runs: intern(runs) }
+    }
+
+    /// Smallest member without iterating elements.
+    pub fn min_rank(&self) -> Option<usize> {
+        self.runs.iter().map(|r| r.start).min()
+    }
+
+    /// Largest member without iterating elements.
+    pub fn max_rank(&self) -> Option<usize> {
+        self.runs.iter().map(|r| r.last()).max()
+    }
+
+    /// Set intersection, run-wise: each pair of runs intersects to at most
+    /// one arithmetic run (congruence solving), and the fragments are
+    /// recompressed to the canonical form [`RankSet::from_ranks`] would
+    /// build. Fast paths make the ubiquitous cases (identical sets, a
+    /// contiguous superset on either side) O(runs).
+    pub fn intersect(&self, other: &RankSet) -> RankSet {
+        if self.is_empty() || other.is_empty() {
+            return RankSet::empty();
+        }
+        if Arc::ptr_eq(&self.runs, &other.runs) || self.runs == other.runs {
+            return self.clone();
+        }
+        // A single contiguous run covering the other set's range contains
+        // every integer there, so the intersection is the other set.
+        if let [r] = &*self.runs {
+            if r.stride == 1
+                && other.min_rank().unwrap() >= r.start
+                && other.max_rank().unwrap() <= r.last()
+            {
+                return other.clone();
+            }
+        }
+        if let [r] = &*other.runs {
+            if r.stride == 1
+                && self.min_rank().unwrap() >= r.start
+                && self.max_rank().unwrap() <= r.last()
+            {
+                return self.clone();
+            }
+        }
+        let mut frags = Vec::new();
+        for a in self.runs.iter() {
+            for b in other.runs.iter() {
+                if let Some(r) = run_intersection(a, b) {
+                    frags.push(r);
+                }
+            }
+        }
+        RankSet::from_fragments(frags)
+    }
+
+    /// Set difference `self \ other`, recompressed. Runs of `self` whose
+    /// range is disjoint from `other` pass through whole; only overlapped
+    /// runs are filtered element-wise, so the cost is proportional to the
+    /// affected region, not the set size.
+    pub fn minus(&self, other: &RankSet) -> RankSet {
+        if self.is_empty() || other.is_empty() {
+            return self.clone();
+        }
+        if Arc::ptr_eq(&self.runs, &other.runs) || self.runs == other.runs {
+            return RankSet::empty();
+        }
+        let mut frags = Vec::new();
+        for a in self.runs.iter() {
+            let overlapped = other
+                .runs
+                .iter()
+                .any(|b| a.start <= b.last() && b.start <= a.last());
+            if !overlapped {
+                frags.push(*a);
+            } else {
+                for i in 0..a.count {
+                    let r = a.nth(i);
+                    if !other.contains(r) {
+                        frags.push(Run {
+                            start: r,
+                            stride: 1,
+                            count: 1,
+                        });
+                    }
+                }
+            }
+        }
+        RankSet::from_fragments(frags)
+    }
+
+    /// Union of many pairwise-disjoint sets, recompressed run-wise. This is
+    /// the collapse-time replacement for `from_ranks(flat_map(iter))`: when
+    /// the member runs don't interleave the cost is O(total runs), never
+    /// O(total ranks).
+    pub fn union_many<'a>(sets: impl IntoIterator<Item = &'a RankSet>) -> RankSet {
+        let mut frags: Vec<Run> = Vec::new();
+        for s in sets {
+            frags.extend_from_slice(&s.runs);
+        }
+        RankSet::from_fragments(frags)
+    }
+
+    /// Canonicalize a list of pairwise-disjoint run fragments into the set
+    /// [`RankSet::from_ranks`] would build over the same elements. When the
+    /// sorted fragments don't interleave, a run-level replay of the greedy
+    /// compressor avoids expanding elements; interleaved fragments fall
+    /// back to element expansion.
+    pub(crate) fn from_fragments(mut frags: Vec<Run>) -> RankSet {
+        frags.retain(|r| r.count > 0);
+        if frags.is_empty() {
+            return RankSet::empty();
+        }
+        frags.sort_unstable_by_key(|r| r.start);
+        if frags.len() == 1 {
+            let f = frags[0];
+            if f.count == 1 {
+                return RankSet::single(f.start);
+            }
+            return RankSet {
+                runs: intern(frags),
+            };
+        }
+        let interleaved = frags.windows(2).any(|w| w[0].last() >= w[1].start);
+        if interleaved {
+            return RankSet::from_ranks(
+                frags
+                    .iter()
+                    .flat_map(|r| (0..r.count).map(move |i| r.nth(i))),
+            );
+        }
+        // Run-level replay of `from_sorted`'s greedy scan over the
+        // concatenated element stream: a cursor of (fragment, offset) with
+        // O(1) whole-tail absorption when strides line up.
+        let mut runs: Vec<Run> = Vec::new();
+        let total: usize = frags.iter().map(|r| r.count).sum();
+        let (mut j, mut o, mut consumed) = (0usize, 0usize, 0usize);
+        let elem = |j: usize, o: usize| frags[j].nth(o);
+        let advance = |j: &mut usize, o: &mut usize| {
+            *o += 1;
+            if *o == frags[*j].count {
+                *j += 1;
+                *o = 0;
+            }
+        };
+        while consumed < total {
+            if consumed + 1 == total {
+                runs.push(Run {
+                    start: elem(j, o),
+                    stride: 1,
+                    count: 1,
+                });
+                break;
+            }
+            let start = elem(j, o);
+            let (mut nj, mut no) = (j, o);
+            advance(&mut nj, &mut no);
+            let stride = elem(nj, no) - start;
+            let mut count = 2;
+            advance(&mut nj, &mut no);
+            consumed += 2;
+            while consumed < total {
+                let cur = start + stride * (count - 1);
+                // Whole-tail absorption: the rest of the current fragment
+                // continues the stride exactly when its own stride matches.
+                if no > 0 && frags[nj].stride == stride {
+                    let take = frags[nj].count - no;
+                    count += take;
+                    consumed += take;
+                    nj += 1;
+                    no = 0;
+                    continue;
+                }
+                if no == 0 && frags[nj].stride == stride && frags[nj].start == cur + stride {
+                    count += frags[nj].count;
+                    consumed += frags[nj].count;
+                    nj += 1;
+                    continue;
+                }
+                if elem(nj, no) == cur + stride {
+                    count += 1;
+                    consumed += 1;
+                    advance(&mut nj, &mut no);
+                    continue;
+                }
+                break;
+            }
+            runs.push(Run {
+                start,
+                stride,
+                count,
+            });
+            (j, o) = (nj, no);
+        }
         RankSet { runs: intern(runs) }
     }
 }

@@ -31,7 +31,7 @@
 use crate::collect::{PartialTracedRun, Tracer};
 use crate::compress::{FoldStrategy, TailCompressor};
 use crate::merge::merge_tracers;
-use crate::params::{CommParam, RankParam, SrcParam, ValParam};
+use crate::params::{CommParam, RankFn, RankParam, SrcParam, ValParam};
 use crate::rankset::{RankSet, Run};
 use crate::timestats::TimeStats;
 use crate::trace::{CommTable, OpTemplate, Prsd, Rsd, TraceNode};
@@ -211,7 +211,9 @@ fn dec_ranks(d: &mut Dec) -> Result<RankSet, SnapshotError> {
 }
 
 fn enc_rank_param(e: &mut Enc, p: &RankParam) {
-    match p {
+    // canonicalize so dense and symbolic representations of the same
+    // pointwise map serialize byte-identically
+    match &p.canonical() {
         RankParam::Const(r) => {
             e.u8(1);
             e.usize(*r);
@@ -237,7 +239,73 @@ fn enc_rank_param(e: &mut Enc, p: &RankParam) {
                 e.usize(*v);
             }
         }
+        RankParam::Piecewise(ps) => {
+            e.u8(6);
+            e.usize(ps.len());
+            for (s, f) in ps {
+                enc_ranks(e, s);
+                match f {
+                    RankFn::Const(c) => {
+                        e.u8(1);
+                        e.usize(*c);
+                    }
+                    RankFn::Offset(d) => {
+                        e.u8(2);
+                        e.i64(*d);
+                    }
+                    RankFn::OffsetMod { offset, modulus } => {
+                        e.u8(3);
+                        e.i64(*offset);
+                        e.usize(*modulus);
+                    }
+                    RankFn::Xor(mask) => {
+                        e.u8(4);
+                        e.usize(*mask);
+                    }
+                }
+            }
+        }
     }
+}
+
+fn dec_rank_fn(d: &mut Dec) -> Result<RankFn, SnapshotError> {
+    Ok(match d.u8()? {
+        1 => RankFn::Const(d.usize()?),
+        2 => RankFn::Offset(d.i64()?),
+        3 => RankFn::OffsetMod {
+            offset: d.i64()?,
+            modulus: d.usize()?,
+        },
+        4 => RankFn::Xor(d.usize()?),
+        t => return Err(corrupt(format!("bad RankFn tag {t}"))),
+    })
+}
+
+/// Decode `(RankSet, T)` pieces, enforcing non-empty disjoint domains so a
+/// corrupt payload cannot smuggle in an ambiguous parameter.
+fn dec_pieces<T>(
+    d: &mut Dec,
+    mut item: impl FnMut(&mut Dec) -> Result<T, SnapshotError>,
+) -> Result<Vec<(RankSet, T)>, SnapshotError> {
+    let n = d.len()?;
+    if n == 0 {
+        return Err(corrupt("piecewise param with no pieces"));
+    }
+    let mut pieces = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = dec_ranks(d)?;
+        if s.is_empty() {
+            return Err(corrupt("empty piecewise domain"));
+        }
+        pieces.push((s, item(d)?));
+    }
+    // disjointness check in one pass: the union of disjoint domains has
+    // exactly the summed cardinality
+    let total: usize = pieces.iter().map(|(s, _)| s.len()).sum();
+    if RankSet::union_many(pieces.iter().map(|(s, _)| s)).len() != total {
+        return Err(corrupt("overlapping piecewise domains"));
+    }
+    Ok(pieces)
 }
 
 fn dec_rank_param(d: &mut Dec) -> Result<RankParam, SnapshotError> {
@@ -258,12 +326,13 @@ fn dec_rank_param(d: &mut Dec) -> Result<RankParam, SnapshotError> {
             }
             RankParam::PerRank(m)
         }
+        6 => RankParam::Piecewise(dec_pieces(d, dec_rank_fn)?),
         t => return Err(corrupt(format!("bad RankParam tag {t}"))),
     })
 }
 
 fn enc_val_param(e: &mut Enc, p: &ValParam) {
-    match p {
+    match &p.canonical() {
         ValParam::Const(v) => {
             e.u8(1);
             e.u64(*v);
@@ -273,6 +342,19 @@ fn enc_val_param(e: &mut Enc, p: &ValParam) {
             e.usize(m.len());
             for (r, v) in m {
                 e.usize(*r);
+                e.u64(*v);
+            }
+        }
+        ValParam::Linear { base, slope } => {
+            e.u8(3);
+            e.i64(*base);
+            e.i64(*slope);
+        }
+        ValParam::Piecewise(ps) => {
+            e.u8(4);
+            e.usize(ps.len());
+            for (s, v) in ps {
+                enc_ranks(e, s);
                 e.u64(*v);
             }
         }
@@ -291,12 +373,17 @@ fn dec_val_param(d: &mut Dec) -> Result<ValParam, SnapshotError> {
             }
             ValParam::PerRank(m)
         }
+        3 => ValParam::Linear {
+            base: d.i64()?,
+            slope: d.i64()?,
+        },
+        4 => ValParam::Piecewise(dec_pieces(d, |d| d.u64())?),
         t => return Err(corrupt(format!("bad ValParam tag {t}"))),
     })
 }
 
 fn enc_comm_param(e: &mut Enc, p: &CommParam) {
-    match p {
+    match &p.canonical() {
         CommParam::Const(c) => {
             e.u8(1);
             e.u32(*c);
@@ -307,6 +394,14 @@ fn enc_comm_param(e: &mut Enc, p: &CommParam) {
             for (r, v) in m {
                 e.usize(*r);
                 e.u32(*v);
+            }
+        }
+        CommParam::Piecewise(ps) => {
+            e.u8(3);
+            e.usize(ps.len());
+            for (s, c) in ps {
+                enc_ranks(e, s);
+                e.u32(*c);
             }
         }
     }
@@ -324,6 +419,7 @@ fn dec_comm_param(d: &mut Dec) -> Result<CommParam, SnapshotError> {
             }
             CommParam::PerRank(m)
         }
+        3 => CommParam::Piecewise(dec_pieces(d, |d| d.u32())?),
         t => return Err(corrupt(format!("bad CommParam tag {t}"))),
     })
 }

@@ -108,9 +108,7 @@ fn walk(nodes: &[TraceNode], depth: usize, multiplier: u64, s: &mut TraceStats) 
                 if let Some(bytes) = bytes_param {
                     let total: u64 = match bytes {
                         ValParam::Const(b) => b * events,
-                        ValParam::PerRank(_) => {
-                            multiplier * r.ranks.iter().map(|rk| bytes.eval(rk)).sum::<u64>()
-                        }
+                        other => multiplier * other.sum_over(&r.ranks),
                     };
                     s.total_bytes += total;
                 }

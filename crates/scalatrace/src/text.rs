@@ -135,7 +135,9 @@ fn encode_ranks(rs: &RankSet) -> String {
 }
 
 fn encode_rank_param(p: &RankParam) -> String {
-    match p {
+    // canonicalize so dense and symbolic representations of the same
+    // pointwise map serialize byte-identically
+    match &p.canonical() {
         RankParam::Const(c) => format!("c{c}"),
         RankParam::Offset(d) => format!("o{d}"),
         RankParam::OffsetMod { offset, modulus } => format!("m{offset}%{modulus}"),
@@ -144,15 +146,29 @@ fn encode_rank_param(p: &RankParam) -> String {
             let parts: Vec<String> = t.iter().map(|(k, v)| format!("{k}>{v}")).collect();
             format!("p{}", parts.join(";"))
         }
+        RankParam::Piecewise(ps) => {
+            let parts: Vec<String> = ps
+                .iter()
+                .map(|(s, f)| format!("{}@{}", encode_ranks(s), encode_rank_param(&f.into_param())))
+                .collect();
+            format!("w{}", parts.join("|"))
+        }
     }
 }
 
 fn encode_comm(c: &CommParam) -> String {
-    match c {
+    match &c.canonical() {
         CommParam::Const(v) => format!("c{v}"),
         CommParam::PerRank(t) => {
             let parts: Vec<String> = t.iter().map(|(k, v)| format!("{k}>{v}")).collect();
             format!("p{}", parts.join(";"))
+        }
+        CommParam::Piecewise(ps) => {
+            let parts: Vec<String> = ps
+                .iter()
+                .map(|(s, v)| format!("{}@{v}", encode_ranks(s)))
+                .collect();
+            format!("w{}", parts.join("|"))
         }
     }
 }
@@ -174,6 +190,28 @@ fn split_tag(s: &str) -> Result<(&str, &str), String> {
 /// to an abort.
 const MAX_PARSED_RANKS: usize = 1 << 24;
 
+/// Parse `<runs>@<payload>|…` piecewise pieces, enforcing non-empty and
+/// pairwise-disjoint domains (parsed trace text is untrusted input).
+fn decode_pieces<T>(
+    rest: &str,
+    mut item: impl FnMut(&str) -> Result<T, String>,
+) -> Result<Vec<(RankSet, T)>, String> {
+    let mut pieces = Vec::new();
+    for part in rest.split('|') {
+        let (runs, payload) = part.split_once('@').ok_or("bad piecewise piece")?;
+        let s = decode_ranks(runs)?;
+        if s.is_empty() {
+            return Err("empty piecewise domain".into());
+        }
+        pieces.push((s, item(payload)?));
+    }
+    let total: usize = pieces.iter().map(|(s, _)| s.len()).sum();
+    if RankSet::union_many(pieces.iter().map(|(s, _)| s)).len() != total {
+        return Err("overlapping piecewise domains".into());
+    }
+    Ok(pieces)
+}
+
 fn decode_comm(s: &str) -> Result<CommParam, String> {
     let (tag, rest) = split_tag(s)?;
     Ok(match tag {
@@ -189,16 +227,27 @@ fn decode_comm(s: &str) -> Result<CommParam, String> {
             }
             CommParam::PerRank(t)
         }
+        "w" => CommParam::Piecewise(decode_pieces(rest, |v| {
+            v.parse().map_err(|e| format!("bad comm id: {e}"))
+        })?),
         other => return Err(format!("unknown comm tag {other}")),
     })
 }
 
 fn encode_val(v: &ValParam) -> String {
-    match v {
+    match &v.canonical() {
         ValParam::Const(c) => format!("c{c}"),
         ValParam::PerRank(t) => {
             let parts: Vec<String> = t.iter().map(|(k, v)| format!("{k}>{v}")).collect();
             format!("p{}", parts.join(";"))
+        }
+        ValParam::Linear { base, slope } => format!("l{base},{slope}"),
+        ValParam::Piecewise(ps) => {
+            let parts: Vec<String> = ps
+                .iter()
+                .map(|(s, v)| format!("{}@{v}", encode_ranks(s)))
+                .collect();
+            format!("w{}", parts.join("|"))
         }
     }
 }
@@ -460,6 +509,12 @@ fn decode_rank_param(s: &str) -> Result<RankParam, String> {
             }
             RankParam::PerRank(t)
         }
+        "w" => RankParam::Piecewise(decode_pieces(rest, |f| {
+            match decode_rank_param(f)?.as_fn() {
+                Some(f) => Ok(f),
+                None => Err("piecewise piece must be a closed form".into()),
+            }
+        })?),
         other => return Err(format!("unknown rank param tag {other}")),
     })
 }
@@ -479,6 +534,20 @@ fn decode_val(s: &str) -> Result<ValParam, String> {
             }
             ValParam::PerRank(t)
         }
+        "l" => {
+            let (base, slope) = rest.split_once(',').ok_or("bad linear")?;
+            let slope: i64 = slope.parse().map_err(|e| format!("bad slope: {e}"))?;
+            if slope == 0 {
+                return Err("linear val with zero slope".into());
+            }
+            ValParam::Linear {
+                base: base.parse().map_err(|e| format!("bad base: {e}"))?,
+                slope,
+            }
+        }
+        "w" => ValParam::Piecewise(decode_pieces(rest, |v| {
+            v.parse().map_err(|e| format!("bad val: {e}"))
+        })?),
         other => return Err(format!("unknown val tag {other}")),
     })
 }

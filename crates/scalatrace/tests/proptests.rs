@@ -54,6 +54,74 @@ proptest! {
         prop_assert_eq!(set.run_count(), 1, "an arithmetic progression is one run");
         prop_assert_eq!(set.iter().collect::<Vec<_>>(), ranks);
     }
+
+    /// `intersect` against the `BTreeSet` model, including structural
+    /// canonicality: the run-wise result must be byte-equal to building the
+    /// same membership from scratch.
+    #[test]
+    fn rankset_intersect_is_set_intersection(
+        a in proptest::collection::btree_set(0usize..256, 0..40),
+        b in proptest::collection::btree_set(0usize..256, 0..40),
+    ) {
+        let sa = RankSet::from_ranks(a.iter().copied());
+        let sb = RankSet::from_ranks(b.iter().copied());
+        let expected: BTreeSet<usize> = a.intersection(&b).copied().collect();
+        let got = sa.intersect(&sb);
+        prop_assert_eq!(got.iter().collect::<BTreeSet<_>>(), expected.clone());
+        prop_assert_eq!(got, RankSet::from_ranks(expected));
+    }
+
+    /// As above but on strided runs, where the run-wise CRT path (rather
+    /// than the elementwise fallback) does the work.
+    #[test]
+    fn rankset_intersect_on_strided_runs(
+        s1 in 0usize..8, t1 in 1usize..12, c1 in 1usize..40,
+        s2 in 0usize..8, t2 in 1usize..12, c2 in 1usize..40,
+    ) {
+        let a: BTreeSet<usize> = (0..c1).map(|i| s1 + i * t1).collect();
+        let b: BTreeSet<usize> = (0..c2).map(|i| s2 + i * t2).collect();
+        let sa = RankSet::from_ranks(a.iter().copied());
+        let sb = RankSet::from_ranks(b.iter().copied());
+        let expected: BTreeSet<usize> = a.intersection(&b).copied().collect();
+        let got = sa.intersect(&sb);
+        prop_assert_eq!(got.iter().collect::<BTreeSet<_>>(), expected.clone());
+        prop_assert_eq!(got, RankSet::from_ranks(expected));
+    }
+
+    /// `minus` against the `BTreeSet` model, with structural canonicality.
+    #[test]
+    fn rankset_minus_is_set_difference(
+        a in proptest::collection::btree_set(0usize..256, 0..40),
+        b in proptest::collection::btree_set(0usize..256, 0..40),
+    ) {
+        let sa = RankSet::from_ranks(a.iter().copied());
+        let sb = RankSet::from_ranks(b.iter().copied());
+        let expected: BTreeSet<usize> = a.difference(&b).copied().collect();
+        let got = sa.minus(&sb);
+        prop_assert_eq!(got.iter().collect::<BTreeSet<_>>(), expected.clone());
+        prop_assert_eq!(got, RankSet::from_ranks(expected));
+        // identities over the algebra
+        prop_assert_eq!(sa.minus(&sa), RankSet::from_ranks([]));
+        prop_assert_eq!(got.union(&sa.intersect(&sb)), sa);
+    }
+
+    /// `union_many` (the collapse-time rank union) against the model.
+    #[test]
+    fn rankset_union_many_is_set_union(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..128, 0..24),
+            0..8
+        ),
+    ) {
+        let rs: Vec<RankSet> = sets
+            .iter()
+            .map(|s| RankSet::from_ranks(s.iter().copied()))
+            .collect();
+        let expected: BTreeSet<usize> = sets.iter().flatten().copied().collect();
+        let got = RankSet::union_many(rs.iter());
+        prop_assert_eq!(got.iter().collect::<BTreeSet<_>>(), expected.clone());
+        prop_assert_eq!(got, RankSet::from_ranks(expected));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +188,73 @@ proptest! {
         for r in 0..n {
             prop_assert_eq!(unified.eval(r), f.eval(r, n));
         }
+    }
+
+    /// Dense and symbolic unification must agree pointwise on arbitrary
+    /// irregular rank tables, however the table is cut into parts, and
+    /// their canonical forms must coincide (the byte-identity the encoders
+    /// rely on).
+    #[test]
+    fn symbolic_unify_matches_dense_on_arbitrary_tables(
+        vals in proptest::collection::vec(0usize..48, 2..48),
+        cuts in proptest::collection::vec(0usize..48, 0..6),
+        world in 0usize..2,
+    ) {
+        use scalatrace::params::{with_param_repr, ParamRepr};
+        let n = vals.len();
+        let world = world * n; // 0 (no modulus) or the world size
+        let table: BTreeMap<usize, usize> = vals.iter().copied().enumerate().collect();
+        // cut the rank range into contiguous parts at the given points
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % n).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let parts: Vec<(RankParam, RankSet)> = bounds
+            .windows(2)
+            .map(|w| {
+                let sub: BTreeMap<usize, usize> =
+                    (w[0]..w[1]).map(|r| (r, table[&r])).collect();
+                let set = RankSet::from_ranks(w[0]..w[1]);
+                (compress_rank_table(sub, world), set)
+            })
+            .collect();
+        let sym = RankParam::unify_many(parts.iter().map(|(p, s)| (p, s)), world);
+        let dense = with_param_repr(ParamRepr::Dense, || {
+            RankParam::unify_many(parts.iter().map(|(p, s)| (p, s)), world)
+        });
+        for (&r, &v) in &table {
+            prop_assert_eq!(sym.eval(r), v, "symbolic wrong at rank {}", r);
+            prop_assert_eq!(dense.eval(r), v, "dense wrong at rank {}", r);
+        }
+        prop_assert_eq!(sym.canonical(), dense.canonical());
+        prop_assert_eq!(&sym, &dense, "Eq must reconcile the representations");
+    }
+
+    /// Same differential for value parameters (sizes), including the
+    /// closed-form mean used by v-variant collectives.
+    #[test]
+    fn symbolic_val_unify_matches_dense(
+        vals in proptest::collection::vec(0u64..64, 1..40),
+    ) {
+        use scalatrace::params::{with_param_repr, ParamRepr};
+        let parts: Vec<(ValParam, RankSet)> = vals
+            .iter()
+            .enumerate()
+            .map(|(r, &v)| (ValParam::Const(v), RankSet::single(r)))
+            .collect();
+        let sym = ValParam::unify_many(parts.iter().map(|(p, s)| (p, s)));
+        let dense = with_param_repr(ParamRepr::Dense, || {
+            ValParam::unify_many(parts.iter().map(|(p, s)| (p, s)))
+        });
+        let dom = RankSet::from_ranks(0..vals.len());
+        for (r, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(sym.eval(r), v);
+            prop_assert_eq!(dense.eval(r), v);
+        }
+        prop_assert_eq!(sym.canonical(), dense.canonical());
+        prop_assert_eq!(sym.mean_over(&dom), dense.mean_over(&dom));
+        prop_assert_eq!(sym.sum_over(&dom), dense.sum_over(&dom));
     }
 }
 

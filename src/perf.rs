@@ -76,6 +76,39 @@ pub const MERGE_RANKS: [usize; 5] = [64, 128, 256, 512, 1024];
 /// Rank count of the all-distinct worst-case merge suite.
 pub const MERGE_DISTINCT_RANKS: usize = 64;
 
+/// World sizes of the large-P merge suites. Reading P leaf streams is
+/// inherently Ω(P) — that cost is what [`MERGE_RANKS`] already tracks — so
+/// these rows measure the *interior* of the reduction instead: a fixed
+/// [`MERGE_LARGE_BLOCKS`] pre-collapsed block streams whose rank sets and
+/// parameters (offset-mod peers, rank-linear volumes) cover the whole
+/// world symbolically. The rows exist to *pin* that this merge's wall time
+/// and peak resident memory track the distinct-behavior count, not P —
+/// which only holds while parameters stay in closed form; any regression
+/// to dense per-rank materialization multiplies both by orders of
+/// magnitude.
+pub const MERGE_LARGE_RANKS: [usize; 2] = [4096, 16384];
+
+/// Stream count of the large-P merge suites: the world is split into this
+/// many contiguous pre-collapsed blocks, independent of the world size.
+pub const MERGE_LARGE_BLOCKS: usize = 8;
+
+/// The cross-suite wall-clock gate on the fresh run: each large-P row must
+/// complete within this multiple of `merge_r256`'s wall even though its
+/// parameters describe 16x-64x the ranks — with closed-form parameters the
+/// interior merge costs far less than reading 256 leaf streams, and a
+/// dense-materialization regression at these world sizes blows two orders
+/// of magnitude past the limit.
+pub const LARGE_MERGE_WALL_RATIO: f64 = 1.5;
+
+/// The cross-suite memory gate: `merge_r16384`'s peak-resident delta must
+/// stay within this multiple of `merge_r4096`'s (4x the ranks, ~1x the
+/// memory; 2x covers allocator rounding on small deltas).
+pub const LARGE_MERGE_PEAK_RATIO: f64 = 2.0;
+
+/// Peak-resident deltas below this are allocator noise, not signal; the
+/// memory gate treats anything under the floor as "independent of P".
+pub const PEAK_RSS_FLOOR_KB: u64 = 4096;
+
 /// Pipeline world size; every registry app accepts 4 ranks.
 const PIPELINE_RANKS: usize = 4;
 
@@ -210,6 +243,12 @@ pub struct Suite {
     /// Streaming-capture counters from the `current` (streamed) leg plus
     /// the budget it ran under (stream suites only).
     pub stream_stats: Option<StreamSuiteStats>,
+    /// Peak-resident delta (kB, `VmHWM` above the pre-merge resident set)
+    /// of the `current` leg's merge — merge suites only, `None` where the
+    /// proc interface is unavailable. Additive v2 field: the claim that
+    /// merge memory tracks behavior classes rather than P is part of the
+    /// committed record and gated by `--check`.
+    pub peak_rss_kb: Option<u64>,
 }
 
 /// Capture counters of the streaming suite, pooled over all ranks.
@@ -312,6 +351,34 @@ fn time_median_setup<S, T>(
         samples.push(t0.elapsed().as_nanos() as u64);
     }
     median(samples)
+}
+
+/// Current peak-resident high-water mark (`VmHWM`, kB) of this process,
+/// from `/proc/self/status`. `None` off Linux or in locked-down mounts.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Run `f` and report its peak-resident delta in kB alongside its result.
+///
+/// `VmHWM` is monotonic, so the kernel's mark is first reset to the
+/// current RSS (writing `5` to `/proc/self/clear_refs`); the delta is then
+/// the memory `f` allocated *above* what was already resident — in the
+/// merge suites, above the input streams, which are inherently O(P).
+/// Wherever either proc file is unavailable the probe degrades to `None`
+/// rather than reporting a misleading zero.
+fn measure_peak_rss<T>(f: impl FnOnce() -> T) -> (T, Option<u64>) {
+    let reset_ok = std::fs::write("/proc/self/clear_refs", "5").is_ok();
+    let before = vm_hwm_kb();
+    let out = f();
+    let after = vm_hwm_kb();
+    let delta = match (reset_ok, before, after) {
+        (true, Some(b), Some(a)) => Some(a.saturating_sub(b)),
+        _ => None,
+    };
+    (out, delta)
 }
 
 /// One synthetic trace event: a single-rank RSD as the [`Tracer`] hook
@@ -421,6 +488,68 @@ fn merge_stream(rank: usize, nranks: usize) -> Vec<TraceNode> {
     out
 }
 
+/// One pre-collapsed block stream of the large-P merge suites: the same
+/// timestep structure as [`merge_stream`], but each node already covers a
+/// contiguous block of `nranks / MERGE_LARGE_BLOCKS` ranks with symbolic
+/// parameters — ring destinations as `OffsetMod`, one rank-linear volume
+/// per step — exactly what the leaf merges hand an interior reduction
+/// level. Merging the blocks exercises run-wise rank-set union,
+/// disjointness checks, and piecewise parameter unification over sets
+/// whose *cardinality* scales with the world while their *description*
+/// does not.
+fn block_stream(block: usize, nranks: usize) -> Vec<TraceNode> {
+    let width = nranks / MERGE_LARGE_BLOCKS;
+    let ranks = RankSet::from_ranks(block * width..(block + 1) * width);
+    let mk = |sig: u64, bytes: ValParam| {
+        TraceNode::Event(Rsd {
+            ranks: ranks.clone(),
+            sig,
+            op: OpTemplate::Send {
+                to: RankParam::OffsetMod {
+                    offset: 1,
+                    modulus: nranks,
+                },
+                tag: 0,
+                bytes,
+                comm: CommParam::Const(0),
+                blocking: false,
+            },
+            compute: TimeStats::of(SimDuration::from_usecs(1)),
+        })
+    };
+    let mut out = Vec::with_capacity(MERGE_TIMESTEPS * 4);
+    for t in 0..MERGE_TIMESTEPS as u64 {
+        let base = 1000 + t * 16;
+        out.push(TraceNode::Loop(scalatrace::trace::Prsd {
+            count: 10,
+            body: vec![
+                mk(base + 1, ValParam::Const(512)),
+                mk(base + 2, ValParam::Const(1024)),
+            ],
+        }));
+        out.push(mk(base + 3, ValParam::Const(4096)));
+        out.push(mk(
+            base + 4,
+            ValParam::Linear {
+                base: 256,
+                slope: 1,
+            },
+        ));
+        out.push(TraceNode::Event(Rsd {
+            ranks: ranks.clone(),
+            sig: base + 5,
+            op: OpTemplate::Coll {
+                kind: mpisim::types::CollKind::Barrier,
+                root: None,
+                bytes: ValParam::Const(0),
+                comm: CommParam::Const(0),
+            },
+            compute: TimeStats::of(SimDuration::from_usecs(5)),
+        }));
+    }
+    out
+}
+
 /// Timesteps of the all-distinct worst-case stream. Much shorter than the
 /// SPMD stream: nothing merges, so the pairwise baseline's sequence length
 /// — and its quadratic LCS cost — grows linearly with P.
@@ -460,6 +589,22 @@ fn merge_suite_over(
     streams: Vec<Vec<TraceNode>>,
 ) -> Suite {
     let threads = cfg.threads();
+    // The counters are deterministic, so one untimed pass captures them —
+    // and doubles as the peak-resident probe. It must run *before* the
+    // timed legs: the probe's delta is only meaningful on the first touch
+    // of the workload, before the allocator retains enough freed pages for
+    // later passes to reuse without raising the high-water mark. The
+    // cloned input is resident before the mark resets, so the delta is
+    // the merge's own allocation, not the input.
+    let (merge_stats, peak_rss_kb) = if variants.contains(&Variant::Current) {
+        let input = streams.clone();
+        let (stats, peak) = measure_peak_rss(|| {
+            merge_sequences_stats(input, nranks, threads, MergeStrategy::ClassCollapsed).1
+        });
+        (Some(stats), peak)
+    } else {
+        (None, None)
+    };
     let mut times = [0u64; 2];
     for &v in variants {
         let strategy = match v {
@@ -478,12 +623,6 @@ fn merge_suite_over(
         );
         times[(v == Variant::Baseline) as usize] = t;
     }
-    // The counters are deterministic, so one untimed pass captures them.
-    let merge_stats = if variants.contains(&Variant::Current) {
-        Some(merge_sequences_stats(streams, nranks, threads, MergeStrategy::ClassCollapsed).1)
-    } else {
-        None
-    };
     let (current_ns, baseline_ns) = fill_missing(times, variants);
     Suite {
         name,
@@ -497,6 +636,7 @@ fn merge_suite_over(
         threads: Some(threads),
         merge_stats,
         stream_stats: None,
+        peak_rss_kb,
     }
 }
 
@@ -542,6 +682,7 @@ fn compression_suite(cfg: &PerfConfig, nranks: usize, variants: &[Variant]) -> S
         threads: None,
         merge_stats: None,
         stream_stats: None,
+        peak_rss_kb: None,
     }
 }
 
@@ -679,6 +820,7 @@ fn pipeline_suite(
         threads: None,
         merge_stats: None,
         stream_stats: None,
+        peak_rss_kb: None,
     })
 }
 
@@ -767,6 +909,7 @@ fn stream_suite(cfg: &PerfConfig, variants: &[Variant]) -> Result<Suite, String>
         threads: None,
         merge_stats: None,
         stream_stats,
+        peak_rss_kb: None,
     })
 }
 
@@ -813,6 +956,33 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
             variants,
             streams,
         ));
+    }
+
+    if !cfg.baseline_only {
+        // The large-P rows measure the current algorithm only — the seed
+        // pairwise strategy has no notion of pre-collapsed multi-rank
+        // streams — and the interior reduction level only: a fixed number
+        // of block streams whose symbolic parameters cover the whole
+        // world, so the scaling gates (wall and peak resident vs the
+        // small-P rows) isolate the merge's own cost from the Ω(P) leaf
+        // read that [`MERGE_RANKS`] already tracks.
+        for &n in &MERGE_LARGE_RANKS {
+            eprintln!(
+                "perf: large-P interior merge at {n} ranks ({MERGE_LARGE_BLOCKS} blocks, \
+                 class-collapsed only, threads {}) ...",
+                cfg.threads()
+            );
+            let streams = (0..MERGE_LARGE_BLOCKS)
+                .map(|b| block_stream(b, n))
+                .collect();
+            suites.push(merge_suite_over(
+                cfg,
+                format!("merge_r{n}"),
+                n,
+                &[Variant::Current],
+                streams,
+            ));
+        }
     }
 
     {
@@ -879,6 +1049,7 @@ pub fn run(cfg: &PerfConfig) -> Result<PerfReport, String> {
         threads: None,
         merge_stats: None,
         stream_stats: None,
+        peak_rss_kb: None,
     });
 
     Ok(PerfReport {
@@ -929,6 +1100,11 @@ impl Suite {
                 st.anchor_trimmed as f64 / st.pair_nodes as f64
             };
             obj.push(("anchor_trim_rate".into(), Json::Num(round3(trim_rate))));
+        }
+        if let Some(kb) = self.peak_rss_kb {
+            // Additive field (schema stays commspec-perf/v2): the merge's
+            // peak-resident delta, so the memory-vs-P claim is committed.
+            obj.push(("peak_rss_kb".into(), Json::Num(kb as f64)));
         }
         if let Some(st) = &self.stream_stats {
             // Additive fields (schema stays commspec-perf/v2): the capture
@@ -1063,6 +1239,53 @@ pub fn check_regressions(new: &PerfReport, committed: &Json) -> Vec<String> {
             ));
         }
     }
+    errors.extend(check_merge_scaling(new));
+    errors
+}
+
+/// Cross-suite scaling gates over the *fresh* run: the large-P merge rows
+/// must show wall time and peak resident memory tracking the distinct
+/// behavior count, not P. Both rows come from the same run on the same
+/// host, so absolute ratios — unlike cross-machine nanoseconds — are
+/// meaningful to gate.
+fn check_merge_scaling(new: &PerfReport) -> Vec<String> {
+    let mut errors = Vec::new();
+    let find = |name: &str| new.suites.iter().find(|s| s.name == name);
+
+    // Wall: the interior merges over worlds 16x-64x merge_r256's must each
+    // cost at most LARGE_MERGE_WALL_RATIO of its wall — their parameters
+    // describe vastly more ranks in the same number of runs, so only a
+    // regression to per-rank materialization can push them over.
+    if let Some(small) = find("merge_r256") {
+        for &n in &MERGE_LARGE_RANKS {
+            let name = format!("merge_r{n}");
+            let Some(large) = find(&name) else { continue };
+            let limit = small.current_ns as f64 * LARGE_MERGE_WALL_RATIO;
+            if large.current_ns as f64 > limit {
+                errors.push(format!(
+                    "merge wall scales with P: {name} took {:.2}ms, more than {:.1}x \
+                     merge_r256's {:.2}ms",
+                    large.current_ns as f64 / 1e6,
+                    LARGE_MERGE_WALL_RATIO,
+                    small.current_ns as f64 / 1e6,
+                ));
+            }
+        }
+    }
+
+    // Memory: quadrupling the ranks must not scale the merge's own
+    // peak-resident delta (deltas under the noise floor pass outright).
+    if let (Some(a), Some(b)) = (find("merge_r4096"), find("merge_r16384")) {
+        if let (Some(pa), Some(pb)) = (a.peak_rss_kb, b.peak_rss_kb) {
+            let limit = (pa.max(PEAK_RSS_FLOOR_KB) as f64) * LARGE_MERGE_PEAK_RATIO;
+            if pb > PEAK_RSS_FLOOR_KB && pb as f64 > limit {
+                errors.push(format!(
+                    "merge peak memory scales with P: merge_r16384 peaked {pb} kB above \
+                     baseline, more than {LARGE_MERGE_PEAK_RATIO}x merge_r4096's {pa} kB",
+                ));
+            }
+        }
+    }
     errors
 }
 
@@ -1126,6 +1349,7 @@ mod tests {
             threads,
             merge_stats: None,
             stream_stats: None,
+            peak_rss_kb: None,
         }
     }
 
@@ -1207,6 +1431,91 @@ mod tests {
         );
         let same_width_ok = report(vec![suite("merge_r256", "merge", 3.9, Some(8))]);
         assert!(check_regressions(&same_width_ok, &committed).is_empty());
+    }
+
+    #[test]
+    fn merge_wall_scaling_gate_trips_on_p_dependent_cost() {
+        let row = |name: &str, ns: u64| {
+            let mut s = suite(name, "merge", 4.0, Some(8));
+            s.current_ns = ns;
+            s
+        };
+        // Interior merges cheaper than the leaf row: pass.
+        let good = report(vec![
+            row("merge_r256", 20_000_000),
+            row("merge_r4096", 500_000),
+            row("merge_r16384", 600_000),
+        ]);
+        assert!(check_merge_scaling(&good).is_empty());
+        // A dense-materialization regression: both large rows blow past
+        // LARGE_MERGE_WALL_RATIO x merge_r256 and each gets its own error.
+        let bad = report(vec![
+            row("merge_r256", 20_000_000),
+            row("merge_r4096", 107_000_000),
+            row("merge_r16384", 428_000_000),
+        ]);
+        let errors = check_merge_scaling(&bad);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].contains("merge_r4096"), "{}", errors[0]);
+        assert!(errors[1].contains("merge_r16384"), "{}", errors[1]);
+        // Smoke runs without the large rows (or without merge_r256) are
+        // not an error.
+        assert!(check_merge_scaling(&report(vec![row("merge_r256", 20_000_000)])).is_empty());
+        assert!(check_merge_scaling(&report(vec![row("merge_r4096", u64::MAX)])).is_empty());
+    }
+
+    #[test]
+    fn merge_peak_scaling_gate_floors_noise_and_trips_on_growth() {
+        let row = |name: &str, peak: Option<u64>| {
+            let mut s = suite(name, "merge", 4.0, Some(8));
+            s.peak_rss_kb = peak;
+            s
+        };
+        let check = |pa, pb| {
+            check_merge_scaling(&report(vec![
+                row("merge_r4096", pa),
+                row("merge_r16384", pb),
+            ]))
+        };
+        // Deltas at or under the allocator-noise floor pass outright,
+        // whatever the ratio between them.
+        assert!(check(Some(0), Some(PEAK_RSS_FLOOR_KB)).is_empty());
+        // Above the floor but within the ratio of the floored baseline.
+        assert!(check(Some(512), Some(2 * PEAK_RSS_FLOOR_KB)).is_empty());
+        // 4x the ranks costing way more memory: trips.
+        let errors = check(Some(8_192), Some(400_000));
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("peak memory"), "{}", errors[0]);
+        // No probe available (no /proc): the gate cannot fire.
+        assert!(check(None, Some(1 << 30)).is_empty());
+        assert!(check(Some(1), None).is_empty());
+    }
+
+    #[test]
+    fn block_streams_collapse_to_the_class_count_not_p() {
+        // The large-P input collapses to one merged sequence whose length
+        // matches a single block stream — and its node count, rank-set
+        // runs, and parameter descriptions are identical at 4096 and 16384
+        // ranks, which is the invariant the perf rows pin.
+        let merged = |n: usize| {
+            let streams: Vec<_> = (0..MERGE_LARGE_BLOCKS)
+                .map(|b| block_stream(b, n))
+                .collect();
+            let (nodes, stats) =
+                merge_sequences_stats(streams, n, 1, MergeStrategy::ClassCollapsed);
+            assert_eq!(stats.classes, 1, "all blocks are one behavior class");
+            nodes
+        };
+        let small = merged(MERGE_LARGE_RANKS[0]);
+        let large = merged(MERGE_LARGE_RANKS[1]);
+        assert_eq!(small.len(), block_stream(0, MERGE_LARGE_RANKS[0]).len());
+        assert_eq!(small.len(), large.len());
+        for (s, l) in small.iter().zip(&large) {
+            if let (TraceNode::Event(a), TraceNode::Event(b)) = (s, l) {
+                assert_eq!(a.ranks.run_count(), b.ranks.run_count());
+                assert_eq!(a.ranks.run_count(), 1, "world union stays one run");
+            }
+        }
     }
 
     #[test]
